@@ -1,0 +1,100 @@
+//! Consistency checkers: the strict oracle over long sequential runs and
+//! the causal checker (gather-write reconstruction + reachability +
+//! pairwise order validation) over concurrent histories.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oat_consistency::{check_causal, check_strict_sequential};
+use oat_core::agg::SumI64;
+use oat_core::policy::rww::RwwSpec;
+use oat_core::tree::Tree;
+use oat_sim::concurrent::run_concurrent;
+use oat_sim::{run_sequential, Schedule};
+
+fn bench_strict(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkers/strict");
+    for len in [500usize, 5_000] {
+        let tree = Tree::kary(32, 2);
+        let seq = oat_workloads::uniform(&tree, len, 0.5, 3);
+        let res = run_sequential(&tree, SumI64, &RwwSpec, Schedule::Fifo, &seq, false);
+        g.throughput(Throughput::Elements(len as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| check_strict_sequential(&SumI64, &tree, &seq, &res.combines).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_causal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkers/causal");
+    g.sample_size(20);
+    for len in [60usize, 150] {
+        let tree = Tree::kary(10, 3);
+        let seq = oat_workloads::uniform(&tree, len, 0.5, 5);
+        let res = run_concurrent(&tree, SumI64, &RwwSpec, &seq, 7, 0.8);
+        let logs: Vec<_> = tree
+            .nodes()
+            .map(|u| res.engine.node(u).ghost().unwrap().log.clone())
+            .collect();
+        g.throughput(Throughput::Elements(len as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &logs, |b, logs| {
+            b.iter(|| check_causal(&SumI64, logs).unwrap().checked_pairs)
+        });
+    }
+    g.finish();
+}
+
+fn bench_sequential_consistency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkers/sequential-consistency");
+    g.sample_size(20);
+    let tree = Tree::path(5);
+    for len in [16usize, 24] {
+        let seq = oat_workloads::uniform(&tree, len, 0.5, 5);
+        let res = run_concurrent(&tree, SumI64, &RwwSpec, &seq, 7, 0.7);
+        let logs: Vec<_> = tree
+            .nodes()
+            .map(|u| res.engine.node(u).ghost().unwrap().log.clone())
+            .collect();
+        let histories = oat_consistency::own_histories(&logs);
+        g.bench_with_input(BenchmarkId::from_parameter(len), &histories, |b, h| {
+            b.iter(|| oat_consistency::check_sequentially_consistent(&SumI64, h).is_some())
+        });
+    }
+    g.finish();
+}
+
+fn bench_modelcheck(c: &mut Criterion) {
+    use oat_core::request::Request;
+    use oat_core::tree::NodeId;
+    let mut g = c.benchmark_group("checkers/modelcheck");
+    g.sample_size(10);
+    let tree = Tree::path(3);
+    let script = vec![
+        Request::combine(NodeId(0)),
+        Request::combine(NodeId(2)),
+        Request::write(NodeId(1), 1),
+        Request::write(NodeId(0), 2),
+    ];
+    g.bench_function("path3-4req", |b| {
+        b.iter(|| {
+            oat_modelcheck::check_all_interleavings(
+                &tree,
+                SumI64,
+                &RwwSpec,
+                &script,
+                oat_modelcheck::Limits::default(),
+            )
+            .unwrap()
+            .distinct_states
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_strict,
+    bench_causal,
+    bench_sequential_consistency,
+    bench_modelcheck
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Concurrent substrates: the seeded interleaving executor and the
+//! one-thread-per-node runtime (thread spawn + channel traffic +
+//! quiescence detection included in the measured unit).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oat_core::agg::SumI64;
+use oat_core::policy::rww::RwwSpec;
+use oat_core::tree::Tree;
+use oat_sim::concurrent::run_concurrent;
+
+fn bench_interleaved(c: &mut Criterion) {
+    let mut g = c.benchmark_group("concurrent/interleaved");
+    for n in [8usize, 16, 32] {
+        let tree = Tree::kary(n, 2);
+        let seq = oat_workloads::uniform(&tree, 200, 0.5, 9);
+        g.throughput(Throughput::Elements(seq.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| run_concurrent(&tree, SumI64, &RwwSpec, &seq, 11, 0.8).total_msgs)
+        });
+    }
+    g.finish();
+}
+
+fn bench_threaded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("concurrent/threaded");
+    g.sample_size(10);
+    for n in [4usize, 8] {
+        let tree = Tree::kary(n, 2);
+        let seq = oat_workloads::uniform(&tree, 100, 0.5, 13);
+        g.throughput(Throughput::Elements(seq.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                oat_concurrent::run_threaded(&tree, SumI64, &RwwSpec, &seq, None)
+                    .messages_delivered
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_interleaved, bench_threaded);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Engine throughput: sequential execution of a fixed workload across
+//! tree sizes, shapes, and policies. The unit of work is one full
+//! 200-request sequential run (including quiescence drains), so
+//! `time / 200` approximates per-request latency of the simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oat_core::agg::SumI64;
+use oat_core::policy::ab::AbSpec;
+use oat_core::policy::baseline::NeverLeaseSpec;
+use oat_core::policy::rww::RwwSpec;
+use oat_core::tree::Tree;
+use oat_sim::{run_sequential, Schedule};
+
+fn bench_tree_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/rww-by-size");
+    for n in [16usize, 64, 256] {
+        let tree = Tree::kary(n, 2);
+        let seq = oat_workloads::uniform(&tree, 200, 0.5, 42);
+        g.throughput(Throughput::Elements(seq.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                run_sequential(&tree, SumI64, &RwwSpec, Schedule::Fifo, &seq, false).total_msgs()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_topologies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/rww-by-topology");
+    let topos = vec![
+        ("path", Tree::path(64)),
+        ("star", Tree::star(64)),
+        ("binary", Tree::kary(64, 2)),
+        ("random", oat_workloads::random_tree(64, 3)),
+    ];
+    for (name, tree) in topos {
+        let seq = oat_workloads::uniform(&tree, 200, 0.5, 7);
+        g.throughput(Throughput::Elements(seq.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                run_sequential(&tree, SumI64, &RwwSpec, Schedule::Fifo, &seq, false).total_msgs()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/by-policy");
+    let tree = Tree::kary(64, 2);
+    let seq = oat_workloads::uniform(&tree, 200, 0.5, 11);
+    g.throughput(Throughput::Elements(seq.len() as u64));
+    g.bench_function("rww", |b| {
+        b.iter(|| run_sequential(&tree, SumI64, &RwwSpec, Schedule::Fifo, &seq, false).total_msgs())
+    });
+    g.bench_function("ab-2-3", |b| {
+        b.iter(|| {
+            run_sequential(&tree, SumI64, &AbSpec::new(2, 3), Schedule::Fifo, &seq, false)
+                .total_msgs()
+        })
+    });
+    g.bench_function("never-lease", |b| {
+        b.iter(|| {
+            run_sequential(&tree, SumI64, &NeverLeaseSpec, Schedule::Fifo, &seq, false)
+                .total_msgs()
+        })
+    });
+    g.finish();
+}
+
+fn bench_ghost_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/ghost-logs");
+    let tree = Tree::kary(24, 2);
+    let seq = oat_workloads::uniform(&tree, 100, 0.5, 13);
+    g.bench_function("off", |b| {
+        b.iter(|| run_sequential(&tree, SumI64, &RwwSpec, Schedule::Fifo, &seq, false).total_msgs())
+    });
+    g.bench_function("on", |b| {
+        b.iter(|| run_sequential(&tree, SumI64, &RwwSpec, Schedule::Fifo, &seq, true).total_msgs())
+    });
+    g.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads/generate");
+    let tree = Tree::kary(256, 2);
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("uniform-10k", |b| {
+        b.iter(|| oat_workloads::uniform(&tree, 10_000, 0.5, 1).len())
+    });
+    g.bench_function("zipf-10k", |b| {
+        b.iter(|| oat_workloads::zipf(&tree, 10_000, 0.5, 1.0, 1).len())
+    });
+    g.bench_function("random-tree-256", |b| {
+        b.iter(|| oat_workloads::random_tree(256, 7).len())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tree_sizes,
+    bench_topologies,
+    bench_policies,
+    bench_ghost_overhead,
+    bench_workload_generation
+);
+criterion_main!(benches);

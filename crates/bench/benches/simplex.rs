@@ -1,0 +1,52 @@
+//! The in-repo simplex: the Figure-5 LP (the paper's actual program) and
+//! synthetic LPs of growing size to characterise the solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oat_lp::figure5::{build_figure5_lp, solve_figure5};
+use oat_lp::simplex::solve_min;
+
+fn bench_figure5(c: &mut Criterion) {
+    c.bench_function("simplex/figure5-build+solve", |b| {
+        b.iter(|| solve_figure5().unwrap().c)
+    });
+    let lp = build_figure5_lp();
+    c.bench_function("simplex/figure5-solve-only", |b| {
+        b.iter(|| solve_min(&lp.objective, &lp.a, &lp.b).unwrap().objective)
+    });
+}
+
+fn bench_synthetic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex/synthetic");
+    for (n, m) in [(5usize, 10usize), (10, 30), (20, 60)] {
+        // A dense, feasible, bounded LP: min Σx s.t. random lower bounds
+        // and a box.
+        let mut seed = 42u64;
+        let mut rnd = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(99);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) + 0.1
+        };
+        let obj = vec![1.0; n];
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for _ in 0..m {
+            let row: Vec<f64> = (0..n).map(|_| -rnd()).collect();
+            a.push(row);
+            b.push(-rnd() * 3.0); // Σ (coef · x) >= bound
+        }
+        for i in 0..n {
+            let mut row = vec![0.0; n];
+            row[i] = 1.0;
+            a.push(row);
+            b.push(100.0);
+        }
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}v-{m}c")),
+            &(a, b, obj),
+            |bch, (a, b, obj)| bch.iter(|| solve_min(obj, a, b).unwrap().objective),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_figure5, bench_synthetic);
+criterion_main!(benches);

@@ -1,0 +1,240 @@
+//! **E1 — Figure 2**: the per-edge cost table, measured on the real
+//! mechanism.
+//!
+//! Each of the nine `(granted, request, granted', cost)` rows is driven
+//! by a concrete scenario; the measured messages charged to the ordered
+//! pair `C(σ,u,v)` and the resulting lease state must match the table.
+//! Rows that only an eagerly-releasing policy exercises (the noop
+//! releases) use a local `EagerBreak` policy — still a lease-based
+//! algorithm in the paper's sense, defined right here to show the policy
+//! stubs at work.
+
+use oat_core::agg::SumI64;
+use oat_core::policy::baseline::NeverLeaseSpec;
+use oat_core::policy::rww::RwwSpec;
+use oat_core::policy::{NodePolicy, PolicySpec};
+use oat_core::tree::{NodeId, Tree};
+use oat_sim::{Engine, Schedule};
+
+use crate::table::Table;
+
+/// A lease-based policy that grants eagerly and breaks at the first
+/// opportunity — used to exercise the `(true, N, false, 1)` row.
+#[derive(Clone, Copy, Debug)]
+pub struct EagerBreakSpec;
+
+/// Node state for [`EagerBreakSpec`] (stateless).
+#[derive(Clone, Copy, Debug)]
+pub struct EagerBreakNode;
+
+impl PolicySpec for EagerBreakSpec {
+    type Node = EagerBreakNode;
+    fn build(&self, _degree: usize) -> EagerBreakNode {
+        EagerBreakNode
+    }
+    fn name(&self) -> String {
+        "EagerBreak".into()
+    }
+}
+
+impl NodePolicy for EagerBreakNode {
+    fn on_combine(&mut self, _tkn: &[usize]) {}
+    fn on_probe_rcvd(&mut self, _w: usize, _tkn: &[usize]) {}
+    fn on_response_rcvd(&mut self, _flag: bool, _w: usize) {}
+    fn on_update_rcvd(&mut self, _w: usize, _lone_grant: bool) {}
+    fn on_release_rcvd(&mut self, _w: usize) {}
+    fn set_lease(&mut self, _w: usize) -> bool {
+        true
+    }
+    fn break_lease(&mut self, _v: usize) -> bool {
+        true
+    }
+    fn release_policy(&mut self, _v: usize, _uaw_len: usize) {}
+}
+
+fn n(i: u32) -> NodeId {
+    NodeId(i)
+}
+
+struct Measured {
+    state_before: bool,
+    state_after: bool,
+    cost: u64,
+}
+
+/// Measures `C(σ,u,v)` and `u.granted[v]` around a closure-driven
+/// request on the pair tree with the given policy.
+fn on_pair<S: PolicySpec>(
+    spec: &S,
+    setup: impl Fn(&mut Engine<S, SumI64>),
+    act: impl Fn(&mut Engine<S, SumI64>),
+) -> Measured {
+    let tree = Tree::pair();
+    let mut eng = Engine::new(tree.clone(), SumI64, spec, Schedule::Fifo, false);
+    setup(&mut eng);
+    eng.run_to_quiescence();
+    let before_cost = eng.stats().pair_cost(&tree, n(0), n(1));
+    let state_before = eng.node(n(0)).granted(0);
+    act(&mut eng);
+    eng.run_to_quiescence();
+    Measured {
+        state_before,
+        state_after: eng.node(n(0)).granted(0),
+        cost: eng.stats().pair_cost(&tree, n(0), n(1)) - before_cost,
+    }
+}
+
+/// Runs E1 and returns the comparison table.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "E1 / Figure 2 — per-edge cost table, measured on the mechanism",
+        &[
+            "granted", "request", "granted'", "paper cost", "measured", "driver", "ok",
+        ],
+    );
+    t.note("ordered pair (u,v) = (n0,n1) on the two-node tree unless noted");
+
+    let add = |state: bool,
+                   req: &str,
+                   next: bool,
+                   paper: u64,
+                   m: Measured,
+                   driver: &str,
+                   t: &mut Table| {
+        assert_eq!(m.state_before, state, "scenario for ({state},{req}) broken");
+        let ok = m.state_after == next && m.cost == paper;
+        t.row(vec![
+            state.to_string(),
+            req.into(),
+            next.to_string(),
+            paper.to_string(),
+            m.cost.to_string(),
+            driver.into(),
+            if ok { "yes".into() } else { "MISMATCH".into() },
+        ]);
+    };
+
+    // (false, R, false, 2): NeverLease refuses the lease.
+    let m = on_pair(
+        &NeverLeaseSpec,
+        |_| {},
+        |e| {
+            e.initiate_combine(n(1));
+        },
+    );
+    add(false, "R", false, 2, m, "NeverLease: combine at n1", &mut t);
+
+    // (false, R, true, 2): RWW sets the lease.
+    let m = on_pair(
+        &RwwSpec,
+        |_| {},
+        |e| {
+            e.initiate_combine(n(1));
+        },
+    );
+    add(false, "R", true, 2, m, "RWW: combine at n1", &mut t);
+
+    // (false, W, false, 0).
+    let m = on_pair(&RwwSpec, |_| {}, |e| e.initiate_write(n(0), 1));
+    add(false, "W", false, 0, m, "RWW: write at n0", &mut t);
+
+    // (false, N, false, 0): a request in σ(v,u) sends nothing here.
+    let m = on_pair(&RwwSpec, |_| {}, |e| e.initiate_write(n(1), 1));
+    add(false, "N", false, 0, m, "RWW: write at n1 (σ(v,u))", &mut t);
+
+    // (true, R, true, 0).
+    let m = on_pair(
+        &RwwSpec,
+        |e| {
+            e.initiate_combine(n(1));
+        },
+        |e| {
+            e.initiate_combine(n(1));
+        },
+    );
+    add(true, "R", true, 0, m, "RWW: second combine at n1", &mut t);
+
+    // (true, W, true, 1): first write after the combine.
+    let m = on_pair(
+        &RwwSpec,
+        |e| {
+            e.initiate_combine(n(1));
+        },
+        |e| e.initiate_write(n(0), 1),
+    );
+    add(true, "W", true, 1, m, "RWW: first write at n0", &mut t);
+
+    // (true, W, false, 2): second consecutive write.
+    let m = on_pair(
+        &RwwSpec,
+        |e| {
+            e.initiate_combine(n(1));
+            e.run_to_quiescence();
+            e.initiate_write(n(0), 1);
+        },
+        |e| e.initiate_write(n(0), 2),
+    );
+    add(true, "W", false, 2, m, "RWW: second write at n0", &mut t);
+
+    // (true, N, true, 0): a write on the far side leaves the lease alone.
+    // Needs three nodes: pair (0,1) with the write at node 2 behind 1.
+    {
+        let tree = Tree::path(3);
+        let mut eng: Engine<RwwSpec, SumI64> =
+            Engine::new(tree.clone(), SumI64, &RwwSpec, Schedule::Fifo, false);
+        eng.initiate_combine(n(1));
+        eng.run_to_quiescence();
+        // Pair (1,2): 1.granted[2]... we want a pair whose lease stays put
+        // while a request of σ(v,u) executes. Use pair (0,1): granted
+        // after the combine at 1; a combine at node 2 is in σ(1,0) — a
+        // noop for (0,1).
+        let gi = tree.nbr_index(n(0), n(1)).unwrap();
+        let before_state = eng.node(n(0)).granted(gi);
+        let before = eng.stats().pair_cost(&tree, n(0), n(1));
+        eng.initiate_combine(n(2));
+        eng.run_to_quiescence();
+        let m = Measured {
+            state_before: before_state,
+            state_after: eng.node(n(0)).granted(gi),
+            cost: eng.stats().pair_cost(&tree, n(0), n(1)) - before,
+        };
+        add(true, "N", true, 0, m, "RWW path3: combine at n2 (σ(v,u))", &mut t);
+    }
+
+    // (true, N, false, 1): an eager policy releases during a request of
+    // σ(v,u). Path 0-1-2: combine at n1 takes leases from both sides;
+    // a write at n2 triggers a release 1->0 — a noop for pair (0,1).
+    {
+        let tree = Tree::path(3);
+        let mut eng: Engine<EagerBreakSpec, SumI64> =
+            Engine::new(tree.clone(), SumI64, &EagerBreakSpec, Schedule::Fifo, false);
+        eng.initiate_combine(n(1));
+        eng.run_to_quiescence();
+        let gi = tree.nbr_index(n(0), n(1)).unwrap();
+        let before_state = eng.node(n(0)).granted(gi);
+        let before = eng.stats().pair_cost(&tree, n(0), n(1));
+        // Write at n2: in subtree(1,0), i.e. σ(1,0) — a noop for (0,1).
+        eng.initiate_write(n(2), 5);
+        eng.run_to_quiescence();
+        let m = Measured {
+            state_before: before_state,
+            state_after: eng.node(n(0)).granted(gi),
+            cost: eng.stats().pair_cost(&tree, n(0), n(1)) - before,
+        };
+        add(true, "N", false, 1, m, "EagerBreak path3: write at n2 (σ(v,u))", &mut t);
+    }
+
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_nine_rows_match_the_paper() {
+        let tables = super::run();
+        assert_eq!(tables[0].rows.len(), 9);
+        for row in &tables[0].rows {
+            assert_eq!(row[6], "yes", "row mismatch: {row:?}");
+        }
+    }
+}

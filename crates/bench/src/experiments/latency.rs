@@ -1,0 +1,141 @@
+//! **E14 — latency**: the other axis of the paper's motivation.
+//!
+//! Section 1 argues a pull-everything strategy "suffers from unnecessary
+//! latency … on read-dominated workloads". Message counts alone don't
+//! show that, so this experiment measures *hop latency*: the causal
+//! depth of the message chain completing each request (a combine
+//! answered from leases is 0 hops; a cold combine on a path of n nodes
+//! takes 2(n−1) hops).
+//!
+//! RWW buys near-push read latency at near-optimal message cost —
+//! leases answer repeat reads locally — while pull-all pays the full
+//! round trip on every combine, forever.
+
+use oat_core::agg::SumI64;
+use oat_core::policy::baseline::{AlwaysLeaseSpec, NeverLeaseSpec};
+use oat_core::policy::rww::RwwSpec;
+use oat_core::policy::PolicySpec;
+use oat_core::request::Request;
+use oat_core::tree::Tree;
+use oat_sim::{Engine, Schedule};
+
+use crate::table::{f3, Table};
+
+/// Read/write latency summary for one policy on one workload.
+pub struct LatencySummary {
+    /// Mean hop latency over combines.
+    pub read_mean: f64,
+    /// Maximum hop latency over combines.
+    pub read_max: u32,
+    /// Fraction of combines answered locally (0 hops).
+    pub read_local: f64,
+    /// Mean hop latency over writes (depth of the update cascade).
+    pub write_mean: f64,
+    /// Messages per request.
+    pub msgs_per_req: f64,
+}
+
+/// Measures latency and message cost for a policy (optionally
+/// prewarmed).
+pub fn measure<S: PolicySpec>(
+    spec: &S,
+    tree: &Tree,
+    seq: &[Request<i64>],
+    prewarm: bool,
+) -> LatencySummary {
+    let mut eng = Engine::new(tree.clone(), SumI64, spec, Schedule::Fifo, false);
+    if prewarm {
+        eng.prewarm_leases();
+    }
+    let chunk = oat_sim::sequential::run_sequential_on(&mut eng, seq, 0);
+    let mut read_lat = Vec::new();
+    let mut write_lat = Vec::new();
+    for (q, &lat) in seq.iter().zip(&chunk.per_request_latency) {
+        if q.op.is_combine() {
+            read_lat.push(lat);
+        } else {
+            write_lat.push(lat);
+        }
+    }
+    let mean = |v: &[u32]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64
+        }
+    };
+    LatencySummary {
+        read_mean: mean(&read_lat),
+        read_max: read_lat.iter().copied().max().unwrap_or(0),
+        read_local: if read_lat.is_empty() {
+            0.0
+        } else {
+            read_lat.iter().filter(|&&x| x == 0).count() as f64 / read_lat.len() as f64
+        },
+        write_mean: mean(&write_lat),
+        msgs_per_req: chunk.per_request_msgs.iter().sum::<u64>() as f64 / seq.len() as f64,
+    }
+}
+
+/// Runs E14.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "E14 / latency — hop latency vs message cost (64-node binary tree)",
+        &[
+            "workload",
+            "policy",
+            "read mean",
+            "read max",
+            "reads local",
+            "write mean",
+            "msgs/req",
+        ],
+    );
+    t.note("hop latency = causal depth of the completing message chain (0 = answered locally)");
+    let tree = Tree::kary(64, 2);
+    for (wname, wf) in [("read-heavy (10% w)", 0.1), ("write-heavy (90% w)", 0.9)] {
+        let seq = oat_workloads::uniform(&tree, 2000, wf, 8);
+        let mut push = |policy: &str, s: LatencySummary| {
+            t.row(vec![
+                wname.into(),
+                policy.into(),
+                f3(s.read_mean),
+                s.read_max.to_string(),
+                format!("{:.0}%", s.read_local * 100.0),
+                f3(s.write_mean),
+                f3(s.msgs_per_req),
+            ]);
+        };
+        push("RWW", measure(&RwwSpec, &tree, &seq, false));
+        push("push-all", measure(&AlwaysLeaseSpec, &tree, &seq, true));
+        push("pull-all", measure(&NeverLeaseSpec, &tree, &seq, false));
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pull_all_reads_slow_push_all_reads_instant() {
+        let tree = Tree::kary(32, 2);
+        let seq = oat_workloads::uniform(&tree, 400, 0.1, 3);
+        let pull = measure(&NeverLeaseSpec, &tree, &seq, false);
+        let push = measure(&AlwaysLeaseSpec, &tree, &seq, true);
+        let rww = measure(&RwwSpec, &tree, &seq, false);
+        assert_eq!(push.read_mean, 0.0, "prewarmed push answers locally");
+        assert!(pull.read_mean > 4.0, "pull pays round trips: {}", pull.read_mean);
+        // RWW: most reads local on a read-heavy mix.
+        assert!(rww.read_local > 0.5, "RWW locality {}", rww.read_local);
+        assert!(rww.read_mean < pull.read_mean);
+    }
+
+    #[test]
+    fn cold_read_latency_is_twice_eccentricity_on_a_path() {
+        let tree = Tree::path(9);
+        let seq = vec![oat_core::request::Request::combine(oat_core::tree::NodeId(0))];
+        let s = measure(&RwwSpec, &tree, &seq, false);
+        assert_eq!(s.read_max, 16, "down 8 hops and back");
+    }
+}

@@ -1,0 +1,48 @@
+//! Experiment implementations, one module per paper artefact.
+//!
+//! Each `run()` returns one or more [`crate::table::Table`]s; the
+//! `tables` binary prints them and EXPERIMENTS.md archives them.
+
+pub mod ablation;
+pub mod causal;
+pub mod concurrency;
+pub mod fig2;
+pub mod latency;
+pub mod modelcheck;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod motivation;
+pub mod potential;
+pub mod scale;
+pub mod strict;
+pub mod thm1;
+pub mod thm2;
+pub mod thm3;
+
+use crate::table::Table;
+
+/// An experiment entry point.
+pub type ExperimentFn = fn() -> Vec<Table>;
+
+/// All experiments in presentation order, with their CLI names.
+pub fn all() -> Vec<(&'static str, ExperimentFn)> {
+    vec![
+        ("fig2", fig2::run as ExperimentFn),
+        ("fig3", fig3::run),
+        ("fig4", fig4::run),
+        ("fig5", fig5::run),
+        ("thm1", thm1::run),
+        ("thm2", thm2::run),
+        ("thm3", thm3::run),
+        ("strict", strict::run),
+        ("causal", causal::run),
+        ("concurrency", concurrency::run),
+        ("modelcheck", modelcheck::run),
+        ("motivation", motivation::run),
+        ("ablation-b", ablation::run),
+        ("scale", scale::run),
+        ("latency", latency::run),
+        ("potential", potential::run),
+    ]
+}

@@ -1,0 +1,95 @@
+//! **E13 — potential-function audit**: the Lemma-4.6 amortized
+//! inequality, checked step by step on real traces with the paper's Φ.
+//!
+//! Over random and adversarial `σ'(u,v)` traces, replay RWW against the
+//! OPT trajectory and report the maximum per-step violation of
+//! `ΔΦ + cost_RWW ≤ (5/2)·cost_OPT` (must be ≤ 0) and the total-cost
+//! slack.
+
+use oat_core::request::{sigma_prime_of, EdgeEvent};
+use oat_lp::figure5::PAPER_C;
+use oat_lp::potential::audit_trace;
+
+use crate::table::{f3, Table};
+
+/// Runs E13.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "E13 / potential audit — Φ(after) − Φ(before) + c_RWW ≤ (5/2)·c_OPT per step",
+        &[
+            "trace family",
+            "traces",
+            "C_RWW",
+            "C_OPT",
+            "worst step slack",
+            "ratio",
+        ],
+    );
+    t.note("worst step slack = max over steps of ΔΦ + c_RWW − 2.5·c_OPT (must be ≤ 0)");
+
+    // Adversarial family.
+    let mut raw = Vec::new();
+    for _ in 0..400 {
+        raw.extend([EdgeEvent::R, EdgeEvent::W, EdgeEvent::W]);
+    }
+    let rep = audit_trace(&sigma_prime_of(&raw));
+    t.row(vec![
+        "adversarial R·W·W".into(),
+        "1".into(),
+        rep.rww_cost.to_string(),
+        rep.opt_cost.to_string(),
+        f3(rep.max_step_violation),
+        f3(rep.rww_cost as f64 / rep.opt_cost as f64),
+    ]);
+
+    // Random families at several read/write biases.
+    let mut seed = 123u64;
+    for &bias in &[25u64, 50, 75] {
+        let mut worst = f64::NEG_INFINITY;
+        let mut rww_total = 0u64;
+        let mut opt_total = 0u64;
+        let traces = 200;
+        for _ in 0..traces {
+            let mut raw = Vec::new();
+            for _ in 0..300 {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                raw.push(if (seed >> 33) % 100 < bias {
+                    EdgeEvent::R
+                } else {
+                    EdgeEvent::W
+                });
+            }
+            let rep = audit_trace(&sigma_prime_of(&raw));
+            worst = worst.max(rep.max_step_violation);
+            rww_total += rep.rww_cost;
+            opt_total += rep.opt_cost;
+        }
+        t.row(vec![
+            format!("random {bias}% reads"),
+            traces.to_string(),
+            rww_total.to_string(),
+            opt_total.to_string(),
+            f3(worst),
+            f3(rww_total as f64 / opt_total as f64),
+        ]);
+    }
+    t.note(format!("c = {PAPER_C} (Figure 5 optimum)"));
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn no_positive_step_slack() {
+        for table in super::run() {
+            for row in &table.rows {
+                let slack: f64 = row[4].parse().unwrap();
+                assert!(slack <= 1e-9, "{row:?}");
+                let ratio: f64 = row[5].parse().unwrap();
+                assert!(ratio <= 2.5 + 0.01, "{row:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! **E12 — scalability**: messages per request vs tree size and shape.
+//!
+//! A fixed 50/50 workload over growing paths, stars, binary trees, and
+//! random trees; per-policy messages per request. RWW's cost tracks the
+//! workload's locality, not the tree size, once leases stabilise —
+//! whereas pull-all scales with `n` on every combine.
+
+use oat_core::agg::SumI64;
+use oat_core::policy::baseline::NeverLeaseSpec;
+use oat_core::policy::rww::RwwSpec;
+use oat_core::tree::Tree;
+use oat_offline::opt_dp::opt_total_cost;
+use oat_sim::{run_sequential, Schedule};
+
+use crate::table::{f3, Table};
+
+/// Runs E12.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "E12 / scalability — messages per request (uniform wf=0.5, 1000 requests)",
+        &["topology", "n", "RWW", "pull-all", "OPT", "RWW/OPT"],
+    );
+    type TreeBuilder = fn(usize) -> Tree;
+    let shapes: Vec<(&str, TreeBuilder)> = vec![
+        ("path", Tree::path as TreeBuilder),
+        ("star", Tree::star),
+        ("binary", |n| Tree::kary(n, 2)),
+        ("random", |n| oat_workloads::random_tree(n, 99)),
+    ];
+    for (shape, build) in shapes {
+        for n in [8usize, 32, 128, 512] {
+            let tree = build(n);
+            let seq = oat_workloads::uniform(&tree, 1000, 0.5, n as u64);
+            let rww = run_sequential(&tree, SumI64, &RwwSpec, Schedule::Fifo, &seq, false)
+                .total_msgs() as f64
+                / 1000.0;
+            let pull =
+                run_sequential(&tree, SumI64, &NeverLeaseSpec, Schedule::Fifo, &seq, false)
+                    .total_msgs() as f64
+                    / 1000.0;
+            let opt = opt_total_cost(&tree, &seq) as f64 / 1000.0;
+            t.row(vec![
+                shape.into(),
+                n.to_string(),
+                f3(rww),
+                f3(pull),
+                f3(opt),
+                if opt > 0.0 { f3(rww / opt) } else { "-".into() },
+            ]);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn rww_within_bound_at_every_size() {
+        for table in super::run() {
+            for row in &table.rows {
+                if let Ok(r) = row[5].parse::<f64>() {
+                    assert!(r <= 2.5 + 1e-9, "{row:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! **E8 — Lemma 3.12**: every lease-based algorithm is strictly
+//! consistent in sequential executions.
+//!
+//! Policies × topologies × delivery schedules; every combine's return
+//! value is checked against the last-write oracle. The violation column
+//! must read 0 everywhere.
+
+use oat_consistency::check_strict_sequential;
+use oat_core::agg::SumI64;
+use oat_core::policy::ab::AbSpec;
+use oat_core::policy::baseline::{AlwaysLeaseSpec, NeverLeaseSpec};
+use oat_core::policy::rww::RwwSpec;
+use oat_core::policy::PolicySpec;
+use oat_core::request::Request;
+use oat_core::tree::Tree;
+use oat_sim::{run_sequential, Schedule};
+
+use crate::table::Table;
+
+fn check<S: PolicySpec>(
+    spec: &S,
+    tree: &Tree,
+    seq: &[Request<i64>],
+    schedule: Schedule,
+) -> (usize, usize) {
+    let res = run_sequential(tree, SumI64, spec, schedule, seq, false);
+    let combines = res.combines.len();
+    let violations = check_strict_sequential(&SumI64, tree, seq, &res.combines).len();
+    (combines, violations)
+}
+
+/// Runs E8.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "E8 / Lemma 3.12 — strict consistency in sequential executions",
+        &["policy", "topology", "schedule", "combines", "violations"],
+    );
+    let topologies = vec![
+        ("path-24", Tree::path(24)),
+        ("star-24", Tree::star(24)),
+        ("random-24", oat_workloads::random_tree(24, 3)),
+    ];
+    for (tname, tree) in &topologies {
+        let seq = oat_workloads::uniform(tree, 500, 0.5, 77);
+        for (sname, sched) in [
+            ("fifo", Schedule::Fifo),
+            ("random-1", Schedule::Random(1)),
+            ("random-2", Schedule::Random(2)),
+        ] {
+            let mut push = |policy: &str, c: usize, v: usize| {
+                t.row(vec![
+                    policy.into(),
+                    (*tname).into(),
+                    sname.into(),
+                    c.to_string(),
+                    v.to_string(),
+                ]);
+            };
+            let (c, v) = check(&RwwSpec, tree, &seq, sched.clone());
+            push("RWW", c, v);
+            let (c, v) = check(&AbSpec::new(2, 3), tree, &seq, sched.clone());
+            push("(2,3)-alg", c, v);
+            let (c, v) = check(&AlwaysLeaseSpec, tree, &seq, sched.clone());
+            push("AlwaysLease", c, v);
+            let (c, v) = check(&NeverLeaseSpec, tree, &seq, sched);
+            push("NeverLease", c, v);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn zero_violations_everywhere() {
+        for table in super::run() {
+            for row in &table.rows {
+                assert_eq!(row[4], "0", "{row:?}");
+            }
+        }
+    }
+}

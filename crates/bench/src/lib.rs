@@ -1,0 +1,28 @@
+//! # oat-bench — experiment harness
+//!
+//! One module per paper artefact (figure, table, theorem, claim); each
+//! regenerates its numbers from the real implementation and returns a
+//! [`table::Table`] the `tables` binary prints. EXPERIMENTS.md records
+//! paper-vs-measured from exactly these outputs.
+//!
+//! | experiment | paper artefact |
+//! |------------|----------------|
+//! | [`experiments::fig2`] | Figure 2 cost table |
+//! | [`experiments::fig3`] | Figure 3 / Corollary 4.1 ((1,2) behaviour) |
+//! | [`experiments::fig4`] | Figure 4 product state machine |
+//! | [`experiments::fig5`] | Figure 5 LP (c = 5/2, Φ) |
+//! | [`experiments::thm1`] | Theorem 1 competitive sweep |
+//! | [`experiments::thm2`] | Theorem 2 vs nice lower bound |
+//! | [`experiments::thm3`] | Theorem 3 (a,b) adversary grid |
+//! | [`experiments::strict`] | Lemma 3.12 strict consistency |
+//! | [`experiments::causal`] | Theorem 4 causal consistency |
+//! | [`experiments::motivation`] | §1 static-vs-adaptive sweep |
+//! | [`experiments::ablation`] | break-threshold ablation |
+//! | [`experiments::scale`] | messages/request vs tree size |
+//! | [`experiments::potential`] | potential-function audit |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;

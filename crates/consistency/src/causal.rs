@@ -1,0 +1,431 @@
+//! Causal-consistency checker for concurrent executions (Section 5).
+//!
+//! Inputs are the per-node ghost logs maintained by the mechanism
+//! (Section 5.2): each node's `log` interleaves its own completed
+//! combines (with return values) and every write it has learned of, in
+//! learning order. The checker rebuilds the paper's gather-write view and
+//! validates the definition of causal consistency:
+//!
+//! * each combine is *compatible* with a gather returning
+//!   `recentwrites(u.log, q)` — its value must equal `f` over exactly
+//!   those writes (`I1` of Lemma 5.5),
+//! * all nodes agree on each write `(node, index)` (write coherence),
+//! * for each node `u`, the serialization `u.gwlog'` — `u`'s gather-write
+//!   log followed by the writes it never learned of (in causal
+//!   topological order) — contains `pruned(A, u)` exactly and respects
+//!   the causal order `⤳` (Lemma 5.10 / Theorem 4).
+//!
+//! The causal order is: `q1 ⤳ q2` if they share a node and
+//! `q1.index < q2.index` (program order), or `q1` is a write returned in
+//! gather `q2`'s `retval`, closed transitively. Reachability is computed
+//! once over the global history with dense bitsets, so the per-node
+//! pairwise check is `O(|S|²)` with O(1) ancestor queries.
+
+use oat_core::agg::AggOp;
+use oat_core::ghost::GhostReq;
+use oat_core::tree::NodeId;
+use std::collections::HashMap;
+
+/// Identifier of a request in the global history: `(node, index)`.
+pub type ReqId = (u32, u32);
+
+/// A detected violation of causal consistency (or of the stronger ghost
+/// invariants the proof relies on).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CausalViolation<V> {
+    /// Two logs disagree on the argument of the same write.
+    WriteArgMismatch {
+        /// The write in question.
+        write: ReqId,
+        /// One observed argument.
+        a: V,
+        /// A different observed argument.
+        b: V,
+    },
+    /// A combine's value is not `f` over its gather's writes.
+    ValueMismatch {
+        /// Node and index of the combine.
+        combine: ReqId,
+        /// Returned value.
+        got: V,
+        /// Value implied by `recentwrites` of the node's log.
+        expected: V,
+    },
+    /// A `(node, index)` pair appears twice in one node's history.
+    DuplicateRequest {
+        /// Observer whose log is malformed.
+        observer: NodeId,
+        /// The duplicated id.
+        id: ReqId,
+    },
+    /// The causal order contains a cycle (impossible for a correct
+    /// mechanism; would make serialization meaningless).
+    CausalCycle,
+    /// A serialization places `second` before `first` although
+    /// `first ⤳ second`.
+    OrderViolation {
+        /// Observer whose serialization fails.
+        observer: NodeId,
+        /// The causally earlier request.
+        first: ReqId,
+        /// The causally later request, found earlier in the log.
+        second: ReqId,
+    },
+}
+
+/// Summary of a successful check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CausalReport {
+    /// Distinct writes in the execution.
+    pub writes: usize,
+    /// Gathers (completed combines) across all nodes.
+    pub gathers: usize,
+    /// Direct causal edges (program order + write→gather).
+    pub causal_edges: usize,
+    /// Ordered pairs validated across all serializations.
+    pub checked_pairs: u64,
+}
+
+/// Checks causal consistency of an execution from its per-node ghost
+/// logs (`logs[i]` is node `i`'s log).
+pub fn check_causal<A: AggOp>(
+    op: &A,
+    logs: &[Vec<GhostReq<A::Value>>],
+) -> Result<CausalReport, CausalViolation<A::Value>> {
+    let n = logs.len();
+
+    // ---- 1. global write set + coherence ----
+    let mut write_args: HashMap<ReqId, A::Value> = HashMap::new();
+    for log in logs {
+        for entry in log {
+            if let GhostReq::Write(w) = entry {
+                let id = (w.node.0, w.index);
+                match write_args.get(&id) {
+                    None => {
+                        write_args.insert(id, w.arg.clone());
+                    }
+                    Some(existing) if *existing == w.arg => {}
+                    Some(existing) => {
+                        return Err(CausalViolation::WriteArgMismatch {
+                            write: id,
+                            a: existing.clone(),
+                            b: w.arg.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- 2. per-node gather construction + value compatibility ----
+    // gathers[u] = (index, retval recentwrites vector) in log order.
+    struct Gather {
+        node: u32,
+        index: u32,
+        recent: Vec<i64>,
+    }
+    let mut gathers: Vec<Gather> = Vec::new();
+    for (u, log) in logs.iter().enumerate() {
+        let mut last_seen = vec![-1i64; n];
+        let mut seen_ids: HashMap<ReqId, ()> = HashMap::new();
+        for entry in log {
+            match entry {
+                GhostReq::Write(w) => {
+                    let id = (w.node.0, w.index);
+                    if seen_ids.insert(id, ()).is_some() {
+                        return Err(CausalViolation::DuplicateRequest {
+                            observer: NodeId(u as u32),
+                            id,
+                        });
+                    }
+                    last_seen[w.node.idx()] = w.index as i64;
+                }
+                GhostReq::Combine {
+                    node,
+                    index,
+                    retval,
+                } => {
+                    let id = (node.0, *index);
+                    if seen_ids.insert(id, ()).is_some() {
+                        return Err(CausalViolation::DuplicateRequest {
+                            observer: NodeId(u as u32),
+                            id,
+                        });
+                    }
+                    // I1: the combine's value equals f over the most
+                    // recent writes per node in the log prefix.
+                    let mut expected = op.identity();
+                    for (x, &ix) in last_seen.iter().enumerate() {
+                        if ix >= 0 {
+                            let arg = write_args
+                                .get(&(x as u32, ix as u32))
+                                .expect("recentwrites references a known write");
+                            expected = op.combine(&expected, arg);
+                        }
+                    }
+                    if expected != *retval {
+                        return Err(CausalViolation::ValueMismatch {
+                            combine: id,
+                            got: retval.clone(),
+                            expected,
+                        });
+                    }
+                    gathers.push(Gather {
+                        node: node.0,
+                        index: *index,
+                        recent: last_seen.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- 3. global causal DAG + reachability ----
+    // Dense request ids: writes then gathers.
+    let mut dense: HashMap<ReqId, usize> = HashMap::new();
+    let mut rid: Vec<ReqId> = Vec::new();
+    for id in write_args.keys() {
+        dense.insert(*id, rid.len());
+        rid.push(*id);
+    }
+    for g in &gathers {
+        let id = (g.node, g.index);
+        if dense.insert(id, rid.len()).is_some() {
+            return Err(CausalViolation::DuplicateRequest {
+                observer: NodeId(g.node),
+                id,
+            });
+        }
+        rid.push(id);
+    }
+    let r = rid.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); r];
+    let mut edge_count = 0usize;
+    // Program order: per node, sort request ids by index and chain them.
+    let mut per_node: Vec<Vec<(u32, usize)>> = vec![Vec::new(); n];
+    for (i, &(node, index)) in rid.iter().enumerate() {
+        per_node[node as usize].push((index, i));
+    }
+    for list in &mut per_node {
+        list.sort_unstable();
+        for w in list.windows(2) {
+            adj[w[0].1].push(w[1].1);
+            edge_count += 1;
+        }
+    }
+    // Write → gather edges.
+    for g in &gathers {
+        let gi = dense[&(g.node, g.index)];
+        for (x, &ix) in g.recent.iter().enumerate() {
+            if ix >= 0 {
+                let wi = dense[&(x as u32, ix as u32)];
+                adj[wi].push(gi);
+                edge_count += 1;
+            }
+        }
+    }
+    // Topological order (Kahn) + ancestor bitsets.
+    let mut indeg = vec![0usize; r];
+    for targets in &adj {
+        for &t in targets {
+            indeg[t] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..r).filter(|&i| indeg[i] == 0).collect();
+    let words = r.div_ceil(64);
+    let mut anc: Vec<Vec<u64>> = vec![vec![0u64; words]; r];
+    let mut topo_seen = 0usize;
+    let mut head = 0usize;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        topo_seen += 1;
+        for &t in &adj[v].clone() {
+            // ancestors(t) |= ancestors(v) ∪ {v}
+            let (av, at) = if v < t {
+                let (lo, hi) = anc.split_at_mut(t);
+                (&lo[v], &mut hi[0])
+            } else {
+                let (lo, hi) = anc.split_at_mut(v);
+                (&hi[0], &mut lo[t])
+            };
+            for w in 0..words {
+                at[w] |= av[w];
+            }
+            at[v / 64] |= 1u64 << (v % 64);
+            indeg[t] -= 1;
+            if indeg[t] == 0 {
+                queue.push(t);
+            }
+        }
+    }
+    if topo_seen != r {
+        return Err(CausalViolation::CausalCycle);
+    }
+    let reaches = |a: usize, b: usize| -> bool { anc[b][a / 64] >> (a % 64) & 1 == 1 };
+
+    // ---- 4. per-node serializations ----
+    // Missing writes appended in causal topological order (queue order
+    // restricted to writes works: `queue` is a topological order of the
+    // whole DAG).
+    let topo_order = queue;
+    let mut checked_pairs = 0u64;
+    for (u, log) in logs.iter().enumerate() {
+        // Serialization S: gwlog (log order) then missing writes.
+        let mut s: Vec<usize> = Vec::with_capacity(r);
+        let mut present = vec![false; r];
+        for entry in log {
+            let id = match entry {
+                GhostReq::Write(w) => (w.node.0, w.index),
+                GhostReq::Combine { node, index, .. } => (node.0, *index),
+            };
+            let di = dense[&id];
+            s.push(di);
+            present[di] = true;
+        }
+        for &v in &topo_order {
+            let (node, _) = rid[v];
+            let is_write = write_args.contains_key(&rid[v]);
+            // pruned(A, u): all writes + u's own gathers.
+            if !present[v] && (is_write || node as usize == u) {
+                s.push(v);
+                present[v] = true;
+            }
+        }
+        // Respect ⤳: no later element may causally precede an earlier
+        // one.
+        for i in 0..s.len() {
+            for j in i + 1..s.len() {
+                checked_pairs += 1;
+                if reaches(s[j], s[i]) {
+                    return Err(CausalViolation::OrderViolation {
+                        observer: NodeId(u as u32),
+                        first: rid[s[j]],
+                        second: rid[s[i]],
+                    });
+                }
+            }
+        }
+    }
+
+    Ok(CausalReport {
+        writes: write_args.len(),
+        gathers: gathers.len(),
+        causal_edges: edge_count,
+        checked_pairs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oat_core::agg::SumI64;
+    use oat_core::ghost::{GhostReq, WriteRec};
+
+    fn w(node: u32, index: u32, arg: i64) -> GhostReq<i64> {
+        GhostReq::Write(WriteRec {
+            node: NodeId(node),
+            index,
+            arg,
+        })
+    }
+
+    fn c(node: u32, index: u32, retval: i64) -> GhostReq<i64> {
+        GhostReq::Combine {
+            node: NodeId(node),
+            index,
+            retval,
+        }
+    }
+
+    #[test]
+    fn empty_history_is_causal() {
+        let logs: Vec<Vec<GhostReq<i64>>> = vec![vec![], vec![]];
+        let rep = check_causal(&SumI64, &logs).unwrap();
+        assert_eq!(rep.writes, 0);
+        assert_eq!(rep.gathers, 0);
+    }
+
+    #[test]
+    fn simple_consistent_history() {
+        // Node 0 writes 5; node 1 sees it and combines to 5.
+        let logs = vec![vec![w(0, 0, 5)], vec![w(0, 0, 5), c(1, 0, 5)]];
+        let rep = check_causal(&SumI64, &logs).unwrap();
+        assert_eq!(rep.writes, 1);
+        assert_eq!(rep.gathers, 1);
+    }
+
+    #[test]
+    fn combine_that_misses_unseen_writes_is_still_causal() {
+        // Node 1 combines before learning node 0's write: fine causally.
+        let logs = vec![vec![w(0, 0, 5)], vec![c(1, 0, 0), w(0, 0, 5)]];
+        assert!(check_causal(&SumI64, &logs).is_ok());
+    }
+
+    #[test]
+    fn detects_value_mismatch() {
+        // Node 1's combine claims 7 but its log says the sum is 5.
+        let logs = vec![vec![w(0, 0, 5)], vec![w(0, 0, 5), c(1, 0, 7)]];
+        let err = check_causal(&SumI64, &logs).unwrap_err();
+        assert!(matches!(err, CausalViolation::ValueMismatch { .. }));
+    }
+
+    #[test]
+    fn detects_write_arg_mismatch() {
+        let logs = vec![vec![w(0, 0, 5)], vec![w(0, 0, 6)]];
+        let err = check_causal(&SumI64, &logs).unwrap_err();
+        assert!(matches!(err, CausalViolation::WriteArgMismatch { .. }));
+    }
+
+    #[test]
+    fn detects_program_order_violation() {
+        // Node 1's log holds node 0's writes out of index order: the
+        // serialization would put (0,1) before (0,0).
+        let logs = vec![
+            vec![w(0, 0, 1), w(0, 1, 2)],
+            vec![w(0, 1, 2), w(0, 0, 1)],
+        ];
+        let err = check_causal(&SumI64, &logs).unwrap_err();
+        assert!(
+            matches!(err, CausalViolation::OrderViolation { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn detects_causality_through_gathers() {
+        // Node 1 gathers node 0's write (so write(0,0) ⤳ gather(1,0)),
+        // then writes. Node 2 sees node 1's write but places node 0's
+        // write after it — violating write(0,0) ⤳ write(1,1).
+        let logs = vec![
+            vec![w(0, 0, 5)],
+            vec![w(0, 0, 5), c(1, 0, 5), w(1, 1, 3)],
+            vec![w(1, 1, 3), w(0, 0, 5)],
+        ];
+        let err = check_causal(&SumI64, &logs).unwrap_err();
+        assert!(
+            matches!(err, CausalViolation::OrderViolation { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn missing_writes_are_appended_consistently() {
+        // Node 2 never saw anything; its serialization appends all
+        // writes in topological order — must pass.
+        let logs = vec![
+            vec![w(0, 0, 5)],
+            vec![w(0, 0, 5), c(1, 0, 5), w(1, 1, 3)],
+            vec![],
+        ];
+        let rep = check_causal(&SumI64, &logs).unwrap();
+        assert_eq!(rep.writes, 2);
+    }
+
+    #[test]
+    fn duplicate_request_detected() {
+        let logs = vec![vec![w(0, 0, 5), w(0, 0, 5)]];
+        let err = check_causal(&SumI64, &logs).unwrap_err();
+        assert!(matches!(err, CausalViolation::DuplicateRequest { .. }));
+    }
+}

@@ -1,0 +1,42 @@
+//! # oat-consistency — strict and causal consistency checkers
+//!
+//! The paper evaluates lease-based aggregation along two consistency
+//! axes:
+//!
+//! * **Strict consistency** (Section 2): every combine returns
+//!   `f(A(σ,q))`, the aggregate over the most recent write per node.
+//!   Lemma 3.12: *any* lease-based algorithm provides it in sequential
+//!   executions. [`strict`] implements the oracle check.
+//! * **Causal consistency** (Section 5): in concurrent executions, the
+//!   execution history must be *compatible* with a causally consistent
+//!   gather-write history. Theorem 4: any lease-based algorithm provides
+//!   it. [`causal`] rebuilds the gather-write logs (`gwlog`, `gwlog'`)
+//!   from the mechanism's ghost logs and validates:
+//!
+//!   1. **value compatibility** — each combine's returned value equals
+//!      `f` over the writes its gather counterpart reports (`I1` of
+//!      Lemma 5.5),
+//!   2. **write-log coherence** — all nodes agree on the argument of
+//!      every write `(node, index)`,
+//!   3. **serialization** — each node's `gwlog'` contains every write of
+//!      the execution exactly once plus all of the node's gathers, and
+//!   4. **causal order** — the serialization respects `⤳` (program
+//!      order plus write→gather edges, transitively; Lemma 5.10).
+//!
+//! [`sequential`] additionally provides a *sequential-consistency*
+//! checker (a notion strictly between the paper's two): lease-based
+//! algorithms do **not** guarantee it concurrently, and the test suite
+//! constructs the separating execution — the reason Section 5 targets
+//! causal consistency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod causal;
+pub mod sequential;
+pub mod sequential_brute;
+pub mod strict;
+
+pub use causal::{check_causal, CausalReport, CausalViolation};
+pub use sequential::{check_sequentially_consistent, own_histories, OwnOp};
+pub use strict::{check_strict_sequential, StrictViolation};

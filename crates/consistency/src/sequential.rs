@@ -1,0 +1,222 @@
+//! Sequential-consistency checker — and why the paper doesn't promise it.
+//!
+//! *Sequential consistency* for the aggregation problem: a single total
+//! order of **all** requests, respecting each node's program order, in
+//! which every combine returns `f` over the most recent writes. It sits
+//! strictly between the paper's two notions: strict consistency implies
+//! it, and it implies causal consistency.
+//!
+//! Lease-based algorithms provide it in sequential executions (where
+//! they are even strictly consistent, Lemma 3.12) but **not** in
+//! concurrent ones: two readers on opposite sides of a tree can observe
+//! two independent writes in opposite orders — each view is causally
+//! fine, but no single total order explains both. The test suite
+//! constructs such an execution deterministically, which is precisely
+//! why Section 5 targets causal consistency.
+//!
+//! The checker does a memoized backtracking search over interleavings of
+//! the per-node request sequences. The key observation keeping the state
+//! small: a node's local value is determined by how many of *its own*
+//! writes have been placed, so the search state is just the vector of
+//! per-node positions.
+
+use oat_core::agg::AggOp;
+use oat_core::ghost::GhostReq;
+use std::collections::HashSet;
+
+/// One request of a node's own program, with the data the checker needs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OwnOp<V> {
+    /// A write of this value at this node.
+    Write(V),
+    /// A combine at this node that returned this value.
+    Combine(V),
+}
+
+/// Extracts each node's own request sequence (program order) from the
+/// ghost logs: node `u`'s own writes and combines, in index order.
+pub fn own_histories<V: Clone>(logs: &[Vec<GhostReq<V>>]) -> Vec<Vec<OwnOp<V>>> {
+    logs.iter()
+        .enumerate()
+        .map(|(u, log)| {
+            let mut ops: Vec<(u32, OwnOp<V>)> = Vec::new();
+            for e in log {
+                match e {
+                    GhostReq::Write(w) if w.node.idx() == u => {
+                        ops.push((w.index, OwnOp::Write(w.arg.clone())));
+                    }
+                    GhostReq::Combine {
+                        node,
+                        index,
+                        retval,
+                    } if node.idx() == u => {
+                        ops.push((*index, OwnOp::Combine(retval.clone())));
+                    }
+                    _ => {}
+                }
+            }
+            ops.sort_by_key(|(i, _)| *i);
+            ops.into_iter().map(|(_, op)| op).collect()
+        })
+        .collect()
+}
+
+/// Searches for a witness total order: a sequence of `(node, op index)`
+/// pairs covering every request, respecting program order, in which each
+/// combine's recorded value equals `f` over the then-current local
+/// values. `None` when no such order exists (the history is **not**
+/// sequentially consistent).
+pub fn check_sequentially_consistent<A: AggOp>(
+    op: &A,
+    histories: &[Vec<OwnOp<A::Value>>],
+) -> Option<Vec<(usize, usize)>> {
+    let n = histories.len();
+    let total: usize = histories.iter().map(Vec::len).sum();
+    let mut pos = vec![0u32; n];
+    let mut vals: Vec<A::Value> = (0..n).map(|_| op.identity()).collect();
+    let mut witness: Vec<(usize, usize)> = Vec::with_capacity(total);
+    let mut dead: HashSet<Vec<u32>> = HashSet::new();
+
+    fn dfs<A: AggOp>(
+        op: &A,
+        histories: &[Vec<OwnOp<A::Value>>],
+        pos: &mut Vec<u32>,
+        vals: &mut Vec<A::Value>,
+        witness: &mut Vec<(usize, usize)>,
+        dead: &mut HashSet<Vec<u32>>,
+        remaining: usize,
+    ) -> bool {
+        if remaining == 0 {
+            return true;
+        }
+        if dead.contains(pos) {
+            return false;
+        }
+        for u in 0..histories.len() {
+            let p = pos[u] as usize;
+            let Some(next) = histories[u].get(p) else {
+                continue;
+            };
+            match next {
+                OwnOp::Write(v) => {
+                    let prev = std::mem::replace(&mut vals[u], v.clone());
+                    pos[u] += 1;
+                    witness.push((u, p));
+                    if dfs(op, histories, pos, vals, witness, dead, remaining - 1) {
+                        return true;
+                    }
+                    witness.pop();
+                    pos[u] -= 1;
+                    vals[u] = prev;
+                }
+                OwnOp::Combine(ret) => {
+                    if op.fold(vals.iter()) == *ret {
+                        pos[u] += 1;
+                        witness.push((u, p));
+                        if dfs(op, histories, pos, vals, witness, dead, remaining - 1) {
+                            return true;
+                        }
+                        witness.pop();
+                        pos[u] -= 1;
+                    }
+                }
+            }
+        }
+        dead.insert(pos.clone());
+        false
+    }
+
+    if dfs(op, histories, &mut pos, &mut vals, &mut witness, &mut dead, total) {
+        Some(witness)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oat_core::agg::SumI64;
+
+    #[test]
+    fn trivially_consistent_history() {
+        // n0 writes 5, n1 reads 5.
+        let histories = vec![
+            vec![OwnOp::Write(5i64)],
+            vec![OwnOp::Combine(5)],
+        ];
+        let w = check_sequentially_consistent(&SumI64, &histories).expect("SC");
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0], (0, 0), "write must precede the read of 5");
+    }
+
+    #[test]
+    fn read_of_zero_orders_before_write() {
+        let histories = vec![
+            vec![OwnOp::Write(5i64)],
+            vec![OwnOp::Combine(0)],
+        ];
+        let w = check_sequentially_consistent(&SumI64, &histories).expect("SC");
+        assert_eq!(w[0], (1, 0), "the 0-read precedes the write");
+    }
+
+    #[test]
+    fn opposite_observations_are_not_sc() {
+        // The IRIW pattern: writer A (1), writer B (2); reader C saw only
+        // A (combine = 1), reader D saw only B (combine = 2). Causally
+        // fine, sequentially impossible.
+        let histories = vec![
+            vec![OwnOp::Write(1i64)],
+            vec![OwnOp::Write(2)],
+            vec![OwnOp::Combine(1)],
+            vec![OwnOp::Combine(2)],
+        ];
+        assert!(check_sequentially_consistent(&SumI64, &histories).is_none());
+    }
+
+    #[test]
+    fn program_order_is_respected() {
+        // n0: write 1 then write 3; n1 read 3 then read 1 — the second
+        // read would need the first write *after* the second. Not SC.
+        let histories = vec![
+            vec![OwnOp::Write(1i64), OwnOp::Write(3)],
+            vec![OwnOp::Combine(3), OwnOp::Combine(1)],
+        ];
+        assert!(check_sequentially_consistent(&SumI64, &histories).is_none());
+        // The reverse reader is fine.
+        let histories = vec![
+            vec![OwnOp::Write(1i64), OwnOp::Write(3)],
+            vec![OwnOp::Combine(1), OwnOp::Combine(3)],
+        ];
+        assert!(check_sequentially_consistent(&SumI64, &histories).is_some());
+    }
+
+    #[test]
+    fn witness_replays_to_the_recorded_values() {
+        let histories = vec![
+            vec![OwnOp::Write(2i64), OwnOp::Combine(7)],
+            vec![OwnOp::Write(5)],
+            vec![OwnOp::Combine(2)],
+        ];
+        let w = check_sequentially_consistent(&SumI64, &histories).expect("SC");
+        // Replay the witness and re-check every combine.
+        let mut vals = [0i64; 3];
+        for (u, i) in w {
+            match &histories[u][i] {
+                OwnOp::Write(v) => vals[u] = *v,
+                OwnOp::Combine(ret) => {
+                    assert_eq!(vals.iter().sum::<i64>(), *ret);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_histories() {
+        let histories: Vec<Vec<OwnOp<i64>>> = vec![vec![], vec![]];
+        assert_eq!(
+            check_sequentially_consistent(&SumI64, &histories),
+            Some(vec![])
+        );
+    }
+}

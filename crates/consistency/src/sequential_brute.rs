@@ -1,0 +1,93 @@
+//! Brute-force oracle for the sequential-consistency checker (test
+//! support).
+//!
+//! Enumerates *every* interleaving of the per-node histories by
+//! unmemoized recursion and reports whether any satisfies all combines.
+//! Exponential — only usable on tiny instances — but a completely
+//! independent implementation, so agreement with the memoized
+//! [`crate::sequential::check_sequentially_consistent`] on random small
+//! histories is strong evidence both are right.
+
+use crate::sequential::OwnOp;
+use oat_core::agg::AggOp;
+
+/// Exhaustive check by plain enumeration (no memoization, no pruning
+/// order tricks). Returns whether any witness order exists.
+pub fn brute_force_sc<A: AggOp>(op: &A, histories: &[Vec<OwnOp<A::Value>>]) -> bool {
+    fn rec<A: AggOp>(
+        op: &A,
+        histories: &[Vec<OwnOp<A::Value>>],
+        pos: &mut Vec<usize>,
+        vals: &mut Vec<A::Value>,
+        remaining: usize,
+    ) -> bool {
+        if remaining == 0 {
+            return true;
+        }
+        for u in 0..histories.len() {
+            let Some(next) = histories[u].get(pos[u]) else {
+                continue;
+            };
+            match next {
+                OwnOp::Write(v) => {
+                    let prev = std::mem::replace(&mut vals[u], v.clone());
+                    pos[u] += 1;
+                    if rec(op, histories, pos, vals, remaining - 1) {
+                        return true;
+                    }
+                    pos[u] -= 1;
+                    vals[u] = prev;
+                }
+                OwnOp::Combine(ret) => {
+                    if op.fold(vals.iter()) == *ret {
+                        pos[u] += 1;
+                        if rec(op, histories, pos, vals, remaining - 1) {
+                            return true;
+                        }
+                        pos[u] -= 1;
+                    }
+                }
+            }
+        }
+        false
+    }
+    let n = histories.len();
+    let total: usize = histories.iter().map(Vec::len).sum();
+    let mut pos = vec![0usize; n];
+    let mut vals: Vec<A::Value> = (0..n).map(|_| op.identity()).collect();
+    rec(op, histories, &mut pos, &mut vals, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::check_sequentially_consistent;
+    use oat_core::agg::SumI64;
+    use proptest::prelude::*;
+
+    fn tiny_histories() -> impl Strategy<Value = Vec<Vec<OwnOp<i64>>>> {
+        // 2-3 nodes, up to 3 ops each, small value/result domains so
+        // both satisfiable and unsatisfiable instances occur often.
+        proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![
+                    (0i64..4).prop_map(OwnOp::Write),
+                    (0i64..8).prop_map(OwnOp::Combine),
+                ],
+                0..=3,
+            ),
+            2..=3,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn memoized_checker_agrees_with_brute_force(h in tiny_histories()) {
+            let fast = check_sequentially_consistent(&SumI64, &h).is_some();
+            let slow = brute_force_sc(&SumI64, &h);
+            prop_assert_eq!(fast, slow, "{:?}", h);
+        }
+    }
+}

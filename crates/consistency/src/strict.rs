@@ -1,0 +1,130 @@
+//! Strict-consistency oracle for sequential executions.
+//!
+//! Section 2: an algorithm is strictly consistent on `σ` when every
+//! combine `q` returns `f(A(σ,q))` — the operator folded over the most
+//! recent write at each node preceding `q` (nodes never written
+//! contribute the identity, i.e. their initial local value).
+//!
+//! Lemma 3.12 proves every lease-based algorithm is *nice* (strictly
+//! consistent in sequential executions); this module checks that claim on
+//! real runs.
+
+use oat_core::agg::AggOp;
+use oat_core::request::{ReqOp, Request};
+use oat_core::tree::Tree;
+
+/// A combine that returned the wrong value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StrictViolation<V> {
+    /// Index of the offending combine in the request sequence.
+    pub request_index: usize,
+    /// Value the algorithm returned.
+    pub got: V,
+    /// Value strict consistency requires.
+    pub expected: V,
+}
+
+/// Replays `seq` against an oracle of per-node last writes and validates
+/// every `(request index, value)` pair in `combines` (as produced by
+/// `oat_sim::run_sequential`).
+///
+/// Returns all violations (empty = strictly consistent).
+///
+/// ```
+/// use oat_core::{agg::SumI64, request::Request, tree::{NodeId, Tree}};
+/// use oat_consistency::check_strict_sequential;
+///
+/// let tree = Tree::pair();
+/// let seq = vec![Request::write(NodeId(0), 5), Request::combine(NodeId(1))];
+/// // A run that returned 5 is strict; one that returned 4 is not.
+/// assert!(check_strict_sequential(&SumI64, &tree, &seq, &[(1, 5)]).is_empty());
+/// assert_eq!(check_strict_sequential(&SumI64, &tree, &seq, &[(1, 4)]).len(), 1);
+/// ```
+pub fn check_strict_sequential<A: AggOp>(
+    op: &A,
+    tree: &Tree,
+    seq: &[Request<A::Value>],
+    combines: &[(usize, A::Value)],
+) -> Vec<StrictViolation<A::Value>> {
+    let mut vals: Vec<A::Value> = (0..tree.len()).map(|_| op.identity()).collect();
+    let mut expected_at = Vec::with_capacity(combines.len());
+    for (i, q) in seq.iter().enumerate() {
+        match &q.op {
+            ReqOp::Write(arg) => vals[q.node.idx()] = arg.clone(),
+            ReqOp::Combine => {
+                expected_at.push((i, op.fold(vals.iter())));
+            }
+        }
+    }
+    let mut violations = Vec::new();
+    assert_eq!(
+        expected_at.len(),
+        combines.len(),
+        "one recorded result per combine request"
+    );
+    for ((ei, expected), (gi, got)) in expected_at.iter().zip(combines) {
+        assert_eq!(ei, gi, "combine results must align with combine requests");
+        if got != expected {
+            violations.push(StrictViolation {
+                request_index: *gi,
+                got: got.clone(),
+                expected: expected.clone(),
+            });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oat_core::agg::SumI64;
+    use oat_core::tree::NodeId;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn accepts_correct_results() {
+        let tree = Tree::path(3);
+        let seq = vec![
+            Request::write(n(0), 5),
+            Request::combine(n(2)),
+            Request::write(n(1), 3),
+            Request::combine(n(0)),
+        ];
+        let combines = vec![(1usize, 5i64), (3, 8)];
+        assert!(check_strict_sequential(&SumI64, &tree, &seq, &combines).is_empty());
+    }
+
+    #[test]
+    fn detects_stale_read() {
+        let tree = Tree::path(3);
+        let seq = vec![
+            Request::write(n(0), 5),
+            Request::combine(n(2)),
+            Request::write(n(0), 7),
+            Request::combine(n(2)),
+        ];
+        // Second combine returns the stale 5.
+        let combines = vec![(1usize, 5i64), (3, 5)];
+        let v = check_strict_sequential(&SumI64, &tree, &seq, &combines);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].request_index, 3);
+        assert_eq!(v[0].expected, 7);
+        assert_eq!(v[0].got, 5);
+    }
+
+    #[test]
+    fn overwrites_supersede() {
+        let tree = Tree::pair();
+        let seq = vec![
+            Request::write(n(0), 1),
+            Request::write(n(0), 10),
+            Request::combine(n(1)),
+        ];
+        let combines = vec![(2usize, 10i64)];
+        assert!(check_strict_sequential(&SumI64, &tree, &seq, &combines).is_empty());
+    }
+}

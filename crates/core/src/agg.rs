@@ -1,0 +1,331 @@
+//! Aggregation operators.
+//!
+//! Section 2 of the paper assumes an aggregation operator `⊕` that is
+//! commutative, associative, and has an identity element `0`. The paper
+//! takes values to be reals for concreteness; here the operator is generic
+//! over its value type, so exact integer sums can be used where equality
+//! checking matters (consistency oracles) and floats/min/max/average where
+//! realism matters (examples).
+//!
+//! The *aggregate value* over a set of nodes is `⊕` folded over their local
+//! values; the *global aggregate value* folds over all nodes of the tree.
+
+use std::fmt;
+
+/// A commutative, associative aggregation operator with identity.
+///
+/// Implementations must satisfy, for all `a`, `b`, `c`:
+///
+/// * `combine(a, identity()) == a` (identity),
+/// * `combine(a, b) == combine(b, a)` (commutativity),
+/// * `combine(combine(a, b), c) == combine(a, combine(b, c))`
+///   (associativity).
+///
+/// These are checked by property tests in this module for every shipped
+/// operator.
+///
+/// Implementing a custom operator:
+///
+/// ```
+/// use oat_core::agg::AggOp;
+///
+/// /// Greatest common divisor (gcd(0, x) = x, so 0 is the identity).
+/// #[derive(Clone)]
+/// struct Gcd;
+///
+/// impl AggOp for Gcd {
+///     type Value = u64;
+///     fn identity(&self) -> u64 { 0 }
+///     fn combine(&self, a: &u64, b: &u64) -> u64 {
+///         let (mut a, mut b) = (*a, *b);
+///         while b != 0 { (a, b) = (b, a % b); }
+///         a
+///     }
+///     fn name(&self) -> &'static str { "gcd" }
+/// }
+///
+/// assert_eq!(Gcd.fold([12u64, 18, 30].iter()), 6);
+/// ```
+pub trait AggOp: Clone + Send + Sync + 'static {
+    /// The value domain of the operator.
+    type Value: Clone + PartialEq + fmt::Debug + Send + Sync + 'static;
+
+    /// The identity element `0` of `⊕`.
+    fn identity(&self) -> Self::Value;
+
+    /// `a ⊕ b`.
+    fn combine(&self, a: &Self::Value, b: &Self::Value) -> Self::Value;
+
+    /// Human-readable operator name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Folds `⊕` over an iterator of values (the paper's `f(A)`).
+    fn fold<'a, I>(&self, values: I) -> Self::Value
+    where
+        I: IntoIterator<Item = &'a Self::Value>,
+        Self::Value: 'a,
+    {
+        let mut acc = self.identity();
+        for v in values {
+            acc = self.combine(&acc, v);
+        }
+        acc
+    }
+}
+
+/// Exact integer sum. Wrapping arithmetic keeps the operator total (and
+/// still a commutative monoid) even under adversarial inputs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SumI64;
+
+impl AggOp for SumI64 {
+    type Value = i64;
+    fn identity(&self) -> i64 {
+        0
+    }
+    fn combine(&self, a: &i64, b: &i64) -> i64 {
+        a.wrapping_add(*b)
+    }
+    fn name(&self) -> &'static str {
+        "sum(i64)"
+    }
+}
+
+/// Floating-point sum (the paper's concrete instantiation).
+///
+/// Floating-point addition is not exactly associative; this operator is
+/// intended for examples and demos, not for consistency oracles.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SumF64;
+
+impl AggOp for SumF64 {
+    type Value = f64;
+    fn identity(&self) -> f64 {
+        0.0
+    }
+    fn combine(&self, a: &f64, b: &f64) -> f64 {
+        a + b
+    }
+    fn name(&self) -> &'static str {
+        "sum(f64)"
+    }
+}
+
+/// Minimum, with `i64::MAX` as identity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MinI64;
+
+impl AggOp for MinI64 {
+    type Value = i64;
+    fn identity(&self) -> i64 {
+        i64::MAX
+    }
+    fn combine(&self, a: &i64, b: &i64) -> i64 {
+        *a.min(b)
+    }
+    fn name(&self) -> &'static str {
+        "min(i64)"
+    }
+}
+
+/// Maximum, with `i64::MIN` as identity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaxI64;
+
+impl AggOp for MaxI64 {
+    type Value = i64;
+    fn identity(&self) -> i64 {
+        i64::MIN
+    }
+    fn combine(&self, a: &i64, b: &i64) -> i64 {
+        *a.max(b)
+    }
+    fn name(&self) -> &'static str {
+        "max(i64)"
+    }
+}
+
+/// Saturating count of events (writes contribute their argument).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountU64;
+
+impl AggOp for CountU64 {
+    type Value = u64;
+    fn identity(&self) -> u64 {
+        0
+    }
+    fn combine(&self, a: &u64, b: &u64) -> u64 {
+        a.saturating_add(*b)
+    }
+    fn name(&self) -> &'static str {
+        "count(u64)"
+    }
+}
+
+/// Logical OR (e.g. "is any node unhealthy?").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BoolOr;
+
+impl AggOp for BoolOr {
+    type Value = bool;
+    fn identity(&self) -> bool {
+        false
+    }
+    fn combine(&self, a: &bool, b: &bool) -> bool {
+        *a || *b
+    }
+    fn name(&self) -> &'static str {
+        "or(bool)"
+    }
+}
+
+/// A `(sum, count)` pair supporting exact averages over integer samples.
+///
+/// The mean is `sum / count`; the identity contributes nothing. A node that
+/// has never written holds the identity and therefore does not bias the
+/// average — matching how aggregation frameworks treat absent samples.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MeanValue {
+    /// Sum of samples.
+    pub sum: i64,
+    /// Number of samples.
+    pub count: u64,
+}
+
+impl MeanValue {
+    /// A single sample.
+    pub fn sample(v: i64) -> Self {
+        MeanValue { sum: v, count: 1 }
+    }
+
+    /// The mean, or `None` when no samples contributed.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+/// Average operator over [`MeanValue`] pairs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AvgI64;
+
+impl AggOp for AvgI64 {
+    type Value = MeanValue;
+    fn identity(&self) -> MeanValue {
+        MeanValue::default()
+    }
+    fn combine(&self, a: &MeanValue, b: &MeanValue) -> MeanValue {
+        MeanValue {
+            sum: a.sum.wrapping_add(b.sum),
+            count: a.count.saturating_add(b.count),
+        }
+    }
+    fn name(&self) -> &'static str {
+        "avg(i64)"
+    }
+}
+
+/// Product of two operators, aggregating component-wise.
+///
+/// Useful for computing, e.g., `(min, max)` or `(sum, count)` in a single
+/// pass; the product of commutative monoids is a commutative monoid.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PairOp<A, B>(pub A, pub B);
+
+impl<A: AggOp, B: AggOp> AggOp for PairOp<A, B> {
+    type Value = (A::Value, B::Value);
+    fn identity(&self) -> Self::Value {
+        (self.0.identity(), self.1.identity())
+    }
+    fn combine(&self, a: &Self::Value, b: &Self::Value) -> Self::Value {
+        (self.0.combine(&a.0, &b.0), self.1.combine(&a.1, &b.1))
+    }
+    fn name(&self) -> &'static str {
+        "pair"
+    }
+}
+
+/// Checks the three monoid laws on concrete values; used by tests and
+/// exposed so downstream operators can self-check.
+pub fn check_monoid_laws<A: AggOp>(op: &A, a: &A::Value, b: &A::Value, c: &A::Value) -> bool {
+    let id = op.identity();
+    op.combine(a, &id) == *a
+        && op.combine(&id, a) == *a
+        && op.combine(a, b) == op.combine(b, a)
+        && op.combine(&op.combine(a, b), c) == op.combine(a, &op.combine(b, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fold_matches_manual() {
+        let op = SumI64;
+        let vals = [1i64, 2, 3, 4];
+        assert_eq!(op.fold(vals.iter()), 10);
+        assert_eq!(op.fold(std::iter::empty::<&i64>()), 0);
+    }
+
+    #[test]
+    fn mean_value_semantics() {
+        let op = AvgI64;
+        let m = op.combine(&MeanValue::sample(10), &MeanValue::sample(20));
+        assert_eq!(m.mean(), Some(15.0));
+        assert_eq!(op.identity().mean(), None);
+        let with_id = op.combine(&m, &op.identity());
+        assert_eq!(with_id, m);
+    }
+
+    #[test]
+    fn pair_op_componentwise() {
+        let op = PairOp(MinI64, MaxI64);
+        let v = op.combine(&(3, 3), &(7, 7));
+        assert_eq!(v, (3, 7));
+        assert_eq!(op.identity(), (i64::MAX, i64::MIN));
+    }
+
+    proptest! {
+        #[test]
+        fn sum_i64_laws(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
+            prop_assert!(check_monoid_laws(&SumI64, &a, &b, &c));
+        }
+
+        #[test]
+        fn min_max_laws(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
+            prop_assert!(check_monoid_laws(&MinI64, &a, &b, &c));
+            prop_assert!(check_monoid_laws(&MaxI64, &a, &b, &c));
+        }
+
+        #[test]
+        fn count_laws(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+            prop_assert!(check_monoid_laws(&CountU64, &a, &b, &c));
+        }
+
+        #[test]
+        fn bool_or_laws(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
+            prop_assert!(check_monoid_laws(&BoolOr, &a, &b, &c));
+        }
+
+        #[test]
+        fn avg_laws(
+            (s1, c1) in (any::<i64>(), 0u64..1_000_000),
+            (s2, c2) in (any::<i64>(), 0u64..1_000_000),
+            (s3, c3) in (any::<i64>(), 0u64..1_000_000),
+        ) {
+            let a = MeanValue { sum: s1, count: c1 };
+            let b = MeanValue { sum: s2, count: c2 };
+            let c = MeanValue { sum: s3, count: c3 };
+            prop_assert!(check_monoid_laws(&AvgI64, &a, &b, &c));
+        }
+
+        #[test]
+        fn pair_laws(a in any::<(i64, i64)>(), b in any::<(i64, i64)>(), c in any::<(i64, i64)>()) {
+            prop_assert!(check_monoid_laws(&PairOp(SumI64, MinI64), &a, &b, &c));
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Extended aggregation operators for the paper's motivating
+//! applications.
+//!
+//! Section 1 lists system management, service placement, file location,
+//! and sensor queries as aggregation consumers; those need more than
+//! sums: *top-k* (the k most loaded machines), *set membership* (which
+//! services run somewhere below), and *histograms* (load distribution).
+//! Each operator here is a commutative monoid — checked by the same
+//! property tests as the core operators — so the Figure-1 mechanism and
+//! every theorem apply unchanged.
+
+use crate::agg::AggOp;
+
+/// Top-k multiset: keeps the `k` largest values seen, sorted descending.
+///
+/// `⊕` merges two top-k lists and re-truncates; the identity is the
+/// empty list. The value domain is descending-sorted lists of length at
+/// most `k` (singletons from [`TopK::sample`], merges from `⊕`);
+/// associativity holds on that domain because merge-then-truncate keeps
+/// exactly the k largest elements of the combined multiset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TopK {
+    /// How many values to keep.
+    pub k: usize,
+}
+
+impl TopK {
+    /// Top-k operator keeping `k ≥ 1` values.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "top-k needs k >= 1");
+        TopK { k }
+    }
+
+    /// A singleton value (one node's sample).
+    pub fn sample(&self, v: i64) -> Vec<i64> {
+        vec![v]
+    }
+}
+
+impl AggOp for TopK {
+    type Value = Vec<i64>;
+
+    fn identity(&self) -> Vec<i64> {
+        Vec::new()
+    }
+
+    fn combine(&self, a: &Vec<i64>, b: &Vec<i64>) -> Vec<i64> {
+        debug_assert!(a.windows(2).all(|w| w[0] >= w[1]), "inputs sorted desc");
+        debug_assert!(b.windows(2).all(|w| w[0] >= w[1]));
+        let mut out = Vec::with_capacity(self.k.min(a.len() + b.len()));
+        let (mut i, mut j) = (0, 0);
+        while out.len() < self.k && (i < a.len() || j < b.len()) {
+            let take_a = match (a.get(i), b.get(j)) {
+                (Some(x), Some(y)) => x >= y,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!(),
+            };
+            if take_a {
+                out.push(a[i]);
+                i += 1;
+            } else {
+                out.push(b[j]);
+                j += 1;
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "top-k(i64)"
+    }
+}
+
+/// Bitwise-OR set union over up to 64 element ids (e.g. "which of these
+/// 64 services is running somewhere in the subtree?").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BitsetUnion;
+
+impl BitsetUnion {
+    /// A singleton set containing element `id < 64`.
+    pub fn singleton(id: u8) -> u64 {
+        assert!(id < 64);
+        1u64 << id
+    }
+}
+
+impl AggOp for BitsetUnion {
+    type Value = u64;
+    fn identity(&self) -> u64 {
+        0
+    }
+    fn combine(&self, a: &u64, b: &u64) -> u64 {
+        a | b
+    }
+    fn name(&self) -> &'static str {
+        "bitset-union"
+    }
+}
+
+/// Fixed-bucket histogram over `B` buckets (element-wise counter sums).
+///
+/// Bucketing of raw samples happens at the writer via
+/// [`Histogram::bucketize`]; the aggregate is the per-bucket count
+/// vector, whose `⊕` is element-wise saturating addition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Histogram<const B: usize> {
+    /// Lower bound of bucket 0.
+    pub min: i64,
+    /// Width of each bucket (the last bucket absorbs overflow).
+    pub width: i64,
+}
+
+impl<const B: usize> Histogram<B> {
+    /// New histogram operator; `width ≥ 1`.
+    pub fn new(min: i64, width: i64) -> Self {
+        assert!(width >= 1, "bucket width must be positive");
+        assert!(B >= 1, "need at least one bucket");
+        Histogram { min, width }
+    }
+
+    /// Converts one raw sample into a histogram value (a one-hot count
+    /// vector); out-of-range samples clamp to the boundary buckets.
+    pub fn bucketize(&self, sample: i64) -> [u64; B] {
+        let mut v = [0u64; B];
+        let idx = if sample < self.min {
+            0
+        } else {
+            (((sample - self.min) / self.width) as usize).min(B - 1)
+        };
+        v[idx] = 1;
+        v
+    }
+}
+
+impl<const B: usize> AggOp for Histogram<B> {
+    type Value = [u64; B];
+
+    fn identity(&self) -> [u64; B] {
+        [0; B]
+    }
+
+    fn combine(&self, a: &[u64; B], b: &[u64; B]) -> [u64; B] {
+        let mut out = [0u64; B];
+        for i in 0..B {
+            out[i] = a[i].saturating_add(b[i]);
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "histogram"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::check_monoid_laws;
+    use proptest::prelude::*;
+
+    #[test]
+    fn topk_merges_and_truncates() {
+        let op = TopK::new(3);
+        let a = vec![9, 5, 1];
+        let b = vec![7, 6];
+        assert_eq!(op.combine(&a, &b), vec![9, 7, 6]);
+        assert_eq!(op.combine(&a, &op.identity()), a);
+        assert_eq!(op.combine(&op.identity(), &op.identity()), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn topk_with_duplicates() {
+        let op = TopK::new(4);
+        assert_eq!(op.combine(&vec![5, 5], &vec![5, 3]), vec![5, 5, 5, 3]);
+    }
+
+    #[test]
+    fn bitset_union_semantics() {
+        let op = BitsetUnion;
+        let a = BitsetUnion::singleton(3);
+        let b = BitsetUnion::singleton(7);
+        let u = op.combine(&a, &b);
+        assert_eq!(u, (1 << 3) | (1 << 7));
+        assert_eq!(op.combine(&u, &op.identity()), u);
+    }
+
+    #[test]
+    fn histogram_bucketize_and_merge() {
+        let op: Histogram<4> = Histogram::new(0, 10);
+        assert_eq!(op.bucketize(-5), [1, 0, 0, 0]);
+        assert_eq!(op.bucketize(15), [0, 1, 0, 0]);
+        assert_eq!(op.bucketize(999), [0, 0, 0, 1]);
+        let merged = op.combine(&op.bucketize(1), &op.bucketize(15));
+        assert_eq!(merged, [1, 1, 0, 0]);
+    }
+
+    fn sorted_desc(max_len: usize) -> impl Strategy<Value = Vec<i64>> {
+        proptest::collection::vec(-1000i64..1000, 0..=max_len).prop_map(|mut v| {
+            v.sort_unstable_by(|a, b| b.cmp(a));
+            v
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn topk_laws(a in sorted_desc(4), b in sorted_desc(4), c in sorted_desc(4)) {
+            // The domain is lists of length <= k.
+            prop_assert!(check_monoid_laws(&TopK::new(4), &a, &b, &c));
+        }
+
+        #[test]
+        fn bitset_laws(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+            prop_assert!(check_monoid_laws(&BitsetUnion, &a, &b, &c));
+        }
+
+        #[test]
+        fn histogram_laws(
+            a in proptest::array::uniform4(0u64..1_000_000),
+            b in proptest::array::uniform4(0u64..1_000_000),
+            c in proptest::array::uniform4(0u64..1_000_000),
+        ) {
+            let op: Histogram<4> = Histogram::new(0, 5);
+            prop_assert!(check_monoid_laws(&op, &a, &b, &c));
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Ghost state for the causal-consistency analysis (Section 5).
+//!
+//! Section 5.2 augments the mechanism with *ghost actions*: every node `u`
+//! keeps a ghost variable `u.log`, a sequence of the requests `u` knows
+//! about. `u.wlog` is the subsequence of writes. `update` and `response`
+//! messages carry the sender's `wlog`, and the receiver appends the unseen
+//! suffix: `log := log . (wlog_w − log)`.
+//!
+//! These logs exist purely for verification: the consistency checkers in
+//! `oat-consistency` consume them to build the gather-write histories
+//! (`gwlog`, `gwlog'`) of Section 5.3 and validate causal consistency.
+//! Ghost tracking is optional at runtime so that large benchmark runs pay
+//! nothing for it.
+
+use crate::tree::NodeId;
+
+/// A completed `write` request: `(node, index, arg)`.
+///
+/// `index` is the number of requests generated at `node` that completed
+/// before this one (the paper's request `index` field), so `(node, index)`
+/// uniquely identifies a write across the execution.
+#[derive(Clone, Debug, PartialEq, Hash)]
+pub struct WriteRec<V> {
+    /// Node where the write was initiated.
+    pub node: NodeId,
+    /// Per-node completion index.
+    pub index: u32,
+    /// Written value.
+    pub arg: V,
+}
+
+/// An entry of a node's ghost log: a write, or a locally completed combine
+/// together with its return value.
+#[derive(Clone, Debug, PartialEq, Hash)]
+pub enum GhostReq<V> {
+    /// A write request (possibly initiated at another node and learned via
+    /// a piggy-backed `wlog`).
+    Write(WriteRec<V>),
+    /// A combine completed at this node, with its returned global
+    /// aggregate value.
+    Combine {
+        /// Node where the combine was initiated (always the log owner).
+        node: NodeId,
+        /// Per-node completion index.
+        index: u32,
+        /// The returned global aggregate value.
+        retval: V,
+    },
+}
+
+impl<V> GhostReq<V> {
+    /// The write record, if this entry is a write.
+    pub fn as_write(&self) -> Option<&WriteRec<V>> {
+        match self {
+            GhostReq::Write(w) => Some(w),
+            GhostReq::Combine { .. } => None,
+        }
+    }
+}
+
+/// Per-node ghost state: the request log and the completed-request counter
+/// used to assign indices.
+#[derive(Clone, Debug)]
+pub struct GhostState<V> {
+    /// The ghost log `u.log`.
+    pub log: Vec<GhostReq<V>>,
+    /// Number of requests completed at this node (source of `index`).
+    pub completed: u32,
+    /// Membership index over writes already present in `log`, keyed by
+    /// `(node, index)`, so merging a piggy-backed `wlog` is linear.
+    seen_writes: std::collections::HashSet<(u32, u32)>,
+}
+
+impl<V: Clone> GhostState<V> {
+    /// Fresh, empty ghost state.
+    pub fn new() -> Self {
+        GhostState {
+            log: Vec::new(),
+            completed: 0,
+            seen_writes: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Records a local write; returns its record (as appended to the log).
+    pub fn append_local_write(&mut self, node: NodeId, arg: V) -> WriteRec<V> {
+        let rec = WriteRec {
+            node,
+            index: self.completed,
+            arg,
+        };
+        self.completed += 1;
+        self.seen_writes.insert((rec.node.0, rec.index));
+        self.log.push(GhostReq::Write(rec.clone()));
+        rec
+    }
+
+    /// Records a locally completed combine and its return value.
+    pub fn append_local_combine(&mut self, node: NodeId, retval: V) {
+        self.log.push(GhostReq::Combine {
+            node,
+            index: self.completed,
+            retval,
+        });
+        self.completed += 1;
+    }
+
+    /// The write-only projection `u.wlog`, cloned for piggy-backing on an
+    /// outgoing `update` or `response` message.
+    pub fn wlog(&self) -> Vec<WriteRec<V>> {
+        self.log
+            .iter()
+            .filter_map(|e| e.as_write().cloned())
+            .collect()
+    }
+
+    /// The paper's `recentwrites(u.log, ·)` at the current log end: for
+    /// each origin node `0..n`, the index of its most recent write in
+    /// this log, or `-1` when none is known. This is exactly the
+    /// `retval` a `gather` request issued now would return (Section 5.1).
+    pub fn recent_writes(&self, n: usize) -> Vec<i64> {
+        let mut last = vec![-1i64; n];
+        for e in &self.log {
+            if let Some(w) = e.as_write() {
+                last[w.node.idx()] = w.index as i64;
+            }
+        }
+        last
+    }
+
+    /// The ghost merge `log := log . (wlog_w − log)` performed on receipt
+    /// of an `update` or `response` (Section 5.2, `T4`/`T5` line 2).
+    pub fn merge_wlog(&mut self, wlog: &[WriteRec<V>]) {
+        for w in wlog {
+            if self.seen_writes.insert((w.node.0, w.index)) {
+                self.log.push(GhostReq::Write(w.clone()));
+            }
+        }
+    }
+}
+
+impl<V: Clone> Default for GhostState<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn indices_count_completed_requests() {
+        let mut g: GhostState<i64> = GhostState::new();
+        let w0 = g.append_local_write(n(3), 10);
+        assert_eq!(w0.index, 0);
+        g.append_local_combine(n(3), 10);
+        let w1 = g.append_local_write(n(3), 20);
+        assert_eq!(w1.index, 2);
+        assert_eq!(g.completed, 3);
+    }
+
+    #[test]
+    fn wlog_filters_writes_in_order() {
+        let mut g: GhostState<i64> = GhostState::new();
+        g.append_local_write(n(0), 1);
+        g.append_local_combine(n(0), 1);
+        g.append_local_write(n(0), 2);
+        let wl = g.wlog();
+        assert_eq!(wl.len(), 2);
+        assert_eq!(wl[0].arg, 1);
+        assert_eq!(wl[1].arg, 2);
+    }
+
+    #[test]
+    fn recent_writes_tracks_last_index_per_origin() {
+        let mut g: GhostState<i64> = GhostState::new();
+        assert_eq!(g.recent_writes(3), vec![-1, -1, -1]);
+        g.append_local_write(n(1), 5);
+        g.merge_wlog(&[WriteRec { node: n(2), index: 0, arg: 7 }]);
+        g.append_local_write(n(1), 6);
+        assert_eq!(g.recent_writes(3), vec![-1, 1, 0]);
+    }
+
+    #[test]
+    fn merge_appends_only_unseen_suffix() {
+        let mut a: GhostState<i64> = GhostState::new();
+        let mut b: GhostState<i64> = GhostState::new();
+        a.append_local_write(n(0), 1);
+        b.append_local_write(n(1), 5);
+        // b learns a's writes.
+        b.merge_wlog(&a.wlog());
+        assert_eq!(b.log.len(), 2);
+        // Re-merging is idempotent.
+        b.merge_wlog(&a.wlog());
+        assert_eq!(b.log.len(), 2);
+        // Order: b's own write first, then the learned one.
+        assert_eq!(b.log[0].as_write().unwrap().node, n(1));
+        assert_eq!(b.log[1].as_write().unwrap().node, n(0));
+    }
+}

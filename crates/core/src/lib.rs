@@ -1,0 +1,47 @@
+//! # oat-core — Online Aggregation over Trees, core library
+//!
+//! This crate implements the heart of *Online Aggregation over Trees*
+//! (Plaxton, Tiwari, Yalagandula; IPPS 2007):
+//!
+//! * [`tree`] — the tree network topology and its subtree algebra
+//!   (`subtree(u,v)`, *u*-parents, paths),
+//! * [`agg`] — commutative aggregation operators `⊕` with an identity
+//!   element (sum, min, max, count, average, …),
+//! * [`request`] — `combine` / `write` requests, request sequences, and the
+//!   per-ordered-pair projections `σ(u,v)` used throughout the paper's
+//!   competitive analysis,
+//! * [`message`] — the four message kinds exchanged by lease-based
+//!   algorithms (`probe`, `response`, `update`, `release`),
+//! * [`mechanism`] — a faithful transcription of the Figure-1 node
+//!   automaton (transitions `T1`–`T6` plus the helper procedures),
+//!   parameterised by a policy,
+//! * [`policy`] — the policy stubs (`setlease`, `breaklease`, …) and the
+//!   concrete policies: **RWW** (Figure 3), generic **(a,b)** policies,
+//!   and the static baselines (*AlwaysLease* ≈ Astrolabe push-all,
+//!   *NeverLease* ≈ MDS-2 pull-all),
+//! * [`ghost`] — the ghost write-logs of Section 5 used by the causal
+//!   consistency analysis.
+//!
+//! The crate is transport-agnostic: the mechanism consumes incoming
+//! messages and emits outgoing ones into a caller-provided buffer. The
+//! deterministic simulator (`oat-sim`) and the threaded runtime
+//! (`oat-concurrent`) both drive the same automaton.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod agg_ext;
+pub mod ghost;
+pub mod mechanism;
+pub mod message;
+pub mod policy;
+pub mod request;
+pub mod tree;
+
+pub use agg::AggOp;
+pub use mechanism::{CombineOutcome, MechNode};
+pub use message::{Message, MsgKind};
+pub use policy::{NodePolicy, PolicySpec};
+pub use request::{ReqOp, Request};
+pub use tree::{NodeId, Tree};

@@ -1,0 +1,832 @@
+//! The lease-based aggregation mechanism: Figure 1, transcribed.
+//!
+//! A [`MechNode`] is the per-node automaton of Figure 1 (with the ghost
+//! actions of Figure 6 / Section 5.2 available behind a runtime switch).
+//! It is transport-agnostic: the three entry points
+//! [`MechNode::handle_combine`] (`T1`), [`MechNode::handle_write`] (`T2`)
+//! and [`MechNode::handle_message`] (`T3`–`T6`) mutate local state and push
+//! outgoing messages into a caller-provided [`Outbox`]; a driver (the
+//! deterministic simulator in `oat-sim`, or real threads in
+//! `oat-concurrent`) owns the channels.
+//!
+//! ## State (Figure 1, `var` block)
+//!
+//! | paper            | here                  |
+//! |------------------|-----------------------|
+//! | `taken[v]`       | `taken[vi]`           |
+//! | `granted[v]`     | `granted[vi]`         |
+//! | `aval[v]`        | `aval[vi]`            |
+//! | `val`            | `val`                 |
+//! | `uaw[v]`         | `uaw[vi]`             |
+//! | `pndg`           | `pndg`                |
+//! | `snt[w]`         | `snt` (assoc. list keyed by requester node) |
+//! | `upcntr`         | `upcntr`              |
+//! | `sntupdates`     | `sntupdates`          |
+//!
+//! where `vi` is the index of neighbour `v` in the node's sorted neighbour
+//! list. `snt` is keyed by the *requesting* node (`snt[u] := …` in `T1`
+//! indexes by the node itself), which is either the node or one of its
+//! neighbours.
+//!
+//! The policy stubs (underlined in the paper) are dispatched through
+//! [`NodePolicy`].
+
+use crate::agg::AggOp;
+use crate::ghost::GhostState;
+use crate::message::Message;
+use crate::policy::NodePolicy;
+use crate::tree::{NodeId, Tree};
+
+/// Buffer of outgoing `(destination, message)` pairs filled by handlers.
+pub type Outbox<V> = Vec<(NodeId, Message<V>)>;
+
+/// Result of initiating a combine request at a node (`T1`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CombineOutcome<V> {
+    /// All neighbours hold leases toward us: answered locally with the
+    /// global aggregate value (`T1` line 6).
+    Done(V),
+    /// Probes were sent; the combine completes later in `T4`.
+    Pending,
+    /// The node was already in `pndg`: this combine coalesces with the
+    /// in-flight fan-out and completes together with it.
+    Coalesced,
+}
+
+/// A record of a forwarded update: `{node, rcvid, sntid}` (Figure 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SntUpdate {
+    /// Neighbour index the triggering update was received from.
+    pub from: usize,
+    /// Identifier of the received update (in the sender's id space).
+    pub rcvid: u64,
+    /// Identifier of the forwarded updates (in our id space).
+    pub sntid: u64,
+}
+
+/// The per-node automaton of Figure 1.
+pub struct MechNode<P: NodePolicy, A: AggOp> {
+    id: NodeId,
+    nbrs: Vec<NodeId>,
+    op: A,
+    // --- mechanism state (Figure 1 `var` block) ---
+    val: A::Value,
+    taken: Vec<bool>,
+    granted: Vec<bool>,
+    aval: Vec<A::Value>,
+    uaw: Vec<Vec<u64>>,
+    pndg: Vec<NodeId>,
+    snt: Vec<(NodeId, Vec<NodeId>)>,
+    upcntr: u64,
+    sntupdates: Vec<SntUpdate>,
+    /// Pruning watermark per neighbour `w`: every update id we sent to
+    /// `w` *before* `watermark[w]` has been acknowledged (by a release
+    /// from `w`, or because `w`'s lease was granted afresh with an empty
+    /// `uaw`). A future `release(S)` from `w` therefore satisfies
+    /// `min(S) ≥ watermark[w]`, so `sntupdates` tuples with `sntid`
+    /// below every granted neighbour's watermark can never be consulted
+    /// again and are dropped — keeping the ledger `O(degree)` instead of
+    /// `O(history)`. Pure optimisation: behaviour is unchanged (tested).
+    watermark: Vec<u64>,
+    // --- policy + ghost ---
+    policy: P,
+    ghost: Option<GhostState<A::Value>>,
+}
+
+impl<P: NodePolicy + Clone, A: AggOp> Clone for MechNode<P, A> {
+    fn clone(&self) -> Self {
+        MechNode {
+            id: self.id,
+            nbrs: self.nbrs.clone(),
+            op: self.op.clone(),
+            val: self.val.clone(),
+            taken: self.taken.clone(),
+            granted: self.granted.clone(),
+            aval: self.aval.clone(),
+            uaw: self.uaw.clone(),
+            pndg: self.pndg.clone(),
+            snt: self.snt.clone(),
+            upcntr: self.upcntr,
+            sntupdates: self.sntupdates.clone(),
+            watermark: self.watermark.clone(),
+            policy: self.policy.clone(),
+            ghost: self.ghost.clone(),
+        }
+    }
+}
+
+impl<P: NodePolicy + std::hash::Hash, A: AggOp> MechNode<P, A>
+where
+    A::Value: std::hash::Hash,
+{
+    /// Feeds the complete node state (mechanism variables, policy state,
+    /// and ghost log) into a hasher. Used by the model checker to
+    /// deduplicate explored global states; two nodes with equal hashes
+    /// behave identically for every future input (modulo negligible
+    /// collision probability).
+    pub fn hash_state<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        self.id.hash(h);
+        self.val.hash(h);
+        self.taken.hash(h);
+        self.granted.hash(h);
+        self.aval.hash(h);
+        self.uaw.hash(h);
+        self.pndg.hash(h);
+        self.snt.hash(h);
+        self.upcntr.hash(h);
+        for t in &self.sntupdates {
+            (t.from, t.rcvid, t.sntid).hash(h);
+        }
+        self.watermark.hash(h);
+        self.policy.hash(h);
+        if let Some(g) = &self.ghost {
+            g.completed.hash(h);
+            g.log.hash(h);
+        }
+    }
+}
+
+impl<P: NodePolicy, A: AggOp> MechNode<P, A> {
+    /// Creates the node `id` of `tree` with the given operator and policy
+    /// state, in the paper's initial state (all leases down, identity
+    /// values everywhere).
+    pub fn new(tree: &Tree, id: NodeId, op: A, policy: P, ghost: bool) -> Self {
+        let nbrs = tree.nbrs(id).to_vec();
+        let k = nbrs.len();
+        MechNode {
+            id,
+            op: op.clone(),
+            val: op.identity(),
+            taken: vec![false; k],
+            granted: vec![false; k],
+            aval: vec![op.identity(); k],
+            uaw: vec![Vec::new(); k],
+            watermark: vec![0; k],
+            pndg: Vec::new(),
+            snt: Vec::new(),
+            upcntr: 0,
+            sntupdates: Vec::new(),
+            policy,
+            ghost: if ghost { Some(GhostState::new()) } else { None },
+            nbrs,
+        }
+    }
+
+    /// Pre-establishes leases in **both** directions on every incident
+    /// edge, as if a probe/response pass had completed everywhere. This is
+    /// a valid quiescent state (it satisfies Lemmas 3.1 and 3.2 globally
+    /// when applied to all nodes) used to model Astrolabe-style push-all
+    /// operation from time zero.
+    pub fn prewarm_leases(&mut self) {
+        for i in 0..self.nbrs.len() {
+            self.taken[i] = true;
+            self.granted[i] = true;
+        }
+        self.policy.on_prewarm();
+    }
+
+    // ---- small accessors used by drivers, checkers, and tests ----
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Sorted neighbour list.
+    pub fn nbrs(&self) -> &[NodeId] {
+        &self.nbrs
+    }
+
+    /// The local value `val`.
+    pub fn val(&self) -> &A::Value {
+        &self.val
+    }
+
+    /// `taken[v]` by neighbour index.
+    pub fn taken(&self, vi: usize) -> bool {
+        self.taken[vi]
+    }
+
+    /// `granted[v]` by neighbour index.
+    pub fn granted(&self, vi: usize) -> bool {
+        self.granted[vi]
+    }
+
+    /// `aval[v]` by neighbour index.
+    pub fn aval(&self, vi: usize) -> &A::Value {
+        &self.aval[vi]
+    }
+
+    /// `uaw[v]` by neighbour index.
+    pub fn uaw(&self, vi: usize) -> &[u64] {
+        &self.uaw[vi]
+    }
+
+    /// The pending-requester set `pndg`.
+    pub fn pndg(&self) -> &[NodeId] {
+        &self.pndg
+    }
+
+    /// True when every `snt[w]` is empty (quiescence check, Lemma 3.4).
+    pub fn snt_all_empty(&self) -> bool {
+        self.snt.iter().all(|(_, s)| s.is_empty())
+    }
+
+    /// Current `sntupdates` ledger size (bounded-memory tests).
+    pub fn sntupdates_len(&self) -> usize {
+        self.sntupdates.len()
+    }
+
+    /// Immutable access to the policy state (for invariant checks).
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Ghost state, when tracking is enabled.
+    pub fn ghost(&self) -> Option<&GhostState<A::Value>> {
+        self.ghost.as_ref()
+    }
+
+    /// Index of neighbour `v`; panics when not adjacent.
+    pub fn nbr_index(&self, v: NodeId) -> usize {
+        self.nbrs
+            .binary_search(&v)
+            .unwrap_or_else(|_| panic!("{v} is not a neighbour of {}", self.id))
+    }
+
+    // ---- Figure 1 helper functions ----
+
+    /// `tkn()`: indices of neighbours with `taken` set.
+    fn tkn(&self) -> Vec<usize> {
+        (0..self.nbrs.len()).filter(|&i| self.taken[i]).collect()
+    }
+
+    /// `grntd()` is non-empty excluding `except`.
+    fn grntd_nonempty_except(&self, except: Option<usize>) -> bool {
+        self.granted
+            .iter()
+            .enumerate()
+            .any(|(i, &g)| g && Some(i) != except)
+    }
+
+    /// `isgoodforrelease(w)`: `grntd() \ {w} = ∅`.
+    fn is_good_for_release(&self, wi: usize) -> bool {
+        !self.grntd_nonempty_except(Some(wi))
+    }
+
+    /// `sntprobes()`: union of all outstanding probe target sets.
+    fn sntprobes(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self.snt.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// `newid()`.
+    fn newid(&mut self) -> u64 {
+        self.upcntr += 1;
+        self.upcntr
+    }
+
+    /// `gval()`: the global aggregate as known locally.
+    pub fn gval(&self) -> A::Value {
+        let mut x = self.val.clone();
+        for a in &self.aval {
+            x = self.op.combine(&x, a);
+        }
+        x
+    }
+
+    /// `subval(w)`: aggregate over `subtree(self, w)` as known locally.
+    pub fn subval(&self, wi: usize) -> A::Value {
+        let mut x = self.val.clone();
+        for (i, a) in self.aval.iter().enumerate() {
+            if i != wi {
+                x = self.op.combine(&x, a);
+            }
+        }
+        x
+    }
+
+    /// Snapshot of the ghost write-log for piggy-backing, if enabled.
+    fn wlog_snapshot(&self) -> Option<Vec<crate::ghost::WriteRec<A::Value>>> {
+        self.ghost.as_ref().map(|g| g.wlog())
+    }
+
+    /// `sendprobes(w)`: mark `w` pending and probe every neighbour not
+    /// already leased, probed, or equal to `w`.
+    fn send_probes(&mut self, w: NodeId, out: &mut Outbox<A::Value>) {
+        if !self.pndg.contains(&w) {
+            self.pndg.push(w);
+        }
+        let already = self.sntprobes();
+        for (i, &v) in self.nbrs.iter().enumerate() {
+            if self.taken[i] || v == w || already.contains(&v) {
+                continue;
+            }
+            out.push((v, Message::Probe));
+        }
+    }
+
+    /// `forwardupdates(w, id)`: push `subval` to every granted neighbour
+    /// except `exclude`.
+    fn forward_updates(&mut self, exclude: Option<usize>, id: u64, out: &mut Outbox<A::Value>) {
+        let wlog = self.wlog_snapshot();
+        for i in 0..self.nbrs.len() {
+            if self.granted[i] && Some(i) != exclude {
+                out.push((
+                    self.nbrs[i],
+                    Message::Update {
+                        x: self.subval(i),
+                        id,
+                        wlog: wlog.clone(),
+                    },
+                ));
+            }
+        }
+    }
+
+    /// Drops `sntupdates` tuples that can no longer influence any future
+    /// `onrelease`, in two provably-equivalent steps:
+    ///
+    /// 1. **Watermark**: a future `release(S)` from `w` has
+    ///    `min(S) ≥ watermark[w]`, so tuples with `sntid` below every
+    ///    granted neighbour's watermark never match `A` again. With no
+    ///    grants outstanding the whole ledger clears.
+    /// 2. **Stale-β collapse**: for a source `v`, tuples with
+    ///    `rcvid < min(uaw[v])` all produce the same outcome when they
+    ///    win the `β = argmin rcvid` race — "retain all of `uaw[v]`" —
+    ///    and `min(uaw[v])` only grows over time. Keeping just the one
+    ///    with the largest `sntid` (the most likely to qualify for
+    ///    future `A` sets) preserves behaviour exactly.
+    ///
+    /// Together these keep the ledger `O(degree · |uaw|)` instead of
+    /// `O(history)`; the long-run tests pin the bound.
+    fn prune_sntupdates(&mut self) {
+        let min_watermark = (0..self.nbrs.len())
+            .filter(|&i| self.granted[i])
+            .map(|i| self.watermark[i])
+            .min();
+        match min_watermark {
+            Some(wm) => self.sntupdates.retain(|t| t.sntid >= wm),
+            None => {
+                self.sntupdates.clear();
+                return;
+            }
+        }
+        // Per source, the best (max-sntid) stale-β representative.
+        let k = self.nbrs.len();
+        let mut best_stale: Vec<Option<u64>> = vec![None; k];
+        for t in &self.sntupdates {
+            let m = self.uaw[t.from].iter().copied().min().unwrap_or(u64::MAX);
+            if t.rcvid < m {
+                let slot = &mut best_stale[t.from];
+                *slot = Some(slot.map_or(t.sntid, |s: u64| s.max(t.sntid)));
+            }
+        }
+        self.sntupdates.retain(|t| {
+            let m = self.uaw[t.from].iter().copied().min().unwrap_or(u64::MAX);
+            t.rcvid >= m || best_stale[t.from] == Some(t.sntid)
+        });
+    }
+
+    /// `sendresponse(w)`: possibly grant a lease, then reply with
+    /// `subval(w)` and the grant flag.
+    fn send_response(&mut self, wi: usize, out: &mut Outbox<A::Value>) {
+        // if (nbrs() \ {tkn() ∪ {w}} = ∅) → granted[w] := setlease(w)
+        let others_all_taken = (0..self.nbrs.len()).all(|i| i == wi || self.taken[i]);
+        if others_all_taken {
+            self.granted[wi] = self.policy.set_lease(wi);
+            if self.granted[wi] {
+                // A fresh grant starts with an empty uaw at w: nothing
+                // sent before now can come back in a release from w.
+                self.watermark[wi] = self.upcntr + 1;
+            }
+        }
+        out.push((
+            self.nbrs[wi],
+            Message::Response {
+                x: self.subval(wi),
+                flag: self.granted[wi],
+                wlog: self.wlog_snapshot(),
+            },
+        ));
+    }
+
+    /// `forwardrelease()`: break and release every taken lease the policy
+    /// wants to drop, provided no other grant pins it.
+    fn forward_release(&mut self, out: &mut Outbox<A::Value>) {
+        for vi in 0..self.nbrs.len() {
+            if self.taken[vi]
+                && self.is_good_for_release(vi)
+                && self.policy.break_lease(vi)
+            {
+                self.taken[vi] = false;
+                let ids = std::mem::take(&mut self.uaw[vi]);
+                out.push((self.nbrs[vi], Message::Release { ids }));
+            }
+        }
+    }
+
+    /// `onrelease(w, S)`: trim `uaw` sets against the acknowledged update
+    /// ids, consult the release policy, then try to cascade the release.
+    ///
+    /// `S` lists the update ids (in our id space) the releasing neighbour
+    /// `w` never acknowledged; everything we forwarded to `w` with a
+    /// smaller id was acknowledged — i.e. a combine/probe at `w`'s side
+    /// cleared it, which counts as a read of those writes. For each other
+    /// taken neighbour `v`, the surviving `uaw[v]` is therefore the ids
+    /// received from `v` at or after `β.rcvid`, where `β` is the earliest
+    /// still-unacknowledged forward originating from `v`; when no such
+    /// forward exists (`A = ∅`), every update from `v` was acknowledged
+    /// and `uaw[v]` empties.
+    fn on_release(&mut self, wi: usize, s: &[u64], out: &mut Outbox<A::Value>) {
+        // "Let id is the smallest id in S". An empty S (possible for
+        // policies that break before any update flows) matches no tuples.
+        let id_min = s.iter().copied().min().unwrap_or(u64::MAX);
+        for vi in 0..self.nbrs.len() {
+            if vi == wi || !self.taken[vi] {
+                continue;
+            }
+            // A = { α ∈ sntupdates : α.node = v ∧ α.sntid ≥ id }
+            // β = argmin over A of rcvid
+            let beta_rcvid = self
+                .sntupdates
+                .iter()
+                .filter(|t| t.from == vi && t.sntid >= id_min)
+                .map(|t| t.rcvid)
+                .min();
+            match beta_rcvid {
+                // S' = ids in uaw[v] with id ≥ β.rcvid
+                Some(beta) => self.uaw[vi].retain(|&x| x >= beta),
+                None => self.uaw[vi].clear(),
+            }
+            if self.is_good_for_release(vi) {
+                self.policy.release_policy(vi, self.uaw[vi].len());
+            }
+        }
+        self.forward_release(out);
+    }
+
+    // ---- transitions T1–T6 ----
+
+    /// `T1`: a combine request is initiated at this node.
+    pub fn handle_combine(&mut self, out: &mut Outbox<A::Value>) -> CombineOutcome<A::Value> {
+        let tkn = self.tkn();
+        self.policy.on_combine(&tkn);
+        for &v in &tkn {
+            self.uaw[v].clear();
+        }
+        if self.pndg.contains(&self.id) {
+            return CombineOutcome::Coalesced;
+        }
+        let all_taken = tkn.len() == self.nbrs.len();
+        if all_taken {
+            let g = self.gval();
+            if let Some(gh) = self.ghost.as_mut() {
+                gh.append_local_combine(self.id, g.clone());
+            }
+            CombineOutcome::Done(g)
+        } else {
+            // sendprobes(u); snt[u] := nbrs() \ tkn()
+            self.send_probes(self.id, out);
+            let missing: Vec<NodeId> = self
+                .nbrs
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| !self.taken[i])
+                .map(|(_, &v)| v)
+                .collect();
+            self.set_snt(self.id, missing);
+            CombineOutcome::Pending
+        }
+    }
+
+    /// `T2`: a write request with argument `arg` executes at this node.
+    pub fn handle_write(&mut self, arg: A::Value, out: &mut Outbox<A::Value>) {
+        self.val = arg.clone();
+        if let Some(gh) = self.ghost.as_mut() {
+            gh.append_local_write(self.id, arg);
+        }
+        self.policy.on_local_write();
+        if self.grntd_nonempty_except(None) {
+            let id = self.newid();
+            self.forward_updates(None, id, out);
+        }
+    }
+
+    /// `T3`–`T6`: a message arrives from neighbour `from`.
+    ///
+    /// Returns `Some(value)` when a locally initiated combine completes
+    /// during this step (`T4`, `v = u` branch).
+    pub fn handle_message(
+        &mut self,
+        from: NodeId,
+        msg: Message<A::Value>,
+        out: &mut Outbox<A::Value>,
+    ) -> Option<A::Value> {
+        let wi = self.nbr_index(from);
+        match msg {
+            Message::Probe => {
+                self.t3_probe(from, wi, out);
+                None
+            }
+            Message::Response { x, flag, wlog } => self.t4_response(from, wi, x, flag, wlog, out),
+            Message::Update { x, id, wlog } => {
+                self.t5_update(wi, x, id, wlog, out);
+                None
+            }
+            Message::Release { ids } => {
+                self.t6_release(wi, &ids, out);
+                None
+            }
+        }
+    }
+
+    /// `T3`: probe received from `w`.
+    fn t3_probe(&mut self, w: NodeId, wi: usize, out: &mut Outbox<A::Value>) {
+        let tkn = self.tkn();
+        self.policy.on_probe_rcvd(wi, &tkn);
+        for &v in &tkn {
+            if v != wi {
+                self.uaw[v].clear();
+            }
+        }
+        if self.pndg.contains(&w) {
+            return;
+        }
+        // B = nbrs() \ { tkn() ∪ {w} }
+        let b: Vec<NodeId> = self
+            .nbrs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !self.taken[i] && i != wi)
+            .map(|(_, &v)| v)
+            .collect();
+        if b.is_empty() {
+            self.send_response(wi, out);
+        } else {
+            self.send_probes(w, out);
+            self.set_snt(w, b);
+        }
+    }
+
+    /// `T4`: response received from `w`.
+    fn t4_response(
+        &mut self,
+        w: NodeId,
+        wi: usize,
+        x: A::Value,
+        flag: bool,
+        wlog: Option<Vec<crate::ghost::WriteRec<A::Value>>>,
+        out: &mut Outbox<A::Value>,
+    ) -> Option<A::Value> {
+        self.policy.on_response_rcvd(flag, wi);
+        self.aval[wi] = x;
+        if let (Some(gh), Some(wl)) = (self.ghost.as_mut(), wlog.as_ref()) {
+            gh.merge_wlog(wl);
+        }
+        self.taken[wi] = flag;
+
+        let mut completed_local = None;
+        // foreach v ∈ pndg: snt[v] := snt[v] \ {w}; if snt[v] = ∅ → …
+        let pndg_snapshot = self.pndg.clone();
+        for v in pndg_snapshot {
+            let emptied = {
+                let entry = self.snt_mut(v);
+                if let Some(set) = entry {
+                    set.retain(|&x| x != w);
+                    set.is_empty()
+                } else {
+                    false
+                }
+            };
+            if emptied {
+                self.pndg.retain(|&p| p != v);
+                self.snt.retain(|(k, _)| *k != v);
+                if v == self.id {
+                    let g = self.gval();
+                    if let Some(gh) = self.ghost.as_mut() {
+                        gh.append_local_combine(self.id, g.clone());
+                    }
+                    completed_local = Some(g);
+                } else {
+                    let vi = self.nbr_index(v);
+                    self.send_response(vi, out);
+                }
+            }
+        }
+        completed_local
+    }
+
+    /// `T5`: update received from `w`.
+    fn t5_update(
+        &mut self,
+        wi: usize,
+        x: A::Value,
+        id: u64,
+        wlog: Option<Vec<crate::ghost::WriteRec<A::Value>>>,
+        out: &mut Outbox<A::Value>,
+    ) {
+        let lone = !self.grntd_nonempty_except(Some(wi));
+        self.policy.on_update_rcvd(wi, lone);
+        self.aval[wi] = x;
+        if let (Some(gh), Some(wl)) = (self.ghost.as_mut(), wlog.as_ref()) {
+            gh.merge_wlog(wl);
+        }
+        self.uaw[wi].push(id);
+        if !lone {
+            let nid = self.newid();
+            self.sntupdates.push(SntUpdate {
+                from: wi,
+                rcvid: id,
+                sntid: nid,
+            });
+            self.forward_updates(Some(wi), nid, out);
+            self.prune_sntupdates();
+        } else {
+            self.forward_release(out);
+        }
+    }
+
+    /// `T6`: release received from `w`.
+    fn t6_release(&mut self, wi: usize, ids: &[u64], out: &mut Outbox<A::Value>) {
+        self.policy.on_release_rcvd(wi);
+        self.granted[wi] = false;
+        self.on_release(wi, ids, out);
+        // Everything sent to w so far is now acknowledged.
+        self.watermark[wi] = self.upcntr + 1;
+        self.prune_sntupdates();
+    }
+
+    // ---- snt association-list plumbing ----
+
+    fn set_snt(&mut self, key: NodeId, val: Vec<NodeId>) {
+        if let Some(entry) = self.snt.iter_mut().find(|(k, _)| *k == key) {
+            entry.1 = val;
+        } else {
+            self.snt.push((key, val));
+        }
+    }
+
+    fn snt_mut(&mut self, key: NodeId) -> Option<&mut Vec<NodeId>> {
+        self.snt.iter_mut().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::SumI64;
+    use crate::policy::rww::RwwSpec;
+    use crate::policy::PolicySpec;
+    use crate::tree::Tree;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn node(tree: &Tree, id: u32) -> MechNode<crate::policy::rww::RwwNode, SumI64> {
+        MechNode::new(tree, n(id), SumI64, RwwSpec.build(tree.degree(n(id))), false)
+    }
+
+    #[test]
+    fn single_node_combine_is_local() {
+        let t = Tree::from_edges(1, &[]).unwrap();
+        let mut u = node(&t, 0);
+        let mut out = Vec::new();
+        u.handle_write(42, &mut out);
+        assert!(out.is_empty(), "write with no grants sends nothing");
+        match u.handle_combine(&mut out) {
+            CombineOutcome::Done(v) => assert_eq!(v, 42),
+            other => panic!("expected Done, got {other:?}"),
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn combine_without_lease_probes() {
+        let t = Tree::pair();
+        let mut u = node(&t, 0);
+        let mut out = Vec::new();
+        assert_eq!(u.handle_combine(&mut out), CombineOutcome::Pending);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, n(1));
+        assert_eq!(out[0].1.kind(), crate::message::MsgKind::Probe);
+        assert_eq!(u.pndg(), &[n(0)]);
+    }
+
+    #[test]
+    fn probe_at_leaf_grants_and_responds() {
+        let t = Tree::pair();
+        let mut v = node(&t, 1);
+        let mut out = Vec::new();
+        v.handle_write(7, &mut out);
+        v.handle_message(n(0), Message::Probe, &mut out);
+        assert_eq!(out.len(), 1);
+        match &out[0].1 {
+            Message::Response { x, flag, .. } => {
+                assert_eq!(*x, 7);
+                assert!(*flag, "RWW setlease always grants");
+            }
+            m => panic!("expected response, got {m:?}"),
+        }
+        assert!(v.granted(0));
+    }
+
+    #[test]
+    fn full_probe_response_roundtrip_on_pair() {
+        let t = Tree::pair();
+        let mut u = node(&t, 0);
+        let mut v = node(&t, 1);
+        let mut out = Vec::new();
+
+        v.handle_write(5, &mut out);
+        assert!(out.is_empty());
+
+        // combine at u: probe u -> v
+        assert_eq!(u.handle_combine(&mut out), CombineOutcome::Pending);
+        let (to, probe) = out.pop().unwrap();
+        assert_eq!(to, n(1));
+
+        // v answers with a response granting the lease
+        v.handle_message(n(0), probe, &mut out);
+        let (to, resp) = out.pop().unwrap();
+        assert_eq!(to, n(0));
+
+        // u completes the combine
+        let done = u.handle_message(n(1), resp, &mut out);
+        assert_eq!(done, Some(5));
+        assert!(out.is_empty());
+        assert!(u.taken(0), "u took the lease");
+        assert!(u.pndg().is_empty());
+        assert!(u.snt_all_empty());
+    }
+
+    #[test]
+    fn write_pushes_update_along_lease_then_two_writes_release() {
+        let t = Tree::pair();
+        let mut u = node(&t, 0);
+        let mut v = node(&t, 1);
+        let mut out = Vec::new();
+
+        // Establish the lease v -> u ... (u takes from v) via a combine at u.
+        u.handle_combine(&mut out);
+        let (_, probe) = out.pop().unwrap();
+        v.handle_message(n(0), probe, &mut out);
+        let (_, resp) = out.pop().unwrap();
+        u.handle_message(n(1), resp, &mut out);
+        assert!(v.granted(0));
+
+        // First write at v: one update v -> u, no release yet.
+        v.handle_write(10, &mut out);
+        let (to, upd) = out.pop().unwrap();
+        assert_eq!(to, n(0));
+        assert!(out.is_empty());
+        u.handle_message(n(1), upd, &mut out);
+        assert!(out.is_empty(), "RWW tolerates one write");
+        assert_eq!(u.aval(0), &10);
+
+        // Second write at v: update then release u -> v.
+        v.handle_write(20, &mut out);
+        let (_, upd) = out.pop().unwrap();
+        u.handle_message(n(1), upd, &mut out);
+        let (to, rel) = out.pop().unwrap();
+        assert_eq!(to, n(1));
+        match &rel {
+            Message::Release { ids } => assert_eq!(ids.len(), 2),
+            m => panic!("expected release, got {m:?}"),
+        }
+        assert!(!u.taken(0));
+        v.handle_message(n(0), rel, &mut out);
+        assert!(!v.granted(0), "lease broken after two writes");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn prewarm_sets_symmetric_leases() {
+        let t = Tree::path(3);
+        let mut m = node(&t, 1);
+        m.prewarm_leases();
+        assert!(m.taken(0) && m.taken(1));
+        assert!(m.granted(0) && m.granted(1));
+        // A combine is now local.
+        let mut out = Vec::new();
+        match m.handle_combine(&mut out) {
+            CombineOutcome::Done(v) => assert_eq!(v, 0),
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coalesced_combine_while_pending() {
+        let t = Tree::pair();
+        let mut u = node(&t, 0);
+        let mut out = Vec::new();
+        assert_eq!(u.handle_combine(&mut out), CombineOutcome::Pending);
+        out.clear();
+        assert_eq!(u.handle_combine(&mut out), CombineOutcome::Coalesced);
+        assert!(out.is_empty(), "no duplicate probes for coalesced combine");
+    }
+}

@@ -1,0 +1,132 @@
+//! The four message kinds of lease-based aggregation algorithms.
+//!
+//! Section 3.1: a lease-based algorithm exchanges `probe`, `response`,
+//! `update`, and `release` messages. `response` and `update` carry an
+//! aggregate value; `update` additionally carries a per-sender message
+//! identifier (from `newid()`); `release` carries the set of update
+//! identifiers `uaw[v]` not yet acknowledged by the releasing side.
+//!
+//! For the Section-5 analysis, `response` and `update` optionally carry the
+//! sender's ghost write-log (`wlog`).
+
+use crate::ghost::WriteRec;
+
+/// A message exchanged between neighbouring tree nodes.
+#[derive(Clone, Debug, PartialEq, Hash)]
+pub enum Message<V> {
+    /// Pull request for the aggregate value of the receiver's side
+    /// (`probe()` in Figure 1).
+    Probe,
+    /// Reply to a probe: `x` is `subval` of the sender toward the
+    /// receiver; `flag` reports whether the sender granted a lease
+    /// (`response(x, flag)`).
+    Response {
+        /// Aggregate value over `subtree(sender, receiver)`.
+        x: V,
+        /// Whether the sender set `granted[receiver]`.
+        flag: bool,
+        /// Ghost write-log of the sender at send time (Section 5.2);
+        /// `None` when ghost tracking is disabled.
+        wlog: Option<Vec<WriteRec<V>>>,
+    },
+    /// Push of a new aggregate value along a granted lease
+    /// (`update(x, id)`).
+    Update {
+        /// Aggregate value over `subtree(sender, receiver)`.
+        x: V,
+        /// Sender-local update identifier from `newid()`.
+        id: u64,
+        /// Ghost write-log of the sender at send time.
+        wlog: Option<Vec<WriteRec<V>>>,
+    },
+    /// Lease break from the lease holder back to the granter
+    /// (`release(S)`); `ids` is the holder's `uaw` set for that edge.
+    Release {
+        /// Identifiers of updates received over the edge since the last
+        /// clearing — the `S` of `onrelease`.
+        ids: Vec<u64>,
+    },
+}
+
+impl<V> Message<V> {
+    /// The kind tag of this message, for accounting.
+    pub fn kind(&self) -> MsgKind {
+        match self {
+            Message::Probe => MsgKind::Probe,
+            Message::Response { .. } => MsgKind::Response,
+            Message::Update { .. } => MsgKind::Update,
+            Message::Release { .. } => MsgKind::Release,
+        }
+    }
+}
+
+/// Message kind tag, used as an index into per-edge counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// `probe()`
+    Probe,
+    /// `response(x, flag)`
+    Response,
+    /// `update(x, id)`
+    Update,
+    /// `release(S)`
+    Release,
+}
+
+impl MsgKind {
+    /// All kinds, in counter-index order.
+    pub const ALL: [MsgKind; 4] = [
+        MsgKind::Probe,
+        MsgKind::Response,
+        MsgKind::Update,
+        MsgKind::Release,
+    ];
+
+    /// Dense index (0..4) for counters.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            MsgKind::Probe => 0,
+            MsgKind::Response => 1,
+            MsgKind::Update => 2,
+            MsgKind::Release => 3,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgKind::Probe => "probe",
+            MsgKind::Response => "response",
+            MsgKind::Update => "update",
+            MsgKind::Release => "release",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrip() {
+        let msgs: Vec<Message<i64>> = vec![
+            Message::Probe,
+            Message::Response {
+                x: 1,
+                flag: true,
+                wlog: None,
+            },
+            Message::Update {
+                x: 2,
+                id: 7,
+                wlog: None,
+            },
+            Message::Release { ids: vec![1, 2] },
+        ];
+        for (m, k) in msgs.iter().zip(MsgKind::ALL) {
+            assert_eq!(m.kind(), k);
+            assert_eq!(MsgKind::ALL[m.kind().index()], k);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Generalised `(a, b)` policies (Section 4.2).
+//!
+//! An online lease-based algorithm is an *(a,b)-algorithm* when, for every
+//! ordered pair of neighbours `(u, v)` in a sequential execution:
+//!
+//! 1. if `u.granted[v]` is false, it becomes true after `a` consecutive
+//!    combine requests in `σ(u,v)`, and
+//! 2. if `u.granted[v]` is true, it becomes false after `b` consecutive
+//!    write requests in `σ(u,v)`.
+//!
+//! RWW is the `(1,2)` instance (Corollary 4.1). This module provides a
+//! distributed realisation for arbitrary `a ≥ 1`, `b ≥ 1`:
+//!
+//! * the break side generalises RWW's `lt` counter with budget `b`;
+//! * the grant side counts consecutive probes from `v` (each combine in
+//!   `σ(u,v)` reaching `u` while no lease is granted arrives as a probe),
+//!   resetting the run on any write in `subtree(u,v)` observed at `u`
+//!   (a local write or an update from a neighbour `≠ v`).
+//!
+//! For `a > 1` the probe count is a faithful proxy for the per-edge
+//! definition only while the path from the requester to `u` carries no
+//! leases; the exact per-edge `(a,b)` automaton used by the Theorem-3
+//! analysis lives in `oat-offline::ab_replay`. For `a = 1` (including RWW)
+//! the two coincide, which the cross-validation tests in `oat-offline`
+//! check on random workloads.
+
+use super::{NodePolicy, PolicySpec};
+
+/// Spec for an `(a, b)` policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AbSpec {
+    /// Consecutive combines required to set a lease.
+    pub a: u32,
+    /// Consecutive writes required to break a lease.
+    pub b: u32,
+}
+
+impl AbSpec {
+    /// New `(a, b)` spec; both parameters must be positive.
+    pub fn new(a: u32, b: u32) -> Self {
+        assert!(a >= 1 && b >= 1, "(a,b)-algorithms require a,b >= 1");
+        AbSpec { a, b }
+    }
+}
+
+/// Per-node `(a,b)` state.
+#[derive(Clone, Debug, Hash)]
+pub struct AbNode {
+    a: u32,
+    b: u32,
+    /// Write countdown per taken neighbour (RWW's `lt`, with budget `b`).
+    lt: Vec<u32>,
+    /// Consecutive-probe run length per neighbour (grant side).
+    probes: Vec<u32>,
+}
+
+impl AbNode {
+    /// Current write countdown for a neighbour.
+    pub fn lt(&self, v: usize) -> u32 {
+        self.lt[v]
+    }
+}
+
+impl PolicySpec for AbSpec {
+    type Node = AbNode;
+
+    fn build(&self, degree: usize) -> AbNode {
+        AbNode {
+            a: self.a,
+            b: self.b,
+            lt: vec![0; degree],
+            probes: vec![0; degree],
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("({},{})-alg", self.a, self.b)
+    }
+}
+
+impl NodePolicy for AbNode {
+    fn on_combine(&mut self, tkn: &[usize]) {
+        for &v in tkn {
+            self.lt[v] = self.b;
+        }
+    }
+
+    fn on_probe_rcvd(&mut self, w: usize, tkn: &[usize]) {
+        self.probes[w] = self.probes[w].saturating_add(1);
+        for &v in tkn {
+            if v != w {
+                self.lt[v] = self.b;
+            }
+        }
+    }
+
+    fn on_response_rcvd(&mut self, flag: bool, w: usize) {
+        if flag {
+            self.lt[w] = self.b;
+        }
+    }
+
+    fn on_update_rcvd(&mut self, w: usize, lone_grant: bool) {
+        if lone_grant {
+            self.lt[w] = self.lt[w].saturating_sub(1);
+        }
+        // A write on the far side of edge w is a write in subtree(u, v)
+        // for every other neighbour v: it breaks their combine runs.
+        for (v, p) in self.probes.iter_mut().enumerate() {
+            if v != w {
+                *p = 0;
+            }
+        }
+    }
+
+    fn on_release_rcvd(&mut self, _w: usize) {}
+
+    fn on_local_write(&mut self) {
+        // A local write is a write in subtree(u, v) for every neighbour v.
+        for p in &mut self.probes {
+            *p = 0;
+        }
+    }
+
+    fn set_lease(&mut self, w: usize) -> bool {
+        if self.probes[w] >= self.a {
+            self.probes[w] = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn break_lease(&mut self, v: usize) -> bool {
+        self.lt[v] == 0
+    }
+
+    fn release_policy(&mut self, v: usize, uaw_len: usize) {
+        self.lt[v] = self.lt[v].saturating_sub(uaw_len as u32);
+    }
+
+    fn on_prewarm(&mut self) {
+        for lt in &mut self.lt {
+            *lt = self.b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_two_matches_rww_shape() {
+        let spec = AbSpec::new(1, 2);
+        let mut p = spec.build(1);
+        p.on_probe_rcvd(0, &[]);
+        assert!(p.set_lease(0), "(1,2): first probe grants");
+        p.on_response_rcvd(true, 0);
+        p.on_update_rcvd(0, true);
+        assert!(!p.break_lease(0));
+        p.on_update_rcvd(0, true);
+        assert!(p.break_lease(0));
+    }
+
+    #[test]
+    fn a_two_needs_two_consecutive_probes() {
+        let spec = AbSpec::new(2, 1);
+        let mut p = spec.build(1);
+        p.on_probe_rcvd(0, &[]);
+        assert!(!p.set_lease(0));
+        p.on_probe_rcvd(0, &[]);
+        assert!(p.set_lease(0));
+    }
+
+    #[test]
+    fn writes_reset_combine_runs() {
+        let spec = AbSpec::new(2, 1);
+        let mut p = spec.build(2);
+        p.on_probe_rcvd(0, &[]);
+        p.on_local_write();
+        p.on_probe_rcvd(0, &[]);
+        assert!(!p.set_lease(0), "local write broke the run");
+        p.on_probe_rcvd(0, &[]);
+        assert!(p.set_lease(0));
+
+        // An update from a different neighbour also resets.
+        p.on_probe_rcvd(0, &[]);
+        p.on_update_rcvd(1, false);
+        p.on_probe_rcvd(0, &[]);
+        assert!(!p.set_lease(0));
+    }
+
+    #[test]
+    fn update_from_same_edge_keeps_run() {
+        // Writes behind neighbour 0 are in σ(v,u) for the pair (u, 0):
+        // they must not reset the combine run of edge 0 itself.
+        let spec = AbSpec::new(2, 1);
+        let mut p = spec.build(2);
+        p.on_probe_rcvd(0, &[]);
+        p.on_update_rcvd(0, true);
+        p.on_probe_rcvd(0, &[]);
+        assert!(p.set_lease(0));
+    }
+
+    #[test]
+    fn break_budget_b() {
+        let spec = AbSpec::new(1, 3);
+        let mut p = spec.build(1);
+        p.on_response_rcvd(true, 0);
+        p.on_update_rcvd(0, true);
+        p.on_update_rcvd(0, true);
+        assert!(!p.break_lease(0));
+        p.on_update_rcvd(0, true);
+        assert!(p.break_lease(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_parameters_rejected() {
+        AbSpec::new(0, 2);
+    }
+}

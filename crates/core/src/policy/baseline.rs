@@ -1,0 +1,104 @@
+//! Static baseline policies from the paper's motivation (Section 1).
+//!
+//! * [`AlwaysLeaseSpec`] grants every lease on first contact and never
+//!   breaks: once the lease graph saturates, every write is pushed to all
+//!   nodes and every combine is answered locally — the **Astrolabe**
+//!   strategy. Combined with the simulator's *prewarm* option (all leases
+//!   pre-established in the initial quiescent state) it models Astrolabe
+//!   exactly.
+//! * [`NeverLeaseSpec`] never grants a lease: writes are silent and every
+//!   combine floods probes through the whole tree — the **MDS-2**
+//!   strategy.
+//!
+//! Both are lease-based algorithms in the paper's sense, so they inherit
+//! strict consistency in sequential executions (Lemma 3.12) and causal
+//! consistency in concurrent ones (Theorem 4); only their message costs
+//! differ.
+
+use super::{NodePolicy, PolicySpec};
+
+/// Push-all baseline: grant always, never break (Astrolabe-like).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AlwaysLeaseSpec;
+
+/// Per-node state for [`AlwaysLeaseSpec`] (stateless).
+#[derive(Clone, Copy, Debug, Default, Hash)]
+pub struct AlwaysLeaseNode;
+
+impl PolicySpec for AlwaysLeaseSpec {
+    type Node = AlwaysLeaseNode;
+    fn build(&self, _degree: usize) -> AlwaysLeaseNode {
+        AlwaysLeaseNode
+    }
+    fn name(&self) -> String {
+        "AlwaysLease".to_string()
+    }
+}
+
+impl NodePolicy for AlwaysLeaseNode {
+    fn on_combine(&mut self, _tkn: &[usize]) {}
+    fn on_probe_rcvd(&mut self, _w: usize, _tkn: &[usize]) {}
+    fn on_response_rcvd(&mut self, _flag: bool, _w: usize) {}
+    fn on_update_rcvd(&mut self, _w: usize, _lone_grant: bool) {}
+    fn on_release_rcvd(&mut self, _w: usize) {}
+    fn set_lease(&mut self, _w: usize) -> bool {
+        true
+    }
+    fn break_lease(&mut self, _v: usize) -> bool {
+        false
+    }
+    fn release_policy(&mut self, _v: usize, _uaw_len: usize) {}
+}
+
+/// Pull-all baseline: never grant (MDS-2-like).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NeverLeaseSpec;
+
+/// Per-node state for [`NeverLeaseSpec`] (stateless).
+#[derive(Clone, Copy, Debug, Default, Hash)]
+pub struct NeverLeaseNode;
+
+impl PolicySpec for NeverLeaseSpec {
+    type Node = NeverLeaseNode;
+    fn build(&self, _degree: usize) -> NeverLeaseNode {
+        NeverLeaseNode
+    }
+    fn name(&self) -> String {
+        "NeverLease".to_string()
+    }
+}
+
+impl NodePolicy for NeverLeaseNode {
+    fn on_combine(&mut self, _tkn: &[usize]) {}
+    fn on_probe_rcvd(&mut self, _w: usize, _tkn: &[usize]) {}
+    fn on_response_rcvd(&mut self, _flag: bool, _w: usize) {}
+    fn on_update_rcvd(&mut self, _w: usize, _lone_grant: bool) {}
+    fn on_release_rcvd(&mut self, _w: usize) {}
+    fn set_lease(&mut self, _w: usize) -> bool {
+        false
+    }
+    fn break_lease(&mut self, _v: usize) -> bool {
+        // Break immediately if a lease somehow exists (e.g. prewarmed).
+        true
+    }
+    fn release_policy(&mut self, _v: usize, _uaw_len: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_grants_never_breaks() {
+        let mut p = AlwaysLeaseSpec.build(4);
+        assert!(p.set_lease(2));
+        assert!(!p.break_lease(2));
+    }
+
+    #[test]
+    fn never_grants() {
+        let mut p = NeverLeaseSpec.build(4);
+        assert!(!p.set_lease(0));
+        assert!(p.break_lease(0));
+    }
+}

@@ -1,0 +1,90 @@
+//! Lease policies: the underlined stubs of Figure 1.
+//!
+//! The mechanism of Figure 1 is generic in eight *policy decision points*
+//! (underlined in the paper): `oncombine`, `probercvd`, `responsercvd`,
+//! `updatercvd`, `releasercvd`, `setlease`, `breaklease`, and
+//! `releasepolicy`. A concrete lease-based algorithm is the mechanism plus
+//! an implementation of these stubs.
+//!
+//! This module defines the [`NodePolicy`] trait mirroring those stubs (with
+//! one extension hook, [`NodePolicy::on_local_write`], needed by
+//! generalised `(a,b)` policies with `a > 1`; it is a no-op for every
+//! policy in the paper), and the [`PolicySpec`] factory that builds a
+//! per-node policy instance.
+//!
+//! Shipped policies:
+//!
+//! * [`rww::RwwSpec`] — the paper's online algorithm **RWW** (Figure 3),
+//! * [`ab::AbSpec`] — distributed realisation of the `(a,b)` class
+//!   (Section 4.2); `AbSpec::new(1, 2)` behaves exactly like RWW,
+//! * [`baseline::AlwaysLeaseSpec`] — push-all (Astrolabe-like),
+//! * [`baseline::NeverLeaseSpec`] — pull-all (MDS-2-like),
+//! * [`random::RandomBreakSpec`] — randomized breaking (an extension:
+//!   break each unread write with probability `1/b`).
+
+pub mod ab;
+pub mod baseline;
+pub mod random;
+pub mod rww;
+
+/// Per-node policy state and the Figure-1 policy stubs.
+///
+/// All neighbour arguments are *neighbour indices* (positions within the
+/// node's sorted neighbour list), not node ids; the mechanism owns the
+/// translation. `tkn` slices list the indices of neighbours `v` with
+/// `taken[v]` at the time of the call.
+pub trait NodePolicy: Send {
+    /// `oncombine(u)`: a combine request was initiated locally.
+    fn on_combine(&mut self, tkn: &[usize]);
+
+    /// `probercvd(w)`: a probe was received from neighbour `w`.
+    fn on_probe_rcvd(&mut self, w: usize, tkn: &[usize]);
+
+    /// `responsercvd(flag, w)`: a response with lease flag `flag` was
+    /// received from neighbour `w`.
+    fn on_response_rcvd(&mut self, flag: bool, w: usize);
+
+    /// `updatercvd(w)`: an update was received from neighbour `w`.
+    /// `lone_grant` reports whether `grntd() \ {w} = ∅` held on receipt —
+    /// the condition under which RWW decrements its lease counter.
+    fn on_update_rcvd(&mut self, w: usize, lone_grant: bool);
+
+    /// `releasercvd(w)`: a release was received from neighbour `w`.
+    fn on_release_rcvd(&mut self, w: usize);
+
+    /// Extension hook: a write request executed locally (`T2`). Figure 1
+    /// has no stub here; policies that count per-edge write runs on the
+    /// grant side (`(a,b)` with `a > 1`) need it. Default: no-op.
+    fn on_local_write(&mut self) {}
+
+    /// `setlease(w)`: decide whether to grant a lease to neighbour `w`
+    /// while sending it a response. May mutate policy state (e.g. reset a
+    /// combine-run counter on granting).
+    fn set_lease(&mut self, w: usize) -> bool;
+
+    /// `breaklease(v)`: decide whether to break the lease taken from
+    /// neighbour `v` (consulted inside `forwardrelease`).
+    fn break_lease(&mut self, v: usize) -> bool;
+
+    /// `releasepolicy(v)`: invoked by `onrelease` after the `uaw[v]`
+    /// truncation, with the surviving `|uaw[v]|`.
+    fn release_policy(&mut self, v: usize, uaw_len: usize);
+
+    /// Called when the simulator pre-establishes all leases (a warm-start
+    /// quiescent state used by the push-all baseline); the policy should
+    /// initialise per-edge state as if a lease had just been set on every
+    /// edge. Default: no-op.
+    fn on_prewarm(&mut self) {}
+}
+
+/// Factory for per-node policies; one spec describes a whole algorithm.
+pub trait PolicySpec: Clone + Send + Sync + 'static {
+    /// The per-node policy type.
+    type Node: NodePolicy;
+
+    /// Builds the policy state for a node with `degree` neighbours.
+    fn build(&self, degree: usize) -> Self::Node;
+
+    /// Algorithm name for reports (e.g. `"RWW"`).
+    fn name(&self) -> String;
+}

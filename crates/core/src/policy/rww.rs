@@ -1,0 +1,168 @@
+//! The RWW policy (Figure 3).
+//!
+//! RWW ("Read, Write, Write") sets the lease from `u` to `v` during the
+//! execution of a combine request at a node in `subtree(v,u)`, and breaks
+//! it after two consecutive write requests at nodes in `subtree(u,v)`
+//! (Section 4.1). Corollary 4.1: RWW is a `(1,2)`-algorithm.
+//!
+//! The per-edge state is the paper's lease counter `lt[v] ∈ {0, 1, 2}`
+//! whose maintenance is spelled out in the proof of Lemma 4.2:
+//!
+//! * on a local combine (`T1`), `lt[v] := 2` for every taken neighbour `v`;
+//! * on a probe from `w` (`T3`), `lt[v] := 2` for every taken `v ≠ w`;
+//! * on a response with `flag = true` (`T4`), `lt[w] := 2`;
+//! * on an update from `w` (`T5`), if `grntd() \ {w} = ∅` then
+//!   `lt[w] := lt[w] − 1`;
+//! * `releasepolicy(v)` sets `lt[v] := lt[v] − |uaw[v]|`;
+//! * `setlease(w)` always returns **true**;
+//! * `breaklease(v)` returns `lt[v] = 0`.
+//!
+//! The invariant `I4` (Lemma 4.2) ties `lt` to the mechanism state: when
+//! `taken[v]` holds and no other lease is granted, `lt[v] + |uaw[v]| = 2`
+//! and `lt[v] > 0`; the simulator's test suite checks it in every quiescent
+//! state.
+
+use super::{NodePolicy, PolicySpec};
+
+/// Spec for the RWW policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RwwSpec;
+
+/// Per-node RWW state: the lease counter `lt[v]` per neighbour.
+#[derive(Clone, Debug, Hash)]
+pub struct RwwNode {
+    lt: Vec<u8>,
+}
+
+impl RwwNode {
+    /// Current `lt` value for a neighbour (exposed for invariant checks).
+    pub fn lt(&self, v: usize) -> u8 {
+        self.lt[v]
+    }
+}
+
+impl PolicySpec for RwwSpec {
+    type Node = RwwNode;
+
+    fn build(&self, degree: usize) -> RwwNode {
+        RwwNode {
+            lt: vec![0; degree],
+        }
+    }
+
+    fn name(&self) -> String {
+        "RWW".to_string()
+    }
+}
+
+impl NodePolicy for RwwNode {
+    fn on_combine(&mut self, tkn: &[usize]) {
+        for &v in tkn {
+            self.lt[v] = 2;
+        }
+    }
+
+    fn on_probe_rcvd(&mut self, w: usize, tkn: &[usize]) {
+        for &v in tkn {
+            if v != w {
+                self.lt[v] = 2;
+            }
+        }
+    }
+
+    fn on_response_rcvd(&mut self, flag: bool, w: usize) {
+        if flag {
+            self.lt[w] = 2;
+        }
+    }
+
+    fn on_update_rcvd(&mut self, w: usize, lone_grant: bool) {
+        if lone_grant {
+            self.lt[w] = self.lt[w].saturating_sub(1);
+        }
+    }
+
+    fn on_release_rcvd(&mut self, _w: usize) {}
+
+    fn set_lease(&mut self, _w: usize) -> bool {
+        true
+    }
+
+    fn break_lease(&mut self, v: usize) -> bool {
+        self.lt[v] == 0
+    }
+
+    fn release_policy(&mut self, v: usize, uaw_len: usize) {
+        self.lt[v] = self.lt[v].saturating_sub(uaw_len.min(u8::MAX as usize) as u8);
+    }
+
+    fn on_prewarm(&mut self) {
+        for lt in &mut self.lt {
+            *lt = 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_refreshes_taken_neighbours() {
+        let mut p = RwwSpec.build(3);
+        p.on_update_rcvd(1, true); // lt[1] saturates at 0
+        p.on_response_rcvd(true, 1);
+        assert_eq!(p.lt(1), 2);
+        p.on_update_rcvd(1, true);
+        assert_eq!(p.lt(1), 1);
+        p.on_combine(&[1, 2]);
+        assert_eq!(p.lt(1), 2);
+        assert_eq!(p.lt(2), 2);
+    }
+
+    #[test]
+    fn two_updates_trigger_break() {
+        let mut p = RwwSpec.build(2);
+        p.on_response_rcvd(true, 0);
+        assert!(!p.break_lease(0));
+        p.on_update_rcvd(0, true);
+        assert!(!p.break_lease(0));
+        p.on_update_rcvd(0, true);
+        assert!(p.break_lease(0), "lease must break after 2 writes");
+    }
+
+    #[test]
+    fn probe_refreshes_other_taken_neighbours_only() {
+        let mut p = RwwSpec.build(3);
+        p.on_response_rcvd(true, 0);
+        p.on_response_rcvd(true, 2);
+        p.on_update_rcvd(0, true);
+        p.on_update_rcvd(2, true);
+        p.on_probe_rcvd(0, &[0, 2]);
+        assert_eq!(p.lt(0), 1, "the probing edge itself is not refreshed");
+        assert_eq!(p.lt(2), 2);
+    }
+
+    #[test]
+    fn update_with_other_grants_does_not_decrement() {
+        let mut p = RwwSpec.build(2);
+        p.on_response_rcvd(true, 0);
+        p.on_update_rcvd(0, false);
+        assert_eq!(p.lt(0), 2, "lt only decrements when grntd()\\{{w}} is empty");
+    }
+
+    #[test]
+    fn release_policy_subtracts_uaw() {
+        let mut p = RwwSpec.build(1);
+        p.on_response_rcvd(true, 0);
+        p.release_policy(0, 2);
+        assert_eq!(p.lt(0), 0);
+        assert!(p.break_lease(0));
+    }
+
+    #[test]
+    fn setlease_always_true() {
+        let mut p = RwwSpec.build(1);
+        assert!(p.set_lease(0));
+    }
+}

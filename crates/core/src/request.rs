@@ -1,0 +1,206 @@
+//! Requests, request sequences, and per-edge projections.
+//!
+//! A request is a tuple `(node, op, arg, retval)` (Section 2). The
+//! competitive analysis of Sections 3–4 studies, for every ordered pair of
+//! neighbouring nodes `(u, v)`, the subsequence `σ(u,v)` of a request
+//! sequence `σ` containing
+//!
+//! * every `write` at a node of `subtree(u, v)`, and
+//! * every `combine` at a node of `subtree(v, u)`.
+//!
+//! Lemma 4.6 further works over `σ'(u,v)`: `σ(u,v)` with a *noop* inserted
+//! at the beginning, at the end, and between every pair of consecutive
+//! requests — a noop is where an optimal algorithm may be charged a
+//! piggy-backed `release`. [`EdgeEvent`] models the three event kinds
+//! (`R`/`W`/`N` in Figure 2) and [`sigma`] / [`sigma_prime`] compute the
+//! projections.
+
+use crate::tree::{NodeId, Tree};
+
+/// The operation of a request, carrying the written value for writes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReqOp<V> {
+    /// Return the global aggregate value at the requesting node.
+    Combine,
+    /// Replace the local value at the requesting node.
+    Write(V),
+}
+
+impl<V> ReqOp<V> {
+    /// True for writes.
+    pub fn is_write(&self) -> bool {
+        matches!(self, ReqOp::Write(_))
+    }
+
+    /// True for combines.
+    pub fn is_combine(&self) -> bool {
+        matches!(self, ReqOp::Combine)
+    }
+}
+
+/// A request initiated at a node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request<V> {
+    /// The node where the request is initiated.
+    pub node: NodeId,
+    /// The operation (and argument, for writes).
+    pub op: ReqOp<V>,
+}
+
+impl<V> Request<V> {
+    /// A combine request at `node`.
+    pub fn combine(node: NodeId) -> Self {
+        Request {
+            node,
+            op: ReqOp::Combine,
+        }
+    }
+
+    /// A write request at `node` with argument `arg`.
+    pub fn write(node: NodeId, arg: V) -> Self {
+        Request {
+            node,
+            op: ReqOp::Write(arg),
+        }
+    }
+}
+
+/// An event of the projected per-edge sequence `σ(u,v)` / `σ'(u,v)`
+/// (the `R` / `W` / `N` rows of Figure 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeEvent {
+    /// A combine request at a node of `subtree(v, u)` ("R").
+    R,
+    /// A write request at a node of `subtree(u, v)` ("W").
+    W,
+    /// A noop: the possible piggy-back point for a `release` associated
+    /// with a write in `σ(v, u)` ("N").
+    N,
+}
+
+/// Computes `σ(u, v)` for the ordered pair of adjacent nodes `(u, v)`.
+///
+/// The result contains one [`EdgeEvent::W`] per write in `subtree(u,v)` and
+/// one [`EdgeEvent::R`] per combine in `subtree(v,u)`, in sequence order.
+/// Requests in neither category (writes on the `v` side, combines on the
+/// `u` side) are dropped — they belong to `σ(v, u)`.
+pub fn sigma<V>(tree: &Tree, seq: &[Request<V>], u: NodeId, v: NodeId) -> Vec<EdgeEvent> {
+    assert!(tree.adjacent(u, v), "sigma requires adjacent nodes");
+    let mut out = Vec::new();
+    for q in seq {
+        match q.op {
+            ReqOp::Write(_) => {
+                if tree.in_subtree(u, v, q.node) {
+                    out.push(EdgeEvent::W);
+                }
+            }
+            ReqOp::Combine => {
+                if tree.in_subtree(v, u, q.node) {
+                    out.push(EdgeEvent::R);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Interleaves noops into an `σ(u,v)` projection, producing `σ'(u,v)`:
+/// `N e1 N e2 N … N ek N`.
+pub fn sigma_prime_of(events: &[EdgeEvent]) -> Vec<EdgeEvent> {
+    let mut out = Vec::with_capacity(2 * events.len() + 1);
+    out.push(EdgeEvent::N);
+    for &e in events {
+        debug_assert_ne!(e, EdgeEvent::N, "input to sigma_prime_of must be noop-free");
+        out.push(e);
+        out.push(EdgeEvent::N);
+    }
+    out
+}
+
+/// Computes `σ'(u, v)` directly from a request sequence.
+pub fn sigma_prime<V>(tree: &Tree, seq: &[Request<V>], u: NodeId, v: NodeId) -> Vec<EdgeEvent> {
+    sigma_prime_of(&sigma(tree, seq, u, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn sigma_on_pair() {
+        let t = Tree::pair();
+        let seq = vec![
+            Request::combine(n(1)),
+            Request::write(n(0), 5i64),
+            Request::write(n(1), 7),
+            Request::combine(n(0)),
+        ];
+        // σ(0,1): writes in subtree(0,1) = {0}, combines in subtree(1,0) = {1}.
+        assert_eq!(
+            sigma(&t, &seq, n(0), n(1)),
+            vec![EdgeEvent::R, EdgeEvent::W]
+        );
+        // σ(1,0): writes at 1, combines at 0.
+        assert_eq!(
+            sigma(&t, &seq, n(1), n(0)),
+            vec![EdgeEvent::W, EdgeEvent::R]
+        );
+    }
+
+    #[test]
+    fn sigma_partitions_requests() {
+        // Every request appears in exactly one of σ(u,v), σ(v,u) for each
+        // edge: a write at x is in σ(u,v) iff x in subtree(u,v); a combine
+        // at x is in σ(u,v) iff x in subtree(v,u).
+        let t = Tree::kary(9, 2);
+        let seq: Vec<Request<i64>> = (0..9u32)
+            .flat_map(|i| [Request::write(n(i), i as i64), Request::combine(n(i))])
+            .collect();
+        for (u, v) in t.dir_edges().collect::<Vec<_>>() {
+            let a = sigma(&t, &seq, u, v).len();
+            let b = sigma(&t, &seq, v, u).len();
+            assert_eq!(a + b, seq.len(), "edge ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn sigma_prime_shape() {
+        let ev = vec![EdgeEvent::R, EdgeEvent::W];
+        let sp = sigma_prime_of(&ev);
+        assert_eq!(
+            sp,
+            vec![
+                EdgeEvent::N,
+                EdgeEvent::R,
+                EdgeEvent::N,
+                EdgeEvent::W,
+                EdgeEvent::N
+            ]
+        );
+        assert_eq!(sigma_prime_of(&[]), vec![EdgeEvent::N]);
+    }
+
+    #[test]
+    fn sigma_on_path_middle_edge() {
+        let t = Tree::path(4);
+        let seq = vec![
+            Request::write(n(0), 1i64),
+            Request::write(n(3), 2),
+            Request::combine(n(1)),
+            Request::combine(n(2)),
+        ];
+        // Edge (1,2): subtree(1,2) = {0,1}, subtree(2,1) = {2,3}.
+        assert_eq!(
+            sigma(&t, &seq, n(1), n(2)),
+            vec![EdgeEvent::W, EdgeEvent::R]
+        );
+        assert_eq!(
+            sigma(&t, &seq, n(2), n(1)),
+            vec![EdgeEvent::W, EdgeEvent::R]
+        );
+    }
+}

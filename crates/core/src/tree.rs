@@ -1,0 +1,557 @@
+//! Tree network topology and subtree algebra.
+//!
+//! The paper considers a finite set of nodes arranged in a tree `T` with
+//! reliable FIFO channels between neighbours. Removing an edge `(u,v)`
+//! splits `T` into two components; `subtree(u,v)` denotes the component
+//! containing `u` (Section 2). For two distinct nodes `u`, `v`, the
+//! *u-parent of v* is the parent of `v` in `T` rooted at `u` (Section 3.2).
+//!
+//! [`Tree`] stores an adjacency structure plus an Euler-tour labelling of a
+//! canonical rooting at node 0, which answers `subtree(u,v)` membership and
+//! *u*-parent queries in `O(deg)` time without per-edge bitsets.
+
+use std::fmt;
+
+/// Identifier of a node (machine) in the tree network.
+///
+/// Node ids are dense: a tree with `n` nodes uses ids `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Errors produced when constructing a [`Tree`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The node count was zero.
+    Empty,
+    /// An edge referenced a node id `>= n`.
+    NodeOutOfRange(u32),
+    /// An edge connected a node to itself.
+    SelfLoop(u32),
+    /// The same undirected edge appeared twice.
+    DuplicateEdge(u32, u32),
+    /// The edge count was not `n - 1`.
+    WrongEdgeCount {
+        /// Number of edges supplied.
+        got: usize,
+        /// Required number of edges (`n - 1`).
+        want: usize,
+    },
+    /// The edges did not connect all nodes.
+    Disconnected,
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::Empty => write!(f, "tree must have at least one node"),
+            TreeError::NodeOutOfRange(v) => write!(f, "edge endpoint {v} out of range"),
+            TreeError::SelfLoop(v) => write!(f, "self loop at node {v}"),
+            TreeError::DuplicateEdge(a, b) => write!(f, "duplicate edge ({a},{b})"),
+            TreeError::WrongEdgeCount { got, want } => {
+                write!(f, "a tree on these nodes needs {want} edges, got {got}")
+            }
+            TreeError::Disconnected => write!(f, "edges do not form a connected tree"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// An immutable tree network topology.
+///
+/// Construction validates that the edge set forms a tree (connected,
+/// acyclic). Neighbour lists are sorted by node id, which fixes a canonical
+/// ordering used for deterministic iteration everywhere downstream.
+///
+/// ```
+/// use oat_core::tree::{NodeId, Tree};
+///
+/// //     0
+/// //    / \
+/// //   1   2
+/// //  / \
+/// // 3   4
+/// let t = Tree::from_edges(5, &[(0, 1), (0, 2), (1, 3), (1, 4)]).unwrap();
+/// assert_eq!(t.nbrs(NodeId(1)), &[NodeId(0), NodeId(3), NodeId(4)]);
+///
+/// // subtree(1, 0): the component holding node 1 after cutting (1,0).
+/// assert!(t.in_subtree(NodeId(1), NodeId(0), NodeId(4)));
+/// assert!(!t.in_subtree(NodeId(1), NodeId(0), NodeId(2)));
+/// assert_eq!(t.subtree_size(NodeId(1), NodeId(0)), 3);
+///
+/// // The 3-parent of 2 is the next hop from 2 toward 3.
+/// assert_eq!(t.u_parent(NodeId(3), NodeId(2)), NodeId(0));
+/// ```
+#[derive(Clone)]
+pub struct Tree {
+    adj: Vec<Vec<NodeId>>,
+    /// Parent of each node when rooted at node 0 (`parent[0] == 0`).
+    parent: Vec<NodeId>,
+    /// Euler tour entry time per node, canonical rooting at node 0.
+    tin: Vec<u32>,
+    /// Euler tour exit time per node (exclusive).
+    tout: Vec<u32>,
+    /// `dir_off[u]` is the directed-edge index base for edges leaving `u`;
+    /// the directed edge `u -> adj[u][i]` has index `dir_off[u] + i`.
+    dir_off: Vec<u32>,
+}
+
+impl Tree {
+    /// Builds a tree on `n` nodes from `n - 1` undirected edges.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Result<Self, TreeError> {
+        if n == 0 {
+            return Err(TreeError::Empty);
+        }
+        if edges.len() != n - 1 {
+            return Err(TreeError::WrongEdgeCount {
+                got: edges.len(),
+                want: n - 1,
+            });
+        }
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in edges {
+            if a as usize >= n {
+                return Err(TreeError::NodeOutOfRange(a));
+            }
+            if b as usize >= n {
+                return Err(TreeError::NodeOutOfRange(b));
+            }
+            if a == b {
+                return Err(TreeError::SelfLoop(a));
+            }
+            let key = (a.min(b), a.max(b));
+            if !seen.insert(key) {
+                return Err(TreeError::DuplicateEdge(a, b));
+            }
+            adj[a as usize].push(NodeId(b));
+            adj[b as usize].push(NodeId(a));
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+
+        // Iterative DFS from node 0: assigns parents and Euler tour times,
+        // and doubles as the connectivity check.
+        let mut parent = vec![NodeId(0); n];
+        let mut tin = vec![0u32; n];
+        let mut tout = vec![0u32; n];
+        let mut visited = vec![false; n];
+        let mut clock = 0u32;
+        // Stack entries: (node, next neighbour index to visit).
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        visited[0] = true;
+        tin[0] = clock;
+        clock += 1;
+        while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+            if *i < adj[u].len() {
+                let v = adj[u][*i].idx();
+                *i += 1;
+                if !visited[v] {
+                    visited[v] = true;
+                    parent[v] = NodeId(u as u32);
+                    tin[v] = clock;
+                    clock += 1;
+                    stack.push((v, 0));
+                }
+            } else {
+                tout[u] = clock;
+                stack.pop();
+            }
+        }
+        if visited.iter().any(|&v| !v) {
+            return Err(TreeError::Disconnected);
+        }
+
+        let mut dir_off = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        for list in &adj {
+            dir_off.push(acc);
+            acc += list.len() as u32;
+        }
+        dir_off.push(acc);
+
+        Ok(Tree {
+            adj,
+            parent,
+            tin,
+            tout,
+            dir_off,
+        })
+    }
+
+    /// A path (line) graph `0 - 1 - ... - (n-1)`.
+    pub fn path(n: usize) -> Self {
+        let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (i - 1, i)).collect();
+        Tree::from_edges(n, &edges).expect("path construction is always valid")
+    }
+
+    /// A star with centre `0` and leaves `1..n`.
+    pub fn star(n: usize) -> Self {
+        let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (0, i)).collect();
+        Tree::from_edges(n, &edges).expect("star construction is always valid")
+    }
+
+    /// A complete `k`-ary tree on `n` nodes in heap order
+    /// (node `i`'s children are `k*i + 1 ..= k*i + k`, when `< n`).
+    pub fn kary(n: usize, k: usize) -> Self {
+        assert!(k >= 1, "arity must be at least 1");
+        let edges: Vec<(u32, u32)> = (1..n as u32)
+            .map(|i| (((i as usize - 1) / k) as u32, i))
+            .collect();
+        Tree::from_edges(n, &edges).expect("k-ary construction is always valid")
+    }
+
+    /// A two-node tree: the smallest non-trivial topology, used by the
+    /// paper's lower-bound construction (Theorem 3).
+    pub fn pair() -> Self {
+        Tree::path(2)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True when the tree has a single node.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false // a valid tree always has >= 1 node
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len() as u32).map(NodeId)
+    }
+
+    /// Sorted neighbour list of `u`.
+    #[inline]
+    pub fn nbrs(&self, u: NodeId) -> &[NodeId] {
+        &self.adj[u.idx()]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u.idx()].len()
+    }
+
+    /// Number of undirected edges (`n - 1`).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adj.len() - 1
+    }
+
+    /// Number of directed edges (`2 * (n - 1)`).
+    #[inline]
+    pub fn num_dir_edges(&self) -> usize {
+        2 * self.num_edges()
+    }
+
+    /// Index of neighbour `v` within `u`'s neighbour list, if adjacent.
+    #[inline]
+    pub fn nbr_index(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        self.adj[u.idx()].binary_search(&v).ok()
+    }
+
+    /// True when `u` and `v` are adjacent.
+    #[inline]
+    pub fn adjacent(&self, u: NodeId, v: NodeId) -> bool {
+        self.nbr_index(u, v).is_some()
+    }
+
+    /// Dense index of the *directed* edge `u -> v` (requires adjacency).
+    ///
+    /// Directed edge indices are used for per-edge message accounting: the
+    /// ordered-pair costs `C(σ, u, v)` of Lemma 3.9 are sums over these.
+    #[inline]
+    pub fn dir_edge_index(&self, u: NodeId, v: NodeId) -> usize {
+        let i = self
+            .nbr_index(u, v)
+            .unwrap_or_else(|| panic!("{u} and {v} are not adjacent"));
+        self.dir_off[u.idx()] as usize + i
+    }
+
+    /// The directed edge `(u, v)` with the given dense index.
+    pub fn dir_edge(&self, index: usize) -> (NodeId, NodeId) {
+        // Binary search over the offset table.
+        let u = match self.dir_off.binary_search(&(index as u32)) {
+            Ok(mut pos) => {
+                // Skip empty ranges (impossible in a tree with n >= 2, but
+                // robust regardless).
+                while pos + 1 < self.dir_off.len() && self.dir_off[pos + 1] as usize == index {
+                    pos += 1;
+                }
+                pos
+            }
+            Err(pos) => pos - 1,
+        };
+        let v = self.adj[u][index - self.dir_off[u] as usize];
+        (NodeId(u as u32), v)
+    }
+
+    /// Iterator over all directed edges in dense-index order.
+    pub fn dir_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes()
+            .flat_map(move |u| self.nbrs(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// True iff `x` lies in `subtree(u, v)`: the component containing `u`
+    /// after removing the edge `(u, v)`.
+    ///
+    /// `u` and `v` must be adjacent.
+    pub fn in_subtree(&self, u: NodeId, v: NodeId, x: NodeId) -> bool {
+        debug_assert!(self.adjacent(u, v), "{u} and {v} must be adjacent");
+        // In the canonical rooting at node 0, one of u, v is the parent of
+        // the other. If v is u's parent then subtree(u,v) is the canonical
+        // subtree of u; otherwise it is everything outside v's subtree.
+        if self.parent[u.idx()] == v {
+            self.tin[u.idx()] <= self.tin[x.idx()] && self.tin[x.idx()] < self.tout[u.idx()]
+        } else {
+            debug_assert_eq!(self.parent[v.idx()], u);
+            !(self.tin[v.idx()] <= self.tin[x.idx()] && self.tin[x.idx()] < self.tout[v.idx()])
+        }
+    }
+
+    /// Number of nodes in `subtree(u, v)`.
+    pub fn subtree_size(&self, u: NodeId, v: NodeId) -> usize {
+        debug_assert!(self.adjacent(u, v));
+        if self.parent[u.idx()] == v {
+            (self.tout[u.idx()] - self.tin[u.idx()]) as usize
+        } else {
+            self.len() - (self.tout[v.idx()] - self.tin[v.idx()]) as usize
+        }
+    }
+
+    /// The *u*-parent of `x`: the neighbour of `x` on the path from `x`
+    /// to `u`. Requires `x != u`.
+    pub fn u_parent(&self, u: NodeId, x: NodeId) -> NodeId {
+        assert_ne!(u, x, "u-parent is defined only for x != u");
+        // The u-parent is the unique neighbour w of x with u in
+        // subtree(w, x).
+        for &w in self.nbrs(x) {
+            if self.in_subtree(w, x, u) {
+                return w;
+            }
+        }
+        unreachable!("tree connectivity guarantees a u-parent exists")
+    }
+
+    /// The unique path from `u` to `v`, inclusive of both endpoints.
+    pub fn path_between(&self, u: NodeId, v: NodeId) -> Vec<NodeId> {
+        if u == v {
+            return vec![u];
+        }
+        // Walk from v toward u via u-parents, then reverse.
+        let mut rev = vec![v];
+        let mut x = v;
+        while x != u {
+            x = self.u_parent(u, x);
+            rev.push(x);
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Distance in edges between `u` and `v`.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> usize {
+        self.path_between(u, v).len() - 1
+    }
+
+    /// All nodes of `subtree(u, v)` (requires adjacency).
+    pub fn subtree_nodes(&self, u: NodeId, v: NodeId) -> Vec<NodeId> {
+        self.nodes().filter(|&x| self.in_subtree(u, v, x)).collect()
+    }
+
+    /// The list of undirected edges `(min, max)`, sorted.
+    pub fn undirected_edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::with_capacity(self.num_edges());
+        for u in self.nodes() {
+            for &v in self.nbrs(u) {
+                if u < v {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tree(n={}, edges={:?})", self.len(), self.undirected_edges())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn path_structure() {
+        let t = Tree::path(5);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.nbrs(n(0)), &[n(1)]);
+        assert_eq!(t.nbrs(n(2)), &[n(1), n(3)]);
+        assert_eq!(t.degree(n(4)), 1);
+        assert_eq!(t.num_edges(), 4);
+        assert_eq!(t.num_dir_edges(), 8);
+    }
+
+    #[test]
+    fn star_structure() {
+        let t = Tree::star(6);
+        assert_eq!(t.degree(n(0)), 5);
+        for i in 1..6 {
+            assert_eq!(t.nbrs(n(i)), &[n(0)]);
+        }
+    }
+
+    #[test]
+    fn kary_structure() {
+        let t = Tree::kary(7, 2);
+        assert_eq!(t.nbrs(n(0)), &[n(1), n(2)]);
+        assert_eq!(t.nbrs(n(1)), &[n(0), n(3), n(4)]);
+        assert_eq!(t.nbrs(n(6)), &[n(2)]);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = Tree::from_edges(1, &[]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.num_edges(), 0);
+        assert!(t.nbrs(n(0)).is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(Tree::from_edges(0, &[]).err(), Some(TreeError::Empty));
+        assert!(matches!(
+            Tree::from_edges(3, &[(0, 1)]),
+            Err(TreeError::WrongEdgeCount { .. })
+        ));
+        assert_eq!(
+            Tree::from_edges(3, &[(0, 1), (1, 3)]).err(),
+            Some(TreeError::NodeOutOfRange(3))
+        );
+        assert_eq!(
+            Tree::from_edges(3, &[(0, 1), (1, 1)]).err(),
+            Some(TreeError::SelfLoop(1))
+        );
+        assert_eq!(
+            Tree::from_edges(3, &[(0, 1), (1, 0)]).err(),
+            Some(TreeError::DuplicateEdge(1, 0))
+        );
+        // A cycle on {0,1,2} with node 3 dangling: n-1 edges but not a tree.
+        assert!(matches!(
+            Tree::from_edges(4, &[(0, 1), (1, 2), (2, 0)]),
+            Err(TreeError::Disconnected)
+        ));
+        assert_eq!(
+            Tree::from_edges(4, &[(0, 1), (1, 2), (3, 3)]).err(),
+            Some(TreeError::SelfLoop(3))
+        );
+    }
+
+    #[test]
+    fn subtree_membership_path() {
+        let t = Tree::path(5);
+        // Removing (2,3): subtree(2,3) = {0,1,2}, subtree(3,2) = {3,4}.
+        for x in 0..3 {
+            assert!(t.in_subtree(n(2), n(3), n(x)));
+            assert!(!t.in_subtree(n(3), n(2), n(x)));
+        }
+        for x in 3..5 {
+            assert!(!t.in_subtree(n(2), n(3), n(x)));
+            assert!(t.in_subtree(n(3), n(2), n(x)));
+        }
+        assert_eq!(t.subtree_size(n(2), n(3)), 3);
+        assert_eq!(t.subtree_size(n(3), n(2)), 2);
+    }
+
+    #[test]
+    fn subtree_partition_property() {
+        // For every edge (u,v) and node x: exactly one of
+        // in_subtree(u,v,x), in_subtree(v,u,x) holds.
+        let t = Tree::kary(13, 3);
+        for (u, v) in t.dir_edges().collect::<Vec<_>>() {
+            for x in t.nodes() {
+                assert_ne!(
+                    t.in_subtree(u, v, x),
+                    t.in_subtree(v, u, x),
+                    "partition violated at edge ({u},{v}) node {x}"
+                );
+            }
+            assert_eq!(t.subtree_size(u, v) + t.subtree_size(v, u), t.len());
+        }
+    }
+
+    #[test]
+    fn u_parent_and_paths() {
+        let t = Tree::kary(7, 2);
+        // Path from 3 to 6: 3 - 1 - 0 - 2 - 6.
+        assert_eq!(
+            t.path_between(n(3), n(6)),
+            vec![n(3), n(1), n(0), n(2), n(6)]
+        );
+        assert_eq!(t.distance(n(3), n(6)), 4);
+        assert_eq!(t.u_parent(n(3), n(6)), n(2));
+        assert_eq!(t.u_parent(n(3), n(2)), n(0));
+        assert_eq!(t.u_parent(n(3), n(0)), n(1));
+        assert_eq!(t.u_parent(n(3), n(1)), n(3));
+        assert_eq!(t.path_between(n(4), n(4)), vec![n(4)]);
+    }
+
+    #[test]
+    fn dir_edge_indexing_roundtrip() {
+        let t = Tree::kary(10, 3);
+        let mut seen = vec![false; t.num_dir_edges()];
+        for (u, v) in t.dir_edges().collect::<Vec<_>>() {
+            let i = t.dir_edge_index(u, v);
+            assert!(!seen[i], "directed edge index {i} repeated");
+            seen[i] = true;
+            assert_eq!(t.dir_edge(i), (u, v));
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn subtree_nodes_consistent_with_membership() {
+        let t = Tree::path(6);
+        let sub = t.subtree_nodes(n(1), n(2));
+        assert_eq!(sub, vec![n(0), n(1)]);
+        let sub = t.subtree_nodes(n(2), n(1));
+        assert_eq!(sub, vec![n(2), n(3), n(4), n(5)]);
+    }
+}

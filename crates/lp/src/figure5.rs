@@ -1,0 +1,222 @@
+//! Figure 5: the linear program of Lemma 4.6.
+//!
+//! For every transition of the Figure-4 product machine, the amortized
+//! cost inequality
+//!
+//! ```text
+//! Φ(to) − Φ(from) + cost_RWW ≤ c · cost_OPT
+//! ```
+//!
+//! becomes an LP row over the variables `(c, Φ(0,0), Φ(0,1), Φ(0,2),
+//! Φ(1,0), Φ(1,1), Φ(1,2))`, all non-negative; the objective minimises
+//! `c`. The paper reports the optimum
+//!
+//! ```text
+//! c = 5/2,  Φ = (0, 2, 3, 5/2, 2, 1/2)
+//! ```
+//!
+//! which (together with `Φ ≥ 0` and `Φ(0,0) = 0` at the initial state)
+//! proves Theorem 1. This module builds the LP *from the transition
+//! system* (not from a hard-coded table), solves it with the in-repo
+//! simplex, and cross-checks the paper's 21 printed rows against the
+//! enumerated transitions.
+
+use crate::simplex::{solve_min, LpError};
+use crate::state_machine::{enumerate_transitions, Transition};
+
+/// The paper's optimal competitive constant.
+pub const PAPER_C: f64 = 2.5;
+
+/// The paper's optimal potential, indexed by
+/// `ProductState::index()`: `Φ(0,0), Φ(0,1), Φ(0,2), Φ(1,0), Φ(1,1),
+/// Φ(1,2)`.
+pub const PAPER_PHI: [f64; 6] = [0.0, 2.0, 3.0, 2.5, 2.0, 0.5];
+
+/// The 21 rows printed in Figure 5, as
+/// `(from index, to index, additive RWW cost, OPT-cost multiplier of c)`,
+/// i.e. the row `Φ(to) − Φ(from) + rww ≤ opt · c`.
+pub const PAPER_ROWS: [(usize, usize, u64, u64); 21] = [
+    (0, 2, 2, 2),
+    (0, 5, 2, 2),
+    (0, 0, 0, 0),
+    (3, 5, 2, 0),
+    (3, 0, 0, 2),
+    (3, 3, 0, 1),
+    (3, 0, 0, 1),
+    (2, 2, 0, 2),
+    (2, 5, 0, 2),
+    (2, 1, 1, 0),
+    (5, 5, 0, 0),
+    (5, 1, 1, 2),
+    (5, 4, 1, 1),
+    (5, 2, 0, 1),
+    (1, 2, 0, 2),
+    (1, 5, 0, 2),
+    (1, 0, 2, 0),
+    (4, 5, 0, 0),
+    (4, 0, 2, 2),
+    (4, 3, 2, 1),
+    (4, 1, 0, 1),
+];
+
+/// An LP in `min cᵀx, Ax ≤ b, x ≥ 0` form.
+#[derive(Clone, Debug)]
+pub struct Lp {
+    /// Objective coefficients.
+    pub objective: Vec<f64>,
+    /// Constraint matrix rows.
+    pub a: Vec<Vec<f64>>,
+    /// Right-hand sides.
+    pub b: Vec<f64>,
+}
+
+/// Deduplicated LP rows derived from the transition system: each distinct
+/// `(from, to, rww, opt)` tuple once.
+pub fn lp_rows_from_transitions(transitions: &[Transition]) -> Vec<(usize, usize, u64, u64)> {
+    let mut rows = Vec::new();
+    for t in transitions {
+        let row = (t.from.index(), t.to.index(), t.rww_cost, t.opt_cost);
+        if !rows.contains(&row) {
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// Builds the Figure-5 LP from the enumerated transition system.
+///
+/// Variable order: `x = [c, Φ_0, …, Φ_5]`.
+pub fn build_figure5_lp() -> Lp {
+    let rows = lp_rows_from_transitions(&enumerate_transitions());
+    let mut a = Vec::with_capacity(rows.len());
+    let mut b = Vec::with_capacity(rows.len());
+    for (from, to, rww, opt) in rows {
+        // Φ(to) − Φ(from) − opt·c ≤ −rww
+        let mut coeffs = vec![0.0f64; 7];
+        coeffs[0] = -(opt as f64);
+        coeffs[1 + to] += 1.0;
+        coeffs[1 + from] -= 1.0;
+        a.push(coeffs);
+        b.push(-(rww as f64));
+    }
+    Lp {
+        objective: {
+            let mut o = vec![0.0; 7];
+            o[0] = 1.0;
+            o
+        },
+        a,
+        b,
+    }
+}
+
+/// Solution of the Figure-5 LP.
+#[derive(Clone, Debug)]
+pub struct Figure5Solution {
+    /// Optimal competitive constant `c`.
+    pub c: f64,
+    /// A potential achieving it (indexed like [`PAPER_PHI`]).
+    pub phi: [f64; 6],
+}
+
+/// Solves the Figure-5 LP with the in-repo simplex.
+///
+/// ```
+/// let sol = oat_lp::figure5::solve_figure5().unwrap();
+/// assert!((sol.c - 2.5).abs() < 1e-7, "the paper's 5/2");
+/// ```
+pub fn solve_figure5() -> Result<Figure5Solution, LpError> {
+    let lp = build_figure5_lp();
+    let sol = solve_min(&lp.objective, &lp.a, &lp.b)?;
+    let mut phi = [0.0; 6];
+    phi.copy_from_slice(&sol.x[1..7]);
+    Ok(Figure5Solution { c: sol.x[0], phi })
+}
+
+/// Checks that a `(c, Φ)` pair satisfies every row of the LP (within
+/// `tol`). Used to validate the paper's printed optimum.
+pub fn is_feasible(c: f64, phi: &[f64; 6], tol: f64) -> bool {
+    let lp = build_figure5_lp();
+    let x: Vec<f64> = std::iter::once(c).chain(phi.iter().copied()).collect();
+    lp.a.iter().zip(&lp.b).all(|(row, &rhs)| {
+        let lhs: f64 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
+        lhs <= rhs + tol
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerated_rows_cover_the_papers_21() {
+        let rows = lp_rows_from_transitions(&enumerate_transitions());
+        for pr in PAPER_ROWS {
+            assert!(
+                rows.contains(&pr),
+                "paper row {pr:?} missing from the enumerated transition system"
+            );
+        }
+        // Anything we enumerate beyond the paper's 21 must be a trivial
+        // 0 ≤ 0 row (a no-change noop the paper omitted).
+        for r in rows {
+            if !PAPER_ROWS.contains(&r) {
+                let (from, to, rww, opt) = r;
+                assert!(
+                    from == to && rww == 0 && opt == 0,
+                    "unexpected non-trivial extra row {r:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lp_optimum_is_five_halves() {
+        let sol = solve_figure5().expect("Figure 5 LP is feasible and bounded");
+        assert!(
+            (sol.c - PAPER_C).abs() < 1e-7,
+            "expected c = 5/2, solved c = {}",
+            sol.c
+        );
+        // The solved potential must itself be feasible.
+        assert!(is_feasible(sol.c, &sol.phi, 1e-6));
+    }
+
+    #[test]
+    fn papers_potential_is_feasible_at_c_five_halves() {
+        assert!(is_feasible(PAPER_C, &PAPER_PHI, 1e-9));
+    }
+
+    #[test]
+    fn papers_potential_is_infeasible_below_five_halves() {
+        // 5/2 is tight: no potential works for smaller c. (We check the
+        // paper's Φ fails, and — stronger — the LP with c fixed slightly
+        // below 5/2 is infeasible.)
+        assert!(!is_feasible(PAPER_C - 0.05, &PAPER_PHI, 1e-9));
+
+        let lp = build_figure5_lp();
+        // Fix c = 2.45 by adding c ≤ 2.45 and −c ≤ −2.45.
+        let mut a = lp.a.clone();
+        let mut b = lp.b.clone();
+        let mut up = vec![0.0; 7];
+        up[0] = 1.0;
+        a.push(up);
+        b.push(2.45);
+        let mut dn = vec![0.0; 7];
+        dn[0] = -1.0;
+        a.push(dn);
+        b.push(-2.45);
+        let res = solve_min(&lp.objective, &a, &b);
+        assert_eq!(res.err(), Some(LpError::Infeasible));
+    }
+
+    #[test]
+    fn initial_state_potential_is_zero_at_optimum() {
+        // Φ(0,0) can always be taken 0 (the amortized argument needs
+        // Φ(start) = 0 and Φ ≥ 0); verify our solved potential has
+        // Φ(0,0) = 0 or can be shifted... for this LP Φ(0,0) = 0 holds
+        // at the vertex the simplex finds, matching the paper.
+        let sol = solve_figure5().unwrap();
+        assert!(sol.phi[0].abs() < 1e-7, "Φ(0,0) = {}", sol.phi[0]);
+    }
+}

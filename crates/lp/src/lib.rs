@@ -1,0 +1,34 @@
+//! # oat-lp — the Figure-4 state machine and the Figure-5 linear program
+//!
+//! The competitive proof of Theorem 1 (Lemma 4.6) runs on three artefacts:
+//!
+//! * [`state_machine`] — **Figure 4**: the product states `S(x, y)` with
+//!   `x = F_OPT(u,v) ∈ {0,1}` and `y = F_RWW(u,v) ∈ {0,1,2}`, and every
+//!   legal transition on an `R`/`W`/`N` event (RWW moves
+//!   deterministically, OPT nondeterministically through the Figure-2
+//!   rows),
+//! * [`figure5`] — **Figure 5**: the linear program
+//!   `min c` s.t. `Φ(next) − Φ(cur) + cost_RWW ≤ c · cost_OPT` for every
+//!   transition, with `Φ ≥ 0`; the paper reports the optimum `c = 5/2`
+//!   with `Φ = (0, 2, 3, 5/2, 2, 1/2)`,
+//! * [`simplex`] — a from-scratch dense two-phase simplex solver (no
+//!   external LP dependency) used to re-derive that optimum,
+//! * [`potential`] — an empirical audit: replay traces through the
+//!   product machine and check the amortized inequality step by step with
+//!   the paper's potential,
+//! * [`certificate`] — an exact integer-arithmetic proof of `c = 5/2`:
+//!   the LP optimum equals the maximum cost-ratio over simple cycles of
+//!   the transition graph, all of which are enumerated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod certificate;
+pub mod figure5;
+pub mod potential;
+pub mod simplex;
+pub mod state_machine;
+
+pub use figure5::{build_figure5_lp, solve_figure5, Figure5Solution, PAPER_C, PAPER_PHI};
+pub use simplex::{solve_min, LpError, LpSolution};
+pub use state_machine::{enumerate_transitions, ProductState, Transition};

@@ -1,0 +1,127 @@
+//! Empirical potential-function audit.
+//!
+//! Lemma 4.6's argument: along any `σ'(u,v)` trace, with OPT playing its
+//! optimal per-edge trajectory and RWW playing Figure 3, every step
+//! satisfies
+//!
+//! ```text
+//! Φ(after) − Φ(before) + cost_RWW ≤ (5/2) · cost_OPT.
+//! ```
+//!
+//! This module replays traces through the product machine with the
+//! paper's potential and reports the maximal violation (which must be
+//! ≤ 0) and the worst per-trace slack — experiment E13.
+
+use oat_core::request::EdgeEvent;
+use oat_offline::cost_model::edge_cost;
+use oat_offline::opt_dp::opt_edge_trajectory;
+
+use crate::figure5::{PAPER_C, PAPER_PHI};
+use crate::state_machine::rww_step;
+
+/// Result of auditing one event trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AuditReport {
+    /// Total RWW cost along the trace.
+    pub rww_cost: u64,
+    /// Total OPT cost along the trace (per-edge optimum).
+    pub opt_cost: u64,
+    /// Maximum over steps of
+    /// `ΔΦ + cost_RWW − (5/2)·cost_OPT` (must be ≤ 0).
+    pub max_step_violation: f64,
+    /// Final potential (bounds total slack: `C_RWW ≤ (5/2)·C_OPT + Φ_end`
+    /// since `Φ_start = 0`).
+    pub final_potential: f64,
+}
+
+/// Replays `events` with RWW against the optimal OPT trajectory and
+/// audits the amortized inequality step by step with the paper's
+/// potential.
+pub fn audit_trace(events: &[EdgeEvent]) -> AuditReport {
+    let (opt_total, opt_states) = opt_edge_trajectory(events);
+    let mut rww_y = 0u8;
+    let mut opt_state = false;
+    let mut rww_total = 0u64;
+    let mut max_violation = f64::NEG_INFINITY;
+    let mut phi = PAPER_PHI[state_index(opt_state, rww_y)];
+    assert_eq!(phi, 0.0, "initial potential must be zero");
+
+    for (i, &ev) in events.iter().enumerate() {
+        let (ny, rcost) = rww_step(rww_y, ev);
+        let opt_next = opt_states[i];
+        let ocost = edge_cost(opt_state, ev, opt_next)
+            .expect("OPT trajectory uses legal transitions");
+        let nphi = PAPER_PHI[state_index(opt_next, ny)];
+        let violation = (nphi - phi) + rcost as f64 - PAPER_C * ocost as f64;
+        max_violation = max_violation.max(violation);
+        rww_total += rcost;
+        phi = nphi;
+        rww_y = ny;
+        opt_state = opt_next;
+    }
+    if events.is_empty() {
+        max_violation = 0.0;
+    }
+    AuditReport {
+        rww_cost: rww_total,
+        opt_cost: opt_total,
+        max_step_violation: max_violation,
+        final_potential: phi,
+    }
+}
+
+fn state_index(opt: bool, rww: u8) -> usize {
+    (opt as usize) * 3 + rww as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oat_core::request::sigma_prime_of;
+    use oat_core::request::EdgeEvent::*;
+
+    #[test]
+    fn adversarial_trace_is_tight_but_never_violated() {
+        let mut raw = Vec::new();
+        for _ in 0..50 {
+            raw.extend([R, W, W]);
+        }
+        let events = sigma_prime_of(&raw);
+        let rep = audit_trace(&events);
+        assert!(rep.max_step_violation <= 1e-9, "{rep:?}");
+        // Amortized bound: C_RWW ≤ (5/2)·C_OPT + Φ_end.
+        assert!(
+            rep.rww_cost as f64 <= PAPER_C * rep.opt_cost as f64 + rep.final_potential + 1e-9
+        );
+        // And the adversarial trace is essentially tight.
+        let ratio = rep.rww_cost as f64 / rep.opt_cost as f64;
+        assert!(ratio > 2.45, "adversarial ratio {ratio} should approach 5/2");
+    }
+
+    #[test]
+    fn random_traces_never_violate_the_amortized_inequality() {
+        let mut seed = 31u64;
+        for _ in 0..300 {
+            let mut raw = Vec::new();
+            for _ in 0..120 {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(7);
+                raw.push(if (seed >> 34).is_multiple_of(2) { R } else { W });
+            }
+            let events = sigma_prime_of(&raw);
+            let rep = audit_trace(&events);
+            assert!(rep.max_step_violation <= 1e-9, "{rep:?}");
+            assert!(
+                rep.rww_cost as f64
+                    <= PAPER_C * rep.opt_cost as f64 + rep.final_potential + 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn empty_trace() {
+        let rep = audit_trace(&[]);
+        assert_eq!(rep.rww_cost, 0);
+        assert_eq!(rep.opt_cost, 0);
+        assert_eq!(rep.max_step_violation, 0.0);
+    }
+}

@@ -1,0 +1,392 @@
+//! A dense two-phase simplex solver.
+//!
+//! Solves `min cᵀx` subject to `Ax ≤ b`, `x ≥ 0` (no sign restriction on
+//! `b`). Written from scratch for this repository — the Figure-5 LP has 7
+//! variables and ~27 rows, so a dense tableau with Bland's anti-cycling
+//! rule is both simple and robust. The solver is exact enough for the
+//! rational optimum `c = 5/2` to be recovered to ~1e-9.
+//!
+//! Phase 1 minimises the sum of artificial variables to find a basic
+//! feasible solution; phase 2 optimises the real objective. Unbounded and
+//! infeasible programs are reported as errors.
+
+/// Why an LP could not be solved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LpError {
+    /// No point satisfies all constraints.
+    Infeasible,
+    /// The objective decreases without bound over the feasible region.
+    Unbounded,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "infeasible"),
+            LpError::Unbounded => write!(f, "unbounded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal solution.
+#[derive(Clone, Debug)]
+pub struct LpSolution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Optimal assignment of the original variables.
+    pub x: Vec<f64>,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Minimises `cᵀx` subject to `a[i]·x ≤ b[i]` for all `i`, `x ≥ 0`.
+pub fn solve_min(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> Result<LpSolution, LpError> {
+    let n = c.len();
+    let m = a.len();
+    assert_eq!(b.len(), m, "one rhs per constraint");
+    for row in a {
+        assert_eq!(row.len(), n, "constraint arity mismatch");
+    }
+
+    // Equality form with slacks: A x + I s = b. Rows with negative b are
+    // negated (slack coefficient flips to -1) and get an artificial
+    // variable to form the initial basis; rows with b >= 0 use their
+    // slack as the initial basic variable.
+    //
+    // Column layout: [x (n)] [s (m)] [artificials (k)] [rhs].
+    let mut needs_artificial = Vec::new();
+    for (i, &bi) in b.iter().enumerate() {
+        if bi < 0.0 {
+            needs_artificial.push(i);
+        }
+    }
+    let k = needs_artificial.len();
+    let cols = n + m + k;
+    let mut t = vec![vec![0.0f64; cols + 1]; m];
+    let mut basis = vec![0usize; m];
+    let mut art_index = 0usize;
+    for i in 0..m {
+        let neg = b[i] < 0.0;
+        let sign = if neg { -1.0 } else { 1.0 };
+        for j in 0..n {
+            t[i][j] = sign * a[i][j];
+        }
+        t[i][n + i] = sign; // slack
+        t[i][cols] = sign * b[i];
+        if neg {
+            let aj = n + m + art_index;
+            art_index += 1;
+            t[i][aj] = 1.0;
+            basis[i] = aj;
+        } else {
+            basis[i] = n + i;
+        }
+    }
+
+    if k > 0 {
+        // Phase 1: minimise the sum of artificials.
+        let mut obj = vec![0.0f64; cols + 1];
+        for o in obj.iter_mut().take(cols).skip(n + m) {
+            *o = 1.0;
+        }
+        // Price out the basic artificials.
+        for i in 0..m {
+            if basis[i] >= n + m {
+                for j in 0..=cols {
+                    obj[j] -= t[i][j];
+                }
+            }
+        }
+        run_simplex(&mut t, &mut basis, &mut obj, cols).map_err(|e| match e {
+            // Phase 1 is bounded below by 0; "unbounded" here would be a
+            // solver bug, surface it as infeasible-with-panic in debug.
+            LpError::Unbounded => unreachable!("phase 1 cannot be unbounded"),
+            other => other,
+        })?;
+        let phase1_value = -obj[cols];
+        if phase1_value > 1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive any remaining artificial out of the basis (degenerate
+        // feasible solutions can leave a zero-valued artificial basic).
+        for i in 0..m {
+            if basis[i] >= n + m {
+                // Find a non-artificial column with nonzero coefficient.
+                if let Some(j) = (0..n + m).find(|&j| t[i][j].abs() > EPS) {
+                    pivot(&mut t, &mut basis, None, i, j, cols);
+                } // else: the row is redundant; harmless to leave.
+            }
+        }
+    }
+
+    // Phase 2 objective, priced out against the current basis. Artificial
+    // columns are frozen by giving them a prohibitive cost of +inf — we
+    // simply never let them enter (handled in run_simplex by bounds on
+    // the candidate columns via `limit`).
+    let limit = n + m;
+    let mut obj = vec![0.0f64; cols + 1];
+    obj[..n].copy_from_slice(c);
+    for i in 0..m {
+        let bi = basis[i];
+        if obj[bi].abs() > 0.0 {
+            let coef = obj[bi];
+            for j in 0..=cols {
+                obj[j] -= coef * t[i][j];
+            }
+        }
+    }
+    run_simplex_limited(&mut t, &mut basis, &mut obj, cols, limit)?;
+
+    let mut x = vec![0.0f64; n];
+    for i in 0..m {
+        if basis[i] < n {
+            x[basis[i]] = t[i][cols];
+        }
+    }
+    let objective = c.iter().zip(&x).map(|(ci, xi)| ci * xi).sum();
+    Ok(LpSolution { objective, x })
+}
+
+/// Runs simplex iterations over all columns.
+fn run_simplex(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    obj: &mut [f64],
+    cols: usize,
+) -> Result<(), LpError> {
+    run_simplex_limited(t, basis, obj, cols, cols)
+}
+
+/// Runs simplex iterations; only columns `< limit` may enter the basis
+/// (used to freeze artificials in phase 2). Bland's rule throughout.
+fn run_simplex_limited(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    obj: &mut [f64],
+    cols: usize,
+    limit: usize,
+) -> Result<(), LpError> {
+    let m = t.len();
+    let max_iters = 10_000 + 100 * (m + cols);
+    for _ in 0..max_iters {
+        // Bland: entering column = smallest index with negative reduced
+        // cost.
+        let Some(enter) = (0..limit).find(|&j| obj[j] < -EPS) else {
+            return Ok(());
+        };
+        // Ratio test, ties broken by smallest basis index (Bland).
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for i in 0..m {
+            if t[i][enter] > EPS {
+                let ratio = t[i][cols] / t[i][enter];
+                let better = ratio < best - EPS
+                    || (ratio < best + EPS
+                        && leave.map(|l| basis[i] < basis[l]).unwrap_or(true));
+                if better {
+                    best = ratio.min(best);
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(leave) = leave else {
+            return Err(LpError::Unbounded);
+        };
+        pivot(t, basis, Some(obj), leave, enter, cols);
+    }
+    panic!("simplex exceeded its iteration budget (cycling?)")
+}
+
+/// Pivots on `(row, col)`, updating the tableau, basis, and objective.
+fn pivot(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    obj: Option<&mut [f64]>,
+    row: usize,
+    col: usize,
+    cols: usize,
+) {
+    let pv = t[row][col];
+    debug_assert!(pv.abs() > EPS, "pivot on a (near-)zero element");
+    for x in t[row].iter_mut().take(cols + 1) {
+        *x /= pv;
+    }
+    // Row elimination needs simultaneous access to the pivot row and the
+    // target row; split_at_mut keeps it safe.
+    let (head, tail) = t.split_at_mut(row);
+    let (pivot_row, tail) = tail.split_first_mut().expect("row in range");
+    for r in head.iter_mut().chain(tail.iter_mut()) {
+        if r[col].abs() > EPS {
+            let f = r[col];
+            for (x, &p) in r.iter_mut().zip(pivot_row.iter()).take(cols + 1) {
+                *x -= f * p;
+            }
+        }
+    }
+    let t_row_snapshot: Vec<f64> = pivot_row.clone();
+    if let Some(obj) = obj {
+        if obj[col].abs() > EPS {
+            let f = obj[col];
+            for (x, &p) in obj.iter_mut().zip(t_row_snapshot.iter()).take(cols + 1) {
+                *x -= f * p;
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} != {b}");
+    }
+
+    #[test]
+    fn trivial_minimum_at_origin() {
+        // min x + y s.t. x + y <= 10 → 0 at origin.
+        let sol = solve_min(&[1.0, 1.0], &[vec![1.0, 1.0]], &[10.0]).unwrap();
+        assert_close(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn forced_lower_bounds() {
+        // min x + y s.t. -x <= -3, -y <= -4 → x=3, y=4, obj 7.
+        let sol = solve_min(
+            &[1.0, 1.0],
+            &[vec![-1.0, 0.0], vec![0.0, -1.0]],
+            &[-3.0, -4.0],
+        )
+        .unwrap();
+        assert_close(sol.objective, 7.0);
+        assert_close(sol.x[0], 3.0);
+        assert_close(sol.x[1], 4.0);
+    }
+
+    #[test]
+    fn classic_lp() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (Dantzig).
+        // As min of the negation: optimum -36 at (2, 6).
+        let sol = solve_min(
+            &[-3.0, -5.0],
+            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
+            &[4.0, 12.0, 18.0],
+        )
+        .unwrap();
+        assert_close(sol.objective, -36.0);
+        assert_close(sol.x[0], 2.0);
+        assert_close(sol.x[1], 6.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and -x <= -2 (x >= 2): empty.
+        let r = solve_min(&[1.0], &[vec![1.0], vec![-1.0]], &[1.0, -2.0]);
+        assert_eq!(r.err(), Some(LpError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x, x unconstrained above.
+        let r = solve_min(&[-1.0], &[vec![0.0]], &[5.0]);
+        assert_eq!(r.err(), Some(LpError::Unbounded));
+    }
+
+    #[test]
+    fn mixed_signs_rhs() {
+        // min 2x + 3y s.t. -x - y <= -4 (x + y >= 4), x <= 3.
+        // Best: x=3, y=1 → 9.
+        let sol = solve_min(
+            &[2.0, 3.0],
+            &[vec![-1.0, -1.0], vec![1.0, 0.0]],
+            &[-4.0, 3.0],
+        )
+        .unwrap();
+        assert_close(sol.objective, 9.0);
+    }
+
+    #[test]
+    fn degenerate_constraints_handled() {
+        // Redundant rows and a tie-rich geometry.
+        let sol = solve_min(
+            &[1.0, 1.0],
+            &[
+                vec![-1.0, -1.0],
+                vec![-1.0, -1.0],
+                vec![-2.0, -2.0],
+                vec![1.0, 1.0],
+            ],
+            &[-2.0, -2.0, -4.0, 10.0],
+        )
+        .unwrap();
+        assert_close(sol.objective, 2.0);
+    }
+
+    #[test]
+    fn random_lps_match_vertex_enumeration() {
+        // 2-variable LPs can be solved by enumerating constraint-pair
+        // intersections; compare against the simplex on random instances.
+        let mut seed = 0xabcdefu64;
+        let mut rnd = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) * 10.0 - 5.0
+        };
+        for _case in 0..200 {
+            let c = [rnd(), rnd()];
+            let m = 5;
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            for _ in 0..m {
+                a.push(vec![rnd(), rnd()]);
+                b.push(rnd().abs() + 1.0); // keep origin feasible => bounded feasible region not guaranteed, but feasible
+            }
+            // Add a box to guarantee boundedness.
+            a.push(vec![1.0, 0.0]);
+            b.push(20.0);
+            a.push(vec![0.0, 1.0]);
+            b.push(20.0);
+
+            let sol = solve_min(&c, &a, &b).expect("feasible and bounded");
+
+            // Vertex enumeration: all intersections of pairs of active
+            // constraints (including axes x=0, y=0).
+            let mut rows: Vec<(f64, f64, f64)> =
+                a.iter().zip(&b).map(|(r, &bb)| (r[0], r[1], bb)).collect();
+            rows.push((-1.0, 0.0, 0.0)); // x >= 0
+            rows.push((0.0, -1.0, 0.0)); // y >= 0
+            let mut best = f64::INFINITY;
+            for i in 0..rows.len() {
+                for j in i + 1..rows.len() {
+                    let (a1, b1, c1) = rows[i];
+                    let (a2, b2, c2) = rows[j];
+                    let det = a1 * b2 - a2 * b1;
+                    if det.abs() < 1e-9 {
+                        continue;
+                    }
+                    let x = (c1 * b2 - c2 * b1) / det;
+                    let y = (a1 * c2 - a2 * c1) / det;
+                    if x < -1e-7 || y < -1e-7 {
+                        continue;
+                    }
+                    if rows
+                        .iter()
+                        .all(|&(aa, bb, cc)| aa * x + bb * y <= cc + 1e-6)
+                    {
+                        best = best.min(c[0] * x + c[1] * y);
+                    }
+                }
+            }
+            // Origin is always feasible here.
+            best = best.min(0.0);
+            assert!(
+                (sol.objective - best).abs() < 1e-5,
+                "simplex {} vs enumeration {}",
+                sol.objective,
+                best
+            );
+        }
+    }
+}

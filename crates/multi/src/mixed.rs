@@ -1,0 +1,288 @@
+//! Heterogeneous multi-attribute aggregation: a *different* policy per
+//! attribute.
+//!
+//! SDIMS's headline API lets applications pick update-propagation
+//! strategies per attribute — e.g. push-all for a tiny, hot
+//! configuration flag; pull for a bulk debug counter; adaptive leases
+//! for everything else. [`MixedMultiSystem`] provides exactly that: each
+//! attribute names a [`PolicyKind`] when first registered, and runs its
+//! own engine under it. (The homogeneous [`crate::MultiSystem`] shows
+//! that with RWW the choice can be left to adaptation; this type exists
+//! for the cases where the operator *knows*.)
+
+use oat_core::agg::AggOp;
+use oat_core::mechanism::CombineOutcome;
+use oat_core::policy::ab::AbSpec;
+use oat_core::policy::baseline::{AlwaysLeaseSpec, NeverLeaseSpec};
+use oat_core::policy::random::RandomBreakSpec;
+use oat_core::policy::rww::RwwSpec;
+use oat_core::tree::{NodeId, Tree};
+use oat_sim::{Engine, Schedule};
+use std::collections::HashMap;
+
+/// The policy menu for per-attribute selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// The paper's adaptive policy (Figure 3).
+    Rww,
+    /// Generalised `(a, b)` policy.
+    Ab(u32, u32),
+    /// Push-all (Astrolabe-like), started with all leases pre-warmed.
+    AlwaysLease,
+    /// Pull-all (MDS-2-like).
+    NeverLease,
+    /// Randomized breaking with expected tolerance `b` and a seed.
+    RandomBreak(u32, u64),
+}
+
+/// One engine, dispatched over the policy menu.
+enum DynEngine<A: AggOp> {
+    Rww(Engine<RwwSpec, A>),
+    Ab(Engine<AbSpec, A>),
+    Always(Engine<AlwaysLeaseSpec, A>),
+    Never(Engine<NeverLeaseSpec, A>),
+    Random(Engine<RandomBreakSpec, A>),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $e:ident => $body:expr) => {
+        match $self {
+            DynEngine::Rww($e) => $body,
+            DynEngine::Ab($e) => $body,
+            DynEngine::Always($e) => $body,
+            DynEngine::Never($e) => $body,
+            DynEngine::Random($e) => $body,
+        }
+    };
+}
+
+impl<A: AggOp> DynEngine<A> {
+    fn new(kind: PolicyKind, tree: &Tree, op: &A) -> Self {
+        match kind {
+            PolicyKind::Rww => DynEngine::Rww(Engine::new(
+                tree.clone(),
+                op.clone(),
+                &RwwSpec,
+                Schedule::Fifo,
+                false,
+            )),
+            PolicyKind::Ab(a, b) => DynEngine::Ab(Engine::new(
+                tree.clone(),
+                op.clone(),
+                &AbSpec::new(a, b),
+                Schedule::Fifo,
+                false,
+            )),
+            PolicyKind::AlwaysLease => {
+                let mut eng = Engine::new(
+                    tree.clone(),
+                    op.clone(),
+                    &AlwaysLeaseSpec,
+                    Schedule::Fifo,
+                    false,
+                );
+                eng.prewarm_leases();
+                DynEngine::Always(eng)
+            }
+            PolicyKind::NeverLease => DynEngine::Never(Engine::new(
+                tree.clone(),
+                op.clone(),
+                &NeverLeaseSpec,
+                Schedule::Fifo,
+                false,
+            )),
+            PolicyKind::RandomBreak(b, seed) => DynEngine::Random(Engine::new(
+                tree.clone(),
+                op.clone(),
+                &RandomBreakSpec::new(b, seed),
+                Schedule::Fifo,
+                false,
+            )),
+        }
+    }
+
+    fn write(&mut self, node: NodeId, value: A::Value) {
+        dispatch!(self, e => {
+            e.initiate_write(node, value);
+            let done = e.run_to_quiescence();
+            debug_assert!(done.is_empty());
+        })
+    }
+
+    fn read(&mut self, node: NodeId) -> A::Value {
+        dispatch!(self, e => {
+            match e.initiate_combine(node) {
+                CombineOutcome::Done(v) => v,
+                CombineOutcome::Pending => e
+                    .run_to_quiescence()
+                    .into_iter()
+                    .find(|(n, _)| *n == node)
+                    .expect("combine completes sequentially")
+                    .1,
+                CombineOutcome::Coalesced => unreachable!("sequential facade"),
+            }
+        })
+    }
+
+    fn messages(&self) -> u64 {
+        dispatch!(self, e => e.stats().total())
+    }
+}
+
+/// A multi-attribute system with a per-attribute policy choice.
+pub struct MixedMultiSystem<A: AggOp> {
+    tree: Tree,
+    op: A,
+    default_kind: PolicyKind,
+    names: Vec<(String, PolicyKind)>,
+    index: HashMap<String, usize>,
+    engines: Vec<DynEngine<A>>,
+}
+
+impl<A: AggOp> MixedMultiSystem<A> {
+    /// New system; attributes not explicitly registered use
+    /// `default_kind`.
+    pub fn new(tree: Tree, op: A, default_kind: PolicyKind) -> Self {
+        MixedMultiSystem {
+            tree,
+            op,
+            default_kind,
+            names: Vec::new(),
+            index: HashMap::new(),
+            engines: Vec::new(),
+        }
+    }
+
+    /// Registers `attr` with an explicit policy. Panics if the attribute
+    /// was already created (policies are fixed at creation, like SDIMS
+    /// install-time knobs).
+    pub fn register(&mut self, attr: &str, kind: PolicyKind) {
+        assert!(
+            !self.index.contains_key(attr),
+            "attribute `{attr}` already exists"
+        );
+        self.create(attr, kind);
+    }
+
+    fn create(&mut self, attr: &str, kind: PolicyKind) -> usize {
+        let i = self.engines.len();
+        self.engines.push(DynEngine::new(kind, &self.tree, &self.op));
+        self.names.push((attr.to_string(), kind));
+        self.index.insert(attr.to_string(), i);
+        i
+    }
+
+    fn attr_index(&mut self, attr: &str) -> usize {
+        match self.index.get(attr) {
+            Some(&i) => i,
+            None => self.create(attr, self.default_kind),
+        }
+    }
+
+    /// Writes `value` at `node` under `attr`.
+    pub fn write(&mut self, node: NodeId, attr: &str, value: A::Value) {
+        let i = self.attr_index(attr);
+        self.engines[i].write(node, value);
+    }
+
+    /// Reads the aggregate of `attr` at `node`.
+    pub fn read(&mut self, node: NodeId, attr: &str) -> A::Value {
+        let i = self.attr_index(attr);
+        self.engines[i].read(node)
+    }
+
+    /// `(attribute, policy)` pairs in creation order.
+    pub fn attributes(&self) -> &[(String, PolicyKind)] {
+        &self.names
+    }
+
+    /// Messages spent on `attr` so far.
+    pub fn messages_for(&self, attr: &str) -> u64 {
+        self.index
+            .get(attr)
+            .map(|&i| self.engines[i].messages())
+            .unwrap_or(0)
+    }
+
+    /// Total messages across all attributes.
+    pub fn messages_total(&self) -> u64 {
+        self.engines.iter().map(DynEngine::messages).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oat_core::agg::SumI64;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn per_attribute_policies_behave_differently() {
+        let mut sys = MixedMultiSystem::new(Tree::star(8), SumI64, PolicyKind::Rww);
+        sys.register("config", PolicyKind::AlwaysLease);
+        sys.register("debug", PolicyKind::NeverLease);
+
+        // config: prewarmed push — reads free from the start.
+        assert_eq!(sys.read(n(3), "config"), 0);
+        assert_eq!(sys.messages_for("config"), 0);
+        // a write pushes to everyone.
+        sys.write(n(1), "config", 7);
+        assert_eq!(sys.messages_for("config"), 7, "pushed along the tree");
+        assert_eq!(sys.read(n(5), "config"), 7);
+        assert_eq!(sys.messages_for("config"), 7, "read still free");
+
+        // debug: pull — writes free, each read floods.
+        sys.write(n(2), "debug", 100);
+        assert_eq!(sys.messages_for("debug"), 0);
+        assert_eq!(sys.read(n(3), "debug"), 100);
+        assert_eq!(sys.messages_for("debug"), 14, "2·(n−1) flood");
+
+        // default (RWW) kicks in for unregistered attributes.
+        assert_eq!(sys.read(n(4), "other"), 0);
+        assert_eq!(sys.attributes().len(), 3);
+        assert_eq!(sys.attributes()[2].1, PolicyKind::Rww);
+    }
+
+    #[test]
+    fn totals_partition() {
+        let mut sys = MixedMultiSystem::new(Tree::path(4), SumI64, PolicyKind::Rww);
+        sys.register("a", PolicyKind::Ab(1, 3));
+        sys.read(n(0), "a");
+        sys.read(n(3), "b");
+        assert_eq!(
+            sys.messages_total(),
+            sys.messages_for("a") + sys.messages_for("b")
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_registration_rejected() {
+        let mut sys = MixedMultiSystem::new(Tree::pair(), SumI64, PolicyKind::Rww);
+        sys.register("a", PolicyKind::Rww);
+        sys.register("a", PolicyKind::NeverLease);
+    }
+
+    #[test]
+    fn randomized_policy_attribute_is_consistent() {
+        let mut sys = MixedMultiSystem::new(Tree::path(5), SumI64, PolicyKind::Rww);
+        sys.register("x", PolicyKind::RandomBreak(2, 7));
+        let mut oracle = 0;
+        for i in 0..30 {
+            sys.write(n(i % 5), "x", i as i64);
+            // Track the oracle: last write per node.
+            oracle = {
+                let mut vals = [0i64; 5];
+                for j in 0..=i {
+                    vals[(j % 5) as usize] = j as i64;
+                }
+                vals.iter().sum()
+            };
+            assert_eq!(sys.read(n((i + 2) % 5), "x"), oracle);
+        }
+        let _ = oracle;
+    }
+}

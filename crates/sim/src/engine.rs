@@ -1,0 +1,433 @@
+//! The simulated tree network.
+//!
+//! An [`Engine`] instantiates one [`MechNode`] per tree node and one FIFO
+//! queue per directed edge (the paper's reliable FIFO channels). Drivers
+//! initiate requests ([`Engine::initiate_combine`] /
+//! [`Engine::initiate_write`]) and pump message deliveries
+//! ([`Engine::deliver_next`], [`Engine::run_to_quiescence`]); the engine
+//! records every sent message in [`MsgStats`].
+
+use std::collections::VecDeque;
+
+use oat_core::agg::AggOp;
+use oat_core::mechanism::{CombineOutcome, MechNode, Outbox};
+use oat_core::message::Message;
+use oat_core::policy::PolicySpec;
+use oat_core::tree::{NodeId, Tree};
+
+use crate::schedule::{Schedule, SchedulerState};
+use crate::stats::MsgStats;
+
+/// One message delivery: the receiving node, any combine it completed
+/// there, and the causal depth of the delivered message (1 = sent
+/// directly by a request's initiation, `d+1` = sent while handling a
+/// depth-`d` message). Depth is the hop count of the causal chain and
+/// therefore the latency measure of the network model: a combine answered
+/// by a depth-`d` response took `d` sequential hops.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delivery<V> {
+    /// Node that sent the message.
+    pub from: NodeId,
+    /// Node that processed the message.
+    pub node: NodeId,
+    /// Kind of the delivered message.
+    pub kind: oat_core::message::MsgKind,
+    /// Value of a locally initiated combine that completed, if any.
+    pub completed: Option<V>,
+    /// Causal depth (hops) of the delivered message.
+    pub depth: u32,
+}
+
+/// A simulated tree network running one lease-based algorithm.
+///
+/// ```
+/// use oat_core::{agg::SumI64, policy::rww::RwwSpec, tree::{NodeId, Tree}};
+/// use oat_sim::{Engine, Schedule};
+///
+/// let mut eng = Engine::new(Tree::path(3), SumI64, &RwwSpec, Schedule::Fifo, false);
+/// eng.initiate_write(NodeId(2), 9);
+/// eng.run_to_quiescence();             // writes are silent without leases
+/// assert_eq!(eng.stats().total(), 0);
+///
+/// eng.initiate_combine(NodeId(0));     // cold read probes the tree
+/// let done = eng.run_to_quiescence();
+/// assert_eq!(done, vec![(NodeId(0), 9)]);
+/// assert_eq!(eng.stats().total(), 4);  // 2 probes + 2 responses
+/// ```
+pub struct Engine<S: PolicySpec, A: AggOp> {
+    tree: Tree,
+    op: A,
+    nodes: Vec<MechNode<S::Node, A>>,
+    chans: Vec<VecDeque<(Message<A::Value>, u32)>>,
+    /// One token per undelivered message, in global send order; each token
+    /// names the directed edge whose channel head it refers to.
+    tokens: VecDeque<usize>,
+    sched: SchedulerState,
+    stats: MsgStats,
+    scratch: Outbox<A::Value>,
+    /// Maximum delivered depth since the last [`Engine::reset_depth_window`].
+    window_max_depth: u32,
+}
+
+impl<S: PolicySpec, A: AggOp> Clone for Engine<S, A>
+where
+    S::Node: Clone,
+{
+    fn clone(&self) -> Self {
+        Engine {
+            tree: self.tree.clone(),
+            op: self.op.clone(),
+            nodes: self.nodes.clone(),
+            chans: self.chans.clone(),
+            tokens: self.tokens.clone(),
+            sched: self.sched.clone(),
+            stats: self.stats.clone(),
+            scratch: Vec::new(),
+            window_max_depth: self.window_max_depth,
+        }
+    }
+}
+
+impl<S: PolicySpec, A: AggOp> Engine<S, A>
+where
+    S::Node: std::hash::Hash,
+    A::Value: std::hash::Hash,
+{
+    /// Feeds the complete observable network state (every node's
+    /// mechanism + policy + ghost state, and every channel's contents)
+    /// into a hasher. Two engines with equal hashes behave identically
+    /// under identical future inputs; the model checker uses this to
+    /// deduplicate its state space. Message depths are included so
+    /// latency-observable differences are not conflated.
+    pub fn hash_state<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        for node in &self.nodes {
+            node.hash_state(h);
+        }
+        for chan in &self.chans {
+            chan.len().hash(h);
+            for (msg, depth) in chan {
+                msg.hash(h);
+                depth.hash(h);
+            }
+        }
+    }
+}
+
+impl<S: PolicySpec, A: AggOp> Engine<S, A> {
+    /// Builds the network in the paper's initial state.
+    ///
+    /// `ghost` enables the Section-5 ghost logs (needed by the causal
+    /// consistency checker; costs memory proportional to history length).
+    pub fn new(tree: Tree, op: A, spec: &S, schedule: Schedule, ghost: bool) -> Self {
+        let nodes = tree
+            .nodes()
+            .map(|u| MechNode::new(&tree, u, op.clone(), spec.build(tree.degree(u)), ghost))
+            .collect();
+        let chans = vec![VecDeque::new(); tree.num_dir_edges()];
+        let stats = MsgStats::new(&tree);
+        Engine {
+            op,
+            nodes,
+            chans,
+            tokens: VecDeque::new(),
+            sched: schedule.state(),
+            stats,
+            scratch: Vec::new(),
+            window_max_depth: 0,
+            tree,
+        }
+    }
+
+    /// Pre-establishes leases in both directions on every edge (a valid
+    /// warm quiescent state; models Astrolabe-style push-all operation).
+    pub fn prewarm_leases(&mut self) {
+        for node in &mut self.nodes {
+            node.prewarm_leases();
+        }
+    }
+
+    /// The topology.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Message counters so far.
+    pub fn stats(&self) -> &MsgStats {
+        &self.stats
+    }
+
+    /// The node automaton for `u`.
+    pub fn node(&self, u: NodeId) -> &MechNode<S::Node, A> {
+        &self.nodes[u.idx()]
+    }
+
+    /// Number of undelivered messages.
+    pub fn in_flight(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when no message is in transit (conditions (1)/(2) of the
+    /// paper's quiescent state; condition (3) is the driver's business).
+    pub fn is_quiescent(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The true global aggregate over current local values — the value a
+    /// strictly consistent combine must return (the oracle `f(A(σ,q))`).
+    pub fn global_oracle(&self) -> A::Value {
+        let mut x = self.op.identity();
+        for node in &self.nodes {
+            x = self.op.combine(&x, node.val());
+        }
+        x
+    }
+
+    /// Initiates a combine request at `u` (`T1`).
+    pub fn initiate_combine(&mut self, u: NodeId) -> CombineOutcome<A::Value> {
+        let outcome = {
+            let node = &mut self.nodes[u.idx()];
+            node.handle_combine(&mut self.scratch)
+        };
+        self.route_scratch(u, 1);
+        outcome
+    }
+
+    /// Initiates a write request at `u` (`T2`).
+    pub fn initiate_write(&mut self, u: NodeId, arg: A::Value) {
+        {
+            let node = &mut self.nodes[u.idx()];
+            node.handle_write(arg, &mut self.scratch);
+        }
+        self.route_scratch(u, 1);
+    }
+
+    /// Maximum message depth delivered since the last reset — the hop
+    /// latency of the busiest causal chain in the window.
+    pub fn window_max_depth(&self) -> u32 {
+        self.window_max_depth
+    }
+
+    /// Resets the depth window (typically at each request boundary).
+    pub fn reset_depth_window(&mut self) {
+        self.window_max_depth = 0;
+    }
+
+    /// Delivers the next message according to the schedule.
+    ///
+    /// `None` when no message is in flight.
+    pub fn deliver_next(&mut self) -> Option<Delivery<A::Value>> {
+        if self.tokens.is_empty() {
+            return None;
+        }
+        let pos = self.sched.pick(self.tokens.len());
+        let edge = if pos == 0 {
+            self.tokens.pop_front().expect("tokens non-empty")
+        } else {
+            self.tokens
+                .swap_remove_back(pos)
+                .expect("token index in range")
+        };
+        let (from, to) = self.tree.dir_edge(edge);
+        let (msg, depth) = self.chans[edge]
+            .pop_front()
+            .expect("token implies pending message");
+        self.window_max_depth = self.window_max_depth.max(depth);
+        let kind = msg.kind();
+        let completed = {
+            let node = &mut self.nodes[to.idx()];
+            node.handle_message(from, msg, &mut self.scratch)
+        };
+        self.route_scratch(to, depth + 1);
+        Some(Delivery {
+            from,
+            node: to,
+            kind,
+            completed,
+            depth,
+        })
+    }
+
+    /// Delivers messages until the network is quiescent; returns every
+    /// `(node, value)` combine completion observed on the way.
+    pub fn run_to_quiescence(&mut self) -> Vec<(NodeId, A::Value)> {
+        let mut done = Vec::new();
+        while let Some(d) = self.deliver_next() {
+            if let Some(v) = d.completed {
+                done.push((d.node, v));
+            }
+        }
+        done
+    }
+
+    /// Directed edges with at least one undelivered message, in dense
+    /// edge-index order. The model checker branches over these.
+    pub fn nonempty_channels(&self) -> Vec<(NodeId, NodeId)> {
+        self.chans
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_empty())
+            .map(|(i, _)| self.tree.dir_edge(i))
+            .collect()
+    }
+
+    /// Delivers the head message of the specific channel `from → to`
+    /// (bypassing the schedule); `None` when that channel is empty.
+    ///
+    /// Per-channel FIFO order is preserved — this only overrides the
+    /// *cross-channel* choice, which the network model leaves free.
+    pub fn deliver_from(&mut self, from: NodeId, to: NodeId) -> Option<Delivery<A::Value>> {
+        let edge = self.tree.dir_edge_index(from, to);
+        let (msg, depth) = self.chans[edge].pop_front()?;
+        let pos = self
+            .tokens
+            .iter()
+            .position(|&e| e == edge)
+            .expect("a pending message owns a token");
+        self.tokens.remove(pos);
+        self.window_max_depth = self.window_max_depth.max(depth);
+        let kind = msg.kind();
+        let completed = {
+            let node = &mut self.nodes[to.idx()];
+            node.handle_message(from, msg, &mut self.scratch)
+        };
+        self.route_scratch(to, depth + 1);
+        Some(Delivery {
+            from,
+            node: to,
+            kind,
+            completed,
+            depth,
+        })
+    }
+
+    /// Drops the oldest undelivered message on the directed edge
+    /// `from → to` without delivering it; returns its kind, or `None`
+    /// when nothing was in flight there.
+    ///
+    /// **Fault injection for tests only.** The paper's network model
+    /// (Section 2) assumes reliable FIFO channels, and the mechanism's
+    /// guarantees genuinely depend on it — the test suite uses this hook
+    /// to demonstrate that a single lost `update` produces a stale
+    /// (strict-consistency-violating) read.
+    pub fn drop_one(&mut self, from: NodeId, to: NodeId) -> Option<oat_core::message::MsgKind> {
+        let edge = self.tree.dir_edge_index(from, to);
+        let (msg, _) = self.chans[edge].pop_front()?;
+        let pos = self
+            .tokens
+            .iter()
+            .position(|&e| e == edge)
+            .expect("a pending message owns a token");
+        self.tokens.remove(pos);
+        Some(msg.kind())
+    }
+
+    /// Routes everything the last handler emitted, tagging each message
+    /// with causal depth `depth`.
+    fn route_scratch(&mut self, from: NodeId, depth: u32) {
+        if self.scratch.is_empty() {
+            return;
+        }
+        let out = std::mem::take(&mut self.scratch);
+        for (to, msg) in out {
+            let edge = self.tree.dir_edge_index(from, to);
+            self.stats.record(edge, msg.kind());
+            self.tokens.push_back(edge);
+            self.chans[edge].push_back((msg, depth));
+        }
+        // `out` is consumed; allocate a fresh scratch lazily on next use.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oat_core::agg::SumI64;
+    use oat_core::policy::rww::RwwSpec;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn combine_on_cold_path_probes_whole_tree() {
+        // MDS-style first combine: probes flood to all n-1 other nodes and
+        // responses flow back: 2(n-1) messages.
+        let tree = Tree::path(5);
+        let mut eng = Engine::new(tree, SumI64, &RwwSpec, Schedule::Fifo, false);
+        for i in 0..5u32 {
+            eng.initiate_write(n(i), i as i64 + 1);
+        }
+        assert!(eng.is_quiescent(), "writes without leases send nothing");
+        let outcome = eng.initiate_combine(n(0));
+        assert!(matches!(outcome, CombineOutcome::Pending));
+        let done = eng.run_to_quiescence();
+        assert_eq!(done, vec![(n(0), 15)]);
+        assert_eq!(eng.stats().total(), 8, "4 probes + 4 responses");
+    }
+
+    #[test]
+    fn second_combine_at_same_node_is_free() {
+        let tree = Tree::path(4);
+        let mut eng = Engine::new(tree, SumI64, &RwwSpec, Schedule::Fifo, false);
+        eng.initiate_combine(n(0));
+        eng.run_to_quiescence();
+        let before = eng.stats().total();
+        match eng.initiate_combine(n(0)) {
+            CombineOutcome::Done(v) => assert_eq!(v, 0),
+            o => panic!("expected local completion, got {o:?}"),
+        }
+        assert_eq!(eng.stats().total(), before, "leases answer locally");
+    }
+
+    #[test]
+    fn write_after_combine_pushes_updates_down_lease_graph() {
+        let tree = Tree::path(3);
+        let mut eng = Engine::new(tree, SumI64, &RwwSpec, Schedule::Fifo, false);
+        eng.initiate_combine(n(0));
+        eng.run_to_quiescence();
+        let before = eng.stats().total();
+        eng.initiate_write(n(2), 9);
+        eng.run_to_quiescence();
+        // Update 2->1 then 1->0: 2 messages, no releases on first write.
+        assert_eq!(eng.stats().total() - before, 2);
+        match eng.initiate_combine(n(0)) {
+            CombineOutcome::Done(v) => assert_eq!(v, 9),
+            o => panic!("expected Done, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn prewarmed_engine_answers_combines_locally_everywhere() {
+        let tree = Tree::star(6);
+        let mut eng = Engine::new(tree, SumI64, &RwwSpec, Schedule::Fifo, false);
+        eng.prewarm_leases();
+        for i in 0..6u32 {
+            match eng.initiate_combine(n(i)) {
+                CombineOutcome::Done(v) => assert_eq!(v, 0),
+                o => panic!("expected Done at {i}, got {o:?}"),
+            }
+        }
+        assert_eq!(eng.stats().total(), 0);
+    }
+
+    #[test]
+    fn random_schedule_same_results_as_fifo_sequentially() {
+        let tree = Tree::kary(7, 2);
+        let mut results = Vec::new();
+        for sched in [Schedule::Fifo, Schedule::Random(1), Schedule::Random(99)] {
+            let mut eng = Engine::new(tree.clone(), SumI64, &RwwSpec, sched, false);
+            eng.initiate_write(n(3), 100);
+            eng.run_to_quiescence();
+            eng.initiate_combine(n(6));
+            let done = eng.run_to_quiescence();
+            eng.initiate_write(n(4), 50);
+            eng.run_to_quiescence();
+            eng.initiate_combine(n(6));
+            let done2 = eng.run_to_quiescence();
+            results.push((done, done2, eng.stats().total()));
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+}

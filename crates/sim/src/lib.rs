@@ -1,0 +1,38 @@
+//! # oat-sim — deterministic message-passing simulator
+//!
+//! Drives the Figure-1 node automata of `oat-core` over a tree network
+//! with reliable FIFO channels (one queue per directed edge), exactly the
+//! network model of Section 2.
+//!
+//! * [`engine`] — the network: nodes, channels, message routing, and
+//!   per-directed-edge / per-kind message accounting,
+//! * [`schedule`] — delivery-order strategies (global FIFO, seeded
+//!   random); per-channel FIFO order is preserved under every strategy,
+//! * [`sequential`] — the paper's *sequential execution* semantics: each
+//!   request is initiated in a quiescent state and runs to quiescence
+//!   before the next (Section 2),
+//! * [`concurrent`] — interleaved executions: request initiations and
+//!   message deliveries are interleaved by a seeded scheduler; used by the
+//!   Section-5 causal-consistency experiments,
+//! * [`invariants`] — executable forms of Lemmas 3.1, 3.2, 3.4, the value
+//!   invariants `I1`–`I3`, and RWW's `I4` (Lemma 4.2), checkable in any
+//!   quiescent state,
+//! * [`trace`] — replayable, printable event logs of executions,
+//! * [`viz`] — ASCII rendering of trees and lease graphs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod concurrent;
+pub mod engine;
+pub mod invariants;
+pub mod schedule;
+pub mod sequential;
+pub mod stats;
+pub mod trace;
+pub mod viz;
+
+pub use engine::Engine;
+pub use schedule::Schedule;
+pub use sequential::{run_sequential, SeqResult};
+pub use stats::MsgStats;

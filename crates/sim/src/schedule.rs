@@ -1,0 +1,47 @@
+//! Message-delivery schedules.
+//!
+//! The network model fixes per-channel FIFO order but says nothing about
+//! the relative delivery order of messages on *different* channels. A
+//! [`Schedule`] picks which non-empty channel delivers next. The paper's
+//! sequential-execution results (message counts, returned values,
+//! quiescent states) are schedule-independent — a property the test suite
+//! verifies by running the same workload under several seeds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Strategy for choosing the next channel to deliver from.
+#[derive(Clone, Debug)]
+pub enum Schedule {
+    /// Deliver messages in global send order (oldest first).
+    Fifo,
+    /// Deliver from a uniformly random non-empty channel (seeded).
+    Random(u64),
+}
+
+/// Mutable scheduler state built from a [`Schedule`].
+#[derive(Clone)]
+pub(crate) enum SchedulerState {
+    Fifo,
+    Random(Box<StdRng>),
+}
+
+impl Schedule {
+    pub(crate) fn state(&self) -> SchedulerState {
+        match self {
+            Schedule::Fifo => SchedulerState::Fifo,
+            Schedule::Random(seed) => SchedulerState::Random(Box::new(StdRng::seed_from_u64(*seed))),
+        }
+    }
+}
+
+impl SchedulerState {
+    /// Chooses an index into `tokens` (pending delivery slots).
+    pub(crate) fn pick(&mut self, tokens: usize) -> usize {
+        debug_assert!(tokens > 0);
+        match self {
+            SchedulerState::Fifo => 0,
+            SchedulerState::Random(rng) => rng.gen_range(0..tokens),
+        }
+    }
+}

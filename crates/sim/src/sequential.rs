@@ -1,0 +1,243 @@
+//! Sequential execution of request sequences (Section 2).
+//!
+//! In a *sequential execution*, every request is initiated in a quiescent
+//! state and runs until the network is quiescent again. This module
+//! executes a whole sequence that way, recording per-request message
+//! counts and every combine's return value — the raw material for the
+//! strict-consistency checks (Lemma 3.12) and all competitive-ratio
+//! experiments (Section 4).
+
+use oat_core::agg::AggOp;
+use oat_core::mechanism::CombineOutcome;
+use oat_core::policy::PolicySpec;
+use oat_core::request::{ReqOp, Request};
+use oat_core::tree::Tree;
+
+use crate::engine::Engine;
+use crate::schedule::Schedule;
+
+/// Outcome of a sequential run.
+pub struct SeqResult<S: PolicySpec, A: AggOp> {
+    /// The engine in its final quiescent state (for invariant checks).
+    pub engine: Engine<S, A>,
+    /// `(request index, returned value)` for every combine, in order.
+    pub combines: Vec<(usize, A::Value)>,
+    /// Messages sent while executing each request.
+    pub per_request_msgs: Vec<u64>,
+    /// Hop latency of each request (see [`SeqChunk::per_request_latency`]).
+    pub per_request_latency: Vec<u32>,
+}
+
+impl<S: PolicySpec, A: AggOp> SeqResult<S, A> {
+    /// Total messages over the whole sequence — the paper's `C_A(σ)`.
+    pub fn total_msgs(&self) -> u64 {
+        self.per_request_msgs.iter().sum()
+    }
+}
+
+/// Combine results and per-request message counts of one executed chunk.
+pub struct SeqChunk<V> {
+    /// `(request index, returned value)` for every combine, in order.
+    pub combines: Vec<(usize, V)>,
+    /// Messages sent while executing each request.
+    pub per_request_msgs: Vec<u64>,
+    /// Hop latency of each request: for a combine, the causal depth of
+    /// the chain that completed it (0 when answered locally); for a
+    /// write, the depth of its longest update/release cascade.
+    pub per_request_latency: Vec<u32>,
+}
+
+/// Executes `seq` sequentially on a fresh engine.
+///
+/// Panics if a combine fails to complete within its own execution — which
+/// would contradict Lemma 3.3/3.4 and therefore indicates a mechanism bug,
+/// not a workload problem.
+///
+/// ```
+/// use oat_core::{agg::SumI64, policy::rww::RwwSpec, request::Request, tree::{NodeId, Tree}};
+/// use oat_sim::{run_sequential, Schedule};
+///
+/// let tree = Tree::pair();
+/// let seq = vec![
+///     Request::combine(NodeId(1)),   // cold read: probe + response = 2
+///     Request::write(NodeId(0), 7),  // leased write: 1 update
+///     Request::combine(NodeId(1)),   // warm read: free
+/// ];
+/// let res = run_sequential(&tree, SumI64, &RwwSpec, Schedule::Fifo, &seq, false);
+/// assert_eq!(res.per_request_msgs, vec![2, 1, 0]);
+/// assert_eq!(res.combines, vec![(0, 0), (2, 7)]);
+/// ```
+pub fn run_sequential<S: PolicySpec, A: AggOp>(
+    tree: &Tree,
+    op: A,
+    spec: &S,
+    schedule: Schedule,
+    seq: &[Request<A::Value>],
+    ghost: bool,
+) -> SeqResult<S, A> {
+    let mut engine = Engine::new(tree.clone(), op, spec, schedule, ghost);
+    let chunk = run_sequential_on(&mut engine, seq, 0);
+    SeqResult {
+        engine,
+        combines: chunk.combines,
+        per_request_msgs: chunk.per_request_msgs,
+        per_request_latency: chunk.per_request_latency,
+    }
+}
+
+/// Executes `seq` sequentially on an existing quiescent engine;
+/// `index_base` offsets the recorded request indices, so sequences can be
+/// fed in chunks (e.g. by phase-based workloads).
+pub fn run_sequential_on<S: PolicySpec, A: AggOp>(
+    engine: &mut Engine<S, A>,
+    seq: &[Request<A::Value>],
+    index_base: usize,
+) -> SeqChunk<A::Value> {
+    assert!(engine.is_quiescent(), "sequential runs start quiescent");
+    let mut combines = Vec::new();
+    let mut per_request_msgs = Vec::with_capacity(seq.len());
+    let mut per_request_latency = Vec::with_capacity(seq.len());
+    for (i, q) in seq.iter().enumerate() {
+        let before = engine.stats().total();
+        engine.reset_depth_window();
+        match &q.op {
+            ReqOp::Write(arg) => {
+                engine.initiate_write(q.node, arg.clone());
+                let done = engine.run_to_quiescence();
+                assert!(
+                    done.is_empty(),
+                    "a write execution cannot complete a combine in a sequential run"
+                );
+                per_request_latency.push(engine.window_max_depth());
+            }
+            ReqOp::Combine => match engine.initiate_combine(q.node) {
+                CombineOutcome::Done(v) => {
+                    combines.push((index_base + i, v));
+                    per_request_latency.push(0);
+                }
+                CombineOutcome::Pending => {
+                    // Drain manually so the completing delivery's depth
+                    // (the combine's hop latency) can be captured.
+                    let mut mine: Option<(A::Value, u32)> = None;
+                    while let Some(d) = engine.deliver_next() {
+                        if let Some(v) = d.completed {
+                            assert_eq!(d.node, q.node, "foreign combine completion");
+                            assert!(mine.is_none(), "duplicate combine completion");
+                            mine = Some((v, d.depth));
+                        }
+                    }
+                    let (v, depth) = mine.expect("combine completes within its execution");
+                    combines.push((index_base + i, v));
+                    per_request_latency.push(depth);
+                }
+                CombineOutcome::Coalesced => {
+                    unreachable!("coalescing is impossible in sequential executions")
+                }
+            },
+        }
+        debug_assert!(engine.is_quiescent());
+        per_request_msgs.push(engine.stats().total() - before);
+    }
+    SeqChunk {
+        combines,
+        per_request_msgs,
+        per_request_latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oat_core::agg::SumI64;
+    use oat_core::policy::baseline::{AlwaysLeaseSpec, NeverLeaseSpec};
+    use oat_core::policy::rww::RwwSpec;
+    use oat_core::tree::NodeId;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn rww_pair_cycle_costs() {
+        // The classic R W W cycle on two nodes: combine at 1 costs 2,
+        // first write at 0 costs 1 (update), second costs 2
+        // (update + release).
+        let tree = Tree::pair();
+        let seq = vec![
+            Request::combine(n(1)),
+            Request::write(n(0), 1),
+            Request::write(n(0), 2),
+            Request::combine(n(1)),
+            Request::write(n(0), 3),
+            Request::write(n(0), 4),
+        ];
+        let res = run_sequential(&tree, SumI64, &RwwSpec, Schedule::Fifo, &seq, false);
+        assert_eq!(res.per_request_msgs, vec![2, 1, 2, 2, 1, 2]);
+        assert_eq!(res.combines, vec![(0, 0), (3, 2)]);
+        assert_eq!(res.total_msgs(), 10);
+    }
+
+    #[test]
+    fn latency_tracks_hop_distance() {
+        // On a path, a cold combine at one end must travel to the other
+        // end and back: probe chain depth n-1, response chain back to
+        // depth 2(n-1). A leased combine is free (latency 0); a write at
+        // the far end cascades updates with depth n-1.
+        let tree = Tree::path(5);
+        let seq = vec![
+            Request::combine(n(0)),
+            Request::combine(n(0)),
+            Request::write(n(4), 9),
+        ];
+        let res = run_sequential(&tree, SumI64, &RwwSpec, Schedule::Fifo, &seq, false);
+        assert_eq!(res.per_request_latency, vec![8, 0, 4]);
+    }
+
+    #[test]
+    fn never_lease_costs_scale_with_tree() {
+        let tree = Tree::star(5);
+        let seq = vec![
+            Request::write(n(1), 10),
+            Request::combine(n(2)),
+            Request::combine(n(2)),
+        ];
+        let res = run_sequential(&tree, SumI64, &NeverLeaseSpec, Schedule::Fifo, &seq, false);
+        // Every combine floods the tree: 2 * 4 = 8 messages; writes free.
+        assert_eq!(res.per_request_msgs, vec![0, 8, 8]);
+        assert_eq!(res.combines, vec![(1, 10), (2, 10)]);
+    }
+
+    #[test]
+    fn always_lease_amortises_reads() {
+        let tree = Tree::star(5);
+        let seq = vec![
+            Request::combine(n(2)), // builds leases: 8 msgs
+            Request::combine(n(2)), // free
+            Request::combine(n(2)), // free
+            Request::write(n(1), 3), // pushed everywhere
+        ];
+        let res = run_sequential(&tree, SumI64, &AlwaysLeaseSpec, Schedule::Fifo, &seq, false);
+        assert_eq!(res.per_request_msgs[0], 8);
+        assert_eq!(res.per_request_msgs[1], 0);
+        assert_eq!(res.per_request_msgs[2], 0);
+        // The write pushes updates along the lease graph built by the
+        // combine at node 2 (directed toward node 2): 1 -> 0 -> 2.
+        assert_eq!(res.per_request_msgs[3], 2);
+        assert_eq!(res.combines.len(), 3);
+    }
+
+    #[test]
+    fn strict_consistency_on_random_small_run() {
+        let tree = Tree::kary(6, 2);
+        let seq = vec![
+            Request::write(n(5), 5),
+            Request::combine(n(3)),
+            Request::write(n(0), 7),
+            Request::combine(n(3)),
+            Request::write(n(5), 1),
+            Request::combine(n(4)),
+        ];
+        let res = run_sequential(&tree, SumI64, &RwwSpec, Schedule::Fifo, &seq, false);
+        assert_eq!(res.combines, vec![(1, 5), (3, 12), (5, 8)]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Message accounting.
+//!
+//! The paper's cost measure is the total number of messages exchanged
+//! (Section 2); the competitive analysis decomposes it per ordered pair of
+//! neighbours (Lemma 3.9): `C(σ, u, v)` counts probes `v→u`, responses
+//! `u→v`, updates `u→v`, and releases `v→u`. [`MsgStats`] keeps a counter
+//! per `(directed edge, message kind)` so both the global total and every
+//! `C(σ, u, v)` can be read off after a run.
+
+use oat_core::message::MsgKind;
+use oat_core::tree::{NodeId, Tree};
+
+/// Per-directed-edge, per-kind message counters.
+#[derive(Clone, Debug)]
+pub struct MsgStats {
+    per_edge: Vec<[u64; 4]>,
+}
+
+impl MsgStats {
+    /// Zeroed counters for a tree.
+    pub fn new(tree: &Tree) -> Self {
+        MsgStats {
+            per_edge: vec![[0; 4]; tree.num_dir_edges()],
+        }
+    }
+
+    /// Records one message sent over the directed edge with dense index
+    /// `edge`.
+    #[inline]
+    pub fn record(&mut self, edge: usize, kind: MsgKind) {
+        self.per_edge[edge][kind.index()] += 1;
+    }
+
+    /// Total messages of all kinds.
+    pub fn total(&self) -> u64 {
+        self.per_edge.iter().flatten().sum()
+    }
+
+    /// Total messages of one kind.
+    pub fn total_kind(&self, kind: MsgKind) -> u64 {
+        self.per_edge.iter().map(|c| c[kind.index()]).sum()
+    }
+
+    /// Count for a specific directed edge and kind.
+    pub fn edge_kind(&self, tree: &Tree, from: NodeId, to: NodeId, kind: MsgKind) -> u64 {
+        self.per_edge[tree.dir_edge_index(from, to)][kind.index()]
+    }
+
+    /// The ordered-pair cost `C(σ, u, v)` of Lemma 3.9: probes `v→u`,
+    /// responses `u→v`, updates `u→v`, releases `v→u`.
+    pub fn pair_cost(&self, tree: &Tree, u: NodeId, v: NodeId) -> u64 {
+        let vu = tree.dir_edge_index(v, u);
+        let uv = tree.dir_edge_index(u, v);
+        self.per_edge[vu][MsgKind::Probe.index()]
+            + self.per_edge[uv][MsgKind::Response.index()]
+            + self.per_edge[uv][MsgKind::Update.index()]
+            + self.per_edge[vu][MsgKind::Release.index()]
+    }
+
+    /// Messages crossing the undirected edge `{u, v}` in either direction.
+    pub fn edge_total(&self, tree: &Tree, u: NodeId, v: NodeId) -> u64 {
+        let uv = tree.dir_edge_index(u, v);
+        let vu = tree.dir_edge_index(v, u);
+        self.per_edge[uv].iter().sum::<u64>() + self.per_edge[vu].iter().sum::<u64>()
+    }
+
+    /// Difference of totals — used for per-request message windows.
+    pub fn snapshot_total(&self) -> u64 {
+        self.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_cost_decomposition_matches_edge_total() {
+        // Lemma 3.9: messages over {u,v} = C(σ,u,v) + C(σ,v,u).
+        let tree = Tree::path(3);
+        let mut s = MsgStats::new(&tree);
+        let u = NodeId(0);
+        let v = NodeId(1);
+        s.record(tree.dir_edge_index(v, u), MsgKind::Probe);
+        s.record(tree.dir_edge_index(u, v), MsgKind::Response);
+        s.record(tree.dir_edge_index(u, v), MsgKind::Update);
+        s.record(tree.dir_edge_index(v, u), MsgKind::Release);
+        s.record(tree.dir_edge_index(u, v), MsgKind::Probe);
+        s.record(tree.dir_edge_index(v, u), MsgKind::Response);
+        assert_eq!(s.pair_cost(&tree, u, v), 4);
+        assert_eq!(s.pair_cost(&tree, v, u), 2);
+        assert_eq!(s.edge_total(&tree, u, v), 6);
+        assert_eq!(
+            s.pair_cost(&tree, u, v) + s.pair_cost(&tree, v, u),
+            s.edge_total(&tree, u, v)
+        );
+        assert_eq!(s.total(), 6);
+        assert_eq!(s.total_kind(MsgKind::Probe), 2);
+    }
+}

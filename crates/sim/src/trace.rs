@@ -1,0 +1,208 @@
+//! Execution traces: a replayable, printable event log.
+//!
+//! Wraps an [`Engine`] drive loop and records every request initiation
+//! and message delivery (sender, receiver, kind, causal depth). Useful
+//! for debugging policies, for teaching (the quickstart walkthrough in
+//! `examples/trace_walkthrough.rs` prints one), and for regression tests
+//! that pin down exact message flows.
+
+use oat_core::agg::AggOp;
+use oat_core::mechanism::CombineOutcome;
+use oat_core::message::MsgKind;
+use oat_core::policy::PolicySpec;
+use oat_core::request::{ReqOp, Request};
+use oat_core::tree::NodeId;
+
+use crate::engine::Engine;
+
+/// One trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent<V> {
+    /// A request was initiated.
+    Initiate {
+        /// Index in the driving sequence.
+        seq_index: usize,
+        /// Requesting node.
+        node: NodeId,
+        /// True for writes.
+        is_write: bool,
+    },
+    /// A message was delivered.
+    Deliver {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Message kind.
+        kind: MsgKind,
+        /// Causal depth (hops).
+        depth: u32,
+    },
+    /// A combine completed at `node` with `value`.
+    Complete {
+        /// Requesting node.
+        node: NodeId,
+        /// Returned aggregate.
+        value: V,
+    },
+}
+
+/// A recorded sequential execution.
+pub struct Trace<V> {
+    /// Events in order.
+    pub events: Vec<TraceEvent<V>>,
+}
+
+impl<V: std::fmt::Debug> Trace<V> {
+    /// Renders the trace as indented text (requests flush left,
+    /// deliveries indented by causal depth).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for e in &self.events {
+            match e {
+                TraceEvent::Initiate {
+                    seq_index,
+                    node,
+                    is_write,
+                } => {
+                    let kind = if *is_write { "write" } else { "combine" };
+                    let _ = writeln!(out, "[{seq_index}] {kind} at {node}");
+                }
+                TraceEvent::Deliver {
+                    from,
+                    to,
+                    kind,
+                    depth,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "{:indent$}{} -> {}: {}",
+                        "",
+                        from,
+                        to,
+                        kind.name(),
+                        indent = (*depth as usize) * 2
+                    );
+                }
+                TraceEvent::Complete { node, value } => {
+                    let _ = writeln!(out, "    => {node} returns {value:?}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Count of delivered messages of one kind.
+    pub fn count(&self, kind: MsgKind) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Deliver { kind: k, .. } if *k == kind))
+            .count()
+    }
+}
+
+/// Executes `seq` sequentially on `engine`, recording every event.
+///
+/// The engine must be quiescent; the run leaves it quiescent.
+///
+/// ```
+/// use oat_core::{agg::SumI64, policy::rww::RwwSpec, request::Request, tree::{NodeId, Tree}};
+/// use oat_sim::{trace::record_sequential, Engine, Schedule};
+///
+/// let mut eng = Engine::new(Tree::pair(), SumI64, &RwwSpec, Schedule::Fifo, false);
+/// let trace = record_sequential(&mut eng, &[Request::combine(NodeId(0))]);
+/// assert!(trace.render().contains("n0 -> n1: probe"));
+/// ```
+pub fn record_sequential<S: PolicySpec, A: AggOp>(
+    engine: &mut Engine<S, A>,
+    seq: &[Request<A::Value>],
+) -> Trace<A::Value> {
+    assert!(engine.is_quiescent());
+    let mut events = Vec::new();
+    for (i, q) in seq.iter().enumerate() {
+        events.push(TraceEvent::Initiate {
+            seq_index: i,
+            node: q.node,
+            is_write: q.op.is_write(),
+        });
+        let done_now = match &q.op {
+            ReqOp::Write(arg) => {
+                engine.initiate_write(q.node, arg.clone());
+                None
+            }
+            ReqOp::Combine => match engine.initiate_combine(q.node) {
+                CombineOutcome::Done(v) => Some(v),
+                CombineOutcome::Pending => None,
+                CombineOutcome::Coalesced => unreachable!("sequential execution"),
+            },
+        };
+        while let Some(d) = engine.deliver_next() {
+            events.push(TraceEvent::Deliver {
+                from: d.from,
+                to: d.node,
+                kind: d.kind,
+                depth: d.depth,
+            });
+            if let Some(v) = d.completed {
+                events.push(TraceEvent::Complete { node: d.node, value: v });
+            }
+        }
+        if let Some(v) = done_now {
+            events.push(TraceEvent::Complete { node: q.node, value: v });
+        }
+    }
+    Trace { events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+    use oat_core::agg::SumI64;
+    use oat_core::policy::rww::RwwSpec;
+    use oat_core::tree::Tree;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn trace_records_probe_response_roundtrip() {
+        let tree = Tree::pair();
+        let mut eng: Engine<RwwSpec, SumI64> =
+            Engine::new(tree, SumI64, &RwwSpec, Schedule::Fifo, false);
+        let seq = vec![Request::write(n(1), 5), Request::combine(n(0))];
+        let trace = record_sequential(&mut eng, &seq);
+        assert_eq!(trace.count(MsgKind::Probe), 1);
+        assert_eq!(trace.count(MsgKind::Response), 1);
+        let rendered = trace.render();
+        assert!(rendered.contains("combine at n0"));
+        assert!(rendered.contains("n0 -> n1: probe"));
+        assert!(rendered.contains("n1 -> n0: response"));
+        assert!(rendered.contains("=> n0 returns 5"));
+    }
+
+    #[test]
+    fn trace_depth_indentation_reflects_cascades() {
+        let tree = Tree::path(4);
+        let mut eng: Engine<RwwSpec, SumI64> =
+            Engine::new(tree, SumI64, &RwwSpec, Schedule::Fifo, false);
+        let seq = vec![Request::combine(n(0)), Request::write(n(3), 7)];
+        let trace = record_sequential(&mut eng, &seq);
+        // The write's update cascade has depths 1, 2, 3.
+        let depths: Vec<u32> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Deliver {
+                    kind: MsgKind::Update,
+                    depth,
+                    ..
+                } => Some(*depth),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(depths, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,128 @@
+//! ASCII rendering of trees and lease graphs.
+//!
+//! A quiescent lease state is a picture: each tree edge carries zero,
+//! one, or two directed leases. [`render_leases`] draws the tree as an
+//! indented hierarchy (rooted at node 0) with per-edge lease markers:
+//!
+//! ```text
+//! n0 (=0)
+//! ├─▲── n1 (=5)      ▲  child grants to parent (updates flow up)
+//! │     └─▼── n3     ▼  parent grants to child (updates flow down)
+//! └─┼── n2           ┼  both directions    ─  no lease
+//! ```
+//!
+//! Used by examples and handy in test failure output.
+
+use oat_core::agg::AggOp;
+use oat_core::policy::PolicySpec;
+use oat_core::tree::{NodeId, Tree};
+
+use crate::engine::Engine;
+
+/// Renders the bare topology (rooted at node 0).
+pub fn render_tree(tree: &Tree) -> String {
+    render_impl(tree, &mut |_, _| "──".to_string(), &mut |_| String::new())
+}
+
+/// Renders the topology with lease markers and local values.
+pub fn render_leases<S: PolicySpec, A: AggOp>(eng: &Engine<S, A>) -> String
+where
+    A::Value: std::fmt::Debug,
+{
+    let tree = eng.tree().clone();
+    render_impl(
+        &tree,
+        &mut |parent, child| {
+            let up = eng
+                .node(child)
+                .granted(eng.tree().nbr_index(child, parent).expect("adjacent"));
+            let down = eng
+                .node(parent)
+                .granted(eng.tree().nbr_index(parent, child).expect("adjacent"));
+            match (up, down) {
+                (true, true) => "┼─".to_string(),
+                (true, false) => "▲─".to_string(),
+                (false, true) => "▼─".to_string(),
+                (false, false) => "──".to_string(),
+            }
+        },
+        &mut |u| format!(" (={:?})", eng.node(u).val()),
+    )
+}
+
+fn render_impl(
+    tree: &Tree,
+    edge_marker: &mut dyn FnMut(NodeId, NodeId) -> String,
+    label: &mut dyn FnMut(NodeId) -> String,
+) -> String {
+    let root = NodeId(0);
+    let mut out = format!("{root}{}\n", label(root));
+    let mut stack: Vec<(NodeId, NodeId, String, bool)> = Vec::new();
+    // Children of root in reverse so the stack pops them in order.
+    let kids: Vec<NodeId> = tree.nbrs(root).to_vec();
+    for (i, &c) in kids.iter().enumerate().rev() {
+        stack.push((root, c, String::new(), i == kids.len() - 1));
+    }
+    while let Some((parent, node, prefix, last)) = stack.pop() {
+        let branch = if last { "└─" } else { "├─" };
+        out.push_str(&format!(
+            "{prefix}{branch}{}─ {node}{}\n",
+            edge_marker(parent, node),
+            label(node)
+        ));
+        let child_prefix = format!("{prefix}{}", if last { "      " } else { "│     " });
+        let kids: Vec<NodeId> = tree
+            .nbrs(node)
+            .iter()
+            .copied()
+            .filter(|&c| c != parent)
+            .collect();
+        for (i, &c) in kids.iter().enumerate().rev() {
+            stack.push((node, c, child_prefix.clone(), i == kids.len() - 1));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+    use oat_core::agg::SumI64;
+    use oat_core::policy::rww::RwwSpec;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn renders_topology_shape() {
+        let t = Tree::kary(5, 2);
+        let s = render_tree(&t);
+        assert!(s.starts_with("n0\n"));
+        assert_eq!(s.lines().count(), 5);
+        assert!(s.contains("├────"), "{s}");
+        assert!(s.contains("└────"), "{s}");
+    }
+
+    #[test]
+    fn lease_markers_reflect_grants() {
+        let tree = Tree::path(3);
+        let mut eng: Engine<RwwSpec, SumI64> =
+            Engine::new(tree, SumI64, &RwwSpec, Schedule::Fifo, false);
+        eng.initiate_write(n(2), 7);
+        eng.run_to_quiescence();
+        // Combine at root: leases point up toward n0 everywhere.
+        eng.initiate_combine(n(0));
+        eng.run_to_quiescence();
+        let s = render_leases(&eng);
+        assert!(s.contains("▲"), "upward leases expected:\n{s}");
+        assert!(!s.contains("▼"), "no downward leases yet:\n{s}");
+        assert!(s.contains("(=7)"), "{s}");
+        // Combine at the leaf: now the path carries both directions.
+        eng.initiate_combine(n(2));
+        eng.run_to_quiescence();
+        let s = render_leases(&eng);
+        assert!(s.contains("┼"), "bidirectional leases expected:\n{s}");
+    }
+}

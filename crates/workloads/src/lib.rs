@@ -1,0 +1,24 @@
+//! # oat-workloads — topology and request-sequence generators
+//!
+//! The paper motivates dynamic lease management with workloads whose
+//! read/write mix varies across nodes and over time (Section 1). This
+//! crate generates the synthetic topologies and request sequences used by
+//! every experiment:
+//!
+//! * [`topology`] — random trees (uniform over labelled trees via Prüfer
+//!   sequences), random attachment trees, caterpillars, and the core
+//!   path/star/k-ary shapes,
+//! * [`requests`] — seeded request sequences: uniform mixes, hotspot
+//!   readers/writers, phase-shifting mixes (read-heavy ↔ write-heavy),
+//!   and single-writer/multi-reader patterns.
+//!
+//! All generators are deterministic in their seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod requests;
+pub mod topology;
+
+pub use requests::{bursty, diurnal, hotspot, phases, single_writer, uniform, zipf, WorkloadSpec, ZipfNodes};
+pub use topology::{caterpillar, random_attachment_tree, random_tree};

@@ -1,0 +1,347 @@
+//! Seeded request-sequence generators.
+//!
+//! All generators emit `Request<i64>` sequences (the SUM-friendly value
+//! domain used by the consistency oracles); write arguments are drawn
+//! from a small range so aggregate values stay readable in reports.
+
+use oat_core::request::Request;
+use oat_core::tree::{NodeId, Tree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A declarative workload description, used by the experiment harness to
+/// label sweeps.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of requests.
+    pub len: usize,
+    /// Fraction of writes (for uniform-style workloads).
+    pub write_fraction: f64,
+}
+
+/// Uniform mix: each request picks a uniformly random node and is a write
+/// with probability `write_fraction`.
+pub fn uniform(tree: &Tree, len: usize, write_fraction: f64, seed: u64) -> Vec<Request<i64>> {
+    assert!((0.0..=1.0).contains(&write_fraction));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = tree.len() as u32;
+    (0..len)
+        .map(|_| {
+            let node = NodeId(rng.gen_range(0..n));
+            if rng.gen_bool(write_fraction) {
+                Request::write(node, rng.gen_range(-100..=100))
+            } else {
+                Request::combine(node)
+            }
+        })
+        .collect()
+}
+
+/// Hotspot mix: combines come from `readers` fixed nodes, writes from
+/// `writers` fixed nodes — the locality pattern where leases pay off.
+pub fn hotspot(
+    tree: &Tree,
+    len: usize,
+    write_fraction: f64,
+    readers: usize,
+    writers: usize,
+    seed: u64,
+) -> Vec<Request<i64>> {
+    let n = tree.len();
+    assert!(readers >= 1 && readers <= n);
+    assert!(writers >= 1 && writers <= n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Reader set from the front, writer set from the back, so on most
+    // topologies they are far apart.
+    let reader_ids: Vec<u32> = (0..readers as u32).collect();
+    let writer_ids: Vec<u32> = ((n - writers) as u32..n as u32).collect();
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(write_fraction) {
+                let node = NodeId(writer_ids[rng.gen_range(0..writer_ids.len())]);
+                Request::write(node, rng.gen_range(-100..=100))
+            } else {
+                let node = NodeId(reader_ids[rng.gen_range(0..reader_ids.len())]);
+                Request::combine(node)
+            }
+        })
+        .collect()
+}
+
+/// Phase-shifting mix: consecutive phases with different write fractions
+/// (e.g. read-heavy mornings, write-heavy bursts) — the paper's argument
+/// against static strategies.
+pub fn phases(tree: &Tree, spec: &[(usize, f64)], seed: u64) -> Vec<Request<i64>> {
+    let mut out = Vec::new();
+    for (i, &(len, wf)) in spec.iter().enumerate() {
+        out.extend(uniform(tree, len, wf, seed.wrapping_add(i as u64)));
+    }
+    out
+}
+
+/// A Zipf(α) sampler over `0..n` with a precomputed CDF — node ranks are
+/// a random permutation, so hot nodes land anywhere in the tree.
+pub struct ZipfNodes {
+    cdf: Vec<f64>,
+    perm: Vec<u32>,
+}
+
+impl ZipfNodes {
+    /// New sampler over `n` nodes with exponent `alpha > 0`.
+    pub fn new(n: usize, alpha: f64, rng: &mut StdRng) -> Self {
+        assert!(n >= 1 && alpha > 0.0);
+        let mut weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(alpha)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Fisher–Yates permutation of node ids.
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        ZipfNodes { cdf: weights, perm }
+    }
+
+    /// Draws one node.
+    pub fn sample(&self, rng: &mut StdRng) -> NodeId {
+        let x: f64 = rng.gen();
+        let rank = self.cdf.partition_point(|&c| c < x).min(self.cdf.len() - 1);
+        NodeId(self.perm[rank])
+    }
+}
+
+/// Zipf-skewed mix: both readers and writers drawn Zipf(α) over the
+/// nodes (independent permutations), writes with probability
+/// `write_fraction`. α ≈ 0.8–1.2 models realistic hot-spot skew.
+pub fn zipf(
+    tree: &Tree,
+    len: usize,
+    write_fraction: f64,
+    alpha: f64,
+    seed: u64,
+) -> Vec<Request<i64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let readers = ZipfNodes::new(tree.len(), alpha, &mut rng);
+    let writers = ZipfNodes::new(tree.len(), alpha, &mut rng);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(write_fraction) {
+                Request::write(writers.sample(&mut rng), rng.gen_range(-100..=100))
+            } else {
+                Request::combine(readers.sample(&mut rng))
+            }
+        })
+        .collect()
+}
+
+/// Diurnal mix: the write fraction follows a day/night sine pattern over
+/// `cycles` full periods (read-heavy "days", write-heavy "nights") —
+/// a smoother version of [`phases`] stressing how quickly a policy
+/// re-adapts.
+pub fn diurnal(tree: &Tree, len: usize, cycles: f64, seed: u64) -> Vec<Request<i64>> {
+    assert!(cycles > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = tree.len() as u32;
+    (0..len)
+        .map(|i| {
+            let phase = (i as f64 / len as f64) * cycles * std::f64::consts::TAU;
+            // Write fraction swings between 0.1 and 0.9.
+            let wf = 0.5 + 0.4 * phase.sin();
+            let node = NodeId(rng.gen_range(0..n));
+            if rng.gen_bool(wf) {
+                Request::write(node, rng.gen_range(-100..=100))
+            } else {
+                Request::combine(node)
+            }
+        })
+        .collect()
+}
+
+/// Bursty writes: a read-mostly background (`background_wf` writes) with
+/// periodic write bursts of length `burst_len` from one random node —
+/// the "incident" pattern where RWW's fast lease-breaking pays off.
+pub fn bursty(
+    tree: &Tree,
+    len: usize,
+    background_wf: f64,
+    burst_every: usize,
+    burst_len: usize,
+    seed: u64,
+) -> Vec<Request<i64>> {
+    assert!(burst_every > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = tree.len() as u32;
+    let mut out = Vec::with_capacity(len);
+    let mut i = 0usize;
+    while out.len() < len {
+        if i % burst_every == burst_every - 1 {
+            let burster = NodeId(rng.gen_range(0..n));
+            for _ in 0..burst_len.min(len - out.len()) {
+                out.push(Request::write(burster, rng.gen_range(-100..=100)));
+            }
+        } else {
+            let node = NodeId(rng.gen_range(0..n));
+            if rng.gen_bool(background_wf) {
+                out.push(Request::write(node, rng.gen_range(-100..=100)));
+            } else {
+                out.push(Request::combine(node));
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Single writer, many readers: one node writes, all others read in
+/// round-robin. `writes_per_read_round` writes between full read rounds.
+pub fn single_writer(
+    tree: &Tree,
+    rounds: usize,
+    writes_per_read_round: usize,
+    writer: NodeId,
+) -> Vec<Request<i64>> {
+    let mut out = Vec::new();
+    let mut x = 0i64;
+    for _ in 0..rounds {
+        for _ in 0..writes_per_read_round {
+            x += 1;
+            out.push(Request::write(writer, x));
+        }
+        for u in tree.nodes() {
+            if u != writer {
+                out.push(Request::combine(u));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_fraction_and_seed() {
+        let tree = Tree::kary(9, 2);
+        let a = uniform(&tree, 1000, 0.3, 5);
+        let b = uniform(&tree, 1000, 0.3, 5);
+        assert_eq!(a, b, "seeded generators are deterministic");
+        let writes = a.iter().filter(|q| q.op.is_write()).count();
+        assert!((250..350).contains(&writes), "writes = {writes}");
+    }
+
+    #[test]
+    fn uniform_extremes() {
+        let tree = Tree::path(4);
+        assert!(uniform(&tree, 50, 0.0, 1).iter().all(|q| q.op.is_combine()));
+        assert!(uniform(&tree, 50, 1.0, 1).iter().all(|q| q.op.is_write()));
+    }
+
+    #[test]
+    fn hotspot_separates_roles() {
+        let tree = Tree::path(10);
+        let seq = hotspot(&tree, 400, 0.5, 2, 3, 9);
+        for q in &seq {
+            if q.op.is_combine() {
+                assert!(q.node.0 < 2);
+            } else {
+                assert!(q.node.0 >= 7);
+            }
+        }
+    }
+
+    #[test]
+    fn phases_concatenate() {
+        let tree = Tree::star(5);
+        let seq = phases(&tree, &[(100, 0.0), (100, 1.0)], 3);
+        assert_eq!(seq.len(), 200);
+        assert!(seq[..100].iter().all(|q| q.op.is_combine()));
+        assert!(seq[100..].iter().all(|q| q.op.is_write()));
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_deterministic() {
+        let tree = Tree::star(50);
+        let a = zipf(&tree, 2000, 0.5, 1.0, 9);
+        let b = zipf(&tree, 2000, 0.5, 1.0, 9);
+        assert_eq!(a, b);
+        // The hottest node should absorb far more than 1/50 of traffic.
+        let mut counts = vec![0usize; 50];
+        for q in &a {
+            counts[q.node.idx()] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(
+            max > 2000 / 50 * 4,
+            "zipf skew too weak: hottest node got {max}"
+        );
+    }
+
+    #[test]
+    fn zipf_alpha_controls_skew() {
+        let tree = Tree::star(50);
+        let skew = |alpha: f64| {
+            let seq = zipf(&tree, 4000, 0.0, alpha, 17);
+            let mut counts = vec![0usize; 50];
+            for q in &seq {
+                counts[q.node.idx()] += 1;
+            }
+            *counts.iter().max().unwrap()
+        };
+        assert!(skew(1.5) > skew(0.5), "higher alpha = hotter head");
+    }
+
+    #[test]
+    fn diurnal_swings_between_regimes() {
+        let tree = Tree::star(10);
+        let seq = diurnal(&tree, 4000, 2.0, 3);
+        assert_eq!(seq.len(), 4000);
+        // First quarter of a cycle is write-leaning, the trough read-leaning.
+        let frac = |range: std::ops::Range<usize>| {
+            let writes = seq[range.clone()].iter().filter(|q| q.op.is_write()).count();
+            writes as f64 / range.len() as f64
+        };
+        let peak = frac(400..600);   // around sin ≈ +1 for 2 cycles
+        let trough = frac(1400..1600); // around sin ≈ -1
+        assert!(peak > 0.7, "peak write fraction {peak}");
+        assert!(trough < 0.3, "trough write fraction {trough}");
+    }
+
+    #[test]
+    fn bursty_contains_write_runs() {
+        let tree = Tree::star(8);
+        let seq = bursty(&tree, 500, 0.05, 20, 10, 5);
+        assert_eq!(seq.len(), 500);
+        // There must exist a run of >= 10 consecutive same-node writes.
+        let mut best = 0usize;
+        let mut run = 0usize;
+        let mut last: Option<NodeId> = None;
+        for q in &seq {
+            if q.op.is_write() && last == Some(q.node) {
+                run += 1;
+            } else if q.op.is_write() {
+                run = 1;
+            } else {
+                run = 0;
+            }
+            last = if q.op.is_write() { Some(q.node) } else { None };
+            best = best.max(run);
+        }
+        assert!(best >= 10, "longest same-node write run {best}");
+    }
+
+    #[test]
+    fn single_writer_shape() {
+        let tree = Tree::star(4);
+        let seq = single_writer(&tree, 2, 3, NodeId(0));
+        assert_eq!(seq.len(), 2 * (3 + 3));
+        assert!(seq[0].op.is_write());
+        assert!(seq[3].op.is_combine());
+    }
+}

@@ -1,0 +1,133 @@
+//! Random and structured tree topologies.
+//!
+//! Aggregation frameworks build their trees in different ways — DHT
+//! routing trees (SDIMS), administrative hierarchies (Astrolabe), spanning
+//! trees (MDS-2). These generators cover the structural extremes: paths
+//! (maximum depth), stars (maximum fan-out), caterpillars (path with
+//! leaves), uniform random labelled trees (Prüfer), and random-attachment
+//! trees (shallow, skewed degrees).
+
+use oat_core::tree::Tree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A uniformly random labelled tree on `n` nodes, decoded from a random
+/// Prüfer sequence. `n ≥ 1`.
+pub fn random_tree(n: usize, seed: u64) -> Tree {
+    assert!(n >= 1);
+    if n == 1 {
+        return Tree::from_edges(1, &[]).expect("single node");
+    }
+    if n == 2 {
+        return Tree::pair();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prufer: Vec<u32> = (0..n - 2).map(|_| rng.gen_range(0..n as u32)).collect();
+
+    let mut degree = vec![1u32; n];
+    for &p in &prufer {
+        degree[p as usize] += 1;
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    // Min-leaf decoding via a simple scan pointer (O(n log n)-ish with a
+    // heap would be nicer; n here is ≤ a few thousand).
+    let mut leaf_heap: std::collections::BinaryHeap<std::cmp::Reverse<u32>> = (0..n as u32)
+        .filter(|&i| degree[i as usize] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &p in &prufer {
+        let std::cmp::Reverse(leaf) = leaf_heap.pop().expect("a leaf always exists");
+        edges.push((leaf, p));
+        degree[p as usize] -= 1;
+        if degree[p as usize] == 1 {
+            leaf_heap.push(std::cmp::Reverse(p));
+        }
+    }
+    let std::cmp::Reverse(a) = leaf_heap.pop().expect("two leaves remain");
+    let std::cmp::Reverse(b) = leaf_heap.pop().expect("two leaves remain");
+    edges.push((a, b));
+    Tree::from_edges(n, &edges).expect("Prüfer decoding yields a tree")
+}
+
+/// A random-attachment tree: node `i` attaches to a uniformly random
+/// earlier node. Produces shallow trees with skewed degrees.
+pub fn random_attachment_tree(n: usize, seed: u64) -> Tree {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges: Vec<(u32, u32)> = (1..n as u32)
+        .map(|i| (rng.gen_range(0..i), i))
+        .collect();
+    Tree::from_edges(n, &edges).expect("attachment yields a tree")
+}
+
+/// A caterpillar: a spine path of length `spine`, each spine node with
+/// `legs` leaf children. Total nodes: `spine * (legs + 1)`.
+pub fn caterpillar(spine: usize, legs: usize) -> Tree {
+    assert!(spine >= 1);
+    let n = spine * (legs + 1);
+    let mut edges = Vec::with_capacity(n - 1);
+    // Spine nodes are 0..spine.
+    for i in 1..spine as u32 {
+        edges.push((i - 1, i));
+    }
+    let mut next = spine as u32;
+    for s in 0..spine as u32 {
+        for _ in 0..legs {
+            edges.push((s, next));
+            next += 1;
+        }
+    }
+    Tree::from_edges(n, &edges).expect("caterpillar is a tree")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_tree_is_valid_and_deterministic() {
+        for n in [1, 2, 3, 10, 64] {
+            let t1 = random_tree(n, 42);
+            let t2 = random_tree(n, 42);
+            assert_eq!(t1.len(), n);
+            assert_eq!(t1.undirected_edges(), t2.undirected_edges());
+        }
+        let a = random_tree(20, 1);
+        let b = random_tree(20, 2);
+        assert_ne!(
+            a.undirected_edges(),
+            b.undirected_edges(),
+            "different seeds should differ (overwhelmingly likely)"
+        );
+    }
+
+    #[test]
+    fn prufer_statistics_smell_right() {
+        // In a uniform labelled tree the expected number of leaves is
+        // about n/e; just sanity-check we aren't generating paths/stars.
+        let t = random_tree(200, 7);
+        let leaves = t.nodes().filter(|&u| t.degree(u) == 1).count();
+        assert!(leaves > 40 && leaves < 140, "leaves = {leaves}");
+    }
+
+    #[test]
+    fn attachment_tree_depth_is_shallow() {
+        let t = random_attachment_tree(128, 3);
+        let max_depth = t
+            .nodes()
+            .map(|u| t.distance(oat_core::tree::NodeId(0), u))
+            .max()
+            .unwrap();
+        assert!(max_depth < 30, "depth {max_depth} too large");
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let t = caterpillar(4, 2);
+        assert_eq!(t.len(), 12);
+        // Spine interior nodes: 2 spine edges + 2 legs = degree 4.
+        assert_eq!(t.degree(oat_core::tree::NodeId(1)), 4);
+        // Legs are leaves.
+        assert_eq!(t.degree(oat_core::tree::NodeId(11)), 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Rich aggregates: top-k, service membership, and load histograms.
+//!
+//! Run with `cargo run --example topk_dashboard`.
+//!
+//! The paper's mechanism is generic over any commutative monoid, so the
+//! same leases that carry sums can carry structured aggregates. A
+//! 50-machine cluster tracks, in three parallel attributes:
+//!
+//! * the 3 highest per-machine loads (`TopK`),
+//! * which of the named services runs *somewhere* (`BitsetUnion`),
+//! * the load distribution over buckets (`Histogram`).
+
+use oat::core::agg_ext::{BitsetUnion, Histogram, TopK};
+use oat::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SERVICES: [&str; 4] = ["web", "db", "cache", "batch"];
+
+fn main() {
+    let n = 50u32;
+    let tree = oat::workloads::random_attachment_tree(n as usize, 7);
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // Three independent systems over the same topology (one per
+    // aggregate type; a production deployment would use oat-multi with a
+    // product operator).
+    let mut top = AggregationSystem::new(tree.clone(), TopK::new(3), RwwSpec);
+    let mut svc = AggregationSystem::new(tree.clone(), BitsetUnion, RwwSpec);
+    let hist_op: Histogram<5> = Histogram::new(0, 20);
+    let mut hist = AggregationSystem::new(tree.clone(), hist_op, RwwSpec);
+
+    // Machines report.
+    for i in 1..n {
+        let load = rng.gen_range(0..100);
+        top.write(NodeId(i), TopK::new(3).sample(load));
+        hist.write(NodeId(i), hist_op.bucketize(load));
+        let service = rng.gen_range(0..SERVICES.len() as u8);
+        svc.write(NodeId(i), BitsetUnion::singleton(service));
+    }
+
+    println!("== 50-machine dashboard at n0 ==\n");
+    let hottest = top.read(NodeId(0));
+    println!("three hottest loads : {hottest:?}");
+
+    let members = svc.read(NodeId(0));
+    let running: Vec<&str> = SERVICES
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| members >> i & 1 == 1)
+        .map(|(_, s)| *s)
+        .collect();
+    println!("services running    : {running:?}");
+
+    let buckets = hist.read(NodeId(0));
+    println!("load histogram      :");
+    for (i, &count) in buckets.iter().enumerate() {
+        let lo = i as i64 * 20;
+        let label = if i == buckets.len() - 1 {
+            format!("{lo}+   ")
+        } else {
+            format!("{lo}-{} ", lo + 19)
+        };
+        println!("  {label:<7} {}", "#".repeat(count as usize));
+    }
+
+    println!(
+        "\nmessages: top-k {}, services {}, histogram {}",
+        top.messages_sent(),
+        svc.messages_sent(),
+        hist.messages_sent()
+    );
+    let before = top.messages_sent();
+    let again = top.read(NodeId(0));
+    assert_eq!(again, hottest);
+    println!(
+        "second top-k read cost: {} messages (leases!)",
+        top.messages_sent() - before
+    );
+}

@@ -1,0 +1,105 @@
+//! Protocol verification, live: model checking + the consistency
+//! hierarchy.
+//!
+//! Run with `cargo run --release --example verify_protocol`.
+//!
+//! Two parts:
+//!
+//! 1. **Exhaustive model checking** — enumerate *every* interleaving of
+//!    a small concurrent execution and check invariants, completion, and
+//!    causal consistency in the whole state space (Theorem 4, verified
+//!    rather than sampled).
+//! 2. **The consistency hierarchy** — build the IRIW race on a 4-node
+//!    path with surgical message deliveries: two readers observe two
+//!    independent writes in opposite orders. The execution passes the
+//!    causal checker and fails the sequential-consistency checker —
+//!    exactly the separation that makes causal consistency the right
+//!    target for Section 5.
+
+use oat::consistency::{check_causal, check_sequentially_consistent, own_histories};
+use oat::modelcheck::{check_all_interleavings, Limits};
+use oat::prelude::*;
+use oat::sim::{Engine, Schedule};
+use oat_core::mechanism::CombineOutcome;
+use oat_core::request::Request;
+
+fn n(i: u32) -> NodeId {
+    NodeId(i)
+}
+
+fn main() {
+    println!("== Part 1: exhaustive model checking ==\n");
+    let tree = Tree::path(3);
+    let script = vec![
+        Request::combine(n(0)),
+        Request::combine(n(2)),
+        Request::write(n(1), 1),
+        Request::combine(n(1)),
+        Request::write(n(0), 2),
+        Request::write(n(2), 3),
+    ];
+    println!("instance: 3-node path, 6 requests (3 combines racing 3 writes)");
+    let rep = check_all_interleavings(&tree, SumI64, &RwwSpec, &script, Limits::default())
+        .expect("every interleaving verifies");
+    println!(
+        "explored {} distinct global states over {} transitions;",
+        rep.distinct_states, rep.transitions
+    );
+    println!(
+        "{} terminal states, {} quiescent checkpoints, max {} messages in flight",
+        rep.terminal_states, rep.quiescent_states, rep.max_in_flight
+    );
+    println!("verdict: invariants + completion + causal consistency hold on EVERY schedule\n");
+
+    println!("== Part 2: causal vs sequential consistency (IRIW) ==\n");
+    let tree = Tree::path(4);
+    let mut eng: Engine<RwwSpec, SumI64> =
+        Engine::new(tree, SumI64, &RwwSpec, Schedule::Fifo, true);
+    // Lay leases toward both middle readers.
+    eng.initiate_combine(n(1));
+    eng.run_to_quiescence();
+    eng.initiate_combine(n(2));
+    eng.run_to_quiescence();
+    // Independent writes at both ends, racing through the middle.
+    eng.initiate_write(n(0), 1);
+    eng.initiate_write(n(3), 2);
+    // Deliver surgically: reader 1 sees only write A...
+    eng.deliver_from(n(0), n(1)).unwrap();
+    let r1 = match eng.initiate_combine(n(1)) {
+        CombineOutcome::Done(v) => v,
+        _ => unreachable!(),
+    };
+    // ...reader 2 sees only write B.
+    eng.deliver_from(n(3), n(2)).unwrap();
+    let r2 = match eng.initiate_combine(n(2)) {
+        CombineOutcome::Done(v) => v,
+        _ => unreachable!(),
+    };
+    eng.run_to_quiescence();
+    println!("writers: n0 wrote 1, n3 wrote 2 (concurrently)");
+    println!("reader n1 returned {r1}  (saw write A only)");
+    println!("reader n2 returned {r2}  (saw write B only)");
+
+    let logs: Vec<_> = eng
+        .tree()
+        .nodes()
+        .map(|u| eng.node(u).ghost().unwrap().log.clone())
+        .collect();
+    let causal = check_causal(&SumI64, &logs);
+    let sc = check_sequentially_consistent(&SumI64, &own_histories(&logs));
+    println!(
+        "\ncausal consistency:     {}",
+        if causal.is_ok() { "HOLDS (Theorem 4)" } else { "violated?!" }
+    );
+    println!(
+        "sequential consistency: {}",
+        if sc.is_none() {
+            "FAILS — no total order explains both readers"
+        } else {
+            "holds?!"
+        }
+    );
+    println!("\nThat one-sided gap is the paper's Section-5 design point:");
+    println!("causal consistency is the strongest of the classic models that");
+    println!("lease-based aggregation can guarantee under concurrency.");
+}

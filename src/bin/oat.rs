@@ -1,0 +1,406 @@
+//! `oat` — command-line driver for the aggregation simulator.
+//!
+//! ```text
+//! oat run     --tree kary:64:2 --policy rww --workload uniform:0.5:1000 --seed 7
+//! oat compare --tree star:32 --workload zipf:0.3:2000:1.0
+//! oat trace   --tree path:4 --script "c@0,w@3=10,w@3=20,c@0"
+//! oat help
+//! ```
+//!
+//! Specs:
+//!
+//! * tree: `pair` | `path:N` | `star:N` | `kary:N:K` | `random:N:SEED` |
+//!   `caterpillar:SPINE:LEGS`
+//! * policy: `rww` | `always` | `never` | `ab:A:B` | `randombreak:B:SEED`
+//! * workload: `uniform:WF:LEN` | `hotspot:WF:LEN:READERS:WRITERS` |
+//!   `zipf:WF:LEN:ALPHA` | `singlewriter:ROUNDS:WPR`
+//! * script: comma-separated `c@NODE` (combine) and `w@NODE=VALUE`
+//!   (write) items.
+
+use oat::core::policy::ab::AbSpec;
+use oat::core::policy::random::RandomBreakSpec;
+use oat::offline::nopt::nopt_total_lower_bound;
+use oat::offline::opt_dp::opt_total_cost;
+use oat::prelude::*;
+use oat::sim::trace::record_sequential;
+use oat::sim::viz::render_leases;
+use oat::sim::{Engine, Schedule};
+use oat_core::policy::PolicySpec;
+use oat_core::request::Request;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("help") | None => {
+            print!("{}", HELP);
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n{HELP}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+const HELP: &str = "\
+oat — online aggregation over trees (IPPS 2007), simulator CLI
+
+USAGE:
+  oat run     --tree SPEC --policy SPEC --workload SPEC [--seed N]
+  oat compare --tree SPEC --workload SPEC [--seed N]
+  oat trace   --tree SPEC [--policy SPEC] --script ITEMS
+  oat help
+
+SPECS:
+  tree:     pair | path:N | star:N | kary:N:K | random:N:SEED | caterpillar:S:L
+  policy:   rww | always | never | ab:A:B | randombreak:B:SEED
+  workload: uniform:WF:LEN | hotspot:WF:LEN:READERS:WRITERS
+            | zipf:WF:LEN:ALPHA | singlewriter:ROUNDS:WRITES_PER_ROUND
+  script:   comma-separated c@NODE and w@NODE=VALUE items
+
+EXAMPLES:
+  oat run --tree kary:64:2 --policy rww --workload uniform:0.5:1000 --seed 7
+  oat compare --tree star:32 --workload zipf:0.3:2000:1.0
+  oat trace --tree path:4 --script \"c@0,w@3=10,w@3=20,c@0\"
+";
+
+/// Minimal `--flag value` extraction.
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_tree(spec: &str) -> Result<Tree, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| -> Result<usize, String> {
+        s.parse().map_err(|_| format!("bad number `{s}` in tree spec"))
+    };
+    match parts.as_slice() {
+        ["pair"] => Ok(Tree::pair()),
+        ["path", n] => Ok(Tree::path(num(n)?)),
+        ["star", n] => Ok(Tree::star(num(n)?)),
+        ["kary", n, k] => Ok(Tree::kary(num(n)?, num(k)?)),
+        ["random", n, seed] => Ok(oat::workloads::random_tree(num(n)?, num(seed)? as u64)),
+        ["caterpillar", s, l] => Ok(oat::workloads::caterpillar(num(s)?, num(l)?)),
+        _ => Err(format!("bad tree spec `{spec}`")),
+    }
+}
+
+fn parse_workload(spec: &str, tree: &Tree, seed: u64) -> Result<Vec<Request<i64>>, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let f = |s: &str| -> Result<f64, String> {
+        s.parse().map_err(|_| format!("bad float `{s}` in workload spec"))
+    };
+    let u = |s: &str| -> Result<usize, String> {
+        s.parse().map_err(|_| format!("bad number `{s}` in workload spec"))
+    };
+    match parts.as_slice() {
+        ["uniform", wf, len] => Ok(oat::workloads::uniform(tree, u(len)?, f(wf)?, seed)),
+        ["hotspot", wf, len, r, w] => Ok(oat::workloads::hotspot(
+            tree,
+            u(len)?,
+            f(wf)?,
+            u(r)?,
+            u(w)?,
+            seed,
+        )),
+        ["zipf", wf, len, alpha] => {
+            Ok(oat::workloads::zipf(tree, u(len)?, f(wf)?, f(alpha)?, seed))
+        }
+        ["singlewriter", rounds, wpr] => Ok(oat::workloads::single_writer(
+            tree,
+            u(rounds)?,
+            u(wpr)?,
+            NodeId(0),
+        )),
+        _ => Err(format!("bad workload spec `{spec}`")),
+    }
+}
+
+fn parse_script(spec: &str) -> Result<Vec<Request<i64>>, String> {
+    spec.split(',')
+        .map(|item| {
+            let item = item.trim();
+            if let Some(rest) = item.strip_prefix("c@") {
+                let node: u32 = rest
+                    .parse()
+                    .map_err(|_| format!("bad node in `{item}`"))?;
+                Ok(Request::combine(NodeId(node)))
+            } else if let Some(rest) = item.strip_prefix("w@") {
+                let (node, value) = rest
+                    .split_once('=')
+                    .ok_or_else(|| format!("write item `{item}` needs =VALUE"))?;
+                Ok(Request::write(
+                    NodeId(node.parse().map_err(|_| format!("bad node in `{item}`"))?),
+                    value.parse().map_err(|_| format!("bad value in `{item}`"))?,
+                ))
+            } else {
+                Err(format!("bad script item `{item}` (want c@N or w@N=V)"))
+            }
+        })
+        .collect()
+}
+
+/// A named policy, dispatched dynamically at the CLI boundary.
+enum PolicyChoice {
+    Rww,
+    Always,
+    Never,
+    Ab(u32, u32),
+    RandomBreak(u32, u64),
+}
+
+fn parse_policy(spec: &str) -> Result<PolicyChoice, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let u = |s: &str| -> Result<u32, String> {
+        s.parse().map_err(|_| format!("bad number `{s}` in policy spec"))
+    };
+    match parts.as_slice() {
+        ["rww"] => Ok(PolicyChoice::Rww),
+        ["always"] => Ok(PolicyChoice::Always),
+        ["never"] => Ok(PolicyChoice::Never),
+        ["ab", a, b] => Ok(PolicyChoice::Ab(u(a)?, u(b)?)),
+        ["randombreak", b, seed] => Ok(PolicyChoice::RandomBreak(u(b)?, u(seed)? as u64)),
+        _ => Err(format!("bad policy spec `{spec}`")),
+    }
+}
+
+struct RunStats {
+    name: String,
+    msgs: u64,
+    combines: usize,
+    read_lat_mean: f64,
+    reads_local_pct: f64,
+}
+
+fn run_one<S: PolicySpec>(
+    spec: &S,
+    tree: &Tree,
+    seq: &[Request<i64>],
+    prewarm: bool,
+) -> RunStats {
+    let mut eng = Engine::new(tree.clone(), SumI64, spec, Schedule::Fifo, false);
+    if prewarm {
+        eng.prewarm_leases();
+    }
+    let chunk = oat::sim::sequential::run_sequential_on(&mut eng, seq, 0);
+    let read_lats: Vec<u32> = seq
+        .iter()
+        .zip(&chunk.per_request_latency)
+        .filter(|(q, _)| q.op.is_combine())
+        .map(|(_, &l)| l)
+        .collect();
+    let reads = read_lats.len().max(1);
+    RunStats {
+        name: spec.name(),
+        msgs: chunk.per_request_msgs.iter().sum(),
+        combines: chunk.combines.len(),
+        read_lat_mean: read_lats.iter().map(|&l| l as f64).sum::<f64>() / reads as f64,
+        reads_local_pct: read_lats.iter().filter(|&&l| l == 0).count() as f64 * 100.0
+            / reads as f64,
+    }
+}
+
+fn run_policy(
+    choice: &PolicyChoice,
+    tree: &Tree,
+    seq: &[Request<i64>],
+) -> RunStats {
+    match choice {
+        PolicyChoice::Rww => run_one(&RwwSpec, tree, seq, false),
+        PolicyChoice::Always => run_one(&AlwaysLeaseSpec, tree, seq, true),
+        PolicyChoice::Never => run_one(&NeverLeaseSpec, tree, seq, false),
+        PolicyChoice::Ab(a, b) => run_one(&AbSpec::new(*a, *b), tree, seq, false),
+        PolicyChoice::RandomBreak(b, s) => {
+            run_one(&RandomBreakSpec::new(*b, *s), tree, seq, false)
+        }
+    }
+}
+
+fn print_stats_line(s: &RunStats, seq_len: usize, opt: u64, lb: u64) {
+    println!(
+        "  {:<18} {:>9} msgs  {:>7.3} msgs/req  ratio vs OPT {:>6}  vs NOPT-lb {:>6}  read lat {:>5.2} ({:>3.0}% local)",
+        s.name,
+        s.msgs,
+        s.msgs as f64 / seq_len as f64,
+        if opt > 0 { format!("{:.3}", s.msgs as f64 / opt as f64) } else { "-".into() },
+        if lb > 0 { format!("{:.3}", s.msgs as f64 / lb as f64) } else { "-".into() },
+        s.read_lat_mean,
+        s.reads_local_pct,
+    );
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let result = (|| -> Result<(), String> {
+        let tree = parse_tree(flag(args, "--tree").ok_or("missing --tree")?)?;
+        let policy = parse_policy(flag(args, "--policy").unwrap_or("rww"))?;
+        let seed: u64 = flag(args, "--seed")
+            .unwrap_or("42")
+            .parse()
+            .map_err(|_| "bad --seed")?;
+        let seq = parse_workload(
+            flag(args, "--workload").ok_or("missing --workload")?,
+            &tree,
+            seed,
+        )?;
+        let opt = opt_total_cost(&tree, &seq);
+        let lb = nopt_total_lower_bound(&tree, &seq);
+        let stats = run_policy(&policy, &tree, &seq);
+        println!(
+            "tree: {} nodes, {} edges; workload: {} requests ({} combines)",
+            tree.len(),
+            tree.num_edges(),
+            seq.len(),
+            stats.combines
+        );
+        print_stats_line(&stats, seq.len(), opt, lb);
+        println!("  {:<18} {opt:>9} msgs (offline lease-based optimum)", "OPT");
+        Ok(())
+    })();
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+fn cmd_compare(args: &[String]) -> i32 {
+    let result = (|| -> Result<(), String> {
+        let tree = parse_tree(flag(args, "--tree").ok_or("missing --tree")?)?;
+        let seed: u64 = flag(args, "--seed")
+            .unwrap_or("42")
+            .parse()
+            .map_err(|_| "bad --seed")?;
+        let seq = parse_workload(
+            flag(args, "--workload").ok_or("missing --workload")?,
+            &tree,
+            seed,
+        )?;
+        let opt = opt_total_cost(&tree, &seq);
+        let lb = nopt_total_lower_bound(&tree, &seq);
+        println!(
+            "tree: {} nodes; workload: {} requests; OPT = {opt} msgs",
+            tree.len(),
+            seq.len()
+        );
+        for choice in [
+            PolicyChoice::Rww,
+            PolicyChoice::Ab(1, 3),
+            PolicyChoice::Ab(2, 2),
+            PolicyChoice::RandomBreak(2, seed),
+            PolicyChoice::Always,
+            PolicyChoice::Never,
+        ] {
+            let stats = run_policy(&choice, &tree, &seq);
+            print_stats_line(&stats, seq.len(), opt, lb);
+        }
+        Ok(())
+    })();
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+fn cmd_trace(args: &[String]) -> i32 {
+    let result = (|| -> Result<(), String> {
+        let tree = parse_tree(flag(args, "--tree").ok_or("missing --tree")?)?;
+        let script = parse_script(flag(args, "--script").ok_or("missing --script")?)?;
+        // Traces are policy-generic but the renderer needs a concrete
+        // engine; only RWW is supported here (the interesting one).
+        match parse_policy(flag(args, "--policy").unwrap_or("rww"))? {
+            PolicyChoice::Rww => {}
+            _ => return Err("trace currently supports --policy rww only".into()),
+        }
+        let mut eng: Engine<RwwSpec, SumI64> =
+            Engine::new(tree.clone(), SumI64, &RwwSpec, Schedule::Fifo, false);
+        let trace = record_sequential(&mut eng, &script);
+        print!("{}", trace.render());
+        println!("\nfinal lease graph:");
+        print!("{}", render_leases(&eng));
+        println!("\ntotal messages: {}", eng.stats().total());
+        Ok(())
+    })();
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_specs_parse() {
+        assert_eq!(parse_tree("pair").unwrap().len(), 2);
+        assert_eq!(parse_tree("path:5").unwrap().len(), 5);
+        assert_eq!(parse_tree("kary:7:2").unwrap().len(), 7);
+        assert_eq!(parse_tree("caterpillar:3:2").unwrap().len(), 9);
+        assert!(parse_tree("blob:3").is_err());
+        assert!(parse_tree("path:x").is_err());
+    }
+
+    #[test]
+    fn workload_specs_parse() {
+        let tree = parse_tree("star:10").unwrap();
+        assert_eq!(
+            parse_workload("uniform:0.5:100", &tree, 1).unwrap().len(),
+            100
+        );
+        assert_eq!(
+            parse_workload("zipf:0.3:50:1.0", &tree, 1).unwrap().len(),
+            50
+        );
+        assert!(parse_workload("uniform:0.5", &tree, 1).is_err());
+    }
+
+    #[test]
+    fn script_parses() {
+        let s = parse_script("c@0, w@3=10 ,c@1").unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(s[0].op.is_combine());
+        assert_eq!(s[1].node, NodeId(3));
+        assert!(parse_script("x@1").is_err());
+        assert!(parse_script("w@1").is_err());
+    }
+
+    #[test]
+    fn policy_specs_parse() {
+        assert!(matches!(parse_policy("rww").unwrap(), PolicyChoice::Rww));
+        assert!(matches!(
+            parse_policy("ab:2:3").unwrap(),
+            PolicyChoice::Ab(2, 3)
+        ));
+        assert!(matches!(
+            parse_policy("randombreak:3:9").unwrap(),
+            PolicyChoice::RandomBreak(3, 9)
+        ));
+        assert!(parse_policy("ab:2").is_err());
+    }
+
+    #[test]
+    fn flag_extraction() {
+        let args: Vec<String> = ["--tree", "pair", "--seed", "9"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag(&args, "--tree"), Some("pair"));
+        assert_eq!(flag(&args, "--seed"), Some("9"));
+        assert_eq!(flag(&args, "--nope"), None);
+    }
+}

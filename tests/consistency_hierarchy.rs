@@ -1,0 +1,156 @@
+//! The consistency hierarchy on the real mechanism:
+//!
+//! ```text
+//! strict  ⟹  sequential  ⟹  causal
+//! ```
+//!
+//! * Sequential executions are strictly consistent (Lemma 3.12), hence
+//!   also sequentially and causally consistent — verified.
+//! * Concurrent executions remain causally consistent (Theorem 4) but
+//!   are **not** sequentially consistent in general: this file builds
+//!   the separating execution deterministically — two readers on
+//!   opposite ends of a path observe two independent writes in opposite
+//!   orders (the classic IRIW pattern) — and shows the SC checker
+//!   rejects it while the causal checker accepts it. That separation is
+//!   exactly why Section 5 of the paper targets causal consistency.
+
+use oat::consistency::{check_causal, check_sequentially_consistent, own_histories};
+use oat::prelude::*;
+use oat::sim::{Engine, Schedule};
+use oat_core::ghost::GhostReq;
+use oat_core::mechanism::CombineOutcome;
+
+fn n(i: u32) -> NodeId {
+    NodeId(i)
+}
+
+fn logs_of(eng: &Engine<RwwSpec, SumI64>) -> Vec<Vec<GhostReq<i64>>> {
+    eng.tree()
+        .nodes()
+        .map(|u| eng.node(u).ghost().unwrap().log.clone())
+        .collect()
+}
+
+#[test]
+fn sequential_executions_are_sequentially_consistent() {
+    for seed in 0..6u64 {
+        let tree = oat::workloads::random_tree(8, seed);
+        let seq = oat::workloads::uniform(&tree, 40, 0.5, seed + 100);
+        let res = oat::sim::run_sequential(&tree, SumI64, &RwwSpec, Schedule::Fifo, &seq, true);
+        let logs = logs_of(&res.engine);
+        let histories = own_histories(&logs);
+        assert!(
+            check_sequentially_consistent(&SumI64, &histories).is_some(),
+            "seed {seed}: a strictly consistent run must be SC"
+        );
+        check_causal(&SumI64, &logs).expect("and causal");
+    }
+}
+
+/// Builds the IRIW separation on a 4-node path 0-1-2-3:
+/// writers at the ends (0, 3), readers in the middle (1, 2).
+fn build_iriw() -> Engine<RwwSpec, SumI64> {
+    let tree = Tree::path(4);
+    let mut eng: Engine<RwwSpec, SumI64> =
+        Engine::new(tree, SumI64, &RwwSpec, Schedule::Fifo, true);
+
+    // Phase 1 (sequential): combines at both readers lay bidirectional
+    // leases over the middle, and grants from both writers.
+    eng.initiate_combine(n(1));
+    eng.run_to_quiescence();
+    eng.initiate_combine(n(2));
+    eng.run_to_quiescence();
+    assert!(eng.is_quiescent());
+
+    // Phase 2 (concurrent): both writers write; their updates race
+    // through the middle.
+    eng.initiate_write(n(0), 1); // w_a: update 0->1 queued
+    eng.initiate_write(n(3), 2); // w_b: update 3->2 queued
+
+    // Deliver w_a to reader 1 only, then let reader 1 combine: it has
+    // seen a but not b.
+    let d = eng.deliver_from(n(0), n(1)).expect("w_a in flight");
+    assert_eq!(d.kind, oat::core::message::MsgKind::Update);
+    match eng.initiate_combine(n(1)) {
+        CombineOutcome::Done(v) => assert_eq!(v, 1, "reader 1 sees only w_a"),
+        o => panic!("reader 1 should answer locally, got {o:?}"),
+    }
+
+    // Deliver w_b to reader 2 only, then reader 2 combines: b not a.
+    let d = eng.deliver_from(n(3), n(2)).expect("w_b in flight");
+    assert_eq!(d.kind, oat::core::message::MsgKind::Update);
+    match eng.initiate_combine(n(2)) {
+        CombineOutcome::Done(v) => assert_eq!(v, 2, "reader 2 sees only w_b"),
+        o => panic!("reader 2 should answer locally, got {o:?}"),
+    }
+
+    // Drain everything else.
+    eng.run_to_quiescence();
+    assert!(eng.is_quiescent());
+    eng
+}
+
+#[test]
+fn concurrent_execution_separates_sequential_from_causal() {
+    let eng = build_iriw();
+    let logs = logs_of(&eng);
+
+    // Causally consistent (Theorem 4)…
+    check_causal(&SumI64, &logs).expect("Theorem 4 holds");
+
+    // …but NOT sequentially consistent: reader 1 returned 1 (a before
+    // b), reader 2 returned 2 (b before a) — no total order serves both.
+    let histories = own_histories(&logs);
+    assert!(
+        check_sequentially_consistent(&SumI64, &histories).is_none(),
+        "the IRIW execution must not be sequentially consistent: {histories:?}"
+    );
+}
+
+#[test]
+fn the_separation_needs_the_race_not_the_topology() {
+    // The same requests executed sequentially are SC — the failure above
+    // is about overlap, not about the tree or the policy.
+    let tree = Tree::path(4);
+    let seq = vec![
+        oat_core::request::Request::combine(n(1)),
+        oat_core::request::Request::combine(n(2)),
+        oat_core::request::Request::write(n(0), 1),
+        oat_core::request::Request::write(n(3), 2),
+        oat_core::request::Request::combine(n(1)),
+        oat_core::request::Request::combine(n(2)),
+    ];
+    let res = oat::sim::run_sequential(&tree, SumI64, &RwwSpec, Schedule::Fifo, &seq, true);
+    let histories = own_histories(&logs_of(&res.engine));
+    assert!(check_sequentially_consistent(&SumI64, &histories).is_some());
+}
+
+#[test]
+fn sc_checker_agrees_with_strict_on_random_concurrent_runs() {
+    // Sampled concurrent runs: causal always holds; SC holds iff a
+    // witness exists — and whenever every combine matched the oracle at
+    // completion (zero strict misses), SC must hold too.
+    let tree = Tree::path(5);
+    let mut sc_failures = 0;
+    for seed in 0..20u64 {
+        let seq = oat::workloads::uniform(&tree, 24, 0.5, seed);
+        let res =
+            oat::sim::concurrent::run_concurrent(&tree, SumI64, &RwwSpec, &seq, seed, 0.7);
+        let logs: Vec<_> = tree
+            .nodes()
+            .map(|u| res.engine.node(u).ghost().unwrap().log.clone())
+            .collect();
+        check_causal(&SumI64, &logs).expect("causal always");
+        let histories = own_histories(&logs);
+        let sc = check_sequentially_consistent(&SumI64, &histories);
+        if res.strict_misses() == 0 {
+            assert!(sc.is_some(), "seed {seed}: strict-clean run must be SC");
+        }
+        if sc.is_none() {
+            sc_failures += 1;
+        }
+    }
+    // Not a theorem, but with heavy overlap some run should break SC;
+    // if none does the separation test above still covers the claim.
+    println!("SC failures over 20 sampled runs: {sc_failures}");
+}

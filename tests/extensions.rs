@@ -1,0 +1,205 @@
+//! Integration tests for the extensions beyond the paper's minimum:
+//! rich aggregation operators through the full mechanism, the randomized
+//! break policy's guarantees, the multi-attribute layer, latency
+//! accounting, and the (negative) demonstration that the reliable-channel
+//! assumption is load-bearing.
+
+use oat::core::agg_ext::{BitsetUnion, Histogram, TopK};
+use oat::core::policy::random::RandomBreakSpec;
+use oat::prelude::*;
+use oat::sim::{invariants, run_sequential, Engine, Schedule};
+use oat_core::request::Request;
+use proptest::prelude::*;
+
+fn n(i: u32) -> NodeId {
+    NodeId(i)
+}
+
+// ---------- rich operators end-to-end ----------
+
+#[test]
+fn topk_through_the_mechanism_is_strict() {
+    let tree = oat::workloads::random_tree(12, 4);
+    let op = TopK::new(3);
+    let mut sys = AggregationSystem::new(tree.clone(), op, RwwSpec);
+    let mut per_node: Vec<i64> = vec![i64::MIN; 12];
+    let mut written = vec![false; 12];
+    let vals = [5i64, 40, 12, 99, 3, 40, 77, 21, 8, 64];
+    for (i, &v) in vals.iter().enumerate() {
+        let node = (i * 7 + 1) % 12;
+        sys.write(n(node as u32), op.sample(v));
+        per_node[node] = v;
+        written[node] = true;
+        // Oracle: top-3 of the current per-node samples.
+        let mut all: Vec<i64> = per_node
+            .iter()
+            .zip(&written)
+            .filter(|(_, &w)| w)
+            .map(|(&v, _)| v)
+            .collect();
+        all.sort_unstable_by(|a, b| b.cmp(a));
+        all.truncate(3);
+        assert_eq!(sys.read(n(0)), all, "after write {i}");
+    }
+}
+
+#[test]
+fn histogram_and_bitset_through_the_mechanism() {
+    let tree = Tree::kary(9, 2);
+    let hop: Histogram<3> = Histogram::new(0, 10);
+    let mut hist = AggregationSystem::new(tree.clone(), hop, RwwSpec);
+    let mut svc = AggregationSystem::new(tree, BitsetUnion, RwwSpec);
+    for i in 1..9u32 {
+        hist.write(n(i), hop.bucketize(i as i64 * 4));
+        svc.write(n(i), BitsetUnion::singleton((i % 3) as u8));
+    }
+    // Samples 4,8,...,32: buckets [0,10) = {4,8}, [10,20) = {12,16},
+    // [20,∞) = {20,24,28,32}.
+    assert_eq!(hist.read(n(4)), [2, 2, 4]);
+    assert_eq!(svc.read(n(4)), 0b111);
+}
+
+// ---------- randomized policy guarantees ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_break_is_nice_and_invariant(
+        nn in 2usize..12,
+        tseed in any::<u64>(),
+        wseed in any::<u64>(),
+        pseed in any::<u64>(),
+        b in 1u32..5,
+    ) {
+        let tree = oat::workloads::random_tree(nn, tseed);
+        let seq = oat::workloads::uniform(&tree, 60, 0.5, wseed);
+        let spec = RandomBreakSpec::new(b, pseed);
+        let res = run_sequential(&tree, SumI64, &spec, Schedule::Fifo, &seq, false);
+        let violations =
+            oat::consistency::check_strict_sequential(&SumI64, &tree, &seq, &res.combines);
+        prop_assert!(violations.is_empty(), "{violations:?}");
+        invariants::check_all(&res.engine, &SumI64).map_err(TestCaseError::fail)?;
+    }
+}
+
+#[test]
+fn random_break_is_causally_consistent_concurrently() {
+    let tree = Tree::kary(9, 2);
+    for seed in 0..8u64 {
+        let seq = oat::workloads::uniform(&tree, 80, 0.5, seed);
+        let res = oat::sim::concurrent::run_concurrent(
+            &tree,
+            SumI64,
+            &RandomBreakSpec::new(2, seed),
+            &seq,
+            seed,
+            0.7,
+        );
+        let logs: Vec<_> = tree
+            .nodes()
+            .map(|u| res.engine.node(u).ghost().unwrap().log.clone())
+            .collect();
+        oat::consistency::check_causal(&SumI64, &logs)
+            .unwrap_or_else(|v| panic!("seed {seed}: {v:?}"));
+    }
+}
+
+#[test]
+fn random_break_beats_rww_on_the_deterministic_adversary() {
+    use oat::offline::adversary::{adv_sequence, adv_tree};
+    let tree = adv_tree();
+    let seq = adv_sequence(1, 2, 500);
+    let rww = run_sequential(&tree, SumI64, &RwwSpec, Schedule::Fifo, &seq, false).total_msgs();
+    let mut rnd_total = 0u64;
+    let seeds = 8;
+    for seed in 0..seeds {
+        rnd_total += run_sequential(
+            &tree,
+            SumI64,
+            &RandomBreakSpec::new(2, seed),
+            Schedule::Fifo,
+            &seq,
+            false,
+        )
+        .total_msgs();
+    }
+    let rnd_mean = rnd_total as f64 / seeds as f64;
+    assert!(
+        rnd_mean < rww as f64 * 0.9,
+        "randomization should blunt the adversary: {rnd_mean} vs {rww}"
+    );
+}
+
+// ---------- multi-attribute layer ----------
+
+#[test]
+fn multi_system_attributes_keep_per_attribute_invariants() {
+    let mut sys = MultiSystem::new(oat::workloads::random_tree(10, 2), SumI64, RwwSpec);
+    for i in 0..40u32 {
+        let attr = ["a", "b", "c"][(i % 3) as usize];
+        if i % 2 == 0 {
+            sys.write(n(i % 10), attr, i as i64);
+        } else {
+            sys.read(n((i + 3) % 10), attr);
+        }
+    }
+    for attr in ["a", "b", "c"] {
+        let eng = sys.engine(attr).expect("attribute touched");
+        invariants::check_all(eng, &SumI64).unwrap_or_else(|e| panic!("{attr}: {e}"));
+        invariants::check_rww_i4(eng).unwrap_or_else(|e| panic!("{attr}: {e}"));
+    }
+}
+
+// ---------- latency accounting ----------
+
+#[test]
+fn latency_never_exceeds_twice_messages_per_request() {
+    // Each hop is a message, so a request's hop latency is at most its
+    // message count; and on a path a cold combine is exactly all of them
+    // sequential.
+    let tree = Tree::path(8);
+    let seq = oat::workloads::uniform(&tree, 200, 0.4, 6);
+    let res = run_sequential(&tree, SumI64, &RwwSpec, Schedule::Fifo, &seq, false);
+    for (lat, msgs) in res.per_request_latency.iter().zip(&res.per_request_msgs) {
+        assert!((*lat as u64) <= *msgs, "latency {lat} > messages {msgs}");
+    }
+}
+
+#[test]
+fn star_reads_have_constant_latency_regardless_of_size() {
+    for size in [8usize, 64, 256] {
+        let tree = Tree::star(size);
+        let seq = vec![Request::combine(n(1)), Request::combine(n(1))];
+        let res = run_sequential(&tree, SumI64, &RwwSpec, Schedule::Fifo, &seq, false);
+        // Cold read: probe to hub (1), fan-out (2), responses (3), back
+        // (4) — depth 4 regardless of leaf count; warm read: 0.
+        assert_eq!(res.per_request_latency, vec![4, 0], "n = {size}");
+    }
+}
+
+// ---------- the reliability assumption is load-bearing ----------
+
+#[test]
+fn dropping_one_update_causes_a_stale_read() {
+    let tree = Tree::pair();
+    let mut eng: Engine<RwwSpec, SumI64> =
+        Engine::new(tree, SumI64, &RwwSpec, Schedule::Fifo, false);
+    // Lease from n0 to n1's side: combine at n1.
+    eng.initiate_combine(n(1));
+    eng.run_to_quiescence();
+    // A write at n0 sends an update n0 -> n1… which the "network" loses.
+    eng.initiate_write(n(0), 42);
+    let dropped = eng.drop_one(n(0), n(1));
+    assert_eq!(dropped, Some(oat::core::message::MsgKind::Update));
+    eng.run_to_quiescence();
+    // n1's combine is now answered locally from the stale cached value.
+    let v = match eng.initiate_combine(n(1)) {
+        oat::core::mechanism::CombineOutcome::Done(v) => v,
+        other => panic!("expected local (stale) answer, got {other:?}"),
+    };
+    assert_eq!(v, 0, "stale read: the write never arrived");
+    assert_eq!(eng.global_oracle(), 42, "truth moved on");
+    // Conclusion: strict consistency (Lemma 3.12) genuinely requires the
+    // reliable-channel assumption of Section 2.
+}

@@ -1,0 +1,199 @@
+//! Structural lease properties on the real mechanism:
+//!
+//! * Corollary 4.1 — RWW is a `(1,2)`-algorithm: on every edge, one
+//!   combine (from the right side) sets the lease, two consecutive writes
+//!   break it,
+//! * Lemma 4.4 — `F_RWW(u,v) > 0 ⟺ u.granted[v]` in every quiescent
+//!   state,
+//! * Lemma 3.3 — a combine's cost is exactly `2·|A|` where `A` is the set
+//!   of missing-lease nodes toward the requester,
+//! * Lemma 3.5 — a write's cost is the number of nodes reachable in the
+//!   lease graph (plus any releases RWW triggers).
+
+use oat::prelude::*;
+use oat::sim::{invariants, Engine, Schedule};
+use oat_core::request::{sigma, EdgeEvent, ReqOp, Request};
+use proptest::prelude::*;
+
+fn n(i: u32) -> NodeId {
+    NodeId(i)
+}
+
+/// Replays `seq` and, in each quiescent state, compares every edge's
+/// granted bit with the F_RWW configuration derived from the projected
+/// history so far (Lemma 4.4 / Corollary 4.1).
+fn check_f_rww_tracks_grants(tree: &Tree, seq: &[Request<i64>]) {
+    let mut eng: Engine<RwwSpec, SumI64> =
+        Engine::new(tree.clone(), SumI64, &RwwSpec, Schedule::Fifo, false);
+    for i in 0..seq.len() {
+        match &seq[i].op {
+            ReqOp::Write(v) => {
+                eng.initiate_write(seq[i].node, *v);
+            }
+            ReqOp::Combine => {
+                eng.initiate_combine(seq[i].node);
+            }
+        }
+        eng.run_to_quiescence();
+        let prefix = &seq[..=i];
+        for (u, v) in tree.dir_edges().collect::<Vec<_>>() {
+            // F from the projected prefix.
+            let mut f = 0u8;
+            for ev in sigma(tree, prefix, u, v) {
+                f = match (f, ev) {
+                    (_, EdgeEvent::R) => 2,
+                    (0, EdgeEvent::W) => 0,
+                    (x, EdgeEvent::W) => x - 1,
+                    (x, EdgeEvent::N) => x,
+                };
+            }
+            let granted = eng.node(u).granted(tree.nbr_index(u, v).unwrap());
+            assert_eq!(
+                f > 0,
+                granted,
+                "Lemma 4.4 violated at pair ({u},{v}) after request {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lemma_4_4_on_fixed_trees() {
+    let tree = Tree::kary(7, 2);
+    let seq = oat::workloads::uniform(&tree, 120, 0.5, 31);
+    check_f_rww_tracks_grants(&tree, &seq);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lemma_4_4_on_random_trees(nn in 2usize..10, tseed in any::<u64>(), wseed in any::<u64>()) {
+        let tree = oat::workloads::random_tree(nn, tseed);
+        let seq = oat::workloads::uniform(&tree, 60, 0.5, wseed);
+        check_f_rww_tracks_grants(&tree, &seq);
+    }
+}
+
+#[test]
+fn combine_cost_is_twice_the_missing_lease_frontier() {
+    // Lemma 3.3: executing a combine at u sends |A| probes and |A|
+    // responses, where A = nodes v whose grant toward u is down.
+    let tree = Tree::kary(10, 3);
+    let mut eng: Engine<RwwSpec, SumI64> =
+        Engine::new(tree.clone(), SumI64, &RwwSpec, Schedule::Fifo, false);
+    let seq = oat::workloads::uniform(&tree, 80, 0.5, 5);
+    for q in &seq {
+        match &q.op {
+            ReqOp::Write(v) => {
+                eng.initiate_write(q.node, *v);
+                eng.run_to_quiescence();
+            }
+            ReqOp::Combine => {
+                // Compute A in the current quiescent state.
+                let u = q.node;
+                let a_size = tree
+                    .nodes()
+                    .filter(|&v| {
+                        v != u && {
+                            let w = tree.u_parent(u, v); // u-parent of v
+                            !eng.node(v).granted(tree.nbr_index(v, w).unwrap())
+                        }
+                    })
+                    .count() as u64;
+                let before = eng.stats().total();
+                eng.initiate_combine(u);
+                eng.run_to_quiescence();
+                assert_eq!(
+                    eng.stats().total() - before,
+                    2 * a_size,
+                    "combine at {u}: cost must be 2|A|"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn write_cost_is_lease_graph_reachability_plus_releases() {
+    // Lemma 3.5: a write at u sends |A| updates, A = reachable set from u
+    // in the lease graph; RWW may add releases on second writes.
+    let tree = Tree::path(6);
+    let mut eng: Engine<RwwSpec, SumI64> =
+        Engine::new(tree.clone(), SumI64, &RwwSpec, Schedule::Fifo, false);
+    // Build leases toward node 5.
+    eng.initiate_combine(n(5));
+    eng.run_to_quiescence();
+
+    // First write at 0: updates flow 0->..->5 (5 updates), no releases.
+    let before = eng.stats().total();
+    eng.initiate_write(n(0), 1);
+    eng.run_to_quiescence();
+    assert_eq!(eng.stats().total() - before, 5);
+
+    // Second write: 5 updates + 5 cascading releases.
+    let before = eng.stats().total();
+    eng.initiate_write(n(0), 2);
+    eng.run_to_quiescence();
+    assert_eq!(eng.stats().total() - before, 10);
+
+    // Third write: lease graph empty, free.
+    let before = eng.stats().total();
+    eng.initiate_write(n(0), 3);
+    eng.run_to_quiescence();
+    assert_eq!(eng.stats().total() - before, 0);
+    invariants::check_all(&eng, &SumI64).unwrap();
+    invariants::check_rww_i4(&eng).unwrap();
+}
+
+#[test]
+fn corollary_4_1_single_combine_sets_two_writes_break() {
+    // Directly on a random tree: pick an edge, drive combines from one
+    // side and writes from the other.
+    let tree = oat::workloads::random_tree(9, 77);
+    let (u, v) = tree.dir_edges().next().unwrap();
+    // Find a node on u's side and one on v's side.
+    let u_side = tree
+        .nodes()
+        .find(|&x| tree.in_subtree(u, v, x))
+        .unwrap();
+    let v_side = tree
+        .nodes()
+        .find(|&x| tree.in_subtree(v, u, x))
+        .unwrap();
+    let mut eng: Engine<RwwSpec, SumI64> =
+        Engine::new(tree.clone(), SumI64, &RwwSpec, Schedule::Fifo, false);
+    let gi = tree.nbr_index(u, v).unwrap();
+
+    assert!(!eng.node(u).granted(gi));
+    // One combine on v's side sets u.granted[v].
+    eng.initiate_combine(v_side);
+    eng.run_to_quiescence();
+    assert!(eng.node(u).granted(gi), "a = 1");
+    // One write on u's side keeps it.
+    eng.initiate_write(u_side, 1);
+    eng.run_to_quiescence();
+    assert!(eng.node(u).granted(gi), "first write tolerated");
+    // A second consecutive write breaks it.
+    eng.initiate_write(u_side, 2);
+    eng.run_to_quiescence();
+    assert!(!eng.node(u).granted(gi), "b = 2");
+}
+
+#[test]
+fn ab_mechanism_matches_analytic_automaton_for_a_equals_1() {
+    // For a = 1 the distributed (a,b) policy and the per-edge analytic
+    // automaton coincide; verify total costs agree across b.
+    for b in 1..=4u32 {
+        let tree = oat::workloads::random_tree(8, b as u64);
+        let seq = oat::workloads::uniform(&tree, 120, 0.5, 1000 + b as u64);
+        let spec = AbSpec::new(1, b);
+        let sim = oat::sim::run_sequential(&tree, SumI64, &spec, Schedule::Fifo, &seq, false);
+        let analytic = oat::offline::replay::ab_total_cost(&tree, &seq, 1, b);
+        assert_eq!(
+            sim.total_msgs(),
+            analytic,
+            "(1,{b}) mechanism vs automaton divergence"
+        );
+    }
+}

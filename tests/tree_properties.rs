@@ -1,0 +1,125 @@
+//! Property tests for the tree topology algebra — the foundation every
+//! other component leans on (`subtree(u,v)` membership drives the
+//! `σ(u,v)` projections, the *u*-parent drives probe/update routing).
+
+use oat::prelude::*;
+use oat_core::request::{sigma, EdgeEvent, Request};
+use proptest::prelude::*;
+
+fn random_tree_strategy() -> impl Strategy<Value = Tree> {
+    (2usize..32, any::<u64>()).prop_map(|(n, seed)| oat::workloads::random_tree(n, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn subtree_partition(tree in random_tree_strategy()) {
+        for (u, v) in tree.dir_edges().collect::<Vec<_>>() {
+            let mut count_u = 0usize;
+            for x in tree.nodes() {
+                let in_u = tree.in_subtree(u, v, x);
+                let in_v = tree.in_subtree(v, u, x);
+                prop_assert!(in_u ^ in_v, "edge ({u},{v}), node {x}");
+                if in_u {
+                    count_u += 1;
+                }
+            }
+            prop_assert_eq!(count_u, tree.subtree_size(u, v));
+            prop_assert_eq!(
+                tree.subtree_size(u, v) + tree.subtree_size(v, u),
+                tree.len()
+            );
+            // Endpoints are on their own sides.
+            prop_assert!(tree.in_subtree(u, v, u));
+            prop_assert!(tree.in_subtree(v, u, v));
+        }
+    }
+
+    #[test]
+    fn u_parent_is_next_hop(tree in random_tree_strategy()) {
+        for u in tree.nodes() {
+            for x in tree.nodes() {
+                if u == x {
+                    continue;
+                }
+                let p = tree.u_parent(u, x);
+                // The u-parent is adjacent to x and strictly closer to u.
+                prop_assert!(tree.adjacent(p, x));
+                prop_assert_eq!(tree.distance(u, p) + 1, tree.distance(u, x));
+                // And it is the second-to-last element of the path.
+                let path = tree.path_between(u, x);
+                prop_assert_eq!(path[path.len() - 2], p);
+                prop_assert_eq!(path[0], u);
+                prop_assert_eq!(*path.last().unwrap(), x);
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_symmetric_and_simple(tree in random_tree_strategy()) {
+        let nodes: Vec<NodeId> = tree.nodes().collect();
+        for &u in nodes.iter().take(6) {
+            for &v in nodes.iter().rev().take(6) {
+                let p = tree.path_between(u, v);
+                let mut q = tree.path_between(v, u);
+                q.reverse();
+                prop_assert_eq!(&p, &q);
+                // Simple: no repeated nodes.
+                let set: std::collections::HashSet<_> = p.iter().collect();
+                prop_assert_eq!(set.len(), p.len());
+                // Consecutive elements adjacent.
+                for w in p.windows(2) {
+                    prop_assert!(tree.adjacent(w[0], w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dir_edge_index_is_a_bijection(tree in random_tree_strategy()) {
+        let mut seen = vec![false; tree.num_dir_edges()];
+        for (u, v) in tree.dir_edges().collect::<Vec<_>>() {
+            let i = tree.dir_edge_index(u, v);
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+            prop_assert_eq!(tree.dir_edge(i), (u, v));
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn sigma_partitions_every_request(
+        tree in random_tree_strategy(),
+        seed in any::<u64>(),
+    ) {
+        // Each request lands in exactly one of σ(u,v), σ(v,u) per edge;
+        // summing event counts over one direction of each edge recovers
+        // the sequence length.
+        let seq = oat::workloads::uniform(&tree, 50, 0.5, seed);
+        for (u, v) in tree.dir_edges().collect::<Vec<_>>() {
+            let a = sigma(&tree, &seq, u, v);
+            let b = sigma(&tree, &seq, v, u);
+            prop_assert_eq!(a.len() + b.len(), seq.len());
+            prop_assert!(a.iter().all(|&e| e != EdgeEvent::N));
+        }
+    }
+
+    #[test]
+    fn sigma_respects_subtree_membership(
+        tree in random_tree_strategy(),
+        node_pick in any::<u64>(),
+    ) {
+        // A write at x is a W exactly for the pairs whose u-side holds x.
+        let x = NodeId((node_pick % tree.len() as u64) as u32);
+        let seq = vec![Request::write(x, 1i64)];
+        for (u, v) in tree.dir_edges().collect::<Vec<_>>() {
+            let ev = sigma(&tree, &seq, u, v);
+            if tree.in_subtree(u, v, x) {
+                prop_assert_eq!(&ev, &vec![EdgeEvent::W]);
+            } else {
+                prop_assert!(ev.is_empty());
+            }
+        }
+    }
+}
