@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, and the tier-1 build+test cycle.
+# Everything runs offline — external deps are vendored under compat/.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy --workspace (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier 1: cargo build --release =="
+cargo build --release
+
+echo "== tier 1: cargo test -q =="
+cargo test -q
+
+echo "== ci: all green =="

@@ -1,0 +1,494 @@
+//! Offline drop-in subset of the `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the slice of proptest it uses: the [`strategy::Strategy`] trait with
+//! `prop_map` / `prop_flat_map`, range and tuple strategies, [`any`],
+//! [`strategy::Just`], `prop_oneof!`, `proptest::collection::vec`,
+//! `proptest::array::uniform4`, and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` macros.
+//!
+//! Differences from upstream, acceptable for this repo's positive
+//! property tests: **no shrinking** (a failing case panics with its
+//! values via the assertion message), and cases are generated from a
+//! deterministic per-test seed (test-name hash), so failures always
+//! reproduce with plain `cargo test`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+
+/// Strategies: recipes for generating values.
+pub mod strategy {
+    use super::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` builds
+        /// out of it (dependent generation).
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// [`Strategy::prop_flat_map`] adapter.
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut StdRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over `arms`; panics if empty.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    /// Boxes a strategy for use in heterogeneous unions, preserving the
+    /// value type for inference.
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::{Rng, RngCore};
+
+    /// Types that can be generated from raw random bits.
+    pub trait Arbitrary {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> f64 {
+            rng.gen()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_arbitrary_tuple {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    ($($name::arbitrary(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_tuple! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+    }
+
+    /// The `any::<T>()` strategy.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Generates any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length range for generated collections.
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `vec(element, size)`: a vector of generated elements.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Fixed-size array strategies (`proptest::array::uniform4`).
+pub mod array {
+    use super::strategy::Strategy;
+    use super::StdRng;
+
+    /// Strategy for `[S::Value; 4]`.
+    pub struct Uniform4<S>(S);
+
+    impl<S: Strategy> Strategy for Uniform4<S> {
+        type Value = [S::Value; 4];
+        fn generate(&self, rng: &mut StdRng) -> [S::Value; 4] {
+            [
+                self.0.generate(rng),
+                self.0.generate(rng),
+                self.0.generate(rng),
+                self.0.generate(rng),
+            ]
+        }
+    }
+
+    /// Four independent draws from `element`.
+    pub fn uniform4<S: Strategy>(element: S) -> Uniform4<S> {
+        Uniform4(element)
+    }
+}
+
+/// Test-runner configuration and the per-test case loop.
+pub mod test_runner {
+    use super::StdRng;
+    use rand::SeedableRng;
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// FNV-1a hash of the test name: the deterministic seed base, so a
+    /// failing case reproduces on every plain `cargo test` run.
+    pub fn seed_for(test_name: &str, case: u32) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// The RNG for one case of one property test.
+    pub fn rng_for(test_name: &str, case: u32) -> StdRng {
+        StdRng::seed_from_u64(seed_for(test_name, case))
+    }
+
+    /// Failure of a single property case; property bodies may `?` these.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        reason: String,
+    }
+
+    impl TestCaseError {
+        /// A failure carrying `reason`.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError {
+                reason: reason.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.reason)
+        }
+    }
+}
+
+/// Everything tests usually import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Asserts a property holds; panics with the formatted message otherwise.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts two values are equal; panics with the formatted message
+/// otherwise.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+/// Declares property tests: each `#[test] fn name(pat in strategy, ..)`
+/// runs its body for every generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case in 0..config.cases {
+                    let mut prop_rng =
+                        $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)), case);
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut prop_rng);)+
+                    // A closure so `?` on TestCaseError works in the body.
+                    #[allow(clippy::redundant_closure_call)]
+                    let case_result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = case_result {
+                        panic!("proptest case {case} of {} failed: {e}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_maps(a in 0i64..10, v in crate::collection::vec(0u32..5, 1..=4)) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert!(!v.is_empty() && v.len() <= 4);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn oneof_and_flat_map(x in prop_oneof![(0i64..3).prop_map(|v| v * 10), 100i64..103]) {
+            prop_assert!((0..30).contains(&x) || (100..103).contains(&x), "x = {x}");
+        }
+
+        #[test]
+        fn dependent_generation((n, v) in (1usize..6).prop_flat_map(|n| (Just(n), crate::collection::vec(0usize..10, n)))) {
+            prop_assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u64..1000, 3..=8);
+        let a = s.generate(&mut crate::test_runner::rng_for("t", 5));
+        let b = s.generate(&mut crate::test_runner::rng_for("t", 5));
+        assert_eq!(a, b);
+    }
+}

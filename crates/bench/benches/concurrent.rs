@@ -30,8 +30,7 @@ fn bench_threaded(c: &mut Criterion) {
         g.throughput(Throughput::Elements(seq.len() as u64));
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                oat_concurrent::run_threaded(&tree, SumI64, &RwwSpec, &seq, None)
-                    .messages_delivered
+                oat_concurrent::run_threaded(&tree, SumI64, &RwwSpec, &seq, None).messages_delivered
             })
         });
     }

@@ -56,14 +56,20 @@ fn bench_policies(c: &mut Criterion) {
     });
     g.bench_function("ab-2-3", |b| {
         b.iter(|| {
-            run_sequential(&tree, SumI64, &AbSpec::new(2, 3), Schedule::Fifo, &seq, false)
-                .total_msgs()
+            run_sequential(
+                &tree,
+                SumI64,
+                &AbSpec::new(2, 3),
+                Schedule::Fifo,
+                &seq,
+                false,
+            )
+            .total_msgs()
         })
     });
     g.bench_function("never-lease", |b| {
         b.iter(|| {
-            run_sequential(&tree, SumI64, &NeverLeaseSpec, Schedule::Fifo, &seq, false)
-                .total_msgs()
+            run_sequential(&tree, SumI64, &NeverLeaseSpec, Schedule::Fifo, &seq, false).total_msgs()
         })
     });
     g.finish();

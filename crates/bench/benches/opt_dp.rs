@@ -58,5 +58,10 @@ fn bench_tree_totals(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_edge_dp, bench_rww_automaton, bench_tree_totals);
+criterion_group!(
+    benches,
+    bench_edge_dp,
+    bench_rww_automaton,
+    bench_tree_totals
+);
 criterion_main!(benches);

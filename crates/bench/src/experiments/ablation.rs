@@ -6,10 +6,10 @@
 //! mix, and a phase-shifting mix. `b = 2` uniquely minimises the
 //! worst-case column — the design point the paper proves optimal.
 
+use oat_core::tree::Tree;
 use oat_offline::adversary::{adv_sequence, adv_tree};
 use oat_offline::opt_dp::opt_total_cost;
 use oat_offline::replay::ab_total_cost;
-use oat_core::tree::Tree;
 
 use crate::table::{f3, Table};
 
@@ -97,9 +97,8 @@ fn randomized_table() -> Table {
         let seeds = 10;
         for seed in 0..seeds {
             let spec = RandomBreakSpec::new(b, seed);
-            adv_cost +=
-                run_sequential(&adv_t, SumI64, &spec, Schedule::Fifo, &adv_seq, false)
-                    .total_msgs() as f64;
+            adv_cost += run_sequential(&adv_t, SumI64, &spec, Schedule::Fifo, &adv_seq, false)
+                .total_msgs() as f64;
             uni_cost += run_sequential(&tree, SumI64, &spec, Schedule::Fifo, &uni, false)
                 .total_msgs() as f64;
         }

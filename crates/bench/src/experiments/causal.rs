@@ -20,7 +20,12 @@ pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "E9 / Theorem 4 — causal consistency in concurrent executions",
         &[
-            "substrate", "topology", "seed", "combines", "strict misses", "causal",
+            "substrate",
+            "topology",
+            "seed",
+            "combines",
+            "strict misses",
+            "causal",
         ],
     );
     let topologies = vec![
@@ -80,7 +85,12 @@ fn hierarchy_table() -> Table {
 
     let mut t = Table::new(
         "E9b / consistency hierarchy — sampled concurrent runs (path-5, 24 requests)",
-        &["seed", "strict misses", "sequentially consistent", "causally consistent"],
+        &[
+            "seed",
+            "strict misses",
+            "sequentially consistent",
+            "causally consistent",
+        ],
     );
     t.note("strict ⟹ sequential ⟹ causal; concurrency preserves only causal (Theorem 4)");
     let tree = Tree::path(5);
@@ -101,7 +111,11 @@ fn hierarchy_table() -> Table {
             seed.to_string(),
             res.strict_misses().to_string(),
             if sc { "yes".into() } else { "NO".into() },
-            if causal { "yes".into() } else { "VIOLATED".into() },
+            if causal {
+                "yes".into()
+            } else {
+                "VIOLATED".into()
+            },
         ]);
     }
     t.note(format!(

@@ -61,11 +61,7 @@ pub fn run() -> Vec<Table> {
     let points = sweep(&tree, 200, 8);
     let mut t = Table::new(
         "E15 / concurrency effects — overlap vs cost and strict consistency (16-node tree)",
-        &[
-            "initiation prob.",
-            "msgs vs sequential",
-            "strict-miss rate",
-        ],
+        &["initiation prob.", "msgs vs sequential", "strict-miss rate"],
     );
     t.note("mean over 8 seeds, 200 uniform requests; causal consistency holds at every point");
     for p in &points {

@@ -89,18 +89,24 @@ pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "E1 / Figure 2 — per-edge cost table, measured on the mechanism",
         &[
-            "granted", "request", "granted'", "paper cost", "measured", "driver", "ok",
+            "granted",
+            "request",
+            "granted'",
+            "paper cost",
+            "measured",
+            "driver",
+            "ok",
         ],
     );
     t.note("ordered pair (u,v) = (n0,n1) on the two-node tree unless noted");
 
     let add = |state: bool,
-                   req: &str,
-                   next: bool,
-                   paper: u64,
-                   m: Measured,
-                   driver: &str,
-                   t: &mut Table| {
+               req: &str,
+               next: bool,
+               paper: u64,
+               m: Measured,
+               driver: &str,
+               t: &mut Table| {
         assert_eq!(m.state_before, state, "scenario for ({state},{req}) broken");
         let ok = m.state_after == next && m.cost == paper;
         t.row(vec![
@@ -198,7 +204,15 @@ pub fn run() -> Vec<Table> {
             state_after: eng.node(n(0)).granted(gi),
             cost: eng.stats().pair_cost(&tree, n(0), n(1)) - before,
         };
-        add(true, "N", true, 0, m, "RWW path3: combine at n2 (σ(v,u))", &mut t);
+        add(
+            true,
+            "N",
+            true,
+            0,
+            m,
+            "RWW path3: combine at n2 (σ(v,u))",
+            &mut t,
+        );
     }
 
     // (true, N, false, 1): an eager policy releases during a request of
@@ -221,7 +235,15 @@ pub fn run() -> Vec<Table> {
             state_after: eng.node(n(0)).granted(gi),
             cost: eng.stats().pair_cost(&tree, n(0), n(1)) - before,
         };
-        add(true, "N", false, 1, m, "EagerBreak path3: write at n2 (σ(v,u))", &mut t);
+        add(
+            true,
+            "N",
+            false,
+            1,
+            m,
+            "EagerBreak path3: write at n2 (σ(v,u))",
+            &mut t,
+        );
     }
 
     vec![t]

@@ -77,10 +77,7 @@ pub fn sweep(trees: usize, len: usize) -> Fig3Stats {
                         st.breaks += 1;
                         // b = 2: the break follows two consecutive writes.
                         let k = events.len();
-                        if k < 2
-                            || events[k - 1] != EdgeEvent::W
-                            || events[k - 2] != EdgeEvent::W
-                        {
+                        if k < 2 || events[k - 1] != EdgeEvent::W || events[k - 2] != EdgeEvent::W {
                             st.wrong_cause += 1;
                         }
                     }

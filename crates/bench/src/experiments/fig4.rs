@@ -26,8 +26,7 @@ fn ev_label(e: EdgeEvent) -> &'static str {
 /// unknown-transition count)`.
 pub fn observe(traces: usize, len: usize) -> (Vec<(Transition, u64)>, u64) {
     let transitions = enumerate_transitions();
-    let mut counts: Vec<(Transition, u64)> =
-        transitions.iter().map(|&t| (t, 0)).collect();
+    let mut counts: Vec<(Transition, u64)> = transitions.iter().map(|&t| (t, 0)).collect();
     let mut unknown = 0u64;
     let mut seed = 0x517cc1b727220a95u64;
     for _ in 0..traces {
@@ -80,7 +79,9 @@ pub fn run() -> Vec<Table> {
     );
     t.note("observed = firings over 200 random σ'(u,v) traces × 200 events,");
     t.note("with OPT playing its per-edge optimal trajectory");
-    t.note(format!("transitions outside the diagram observed: {unknown} (must be 0)"));
+    t.note(format!(
+        "transitions outside the diagram observed: {unknown} (must be 0)"
+    ));
     for (tr, c) in &counts {
         t.row(vec![
             tr.from.label(),

@@ -5,7 +5,9 @@
 //! `c = 5/2`, `Φ = (0, 2, 3, 5/2, 2, 1/2)`.
 
 use oat_lp::certificate::{max_ratio_cycle, simple_cycles};
-use oat_lp::figure5::{build_figure5_lp, is_feasible, solve_figure5, PAPER_C, PAPER_PHI, PAPER_ROWS};
+use oat_lp::figure5::{
+    build_figure5_lp, is_feasible, solve_figure5, PAPER_C, PAPER_PHI, PAPER_ROWS,
+};
 use oat_lp::state_machine::ProductState;
 
 use crate::table::{f3, Table};
@@ -78,7 +80,11 @@ pub fn run() -> Vec<Table> {
         format!("exact cycle certificate ({} cycles)", simple_cycles().len()),
         "5/2".into(),
         format!("{}/{}", best.rww_sum, best.opt_sum),
-        if best.eq(5, 2) { "yes".into() } else { "MISMATCH".into() },
+        if best.eq(5, 2) {
+            "yes".into()
+        } else {
+            "MISMATCH".into()
+        },
     ]);
     vec![t]
 }

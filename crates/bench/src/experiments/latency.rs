@@ -125,7 +125,11 @@ mod tests {
         let push = measure(&AlwaysLeaseSpec, &tree, &seq, true);
         let rww = measure(&RwwSpec, &tree, &seq, false);
         assert_eq!(push.read_mean, 0.0, "prewarmed push answers locally");
-        assert!(pull.read_mean > 4.0, "pull pays round trips: {}", pull.read_mean);
+        assert!(
+            pull.read_mean > 4.0,
+            "pull pays round trips: {}",
+            pull.read_mean
+        );
         // RWW: most reads local on a read-heavy mix.
         assert!(rww.read_local > 0.5, "RWW locality {}", rww.read_local);
         assert!(rww.read_mean < pull.read_mean);
@@ -134,7 +138,9 @@ mod tests {
     #[test]
     fn cold_read_latency_is_twice_eccentricity_on_a_path() {
         let tree = Tree::path(9);
-        let seq = vec![oat_core::request::Request::combine(oat_core::tree::NodeId(0))];
+        let seq = vec![oat_core::request::Request::combine(oat_core::tree::NodeId(
+            0,
+        ))];
         let s = measure(&RwwSpec, &tree, &seq, false);
         assert_eq!(s.read_max, 16, "down 8 hops and back");
     }

@@ -7,11 +7,11 @@ pub mod ablation;
 pub mod causal;
 pub mod concurrency;
 pub mod fig2;
-pub mod latency;
-pub mod modelcheck;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod latency;
+pub mod modelcheck;
 pub mod motivation;
 pub mod potential;
 pub mod scale;

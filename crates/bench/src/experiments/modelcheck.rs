@@ -108,7 +108,13 @@ pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "E16 / model checking — every interleaving of small concurrent executions",
         &[
-            "instance", "policy", "states", "transitions", "terminals", "max in-flight", "verdict",
+            "instance",
+            "policy",
+            "states",
+            "transitions",
+            "terminals",
+            "max in-flight",
+            "verdict",
         ],
     );
     t.note("checked in every state: invariants (quiescent), completion + causal consistency (terminal)");

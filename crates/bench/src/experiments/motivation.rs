@@ -37,11 +37,15 @@ pub fn sweep(tree: &Tree, len: usize) -> Vec<SweepPoint> {
         let seq = oat_workloads::uniform(tree, len, wf, 31 + i as u64);
         let per = |total: u64| total as f64 / len as f64;
 
-        let rww =
-            oat_sim::run_sequential(tree, SumI64, &RwwSpec, Schedule::Fifo, &seq, false)
-                .total_msgs();
-        let mut push_engine =
-            Engine::new(tree.clone(), SumI64, &AlwaysLeaseSpec, Schedule::Fifo, false);
+        let rww = oat_sim::run_sequential(tree, SumI64, &RwwSpec, Schedule::Fifo, &seq, false)
+            .total_msgs();
+        let mut push_engine = Engine::new(
+            tree.clone(),
+            SumI64,
+            &AlwaysLeaseSpec,
+            Schedule::Fifo,
+            false,
+        );
         push_engine.prewarm_leases();
         let push_chunk = oat_sim::sequential::run_sequential_on(&mut push_engine, &seq, 0);
         let push: u64 = push_chunk.per_request_msgs.iter().sum();
@@ -105,7 +109,7 @@ mod tests {
         let pts = super::sweep(&tree, 600);
         let read_heavy = &pts[1]; // wf = 0.1
         let write_heavy = &pts[5]; // wf = 0.9
-        // Each static strategy wins one regime...
+                                   // Each static strategy wins one regime...
         assert!(read_heavy.push < read_heavy.pull);
         assert!(write_heavy.pull < write_heavy.push);
         // ...and RWW is never far from the better one.

@@ -34,10 +34,9 @@ pub fn run() -> Vec<Table> {
             let rww = run_sequential(&tree, SumI64, &RwwSpec, Schedule::Fifo, &seq, false)
                 .total_msgs() as f64
                 / 1000.0;
-            let pull =
-                run_sequential(&tree, SumI64, &NeverLeaseSpec, Schedule::Fifo, &seq, false)
-                    .total_msgs() as f64
-                    / 1000.0;
+            let pull = run_sequential(&tree, SumI64, &NeverLeaseSpec, Schedule::Fifo, &seq, false)
+                .total_msgs() as f64
+                / 1000.0;
             let opt = opt_total_cost(&tree, &seq) as f64 / 1000.0;
             t.row(vec![
                 shape.into(),

@@ -77,7 +77,13 @@ pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "E5 / Theorem 1 — C_RWW(σ) ≤ 5/2 · C_OPT(σ)",
         &[
-            "topology", "workload", "C_RWW(sim)", "C_RWW(analytic)", "C_OPT", "ratio", "≤ 2.5",
+            "topology",
+            "workload",
+            "C_RWW(sim)",
+            "C_RWW(analytic)",
+            "C_OPT",
+            "ratio",
+            "≤ 2.5",
         ],
     );
     let mut worst: f64 = 0.0;
@@ -125,7 +131,13 @@ pub fn run() -> Vec<Table> {
 fn seed_sweep_table() -> Table {
     let mut t = Table::new(
         "E5b / Theorem 1 — ratio distribution over 60 seeds per topology",
-        &["topology", "workload family", "mean ratio", "max ratio", "≤ 2.5"],
+        &[
+            "topology",
+            "workload family",
+            "mean ratio",
+            "max ratio",
+            "≤ 2.5",
+        ],
     );
     t.note("uniform workloads, 400 requests each, write fraction drawn from the seed");
     for (tname, tree) in [

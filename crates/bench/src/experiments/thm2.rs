@@ -53,7 +53,11 @@ pub fn run() -> Vec<Table> {
                 res.total_msgs().to_string(),
                 lb.to_string(),
                 opt_f3(ratio),
-                if per_pair_ok { "yes".into() } else { "VIOLATED".into() },
+                if per_pair_ok {
+                    "yes".into()
+                } else {
+                    "VIOLATED".into()
+                },
             ]);
         }
     }

@@ -58,7 +58,11 @@ impl fmt::Display for Table {
             writeln!(f)
         };
         line(f, &self.headers)?;
-        writeln!(f, "  {}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        writeln!(
+            f,
+            "  {}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )?;
         for row in &self.rows {
             line(f, row)?;
         }
@@ -81,7 +85,14 @@ impl Table {
         for n in &self.notes {
             out.push_str(&format!("# {n}\n"));
         }
-        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));

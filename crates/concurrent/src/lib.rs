@@ -84,43 +84,42 @@ pub fn run_threaded<S: PolicySpec, A: AggOp>(
     let in_flight = Arc::new(AtomicI64::new(0));
     let delivered = Arc::new(AtomicI64::new(0));
 
-    let results: Vec<NodeOutcome<A::Value>> =
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(n);
-            for u in tree.nodes() {
-                let rx = receivers[u.idx()].take().expect("receiver unused");
-                let senders = senders.clone();
-                let in_flight = Arc::clone(&in_flight);
-                let delivered = Arc::clone(&delivered);
-                let op = op.clone();
-                let node_policy = spec.build(tree.degree(u));
-                let tree = tree.clone();
-                handles.push(scope.spawn(move || {
-                    node_main::<S, A>(tree, u, op, node_policy, rx, senders, in_flight, delivered)
-                }));
-            }
+    let results: Vec<NodeOutcome<A::Value>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for u in tree.nodes() {
+            let rx = receivers[u.idx()].take().expect("receiver unused");
+            let senders = senders.clone();
+            let in_flight = Arc::clone(&in_flight);
+            let delivered = Arc::clone(&delivered);
+            let op = op.clone();
+            let node_policy = spec.build(tree.degree(u));
+            let tree = tree.clone();
+            handles.push(scope.spawn(move || {
+                node_main::<S, A>(tree, u, op, node_policy, rx, senders, in_flight, delivered)
+            }));
+        }
 
-            // Drive: inject requests, then wait for quiescence.
-            for q in seq {
-                in_flight.fetch_add(1, Ordering::SeqCst);
-                senders[q.node.idx()]
-                    .send(Envelope::Request(q.op.clone()))
-                    .expect("node thread alive");
-                if let Some(gap) = inject_gap {
-                    std::thread::sleep(gap);
-                }
+        // Drive: inject requests, then wait for quiescence.
+        for q in seq {
+            in_flight.fetch_add(1, Ordering::SeqCst);
+            senders[q.node.idx()]
+                .send(Envelope::Request(q.op.clone()))
+                .expect("node thread alive");
+            if let Some(gap) = inject_gap {
+                std::thread::sleep(gap);
             }
-            while in_flight.load(Ordering::SeqCst) != 0 {
-                std::thread::yield_now();
-            }
-            for tx in &senders {
-                tx.send(Envelope::Shutdown).expect("node thread alive");
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("node thread panicked"))
-                .collect()
-        });
+        }
+        while in_flight.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+        for tx in &senders {
+            tx.send(Envelope::Shutdown).expect("node thread alive");
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect()
+    });
 
     let mut logs = Vec::with_capacity(n);
     let mut combine_values = Vec::new();
@@ -187,7 +186,10 @@ fn node_main<S: PolicySpec, A: AggOp>(
         outstanding_combines, 0,
         "node {id} shut down with incomplete combines"
     );
-    (node.ghost().expect("ghost enabled").log.clone(), completions)
+    (
+        node.ghost().expect("ghost enabled").log.clone(),
+        completions,
+    )
 }
 
 /// Sends everything in `out`, incrementing the in-flight counter *before*

@@ -381,10 +381,7 @@ mod tests {
     fn detects_program_order_violation() {
         // Node 1's log holds node 0's writes out of index order: the
         // serialization would put (0,1) before (0,0).
-        let logs = vec![
-            vec![w(0, 0, 1), w(0, 1, 2)],
-            vec![w(0, 1, 2), w(0, 0, 1)],
-        ];
+        let logs = vec![vec![w(0, 0, 1), w(0, 1, 2)], vec![w(0, 1, 2), w(0, 0, 1)]];
         let err = check_causal(&SumI64, &logs).unwrap_err();
         assert!(
             matches!(err, CausalViolation::OrderViolation { .. }),

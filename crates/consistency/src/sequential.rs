@@ -126,7 +126,15 @@ pub fn check_sequentially_consistent<A: AggOp>(
         false
     }
 
-    if dfs(op, histories, &mut pos, &mut vals, &mut witness, &mut dead, total) {
+    if dfs(
+        op,
+        histories,
+        &mut pos,
+        &mut vals,
+        &mut witness,
+        &mut dead,
+        total,
+    ) {
         Some(witness)
     } else {
         None
@@ -141,10 +149,7 @@ mod tests {
     #[test]
     fn trivially_consistent_history() {
         // n0 writes 5, n1 reads 5.
-        let histories = vec![
-            vec![OwnOp::Write(5i64)],
-            vec![OwnOp::Combine(5)],
-        ];
+        let histories = vec![vec![OwnOp::Write(5i64)], vec![OwnOp::Combine(5)]];
         let w = check_sequentially_consistent(&SumI64, &histories).expect("SC");
         assert_eq!(w.len(), 2);
         assert_eq!(w[0], (0, 0), "write must precede the read of 5");
@@ -152,10 +157,7 @@ mod tests {
 
     #[test]
     fn read_of_zero_orders_before_write() {
-        let histories = vec![
-            vec![OwnOp::Write(5i64)],
-            vec![OwnOp::Combine(0)],
-        ];
+        let histories = vec![vec![OwnOp::Write(5i64)], vec![OwnOp::Combine(0)]];
         let w = check_sequentially_consistent(&SumI64, &histories).expect("SC");
         assert_eq!(w[0], (1, 0), "the 0-read precedes the write");
     }

@@ -166,7 +166,10 @@ mod tests {
         let b = vec![7, 6];
         assert_eq!(op.combine(&a, &b), vec![9, 7, 6]);
         assert_eq!(op.combine(&a, &op.identity()), a);
-        assert_eq!(op.combine(&op.identity(), &op.identity()), Vec::<i64>::new());
+        assert_eq!(
+            op.combine(&op.identity(), &op.identity()),
+            Vec::<i64>::new()
+        );
     }
 
     #[test]

@@ -180,7 +180,11 @@ mod tests {
         let mut g: GhostState<i64> = GhostState::new();
         assert_eq!(g.recent_writes(3), vec![-1, -1, -1]);
         g.append_local_write(n(1), 5);
-        g.merge_wlog(&[WriteRec { node: n(2), index: 0, arg: 7 }]);
+        g.merge_wlog(&[WriteRec {
+            node: n(2),
+            index: 0,
+            arg: 7,
+        }]);
         g.append_local_write(n(1), 6);
         assert_eq!(g.recent_writes(3), vec![-1, 1, 0]);
     }

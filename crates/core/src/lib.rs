@@ -38,6 +38,7 @@ pub mod message;
 pub mod policy;
 pub mod request;
 pub mod tree;
+pub mod wire;
 
 pub use agg::AggOp;
 pub use mechanism::{CombineOutcome, MechNode};
@@ -45,3 +46,4 @@ pub use message::{Message, MsgKind};
 pub use policy::{NodePolicy, PolicySpec};
 pub use request::{ReqOp, Request};
 pub use tree::{NodeId, Tree};
+pub use wire::{WireError, WireValue};

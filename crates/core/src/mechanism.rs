@@ -277,7 +277,11 @@ impl<P: NodePolicy, A: AggOp> MechNode<P, A> {
 
     /// `sntprobes()`: union of all outstanding probe target sets.
     fn sntprobes(&self) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = self.snt.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+        let mut out: Vec<NodeId> = self
+            .snt
+            .iter()
+            .flat_map(|(_, s)| s.iter().copied())
+            .collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -418,10 +422,7 @@ impl<P: NodePolicy, A: AggOp> MechNode<P, A> {
     /// wants to drop, provided no other grant pins it.
     fn forward_release(&mut self, out: &mut Outbox<A::Value>) {
         for vi in 0..self.nbrs.len() {
-            if self.taken[vi]
-                && self.is_good_for_release(vi)
-                && self.policy.break_lease(vi)
-            {
+            if self.taken[vi] && self.is_good_for_release(vi) && self.policy.break_lease(vi) {
                 self.taken[vi] = false;
                 let ids = std::mem::take(&mut self.uaw[vi]);
                 out.push((self.nbrs[vi], Message::Release { ids }));
@@ -688,7 +689,13 @@ mod tests {
     }
 
     fn node(tree: &Tree, id: u32) -> MechNode<crate::policy::rww::RwwNode, SumI64> {
-        MechNode::new(tree, n(id), SumI64, RwwSpec.build(tree.degree(n(id))), false)
+        MechNode::new(
+            tree,
+            n(id),
+            SumI64,
+            RwwSpec.build(tree.degree(n(id))),
+            false,
+        )
     }
 
     #[test]

@@ -148,7 +148,11 @@ mod tests {
         let mut p = RwwSpec.build(2);
         p.on_response_rcvd(true, 0);
         p.on_update_rcvd(0, false);
-        assert_eq!(p.lt(0), 2, "lt only decrements when grntd()\\{{w}} is empty");
+        assert_eq!(
+            p.lt(0),
+            2,
+            "lt only decrements when grntd()\\{{w}} is empty"
+        );
     }
 
     #[test]

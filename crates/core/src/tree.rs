@@ -406,7 +406,12 @@ impl Tree {
 
 impl fmt::Debug for Tree {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tree(n={}, edges={:?})", self.len(), self.undirected_edges())
+        write!(
+            f,
+            "Tree(n={}, edges={:?})",
+            self.len(),
+            self.undirected_edges()
+        )
     }
 }
 

@@ -1,0 +1,422 @@
+//! Wire format for [`Message`]s: hand-rolled, length-independent binary
+//! encoding used by the `oat-net` TCP runtime.
+//!
+//! Layout conventions (all integers little-endian):
+//!
+//! * `u32`/`u64`/`i64`/`f64` — fixed-width LE bytes (`f64` via its IEEE-754
+//!   bit pattern).
+//! * `bool` — one byte, `0` or `1`.
+//! * `Vec<T>` / `Option<T>` — `u32` length (or `0`/`1` presence byte)
+//!   followed by the elements.
+//! * [`Message`] — one kind tag byte (`0` probe, `1` response, `2` update,
+//!   `3` release) followed by the variant's fields in declaration order.
+//!
+//! The aggregate value type is abstracted by [`WireValue`], implemented
+//! here for the value types of the stock [`crate::agg`] operators. Decoding
+//! is strict: trailing bytes, truncated buffers, and unknown tags are
+//! errors, so a framing bug surfaces as a decode failure rather than a
+//! silently skewed aggregate.
+
+use crate::ghost::WriteRec;
+use crate::message::Message;
+use crate::tree::NodeId;
+
+/// A decode failure: what was being decoded and at which byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What the decoder was reading when it failed.
+    pub context: &'static str,
+    /// Byte offset into the buffer.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "wire decode error in {} at byte {}",
+            self.context, self.offset
+        )
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A byte reader tracking its offset for error reporting.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Reads from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn fail(&self, context: &'static str) -> WireError {
+        WireError {
+            context,
+            offset: self.pos,
+        }
+    }
+
+    /// Consumes exactly `n` bytes.
+    pub fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(self.fail(context));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, context: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, WireError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, WireError> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self, context: &'static str) -> Result<i64, WireError> {
+        Ok(self.u64(context)? as i64)
+    }
+
+    /// Reads a `bool` byte; anything but `0`/`1` is an error.
+    pub fn bool(&mut self, context: &'static str) -> Result<bool, WireError> {
+        match self.u8(context)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError {
+                context,
+                offset: self.pos - 1,
+            }),
+        }
+    }
+
+    /// Fails unless the whole buffer was consumed.
+    pub fn finish(self, context: &'static str) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(self.fail(context))
+        }
+    }
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Aggregate value types that can cross the wire.
+///
+/// Implemented for the value types of the stock operators; `oat-net` is
+/// generic over any `V: WireValue`.
+pub trait WireValue: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one value from `r`.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+}
+
+impl WireValue for i64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, *self as u64);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.i64("i64")
+    }
+}
+
+impl WireValue for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, *self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.u64("u64")
+    }
+}
+
+impl WireValue for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.to_bits());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(f64::from_bits(r.u64("f64")?))
+    }
+}
+
+impl WireValue for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.bool("bool")
+    }
+}
+
+impl WireValue for crate::agg::MeanValue {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.sum.encode(out);
+        self.count.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(crate::agg::MeanValue {
+            sum: i64::decode(r)?,
+            count: u64::decode(r)?,
+        })
+    }
+}
+
+impl<A: WireValue, B: WireValue> WireValue for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<T: WireValue> WireValue for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.len() as u32);
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.u32("vec length")? as usize;
+        let mut out = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+fn encode_wlog<V: WireValue>(wlog: &Option<Vec<WriteRec<V>>>, out: &mut Vec<u8>) {
+    match wlog {
+        None => out.push(0),
+        Some(recs) => {
+            out.push(1);
+            put_u32(out, recs.len() as u32);
+            for rec in recs {
+                put_u32(out, rec.node.0);
+                put_u32(out, rec.index);
+                rec.arg.encode(out);
+            }
+        }
+    }
+}
+
+fn decode_wlog<V: WireValue>(
+    r: &mut WireReader<'_>,
+) -> Result<Option<Vec<WriteRec<V>>>, WireError> {
+    match r.u8("wlog presence")? {
+        0 => Ok(None),
+        1 => {
+            let len = r.u32("wlog length")? as usize;
+            let mut recs = Vec::with_capacity(len.min(4096));
+            for _ in 0..len {
+                recs.push(WriteRec {
+                    node: NodeId(r.u32("wlog node")?),
+                    index: r.u32("wlog index")?,
+                    arg: V::decode(r)?,
+                });
+            }
+            Ok(Some(recs))
+        }
+        _ => Err(WireError {
+            context: "wlog presence",
+            offset: 0,
+        }),
+    }
+}
+
+impl<V: WireValue> Message<V> {
+    /// Appends this message's wire encoding (kind tag + payload) to `out`.
+    pub fn encode_wire(&self, out: &mut Vec<u8>) {
+        match self {
+            Message::Probe => out.push(0),
+            Message::Response { x, flag, wlog } => {
+                out.push(1);
+                x.encode(out);
+                out.push(u8::from(*flag));
+                encode_wlog(wlog, out);
+            }
+            Message::Update { x, id, wlog } => {
+                out.push(2);
+                x.encode(out);
+                put_u64(out, *id);
+                encode_wlog(wlog, out);
+            }
+            Message::Release { ids } => {
+                out.push(3);
+                put_u32(out, ids.len() as u32);
+                for id in ids {
+                    put_u64(out, *id);
+                }
+            }
+        }
+    }
+
+    /// Decodes one message, requiring the buffer to be fully consumed.
+    pub fn decode_wire(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        let msg = match r.u8("message tag")? {
+            0 => Message::Probe,
+            1 => {
+                let x = V::decode(&mut r)?;
+                let flag = r.bool("response flag")?;
+                let wlog = decode_wlog(&mut r)?;
+                Message::Response { x, flag, wlog }
+            }
+            2 => {
+                let x = V::decode(&mut r)?;
+                let id = r.u64("update id")?;
+                let wlog = decode_wlog(&mut r)?;
+                Message::Update { x, id, wlog }
+            }
+            3 => {
+                let len = r.u32("release length")? as usize;
+                let mut ids = Vec::with_capacity(len.min(4096));
+                for _ in 0..len {
+                    ids.push(r.u64("release id")?);
+                }
+                Message::Release { ids }
+            }
+            _ => {
+                return Err(WireError {
+                    context: "message tag",
+                    offset: 0,
+                })
+            }
+        };
+        r.finish("message trailing bytes")?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::MeanValue;
+
+    fn roundtrip<V: WireValue + Clone + PartialEq + std::fmt::Debug>(m: Message<V>) {
+        let mut buf = Vec::new();
+        m.encode_wire(&mut buf);
+        let back = Message::<V>::decode_wire(&buf).expect("decodes");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        roundtrip::<i64>(Message::Probe);
+        roundtrip(Message::Response {
+            x: -42i64,
+            flag: true,
+            wlog: None,
+        });
+        roundtrip(Message::Response {
+            x: 7i64,
+            flag: false,
+            wlog: Some(vec![
+                WriteRec {
+                    node: NodeId(3),
+                    index: 9,
+                    arg: -1i64,
+                },
+                WriteRec {
+                    node: NodeId(0),
+                    index: 0,
+                    arg: i64::MIN,
+                },
+            ]),
+        });
+        roundtrip(Message::Update {
+            x: i64::MAX,
+            id: u64::MAX,
+            wlog: Some(vec![]),
+        });
+        roundtrip::<i64>(Message::Release { ids: vec![] });
+        roundtrip::<i64>(Message::Release {
+            ids: vec![0, 1, u64::MAX],
+        });
+    }
+
+    #[test]
+    fn value_types_roundtrip() {
+        roundtrip(Message::Update {
+            x: MeanValue { sum: -5, count: 3 },
+            id: 1,
+            wlog: None,
+        });
+        roundtrip(Message::Response {
+            x: (i64::MIN, i64::MAX),
+            flag: true,
+            wlog: None,
+        });
+        roundtrip(Message::Response {
+            x: 2.5f64,
+            flag: false,
+            wlog: None,
+        });
+        roundtrip(Message::Response {
+            x: true,
+            flag: false,
+            wlog: None,
+        });
+        roundtrip(Message::Update {
+            x: vec![3i64, -9, 0],
+            id: 2,
+            wlog: None,
+        });
+    }
+
+    #[test]
+    fn strict_decoding_rejects_garbage() {
+        // Unknown tag.
+        assert!(Message::<i64>::decode_wire(&[9]).is_err());
+        // Truncated response payload.
+        assert!(Message::<i64>::decode_wire(&[1, 1, 2, 3]).is_err());
+        // Trailing bytes after a valid probe.
+        assert!(Message::<i64>::decode_wire(&[0, 0]).is_err());
+        // Invalid bool byte.
+        let mut buf = Vec::new();
+        Message::Response {
+            x: 5i64,
+            flag: true,
+            wlog: None,
+        }
+        .encode_wire(&mut buf);
+        buf[9] = 2; // flag byte
+        assert!(Message::<i64>::decode_wire(&buf).is_err());
+        // Empty buffer.
+        assert!(Message::<i64>::decode_wire(&[]).is_err());
+    }
+}

@@ -147,7 +147,11 @@ mod tests {
     #[test]
     fn cycle_enumeration_is_nonempty_and_simple() {
         let cycles = simple_cycles();
-        assert!(cycles.len() > 10, "expected many cycles, got {}", cycles.len());
+        assert!(
+            cycles.len() > 10,
+            "expected many cycles, got {}",
+            cycles.len()
+        );
         for c in &cycles {
             // Transitions chain up and return to the start.
             for w in c.windows(2) {

@@ -49,8 +49,8 @@ pub fn audit_trace(events: &[EdgeEvent]) -> AuditReport {
     for (i, &ev) in events.iter().enumerate() {
         let (ny, rcost) = rww_step(rww_y, ev);
         let opt_next = opt_states[i];
-        let ocost = edge_cost(opt_state, ev, opt_next)
-            .expect("OPT trajectory uses legal transitions");
+        let ocost =
+            edge_cost(opt_state, ev, opt_next).expect("OPT trajectory uses legal transitions");
         let nphi = PAPER_PHI[state_index(opt_next, ny)];
         let violation = (nphi - phi) + rcost as f64 - PAPER_C * ocost as f64;
         max_violation = max_violation.max(violation);
@@ -90,12 +90,13 @@ mod tests {
         let rep = audit_trace(&events);
         assert!(rep.max_step_violation <= 1e-9, "{rep:?}");
         // Amortized bound: C_RWW ≤ (5/2)·C_OPT + Φ_end.
-        assert!(
-            rep.rww_cost as f64 <= PAPER_C * rep.opt_cost as f64 + rep.final_potential + 1e-9
-        );
+        assert!(rep.rww_cost as f64 <= PAPER_C * rep.opt_cost as f64 + rep.final_potential + 1e-9);
         // And the adversarial trace is essentially tight.
         let ratio = rep.rww_cost as f64 / rep.opt_cost as f64;
-        assert!(ratio > 2.45, "adversarial ratio {ratio} should approach 5/2");
+        assert!(
+            ratio > 2.45,
+            "adversarial ratio {ratio} should approach 5/2"
+        );
     }
 
     #[test]
@@ -111,8 +112,7 @@ mod tests {
             let rep = audit_trace(&events);
             assert!(rep.max_step_violation <= 1e-9, "{rep:?}");
             assert!(
-                rep.rww_cost as f64
-                    <= PAPER_C * rep.opt_cost as f64 + rep.final_potential + 1e-9
+                rep.rww_cost as f64 <= PAPER_C * rep.opt_cost as f64 + rep.final_potential + 1e-9
             );
         }
     }

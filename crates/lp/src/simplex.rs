@@ -183,8 +183,7 @@ fn run_simplex_limited(
             if t[i][enter] > EPS {
                 let ratio = t[i][cols] / t[i][enter];
                 let better = ratio < best - EPS
-                    || (ratio < best + EPS
-                        && leave.map(|l| basis[i] < basis[l]).unwrap_or(true));
+                    || (ratio < best + EPS && leave.map(|l| basis[i] < basis[l]).unwrap_or(true));
                 if better {
                     best = ratio.min(best);
                     leave = Some(i);
@@ -331,7 +330,9 @@ mod tests {
         // intersections; compare against the simplex on random instances.
         let mut seed = 0xabcdefu64;
         let mut rnd = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) * 10.0 - 5.0
         };
         for _case in 0..200 {

@@ -28,10 +28,7 @@ impl ProductState {
     /// All six states in Figure-4 order: `(0,0) (0,1) (0,2) (1,0) (1,1)
     /// (1,2)`.
     pub fn all() -> [ProductState; 6] {
-        let mut out = [ProductState {
-            opt: false,
-            rww: 0,
-        }; 6];
+        let mut out = [ProductState { opt: false, rww: 0 }; 6];
         let mut i = 0;
         for opt in [false, true] {
             for rww in 0..3u8 {

@@ -92,7 +92,10 @@ impl std::fmt::Display for CheckError {
             CheckError::IncompleteCombine {
                 completed,
                 expected,
-            } => write!(f, "terminal state completed {completed}/{expected} combines"),
+            } => write!(
+                f,
+                "terminal state completed {completed}/{expected} combines"
+            ),
             CheckError::CausalViolation { description } => {
                 write!(f, "causal violation: {description}")
             }
@@ -216,9 +219,8 @@ where
         if state.engine.is_quiescent() {
             // Every quiescent reachable state must satisfy the
             // structural lemmas.
-            oat_sim::invariants::check_all(&state.engine, &op).map_err(|description| {
-                CheckError::InvariantViolation { description }
-            })?;
+            oat_sim::invariants::check_all(&state.engine, &op)
+                .map_err(|description| CheckError::InvariantViolation { description })?;
             report.quiescent_states += 1;
         }
 
@@ -358,9 +360,8 @@ mod tests {
             Request::write(n(0), 7),
             Request::combine(n(1)),
         ];
-        let rep =
-            check_all_interleavings(&tree, SumI64, &RwwSpec, &script, Limits::default())
-                .expect("all interleavings clean");
+        let rep = check_all_interleavings(&tree, SumI64, &RwwSpec, &script, Limits::default())
+            .expect("all interleavings clean");
         assert!(rep.distinct_states > 10, "{rep:?}");
         assert!(rep.terminal_states >= 1);
         assert!(rep.quiescent_states >= 1);
@@ -374,9 +375,8 @@ mod tests {
             Request::combine(n(0)),
             Request::write(n(2), 3),
         ];
-        let rep =
-            check_all_interleavings(&tree, SumI64, &RwwSpec, &script, Limits::default())
-                .expect("clean");
+        let rep = check_all_interleavings(&tree, SumI64, &RwwSpec, &script, Limits::default())
+            .expect("clean");
         assert!(rep.max_in_flight >= 2, "{rep:?}");
     }
 
@@ -391,14 +391,9 @@ mod tests {
                 ]
             })
             .collect();
-        let err = check_all_interleavings(
-            &tree,
-            SumI64,
-            &RwwSpec,
-            &script,
-            Limits { max_states: 500 },
-        )
-        .unwrap_err();
+        let err =
+            check_all_interleavings(&tree, SumI64, &RwwSpec, &script, Limits { max_states: 500 })
+                .unwrap_err();
         assert!(matches!(err, CheckError::StateSpaceTooLarge { .. }));
     }
 }

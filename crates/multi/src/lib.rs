@@ -102,12 +102,13 @@ impl<S: PolicySpec, A: AggOp> MultiSystem<S, A> {
         let eng = &mut self.engines[i];
         match eng.initiate_combine(node) {
             CombineOutcome::Done(v) => v,
-            CombineOutcome::Pending => eng
-                .run_to_quiescence()
-                .into_iter()
-                .find(|(n, _)| *n == node)
-                .expect("combine completes in its sequential execution")
-                .1,
+            CombineOutcome::Pending => {
+                eng.run_to_quiescence()
+                    .into_iter()
+                    .find(|(n, _)| *n == node)
+                    .expect("combine completes in its sequential execution")
+                    .1
+            }
             CombineOutcome::Coalesced => unreachable!("sequential facade"),
         }
     }

@@ -166,7 +166,8 @@ impl<A: AggOp> MixedMultiSystem<A> {
 
     fn create(&mut self, attr: &str, kind: PolicyKind) -> usize {
         let i = self.engines.len();
-        self.engines.push(DynEngine::new(kind, &self.tree, &self.op));
+        self.engines
+            .push(DynEngine::new(kind, &self.tree, &self.op));
         self.names.push((attr.to_string(), kind));
         self.index.insert(attr.to_string(), i);
         i

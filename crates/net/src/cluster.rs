@@ -1,0 +1,426 @@
+//! The cluster harness and its TCP client.
+//!
+//! [`Cluster::spawn`] brings up one listener-backed node thread per tree
+//! node on loopback, waits until every tree edge has a live TCP
+//! connection, and returns a handle that can mint [`ClusterClient`]s,
+//! wait for quiescence, collect metrics, and shut the whole thing down
+//! gracefully.
+//!
+//! ## Shutdown protocol
+//!
+//! 1. wait for quiescence (no mechanism message in flight),
+//! 2. raise the cluster-wide `shutting_down` flag,
+//! 3. enqueue a `Shutdown` envelope on every node inbox — main loops
+//!    break, dropping their edge write halves, so peer readers see EOF
+//!    and exit,
+//! 4. nudge every listener with an empty connection so acceptors wake,
+//!    observe the flag, and exit,
+//! 5. join the node threads and merge their final reports.
+//!
+//! Client connections still open simply see EOF on their next read.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use oat_core::agg::AggOp;
+use oat_core::ghost::GhostReq;
+use oat_core::message::MsgKind;
+use oat_core::policy::PolicySpec;
+use oat_core::request::{ReqOp, Request};
+use oat_core::tree::{NodeId, Tree};
+use oat_core::wire::{put_u64, WireReader, WireValue};
+use oat_sim::MsgStats;
+
+use crate::frame::{
+    read_frame, write_frame, TAG_HELLO_CLIENT, TAG_REQ_COMBINE, TAG_REQ_METRICS, TAG_REQ_WRITE,
+    TAG_RESP_COMBINE, TAG_RESP_METRICS, TAG_RESP_WRITE,
+};
+use crate::metrics::NodeMetrics;
+use crate::node::{node_main, Envelope, NodeCtx, NodeReport, QueueGauge};
+
+/// A running TCP cluster: one thread + listener per tree node.
+pub struct Cluster<A: AggOp> {
+    tree: Tree,
+    addrs: Vec<SocketAddr>,
+    txs: Vec<Sender<Envelope<A::Value>>>,
+    gauges: Vec<Arc<QueueGauge>>,
+    in_flight: Arc<AtomicI64>,
+    total_sent: Arc<AtomicU64>,
+    shutting_down: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<NodeReport<A::Value>>>,
+    policy_name: String,
+}
+
+/// Final state of a cluster after [`Cluster::shutdown`].
+pub struct ClusterReport<V> {
+    /// Merged per-directed-edge, per-kind message counters — directly
+    /// comparable with [`oat_sim::Engine::stats`].
+    pub stats: MsgStats,
+    /// `(node, value)` for every answered combine, grouped by node.
+    pub combines: Vec<(NodeId, V)>,
+    /// Per-node ghost logs when ghost tracking was enabled.
+    pub logs: Option<Vec<Vec<GhostReq<V>>>>,
+    /// Network messages delivered across all nodes.
+    pub delivered: u64,
+}
+
+/// Result of [`Cluster::replay_sequential`] — the TCP analogue of
+/// [`oat_sim::sequential::SeqChunk`].
+pub struct NetSeqChunk<V> {
+    /// `(request index, returned value)` for every combine, in order.
+    pub combines: Vec<(usize, V)>,
+    /// Mechanism messages sent while executing each request.
+    pub per_request_msgs: Vec<u64>,
+}
+
+impl<V> NetSeqChunk<V> {
+    /// Total messages over the whole sequence — the paper's `C_A(σ)`.
+    pub fn total_msgs(&self) -> u64 {
+        self.per_request_msgs.iter().sum()
+    }
+}
+
+impl<A: AggOp> Cluster<A>
+where
+    A::Value: WireValue,
+{
+    /// Boots an `n`-node cluster for `tree` on loopback.
+    ///
+    /// Binds every listener first (so dial order cannot race), spawns the
+    /// node threads, and returns once every tree edge has a live TCP
+    /// connection.
+    pub fn spawn<S: PolicySpec>(tree: &Tree, op: A, spec: &S, ghost: bool) -> io::Result<Self>
+    where
+        S::Node: 'static,
+    {
+        let n = tree.len();
+        let mut listeners = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            addrs.push(listener.local_addr()?);
+            listeners.push(listener);
+        }
+
+        let in_flight = Arc::new(AtomicI64::new(0));
+        let total_sent = Arc::new(AtomicU64::new(0));
+        let shutting_down = Arc::new(AtomicBool::new(false));
+        let (ready_tx, ready_rx) = channel();
+
+        let mut txs = Vec::with_capacity(n);
+        let mut gauges = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for (u, listener) in tree.nodes().zip(listeners) {
+            let (tx, rx) = channel();
+            let gauge = Arc::new(QueueGauge::default());
+            txs.push(tx.clone());
+            gauges.push(Arc::clone(&gauge));
+            let ctx = NodeCtx {
+                tree: tree.clone(),
+                id: u,
+                ghost,
+                listener,
+                addrs: addrs.clone(),
+                tx,
+                rx,
+                in_flight: Arc::clone(&in_flight),
+                total_sent: Arc::clone(&total_sent),
+                shutting_down: Arc::clone(&shutting_down),
+                gauge,
+                ready_tx: ready_tx.clone(),
+            };
+            let op = op.clone();
+            let policy = spec.build(tree.degree(u));
+            handles.push(std::thread::spawn(move || {
+                node_main::<S::Node, A>(ctx, op, policy)
+            }));
+        }
+        drop(ready_tx);
+
+        // Every node signals once all of its edge connections are up.
+        for _ in 0..n {
+            ready_rx.recv().map_err(|_| {
+                io::Error::new(io::ErrorKind::ConnectionAborted, "node died during setup")
+            })?;
+        }
+
+        Ok(Cluster {
+            tree: tree.clone(),
+            addrs,
+            txs,
+            gauges,
+            in_flight,
+            total_sent,
+            shutting_down,
+            handles,
+            policy_name: spec.name(),
+        })
+    }
+
+    /// Opens a client connection to `node`.
+    pub fn client(&self, node: NodeId) -> io::Result<ClusterClient<A::Value>> {
+        ClusterClient::connect(self.addrs[node.idx()], node)
+    }
+
+    /// Fetches one node's metrics snapshot over TCP.
+    pub fn node_metrics(&self, node: NodeId) -> io::Result<NodeMetrics> {
+        self.client(node)?.metrics()
+    }
+
+    /// Merged message counters, assembled from per-node TCP metrics.
+    /// After [`Cluster::quiesce`], comparable 1:1 with the simulator's
+    /// [`oat_sim::Engine::stats`] on the same workload.
+    pub fn stats(&self) -> io::Result<MsgStats> {
+        let mut stats = MsgStats::new(&self.tree);
+        for u in self.tree.nodes() {
+            let m = self.node_metrics(u)?;
+            for (to, counts) in m.edges {
+                let edge = self.tree.dir_edge_index(u, NodeId(to));
+                for (kind, count) in MsgKind::ALL.iter().zip(counts) {
+                    stats.add(edge, *kind, count);
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// JSON export of the merged counters — same shape as
+    /// [`oat_sim::Engine::stats_json`].
+    pub fn stats_json(&self) -> io::Result<String> {
+        Ok(self.stats()?.to_json(&self.tree))
+    }
+
+    /// JSON array of every node's metrics snapshot.
+    pub fn metrics_json(&self) -> io::Result<String> {
+        let mut out = String::from("[\n");
+        for u in self.tree.nodes() {
+            if u.0 > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&self.node_metrics(u)?.to_json());
+        }
+        out.push_str("\n]");
+        Ok(out)
+    }
+
+    /// Replays `seq` as a sequential execution: each request is sent to
+    /// its node over TCP, awaited, and the network drained to quiescence
+    /// before the next — the setting in which the paper's (and the
+    /// simulator's) message counts are defined.
+    pub fn replay_sequential(
+        &self,
+        seq: &[Request<A::Value>],
+    ) -> io::Result<NetSeqChunk<A::Value>> {
+        let mut clients: Vec<Option<ClusterClient<A::Value>>> =
+            (0..self.tree.len()).map(|_| None).collect();
+        let mut combines = Vec::new();
+        let mut per_request_msgs = Vec::with_capacity(seq.len());
+        for (i, q) in seq.iter().enumerate() {
+            let before = self.total_messages();
+            let slot = &mut clients[q.node.idx()];
+            let client = match slot {
+                Some(c) => c,
+                None => slot.insert(self.client(q.node)?),
+            };
+            match &q.op {
+                ReqOp::Combine => combines.push((i, client.combine()?)),
+                ReqOp::Write(arg) => client.write(arg.clone())?,
+            }
+            self.quiesce();
+            per_request_msgs.push(self.total_messages() - before);
+        }
+        Ok(NetSeqChunk {
+            combines,
+            per_request_msgs,
+        })
+    }
+
+    /// Graceful shutdown; returns the merged final state.
+    pub fn shutdown(mut self) -> ClusterReport<A::Value> {
+        self.shutdown_inner()
+            .expect("cluster threads joined cleanly")
+    }
+}
+
+// Methods that need no wire-codec bound (notably everything Drop uses).
+impl<A: AggOp> Cluster<A> {
+    /// The tree this cluster serves.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// The policy the nodes run.
+    pub fn policy_name(&self) -> &str {
+        &self.policy_name
+    }
+
+    /// Listener addresses, indexed by node id.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Mechanism messages sent cluster-wide so far.
+    pub fn total_messages(&self) -> u64 {
+        self.total_sent.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until no mechanism message is queued or being handled.
+    ///
+    /// Meaningful when no client request is concurrently outstanding —
+    /// the sequential-execution contract of the paper (and of
+    /// [`Cluster::replay_sequential`]).
+    pub fn quiesce(&self) {
+        while self.in_flight.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    fn shutdown_inner(&mut self) -> Option<ClusterReport<A::Value>> {
+        if self.handles.is_empty() {
+            return None;
+        }
+        self.quiesce();
+        self.shutting_down.store(true, Ordering::SeqCst);
+        for (tx, gauge) in self.txs.iter().zip(&self.gauges) {
+            gauge.on_enqueue();
+            let _ = tx.send(Envelope::Shutdown);
+        }
+        // Wake acceptors blocked in accept(); they see the flag and exit.
+        for addr in &self.addrs {
+            drop(TcpStream::connect(addr));
+        }
+        let mut stats = MsgStats::new(&self.tree);
+        let mut combines = Vec::new();
+        let mut logs = Vec::new();
+        let mut delivered = 0;
+        let mut have_logs = true;
+        for handle in self.handles.drain(..) {
+            let report = handle.join().expect("node thread panicked");
+            stats.merge(&report.stats);
+            combines.extend(report.completions);
+            delivered += report.delivered;
+            match report.log {
+                Some(log) => logs.push(log),
+                None => have_logs = false,
+            }
+        }
+        Some(ClusterReport {
+            stats,
+            combines,
+            logs: have_logs.then_some(logs),
+            delivered,
+        })
+    }
+}
+
+impl<A: AggOp> Drop for Cluster<A> {
+    fn drop(&mut self) {
+        if !self.handles.is_empty() && !std::thread::panicking() {
+            // Best-effort graceful teardown when shutdown() wasn't called.
+            let _ = self.shutdown_inner();
+        }
+    }
+}
+
+/// A TCP client bound to one node of a running cluster.
+///
+/// The protocol is strictly request/response per client connection, so a
+/// client is `!Sync` by design: one outstanding request at a time.
+pub struct ClusterClient<V> {
+    node: NodeId,
+    stream: TcpStream,
+    next_id: u64,
+    _value: std::marker::PhantomData<fn() -> V>,
+}
+
+impl<V: WireValue> ClusterClient<V> {
+    /// Connects and announces itself as a client.
+    pub fn connect(addr: SocketAddr, node: NodeId) -> io::Result<Self> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        write_frame(&mut stream, TAG_HELLO_CLIENT, &[])?;
+        Ok(ClusterClient {
+            node,
+            stream,
+            next_id: 0,
+            _value: std::marker::PhantomData,
+        })
+    }
+
+    /// The node this client talks to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    fn expect_response(&mut self, want_tag: u8, want_id: u64) -> io::Result<Vec<u8>> {
+        let (tag, payload) = read_frame(&mut self.stream)?;
+        if tag != want_tag {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected response tag {want_tag}, got {tag}"),
+            ));
+        }
+        let mut r = WireReader::new(&payload);
+        let got_id = r
+            .u64("response req id")
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if got_id != want_id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response for request {got_id}, expected {want_id}"),
+            ));
+        }
+        Ok(payload[8..].to_vec())
+    }
+
+    /// Issues a combine at this node and blocks for the aggregate value.
+    pub fn combine(&mut self) -> io::Result<V> {
+        let id = self.fresh_id();
+        let mut payload = Vec::with_capacity(8);
+        put_u64(&mut payload, id);
+        write_frame(&mut self.stream, TAG_REQ_COMBINE, &payload)?;
+        let body = self.expect_response(TAG_RESP_COMBINE, id)?;
+        let mut r = WireReader::new(&body);
+        let v = V::decode(&mut r)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(v)
+    }
+
+    /// Issues a write at this node and blocks until it has been applied
+    /// (its transitions have run; resulting updates may still be in
+    /// flight — use [`Cluster::quiesce`] for sequential semantics).
+    pub fn write(&mut self, arg: V) -> io::Result<()> {
+        let id = self.fresh_id();
+        let mut payload = Vec::with_capacity(16);
+        put_u64(&mut payload, id);
+        arg.encode(&mut payload);
+        write_frame(&mut self.stream, TAG_REQ_WRITE, &payload)?;
+        self.expect_response(TAG_RESP_WRITE, id)?;
+        Ok(())
+    }
+
+    /// Fetches this node's metrics snapshot.
+    pub fn metrics(&mut self) -> io::Result<NodeMetrics> {
+        let id = self.fresh_id();
+        let mut payload = Vec::with_capacity(8);
+        put_u64(&mut payload, id);
+        write_frame(&mut self.stream, TAG_REQ_METRICS, &payload)?;
+        let body = self.expect_response(TAG_RESP_METRICS, id)?;
+        NodeMetrics::decode(&body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Fetches this node's metrics as JSON.
+    pub fn metrics_json(&mut self) -> io::Result<String> {
+        Ok(self.metrics()?.to_json())
+    }
+}

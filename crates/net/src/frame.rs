@@ -1,0 +1,149 @@
+//! Length-prefixed framing over TCP.
+//!
+//! Every frame is `[u32 length (LE)][u8 tag][payload]`, where `length`
+//! counts the tag byte plus the payload. Payload encodings reuse the
+//! [`oat_core::wire`] helpers, so the aggregate-value encoding on an edge
+//! is byte-identical to [`Message::encode_wire`](oat_core::Message).
+//!
+//! Tag space:
+//!
+//! | tag | frame              | payload                              |
+//! |-----|--------------------|--------------------------------------|
+//! | 0   | hello (edge peer)  | `u32` dialing node id                |
+//! | 1   | hello (client)     | empty                                |
+//! | 2   | net message        | `Message<V>` wire encoding           |
+//! | 3   | combine request    | `u64` request id                     |
+//! | 4   | write request      | `u64` request id, `V`                |
+//! | 5   | combine response   | `u64` request id, `V`                |
+//! | 6   | write ack          | `u64` request id                     |
+//! | 7   | metrics request    | `u64` request id                     |
+//! | 8   | metrics response   | `u64` request id, [`NodeMetrics`]    |
+//!
+//! [`NodeMetrics`]: crate::metrics::NodeMetrics
+
+use std::io::{self, Read, Write};
+
+/// Edge-peer handshake: payload is the dialer's node id.
+pub const TAG_HELLO_EDGE: u8 = 0;
+/// Client handshake: empty payload.
+pub const TAG_HELLO_CLIENT: u8 = 1;
+/// A mechanism message between neighbouring nodes.
+pub const TAG_NET: u8 = 2;
+/// Client combine request.
+pub const TAG_REQ_COMBINE: u8 = 3;
+/// Client write request.
+pub const TAG_REQ_WRITE: u8 = 4;
+/// Combine response carrying the aggregate value.
+pub const TAG_RESP_COMBINE: u8 = 5;
+/// Write acknowledgement (the write's transitions have run).
+pub const TAG_RESP_WRITE: u8 = 6;
+/// Client metrics request.
+pub const TAG_REQ_METRICS: u8 = 7;
+/// Metrics response carrying a [`crate::metrics::NodeMetrics`].
+pub const TAG_RESP_METRICS: u8 = 8;
+
+/// Upper bound on a frame body; anything larger is a protocol violation.
+const MAX_FRAME: u32 = 64 << 20;
+
+/// Writes one `[len][tag][payload]` frame.
+pub fn write_frame<W: Write>(w: &mut W, tag: u8, payload: &[u8]) -> io::Result<()> {
+    let len = 1 + payload.len();
+    if len as u64 > MAX_FRAME as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    // One write_all per section; TCP_NODELAY is set on every stream, so
+    // the frame leaves promptly without an extra userspace buffer copy.
+    let mut head = [0u8; 5];
+    head[..4].copy_from_slice(&(len as u32).to_le_bytes());
+    head[4] = tag;
+    w.write_all(&head)?;
+    w.write_all(payload)
+}
+
+/// Reads one frame, returning `(tag, payload)`.
+///
+/// A clean EOF *before* any header byte maps to `ErrorKind::UnexpectedEof`
+/// with the message `"closed"`, letting callers distinguish an orderly
+/// peer shutdown from a mid-frame truncation.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<(u8, Vec<u8>)> {
+    let mut head = [0u8; 4];
+    let mut filled = 0;
+    while filled < head.len() {
+        match r.read(&mut head[filled..]) {
+            Ok(0) => {
+                let msg = if filled == 0 {
+                    "closed"
+                } else {
+                    "truncated frame header"
+                };
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, msg));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(head);
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length {len}"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let tag = body[0];
+    body.remove(0);
+    Ok((tag, body))
+}
+
+/// True when `err` means the peer closed the connection cleanly.
+pub fn is_clean_close(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionAborted
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, TAG_NET, &[1, 2, 3]).unwrap();
+        write_frame(&mut buf, TAG_HELLO_CLIENT, &[]).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), (TAG_NET, vec![1, 2, 3]));
+        assert_eq!(read_frame(&mut r).unwrap(), (TAG_HELLO_CLIENT, vec![]));
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(is_clean_close(&err));
+    }
+
+    #[test]
+    fn zero_length_frame_is_rejected() {
+        let mut r = &[0u8, 0, 0, 0][..];
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn truncated_header_is_distinguished_from_clean_close() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, TAG_NET, &[9]).unwrap();
+        let mut r = &buf[..2];
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert_eq!(err.to_string(), "truncated frame header");
+    }
+}

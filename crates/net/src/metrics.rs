@@ -1,0 +1,181 @@
+//! Per-node runtime metrics, served over the wire on request.
+//!
+//! Each node answers a metrics request with a [`NodeMetrics`] snapshot of
+//! its *own* activity: messages it has sent per outgoing directed edge and
+//! per kind, its current lease relationships, inbox gauge readings, and
+//! combine bookkeeping. Cluster-wide views are client-side merges of these
+//! per-node snapshots (see `Cluster::stats`).
+
+use oat_core::message::MsgKind;
+use oat_core::wire::{put_u32, put_u64, WireError, WireReader};
+
+/// A snapshot of one node's runtime counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeMetrics {
+    /// The reporting node's id.
+    pub node: u32,
+    /// Messages this node has *sent*, per kind ([`MsgKind::ALL`] order).
+    pub sent_by_kind: [u64; 4],
+    /// Network messages this node has *received* and processed.
+    pub delivered: u64,
+    /// Per outgoing directed edge: `(neighbour, counts per kind)`.
+    pub edges: Vec<(u32, [u64; 4])>,
+    /// Neighbours this node currently holds a lease from (`taken`).
+    pub leases_taken: u32,
+    /// Neighbours this node has granted a lease to (`granted`).
+    pub leases_granted: u32,
+    /// Envelopes currently queued on the node's inbox.
+    pub queue_depth: u64,
+    /// High-water mark of the inbox queue.
+    pub queue_peak: u64,
+    /// Combine requests parked awaiting responses.
+    pub pending_combines: u64,
+    /// Combine requests this node has answered.
+    pub combines_served: u64,
+}
+
+impl NodeMetrics {
+    /// Wire encoding (field order as declared; edge list length-prefixed).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.node);
+        for c in self.sent_by_kind {
+            put_u64(out, c);
+        }
+        put_u64(out, self.delivered);
+        put_u32(out, self.edges.len() as u32);
+        for (to, counts) in &self.edges {
+            put_u32(out, *to);
+            for c in counts {
+                put_u64(out, *c);
+            }
+        }
+        put_u32(out, self.leases_taken);
+        put_u32(out, self.leases_granted);
+        put_u64(out, self.queue_depth);
+        put_u64(out, self.queue_peak);
+        put_u64(out, self.pending_combines);
+        put_u64(out, self.combines_served);
+    }
+
+    /// Decodes a snapshot, requiring full consumption of `buf`.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        let node = r.u32("metrics node")?;
+        let mut sent_by_kind = [0u64; 4];
+        for c in &mut sent_by_kind {
+            *c = r.u64("metrics sent_by_kind")?;
+        }
+        let delivered = r.u64("metrics delivered")?;
+        let n_edges = r.u32("metrics edge count")? as usize;
+        let mut edges = Vec::with_capacity(n_edges.min(4096));
+        for _ in 0..n_edges {
+            let to = r.u32("metrics edge peer")?;
+            let mut counts = [0u64; 4];
+            for c in &mut counts {
+                *c = r.u64("metrics edge counts")?;
+            }
+            edges.push((to, counts));
+        }
+        let metrics = NodeMetrics {
+            node,
+            sent_by_kind,
+            delivered,
+            edges,
+            leases_taken: r.u32("metrics leases_taken")?,
+            leases_granted: r.u32("metrics leases_granted")?,
+            queue_depth: r.u64("metrics queue_depth")?,
+            queue_peak: r.u64("metrics queue_peak")?,
+            pending_combines: r.u64("metrics pending_combines")?,
+            combines_served: r.u64("metrics combines_served")?,
+        };
+        r.finish("metrics trailing bytes")?;
+        Ok(metrics)
+    }
+
+    /// Total messages this node has sent.
+    pub fn sent_total(&self) -> u64 {
+        self.sent_by_kind.iter().sum()
+    }
+
+    /// JSON rendering, deterministic field and edge order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + 96 * self.edges.len());
+        out.push_str(&format!(
+            "{{\n  \"node\": {},\n  \"sent\": {{\"total\": {}",
+            self.node,
+            self.sent_total()
+        ));
+        for (kind, c) in MsgKind::ALL.iter().zip(self.sent_by_kind) {
+            out.push_str(&format!(", \"{}\": {}", kind.name(), c));
+        }
+        out.push_str(&format!(
+            "}},\n  \"delivered\": {},\n  \"edges\": [",
+            self.delivered
+        ));
+        for (i, (to, counts)) in self.edges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {{\"to\": {to}"));
+            for (kind, c) in MsgKind::ALL.iter().zip(counts) {
+                out.push_str(&format!(", \"{}\": {}", kind.name(), c));
+            }
+            out.push('}');
+        }
+        if !self.edges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"leases\": {{\"taken\": {}, \"granted\": {}}},\n  \"queue\": {{\"depth\": {}, \"peak\": {}}},\n  \"combines\": {{\"pending\": {}, \"served\": {}}}\n}}",
+            self.leases_taken,
+            self.leases_granted,
+            self.queue_depth,
+            self.queue_peak,
+            self.pending_combines,
+            self.combines_served,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NodeMetrics {
+        NodeMetrics {
+            node: 3,
+            sent_by_kind: [1, 2, 3, 4],
+            delivered: 9,
+            edges: vec![(0, [1, 0, 0, 0]), (7, [0, 2, 3, 4])],
+            leases_taken: 2,
+            leases_granted: 1,
+            queue_depth: 0,
+            queue_peak: 5,
+            pending_combines: 0,
+            combines_served: 6,
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let m = sample();
+        let mut buf = Vec::new();
+        m.encode(&mut buf);
+        assert_eq!(NodeMetrics::decode(&buf).unwrap(), m);
+        // Strictness: trailing garbage rejected.
+        buf.push(0);
+        assert!(NodeMetrics::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn json_shape() {
+        let json = sample().to_json();
+        assert!(json.contains("\"node\": 3"));
+        assert!(json.contains("\"total\": 10"));
+        assert!(json.contains("\"taken\": 2, \"granted\": 1"));
+        assert!(json.contains("\"to\": 7, \"probe\": 0, \"response\": 2"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

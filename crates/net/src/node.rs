@@ -1,0 +1,565 @@
+//! One tree node as a TCP-served thread.
+//!
+//! ## Thread and ownership model
+//!
+//! Per node there is exactly **one owner** of mutable state — the *main
+//! loop* thread, which holds the [`MechNode`] automaton, the write halves
+//! of every edge connection, the per-node [`MsgStats`], and the parked
+//! combine waiters. Everything else is plumbing that converts bytes into
+//! [`Envelope`]s on the node's unbounded inbox channel:
+//!
+//! * an **acceptor** thread `accept()`s on the node's listener and
+//!   classifies each connection by its hello frame (edge peer vs client),
+//! * one **edge reader** thread per tree edge decodes `TAG_NET` frames,
+//! * one **client reader** thread per client connection decodes requests.
+//!
+//! Readers never wait on the main loop (the inbox is unbounded), so a
+//! node that is busy sending can always be drained by its peers — TCP
+//! backpressure cannot deadlock the cluster.
+//!
+//! ## Quiescence accounting
+//!
+//! A cluster-wide `AtomicI64` counts undelivered work, exactly like
+//! `oat-concurrent`: incremented *before* a message's bytes are written
+//! to a socket (or a client request is enqueued), decremented only after
+//! the receiving main loop has finished the corresponding handler —
+//! having first incremented for everything that handler sent in turn.
+//! All node threads live in one process, so the counter reads zero only
+//! at true global quiescence.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+use oat_core::agg::AggOp;
+use oat_core::ghost::GhostReq;
+use oat_core::mechanism::{CombineOutcome, MechNode, Outbox};
+use oat_core::message::Message;
+use oat_core::request::ReqOp;
+use oat_core::tree::{NodeId, Tree};
+use oat_core::wire::{put_u64, WireReader, WireValue};
+use oat_sim::stats::MsgStats;
+
+use crate::frame::{
+    is_clean_close, read_frame, write_frame, TAG_HELLO_CLIENT, TAG_HELLO_EDGE, TAG_NET,
+    TAG_REQ_COMBINE, TAG_REQ_METRICS, TAG_REQ_WRITE, TAG_RESP_COMBINE, TAG_RESP_METRICS,
+    TAG_RESP_WRITE,
+};
+use crate::metrics::NodeMetrics;
+
+/// Write handle for responses to one client connection. The read half
+/// lives in that client's reader thread; responses are serialized through
+/// the mutex (a node may interleave replies to several clients).
+pub(crate) type ClientReply = Arc<Mutex<TcpStream>>;
+
+/// One unit of work on a node's inbox.
+pub(crate) enum Envelope<V> {
+    /// A mechanism message from the neighbour `from` — counted in the
+    /// in-flight gauge by the *sender* before the bytes left its socket.
+    Net { from: NodeId, msg: Message<V> },
+    /// A client request — counted in the in-flight gauge by the reader
+    /// that decoded it.
+    Client {
+        reply: ClientReply,
+        req_id: u64,
+        op: ReqOp<V>,
+    },
+    /// A metrics request — not counted (it sends no mechanism messages).
+    Metrics { reply: ClientReply, req_id: u64 },
+    /// Registration of the write half of an accepted edge connection.
+    PeerWriter { peer: NodeId, stream: TcpStream },
+    /// Terminate and report final state.
+    Shutdown,
+}
+
+/// Inbox occupancy gauge: current depth and high-water mark.
+#[derive(Default)]
+pub(crate) struct QueueGauge {
+    depth: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl QueueGauge {
+    pub(crate) fn on_enqueue(&self) {
+        let now = self.depth.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak.fetch_max(now, Ordering::SeqCst);
+    }
+
+    fn on_dequeue(&self) {
+        self.depth.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn read(&self) -> (u64, u64) {
+        (
+            self.depth.load(Ordering::SeqCst) as u64,
+            self.peak.load(Ordering::SeqCst) as u64,
+        )
+    }
+}
+
+/// Everything a node thread shares with the cluster and its siblings.
+pub(crate) struct NodeCtx<V> {
+    pub tree: Tree,
+    pub id: NodeId,
+    pub ghost: bool,
+    /// This node's pre-bound listener.
+    pub listener: TcpListener,
+    /// Listener addresses of every node, indexed by node id.
+    pub addrs: Vec<std::net::SocketAddr>,
+    /// This node's inbox sender (cloned into reader threads).
+    pub tx: Sender<Envelope<V>>,
+    /// This node's inbox.
+    pub rx: Receiver<Envelope<V>>,
+    /// Cluster-wide undelivered-work counter.
+    pub in_flight: Arc<AtomicI64>,
+    /// Cluster-wide count of mechanism messages sent (for per-request
+    /// message windows without a metrics round-trip).
+    pub total_sent: Arc<AtomicU64>,
+    /// Set by the cluster before it unblocks the acceptors to exit.
+    pub shutting_down: Arc<AtomicBool>,
+    /// This node's inbox gauge.
+    pub gauge: Arc<QueueGauge>,
+    /// Signalled once every edge connection of this node is up.
+    pub ready_tx: Sender<()>,
+}
+
+/// A node thread's final state, collected by `Cluster::shutdown`.
+pub(crate) struct NodeReport<V> {
+    /// Messages this node sent, per directed edge and kind.
+    pub stats: MsgStats,
+    /// `(node, value)` per combine answered here, local completion order.
+    pub completions: Vec<(NodeId, V)>,
+    /// Ghost write/combine log, when ghost tracking was enabled.
+    pub log: Option<Vec<GhostReq<V>>>,
+    /// Network messages this node received and processed.
+    pub delivered: u64,
+}
+
+fn enqueue<V>(tx: &Sender<Envelope<V>>, gauge: &QueueGauge, env: Envelope<V>) {
+    gauge.on_enqueue();
+    if tx.send(env).is_err() {
+        // Main loop already exited (shutdown race); drop silently.
+        gauge.on_dequeue();
+    }
+}
+
+/// Accepts connections for one node and classifies them by hello frame.
+fn acceptor<V: WireValue + Send + 'static>(
+    listener: TcpListener,
+    node: NodeId,
+    tx: Sender<Envelope<V>>,
+    gauge: Arc<QueueGauge>,
+    in_flight: Arc<AtomicI64>,
+    shutting_down: Arc<AtomicBool>,
+) {
+    for conn in listener.incoming() {
+        if shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let mut stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let _ = stream.set_nodelay(true);
+        match read_frame(&mut stream) {
+            Ok((TAG_HELLO_EDGE, payload)) => {
+                let mut r = WireReader::new(&payload);
+                let peer = match r.u32("hello node id") {
+                    Ok(id) => NodeId(id),
+                    // Protocol violation from an unauthenticated
+                    // connection: drop it, keep accepting.
+                    Err(_) => continue,
+                };
+                let writer = stream.try_clone().expect("clone accepted edge stream");
+                enqueue(
+                    &tx,
+                    &gauge,
+                    Envelope::PeerWriter {
+                        peer,
+                        stream: writer,
+                    },
+                );
+                let tx = tx.clone();
+                let gauge = Arc::clone(&gauge);
+                std::thread::spawn(move || edge_reader(stream, node, peer, tx, gauge));
+            }
+            Ok((TAG_HELLO_CLIENT, _)) => {
+                let tx = tx.clone();
+                let gauge = Arc::clone(&gauge);
+                let in_flight = Arc::clone(&in_flight);
+                std::thread::spawn(move || client_reader(stream, tx, gauge, in_flight));
+            }
+            // An unknown hello tag is a stranger speaking the wrong
+            // protocol: drop the connection, keep accepting.
+            Ok(_) => continue,
+            // A connection that closes without a hello is the cluster's
+            // shutdown nudge (or a port scanner); re-check the flag.
+            Err(_) => continue,
+        }
+    }
+}
+
+/// Decodes `TAG_NET` frames from one edge peer into the inbox.
+fn edge_reader<V: WireValue>(
+    mut stream: TcpStream,
+    node: NodeId,
+    peer: NodeId,
+    tx: Sender<Envelope<V>>,
+    gauge: Arc<QueueGauge>,
+) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok((TAG_NET, payload)) => {
+                let msg = Message::<V>::decode_wire(&payload)
+                    .unwrap_or_else(|e| panic!("node {node}: bad message from {peer}: {e}"));
+                // The in-flight increment happened sender-side in flush().
+                enqueue(&tx, &gauge, Envelope::Net { from: peer, msg });
+            }
+            Ok((tag, _)) => panic!("node {node}: unexpected tag {tag} on edge from {peer}"),
+            Err(e) if is_clean_close(&e) => break,
+            Err(e) => panic!("node {node}: edge from {peer} failed: {e}"),
+        }
+    }
+}
+
+/// Decodes client request frames from one client connection.
+fn client_reader<V: WireValue>(
+    mut stream: TcpStream,
+    tx: Sender<Envelope<V>>,
+    gauge: Arc<QueueGauge>,
+    in_flight: Arc<AtomicI64>,
+) {
+    let reply: ClientReply = match stream.try_clone() {
+        Ok(s) => Arc::new(Mutex::new(s)),
+        Err(_) => return,
+    };
+    // Clients are untrusted: any protocol violation (malformed payload,
+    // unknown tag, dirty close) drops the connection instead of
+    // panicking — requests already accepted still complete.
+    loop {
+        match read_frame(&mut stream) {
+            Ok((TAG_REQ_COMBINE, payload)) => {
+                let mut r = WireReader::new(&payload);
+                let req_id = match r.u64("combine req id") {
+                    Ok(id) => id,
+                    Err(_) => break,
+                };
+                in_flight.fetch_add(1, Ordering::SeqCst);
+                enqueue(
+                    &tx,
+                    &gauge,
+                    Envelope::Client {
+                        reply: Arc::clone(&reply),
+                        req_id,
+                        op: ReqOp::Combine,
+                    },
+                );
+            }
+            Ok((TAG_REQ_WRITE, payload)) => {
+                let mut r = WireReader::new(&payload);
+                let (req_id, arg) = match r.u64("write req id").and_then(|id| {
+                    let arg = V::decode(&mut r)?;
+                    r.finish("write request trailing bytes")?;
+                    Ok((id, arg))
+                }) {
+                    Ok(pair) => pair,
+                    Err(_) => break,
+                };
+                in_flight.fetch_add(1, Ordering::SeqCst);
+                enqueue(
+                    &tx,
+                    &gauge,
+                    Envelope::Client {
+                        reply: Arc::clone(&reply),
+                        req_id,
+                        op: ReqOp::Write(arg),
+                    },
+                );
+            }
+            Ok((TAG_REQ_METRICS, payload)) => {
+                let mut r = WireReader::new(&payload);
+                let req_id = match r.u64("metrics req id") {
+                    Ok(id) => id,
+                    Err(_) => break,
+                };
+                enqueue(
+                    &tx,
+                    &gauge,
+                    Envelope::Metrics {
+                        reply: Arc::clone(&reply),
+                        req_id,
+                    },
+                );
+            }
+            Ok(_) | Err(_) => break,
+        }
+    }
+}
+
+/// Sends everything in `out` to the neighbours' sockets, recording stats
+/// and incrementing the in-flight counter *before* each write.
+#[allow(clippy::too_many_arguments)] // the main loop's full send context
+fn flush<V: WireValue, A: AggOp<Value = V>>(
+    node: &MechNode<impl oat_core::policy::NodePolicy, A>,
+    tree: &Tree,
+    id: NodeId,
+    out: &mut Outbox<V>,
+    writers: &mut [Option<TcpStream>],
+    stats: &mut MsgStats,
+    in_flight: &AtomicI64,
+    total_sent: &AtomicU64,
+) {
+    for (to, msg) in out.drain(..) {
+        stats.record(tree.dir_edge_index(id, to), msg.kind());
+        in_flight.fetch_add(1, Ordering::SeqCst);
+        total_sent.fetch_add(1, Ordering::SeqCst);
+        let mut payload = Vec::with_capacity(32);
+        msg.encode_wire(&mut payload);
+        let wi = node.nbr_index(to);
+        let writer = writers[wi]
+            .as_mut()
+            .unwrap_or_else(|| panic!("node {id}: no connection to neighbour {to}"));
+        write_frame(writer, TAG_NET, &payload)
+            .unwrap_or_else(|e| panic!("node {id}: send to {to} failed: {e}"));
+    }
+}
+
+fn respond(reply: &ClientReply, tag: u8, payload: &[u8], id: NodeId) {
+    let mut stream = reply.lock().expect("client reply lock");
+    write_frame(&mut *stream, tag, payload)
+        .unwrap_or_else(|e| panic!("node {id}: client response failed: {e}"));
+}
+
+/// The node main loop: dials higher-id neighbours, then serves envelopes
+/// until shutdown. Returns the node's final state.
+pub(crate) fn node_main<P, A>(ctx: NodeCtx<A::Value>, op: A, policy: P) -> NodeReport<A::Value>
+where
+    P: oat_core::policy::NodePolicy,
+    A: AggOp,
+    A::Value: WireValue,
+{
+    let NodeCtx {
+        tree,
+        id,
+        ghost,
+        listener,
+        addrs,
+        tx,
+        rx,
+        in_flight,
+        total_sent,
+        shutting_down,
+        gauge,
+        ready_tx,
+    } = ctx;
+
+    let mut node: MechNode<P, A> = MechNode::new(&tree, id, op, policy, ghost);
+    let degree = tree.degree(id);
+    let mut writers: Vec<Option<TcpStream>> = (0..degree).map(|_| None).collect();
+    let mut stats = MsgStats::new(&tree);
+    let mut out: Outbox<A::Value> = Vec::new();
+    let mut completions: Vec<(NodeId, A::Value)> = Vec::new();
+    let mut waiters: Vec<(ClientReply, u64)> = Vec::new();
+    let mut delivered: u64 = 0;
+    let mut connected = 0usize;
+
+    // The acceptor handles connections from lower-id neighbours and from
+    // clients for the lifetime of the node.
+    {
+        let tx = tx.clone();
+        let gauge = Arc::clone(&gauge);
+        let in_flight = Arc::clone(&in_flight);
+        let shutting_down = Arc::clone(&shutting_down);
+        std::thread::spawn(move || {
+            acceptor::<A::Value>(listener, id, tx, gauge, in_flight, shutting_down)
+        });
+    }
+
+    // Dial every higher-id neighbour: exactly one TCP connection per tree
+    // edge, used bidirectionally.
+    for &v in node.nbrs() {
+        if v.0 <= id.0 {
+            continue;
+        }
+        let mut stream = TcpStream::connect(addrs[v.idx()])
+            .unwrap_or_else(|e| panic!("node {id}: dial {v} failed: {e}"));
+        let _ = stream.set_nodelay(true);
+        let mut hello = Vec::with_capacity(4);
+        oat_core::wire::put_u32(&mut hello, id.0);
+        write_frame(&mut stream, TAG_HELLO_EDGE, &hello)
+            .unwrap_or_else(|e| panic!("node {id}: hello to {v} failed: {e}"));
+        writers[node.nbr_index(v)] = Some(stream.try_clone().expect("clone dialed stream"));
+        connected += 1;
+        let tx = tx.clone();
+        let gauge = Arc::clone(&gauge);
+        std::thread::spawn(move || edge_reader(stream, id, v, tx, gauge));
+    }
+    if connected == degree {
+        let _ = ready_tx.send(());
+    }
+
+    loop {
+        let env = rx.recv().expect("cluster holds a sender");
+        gauge.on_dequeue();
+        match env {
+            Envelope::Shutdown => break,
+            Envelope::PeerWriter { peer, stream } => {
+                let wi = node.nbr_index(peer);
+                assert!(
+                    writers[wi].is_none(),
+                    "node {id}: duplicate edge from {peer}"
+                );
+                writers[wi] = Some(stream);
+                connected += 1;
+                if connected == degree {
+                    let _ = ready_tx.send(());
+                }
+            }
+            Envelope::Net { from, msg } => {
+                delivered += 1;
+                let completed = node.handle_message(from, msg, &mut out);
+                flush(
+                    &node,
+                    &tree,
+                    id,
+                    &mut out,
+                    &mut writers,
+                    &mut stats,
+                    &in_flight,
+                    &total_sent,
+                );
+                if let Some(v) = completed {
+                    // Every coalesced waiter gets the same value.
+                    for (reply, req_id) in waiters.drain(..) {
+                        let mut payload = Vec::with_capacity(16);
+                        put_u64(&mut payload, req_id);
+                        v.encode(&mut payload);
+                        respond(&reply, TAG_RESP_COMBINE, &payload, id);
+                        completions.push((id, v.clone()));
+                    }
+                }
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+            Envelope::Client { reply, req_id, op } => {
+                match op {
+                    ReqOp::Write(arg) => {
+                        node.handle_write(arg, &mut out);
+                        flush(
+                            &node,
+                            &tree,
+                            id,
+                            &mut out,
+                            &mut writers,
+                            &mut stats,
+                            &in_flight,
+                            &total_sent,
+                        );
+                        let mut payload = Vec::with_capacity(8);
+                        put_u64(&mut payload, req_id);
+                        respond(&reply, TAG_RESP_WRITE, &payload, id);
+                    }
+                    ReqOp::Combine => match node.handle_combine(&mut out) {
+                        CombineOutcome::Done(v) => {
+                            flush(
+                                &node,
+                                &tree,
+                                id,
+                                &mut out,
+                                &mut writers,
+                                &mut stats,
+                                &in_flight,
+                                &total_sent,
+                            );
+                            let mut payload = Vec::with_capacity(16);
+                            put_u64(&mut payload, req_id);
+                            v.encode(&mut payload);
+                            respond(&reply, TAG_RESP_COMBINE, &payload, id);
+                            completions.push((id, v));
+                        }
+                        CombineOutcome::Pending | CombineOutcome::Coalesced => {
+                            flush(
+                                &node,
+                                &tree,
+                                id,
+                                &mut out,
+                                &mut writers,
+                                &mut stats,
+                                &in_flight,
+                                &total_sent,
+                            );
+                            waiters.push((reply, req_id));
+                        }
+                    },
+                }
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+            Envelope::Metrics { reply, req_id } => {
+                let metrics = snapshot_metrics(
+                    &node,
+                    &tree,
+                    id,
+                    &stats,
+                    &gauge,
+                    delivered,
+                    waiters.len() as u64,
+                    completions.len() as u64,
+                );
+                let mut payload = Vec::with_capacity(64);
+                put_u64(&mut payload, req_id);
+                metrics.encode(&mut payload);
+                respond(&reply, TAG_RESP_METRICS, &payload, id);
+            }
+        }
+    }
+
+    assert!(
+        waiters.is_empty(),
+        "node {id} shut down with {} unanswered combines",
+        waiters.len()
+    );
+    NodeReport {
+        stats,
+        completions,
+        log: node.ghost().map(|g| g.log.clone()),
+        delivered,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn snapshot_metrics<P: oat_core::policy::NodePolicy, A: AggOp>(
+    node: &MechNode<P, A>,
+    tree: &Tree,
+    id: NodeId,
+    stats: &MsgStats,
+    gauge: &QueueGauge,
+    delivered: u64,
+    pending_combines: u64,
+    combines_served: u64,
+) -> NodeMetrics {
+    let mut leases_taken = 0;
+    let mut leases_granted = 0;
+    let mut edges = Vec::with_capacity(node.nbrs().len());
+    for (vi, &v) in node.nbrs().iter().enumerate() {
+        if node.taken(vi) {
+            leases_taken += 1;
+        }
+        if node.granted(vi) {
+            leases_granted += 1;
+        }
+        edges.push((v.0, stats.per_edge_counts()[tree.dir_edge_index(id, v)]));
+    }
+    let (queue_depth, queue_peak) = gauge.read();
+    NodeMetrics {
+        node: id.0,
+        sent_by_kind: stats.kind_totals(),
+        delivered,
+        edges,
+        leases_taken,
+        leases_granted,
+        queue_depth,
+        queue_peak,
+        pending_combines,
+        combines_served,
+    }
+}

@@ -272,7 +272,9 @@ mod tests {
         for _ in 0..200 {
             let mut events = Vec::new();
             for _ in 0..50 {
-                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 events.push(match (seed >> 33) % 3 {
                     0 => R,
                     1 => W,

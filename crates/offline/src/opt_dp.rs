@@ -277,10 +277,7 @@ mod tests {
         for _ in 0..10 {
             events.extend([R, N, W, N, W, N]);
         }
-        assert_eq!(
-            opt_edge_cost(&events),
-            opt_edge_cost_realizable(&events)
-        );
+        assert_eq!(opt_edge_cost(&events), opt_edge_cost_realizable(&events));
     }
 
     #[test]

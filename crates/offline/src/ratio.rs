@@ -52,11 +52,7 @@ impl RatioReport {
 }
 
 /// Measures an arbitrary policy on `(tree, seq)` with the SUM operator.
-pub fn measure_policy<S: PolicySpec>(
-    spec: &S,
-    tree: &Tree,
-    seq: &[Request<i64>],
-) -> RatioReport {
+pub fn measure_policy<S: PolicySpec>(spec: &S, tree: &Tree, seq: &[Request<i64>]) -> RatioReport {
     let sim = run_sequential(tree, SumI64, spec, Schedule::Fifo, seq, false);
     RatioReport {
         policy: spec.name(),

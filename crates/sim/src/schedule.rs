@@ -30,7 +30,9 @@ impl Schedule {
     pub(crate) fn state(&self) -> SchedulerState {
         match self {
             Schedule::Fifo => SchedulerState::Fifo,
-            Schedule::Random(seed) => SchedulerState::Random(Box::new(StdRng::seed_from_u64(*seed))),
+            Schedule::Random(seed) => {
+                SchedulerState::Random(Box::new(StdRng::seed_from_u64(*seed)))
+            }
         }
     }
 }

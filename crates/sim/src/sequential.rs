@@ -211,9 +211,9 @@ mod tests {
     fn always_lease_amortises_reads() {
         let tree = Tree::star(5);
         let seq = vec![
-            Request::combine(n(2)), // builds leases: 8 msgs
-            Request::combine(n(2)), // free
-            Request::combine(n(2)), // free
+            Request::combine(n(2)),  // builds leases: 8 msgs
+            Request::combine(n(2)),  // free
+            Request::combine(n(2)),  // free
             Request::write(n(1), 3), // pushed everywhere
         ];
         let res = run_sequential(&tree, SumI64, &AlwaysLeaseSpec, Schedule::Fifo, &seq, false);

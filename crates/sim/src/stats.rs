@@ -31,6 +31,19 @@ impl MsgStats {
         self.per_edge[edge][kind.index()] += 1;
     }
 
+    /// Adds `count` messages of `kind` on directed edge `edge` — for
+    /// rebuilding counters from a remote node's metrics snapshot.
+    #[inline]
+    pub fn add(&mut self, edge: usize, kind: MsgKind, count: u64) {
+        self.per_edge[edge][kind.index()] += count;
+    }
+
+    /// Raw per-directed-edge counters, indexed by dense directed-edge
+    /// index, kinds in [`MsgKind::ALL`] order.
+    pub fn per_edge_counts(&self) -> &[[u64; 4]] {
+        &self.per_edge
+    }
+
     /// Total messages of all kinds.
     pub fn total(&self) -> u64 {
         self.per_edge.iter().flatten().sum()
@@ -68,6 +81,69 @@ impl MsgStats {
     pub fn snapshot_total(&self) -> u64 {
         self.total()
     }
+
+    /// Adds every counter of `other` into `self`. Used by the TCP runtime,
+    /// where each node thread records only its own sends and the cluster
+    /// merges the per-node counters into one simulator-comparable view.
+    pub fn merge(&mut self, other: &MsgStats) {
+        assert_eq!(
+            self.per_edge.len(),
+            other.per_edge.len(),
+            "merging stats from different trees"
+        );
+        for (mine, theirs) in self.per_edge.iter_mut().zip(&other.per_edge) {
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                *m += t;
+            }
+        }
+    }
+
+    /// Totals per kind, in [`MsgKind::ALL`] order.
+    pub fn kind_totals(&self) -> [u64; 4] {
+        let mut out = [0u64; 4];
+        for counters in &self.per_edge {
+            for (o, c) in out.iter_mut().zip(counters) {
+                *o += c;
+            }
+        }
+        out
+    }
+
+    /// JSON export of the full per-directed-edge, per-kind breakdown.
+    ///
+    /// Shared by `oat-sim` and `oat-net` so benchmark trajectories
+    /// (`BENCH_*.json`) are directly comparable across transports. The
+    /// output is deterministic: edges appear in dense directed-edge-index
+    /// order, kinds in [`MsgKind::ALL`] order.
+    pub fn to_json(&self, tree: &Tree) -> String {
+        let kinds = self.kind_totals();
+        let mut out = String::with_capacity(64 + 96 * self.per_edge.len());
+        out.push_str(&format!(
+            "{{\n  \"total\": {},\n  \"by_kind\": {{",
+            self.total()
+        ));
+        for (i, kind) in MsgKind::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", kind.name(), kinds[i]));
+        }
+        out.push_str("},\n  \"edges\": [\n");
+        for (i, counters) in self.per_edge.iter().enumerate() {
+            let (from, to) = tree.dir_edge(i);
+            out.push_str(&format!("    {{\"from\": {}, \"to\": {}", from.0, to.0));
+            for (kind, c) in MsgKind::ALL.iter().zip(counters) {
+                out.push_str(&format!(", \"{}\": {}", kind.name(), c));
+            }
+            out.push('}');
+            if i + 1 < self.per_edge.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}");
+        out
+    }
 }
 
 #[cfg(test)]
@@ -96,5 +172,39 @@ mod tests {
         );
         assert_eq!(s.total(), 6);
         assert_eq!(s.total_kind(MsgKind::Probe), 2);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let tree = Tree::path(3);
+        let mut a = MsgStats::new(&tree);
+        let mut b = MsgStats::new(&tree);
+        a.record(0, MsgKind::Probe);
+        b.record(0, MsgKind::Probe);
+        b.record(1, MsgKind::Update);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.total_kind(MsgKind::Probe), 2);
+        assert_eq!(a.kind_totals(), [2, 0, 1, 0]);
+    }
+
+    #[test]
+    fn json_export_is_complete_and_deterministic() {
+        let tree = Tree::path(2);
+        let mut s = MsgStats::new(&tree);
+        s.record(tree.dir_edge_index(NodeId(1), NodeId(0)), MsgKind::Probe);
+        s.record(tree.dir_edge_index(NodeId(0), NodeId(1)), MsgKind::Response);
+        let json = s.to_json(&tree);
+        assert!(json.contains("\"total\": 2"));
+        assert!(json.contains(
+            "\"by_kind\": {\"probe\": 1, \"response\": 1, \"update\": 0, \"release\": 0}"
+        ));
+        // Both directed edges appear, even the all-zero counters.
+        assert!(json.contains("\"from\": 0, \"to\": 1"));
+        assert!(json.contains("\"from\": 1, \"to\": 0"));
+        assert_eq!(json, s.to_json(&tree));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

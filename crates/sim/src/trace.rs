@@ -145,11 +145,17 @@ pub fn record_sequential<S: PolicySpec, A: AggOp>(
                 depth: d.depth,
             });
             if let Some(v) = d.completed {
-                events.push(TraceEvent::Complete { node: d.node, value: v });
+                events.push(TraceEvent::Complete {
+                    node: d.node,
+                    value: v,
+                });
             }
         }
         if let Some(v) = done_now {
-            events.push(TraceEvent::Complete { node: q.node, value: v });
+            events.push(TraceEvent::Complete {
+                node: q.node,
+                value: v,
+            });
         }
     }
     Trace { events }

@@ -21,7 +21,9 @@ use crate::engine::Engine;
 
 /// Renders the bare topology (rooted at node 0).
 pub fn render_tree(tree: &Tree) -> String {
-    render_impl(tree, &mut |_, _| "──".to_string(), &mut |_| String::new())
+    render_impl(tree, &mut |_, _| "──".to_string(), &mut |_| {
+        String::new()
+    })
 }
 
 /// Renders the topology with lease markers and local values.

@@ -20,5 +20,7 @@
 pub mod requests;
 pub mod topology;
 
-pub use requests::{bursty, diurnal, hotspot, phases, single_writer, uniform, zipf, WorkloadSpec, ZipfNodes};
+pub use requests::{
+    bursty, diurnal, hotspot, phases, single_writer, uniform, zipf, WorkloadSpec, ZipfNodes,
+};
 pub use topology::{caterpillar, random_attachment_tree, random_tree};

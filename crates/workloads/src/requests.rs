@@ -304,10 +304,13 @@ mod tests {
         assert_eq!(seq.len(), 4000);
         // First quarter of a cycle is write-leaning, the trough read-leaning.
         let frac = |range: std::ops::Range<usize>| {
-            let writes = seq[range.clone()].iter().filter(|q| q.op.is_write()).count();
+            let writes = seq[range.clone()]
+                .iter()
+                .filter(|q| q.op.is_write())
+                .count();
             writes as f64 / range.len() as f64
         };
-        let peak = frac(400..600);   // around sin ≈ +1 for 2 cycles
+        let peak = frac(400..600); // around sin ≈ +1 for 2 cycles
         let trough = frac(1400..1600); // around sin ≈ -1
         assert!(peak > 0.7, "peak write fraction {peak}");
         assert!(trough < 0.3, "trough write fraction {trough}");

@@ -54,9 +54,7 @@ pub fn random_tree(n: usize, seed: u64) -> Tree {
 pub fn random_attachment_tree(n: usize, seed: u64) -> Tree {
     assert!(n >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
-    let edges: Vec<(u32, u32)> = (1..n as u32)
-        .map(|i| (rng.gen_range(0..i), i))
-        .collect();
+    let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (rng.gen_range(0..i), i)).collect();
     Tree::from_edges(n, &edges).expect("attachment yields a tree")
 }
 

@@ -23,7 +23,11 @@ fn main() {
     let res = run_sequential(&tree, SumI64, &RwwSpec, Schedule::Fifo, &seq, false);
     println!("RWW against its adversary (R W W cycles), per-request messages:");
     for (q, msgs) in seq.iter().zip(&res.per_request_msgs) {
-        let kind = if q.op.is_combine() { "combine" } else { "write  " };
+        let kind = if q.op.is_combine() {
+            "combine"
+        } else {
+            "write  "
+        };
         println!("  {kind} at {:<3} -> {msgs} messages", q.node.to_string());
     }
     println!("  (pattern per cycle: 2 + 1 + 2 = 5; OPT pays 2 by never leasing)\n");

@@ -47,7 +47,13 @@ fn main() {
 
     println!("policy                    total cost");
     let rww = measure("RWW (adaptive)", &RwwSpec, &tree, &seq, false);
-    let push = measure("AlwaysLease (push-all)", &AlwaysLeaseSpec, &tree, &seq, true);
+    let push = measure(
+        "AlwaysLease (push-all)",
+        &AlwaysLeaseSpec,
+        &tree,
+        &seq,
+        true,
+    );
     let pull = measure("NeverLease (pull-all)", &NeverLeaseSpec, &tree, &seq, false);
     let ab13 = measure("(1,3)-algorithm", &AbSpec::new(1, 3), &tree, &seq, false);
 
@@ -75,8 +81,7 @@ fn main() {
     // Verify every dashboard read was strictly consistent while we're at
     // it (Lemma 3.12).
     let res = run_sequential(&tree, SumI64, &RwwSpec, Schedule::Fifo, &seq, false);
-    let violations =
-        oat::consistency::check_strict_sequential(&SumI64, &tree, &seq, &res.combines);
+    let violations = oat::consistency::check_strict_sequential(&SumI64, &tree, &seq, &res.combines);
     println!(
         "strict consistency over {} combines: {}",
         res.combines.len(),

@@ -28,11 +28,19 @@ fn main() {
         if rng.gen_bool(0.9) {
             sys.read(NodeId(rng.gen_range(0..2)), "cpu-load");
         } else {
-            sys.write(NodeId(rng.gen_range(2..32)), "cpu-load", rng.gen_range(0..100));
+            sys.write(
+                NodeId(rng.gen_range(2..32)),
+                "cpu-load",
+                rng.gen_range(0..100),
+            );
         }
         // disk-io: ~95% writes from machines.
         if rng.gen_bool(0.95) {
-            sys.write(NodeId(rng.gen_range(2..32)), "disk-io", rng.gen_range(0..1000));
+            sys.write(
+                NodeId(rng.gen_range(2..32)),
+                "disk-io",
+                rng.gen_range(0..1000),
+            );
         } else {
             sys.read(NodeId(0), "disk-io");
         }

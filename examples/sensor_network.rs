@@ -53,7 +53,10 @@ fn main() {
     }
 
     let total = sys.messages_sent();
-    println!("\ntotal messages: {total} for {} writes and {total_reads} reads", 30 * (n - 1));
+    println!(
+        "\ntotal messages: {total} for {} writes and {total_reads} reads",
+        30 * (n - 1)
+    );
     println!(
         "average cost per request: {:.2} messages (tree has {} edges)",
         total as f64 / (30.0 * (n as f64 - 1.0) + total_reads as f64),

@@ -89,7 +89,11 @@ fn main() {
     let sc = check_sequentially_consistent(&SumI64, &own_histories(&logs));
     println!(
         "\ncausal consistency:     {}",
-        if causal.is_ok() { "HOLDS (Theorem 4)" } else { "violated?!" }
+        if causal.is_ok() {
+            "HOLDS (Theorem 4)"
+        } else {
+            "violated?!"
+        }
     );
     println!(
         "sequential consistency: {}",

@@ -1,9 +1,11 @@
 //! `oat` — command-line driver for the aggregation simulator.
 //!
 //! ```text
-//! oat run     --tree kary:64:2 --policy rww --workload uniform:0.5:1000 --seed 7
-//! oat compare --tree star:32 --workload zipf:0.3:2000:1.0
-//! oat trace   --tree path:4 --script "c@0,w@3=10,w@3=20,c@0"
+//! oat run       --tree kary:64:2 --policy rww --workload uniform:0.5:1000 --seed 7
+//! oat compare   --tree star:32 --workload zipf:0.3:2000:1.0
+//! oat trace     --tree path:4 --script "c@0,w@3=10,w@3=20,c@0"
+//! oat serve     --tree kary:15:2 --policy rww
+//! oat bench-net --tree star:16 --workload uniform:0.5:500 [--json] [--check]
 //! oat help
 //! ```
 //!
@@ -19,6 +21,7 @@
 
 use oat::core::policy::ab::AbSpec;
 use oat::core::policy::random::RandomBreakSpec;
+use oat::net::Cluster;
 use oat::offline::nopt::nopt_total_lower_bound;
 use oat::offline::opt_dp::opt_total_cost;
 use oat::prelude::*;
@@ -26,7 +29,8 @@ use oat::sim::trace::record_sequential;
 use oat::sim::viz::render_leases;
 use oat::sim::{Engine, Schedule};
 use oat_core::policy::PolicySpec;
-use oat_core::request::Request;
+use oat_core::request::{ReqOp, Request};
+use std::io::BufRead;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,6 +38,8 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("bench-net") => cmd_bench_net(&args[1..]),
         Some("help") | None => {
             print!("{}", HELP);
             0
@@ -50,9 +56,12 @@ const HELP: &str = "\
 oat — online aggregation over trees (IPPS 2007), simulator CLI
 
 USAGE:
-  oat run     --tree SPEC --policy SPEC --workload SPEC [--seed N]
-  oat compare --tree SPEC --workload SPEC [--seed N]
-  oat trace   --tree SPEC [--policy SPEC] --script ITEMS
+  oat run       --tree SPEC --policy SPEC --workload SPEC [--seed N]
+  oat compare   --tree SPEC --workload SPEC [--seed N]
+  oat trace     --tree SPEC [--policy SPEC] --script ITEMS
+  oat serve     [--tree SPEC] [--policy SPEC]
+  oat bench-net --tree SPEC --workload SPEC [--policy SPEC] [--seed N]
+                [--json] [--check]
   oat help
 
 SPECS:
@@ -62,10 +71,19 @@ SPECS:
             | zipf:WF:LEN:ALPHA | singlewriter:ROUNDS:WRITES_PER_ROUND
   script:   comma-separated c@NODE and w@NODE=VALUE items
 
+NET COMMANDS (oat-net TCP cluster on loopback):
+  serve      spawns one server thread + TcpListener per tree node and reads
+             commands from stdin: c@N | w@N=V | metrics [N] | stats | quit
+  bench-net  replays a seeded workload against the cluster over TCP;
+             --json emits per-edge/per-kind stats as JSON, --check verifies
+             message-count parity against the deterministic simulator
+
 EXAMPLES:
   oat run --tree kary:64:2 --policy rww --workload uniform:0.5:1000 --seed 7
   oat compare --tree star:32 --workload zipf:0.3:2000:1.0
   oat trace --tree path:4 --script \"c@0,w@3=10,w@3=20,c@0\"
+  oat serve --tree kary:15:2 --policy rww
+  oat bench-net --tree star:16 --workload uniform:0.5:500 --check
 ";
 
 /// Minimal `--flag value` extraction.
@@ -79,7 +97,8 @@ fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 fn parse_tree(spec: &str) -> Result<Tree, String> {
     let parts: Vec<&str> = spec.split(':').collect();
     let num = |s: &str| -> Result<usize, String> {
-        s.parse().map_err(|_| format!("bad number `{s}` in tree spec"))
+        s.parse()
+            .map_err(|_| format!("bad number `{s}` in tree spec"))
     };
     match parts.as_slice() {
         ["pair"] => Ok(Tree::pair()),
@@ -95,10 +114,12 @@ fn parse_tree(spec: &str) -> Result<Tree, String> {
 fn parse_workload(spec: &str, tree: &Tree, seed: u64) -> Result<Vec<Request<i64>>, String> {
     let parts: Vec<&str> = spec.split(':').collect();
     let f = |s: &str| -> Result<f64, String> {
-        s.parse().map_err(|_| format!("bad float `{s}` in workload spec"))
+        s.parse()
+            .map_err(|_| format!("bad float `{s}` in workload spec"))
     };
     let u = |s: &str| -> Result<usize, String> {
-        s.parse().map_err(|_| format!("bad number `{s}` in workload spec"))
+        s.parse()
+            .map_err(|_| format!("bad number `{s}` in workload spec"))
     };
     match parts.as_slice() {
         ["uniform", wf, len] => Ok(oat::workloads::uniform(tree, u(len)?, f(wf)?, seed)),
@@ -128,9 +149,7 @@ fn parse_script(spec: &str) -> Result<Vec<Request<i64>>, String> {
         .map(|item| {
             let item = item.trim();
             if let Some(rest) = item.strip_prefix("c@") {
-                let node: u32 = rest
-                    .parse()
-                    .map_err(|_| format!("bad node in `{item}`"))?;
+                let node: u32 = rest.parse().map_err(|_| format!("bad node in `{item}`"))?;
                 Ok(Request::combine(NodeId(node)))
             } else if let Some(rest) = item.strip_prefix("w@") {
                 let (node, value) = rest
@@ -138,7 +157,9 @@ fn parse_script(spec: &str) -> Result<Vec<Request<i64>>, String> {
                     .ok_or_else(|| format!("write item `{item}` needs =VALUE"))?;
                 Ok(Request::write(
                     NodeId(node.parse().map_err(|_| format!("bad node in `{item}`"))?),
-                    value.parse().map_err(|_| format!("bad value in `{item}`"))?,
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad value in `{item}`"))?,
                 ))
             } else {
                 Err(format!("bad script item `{item}` (want c@N or w@N=V)"))
@@ -159,7 +180,8 @@ enum PolicyChoice {
 fn parse_policy(spec: &str) -> Result<PolicyChoice, String> {
     let parts: Vec<&str> = spec.split(':').collect();
     let u = |s: &str| -> Result<u32, String> {
-        s.parse().map_err(|_| format!("bad number `{s}` in policy spec"))
+        s.parse()
+            .map_err(|_| format!("bad number `{s}` in policy spec"))
     };
     match parts.as_slice() {
         ["rww"] => Ok(PolicyChoice::Rww),
@@ -179,12 +201,7 @@ struct RunStats {
     reads_local_pct: f64,
 }
 
-fn run_one<S: PolicySpec>(
-    spec: &S,
-    tree: &Tree,
-    seq: &[Request<i64>],
-    prewarm: bool,
-) -> RunStats {
+fn run_one<S: PolicySpec>(spec: &S, tree: &Tree, seq: &[Request<i64>], prewarm: bool) -> RunStats {
     let mut eng = Engine::new(tree.clone(), SumI64, spec, Schedule::Fifo, false);
     if prewarm {
         eng.prewarm_leases();
@@ -207,19 +224,13 @@ fn run_one<S: PolicySpec>(
     }
 }
 
-fn run_policy(
-    choice: &PolicyChoice,
-    tree: &Tree,
-    seq: &[Request<i64>],
-) -> RunStats {
+fn run_policy(choice: &PolicyChoice, tree: &Tree, seq: &[Request<i64>]) -> RunStats {
     match choice {
         PolicyChoice::Rww => run_one(&RwwSpec, tree, seq, false),
         PolicyChoice::Always => run_one(&AlwaysLeaseSpec, tree, seq, true),
         PolicyChoice::Never => run_one(&NeverLeaseSpec, tree, seq, false),
         PolicyChoice::Ab(a, b) => run_one(&AbSpec::new(*a, *b), tree, seq, false),
-        PolicyChoice::RandomBreak(b, s) => {
-            run_one(&RandomBreakSpec::new(*b, *s), tree, seq, false)
-        }
+        PolicyChoice::RandomBreak(b, s) => run_one(&RandomBreakSpec::new(*b, *s), tree, seq, false),
     }
 }
 
@@ -260,7 +271,10 @@ fn cmd_run(args: &[String]) -> i32 {
             stats.combines
         );
         print_stats_line(&stats, seq.len(), opt, lb);
-        println!("  {:<18} {opt:>9} msgs (offline lease-based optimum)", "OPT");
+        println!(
+            "  {:<18} {opt:>9} msgs (offline lease-based optimum)",
+            "OPT"
+        );
         Ok(())
     })();
     match result {
@@ -339,6 +353,223 @@ fn cmd_trace(args: &[String]) -> i32 {
             2
         }
     }
+}
+
+/// Runs `$body` with `$spec` bound to the concrete policy value named by
+/// `$choice` — the dynamic→static dispatch point for the net commands,
+/// which need a statically typed `PolicySpec` for `Cluster::spawn`.
+macro_rules! with_policy {
+    ($choice:expr, $spec:ident => $body:expr) => {
+        match $choice {
+            PolicyChoice::Rww => {
+                let $spec = RwwSpec;
+                $body
+            }
+            PolicyChoice::Always => {
+                let $spec = AlwaysLeaseSpec;
+                $body
+            }
+            PolicyChoice::Never => {
+                let $spec = NeverLeaseSpec;
+                $body
+            }
+            PolicyChoice::Ab(a, b) => {
+                let $spec = AbSpec::new(*a, *b);
+                $body
+            }
+            PolicyChoice::RandomBreak(b, s) => {
+                let $spec = RandomBreakSpec::new(*b, *s);
+                $body
+            }
+        }
+    };
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    let result = (|| -> Result<(), String> {
+        let tree = parse_tree(flag(args, "--tree").unwrap_or("kary:15:2"))?;
+        let policy = parse_policy(flag(args, "--policy").unwrap_or("rww"))?;
+        with_policy!(&policy, spec => serve_cluster(&tree, &spec))
+    })();
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+fn serve_cluster<S: PolicySpec>(tree: &Tree, spec: &S) -> Result<(), String>
+where
+    S::Node: 'static,
+{
+    let cluster =
+        Cluster::spawn(tree, SumI64, spec, false).map_err(|e| format!("cluster spawn: {e}"))?;
+    println!(
+        "oat-net cluster up: {} nodes, policy {}, one TCP listener per node",
+        tree.len(),
+        cluster.policy_name()
+    );
+    for (i, addr) in cluster.addrs().iter().enumerate() {
+        println!("  node {i:>3}  {addr}");
+    }
+    println!("commands: c@N | w@N=V | metrics [N] | stats | quit");
+    for line in std::io::stdin().lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        let cmd = line.trim();
+        if cmd.is_empty() {
+            continue;
+        }
+        match serve_command(&cluster, cmd) {
+            Ok(Some(out)) => println!("{out}"),
+            Ok(None) => break,
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    let report = cluster.shutdown();
+    println!("cluster down; total messages: {}", report.stats.total());
+    Ok(())
+}
+
+/// Executes one interactive `serve` command; `Ok(None)` means quit.
+fn serve_command(cluster: &Cluster<SumI64>, cmd: &str) -> Result<Option<String>, String> {
+    let check_node = |n: NodeId| -> Result<NodeId, String> {
+        if (n.0 as usize) < cluster.tree().len() {
+            Ok(n)
+        } else {
+            Err(format!(
+                "node {} out of range 0..{}",
+                n.0,
+                cluster.tree().len()
+            ))
+        }
+    };
+    if cmd == "quit" || cmd == "exit" {
+        return Ok(None);
+    }
+    if cmd == "stats" {
+        cluster.quiesce();
+        return cluster.stats_json().map(Some).map_err(|e| e.to_string());
+    }
+    if let Some(rest) = cmd.strip_prefix("metrics") {
+        cluster.quiesce();
+        let rest = rest.trim();
+        if rest.is_empty() {
+            return cluster.metrics_json().map(Some).map_err(|e| e.to_string());
+        }
+        let n: u32 = rest.parse().map_err(|_| format!("bad node `{rest}`"))?;
+        return cluster
+            .node_metrics(check_node(NodeId(n))?)
+            .map(|m| Some(m.to_json()))
+            .map_err(|e| e.to_string());
+    }
+    let mut out = String::new();
+    for req in parse_script(cmd)? {
+        let node = check_node(req.node)?;
+        let mut client = cluster
+            .client(node)
+            .map_err(|e| format!("connect to node {}: {e}", node.0))?;
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        match req.op {
+            ReqOp::Combine => {
+                let v = client.combine().map_err(|e| e.to_string())?;
+                out.push_str(&format!("combine @ {} = {v}", node.0));
+            }
+            ReqOp::Write(v) => {
+                client.write(v).map_err(|e| e.to_string())?;
+                out.push_str(&format!("write   @ {} <- {v}", node.0));
+            }
+        }
+    }
+    cluster.quiesce();
+    out.push_str(&format!(
+        "\n  [{} messages total]",
+        cluster.total_messages()
+    ));
+    Ok(Some(out))
+}
+
+fn cmd_bench_net(args: &[String]) -> i32 {
+    let result = (|| -> Result<(), String> {
+        let tree = parse_tree(flag(args, "--tree").ok_or("missing --tree")?)?;
+        let policy = parse_policy(flag(args, "--policy").unwrap_or("rww"))?;
+        let seed: u64 = flag(args, "--seed")
+            .unwrap_or("42")
+            .parse()
+            .map_err(|_| "bad --seed")?;
+        let seq = parse_workload(
+            flag(args, "--workload").ok_or("missing --workload")?,
+            &tree,
+            seed,
+        )?;
+        let json = args.iter().any(|a| a == "--json");
+        let check = args.iter().any(|a| a == "--check");
+        with_policy!(&policy, spec => bench_net(&tree, &spec, &seq, json, check))
+    })();
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+fn bench_net<S: PolicySpec>(
+    tree: &Tree,
+    spec: &S,
+    seq: &[Request<i64>],
+    json: bool,
+    check: bool,
+) -> Result<(), String>
+where
+    S::Node: 'static,
+{
+    let cluster =
+        Cluster::spawn(tree, SumI64, spec, false).map_err(|e| format!("cluster spawn: {e}"))?;
+    let start = std::time::Instant::now();
+    let net = cluster
+        .replay_sequential(seq)
+        .map_err(|e| format!("replay: {e}"))?;
+    let elapsed = start.elapsed();
+    let stats = cluster.stats().map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", cluster.stats_json().map_err(|e| e.to_string())?);
+    } else {
+        let [probes, responses, updates, releases] = stats.kind_totals();
+        println!(
+            "tree: {} nodes; policy {}; {} requests ({} combines) over TCP in {:.3}s",
+            tree.len(),
+            cluster.policy_name(),
+            seq.len(),
+            net.combines.len(),
+            elapsed.as_secs_f64(),
+        );
+        println!(
+            "  {:>9} msgs  {:>7.3} msgs/req  (probe {probes}, response {responses}, \
+             update {updates}, release {releases})",
+            net.total_msgs(),
+            net.total_msgs() as f64 / seq.len().max(1) as f64,
+        );
+    }
+    if check {
+        let sim = oat::sim::run_sequential(tree, SumI64, spec, Schedule::Fifo, seq, false);
+        if net.combines == sim.combines
+            && net.per_request_msgs == sim.per_request_msgs
+            && stats.per_edge_counts() == sim.engine.stats().per_edge_counts()
+        {
+            println!(
+                "  parity: OK — combine values and per-edge/per-kind counts match the simulator"
+            );
+        } else {
+            return Err("parity FAILED: TCP run diverged from the simulator".into());
+        }
+    }
+    cluster.shutdown();
+    Ok(())
 }
 
 #[cfg(test)]

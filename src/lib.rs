@@ -39,7 +39,8 @@
 //! * [`multi`] — SDIMS-style multi-attribute layer,
 //! * [`modelcheck`] — exhaustive interleaving exploration,
 //! * [`workloads`] — topology and request generators,
-//! * [`concurrent`] — one-thread-per-node runtime.
+//! * [`concurrent`] — one-thread-per-node runtime,
+//! * [`net`] — TCP cluster runtime (`oat serve` / `oat bench-net`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,6 +51,7 @@ pub use oat_core as core;
 pub use oat_lp as lp;
 pub use oat_modelcheck as modelcheck;
 pub use oat_multi as multi;
+pub use oat_net as net;
 pub use oat_offline as offline;
 pub use oat_sim as sim;
 pub use oat_workloads as workloads;
@@ -63,13 +65,13 @@ use oat_sim::{Engine, Schedule};
 /// Everything needed for typical use, one `use` away.
 pub mod prelude {
     pub use crate::AggregationSystem;
-    pub use oat_multi::MultiSystem;
     pub use oat_core::agg::{AggOp, AvgI64, BoolOr, MaxI64, MeanValue, MinI64, SumF64, SumI64};
     pub use oat_core::policy::ab::AbSpec;
     pub use oat_core::policy::baseline::{AlwaysLeaseSpec, NeverLeaseSpec};
     pub use oat_core::policy::rww::RwwSpec;
     pub use oat_core::request::Request;
     pub use oat_core::tree::{NodeId, Tree};
+    pub use oat_multi::MultiSystem;
 }
 
 /// A ready-to-use aggregation system: the Figure-1 mechanism over a tree,

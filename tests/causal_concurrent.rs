@@ -33,7 +33,14 @@ fn ghost_logs<S: PolicySpec>(
     res.engine
         .tree()
         .nodes()
-        .map(|u| res.engine.node(u).ghost().expect("ghost enabled").log.clone())
+        .map(|u| {
+            res.engine
+                .node(u)
+                .ghost()
+                .expect("ghost enabled")
+                .log
+                .clone()
+        })
         .collect::<Vec<_>>()
 }
 
@@ -91,8 +98,7 @@ fn threaded_runs_are_causally_consistent() {
     for round in 0..5 {
         let seq = workload(8, 80, round as u64 + 50, 0.5);
         let res = oat::concurrent::run_threaded(&tree, SumI64, &RwwSpec, &seq, None);
-        check_causal(&SumI64, &res.logs)
-            .unwrap_or_else(|v| panic!("round {round}: {v:?}"));
+        check_causal(&SumI64, &res.logs).unwrap_or_else(|v| panic!("round {round}: {v:?}"));
     }
 }
 

@@ -30,7 +30,14 @@ fn workloads_for(tree: &Tree, seed: u64) -> Vec<(String, Vec<oat_core::request::
         ),
         (
             "hotspot".into(),
-            oat::workloads::hotspot(tree, 300, 0.5, 2.min(tree.len()), 2.min(tree.len()), seed ^ 2),
+            oat::workloads::hotspot(
+                tree,
+                300,
+                0.5,
+                2.min(tree.len()),
+                2.min(tree.len()),
+                seed ^ 2,
+            ),
         ),
         (
             "phases".into(),

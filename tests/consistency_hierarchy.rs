@@ -134,8 +134,7 @@ fn sc_checker_agrees_with_strict_on_random_concurrent_runs() {
     let mut sc_failures = 0;
     for seed in 0..20u64 {
         let seq = oat::workloads::uniform(&tree, 24, 0.5, seed);
-        let res =
-            oat::sim::concurrent::run_concurrent(&tree, SumI64, &RwwSpec, &seq, seed, 0.7);
+        let res = oat::sim::concurrent::run_concurrent(&tree, SumI64, &RwwSpec, &seq, seed, 0.7);
         let logs: Vec<_> = tree
             .nodes()
             .map(|u| res.engine.node(u).ghost().unwrap().log.clone())

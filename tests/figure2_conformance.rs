@@ -104,7 +104,11 @@ fn noop_release_charging_on_longer_trees() {
         .dir_edges()
         .map(|(u, v)| eng.stats().pair_cost(&tree, u, v))
         .sum();
-    assert_eq!(total, eng.stats().total(), "per-pair costs partition all messages");
+    assert_eq!(
+        total,
+        eng.stats().total(),
+        "per-pair costs partition all messages"
+    );
 }
 
 #[test]

@@ -153,14 +153,8 @@ fn corollary_4_1_single_combine_sets_two_writes_break() {
     let tree = oat::workloads::random_tree(9, 77);
     let (u, v) = tree.dir_edges().next().unwrap();
     // Find a node on u's side and one on v's side.
-    let u_side = tree
-        .nodes()
-        .find(|&x| tree.in_subtree(u, v, x))
-        .unwrap();
-    let v_side = tree
-        .nodes()
-        .find(|&x| tree.in_subtree(v, u, x))
-        .unwrap();
+    let u_side = tree.nodes().find(|&x| tree.in_subtree(u, v, x)).unwrap();
+    let v_side = tree.nodes().find(|&x| tree.in_subtree(v, u, x)).unwrap();
     let mut eng: Engine<RwwSpec, SumI64> =
         Engine::new(tree.clone(), SumI64, &RwwSpec, Schedule::Fifo, false);
     let gi = tree.nbr_index(u, v).unwrap();

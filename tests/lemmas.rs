@@ -38,9 +38,7 @@ fn check_lemmas_on(tree: &Tree, seq: &[Request<i64>]) {
         // The missing-grant set A for a combine at q.node (Lemma 3.3).
         let a_combine: Vec<NodeId> = tree
             .nodes()
-            .filter(|&v| {
-                v != q.node && !granted(v, tree.u_parent(q.node, v), &eng)
-            })
+            .filter(|&v| v != q.node && !granted(v, tree.u_parent(q.node, v), &eng))
             .collect();
         // The lease-graph-reachable set A for a write at q.node
         // (Lemma 3.5): nodes v ≠ u with every edge on the path from u
@@ -163,10 +161,7 @@ fn lemmas_3_6_and_3_7_grant_changes_only_with_response_and_release() {
                 if b {
                     // Rise: u just sent a response => u processed a probe
                     // or a response-completing delivery.
-                    assert_eq!(
-                        d.node, u,
-                        "Lemma 3.6: grant rose at {u} without it acting"
-                    );
+                    assert_eq!(d.node, u, "Lemma 3.6: grant rose at {u} without it acting");
                     assert!(
                         matches!(d.kind, MsgKind::Probe | MsgKind::Response),
                         "Lemma 3.6: grant rose on a {:?}",
@@ -192,8 +187,7 @@ fn lemma_5_1_5_2_consequence_ordered_gapless_write_knowledge() {
     let tree = oat::workloads::random_tree(10, 3);
     for seed in 0..10u64 {
         let seq = oat::workloads::uniform(&tree, 100, 0.5, seed);
-        let res =
-            oat::sim::concurrent::run_concurrent(&tree, SumI64, &RwwSpec, &seq, seed, 0.8);
+        let res = oat::sim::concurrent::run_concurrent(&tree, SumI64, &RwwSpec, &seq, seed, 0.8);
         // Global per-origin write order (by index).
         let mut origin_writes: Vec<Vec<u32>> = vec![Vec::new(); tree.len()];
         for u in tree.nodes() {

@@ -81,8 +81,8 @@ fn long_run_state_stays_bounded_and_healthy() {
         for vi in 0..tree.degree(u) {
             let len = eng.node(u).uaw(vi).len();
             assert!(len <= 4, "uaw unexpectedly large ({len}) at {u}");
-            let grants_elsewhere = (0..tree.degree(u))
-                .any(|wi| wi != vi && eng.node(u).granted(wi));
+            let grants_elsewhere =
+                (0..tree.degree(u)).any(|wi| wi != vi && eng.node(u).granted(wi));
             if eng.node(u).taken(vi) && !grants_elsewhere {
                 assert!(len <= 2, "I4 lone-grant bound violated at {u}");
             }
@@ -171,7 +171,14 @@ fn ab_policy_with_large_a_churns_on_alternating_workloads() {
         seq.push(Request::combine(n(i % 6)));
         seq.push(Request::write(n((i + 1) % 6), i as i64));
     }
-    let ab = run_sequential(&tree, SumI64, &AbSpec::new(5, 1), Schedule::Fifo, &seq, false);
+    let ab = run_sequential(
+        &tree,
+        SumI64,
+        &AbSpec::new(5, 1),
+        Schedule::Fifo,
+        &seq,
+        false,
+    );
     let never = run_sequential(&tree, SumI64, &NeverLeaseSpec, Schedule::Fifo, &seq, false);
     // Same strictly-consistent answers either way…
     assert_eq!(ab.combines, never.combines);

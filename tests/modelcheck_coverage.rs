@@ -34,10 +34,8 @@ fn all_policies_verify_on_path3() {
     check_all_interleavings(&tree, SumI64, &RwwSpec, &script, limits).expect("RWW");
     check_all_interleavings(&tree, SumI64, &AbSpec::new(1, 1), &script, limits).expect("(1,1)");
     check_all_interleavings(&tree, SumI64, &AbSpec::new(2, 3), &script, limits).expect("(2,3)");
-    check_all_interleavings(&tree, SumI64, &AlwaysLeaseSpec, &script, limits)
-        .expect("AlwaysLease");
-    check_all_interleavings(&tree, SumI64, &NeverLeaseSpec, &script, limits)
-        .expect("NeverLease");
+    check_all_interleavings(&tree, SumI64, &AlwaysLeaseSpec, &script, limits).expect("AlwaysLease");
+    check_all_interleavings(&tree, SumI64, &NeverLeaseSpec, &script, limits).expect("NeverLease");
     check_all_interleavings(&tree, SumI64, &RandomBreakSpec::new(2, 9), &script, limits)
         .expect("RandomBreak");
 }
@@ -74,11 +72,9 @@ fn policies_explore_different_state_spaces() {
     // different reachable spaces (it isn't short-circuiting).
     let tree = Tree::path(3);
     let script = script_sum();
-    let rww =
-        check_all_interleavings(&tree, SumI64, &RwwSpec, &script, Limits::default()).unwrap();
-    let never =
-        check_all_interleavings(&tree, SumI64, &NeverLeaseSpec, &script, Limits::default())
-            .unwrap();
+    let rww = check_all_interleavings(&tree, SumI64, &RwwSpec, &script, Limits::default()).unwrap();
+    let never = check_all_interleavings(&tree, SumI64, &NeverLeaseSpec, &script, Limits::default())
+        .unwrap();
     assert_ne!(
         rww.distinct_states, never.distinct_states,
         "RWW (leases) and NeverLease (no leases) must differ"

@@ -1,0 +1,134 @@
+//! Simulator ↔ TCP-cluster parity (the oat-net headline property).
+//!
+//! Sequential executions of lease-based algorithms are confluent: the
+//! returned combine values *and* the per-edge, per-kind message counts are
+//! independent of the (FIFO) delivery schedule. The deterministic
+//! simulator and the real TCP cluster are therefore required to agree
+//! *exactly* — not approximately — on every seeded workload, as long as
+//! each request runs to quiescence before the next starts.
+//!
+//! These tests replay identical seeded request sequences through
+//! `oat_sim::run_sequential` and `oat_net::Cluster::replay_sequential`
+//! and assert equality of:
+//!
+//! * every combine result,
+//! * the per-request message counts,
+//! * the per-kind message totals (probe / response / update / release),
+//! * the full per-directed-edge, per-kind count matrix.
+
+use oat::core::agg::SumI64;
+use oat::core::policy::baseline::NeverLeaseSpec;
+use oat::core::policy::rww::RwwSpec;
+use oat::core::policy::PolicySpec;
+use oat::core::request::Request;
+use oat::core::tree::Tree;
+use oat::net::Cluster;
+use oat::sim::{run_sequential, Schedule};
+use oat::workloads::{hotspot, uniform};
+
+/// Replays `seq` through both runtimes and asserts exact agreement.
+fn assert_parity<S: PolicySpec>(label: &str, tree: &Tree, spec: &S, seq: &[Request<i64>])
+where
+    S::Node: 'static,
+{
+    let sim = run_sequential(tree, SumI64, spec, Schedule::Fifo, seq, false);
+
+    let cluster = Cluster::spawn(tree, SumI64, spec, false)
+        .unwrap_or_else(|e| panic!("{label}: cluster spawn failed: {e}"));
+    let net = cluster
+        .replay_sequential(seq)
+        .unwrap_or_else(|e| panic!("{label}: replay failed: {e}"));
+
+    assert_eq!(net.combines, sim.combines, "{label}: combine values differ");
+    assert_eq!(
+        net.per_request_msgs, sim.per_request_msgs,
+        "{label}: per-request message counts differ"
+    );
+
+    // Cluster-wide stats, reassembled from the nodes' TCP metrics
+    // snapshots while the cluster is still alive…
+    let live = cluster.stats().unwrap();
+    let reference = sim.engine.stats();
+    assert_eq!(
+        live.kind_totals(),
+        reference.kind_totals(),
+        "{label}: per-kind totals differ (live metrics)"
+    );
+    assert_eq!(
+        live.per_edge_counts(),
+        reference.per_edge_counts(),
+        "{label}: per-edge counts differ (live metrics)"
+    );
+    assert_eq!(
+        live.to_json(tree),
+        reference.to_json(tree),
+        "{label}: stats JSON differs"
+    );
+
+    // …and again from the authoritative per-node reports after shutdown.
+    let report = cluster.shutdown();
+    assert_eq!(
+        report.stats.per_edge_counts(),
+        reference.per_edge_counts(),
+        "{label}: per-edge counts differ (shutdown report)"
+    );
+    assert_eq!(
+        report.stats.total(),
+        reference.total(),
+        "{label}: totals differ"
+    );
+}
+
+fn topologies() -> Vec<(&'static str, Tree)> {
+    vec![
+        ("path(7)", Tree::path(7)),
+        ("star(8)", Tree::star(8)),
+        ("kary(10,3)", Tree::kary(10, 3)),
+    ]
+}
+
+#[test]
+fn uniform_workload_matches_under_rww() {
+    for (name, tree) in topologies() {
+        let seq = uniform(&tree, 60, 0.5, 0xA11CE);
+        assert_parity(&format!("uniform/rww/{name}"), &tree, &RwwSpec, &seq);
+    }
+}
+
+#[test]
+fn write_heavy_workload_matches_under_rww() {
+    for (name, tree) in topologies() {
+        let seq = uniform(&tree, 60, 0.9, 0xB0B0);
+        assert_parity(&format!("write-heavy/rww/{name}"), &tree, &RwwSpec, &seq);
+    }
+}
+
+#[test]
+fn hotspot_workload_matches_under_rww() {
+    for (name, tree) in topologies() {
+        let seq = hotspot(&tree, 60, 0.4, 2, 2, 0xC0FFEE);
+        assert_parity(&format!("hotspot/rww/{name}"), &tree, &RwwSpec, &seq);
+    }
+}
+
+#[test]
+fn workloads_match_under_never_lease() {
+    // NeverLease keeps the system pull-only; parity must hold for the
+    // degenerate policy too (probe/response floods, zero updates).
+    for (name, tree) in topologies() {
+        let seq = uniform(&tree, 40, 0.5, 0xDEAD);
+        assert_parity(
+            &format!("uniform/never/{name}"),
+            &tree,
+            &NeverLeaseSpec,
+            &seq,
+        );
+        let seq = hotspot(&tree, 40, 0.6, 1, 3, 0xF00D);
+        assert_parity(
+            &format!("hotspot/never/{name}"),
+            &tree,
+            &NeverLeaseSpec,
+            &seq,
+        );
+    }
+}

@@ -111,8 +111,13 @@ proptest! {
 fn prewarmed_engines_are_strict_and_invariant() {
     // Prewarming is a legal quiescent state: everything still holds.
     let tree = Tree::kary(10, 3);
-    let mut engine =
-        oat::sim::Engine::new(tree.clone(), SumI64, &AlwaysLeaseSpec, Schedule::Fifo, false);
+    let mut engine = oat::sim::Engine::new(
+        tree.clone(),
+        SumI64,
+        &AlwaysLeaseSpec,
+        Schedule::Fifo,
+        false,
+    );
     engine.prewarm_leases();
     let seq: Vec<Request<i64>> = (0..30)
         .map(|i| {
