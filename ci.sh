@@ -16,4 +16,30 @@ cargo build --release
 echo "== tier 1: cargo test -q =="
 cargo test -q
 
+echo "== bench smoke: oat bench --quick =="
+# Quick-mode run of the measured baseline: validates the oat-bench-v1
+# schema and fails on a sim<->TCP parity regression (`oat bench` exits
+# nonzero itself when parity breaks; the greps also pin the schema).
+BENCH_OUT=$(mktemp /tmp/oat_bench_smoke.XXXXXX.json)
+./target/release/oat bench --quick --out "$BENCH_OUT" > /dev/null
+for key in \
+  '"schema": "oat-bench-v1"' \
+  '"sim":' \
+  '"net_sequential":' \
+  '"net_pipelined":' \
+  '"req_per_s"' \
+  '"msg_per_s"' \
+  '"lat_p50_us"' \
+  '"lat_p99_us"' \
+  '"queue_peak_max"' \
+  '"speedup_vs_sequential"' \
+  '"parity_ok": true'
+do
+  grep -qF "$key" "$BENCH_OUT" || {
+    echo "bench smoke: missing $key in $BENCH_OUT"
+    exit 1
+  }
+done
+rm -f "$BENCH_OUT"
+
 echo "== ci: all green =="

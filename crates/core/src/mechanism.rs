@@ -275,16 +275,14 @@ impl<P: NodePolicy, A: AggOp> MechNode<P, A> {
         !self.grntd_nonempty_except(Some(wi))
     }
 
-    /// `sntprobes()`: union of all outstanding probe target sets.
-    fn sntprobes(&self) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = self
-            .snt
-            .iter()
-            .flat_map(|(_, s)| s.iter().copied())
-            .collect();
-        out.sort_unstable();
-        out.dedup();
-        out
+    /// `v ∈ sntprobes()`: is `v` in any outstanding probe target set?
+    ///
+    /// Membership test instead of materializing the union: `send_probes`
+    /// queries it per neighbour on every probe fan-out, and the sets are
+    /// degree-bounded, so scanning beats allocating a sorted/deduped
+    /// `Vec` on each handler invocation.
+    fn probe_sent_to(&self, v: NodeId) -> bool {
+        self.snt.iter().any(|(_, s)| s.contains(&v))
     }
 
     /// `newid()`.
@@ -324,9 +322,8 @@ impl<P: NodePolicy, A: AggOp> MechNode<P, A> {
         if !self.pndg.contains(&w) {
             self.pndg.push(w);
         }
-        let already = self.sntprobes();
         for (i, &v) in self.nbrs.iter().enumerate() {
-            if self.taken[i] || v == w || already.contains(&v) {
+            if self.taken[i] || v == w || self.probe_sent_to(v) {
                 continue;
             }
             out.push((v, Message::Probe));

@@ -19,12 +19,14 @@
 //!
 //! Client connections still open simply see EOF on their next read.
 
-use std::io;
+use std::collections::HashMap;
+use std::io::{self, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use oat_core::agg::AggOp;
 use oat_core::ghost::GhostReq;
@@ -75,6 +77,9 @@ pub struct NetSeqChunk<V> {
     pub combines: Vec<(usize, V)>,
     /// Mechanism messages sent while executing each request.
     pub per_request_msgs: Vec<u64>,
+    /// Wall-clock latency of each request: submit → response received
+    /// (the quiescence wait between requests is *not* included).
+    pub latencies: Vec<Duration>,
 }
 
 impl<V> NetSeqChunk<V> {
@@ -82,6 +87,24 @@ impl<V> NetSeqChunk<V> {
     pub fn total_msgs(&self) -> u64 {
         self.per_request_msgs.iter().sum()
     }
+}
+
+/// Result of [`Cluster::replay_pipelined`] — the concurrent,
+/// pipeline-depth-N counterpart of [`NetSeqChunk`]. Requests overlap,
+/// so there is no per-request message attribution; combine values are
+/// only comparable to the sequential oracle when the workload phase
+/// structure makes them deterministic (e.g. no writes concurrent with
+/// the combines).
+pub struct PipelinedChunk<V> {
+    /// `(request index, returned value)` for every combine, sorted by
+    /// request index.
+    pub combines: Vec<(usize, V)>,
+    /// Wall-clock latency of each request (submit → response), indexed
+    /// like the input sequence.
+    pub latencies: Vec<Duration>,
+    /// Wall time of the whole replay (all clients, first submit to last
+    /// response).
+    pub elapsed: Duration,
 }
 
 impl<A: AggOp> Cluster<A>
@@ -219,6 +242,7 @@ where
             (0..self.tree.len()).map(|_| None).collect();
         let mut combines = Vec::new();
         let mut per_request_msgs = Vec::with_capacity(seq.len());
+        let mut latencies = Vec::with_capacity(seq.len());
         for (i, q) in seq.iter().enumerate() {
             let before = self.total_messages();
             let slot = &mut clients[q.node.idx()];
@@ -226,16 +250,81 @@ where
                 Some(c) => c,
                 None => slot.insert(self.client(q.node)?),
             };
+            let start = Instant::now();
             match &q.op {
                 ReqOp::Combine => combines.push((i, client.combine()?)),
                 ReqOp::Write(arg) => client.write(arg.clone())?,
             }
+            latencies.push(start.elapsed());
             self.quiesce();
             per_request_msgs.push(self.total_messages() - before);
         }
         Ok(NetSeqChunk {
             combines,
             per_request_msgs,
+            latencies,
+        })
+    }
+
+    /// Replays `seq` with client-side pipelining: one client per node
+    /// that appears in the sequence, each keeping up to `depth` requests
+    /// in flight on its connection, all clients running concurrently.
+    ///
+    /// Per-node request order is preserved (each node's subsequence is
+    /// submitted FIFO on one connection); cross-node order — which the
+    /// network model leaves free anyway — is abandoned, and nothing
+    /// quiesces between requests. This is the throughput mode: wall
+    /// clock scales with pipeline depth instead of per-request
+    /// round-trips. Call [`Cluster::quiesce`] afterwards before reading
+    /// message counters — write responses do not imply the resulting
+    /// updates have drained.
+    pub fn replay_pipelined(
+        &self,
+        seq: &[Request<A::Value>],
+        depth: usize,
+    ) -> io::Result<PipelinedChunk<A::Value>>
+    where
+        A::Value: Send,
+    {
+        let depth = depth.max(1);
+        let mut by_node: Vec<Vec<usize>> = vec![Vec::new(); self.tree.len()];
+        for (i, q) in seq.iter().enumerate() {
+            by_node[q.node.idx()].push(i);
+        }
+        let start = Instant::now();
+        let mut results: Vec<io::Result<PerClientResults<A::Value>>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (node_idx, indices) in by_node.iter().enumerate() {
+                if indices.is_empty() {
+                    continue;
+                }
+                let node = NodeId(node_idx as u32);
+                let addr = self.addrs[node_idx];
+                handles.push(scope.spawn(move || {
+                    let mut client = ClusterClient::<A::Value>::connect(addr, node)?;
+                    client.run_window(seq, indices, depth)
+                }));
+            }
+            for h in handles {
+                results.push(h.join().expect("pipelined client thread panicked"));
+            }
+        });
+        let elapsed = start.elapsed();
+        let mut combines = Vec::new();
+        let mut latencies = vec![Duration::ZERO; seq.len()];
+        for r in results {
+            let r = r?;
+            combines.extend(r.combines);
+            for (i, d) in r.latencies {
+                latencies[i] = d;
+            }
+        }
+        combines.sort_by_key(|&(i, _)| i);
+        Ok(PipelinedChunk {
+            combines,
+            latencies,
+            elapsed,
         })
     }
 
@@ -264,8 +353,16 @@ impl<A: AggOp> Cluster<A> {
     }
 
     /// Mechanism messages sent cluster-wide so far.
+    ///
+    /// Relaxed load: the count is only meaningful after
+    /// [`Cluster::quiesce`], whose SeqCst read of `in_flight`
+    /// synchronizes with the SeqCst handler-exit decrement that follows
+    /// every (relaxed) `total_sent` increment in the sending thread, so
+    /// all increments are visible here by then. Between quiescent points
+    /// the value is a monotone lower bound — fine for progress display,
+    /// not for exact windows.
     pub fn total_messages(&self) -> u64 {
-        self.total_sent.load(Ordering::SeqCst)
+        self.total_sent.load(Ordering::Relaxed)
     }
 
     /// Blocks until no mechanism message is queued or being handled.
@@ -273,6 +370,11 @@ impl<A: AggOp> Cluster<A> {
     /// Meaningful when no client request is concurrently outstanding —
     /// the sequential-execution contract of the paper (and of
     /// [`Cluster::replay_sequential`]).
+    ///
+    /// `in_flight` stays SeqCst on both sides: it is the cluster's one
+    /// true synchronizer — the acquire edge its zero-read provides is
+    /// what licenses the relaxed orderings on `total_sent` and the
+    /// queue gauges.
     pub fn quiesce(&self) {
         while self.in_flight.load(Ordering::SeqCst) != 0 {
             std::thread::yield_now();
@@ -326,13 +428,43 @@ impl<A: AggOp> Drop for Cluster<A> {
     }
 }
 
+/// One response frame received by a client.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response<V> {
+    /// A combine result carrying the aggregate value.
+    Combine(V),
+    /// A write acknowledgement (the write's transitions have run).
+    Write,
+}
+
+/// Per-client outcome of one pipelined window run.
+struct PerClientResults<V> {
+    combines: Vec<(usize, V)>,
+    latencies: Vec<(usize, Duration)>,
+}
+
 /// A TCP client bound to one node of a running cluster.
 ///
-/// The protocol is strictly request/response per client connection, so a
-/// client is `!Sync` by design: one outstanding request at a time.
+/// Two usage modes share one connection:
+///
+/// * **Synchronous** ([`ClusterClient::combine`] /
+///   [`ClusterClient::write`] / [`ClusterClient::metrics`]): strict
+///   request/response, one outstanding request at a time.
+/// * **Pipelined** ([`ClusterClient::submit_combine`] /
+///   [`ClusterClient::submit_write`] + [`ClusterClient::next_response`]):
+///   keep many requests in flight; responses are matched by request id,
+///   because a node may answer a later write before an earlier combine
+///   that is still waiting on the tree.
+///
+/// Submissions are buffered — a burst of submits coalesces into one
+/// wire write; [`ClusterClient::next_response`] flushes before reading,
+/// so a client can never deadlock against its own unflushed requests.
 pub struct ClusterClient<V> {
     node: NodeId,
-    stream: TcpStream,
+    /// Read half (the underlying stream, shared with `writer`).
+    reader: TcpStream,
+    /// Buffered write half; flushed before every blocking read.
+    writer: BufWriter<TcpStream>,
     next_id: u64,
     _value: std::marker::PhantomData<fn() -> V>,
 }
@@ -340,12 +472,15 @@ pub struct ClusterClient<V> {
 impl<V: WireValue> ClusterClient<V> {
     /// Connects and announces itself as a client.
     pub fn connect(addr: SocketAddr, node: NodeId) -> io::Result<Self> {
-        let mut stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        write_frame(&mut stream, TAG_HELLO_CLIENT, &[])?;
+        let reader = TcpStream::connect(addr)?;
+        reader.set_nodelay(true)?;
+        let mut writer = BufWriter::with_capacity(16 * 1024, reader.try_clone()?);
+        write_frame(&mut writer, TAG_HELLO_CLIENT, &[])?;
+        writer.flush()?;
         Ok(ClusterClient {
             node,
-            stream,
+            reader,
+            writer,
             next_id: 0,
             _value: std::marker::PhantomData,
         })
@@ -361,8 +496,104 @@ impl<V: WireValue> ClusterClient<V> {
         self.next_id
     }
 
+    /// Submits a combine without waiting; returns its request id.
+    /// Buffered — the frame reaches the wire at the next
+    /// [`ClusterClient::flush`] or [`ClusterClient::next_response`].
+    pub fn submit_combine(&mut self) -> io::Result<u64> {
+        let id = self.fresh_id();
+        let mut payload = Vec::with_capacity(8);
+        put_u64(&mut payload, id);
+        write_frame(&mut self.writer, TAG_REQ_COMBINE, &payload)?;
+        Ok(id)
+    }
+
+    /// Submits a write without waiting; returns its request id.
+    pub fn submit_write(&mut self, arg: V) -> io::Result<u64> {
+        let id = self.fresh_id();
+        let mut payload = Vec::with_capacity(16);
+        put_u64(&mut payload, id);
+        arg.encode(&mut payload);
+        write_frame(&mut self.writer, TAG_REQ_WRITE, &payload)?;
+        Ok(id)
+    }
+
+    /// Pushes all buffered submissions to the wire.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Blocks for the next combine/write response on this connection,
+    /// whatever request it answers. Flushes buffered submissions first.
+    pub fn next_response(&mut self) -> io::Result<(u64, Response<V>)> {
+        self.writer.flush()?;
+        let (tag, payload) = read_frame(&mut self.reader)?;
+        let mut r = WireReader::new(&payload);
+        let id = r
+            .u64("response req id")
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        match tag {
+            TAG_RESP_COMBINE => {
+                let v = V::decode(&mut r)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                Ok((id, Response::Combine(v)))
+            }
+            TAG_RESP_WRITE => Ok((id, Response::Write)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response tag {other}"),
+            )),
+        }
+    }
+
+    /// Runs the subsequence `indices` of `seq` through this connection
+    /// with a sliding window of `depth` outstanding requests.
+    fn run_window(
+        &mut self,
+        seq: &[Request<V>],
+        indices: &[usize],
+        depth: usize,
+    ) -> io::Result<PerClientResults<V>>
+    where
+        V: Clone,
+    {
+        let mut combines = Vec::new();
+        let mut latencies = Vec::with_capacity(indices.len());
+        let mut in_flight: HashMap<u64, (usize, Instant)> = HashMap::with_capacity(depth);
+        let mut next = indices.iter();
+        loop {
+            while in_flight.len() < depth {
+                let Some(&i) = next.next() else { break };
+                let started = Instant::now();
+                let id = match &seq[i].op {
+                    ReqOp::Combine => self.submit_combine()?,
+                    ReqOp::Write(arg) => self.submit_write(arg.clone())?,
+                };
+                in_flight.insert(id, (i, started));
+            }
+            if in_flight.is_empty() {
+                break;
+            }
+            let (id, resp) = self.next_response()?;
+            let (i, started) = in_flight.remove(&id).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("response for unknown request id {id}"),
+                )
+            })?;
+            latencies.push((i, started.elapsed()));
+            if let Response::Combine(v) = resp {
+                combines.push((i, v));
+            }
+        }
+        Ok(PerClientResults {
+            combines,
+            latencies,
+        })
+    }
+
     fn expect_response(&mut self, want_tag: u8, want_id: u64) -> io::Result<Vec<u8>> {
-        let (tag, payload) = read_frame(&mut self.stream)?;
+        self.writer.flush()?;
+        let (tag, payload) = read_frame(&mut self.reader)?;
         if tag != want_tag {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -384,10 +615,7 @@ impl<V: WireValue> ClusterClient<V> {
 
     /// Issues a combine at this node and blocks for the aggregate value.
     pub fn combine(&mut self) -> io::Result<V> {
-        let id = self.fresh_id();
-        let mut payload = Vec::with_capacity(8);
-        put_u64(&mut payload, id);
-        write_frame(&mut self.stream, TAG_REQ_COMBINE, &payload)?;
+        let id = self.submit_combine()?;
         let body = self.expect_response(TAG_RESP_COMBINE, id)?;
         let mut r = WireReader::new(&body);
         let v = V::decode(&mut r)
@@ -399,11 +627,7 @@ impl<V: WireValue> ClusterClient<V> {
     /// (its transitions have run; resulting updates may still be in
     /// flight — use [`Cluster::quiesce`] for sequential semantics).
     pub fn write(&mut self, arg: V) -> io::Result<()> {
-        let id = self.fresh_id();
-        let mut payload = Vec::with_capacity(16);
-        put_u64(&mut payload, id);
-        arg.encode(&mut payload);
-        write_frame(&mut self.stream, TAG_REQ_WRITE, &payload)?;
+        let id = self.submit_write(arg)?;
         self.expect_response(TAG_RESP_WRITE, id)?;
         Ok(())
     }
@@ -413,7 +637,7 @@ impl<V: WireValue> ClusterClient<V> {
         let id = self.fresh_id();
         let mut payload = Vec::with_capacity(8);
         put_u64(&mut payload, id);
-        write_frame(&mut self.stream, TAG_REQ_METRICS, &payload)?;
+        write_frame(&mut self.writer, TAG_REQ_METRICS, &payload)?;
         let body = self.expect_response(TAG_RESP_METRICS, id)?;
         NodeMetrics::decode(&body)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))

@@ -54,8 +54,10 @@ pub fn write_frame<W: Write>(w: &mut W, tag: u8, payload: &[u8]) -> io::Result<(
             "frame exceeds MAX_FRAME",
         ));
     }
-    // One write_all per section; TCP_NODELAY is set on every stream, so
-    // the frame leaves promptly without an extra userspace buffer copy.
+    // Two write_all calls per frame; node outbound paths wrap the stream
+    // in a BufWriter and flush at batch boundaries, so consecutive frames
+    // for one connection coalesce into a single syscall (TCP_NODELAY is
+    // set on every stream, so flushed bytes leave promptly).
     let mut head = [0u8; 5];
     head[..4].copy_from_slice(&(len as u32).to_le_bytes());
     head[4] = tag;

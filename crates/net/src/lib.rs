@@ -40,7 +40,7 @@ pub mod frame;
 pub mod metrics;
 mod node;
 
-pub use cluster::{Cluster, ClusterClient, ClusterReport, NetSeqChunk};
+pub use cluster::{Cluster, ClusterClient, ClusterReport, NetSeqChunk, PipelinedChunk, Response};
 pub use metrics::NodeMetrics;
 
 #[cfg(test)]

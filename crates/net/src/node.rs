@@ -3,10 +3,11 @@
 //! ## Thread and ownership model
 //!
 //! Per node there is exactly **one owner** of mutable state — the *main
-//! loop* thread, which holds the [`MechNode`] automaton, the write halves
-//! of every edge connection, the per-node [`MsgStats`], and the parked
-//! combine waiters. Everything else is plumbing that converts bytes into
-//! [`Envelope`]s on the node's unbounded inbox channel:
+//! loop* thread, which holds the [`MechNode`] automaton, the buffered
+//! write halves of every edge and client connection, the per-node
+//! [`MsgStats`], and the parked combine waiters. Everything else is
+//! plumbing that converts bytes into [`Envelope`]s on the node's
+//! unbounded inbox channel:
 //!
 //! * an **acceptor** thread `accept()`s on the node's listener and
 //!   classifies each connection by its hello frame (edge peer vs client),
@@ -17,20 +18,44 @@
 //! node that is busy sending can always be drained by its peers — TCP
 //! backpressure cannot deadlock the cluster.
 //!
+//! ## Batched I/O
+//!
+//! The main loop drains its inbox in *batches*: it blocks for the first
+//! envelope, greedily consumes everything already queued (up to
+//! [`MAX_BATCH`]), and only then flushes the per-connection
+//! [`BufWriter`]s. All frames destined for the same edge or client
+//! during one batch therefore leave in a single buffered write instead
+//! of one syscall per mechanism message. Batching cannot reorder an
+//! edge: every frame for a given connection goes through that
+//! connection's one writer, in main-loop order, so per-edge FIFO — the
+//! paper's channel model, and what message-count parity rests on — is
+//! preserved byte for byte. Buffers are always empty when the loop
+//! blocks, so batching never delays a frame behind an idle inbox.
+//!
+//! Client responses are buffered in the same way and flushed *after*
+//! the edge writers at each batch boundary, preserving the invariant
+//! that a client observing a response implies the request's mechanism
+//! messages are already on the wire (and counted in flight).
+//!
 //! ## Quiescence accounting
 //!
 //! A cluster-wide `AtomicI64` counts undelivered work, exactly like
-//! `oat-concurrent`: incremented *before* a message's bytes are written
-//! to a socket (or a client request is enqueued), decremented only after
+//! `oat-concurrent`: incremented *before* a message's bytes are buffered
+//! for a socket (or a client request is enqueued), decremented only after
 //! the receiving main loop has finished the corresponding handler —
 //! having first incremented for everything that handler sent in turn.
 //! All node threads live in one process, so the counter reads zero only
-//! at true global quiescence.
+//! at true global quiescence. Buffered-but-unflushed frames keep the
+//! counter positive, and the batch boundary flush happens before the
+//! main loop can block again, so `quiesce()` cannot observe zero while
+//! bytes are parked in a userspace buffer.
 
+use std::collections::HashMap;
+use std::io::{BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::Arc;
 
 use oat_core::agg::AggOp;
 use oat_core::ghost::GhostReq;
@@ -48,32 +73,54 @@ use crate::frame::{
 };
 use crate::metrics::NodeMetrics;
 
-/// Write handle for responses to one client connection. The read half
-/// lives in that client's reader thread; responses are serialized through
-/// the mutex (a node may interleave replies to several clients).
-pub(crate) type ClientReply = Arc<Mutex<TcpStream>>;
+/// Identifies one client connection to one node; allocated by the
+/// node's acceptor, carried by every envelope that reader produces.
+pub(crate) type ClientId = u64;
+
+/// Envelopes processed per inbox batch before the writers are flushed.
+/// Bounds how long a frame can sit in a userspace buffer under sustained
+/// load (a starving drain loop would otherwise defer flushes forever).
+const MAX_BATCH: usize = 512;
+
+/// Buffer capacity for each edge/client connection writer.
+const WRITE_BUF: usize = 32 * 1024;
 
 /// One unit of work on a node's inbox.
 pub(crate) enum Envelope<V> {
     /// A mechanism message from the neighbour `from` — counted in the
-    /// in-flight gauge by the *sender* before the bytes left its socket.
+    /// in-flight gauge by the *sender* before the bytes left its buffer.
     Net { from: NodeId, msg: Message<V> },
     /// A client request — counted in the in-flight gauge by the reader
     /// that decoded it.
     Client {
-        reply: ClientReply,
+        conn: ClientId,
         req_id: u64,
         op: ReqOp<V>,
     },
     /// A metrics request — not counted (it sends no mechanism messages).
-    Metrics { reply: ClientReply, req_id: u64 },
+    Metrics { conn: ClientId, req_id: u64 },
     /// Registration of the write half of an accepted edge connection.
     PeerWriter { peer: NodeId, stream: TcpStream },
+    /// Registration of the write half of a client connection. Sent by the
+    /// client's reader before any request, so responses always have a
+    /// writer to land in.
+    ClientWriter { conn: ClientId, stream: TcpStream },
+    /// The client's reader exited (connection closed); sent after its
+    /// last request, so the main loop can retire the writer.
+    ClientGone { conn: ClientId },
     /// Terminate and report final state.
     Shutdown,
 }
 
 /// Inbox occupancy gauge: current depth and high-water mark.
+///
+/// Monitoring only: nothing synchronizes through these counters, no
+/// other memory access depends on their values, and a momentarily
+/// torn read (depth observed before a racing peak update) is
+/// indistinguishable from sampling a moment earlier. All operations
+/// are therefore `Relaxed` — each counter is still individually
+/// coherent (atomic RMWs never lose increments), which is the only
+/// property the metrics report needs.
 #[derive(Default)]
 pub(crate) struct QueueGauge {
     depth: AtomicUsize,
@@ -82,18 +129,19 @@ pub(crate) struct QueueGauge {
 
 impl QueueGauge {
     pub(crate) fn on_enqueue(&self) {
-        let now = self.depth.fetch_add(1, Ordering::SeqCst) + 1;
-        self.peak.fetch_max(now, Ordering::SeqCst);
+        // Relaxed: see type-level comment — gauge values order nothing.
+        let now = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
     }
 
     fn on_dequeue(&self) {
-        self.depth.fetch_sub(1, Ordering::SeqCst);
+        self.depth.fetch_sub(1, Ordering::Relaxed);
     }
 
     fn read(&self) -> (u64, u64) {
         (
-            self.depth.load(Ordering::SeqCst) as u64,
-            self.peak.load(Ordering::SeqCst) as u64,
+            self.depth.load(Ordering::Relaxed) as u64,
+            self.peak.load(Ordering::Relaxed) as u64,
         )
     }
 }
@@ -153,6 +201,9 @@ fn acceptor<V: WireValue + Send + 'static>(
     in_flight: Arc<AtomicI64>,
     shutting_down: Arc<AtomicBool>,
 ) {
+    // The acceptor is the only thread minting client connections for this
+    // node, so a plain counter suffices for unique ids.
+    let mut next_client: ClientId = 0;
     for conn in listener.incoming() {
         if shutting_down.load(Ordering::SeqCst) {
             break;
@@ -185,10 +236,12 @@ fn acceptor<V: WireValue + Send + 'static>(
                 std::thread::spawn(move || edge_reader(stream, node, peer, tx, gauge));
             }
             Ok((TAG_HELLO_CLIENT, _)) => {
+                let conn = next_client;
+                next_client += 1;
                 let tx = tx.clone();
                 let gauge = Arc::clone(&gauge);
                 let in_flight = Arc::clone(&in_flight);
-                std::thread::spawn(move || client_reader(stream, tx, gauge, in_flight));
+                std::thread::spawn(move || client_reader(stream, conn, tx, gauge, in_flight));
             }
             // An unknown hello tag is a stranger speaking the wrong
             // protocol: drop the connection, keep accepting.
@@ -213,7 +266,8 @@ fn edge_reader<V: WireValue>(
             Ok((TAG_NET, payload)) => {
                 let msg = Message::<V>::decode_wire(&payload)
                     .unwrap_or_else(|e| panic!("node {node}: bad message from {peer}: {e}"));
-                // The in-flight increment happened sender-side in flush().
+                // The in-flight increment happened sender-side when the
+                // frame was buffered.
                 enqueue(&tx, &gauge, Envelope::Net { from: peer, msg });
             }
             Ok((tag, _)) => panic!("node {node}: unexpected tag {tag} on edge from {peer}"),
@@ -226,14 +280,17 @@ fn edge_reader<V: WireValue>(
 /// Decodes client request frames from one client connection.
 fn client_reader<V: WireValue>(
     mut stream: TcpStream,
+    conn: ClientId,
     tx: Sender<Envelope<V>>,
     gauge: Arc<QueueGauge>,
     in_flight: Arc<AtomicI64>,
 ) {
-    let reply: ClientReply = match stream.try_clone() {
-        Ok(s) => Arc::new(Mutex::new(s)),
+    match stream.try_clone() {
+        // Register the write half first; the inbox is FIFO, so the main
+        // loop owns the writer before any request from this connection.
+        Ok(s) => enqueue(&tx, &gauge, Envelope::ClientWriter { conn, stream: s }),
         Err(_) => return,
-    };
+    }
     // Clients are untrusted: any protocol violation (malformed payload,
     // unknown tag, dirty close) drops the connection instead of
     // panicking — requests already accepted still complete.
@@ -250,7 +307,7 @@ fn client_reader<V: WireValue>(
                     &tx,
                     &gauge,
                     Envelope::Client {
-                        reply: Arc::clone(&reply),
+                        conn,
                         req_id,
                         op: ReqOp::Combine,
                     },
@@ -271,7 +328,7 @@ fn client_reader<V: WireValue>(
                     &tx,
                     &gauge,
                     Envelope::Client {
-                        reply: Arc::clone(&reply),
+                        conn,
                         req_id,
                         op: ReqOp::Write(arg),
                     },
@@ -283,38 +340,46 @@ fn client_reader<V: WireValue>(
                     Ok(id) => id,
                     Err(_) => break,
                 };
-                enqueue(
-                    &tx,
-                    &gauge,
-                    Envelope::Metrics {
-                        reply: Arc::clone(&reply),
-                        req_id,
-                    },
-                );
+                enqueue(&tx, &gauge, Envelope::Metrics { conn, req_id });
             }
             Ok(_) | Err(_) => break,
         }
     }
+    // FIFO after every request above: the main loop retires the writer
+    // only once all of this connection's requests have been served.
+    enqueue(&tx, &gauge, Envelope::ClientGone { conn });
 }
 
-/// Sends everything in `out` to the neighbours' sockets, recording stats
-/// and incrementing the in-flight counter *before* each write.
+/// Buffers everything in `out` into the neighbours' connection writers,
+/// recording stats and incrementing the in-flight counter *before* each
+/// frame is written. No flush happens here — the main loop flushes all
+/// writers at each batch boundary, coalescing every frame of the batch
+/// that shares an edge into one wire write.
 #[allow(clippy::too_many_arguments)] // the main loop's full send context
-fn flush<V: WireValue, A: AggOp<Value = V>>(
+fn send_outbox<V: WireValue, A: AggOp<Value = V>>(
     node: &MechNode<impl oat_core::policy::NodePolicy, A>,
     tree: &Tree,
     id: NodeId,
     out: &mut Outbox<V>,
-    writers: &mut [Option<TcpStream>],
+    writers: &mut [Option<BufWriter<TcpStream>>],
     stats: &mut MsgStats,
     in_flight: &AtomicI64,
     total_sent: &AtomicU64,
 ) {
+    let mut payload = Vec::with_capacity(32);
     for (to, msg) in out.drain(..) {
         stats.record(tree.dir_edge_index(id, to), msg.kind());
         in_flight.fetch_add(1, Ordering::SeqCst);
-        total_sent.fetch_add(1, Ordering::SeqCst);
-        let mut payload = Vec::with_capacity(32);
+        // Relaxed is sufficient here: `total_sent` carries no ordering
+        // duty of its own. Every read that must observe it
+        // (`Cluster::total_messages` in per-request windows) happens
+        // after `quiesce()` saw `in_flight == 0`, and the SeqCst
+        // decrement of `in_flight` that concludes each handler is
+        // sequenced after this increment in the same thread — the
+        // acquire/release edge through `in_flight` publishes the relaxed
+        // add to the quiescing thread.
+        total_sent.fetch_add(1, Ordering::Relaxed);
+        payload.clear();
         msg.encode_wire(&mut payload);
         let wi = node.nbr_index(to);
         let writer = writers[wi]
@@ -325,10 +390,37 @@ fn flush<V: WireValue, A: AggOp<Value = V>>(
     }
 }
 
-fn respond(reply: &ClientReply, tag: u8, payload: &[u8], id: NodeId) {
-    let mut stream = reply.lock().expect("client reply lock");
-    write_frame(&mut *stream, tag, payload)
-        .unwrap_or_else(|e| panic!("node {id}: client response failed: {e}"));
+/// Buffers one response frame for a client connection. A missing or
+/// failing writer means the client vanished; its responses are dropped —
+/// clients are untrusted peers, their disappearance must not kill a node.
+fn respond(
+    clients: &mut HashMap<ClientId, BufWriter<TcpStream>>,
+    conn: ClientId,
+    tag: u8,
+    payload: &[u8],
+) {
+    if let Some(w) = clients.get_mut(&conn) {
+        if write_frame(w, tag, payload).is_err() {
+            clients.remove(&conn);
+        }
+    }
+}
+
+/// Flushes every buffered writer at a batch boundary: edges first (so a
+/// flushed client response always trails the mechanism messages of the
+/// request that produced it), then clients. An edge flush failure is
+/// fatal — the tree is broken; a client flush failure just drops that
+/// client connection.
+fn flush_all(
+    id: NodeId,
+    writers: &mut [Option<BufWriter<TcpStream>>],
+    clients: &mut HashMap<ClientId, BufWriter<TcpStream>>,
+) {
+    for w in writers.iter_mut().flatten() {
+        w.flush()
+            .unwrap_or_else(|e| panic!("node {id}: edge flush failed: {e}"));
+    }
+    clients.retain(|_, w| w.flush().is_ok());
 }
 
 /// The node main loop: dials higher-id neighbours, then serves envelopes
@@ -356,11 +448,12 @@ where
 
     let mut node: MechNode<P, A> = MechNode::new(&tree, id, op, policy, ghost);
     let degree = tree.degree(id);
-    let mut writers: Vec<Option<TcpStream>> = (0..degree).map(|_| None).collect();
+    let mut writers: Vec<Option<BufWriter<TcpStream>>> = (0..degree).map(|_| None).collect();
+    let mut clients: HashMap<ClientId, BufWriter<TcpStream>> = HashMap::new();
     let mut stats = MsgStats::new(&tree);
     let mut out: Outbox<A::Value> = Vec::new();
     let mut completions: Vec<(NodeId, A::Value)> = Vec::new();
-    let mut waiters: Vec<(ClientReply, u64)> = Vec::new();
+    let mut waiters: Vec<(ClientId, u64)> = Vec::new();
     let mut delivered: u64 = 0;
     let mut connected = 0usize;
 
@@ -389,7 +482,8 @@ where
         oat_core::wire::put_u32(&mut hello, id.0);
         write_frame(&mut stream, TAG_HELLO_EDGE, &hello)
             .unwrap_or_else(|e| panic!("node {id}: hello to {v} failed: {e}"));
-        writers[node.nbr_index(v)] = Some(stream.try_clone().expect("clone dialed stream"));
+        let writer = stream.try_clone().expect("clone dialed stream");
+        writers[node.nbr_index(v)] = Some(BufWriter::with_capacity(WRITE_BUF, writer));
         connected += 1;
         let tx = tx.clone();
         let gauge = Arc::clone(&gauge);
@@ -399,86 +493,73 @@ where
         let _ = ready_tx.send(());
     }
 
-    loop {
-        let env = rx.recv().expect("cluster holds a sender");
-        gauge.on_dequeue();
-        match env {
-            Envelope::Shutdown => break,
-            Envelope::PeerWriter { peer, stream } => {
-                let wi = node.nbr_index(peer);
-                assert!(
-                    writers[wi].is_none(),
-                    "node {id}: duplicate edge from {peer}"
-                );
-                writers[wi] = Some(stream);
-                connected += 1;
-                if connected == degree {
-                    let _ = ready_tx.send(());
+    let mut shutdown = false;
+    while !shutdown {
+        // Block for the first envelope of a batch, then drain greedily.
+        // Every path that adds frames to a writer runs inside this batch
+        // loop, and `flush_all` runs before the next blocking recv, so
+        // buffers are empty whenever the loop sleeps.
+        let mut next = Some(rx.recv().expect("cluster holds a sender"));
+        let mut batched = 0usize;
+        while let Some(env) = next {
+            gauge.on_dequeue();
+            batched += 1;
+            match env {
+                Envelope::Shutdown => {
+                    shutdown = true;
+                    break;
                 }
-            }
-            Envelope::Net { from, msg } => {
-                delivered += 1;
-                let completed = node.handle_message(from, msg, &mut out);
-                flush(
-                    &node,
-                    &tree,
-                    id,
-                    &mut out,
-                    &mut writers,
-                    &mut stats,
-                    &in_flight,
-                    &total_sent,
-                );
-                if let Some(v) = completed {
-                    // Every coalesced waiter gets the same value.
-                    for (reply, req_id) in waiters.drain(..) {
-                        let mut payload = Vec::with_capacity(16);
-                        put_u64(&mut payload, req_id);
-                        v.encode(&mut payload);
-                        respond(&reply, TAG_RESP_COMBINE, &payload, id);
-                        completions.push((id, v.clone()));
+                Envelope::PeerWriter { peer, stream } => {
+                    let wi = node.nbr_index(peer);
+                    assert!(
+                        writers[wi].is_none(),
+                        "node {id}: duplicate edge from {peer}"
+                    );
+                    writers[wi] = Some(BufWriter::with_capacity(WRITE_BUF, stream));
+                    connected += 1;
+                    if connected == degree {
+                        let _ = ready_tx.send(());
                     }
                 }
-                in_flight.fetch_sub(1, Ordering::SeqCst);
-            }
-            Envelope::Client { reply, req_id, op } => {
-                match op {
-                    ReqOp::Write(arg) => {
-                        node.handle_write(arg, &mut out);
-                        flush(
-                            &node,
-                            &tree,
-                            id,
-                            &mut out,
-                            &mut writers,
-                            &mut stats,
-                            &in_flight,
-                            &total_sent,
-                        );
-                        let mut payload = Vec::with_capacity(8);
-                        put_u64(&mut payload, req_id);
-                        respond(&reply, TAG_RESP_WRITE, &payload, id);
-                    }
-                    ReqOp::Combine => match node.handle_combine(&mut out) {
-                        CombineOutcome::Done(v) => {
-                            flush(
-                                &node,
-                                &tree,
-                                id,
-                                &mut out,
-                                &mut writers,
-                                &mut stats,
-                                &in_flight,
-                                &total_sent,
-                            );
+                Envelope::ClientWriter { conn, stream } => {
+                    clients.insert(conn, BufWriter::with_capacity(WRITE_BUF, stream));
+                }
+                Envelope::ClientGone { conn } => {
+                    // FIFO guarantees every request from `conn` was served;
+                    // parked combine waiters keep their slot and are
+                    // answered best-effort (the respond() no-ops).
+                    clients.remove(&conn);
+                }
+                Envelope::Net { from, msg } => {
+                    delivered += 1;
+                    let completed = node.handle_message(from, msg, &mut out);
+                    send_outbox(
+                        &node,
+                        &tree,
+                        id,
+                        &mut out,
+                        &mut writers,
+                        &mut stats,
+                        &in_flight,
+                        &total_sent,
+                    );
+                    if let Some(v) = completed {
+                        // Every coalesced waiter gets the same value.
+                        for (conn, req_id) in waiters.drain(..) {
                             let mut payload = Vec::with_capacity(16);
                             put_u64(&mut payload, req_id);
                             v.encode(&mut payload);
-                            respond(&reply, TAG_RESP_COMBINE, &payload, id);
-                            completions.push((id, v));
+                            respond(&mut clients, conn, TAG_RESP_COMBINE, &payload);
+                            completions.push((id, v.clone()));
                         }
-                        CombineOutcome::Pending | CombineOutcome::Coalesced => {
-                            flush(
+                    }
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                }
+                Envelope::Client { conn, req_id, op } => {
+                    match op {
+                        ReqOp::Write(arg) => {
+                            node.handle_write(arg, &mut out);
+                            send_outbox(
                                 &node,
                                 &tree,
                                 id,
@@ -488,29 +569,65 @@ where
                                 &in_flight,
                                 &total_sent,
                             );
-                            waiters.push((reply, req_id));
+                            let mut payload = Vec::with_capacity(8);
+                            put_u64(&mut payload, req_id);
+                            respond(&mut clients, conn, TAG_RESP_WRITE, &payload);
                         }
-                    },
+                        ReqOp::Combine => {
+                            let outcome = node.handle_combine(&mut out);
+                            send_outbox(
+                                &node,
+                                &tree,
+                                id,
+                                &mut out,
+                                &mut writers,
+                                &mut stats,
+                                &in_flight,
+                                &total_sent,
+                            );
+                            match outcome {
+                                CombineOutcome::Done(v) => {
+                                    let mut payload = Vec::with_capacity(16);
+                                    put_u64(&mut payload, req_id);
+                                    v.encode(&mut payload);
+                                    respond(&mut clients, conn, TAG_RESP_COMBINE, &payload);
+                                    completions.push((id, v));
+                                }
+                                CombineOutcome::Pending | CombineOutcome::Coalesced => {
+                                    waiters.push((conn, req_id));
+                                }
+                            }
+                        }
+                    }
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
                 }
-                in_flight.fetch_sub(1, Ordering::SeqCst);
+                Envelope::Metrics { conn, req_id } => {
+                    let metrics = snapshot_metrics(
+                        &node,
+                        &tree,
+                        id,
+                        &stats,
+                        &gauge,
+                        delivered,
+                        waiters.len() as u64,
+                        completions.len() as u64,
+                    );
+                    let mut payload = Vec::with_capacity(64);
+                    put_u64(&mut payload, req_id);
+                    metrics.encode(&mut payload);
+                    respond(&mut clients, conn, TAG_RESP_METRICS, &payload);
+                }
             }
-            Envelope::Metrics { reply, req_id } => {
-                let metrics = snapshot_metrics(
-                    &node,
-                    &tree,
-                    id,
-                    &stats,
-                    &gauge,
-                    delivered,
-                    waiters.len() as u64,
-                    completions.len() as u64,
-                );
-                let mut payload = Vec::with_capacity(64);
-                put_u64(&mut payload, req_id);
-                metrics.encode(&mut payload);
-                respond(&reply, TAG_RESP_METRICS, &payload, id);
-            }
+            next = if batched < MAX_BATCH {
+                match rx.try_recv() {
+                    Ok(env) => Some(env),
+                    Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+                }
+            } else {
+                None
+            };
         }
+        flush_all(id, &mut writers, &mut clients);
     }
 
     assert!(

@@ -61,7 +61,19 @@ pub struct Engine<S: PolicySpec, A: AggOp> {
     chans: Vec<VecDeque<(Message<A::Value>, u32)>>,
     /// One token per undelivered message, in global send order; each token
     /// names the directed edge whose channel head it refers to.
+    ///
+    /// Tokens consumed out of band (by [`Engine::deliver_from`] /
+    /// [`Engine::drop_one`]) are deleted *lazily*: the edge's entry in
+    /// `stale_tokens` is bumped instead of scanning the deque, and
+    /// [`Engine::deliver_next`] skips that many tokens for the edge as it
+    /// pops them. Removal is therefore O(1), which matters to the model
+    /// checker — it delivers almost exclusively through `deliver_from`.
     tokens: VecDeque<usize>,
+    /// Per-directed-edge count of tokens in `tokens` that refer to
+    /// already-consumed messages (lazy deletions pending).
+    stale_tokens: Vec<u64>,
+    /// Undelivered messages: `tokens.len()` minus all pending deletions.
+    live_tokens: usize,
     sched: SchedulerState,
     stats: MsgStats,
     scratch: Outbox<A::Value>,
@@ -80,6 +92,8 @@ where
             nodes: self.nodes.clone(),
             chans: self.chans.clone(),
             tokens: self.tokens.clone(),
+            stale_tokens: self.stale_tokens.clone(),
+            live_tokens: self.live_tokens,
             sched: self.sched.clone(),
             stats: self.stats.clone(),
             scratch: Vec::new(),
@@ -131,6 +145,8 @@ impl<S: PolicySpec, A: AggOp> Engine<S, A> {
             nodes,
             chans,
             tokens: VecDeque::new(),
+            stale_tokens: vec![0; tree.num_dir_edges()],
+            live_tokens: 0,
             sched: schedule.state(),
             stats,
             scratch: Vec::new(),
@@ -171,13 +187,13 @@ impl<S: PolicySpec, A: AggOp> Engine<S, A> {
 
     /// Number of undelivered messages.
     pub fn in_flight(&self) -> usize {
-        self.tokens.len()
+        self.live_tokens
     }
 
     /// True when no message is in transit (conditions (1)/(2) of the
     /// paper's quiescent state; condition (3) is the driver's business).
     pub fn is_quiescent(&self) -> bool {
-        self.tokens.is_empty()
+        self.live_tokens == 0
     }
 
     /// The true global aggregate over current local values — the value a
@@ -224,17 +240,29 @@ impl<S: PolicySpec, A: AggOp> Engine<S, A> {
     ///
     /// `None` when no message is in flight.
     pub fn deliver_next(&mut self) -> Option<Delivery<A::Value>> {
-        if self.tokens.is_empty() {
-            return None;
-        }
-        let pos = self.sched.pick(self.tokens.len());
-        let edge = if pos == 0 {
-            self.tokens.pop_front().expect("tokens non-empty")
-        } else {
-            self.tokens
-                .swap_remove_back(pos)
-                .expect("token index in range")
+        let edge = loop {
+            if self.live_tokens == 0 {
+                return None;
+            }
+            let pos = self.sched.pick(self.tokens.len());
+            let edge = if pos == 0 {
+                self.tokens.pop_front().expect("tokens non-empty")
+            } else {
+                self.tokens
+                    .swap_remove_back(pos)
+                    .expect("token index in range")
+            };
+            // Skip tokens whose message was consumed out of band; for an
+            // edge, the first token popped is its oldest, which is exactly
+            // the message `deliver_from`/`drop_one` took — so lazy
+            // deletion preserves per-edge FIFO alignment.
+            if self.stale_tokens[edge] > 0 {
+                self.stale_tokens[edge] -= 1;
+                continue;
+            }
+            break edge;
         };
+        self.live_tokens -= 1;
         let (from, to) = self.tree.dir_edge(edge);
         let (msg, depth) = self.chans[edge]
             .pop_front()
@@ -286,12 +314,10 @@ impl<S: PolicySpec, A: AggOp> Engine<S, A> {
     pub fn deliver_from(&mut self, from: NodeId, to: NodeId) -> Option<Delivery<A::Value>> {
         let edge = self.tree.dir_edge_index(from, to);
         let (msg, depth) = self.chans[edge].pop_front()?;
-        let pos = self
-            .tokens
-            .iter()
-            .position(|&e| e == edge)
-            .expect("a pending message owns a token");
-        self.tokens.remove(pos);
+        // O(1) lazy token deletion: deliver_next skips one token for this
+        // edge instead of us scanning the deque here.
+        self.stale_tokens[edge] += 1;
+        self.live_tokens -= 1;
         self.window_max_depth = self.window_max_depth.max(depth);
         let kind = msg.kind();
         let completed = {
@@ -320,29 +346,23 @@ impl<S: PolicySpec, A: AggOp> Engine<S, A> {
     pub fn drop_one(&mut self, from: NodeId, to: NodeId) -> Option<oat_core::message::MsgKind> {
         let edge = self.tree.dir_edge_index(from, to);
         let (msg, _) = self.chans[edge].pop_front()?;
-        let pos = self
-            .tokens
-            .iter()
-            .position(|&e| e == edge)
-            .expect("a pending message owns a token");
-        self.tokens.remove(pos);
+        self.stale_tokens[edge] += 1;
+        self.live_tokens -= 1;
         Some(msg.kind())
     }
 
     /// Routes everything the last handler emitted, tagging each message
-    /// with causal depth `depth`.
+    /// with causal depth `depth`. Drains the outbox in place so its
+    /// allocation is reused across handlers — the per-delivery hot path
+    /// allocates nothing once the outbox has grown to the working size.
     fn route_scratch(&mut self, from: NodeId, depth: u32) {
-        if self.scratch.is_empty() {
-            return;
-        }
-        let out = std::mem::take(&mut self.scratch);
-        for (to, msg) in out {
+        for (to, msg) in self.scratch.drain(..) {
             let edge = self.tree.dir_edge_index(from, to);
             self.stats.record(edge, msg.kind());
             self.tokens.push_back(edge);
+            self.live_tokens += 1;
             self.chans[edge].push_back((msg, depth));
         }
-        // `out` is consumed; allocate a fresh scratch lazily on next use.
     }
 }
 

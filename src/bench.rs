@@ -1,0 +1,487 @@
+//! The `oat bench` measured-performance harness.
+//!
+//! Runs one seeded workload through three executions and reports
+//! throughput and latency for each, in a stable JSON schema
+//! (`oat-bench-v1`) that is written to `BENCH_<date>.json` — the
+//! trajectory every future performance PR diffs against:
+//!
+//! 1. **sim** — the deterministic simulator, sequential semantics
+//!    (per-request wall latency plus the network model's hop latency);
+//! 2. **net_sequential** — the TCP cluster, one request at a time with
+//!    quiescence between requests (the paper's sequential execution);
+//! 3. **net_pipelined** — the TCP cluster with the concurrent
+//!    multi-client driver: one client per active node, each keeping
+//!    `depth` requests in flight.
+//!
+//! The sim phase doubles as the parity oracle: the report carries
+//! `parity_ok`, which compares the net-sequential run's combine values
+//! and per-directed-edge/per-kind message counts against the simulator
+//! bit for bit. A schema or parity regression fails `ci.sh`'s bench
+//! smoke.
+
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use oat_core::agg::SumI64;
+use oat_core::mechanism::CombineOutcome;
+use oat_core::policy::PolicySpec;
+use oat_core::request::{ReqOp, Request};
+use oat_core::tree::Tree;
+use oat_net::Cluster;
+use oat_sim::{Engine, Schedule};
+
+/// Schema tag emitted in every report; bump on incompatible change.
+pub const SCHEMA: &str = "oat-bench-v1";
+
+/// What to run and how hard; spec strings are echoed into the report.
+pub struct BenchConfig {
+    /// Tree spec string (already parsed by the caller).
+    pub tree_spec: String,
+    /// Policy spec string.
+    pub policy_spec: String,
+    /// Workload spec string.
+    pub workload_spec: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// Pipeline depth for the concurrent driver (≥ 1).
+    pub depth: usize,
+    /// Quick mode (CI smoke): tiny workload, same phases and schema.
+    pub quick: bool,
+}
+
+/// Throughput/latency numbers for one execution phase.
+pub struct PhaseStats {
+    /// Requests executed.
+    pub requests: usize,
+    /// Combines among them.
+    pub combines: usize,
+    /// Mechanism messages sent.
+    pub messages: u64,
+    /// Wall time of the phase.
+    pub elapsed: Duration,
+    /// Per-request wall latencies, microseconds, sorted ascending.
+    lat_us: Vec<f64>,
+}
+
+impl PhaseStats {
+    fn new(
+        requests: usize,
+        combines: usize,
+        messages: u64,
+        elapsed: Duration,
+        latencies: &[Duration],
+    ) -> Self {
+        let mut lat_us: Vec<f64> = latencies.iter().map(|d| d.as_secs_f64() * 1e6).collect();
+        lat_us.sort_by(|a, b| a.total_cmp(b));
+        PhaseStats {
+            requests,
+            combines,
+            messages,
+            elapsed,
+            lat_us,
+        }
+    }
+
+    /// Requests per second over the phase wall time.
+    pub fn req_per_s(&self) -> f64 {
+        rate(self.requests as f64, self.elapsed)
+    }
+
+    /// Mechanism messages per second over the phase wall time.
+    pub fn msg_per_s(&self) -> f64 {
+        rate(self.messages as f64, self.elapsed)
+    }
+
+    /// p50 per-request wall latency in microseconds.
+    pub fn lat_p50_us(&self) -> f64 {
+        percentile(&self.lat_us, 0.50)
+    }
+
+    /// p99 per-request wall latency in microseconds.
+    pub fn lat_p99_us(&self) -> f64 {
+        percentile(&self.lat_us, 0.99)
+    }
+
+    fn json_fields(&self) -> String {
+        format!(
+            "\"requests\": {}, \"combines\": {}, \"messages\": {}, \
+             \"elapsed_s\": {:.6}, \"req_per_s\": {:.1}, \"msg_per_s\": {:.1}, \
+             \"lat_p50_us\": {:.1}, \"lat_p99_us\": {:.1}",
+            self.requests,
+            self.combines,
+            self.messages,
+            self.elapsed.as_secs_f64(),
+            self.req_per_s(),
+            self.msg_per_s(),
+            self.lat_p50_us(),
+            self.lat_p99_us(),
+        )
+    }
+}
+
+/// The full baseline record: one phase block per execution mode plus
+/// the parity verdict.
+pub struct BenchReport {
+    /// Echoed configuration.
+    pub config: BenchConfig,
+    /// UTC date the report was taken (`YYYY-MM-DD`).
+    pub date: String,
+    /// Simulator phase.
+    pub sim: PhaseStats,
+    /// Hop-latency p50 across sim requests (network-model hops).
+    pub sim_hop_p50: f64,
+    /// Hop-latency p99 across sim requests.
+    pub sim_hop_p99: f64,
+    /// TCP sequential phase.
+    pub net_sequential: PhaseStats,
+    /// Max inbox high-water mark over all nodes, sequential phase.
+    pub net_sequential_queue_peak: u64,
+    /// TCP pipelined phase.
+    pub net_pipelined: PhaseStats,
+    /// Max inbox high-water mark over all nodes, pipelined phase — the
+    /// allocation-sensitive counter: deeper inboxes mean bigger batches
+    /// (good for syscalls) but more queued envelopes (memory).
+    pub net_pipelined_queue_peak: u64,
+    /// Clients the pipelined driver ran (one per active node).
+    pub pipelined_clients: usize,
+    /// Net-sequential combine values and per-edge/per-kind counts match
+    /// the simulator exactly.
+    pub parity_ok: bool,
+}
+
+impl BenchReport {
+    /// Pipelined speedup over the sequential TCP replay.
+    pub fn speedup(&self) -> f64 {
+        let seq = self.net_sequential.req_per_s();
+        if seq > 0.0 {
+            self.net_pipelined.req_per_s() / seq
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the stable `oat-bench-v1` JSON document.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"date\": \"{}\",\n  \"config\": {{\"tree\": \"{}\", \"policy\": \"{}\", \"workload\": \"{}\", \"seed\": {}, \"pipeline_depth\": {}, \"quick\": {}}},\n  \"sim\": {{{}, \"hop_p50\": {:.1}, \"hop_p99\": {:.1}}},\n  \"net_sequential\": {{{}, \"queue_peak_max\": {}}},\n  \"net_pipelined\": {{{}, \"queue_peak_max\": {}, \"depth\": {}, \"clients\": {}, \"speedup_vs_sequential\": {:.2}}},\n  \"parity_ok\": {}\n}}",
+            self.date,
+            self.config.tree_spec,
+            self.config.policy_spec,
+            self.config.workload_spec,
+            self.config.seed,
+            self.config.depth,
+            self.config.quick,
+            self.sim.json_fields(),
+            self.sim_hop_p50,
+            self.sim_hop_p99,
+            self.net_sequential.json_fields(),
+            self.net_sequential_queue_peak,
+            self.net_pipelined.json_fields(),
+            self.net_pipelined_queue_peak,
+            self.config.depth,
+            self.pipelined_clients,
+            self.speedup(),
+            self.parity_ok,
+        )
+    }
+
+    /// The default output filename: `BENCH_<date>.json`.
+    pub fn default_filename(&self) -> String {
+        format!("BENCH_{}.json", self.date)
+    }
+
+    /// Human-readable summary table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "bench: tree {}, policy {}, workload {} (seed {}), depth {}\n",
+            self.config.tree_spec,
+            self.config.policy_spec,
+            self.config.workload_spec,
+            self.config.seed,
+            self.config.depth,
+        ));
+        for (name, p) in [
+            ("sim", &self.sim),
+            ("net sequential", &self.net_sequential),
+            ("net pipelined", &self.net_pipelined),
+        ] {
+            out.push_str(&format!(
+                "  {name:<15} {:>8.0} req/s  {:>10.0} msg/s  p50 {:>8.1}us  p99 {:>9.1}us  ({} reqs, {} msgs, {:.3}s)\n",
+                p.req_per_s(),
+                p.msg_per_s(),
+                p.lat_p50_us(),
+                p.lat_p99_us(),
+                p.requests,
+                p.messages,
+                p.elapsed.as_secs_f64(),
+            ));
+        }
+        out.push_str(&format!(
+            "  pipelined speedup vs sequential: {:.2}x ({} clients, depth {}); parity: {}\n",
+            self.speedup(),
+            self.pipelined_clients,
+            self.config.depth,
+            if self.parity_ok { "OK" } else { "FAILED" },
+        ));
+        out
+    }
+}
+
+/// Runs the three-phase benchmark. The caller parses the specs (so the
+/// CLI owns the string formats) and passes both the parsed values and
+/// the spec strings for the report.
+pub fn run_bench<S: PolicySpec>(
+    config: BenchConfig,
+    tree: &Tree,
+    spec: &S,
+    seq: &[Request<i64>],
+) -> Result<BenchReport, String>
+where
+    S::Node: 'static,
+{
+    // ---- Phase 1: simulator (also the parity oracle). --------------
+    let mut engine = Engine::new(tree.clone(), SumI64, spec, Schedule::Fifo, false);
+    let mut sim_latencies = Vec::with_capacity(seq.len());
+    let mut sim_hops: Vec<f64> = Vec::with_capacity(seq.len());
+    let mut sim_combines: Vec<(usize, i64)> = Vec::new();
+    let sim_start = Instant::now();
+    for (i, q) in seq.iter().enumerate() {
+        let t0 = Instant::now();
+        engine.reset_depth_window();
+        match &q.op {
+            ReqOp::Write(arg) => {
+                engine.initiate_write(q.node, *arg);
+                engine.run_to_quiescence();
+            }
+            ReqOp::Combine => match engine.initiate_combine(q.node) {
+                CombineOutcome::Done(v) => sim_combines.push((i, v)),
+                CombineOutcome::Pending => {
+                    let done = engine.run_to_quiescence();
+                    let (_, v) = done
+                        .into_iter()
+                        .find(|(n, _)| *n == q.node)
+                        .ok_or("combine did not complete in its sequential execution")?;
+                    sim_combines.push((i, v));
+                }
+                CombineOutcome::Coalesced => {
+                    return Err("coalesced combine in a sequential run".into())
+                }
+            },
+        }
+        sim_latencies.push(t0.elapsed());
+        sim_hops.push(engine.window_max_depth() as f64);
+    }
+    let sim_elapsed = sim_start.elapsed();
+    sim_hops.sort_by(|a, b| a.total_cmp(b));
+    let sim = PhaseStats::new(
+        seq.len(),
+        sim_combines.len(),
+        engine.stats().total(),
+        sim_elapsed,
+        &sim_latencies,
+    );
+    let sim_hop_p50 = percentile(&sim_hops, 0.50);
+    let sim_hop_p99 = percentile(&sim_hops, 0.99);
+
+    // ---- Phase 2: TCP, sequential replay (parity-checked). ---------
+    let cluster =
+        Cluster::spawn(tree, SumI64, spec, false).map_err(|e| format!("cluster spawn: {e}"))?;
+    let seq_start = Instant::now();
+    let net = cluster
+        .replay_sequential(seq)
+        .map_err(|e| format!("sequential replay: {e}"))?;
+    let seq_elapsed = seq_start.elapsed();
+    let net_stats = cluster.stats().map_err(|e| e.to_string())?;
+    let parity_ok = net.combines == sim_combines
+        && net_stats.per_edge_counts() == engine.stats().per_edge_counts();
+    let net_sequential_queue_peak = max_queue_peak(&cluster)?;
+    let net_sequential = PhaseStats::new(
+        seq.len(),
+        net.combines.len(),
+        net.total_msgs(),
+        seq_elapsed,
+        &net.latencies,
+    );
+    cluster.shutdown();
+
+    // ---- Phase 3: TCP, pipelined multi-client replay. --------------
+    let cluster =
+        Cluster::spawn(tree, SumI64, spec, false).map_err(|e| format!("cluster spawn: {e}"))?;
+    let pipelined_clients = {
+        let mut active = vec![false; tree.len()];
+        for q in seq {
+            active[q.node.idx()] = true;
+        }
+        active.iter().filter(|a| **a).count()
+    };
+    let pipe = cluster
+        .replay_pipelined(seq, config.depth)
+        .map_err(|e| format!("pipelined replay: {e}"))?;
+    // Writes may still have updates in flight when their ack returns.
+    cluster.quiesce();
+    let pipe_msgs = cluster.total_messages();
+    let net_pipelined_queue_peak = max_queue_peak(&cluster)?;
+    let net_pipelined = PhaseStats::new(
+        seq.len(),
+        pipe.combines.len(),
+        pipe_msgs,
+        pipe.elapsed,
+        &pipe.latencies,
+    );
+    cluster.shutdown();
+
+    Ok(BenchReport {
+        config,
+        date: utc_date(),
+        sim,
+        sim_hop_p50,
+        sim_hop_p99,
+        net_sequential,
+        net_sequential_queue_peak,
+        net_pipelined,
+        net_pipelined_queue_peak,
+        pipelined_clients,
+        parity_ok,
+    })
+}
+
+fn max_queue_peak<A: oat_core::agg::AggOp>(cluster: &Cluster<A>) -> Result<u64, String>
+where
+    A::Value: oat_core::wire::WireValue,
+{
+    let mut peak = 0;
+    for u in cluster.tree().nodes() {
+        peak = peak.max(
+            cluster
+                .node_metrics(u)
+                .map_err(|e| e.to_string())?
+                .queue_peak,
+        );
+    }
+    Ok(peak)
+}
+
+fn rate(count: f64, elapsed: Duration) -> f64 {
+    let s = elapsed.as_secs_f64();
+    if s > 0.0 {
+        count / s
+    } else {
+        0.0
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice; 0 when empty.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, from the system clock (no external
+/// date crate in the offline environment — civil-from-days arithmetic).
+fn utc_date() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Days-since-epoch → proleptic Gregorian (Hinnant's `civil_from_days`).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oat_core::policy::rww::RwwSpec;
+    use oat_core::tree::NodeId;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn civil_date_conversion() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1));
+        // 2026-08-06 is 20_671 days after the epoch.
+        assert_eq!(civil_from_days(20_671), (2026, 8, 6));
+    }
+
+    #[test]
+    fn quick_bench_report_is_schema_complete_and_parity_clean() {
+        let tree = Tree::path(4);
+        let seq: Vec<Request<i64>> = (0..16u32)
+            .map(|i| {
+                let node = NodeId(i % 4);
+                if i % 3 == 0 {
+                    Request::combine(node)
+                } else {
+                    Request::write(node, i as i64)
+                }
+            })
+            .collect();
+        let report = run_bench(
+            BenchConfig {
+                tree_spec: "path:4".into(),
+                policy_spec: "rww".into(),
+                workload_spec: "script".into(),
+                seed: 0,
+                depth: 8,
+                quick: true,
+            },
+            &tree,
+            &RwwSpec,
+            &seq,
+        )
+        .unwrap();
+        assert!(report.parity_ok);
+        let json = report.to_json();
+        for key in [
+            "\"schema\": \"oat-bench-v1\"",
+            "\"sim\":",
+            "\"net_sequential\":",
+            "\"net_pipelined\":",
+            "\"req_per_s\"",
+            "\"msg_per_s\"",
+            "\"lat_p50_us\"",
+            "\"lat_p99_us\"",
+            "\"queue_peak_max\"",
+            "\"speedup_vs_sequential\"",
+            "\"parity_ok\": true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(report.default_filename().starts_with("BENCH_"));
+        // Pipelined and sequential replays executed the same requests.
+        assert_eq!(
+            report.net_pipelined.requests,
+            report.net_sequential.requests
+        );
+        assert_eq!(
+            report.net_pipelined.combines,
+            report.net_sequential.combines
+        );
+    }
+}

@@ -6,6 +6,9 @@
 //! oat trace     --tree path:4 --script "c@0,w@3=10,w@3=20,c@0"
 //! oat serve     --tree kary:15:2 --policy rww
 //! oat bench-net --tree star:16 --workload uniform:0.5:500 [--json] [--check]
+//!               [--pipeline N]
+//! oat bench     [--tree SPEC] [--workload SPEC] [--depth N] [--quick]
+//!               [--json] [--out PATH]
 //! oat help
 //! ```
 //!
@@ -40,6 +43,7 @@ fn main() {
         Some("trace") => cmd_trace(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench-net") => cmd_bench_net(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("help") | None => {
             print!("{}", HELP);
             0
@@ -61,7 +65,9 @@ USAGE:
   oat trace     --tree SPEC [--policy SPEC] --script ITEMS
   oat serve     [--tree SPEC] [--policy SPEC]
   oat bench-net --tree SPEC --workload SPEC [--policy SPEC] [--seed N]
-                [--json] [--check]
+                [--json] [--check] [--pipeline N]
+  oat bench     [--tree SPEC] [--workload SPEC] [--policy SPEC] [--seed N]
+                [--depth N] [--quick] [--json] [--out PATH]
   oat help
 
 SPECS:
@@ -76,7 +82,15 @@ NET COMMANDS (oat-net TCP cluster on loopback):
              commands from stdin: c@N | w@N=V | metrics [N] | stats | quit
   bench-net  replays a seeded workload against the cluster over TCP;
              --json emits per-edge/per-kind stats as JSON, --check verifies
-             message-count parity against the deterministic simulator
+             message-count parity against the deterministic simulator,
+             --pipeline N replays again with the concurrent multi-client
+             driver (one client per active node, N requests in flight each)
+  bench      the measured baseline: runs one workload through the simulator,
+             the sequential TCP replay, and the pipelined TCP replay;
+             reports req/s, msg/s, p50/p99 latency and queue peaks, checks
+             sim<->TCP parity, and writes BENCH_<date>.json (oat-bench-v1
+             schema; --out overrides the path, --json also prints it,
+             --quick shrinks the workload for CI smoke runs)
 
 EXAMPLES:
   oat run --tree kary:64:2 --policy rww --workload uniform:0.5:1000 --seed 7
@@ -84,6 +98,7 @@ EXAMPLES:
   oat trace --tree path:4 --script \"c@0,w@3=10,w@3=20,c@0\"
   oat serve --tree kary:15:2 --policy rww
   oat bench-net --tree star:16 --workload uniform:0.5:500 --check
+  oat bench --tree kary:31:2 --workload uniform:0.5:600 --depth 8 --json
 ";
 
 /// Minimal `--flag value` extraction.
@@ -507,7 +522,11 @@ fn cmd_bench_net(args: &[String]) -> i32 {
         )?;
         let json = args.iter().any(|a| a == "--json");
         let check = args.iter().any(|a| a == "--check");
-        with_policy!(&policy, spec => bench_net(&tree, &spec, &seq, json, check))
+        let pipeline: usize = match flag(args, "--pipeline") {
+            Some(s) => s.parse().map_err(|_| "bad --pipeline")?,
+            None => 0,
+        };
+        with_policy!(&policy, spec => bench_net(&tree, &spec, &seq, json, check, pipeline))
     })();
     match result {
         Ok(()) => 0,
@@ -524,6 +543,7 @@ fn bench_net<S: PolicySpec>(
     seq: &[Request<i64>],
     json: bool,
     check: bool,
+    pipeline: usize,
 ) -> Result<(), String>
 where
     S::Node: 'static,
@@ -569,7 +589,98 @@ where
         }
     }
     cluster.shutdown();
+    if pipeline > 0 {
+        // The concurrent multi-client driver: same workload on a fresh
+        // cluster, one client per active node, `pipeline` requests in
+        // flight each — the throughput mode the sequential numbers above
+        // are the baseline for.
+        let cluster =
+            Cluster::spawn(tree, SumI64, spec, false).map_err(|e| format!("cluster spawn: {e}"))?;
+        let pipe = cluster
+            .replay_pipelined(seq, pipeline)
+            .map_err(|e| format!("pipelined replay: {e}"))?;
+        cluster.quiesce();
+        let msgs = cluster.total_messages();
+        let secs = pipe.elapsed.as_secs_f64();
+        println!(
+            "  pipelined (depth {pipeline}): {} requests in {:.3}s  {:>9.0} req/s  \
+             {} msgs ({:.3} msgs/req)  [{:.2}x vs sequential]",
+            seq.len(),
+            secs,
+            if secs > 0.0 {
+                seq.len() as f64 / secs
+            } else {
+                0.0
+            },
+            msgs,
+            msgs as f64 / seq.len().max(1) as f64,
+            if secs > 0.0 {
+                elapsed.as_secs_f64() / secs
+            } else {
+                0.0
+            },
+        );
+        cluster.shutdown();
+    }
     Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> i32 {
+    let result = (|| -> Result<(), String> {
+        let quick = args.iter().any(|a| a == "--quick");
+        // Defaults are the recorded-baseline configuration; --quick is a
+        // miniature with the same phases and schema for CI smoke runs.
+        let (tree_default, workload_default) = if quick {
+            ("kary:10:2", "uniform:0.5:120")
+        } else {
+            ("kary:31:2", "uniform:0.5:600")
+        };
+        let tree_spec = flag(args, "--tree").unwrap_or(tree_default);
+        let workload_spec = flag(args, "--workload").unwrap_or(workload_default);
+        let policy_spec = flag(args, "--policy").unwrap_or("rww");
+        let tree = parse_tree(tree_spec)?;
+        let policy = parse_policy(policy_spec)?;
+        let seed: u64 = flag(args, "--seed")
+            .unwrap_or("42")
+            .parse()
+            .map_err(|_| "bad --seed")?;
+        let depth: usize = flag(args, "--depth")
+            .unwrap_or("8")
+            .parse()
+            .map_err(|_| "bad --depth")?;
+        let seq = parse_workload(workload_spec, &tree, seed)?;
+        let config = oat::bench::BenchConfig {
+            tree_spec: tree_spec.to_string(),
+            policy_spec: policy_spec.to_string(),
+            workload_spec: workload_spec.to_string(),
+            seed,
+            depth,
+            quick,
+        };
+        let report =
+            with_policy!(&policy, spec => oat::bench::run_bench(config, &tree, &spec, &seq))?;
+        print!("{}", report.render_text());
+        let json = report.to_json();
+        if args.iter().any(|a| a == "--json") {
+            println!("{json}");
+        }
+        let path = flag(args, "--out")
+            .map(str::to_string)
+            .unwrap_or_else(|| report.default_filename());
+        std::fs::write(&path, format!("{json}\n")).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+        if !report.parity_ok {
+            return Err("parity FAILED: TCP sequential run diverged from the simulator".into());
+        }
+        Ok(())
+    })();
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
 }
 
 #[cfg(test)]

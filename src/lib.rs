@@ -40,10 +40,13 @@
 //! * [`modelcheck`] — exhaustive interleaving exploration,
 //! * [`workloads`] — topology and request generators,
 //! * [`concurrent`] — one-thread-per-node runtime,
-//! * [`net`] — TCP cluster runtime (`oat serve` / `oat bench-net`).
+//! * [`net`] — TCP cluster runtime (`oat serve` / `oat bench-net`),
+//! * [`bench`] — the `oat bench` throughput/latency baseline harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod bench;
 
 pub use oat_concurrent as concurrent;
 pub use oat_consistency as consistency;

@@ -20,9 +20,9 @@ use oat::core::agg::SumI64;
 use oat::core::policy::baseline::NeverLeaseSpec;
 use oat::core::policy::rww::RwwSpec;
 use oat::core::policy::PolicySpec;
-use oat::core::request::Request;
-use oat::core::tree::Tree;
-use oat::net::Cluster;
+use oat::core::request::{ReqOp, Request};
+use oat::core::tree::{NodeId, Tree};
+use oat::net::{Cluster, ClusterClient, Response};
 use oat::sim::{run_sequential, Schedule};
 use oat::workloads::{hotspot, uniform};
 
@@ -131,4 +131,124 @@ fn workloads_match_under_never_lease() {
             &seq,
         );
     }
+}
+
+#[test]
+fn concurrent_pipelined_combines_match_the_sequential_oracle() {
+    // The batching/pipelining parity test: after a quiesced write phase,
+    // concurrent combines are write-determined — every one must return
+    // the global oracle value — and when they all target the same node,
+    // the message counts are deterministic too: the first combine pays
+    // for the lease-building probe/response traffic (or nothing, if the
+    // writes left leases in place) and every later one is answered
+    // locally or coalesced onto the pending one. So the TCP cluster,
+    // driven by several clients each keeping a window of combines in
+    // flight, must reproduce the sequential simulator's per-edge counts
+    // for "the writes, then the combines at node 0" *exactly* — batching
+    // and coalescing may merge syscalls, never messages.
+    for (name, tree) in topologies() {
+        let writes: Vec<Request<i64>> = uniform(&tree, 40, 1.0, 0x5EED)
+            .into_iter()
+            .filter(|q| !q.op.is_combine())
+            .collect();
+        // A write *sets* its node's local value, so the global aggregate
+        // is the sum of each node's most recent write.
+        let mut last = vec![0i64; tree.len()];
+        for q in &writes {
+            match &q.op {
+                ReqOp::Write(v) => last[q.node.idx()] = *v,
+                ReqOp::Combine => unreachable!(),
+            }
+        }
+        let oracle: i64 = last.iter().sum();
+
+        const CLIENTS: usize = 4;
+        const PER_CLIENT: usize = 12;
+        const DEPTH: usize = 8;
+
+        // Sequential reference: the writes, then all combines at node 0.
+        let mut seq = writes.clone();
+        seq.extend((0..CLIENTS * PER_CLIENT).map(|_| Request::combine(NodeId(0))));
+        let sim = run_sequential(&tree, SumI64, &RwwSpec, Schedule::Fifo, &seq, false);
+
+        let cluster = Cluster::spawn(&tree, SumI64, &RwwSpec, false).unwrap();
+        let net_writes = cluster.replay_sequential(&writes).unwrap();
+        assert!(net_writes.combines.is_empty());
+
+        // Concurrent phase: CLIENTS connections to node 0, each keeping
+        // up to DEPTH combines in flight.
+        std::thread::scope(|scope| {
+            for c in 0..CLIENTS {
+                let cluster = &cluster;
+                scope.spawn(move || {
+                    let mut client: ClusterClient<i64> = cluster.client(NodeId(0)).unwrap();
+                    let mut submitted = 0usize;
+                    let mut received = 0usize;
+                    while received < PER_CLIENT {
+                        while submitted < PER_CLIENT && submitted - received < DEPTH {
+                            client.submit_combine().unwrap();
+                            submitted += 1;
+                        }
+                        let (_, resp) = client.next_response().unwrap();
+                        match resp {
+                            Response::Combine(v) => {
+                                assert_eq!(v, oracle, "client {c}: combine diverged from oracle")
+                            }
+                            Response::Write => panic!("client {c}: unexpected write ack"),
+                        }
+                        received += 1;
+                    }
+                });
+            }
+        });
+        cluster.quiesce();
+
+        let live = cluster.stats().unwrap();
+        let reference = sim.engine.stats();
+        assert_eq!(
+            live.per_edge_counts(),
+            reference.per_edge_counts(),
+            "{name}: pipelined combines changed the per-edge message counts"
+        );
+        let report = cluster.shutdown();
+        assert_eq!(report.stats.total(), reference.total(), "{name}: totals");
+        assert_eq!(
+            report.delivered,
+            reference.total(),
+            "{name}: every sent message must be delivered exactly once"
+        );
+    }
+}
+
+#[test]
+fn replay_pipelined_is_internally_consistent() {
+    // A mixed workload under the multi-client pipelined driver: combine
+    // values are schedule-dependent here, so no oracle comparison — but
+    // every request must be answered, every sent message delivered, and
+    // per-node submission order preserved (each node's subsequence runs
+    // FIFO on one connection).
+    let tree = Tree::kary(10, 3);
+    let seq = uniform(&tree, 120, 0.5, 0x9A9A);
+    let expected_combines = seq.iter().filter(|q| q.op.is_combine()).count();
+
+    let cluster = Cluster::spawn(&tree, SumI64, &RwwSpec, false).unwrap();
+    let pipe = cluster.replay_pipelined(&seq, 8).unwrap();
+    cluster.quiesce();
+
+    assert_eq!(pipe.combines.len(), expected_combines);
+    // Indices are unique, sorted, and refer to combine requests.
+    for w in pipe.combines.windows(2) {
+        assert!(w[0].0 < w[1].0, "combine indices must be strictly sorted");
+    }
+    for (i, _) in &pipe.combines {
+        assert!(seq[*i].op.is_combine());
+    }
+    assert_eq!(pipe.latencies.len(), seq.len());
+
+    let report = cluster.shutdown();
+    assert_eq!(
+        report.delivered,
+        report.stats.total(),
+        "sent and delivered message counts must agree at quiescence"
+    );
 }
