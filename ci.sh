@@ -42,4 +42,12 @@ do
 done
 rm -f "$BENCH_OUT"
 
+echo "== chaos smoke: oat chaos =="
+# Seeded fault injection against the sequential oracle: drops/dups/delays
+# on every edge, two scheduled connection kills, one node crash-restart.
+# `oat chaos` exits nonzero itself if any combine diverges, the cluster
+# wedges, or a scheduled fault fails to fire.
+./target/release/oat chaos --tree kary:10:3 --workload uniform:0.5:80 \
+  --faults "seed:7,drop:0.05,dup:0.05,delay:0.05,kill:0-1@3,kill:2-0@4,crash:2@5"
+
 echo "== ci: all green =="

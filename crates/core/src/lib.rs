@@ -32,6 +32,7 @@
 
 pub mod agg;
 pub mod agg_ext;
+pub mod fault;
 pub mod ghost;
 pub mod mechanism;
 pub mod message;
@@ -41,6 +42,7 @@ pub mod tree;
 pub mod wire;
 
 pub use agg::AggOp;
+pub use fault::{FaultAction, FaultPlan, InjectedFaults};
 pub use mechanism::{CombineOutcome, MechNode};
 pub use message::{Message, MsgKind};
 pub use policy::{NodePolicy, PolicySpec};

@@ -658,6 +658,102 @@ impl<P: NodePolicy, A: AggOp> MechNode<P, A> {
         self.prune_sntupdates();
     }
 
+    // ---- crash-recovery transitions (not in Figure 1) ----
+    //
+    // Figure 1 assumes immortal nodes on reliable FIFO channels. When a
+    // node crashes and restarts with a fresh automaton (only `val` is
+    // durable), its neighbours hold lease state the restarted peer no
+    // longer remembers, and — transitively — every cached aggregate that
+    // includes the crashed node's subtree is no longer refreshed. The two
+    // transitions below restore the mechanism's invariants: a RESET from
+    // the restarted peer clears the shared edge in both directions, and a
+    // REVOKE cascade tears down exactly the grants whose cached `subval`
+    // contains the crashed subtree (grants pointing *away* from the
+    // crash). Leases are a performance device, never a correctness one,
+    // so tearing them down is always safe; re-probing rebuilds them.
+
+    /// Peer `from` crashed and restarted with a fresh automaton.
+    ///
+    /// Clears both directions of the shared edge (the peer forgot every
+    /// lease, probe, and update id on it), purges bookkeeping tied to the
+    /// peer's old update-id space, and un-stalls pending combine chains:
+    /// any fan-out still waiting on (or having already consumed) the
+    /// peer's answer gets `from` re-added to its `snt` set and a fresh
+    /// probe, because the pre-crash answer no longer reflects a held
+    /// lease and the cached `aval` was cleared.
+    ///
+    /// Returns the neighbours whose grants became unsound (their cached
+    /// aggregate includes the peer's subtree): the driver must deliver a
+    /// revoke — [`MechNode::handle_revoke`] — to each.
+    pub fn handle_peer_reset(&mut self, from: NodeId, out: &mut Outbox<A::Value>) -> Vec<NodeId> {
+        let wi = self.nbr_index(from);
+        // Both directions of the shared edge are void: the peer forgot
+        // the lease it granted us and the one it took from us.
+        self.taken[wi] = false;
+        self.granted[wi] = false;
+        self.aval[wi] = self.op.identity();
+        self.uaw[wi].clear();
+        // Tuples recording forwards of the peer's updates reference its
+        // old id space; no future release can match them.
+        self.sntupdates.retain(|t| t.from != wi);
+        self.watermark[wi] = self.upcntr + 1;
+        self.prune_sntupdates();
+        // The peer forgot it probed us: drop its pending fan-out. Its
+        // client will retry and re-probe through a fresh `T1`/`T3`.
+        self.pndg.retain(|&p| p != from);
+        self.snt.retain(|(k, _)| *k != from);
+        // Grants to other neighbours cache a subtree aggregate that
+        // includes the peer's side and will no longer be refreshed.
+        let revoke = self.revoke_grants_except(wi);
+        // Re-fetch the peer's subtree value for every still-pending
+        // fan-out: whether its response was still outstanding (the crash
+        // dropped it) or already consumed (the crash voided it), the
+        // completion reads `aval[wi]`, which we just reset.
+        let mut need_probe = false;
+        for (_, set) in &mut self.snt {
+            if !set.contains(&from) {
+                set.push(from);
+            }
+            need_probe = true;
+        }
+        if need_probe {
+            out.push((from, Message::Probe));
+        }
+        revoke
+    }
+
+    /// Neighbour `from` can no longer honour the lease we hold on it
+    /// (its own cached inputs were voided by a crash behind it).
+    ///
+    /// Drops `taken[from]` and answers with a normal `release` carrying
+    /// `uaw[from]`, so the granter's ledger bookkeeping runs through the
+    /// ordinary `T6` path; then cascades to our own now-unsound grants.
+    /// Returns the neighbours the driver must forward the revoke to.
+    pub fn handle_revoke(&mut self, from: NodeId, out: &mut Outbox<A::Value>) -> Vec<NodeId> {
+        let wi = self.nbr_index(from);
+        if self.taken[wi] {
+            self.taken[wi] = false;
+            let ids = std::mem::take(&mut self.uaw[wi]);
+            out.push((from, Message::Release { ids }));
+        }
+        self.revoke_grants_except(wi)
+    }
+
+    /// Involuntarily drops every grant except toward `wi` (whose cached
+    /// aggregate excludes the invalidated subtree and stays sound).
+    /// Returns the former grantees, who must each be sent a revoke.
+    fn revoke_grants_except(&mut self, wi: usize) -> Vec<NodeId> {
+        let mut targets = Vec::new();
+        for j in 0..self.nbrs.len() {
+            if j != wi && self.granted[j] {
+                self.granted[j] = false;
+                self.policy.on_release_rcvd(j);
+                targets.push(self.nbrs[j]);
+            }
+        }
+        targets
+    }
+
     // ---- snt association-list plumbing ----
 
     fn set_snt(&mut self, key: NodeId, val: Vec<NodeId>) {
@@ -821,6 +917,150 @@ mod tests {
             CombineOutcome::Done(v) => assert_eq!(v, 0),
             other => panic!("expected Done, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn peer_reset_clears_edge_and_reprobes_pending_fanout() {
+        let t = Tree::path(3); // 0 - 1 - 2
+        let mut m = node(&t, 1);
+        let mut out = Vec::new();
+
+        // Combine at 1 probes both neighbours.
+        assert_eq!(m.handle_combine(&mut out), CombineOutcome::Pending);
+        assert_eq!(out.len(), 2);
+        out.clear();
+
+        // 2's response arrives and grants; 0 is still outstanding.
+        m.handle_message(
+            n(2),
+            Message::Response {
+                x: 7,
+                flag: true,
+                wlog: None,
+            },
+            &mut out,
+        );
+        assert!(m.taken(1));
+        assert_eq!(m.aval(1), &7);
+
+        // 2 crashes and restarts: its edge state is void, and the
+        // pending fan-out must re-fetch its subtree value.
+        let revoke = m.handle_peer_reset(n(2), &mut out);
+        assert!(revoke.is_empty(), "no grants yet, nothing to revoke");
+        assert!(!m.taken(1));
+        assert_eq!(m.aval(1), &0, "cached aggregate reset to identity");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, n(2));
+        assert_eq!(out[0].1.kind(), crate::message::MsgKind::Probe);
+        out.clear();
+
+        // Fresh responses from both sides now complete the combine with
+        // post-crash values only.
+        m.handle_message(
+            n(2),
+            Message::Response {
+                x: 3,
+                flag: true,
+                wlog: None,
+            },
+            &mut out,
+        );
+        let done = m.handle_message(
+            n(0),
+            Message::Response {
+                x: 10,
+                flag: true,
+                wlog: None,
+            },
+            &mut out,
+        );
+        assert_eq!(done, Some(13));
+        assert!(m.pndg().is_empty());
+        assert!(m.snt_all_empty());
+    }
+
+    #[test]
+    fn peer_reset_revokes_grants_and_revoke_cascades() {
+        let t = Tree::path(3); // 0 - 1 - 2
+        let mut m = node(&t, 1);
+        let mut out = Vec::new();
+
+        // Probe from 0 while 2 is leased: 1 fans out to 2, gets the
+        // grant, then grants 0 — now granted[0] caches subval(0) which
+        // includes 2's subtree.
+        m.handle_message(n(0), Message::Probe, &mut out);
+        out.clear();
+        m.handle_message(
+            n(2),
+            Message::Response {
+                x: 5,
+                flag: true,
+                wlog: None,
+            },
+            &mut out,
+        );
+        assert!(m.granted(0), "1 granted node 0's probe");
+        out.clear();
+
+        // 2 crashes: the grant to 0 is unsound and must be revoked.
+        let revoke = m.handle_peer_reset(n(2), &mut out);
+        assert_eq!(revoke, vec![n(0)]);
+        assert!(!m.granted(0));
+        assert!(!m.taken(1));
+
+        // The taker side of a revoke releases through the normal path
+        // and cascades to its own grants (none here).
+        let mut taker = node(&t, 1);
+        let mut out2 = Vec::new();
+        taker.handle_combine(&mut out2);
+        out2.clear();
+        taker.handle_message(
+            n(0),
+            Message::Response {
+                x: 1,
+                flag: true,
+                wlog: None,
+            },
+            &mut out2,
+        );
+        taker.handle_message(
+            n(2),
+            Message::Response {
+                x: 2,
+                flag: true,
+                wlog: None,
+            },
+            &mut out2,
+        );
+        assert!(taker.taken(0));
+        out2.clear();
+        let next = taker.handle_revoke(n(0), &mut out2);
+        assert!(next.is_empty());
+        assert!(!taker.taken(0));
+        assert_eq!(out2.len(), 1);
+        assert_eq!(out2[0].0, n(0));
+        assert_eq!(out2[0].1.kind(), crate::message::MsgKind::Release);
+    }
+
+    #[test]
+    fn peer_reset_is_idempotent_and_drops_peer_fanout() {
+        let t = Tree::pair();
+        let mut v = node(&t, 1);
+        let mut out = Vec::new();
+        // 0 probes 1 (leaf): 1 grants and responds.
+        v.handle_message(n(0), Message::Probe, &mut out);
+        assert!(v.granted(0));
+        out.clear();
+        let r1 = v.handle_peer_reset(n(0), &mut out);
+        assert!(
+            r1.is_empty(),
+            "grant toward the resetting peer is dropped, not revoked"
+        );
+        assert!(!v.granted(0));
+        assert!(out.is_empty(), "no pending fan-out, no re-probe");
+        let r2 = v.handle_peer_reset(n(0), &mut out);
+        assert!(r2.is_empty() && out.is_empty(), "reset is idempotent");
+        assert!(v.pndg().is_empty() && v.snt_all_empty());
     }
 
     #[test]

@@ -29,6 +29,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use oat_core::agg::AggOp;
+use oat_core::fault::{FaultPlan, InjectedFaults};
 use oat_core::ghost::GhostReq;
 use oat_core::message::MsgKind;
 use oat_core::policy::PolicySpec;
@@ -42,7 +43,12 @@ use crate::frame::{
     TAG_RESP_COMBINE, TAG_RESP_METRICS, TAG_RESP_WRITE,
 };
 use crate::metrics::NodeMetrics;
-use crate::node::{node_main, Envelope, NodeCtx, NodeReport, QueueGauge};
+use crate::node::{node_supervisor, Envelope, FaultCounters, NodeCtx, NodeReport, QueueGauge};
+
+/// How long [`Cluster::shutdown`] waits for a node thread to exit before
+/// declaring it dead and abandoning the join (the thread is leaked — a
+/// diagnosis aid, not a resource policy; the process is ending anyway).
+const JOIN_DEADLINE: Duration = Duration::from_secs(10);
 
 /// A running TCP cluster: one thread + listener per tree node.
 pub struct Cluster<A: AggOp> {
@@ -55,6 +61,7 @@ pub struct Cluster<A: AggOp> {
     shutting_down: Arc<AtomicBool>,
     handles: Vec<JoinHandle<NodeReport<A::Value>>>,
     policy_name: String,
+    ledger: Arc<InjectedFaults>,
 }
 
 /// Final state of a cluster after [`Cluster::shutdown`].
@@ -68,6 +75,15 @@ pub struct ClusterReport<V> {
     pub logs: Option<Vec<Vec<GhostReq<V>>>>,
     /// Network messages delivered across all nodes.
     pub delivered: u64,
+    /// Nodes whose thread did not exit within the join deadline (or
+    /// whose supervisor itself panicked); their counters are missing
+    /// from the other fields.
+    pub dead_nodes: Vec<NodeId>,
+    /// Combine waiters abandoned at shutdown across all nodes (clients
+    /// that gave up under faults).
+    pub abandoned: u64,
+    /// Fault-recovery counters summed over all nodes.
+    pub faults: FaultCounters,
 }
 
 /// Result of [`Cluster::replay_sequential`] — the TCP analogue of
@@ -111,12 +127,31 @@ impl<A: AggOp> Cluster<A>
 where
     A::Value: WireValue,
 {
-    /// Boots an `n`-node cluster for `tree` on loopback.
+    /// Boots an `n`-node cluster for `tree` on loopback over a reliable
+    /// substrate (no injected faults).
     ///
     /// Binds every listener first (so dial order cannot race), spawns the
     /// node threads, and returns once every tree edge has a live TCP
     /// connection.
     pub fn spawn<S: PolicySpec>(tree: &Tree, op: A, spec: &S, ghost: bool) -> io::Result<Self>
+    where
+        S::Node: 'static,
+    {
+        Self::spawn_with_faults(tree, op, spec, ghost, FaultPlan::default())
+    }
+
+    /// Boots a cluster whose transport is subjected to `plan`: seeded
+    /// drop/duplicate/delay decisions per directed edge, scheduled
+    /// connection kills, and scheduled node crashes. An empty plan is
+    /// exactly [`Cluster::spawn`] — the fault machinery stays disarmed
+    /// and costs nothing per frame.
+    pub fn spawn_with_faults<S: PolicySpec>(
+        tree: &Tree,
+        op: A,
+        spec: &S,
+        ghost: bool,
+        plan: FaultPlan,
+    ) -> io::Result<Self>
     where
         S::Node: 'static,
     {
@@ -132,6 +167,8 @@ where
         let in_flight = Arc::new(AtomicI64::new(0));
         let total_sent = Arc::new(AtomicU64::new(0));
         let shutting_down = Arc::new(AtomicBool::new(false));
+        let plan = Arc::new(plan);
+        let ledger = Arc::new(InjectedFaults::default());
         let (ready_tx, ready_rx) = channel();
 
         let mut txs = Vec::with_capacity(n);
@@ -155,11 +192,15 @@ where
                 shutting_down: Arc::clone(&shutting_down),
                 gauge,
                 ready_tx: ready_tx.clone(),
+                plan: Arc::clone(&plan),
+                ledger: Arc::clone(&ledger),
             };
             let op = op.clone();
-            let policy = spec.build(tree.degree(u));
+            // The supervisor gets the spec, not a built policy: every
+            // crash-restart rebuilds a fresh policy state.
+            let spec = spec.clone();
             handles.push(std::thread::spawn(move || {
-                node_main::<S::Node, A>(ctx, op, policy)
+                node_supervisor::<S, A>(ctx, op, spec)
             }));
         }
         drop(ready_tx);
@@ -181,6 +222,7 @@ where
             shutting_down,
             handles,
             policy_name: spec.name(),
+            ledger,
         })
     }
 
@@ -286,25 +328,50 @@ where
     where
         A::Value: Send,
     {
+        self.replay_pipelined_multi(seq, depth, 1)
+    }
+
+    /// [`Cluster::replay_pipelined`] with `clients` concurrent
+    /// connections per node: each node's subsequence is dealt
+    /// round-robin across its clients, every client keeping up to
+    /// `depth` requests in flight. With `clients > 1` even per-node
+    /// submission order is abandoned (each client's share is FIFO on
+    /// its own connection); this is the contention mode for measuring
+    /// how a node serves many independent frontends.
+    pub fn replay_pipelined_multi(
+        &self,
+        seq: &[Request<A::Value>],
+        depth: usize,
+        clients: usize,
+    ) -> io::Result<PipelinedChunk<A::Value>>
+    where
+        A::Value: Send,
+    {
         let depth = depth.max(1);
-        let mut by_node: Vec<Vec<usize>> = vec![Vec::new(); self.tree.len()];
+        let clients = clients.max(1);
+        let mut by_client: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); clients]; self.tree.len()];
+        let mut counts = vec![0usize; self.tree.len()];
         for (i, q) in seq.iter().enumerate() {
-            by_node[q.node.idx()].push(i);
+            let u = q.node.idx();
+            by_client[u][counts[u] % clients].push(i);
+            counts[u] += 1;
         }
         let start = Instant::now();
         let mut results: Vec<io::Result<PerClientResults<A::Value>>> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for (node_idx, indices) in by_node.iter().enumerate() {
-                if indices.is_empty() {
-                    continue;
+            for (node_idx, shares) in by_client.iter().enumerate() {
+                for indices in shares {
+                    if indices.is_empty() {
+                        continue;
+                    }
+                    let node = NodeId(node_idx as u32);
+                    let addr = self.addrs[node_idx];
+                    handles.push(scope.spawn(move || {
+                        let mut client = ClusterClient::<A::Value>::connect(addr, node)?;
+                        client.run_window(seq, indices, depth)
+                    }));
                 }
-                let node = NodeId(node_idx as u32);
-                let addr = self.addrs[node_idx];
-                handles.push(scope.spawn(move || {
-                    let mut client = ClusterClient::<A::Value>::connect(addr, node)?;
-                    client.run_window(seq, indices, depth)
-                }));
             }
             for h in handles {
                 results.push(h.join().expect("pipelined client thread panicked"));
@@ -328,10 +395,11 @@ where
         })
     }
 
-    /// Graceful shutdown; returns the merged final state.
+    /// Graceful shutdown; returns the merged final state. Never hangs:
+    /// node threads that fail to exit within the join deadline are
+    /// reported in [`ClusterReport::dead_nodes`] instead of joined.
     pub fn shutdown(mut self) -> ClusterReport<A::Value> {
-        self.shutdown_inner()
-            .expect("cluster threads joined cleanly")
+        self.shutdown_inner().expect("shutdown on a live cluster")
     }
 }
 
@@ -381,11 +449,33 @@ impl<A: AggOp> Cluster<A> {
         }
     }
 
+    /// Bounded [`Cluster::quiesce`]: waits up to `deadline`, returning
+    /// whether the cluster actually drained. Use instead of `quiesce`
+    /// whenever a node might be wedged (shutdown does).
+    pub fn quiesce_for(&self, deadline: Duration) -> bool {
+        let until = Instant::now() + deadline;
+        while self.in_flight.load(Ordering::SeqCst) != 0 {
+            if Instant::now() >= until {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+        true
+    }
+
+    /// The cluster-wide ledger of injected fault events (all zero when
+    /// the cluster was spawned without a fault plan).
+    pub fn injected(&self) -> &InjectedFaults {
+        &self.ledger
+    }
+
     fn shutdown_inner(&mut self) -> Option<ClusterReport<A::Value>> {
         if self.handles.is_empty() {
             return None;
         }
-        self.quiesce();
+        // Bounded: a wedged node must not turn shutdown (or Drop) into
+        // a hang — it gets reported as dead below instead.
+        self.quiesce_for(JOIN_DEADLINE);
         self.shutting_down.store(true, Ordering::SeqCst);
         for (tx, gauge) in self.txs.iter().zip(&self.gauges) {
             gauge.on_enqueue();
@@ -400,14 +490,40 @@ impl<A: AggOp> Cluster<A> {
         let mut logs = Vec::new();
         let mut delivered = 0;
         let mut have_logs = true;
-        for handle in self.handles.drain(..) {
-            let report = handle.join().expect("node thread panicked");
-            stats.merge(&report.stats);
-            combines.extend(report.completions);
-            delivered += report.delivered;
-            match report.log {
-                Some(log) => logs.push(log),
-                None => have_logs = false,
+        let mut dead_nodes = Vec::new();
+        let mut abandoned = 0;
+        let mut faults = FaultCounters::default();
+        let deadline = Instant::now() + JOIN_DEADLINE;
+        for (u, handle) in self.tree.nodes().zip(self.handles.drain(..)) {
+            // JoinHandle has no timed join; poll `is_finished` against
+            // the deadline and leak the thread if it never exits — a
+            // dead node must not turn shutdown into a hang.
+            while !handle.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if !handle.is_finished() {
+                dead_nodes.push(u);
+                continue;
+            }
+            match handle.join() {
+                Ok(report) => {
+                    stats.merge(&report.stats);
+                    combines.extend(report.completions);
+                    delivered += report.delivered;
+                    abandoned += report.abandoned;
+                    faults.reconnects += report.faults.reconnects;
+                    faults.retransmits += report.faults.retransmits;
+                    faults.timeouts += report.faults.timeouts;
+                    faults.restarts += report.faults.restarts;
+                    match report.log {
+                        Some(log) => logs.push(log),
+                        None => have_logs = false,
+                    }
+                }
+                // The supervisor itself panicked (it already absorbs
+                // automaton panics, so this is a harness bug, not an
+                // injected fault) — report, don't propagate.
+                Err(_) => dead_nodes.push(u),
             }
         }
         Some(ClusterReport {
@@ -415,6 +531,9 @@ impl<A: AggOp> Cluster<A> {
             combines,
             logs: have_logs.then_some(logs),
             delivered,
+            dead_nodes,
+            abandoned,
+            faults,
         })
     }
 }
@@ -459,6 +578,18 @@ struct PerClientResults<V> {
 /// Submissions are buffered — a burst of submits coalesces into one
 /// wire write; [`ClusterClient::next_response`] flushes before reading,
 /// so a client can never deadlock against its own unflushed requests.
+///
+/// ## Timeouts and idempotent retry
+///
+/// With [`ClusterClient::set_timeout`] armed, a read that waits longer
+/// than the timeout re-sends every still-unanswered request frame —
+/// *same request ids* — and keeps reading. The ids make the retry
+/// idempotent end to end: the node parks at most one combine waiter per
+/// `(connection, id)`, writes of the same value re-apply harmlessly,
+/// and the client discards any response whose id it no longer has
+/// outstanding (the duplicate from a request that was merely slow, not
+/// lost). This is the client-side half of crash recovery: a node
+/// restart destroys parked waiters, and the retry re-drives them.
 pub struct ClusterClient<V> {
     node: NodeId,
     /// Read half (the underlying stream, shared with `writer`).
@@ -466,6 +597,14 @@ pub struct ClusterClient<V> {
     /// Buffered write half; flushed before every blocking read.
     writer: BufWriter<TcpStream>,
     next_id: u64,
+    /// Read timeout; `None` blocks forever (the default).
+    timeout: Option<Duration>,
+    /// Timed-out reads allowed per blocking call before giving up.
+    max_retries: u32,
+    /// Submitted, not yet answered: `id → (tag, payload)` for re-send.
+    pending: HashMap<u64, (u8, Vec<u8>)>,
+    /// Timed-out reads that triggered a retry, for reporting.
+    timeouts: u64,
     _value: std::marker::PhantomData<fn() -> V>,
 }
 
@@ -482,6 +621,10 @@ impl<V: WireValue> ClusterClient<V> {
             reader,
             writer,
             next_id: 0,
+            timeout: None,
+            max_retries: 0,
+            pending: HashMap::new(),
+            timeouts: 0,
             _value: std::marker::PhantomData,
         })
     }
@@ -489,6 +632,28 @@ impl<V: WireValue> ClusterClient<V> {
     /// The node this client talks to.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// Arms (or with `None` disarms) the per-read timeout: a blocking
+    /// read that exceeds it re-sends every unanswered request (same
+    /// ids) and retries, up to `max_retries` times per call before
+    /// surfacing `TimedOut`.
+    ///
+    /// The timeout should comfortably exceed one frame's transmission
+    /// time: a timeout that expires mid-frame desynchronizes the stream
+    /// (bytes already consumed are lost). Frames here are tens of bytes
+    /// on loopback with `TCP_NODELAY`, so anything in milliseconds is
+    /// six orders of magnitude clear of that window.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>, max_retries: u32) -> io::Result<()> {
+        self.reader.set_read_timeout(timeout)?;
+        self.timeout = timeout;
+        self.max_retries = max_retries;
+        Ok(())
+    }
+
+    /// Timed-out reads that triggered a retry over this client's life.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
     }
 
     fn fresh_id(&mut self) -> u64 {
@@ -504,6 +669,7 @@ impl<V: WireValue> ClusterClient<V> {
         let mut payload = Vec::with_capacity(8);
         put_u64(&mut payload, id);
         write_frame(&mut self.writer, TAG_REQ_COMBINE, &payload)?;
+        self.pending.insert(id, (TAG_REQ_COMBINE, payload));
         Ok(id)
     }
 
@@ -514,6 +680,7 @@ impl<V: WireValue> ClusterClient<V> {
         put_u64(&mut payload, id);
         arg.encode(&mut payload);
         write_frame(&mut self.writer, TAG_REQ_WRITE, &payload)?;
+        self.pending.insert(id, (TAG_REQ_WRITE, payload));
         Ok(id)
     }
 
@@ -522,26 +689,68 @@ impl<V: WireValue> ClusterClient<V> {
         self.writer.flush()
     }
 
+    /// True when `err` is a read-timeout (platform-dependent kind).
+    fn is_timeout(err: &io::Error) -> bool {
+        matches!(
+            err.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        )
+    }
+
+    /// Re-sends every unanswered request, in submission (= id) order.
+    fn resend_pending(&mut self) -> io::Result<()> {
+        let mut ids: Vec<u64> = self.pending.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let (tag, payload) = &self.pending[&id];
+            write_frame(&mut self.writer, *tag, payload)?;
+        }
+        self.writer.flush()
+    }
+
     /// Blocks for the next combine/write response on this connection,
-    /// whatever request it answers. Flushes buffered submissions first.
+    /// whatever request it answers. Flushes buffered submissions first;
+    /// applies the timeout/retry policy when armed.
     pub fn next_response(&mut self) -> io::Result<(u64, Response<V>)> {
         self.writer.flush()?;
-        let (tag, payload) = read_frame(&mut self.reader)?;
-        let mut r = WireReader::new(&payload);
-        let id = r
-            .u64("response req id")
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        match tag {
-            TAG_RESP_COMBINE => {
-                let v = V::decode(&mut r)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-                Ok((id, Response::Combine(v)))
+        let mut retries = 0;
+        loop {
+            let (tag, payload) = match read_frame(&mut self.reader) {
+                Ok(frame) => frame,
+                Err(e) if Self::is_timeout(&e) && retries < self.max_retries => {
+                    retries += 1;
+                    self.timeouts += 1;
+                    self.resend_pending()?;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let mut r = WireReader::new(&payload);
+            let id = r
+                .u64("response req id")
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            match tag {
+                TAG_RESP_COMBINE => {
+                    let v = V::decode(&mut r)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                    if self.pending.remove(&id).is_some() {
+                        return Ok((id, Response::Combine(v)));
+                    }
+                    // Duplicate answer to a request we already retried
+                    // and resolved: discard, keep reading.
+                }
+                TAG_RESP_WRITE => {
+                    if self.pending.remove(&id).is_some() {
+                        return Ok((id, Response::Write));
+                    }
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected response tag {other}"),
+                    ))
+                }
             }
-            TAG_RESP_WRITE => Ok((id, Response::Write)),
-            other => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unexpected response tag {other}"),
-            )),
         }
     }
 
@@ -574,12 +783,12 @@ impl<V: WireValue> ClusterClient<V> {
                 break;
             }
             let (id, resp) = self.next_response()?;
-            let (i, started) = in_flight.remove(&id).ok_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("response for unknown request id {id}"),
-                )
-            })?;
+            // next_response only surfaces ids it still had pending, and
+            // pending mirrors this window's in_flight — but stay
+            // defensive and skip rather than die on a mismatch.
+            let Some((i, started)) = in_flight.remove(&id) else {
+                continue;
+            };
             latencies.push((i, started.elapsed()));
             if let Response::Combine(v) = resp {
                 combines.push((i, v));
@@ -591,56 +800,94 @@ impl<V: WireValue> ClusterClient<V> {
         })
     }
 
-    fn expect_response(&mut self, want_tag: u8, want_id: u64) -> io::Result<Vec<u8>> {
-        self.writer.flush()?;
-        let (tag, payload) = read_frame(&mut self.reader)?;
-        if tag != want_tag {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("expected response tag {want_tag}, got {tag}"),
-            ));
-        }
-        let mut r = WireReader::new(&payload);
-        let got_id = r
-            .u64("response req id")
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        if got_id != want_id {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("response for request {got_id}, expected {want_id}"),
-            ));
-        }
-        Ok(payload[8..].to_vec())
-    }
-
-    /// Issues a combine at this node and blocks for the aggregate value.
+    /// Issues a combine at this node and blocks for the aggregate value
+    /// (retrying under the armed timeout policy).
     pub fn combine(&mut self) -> io::Result<V> {
         let id = self.submit_combine()?;
-        let body = self.expect_response(TAG_RESP_COMBINE, id)?;
-        let mut r = WireReader::new(&body);
-        let v = V::decode(&mut r)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        Ok(v)
+        loop {
+            let (got, resp) = self.next_response()?;
+            if got != id {
+                // An older pipelined submission resolving late; the
+                // caller of this sync API gave up on pairing those.
+                continue;
+            }
+            return match resp {
+                Response::Combine(v) => Ok(v),
+                Response::Write => Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "write ack for a combine request id",
+                )),
+            };
+        }
     }
 
     /// Issues a write at this node and blocks until it has been applied
     /// (its transitions have run; resulting updates may still be in
     /// flight — use [`Cluster::quiesce`] for sequential semantics).
+    /// Retries under the armed timeout policy; the node re-applies the
+    /// same value, so retried writes are idempotent.
     pub fn write(&mut self, arg: V) -> io::Result<()> {
         let id = self.submit_write(arg)?;
-        self.expect_response(TAG_RESP_WRITE, id)?;
-        Ok(())
+        loop {
+            let (got, resp) = self.next_response()?;
+            if got != id {
+                continue;
+            }
+            return match resp {
+                Response::Write => Ok(()),
+                Response::Combine(_) => Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "combine value for a write request id",
+                )),
+            };
+        }
     }
 
     /// Fetches this node's metrics snapshot.
+    ///
+    /// Call with no combine/write outstanding on this connection: a
+    /// late response to an earlier retried request is discarded here.
     pub fn metrics(&mut self) -> io::Result<NodeMetrics> {
         let id = self.fresh_id();
         let mut payload = Vec::with_capacity(8);
         put_u64(&mut payload, id);
         write_frame(&mut self.writer, TAG_REQ_METRICS, &payload)?;
-        let body = self.expect_response(TAG_RESP_METRICS, id)?;
-        NodeMetrics::decode(&body)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        self.writer.flush()?;
+        let mut retries = 0;
+        loop {
+            let (tag, body) = match read_frame(&mut self.reader) {
+                Ok(frame) => frame,
+                Err(e) if Self::is_timeout(&e) && retries < self.max_retries => {
+                    retries += 1;
+                    self.timeouts += 1;
+                    write_frame(&mut self.writer, TAG_REQ_METRICS, &payload)?;
+                    self.resend_pending()?;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let mut r = WireReader::new(&body);
+            let got = r
+                .u64("response req id")
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            match tag {
+                TAG_RESP_METRICS if got == id => {
+                    return NodeMetrics::decode(&body[8..])
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+                }
+                // Stale duplicates of earlier retried requests.
+                TAG_RESP_METRICS => {}
+                TAG_RESP_COMBINE | TAG_RESP_WRITE => {
+                    self.pending.remove(&got);
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected response tag {other}"),
+                    ))
+                }
+            }
+        }
     }
 
     /// Fetches this node's metrics as JSON.

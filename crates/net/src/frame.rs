@@ -9,15 +9,38 @@
 //!
 //! | tag | frame              | payload                              |
 //! |-----|--------------------|--------------------------------------|
-//! | 0   | hello (edge peer)  | `u32` dialing node id                |
+//! | 0   | hello (edge peer)  | `u32` node id, `u64` rx watermark    |
 //! | 1   | hello (client)     | empty                                |
-//! | 2   | net message        | `Message<V>` wire encoding           |
+//! | 2   | net message        | *(legacy; edges now use tag 9)*      |
 //! | 3   | combine request    | `u64` request id                     |
 //! | 4   | write request      | `u64` request id, `V`                |
 //! | 5   | combine response   | `u64` request id, `V`                |
 //! | 6   | write ack          | `u64` request id                     |
 //! | 7   | metrics request    | `u64` request id                     |
 //! | 8   | metrics response   | `u64` request id, [`NodeMetrics`]    |
+//! | 9   | sequenced edge     | `u64` seq, `u8` inner tag, body      |
+//! | 10  | cumulative ack     | `u64` highest in-order seq received  |
+//!
+//! ## The sequenced edge link (tags 0, 9, 10)
+//!
+//! Every payload-bearing frame between neighbours rides inside a tag-9
+//! frame stamped with a per-directed-edge sequence number (1, 2, 3, …).
+//! The receiver delivers exactly the next expected seq and discards
+//! everything else (duplicates *and* out-of-window futures — recovery is
+//! go-back-N); it acknowledges cumulatively with tag 10 at its batch
+//! boundaries. The sender buffers unacknowledged frames and retransmits
+//! them on an RTO tick or after a reconnect. The edge hello carries the
+//! receiver's watermark (how many in-order frames it has seen) so a
+//! redialed connection resumes the stream exactly where it left off:
+//! per-edge FIFO exactly-once delivery survives killed connections.
+//!
+//! Inner tags inside a tag-9 frame:
+//!
+//! | inner | meaning        | body                         |
+//! |-------|----------------|------------------------------|
+//! | 0     | net message    | `Message<V>` wire encoding   |
+//! | 1     | peer reset     | empty (sender's automaton restarted) |
+//! | 2     | lease revoke   | empty (cascaded lease teardown)      |
 //!
 //! [`NodeMetrics`]: crate::metrics::NodeMetrics
 
@@ -41,6 +64,17 @@ pub const TAG_RESP_WRITE: u8 = 6;
 pub const TAG_REQ_METRICS: u8 = 7;
 /// Metrics response carrying a [`crate::metrics::NodeMetrics`].
 pub const TAG_RESP_METRICS: u8 = 8;
+/// Sequenced edge frame: `u64` seq, `u8` inner tag, inner body.
+pub const TAG_SEQ: u8 = 9;
+/// Cumulative ack: `u64` highest in-order seq received on this edge.
+pub const TAG_ACK: u8 = 10;
+
+/// Inner tag: a mechanism message (`Message<V>` wire encoding).
+pub const INNER_NET: u8 = 0;
+/// Inner tag: the sending node's automaton crashed and restarted.
+pub const INNER_RESET: u8 = 1;
+/// Inner tag: cascaded involuntary lease teardown (crash recovery).
+pub const INNER_REVOKE: u8 = 2;
 
 /// Upper bound on a frame body; anything larger is a protocol violation.
 const MAX_FRAME: u32 = 64 << 20;

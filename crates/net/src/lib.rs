@@ -42,6 +42,7 @@ mod node;
 
 pub use cluster::{Cluster, ClusterClient, ClusterReport, NetSeqChunk, PipelinedChunk, Response};
 pub use metrics::NodeMetrics;
+pub use node::FaultCounters;
 
 #[cfg(test)]
 mod tests {

@@ -32,6 +32,17 @@ pub struct NodeMetrics {
     pub pending_combines: u64,
     /// Combine requests this node has answered.
     pub combines_served: u64,
+    /// Edge connections re-established after a failure.
+    pub reconnects: u64,
+    /// Sequenced frames re-sent (RTO expiry or post-reconnect replay).
+    pub retransmits: u64,
+    /// Frames discarded by the edge sequencer (duplicates, out-of-window
+    /// arrivals, undecodable payloads).
+    pub dup_drops: u64,
+    /// Retransmission-timer expirations that triggered a resend.
+    pub timeouts: u64,
+    /// Times this node's automaton crashed and was restarted.
+    pub restarts: u64,
 }
 
 impl NodeMetrics {
@@ -55,6 +66,11 @@ impl NodeMetrics {
         put_u64(out, self.queue_peak);
         put_u64(out, self.pending_combines);
         put_u64(out, self.combines_served);
+        put_u64(out, self.reconnects);
+        put_u64(out, self.retransmits);
+        put_u64(out, self.dup_drops);
+        put_u64(out, self.timeouts);
+        put_u64(out, self.restarts);
     }
 
     /// Decodes a snapshot, requiring full consumption of `buf`.
@@ -87,6 +103,11 @@ impl NodeMetrics {
             queue_peak: r.u64("metrics queue_peak")?,
             pending_combines: r.u64("metrics pending_combines")?,
             combines_served: r.u64("metrics combines_served")?,
+            reconnects: r.u64("metrics reconnects")?,
+            retransmits: r.u64("metrics retransmits")?,
+            dup_drops: r.u64("metrics dup_drops")?,
+            timeouts: r.u64("metrics timeouts")?,
+            restarts: r.u64("metrics restarts")?,
         };
         r.finish("metrics trailing bytes")?;
         Ok(metrics)
@@ -126,13 +147,18 @@ impl NodeMetrics {
             out.push_str("\n  ");
         }
         out.push_str(&format!(
-            "],\n  \"leases\": {{\"taken\": {}, \"granted\": {}}},\n  \"queue\": {{\"depth\": {}, \"peak\": {}}},\n  \"combines\": {{\"pending\": {}, \"served\": {}}}\n}}",
+            "],\n  \"leases\": {{\"taken\": {}, \"granted\": {}}},\n  \"queue\": {{\"depth\": {}, \"peak\": {}}},\n  \"combines\": {{\"pending\": {}, \"served\": {}}},\n  \"faults\": {{\"reconnects\": {}, \"retransmits\": {}, \"dup_drops\": {}, \"timeouts\": {}, \"restarts\": {}}}\n}}",
             self.leases_taken,
             self.leases_granted,
             self.queue_depth,
             self.queue_peak,
             self.pending_combines,
             self.combines_served,
+            self.reconnects,
+            self.retransmits,
+            self.dup_drops,
+            self.timeouts,
+            self.restarts,
         ));
         out
     }
@@ -154,6 +180,11 @@ mod tests {
             queue_peak: 5,
             pending_combines: 0,
             combines_served: 6,
+            reconnects: 1,
+            retransmits: 2,
+            dup_drops: 3,
+            timeouts: 4,
+            restarts: 5,
         }
     }
 
@@ -175,6 +206,9 @@ mod tests {
         assert!(json.contains("\"total\": 10"));
         assert!(json.contains("\"taken\": 2, \"granted\": 1"));
         assert!(json.contains("\"to\": 7, \"probe\": 0, \"response\": 2"));
+        assert!(json.contains(
+            "\"faults\": {\"reconnects\": 1, \"retransmits\": 2, \"dup_drops\": 3, \"timeouts\": 4, \"restarts\": 5}"
+        ));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

@@ -1,75 +1,94 @@
-//! One tree node as a TCP-served thread.
+//! One tree node as a TCP-served, crash-restartable thread.
 //!
 //! ## Thread and ownership model
 //!
 //! Per node there is exactly **one owner** of mutable state — the *main
-//! loop* thread, which holds the [`MechNode`] automaton, the buffered
-//! write halves of every edge and client connection, the per-node
-//! [`MsgStats`], and the parked combine waiters. Everything else is
-//! plumbing that converts bytes into [`Envelope`]s on the node's
-//! unbounded inbox channel:
+//! loop* thread, which holds the [`MechNode`] automaton, the per-edge
+//! [`EdgeLink`]s (buffered writer + sequencing + retransmit buffer), the
+//! client connection writers, the per-node [`MsgStats`], and the parked
+//! combine waiters. Everything else is plumbing that converts bytes into
+//! [`Envelope`]s on the node's unbounded inbox channel:
 //!
 //! * an **acceptor** thread `accept()`s on the node's listener and
 //!   classifies each connection by its hello frame (edge peer vs client),
-//! * one **edge reader** thread per tree edge decodes `TAG_NET` frames,
+//! * one **edge reader** thread per live edge connection runs the
+//!   receive side of the sequenced link (dedup + in-order delivery),
+//! * one **edge dialer** thread per down edge (on the lower-id endpoint)
+//!   redials with capped exponential backoff + jitter,
 //! * one **client reader** thread per client connection decodes requests.
 //!
 //! Readers never wait on the main loop (the inbox is unbounded), so a
 //! node that is busy sending can always be drained by its peers — TCP
 //! backpressure cannot deadlock the cluster.
 //!
-//! ## Batched I/O
+//! ## The sequenced edge link
 //!
-//! The main loop drains its inbox in *batches*: it blocks for the first
-//! envelope, greedily consumes everything already queued (up to
-//! [`MAX_BATCH`]), and only then flushes the per-connection
-//! [`BufWriter`]s. All frames destined for the same edge or client
-//! during one batch therefore leave in a single buffered write instead
-//! of one syscall per mechanism message. Batching cannot reorder an
-//! edge: every frame for a given connection goes through that
-//! connection's one writer, in main-loop order, so per-edge FIFO — the
-//! paper's channel model, and what message-count parity rests on — is
-//! preserved byte for byte. Buffers are always empty when the loop
-//! blocks, so batching never delays a frame behind an idle inbox.
+//! The paper assumes reliable FIFO channels; a single TCP connection
+//! provides that only while it lives. Every payload frame between
+//! neighbours therefore carries a per-directed-edge sequence number
+//! (`TAG_SEQ`), the receiver delivers exactly the next expected number
+//! and discards everything else, and acknowledges cumulatively
+//! (`TAG_ACK`) at its batch boundaries. The sender keeps unacknowledged
+//! frames in a retransmit buffer and re-sends them (go-back-N) on an RTO
+//! tick or after a reconnect, resuming from the watermark the peer's
+//! hello reported. Together: per-edge FIFO **exactly-once** delivery
+//! that survives killed connections and injected drop/duplicate faults.
 //!
-//! Client responses are buffered in the same way and flushed *after*
-//! the edge writers at each batch boundary, preserving the invariant
-//! that a client observing a response implies the request's mechanism
-//! messages are already on the wire (and counted in flight).
+//! Injected faults never touch the quiescence or message-count books:
+//! stats and the in-flight gauge are recorded once, when a frame is
+//! first buffered; retransmits and duplicates are not re-counted, and a
+//! discarded duplicate decrements nothing. A fault-free run and a
+//! faulty-but-recovered run have identical logical message counts.
 //!
-//! ## Quiescence accounting
+//! ## Crash-restart supervision
 //!
-//! A cluster-wide `AtomicI64` counts undelivered work, exactly like
-//! `oat-concurrent`: incremented *before* a message's bytes are buffered
-//! for a socket (or a client request is enqueued), decremented only after
-//! the receiving main loop has finished the corresponding handler —
-//! having first incremented for everything that handler sent in turn.
-//! All node threads live in one process, so the counter reads zero only
-//! at true global quiescence. Buffered-but-unflushed frames keep the
-//! counter positive, and the batch boundary flush happens before the
-//! main loop can block again, so `quiesce()` cannot observe zero while
-//! bytes are parked in a userspace buffer.
+//! [`node_supervisor`] wraps the main loop. The automaton (mechanism +
+//! policy + waiters) is *volatile*: an injected crash (or a caught
+//! panic) destroys it. The transport — inbox receiver, edge links with
+//! their sequence state and retransmit buffers, client writers — and the
+//! node's last written `val` live in the [`Escrow`] and survive. On
+//! restart the supervisor rebuilds a fresh automaton, restores `val`,
+//! and the new run's first act is a sequenced `RESET` on every edge;
+//! neighbours answer with the mechanism's peer-reset transition
+//! (breaking the crashed node's leases via the release path) and a
+//! revoke cascade tears down every cached aggregate that included the
+//! crashed subtree. Clients re-drive lost requests via timeout + retry.
+//!
+//! ## Batched I/O and quiescence accounting
+//!
+//! The main loop drains its inbox in batches (bounded by [`MAX_BATCH`]),
+//! then flushes every buffered writer — edges before clients, so a
+//! client observing a response implies the request's mechanism messages
+//! are already on the wire. A cluster-wide `AtomicI64` counts
+//! undelivered work: incremented before a frame's bytes are buffered,
+//! decremented only after the receiving main loop finished the
+//! corresponding handler. Frames parked in a down edge's retransmit
+//! buffer keep the counter positive until they are finally delivered,
+//! so `quiesce()` remains exact under connection kills.
 
 use std::collections::HashMap;
 use std::io::{BufWriter, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
+use std::time::Duration;
 
 use oat_core::agg::AggOp;
+use oat_core::fault::{EdgeFaults, FaultAction, FaultPlan, InjectedFaults};
 use oat_core::ghost::GhostReq;
 use oat_core::mechanism::{CombineOutcome, MechNode, Outbox};
 use oat_core::message::Message;
+use oat_core::policy::PolicySpec;
 use oat_core::request::ReqOp;
 use oat_core::tree::{NodeId, Tree};
-use oat_core::wire::{put_u64, WireReader, WireValue};
+use oat_core::wire::{put_u32, put_u64, WireReader, WireValue};
 use oat_sim::stats::MsgStats;
 
 use crate::frame::{
-    is_clean_close, read_frame, write_frame, TAG_HELLO_CLIENT, TAG_HELLO_EDGE, TAG_NET,
-    TAG_REQ_COMBINE, TAG_REQ_METRICS, TAG_REQ_WRITE, TAG_RESP_COMBINE, TAG_RESP_METRICS,
-    TAG_RESP_WRITE,
+    read_frame, write_frame, INNER_NET, INNER_RESET, INNER_REVOKE, TAG_ACK, TAG_HELLO_CLIENT,
+    TAG_HELLO_EDGE, TAG_REQ_COMBINE, TAG_REQ_METRICS, TAG_REQ_WRITE, TAG_RESP_COMBINE,
+    TAG_RESP_METRICS, TAG_RESP_WRITE, TAG_SEQ,
 };
 use crate::metrics::NodeMetrics;
 
@@ -85,11 +104,41 @@ const MAX_BATCH: usize = 512;
 /// Buffer capacity for each edge/client connection writer.
 const WRITE_BUF: usize = 32 * 1024;
 
+/// Retransmission-timer granularity: when unacknowledged frames exist,
+/// the main loop wakes at this cadence and re-sends on edges whose ack
+/// watermark made no progress since the previous tick.
+const RTO: Duration = Duration::from_millis(30);
+
+/// Reconnect backoff: first delay, doubled per failed attempt up to the
+/// cap, with seeded jitter in `[0, delay)` added on top.
+const RECONNECT_BASE_MS: u64 = 2;
+const RECONNECT_CAP_MS: u64 = 200;
+
+/// Soft bound on the per-edge retransmit buffer. Exactly-once delivery
+/// forbids dropping unacknowledged frames, so the bound is enforced by
+/// protocol cadence (the receiver acks every batch, ≤ [`MAX_BATCH`]
+/// envelopes) rather than eviction; crossing it indicates a peer that
+/// has stopped acking and is surfaced through the metrics timeouts.
+pub(crate) const RTX_SOFT_CAP: usize = 1 << 16;
+
 /// One unit of work on a node's inbox.
 pub(crate) enum Envelope<V> {
     /// A mechanism message from the neighbour `from` — counted in the
     /// in-flight gauge by the *sender* before the bytes left its buffer.
     Net { from: NodeId, msg: Message<V> },
+    /// Neighbour `from`'s automaton crashed and restarted (sequenced
+    /// `RESET` frame). Counted in flight like a mechanism message.
+    Reset { from: NodeId },
+    /// Cascaded involuntary lease teardown from `from` (sequenced
+    /// `REVOKE` frame). Counted in flight like a mechanism message.
+    Revoke { from: NodeId },
+    /// Cumulative ack from `from`: every sequenced frame up to `upto`
+    /// arrived. Transport-level; not counted in flight.
+    Ack { from: NodeId, upto: u64 },
+    /// The edge connection to `peer` died (reader `epoch` identifies
+    /// which incarnation of the connection, so a stale reader's death
+    /// cannot tear down its successor).
+    EdgeDown { peer: NodeId, epoch: u64 },
     /// A client request — counted in the in-flight gauge by the reader
     /// that decoded it.
     Client {
@@ -99,8 +148,17 @@ pub(crate) enum Envelope<V> {
     },
     /// A metrics request — not counted (it sends no mechanism messages).
     Metrics { conn: ClientId, req_id: u64 },
-    /// Registration of the write half of an accepted edge connection.
-    PeerWriter { peer: NodeId, stream: TcpStream },
+    /// A freshly connected (or reconnected) edge stream. `accepted`
+    /// distinguishes the acceptor side (which still owes the hello
+    /// reply) from the dialer side (which already consumed it);
+    /// `peer_rx` is the peer's receive watermark for resuming the
+    /// sequenced stream.
+    PeerWriter {
+        peer: NodeId,
+        stream: TcpStream,
+        peer_rx: u64,
+        accepted: bool,
+    },
     /// Registration of the write half of a client connection. Sent by the
     /// client's reader before any request, so responses always have a
     /// writer to land in.
@@ -146,6 +204,20 @@ impl QueueGauge {
     }
 }
 
+/// Receive-side sequencing state for one directed edge, shared between
+/// the main loop and the edge's (possibly successive) reader threads.
+/// It outlives any single connection *and* any single automaton run:
+/// the sequence space of an edge is continuous across reconnects and
+/// crashes.
+#[derive(Default)]
+pub(crate) struct EdgeShared {
+    /// Highest in-order sequence number received from the peer.
+    rx_seq: AtomicU64,
+    /// Frames the sequencer discarded: duplicates, out-of-window
+    /// futures (go-back-N re-delivers them in order), undecodables.
+    dup_drops: AtomicU64,
+}
+
 /// Everything a node thread shares with the cluster and its siblings.
 pub(crate) struct NodeCtx<V> {
     pub tree: Tree,
@@ -170,6 +242,10 @@ pub(crate) struct NodeCtx<V> {
     pub gauge: Arc<QueueGauge>,
     /// Signalled once every edge connection of this node is up.
     pub ready_tx: Sender<()>,
+    /// The cluster's seeded fault plan (empty = reliable substrate).
+    pub plan: Arc<FaultPlan>,
+    /// Cluster-wide ledger of injected fault events.
+    pub ledger: Arc<InjectedFaults>,
 }
 
 /// A node thread's final state, collected by `Cluster::shutdown`.
@@ -178,10 +254,98 @@ pub(crate) struct NodeReport<V> {
     pub stats: MsgStats,
     /// `(node, value)` per combine answered here, local completion order.
     pub completions: Vec<(NodeId, V)>,
-    /// Ghost write/combine log, when ghost tracking was enabled.
+    /// Ghost write/combine log, when ghost tracking was enabled (final
+    /// incarnation only — a crash discards the automaton's log).
     pub log: Option<Vec<GhostReq<V>>>,
     /// Network messages this node received and processed.
     pub delivered: u64,
+    /// Combine waiters still parked at shutdown (possible when clients
+    /// gave up under faults); they were dropped, not answered.
+    pub abandoned: u64,
+    /// Fault-recovery counters accumulated across all incarnations.
+    pub faults: FaultCounters,
+}
+
+/// Fault-recovery counters, accumulated across crash-restarts (and in
+/// [`crate::ClusterReport`], summed over all nodes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Edge connections re-established after a failure.
+    pub reconnects: u64,
+    /// Sequenced frames re-sent (RTO expiry or post-reconnect replay).
+    pub retransmits: u64,
+    /// Retransmission-timer expirations that triggered a resend.
+    pub timeouts: u64,
+    /// Automaton crash-restarts performed by the supervisor.
+    pub restarts: u64,
+}
+
+/// Send side of one edge: the sequenced link's writer-side state. Lives
+/// in the [`Escrow`], surviving both reconnects and automaton crashes.
+struct EdgeLink {
+    peer: NodeId,
+    shared: Arc<EdgeShared>,
+    /// Buffered writer of the live connection; `None` while down.
+    writer: Option<BufWriter<TcpStream>>,
+    /// Raw handle of the live connection, for injected kills.
+    raw: Option<TcpStream>,
+    /// Bumped per installed connection; readers carry their epoch so a
+    /// stale reader's exit cannot tear down a successor connection.
+    epoch: u64,
+    /// Last sequence number assigned to an outgoing frame.
+    tx_seq: u64,
+    /// Highest sequence number the peer has acknowledged.
+    acked: u64,
+    /// `acked` as of the previous RTO tick (progress detection).
+    acked_at_tick: u64,
+    /// Unacknowledged frames: `(seq, inner tag, body)`.
+    rtx: std::collections::VecDeque<(u64, u8, Vec<u8>)>,
+    /// Highest rx watermark we have acked back to the peer.
+    rx_acked: u64,
+    /// True when this endpoint owns redialing (lower id dials higher).
+    dialer: bool,
+    /// A dialer thread is currently trying to re-establish the edge.
+    redialing: bool,
+    /// The edge was up at least once (distinguishes reconnects).
+    ever_up: bool,
+    /// Seeded fault-decision stream for this directed edge.
+    faults: Option<EdgeFaults>,
+}
+
+impl EdgeLink {
+    fn is_up(&self) -> bool {
+        self.writer.is_some()
+    }
+}
+
+/// State that survives an automaton crash: the transport (inbox, edge
+/// links, client writers), the report accumulators, and the single
+/// durable mechanism variable — the node's last written `val`.
+pub(crate) struct Escrow<V> {
+    rx: Receiver<Envelope<V>>,
+    links: Vec<EdgeLink>,
+    clients: HashMap<ClientId, BufWriter<TcpStream>>,
+    stats: MsgStats,
+    completions: Vec<(NodeId, V)>,
+    delivered: u64,
+    /// The node's last written value; restored into the fresh automaton
+    /// on restart (writes are acknowledged durable).
+    durable_val: V,
+    /// Injected crash trigger: crash after this many delivered messages
+    /// (cumulative across restarts). Consumed when it fires.
+    crash_at: Option<u64>,
+    counters: FaultCounters,
+    /// Edges currently up (for the ready signal).
+    connected: usize,
+    ready_sent: bool,
+}
+
+/// How one automaton run ended.
+enum RunExit {
+    /// Orderly shutdown: the report is complete.
+    Shutdown,
+    /// The automaton crashed (injected or panicked); restart it.
+    Crashed,
 }
 
 fn enqueue<V>(tx: &Sender<Envelope<V>>, gauge: &QueueGauge, env: Envelope<V>) {
@@ -195,7 +359,6 @@ fn enqueue<V>(tx: &Sender<Envelope<V>>, gauge: &QueueGauge, env: Envelope<V>) {
 /// Accepts connections for one node and classifies them by hello frame.
 fn acceptor<V: WireValue + Send + 'static>(
     listener: TcpListener,
-    node: NodeId,
     tx: Sender<Envelope<V>>,
     gauge: Arc<QueueGauge>,
     in_flight: Arc<AtomicI64>,
@@ -216,24 +379,28 @@ fn acceptor<V: WireValue + Send + 'static>(
         match read_frame(&mut stream) {
             Ok((TAG_HELLO_EDGE, payload)) => {
                 let mut r = WireReader::new(&payload);
-                let peer = match r.u32("hello node id") {
-                    Ok(id) => NodeId(id),
+                let (peer, peer_rx) = match r
+                    .u32("hello node id")
+                    .and_then(|id| Ok((NodeId(id), r.u64("hello rx watermark")?)))
+                {
+                    Ok(pair) => pair,
                     // Protocol violation from an unauthenticated
                     // connection: drop it, keep accepting.
                     Err(_) => continue,
                 };
-                let writer = stream.try_clone().expect("clone accepted edge stream");
+                // The main loop replies with its own hello (carrying its
+                // rx watermark) and spawns the reader; the dialer sends
+                // nothing until it has read that reply.
                 enqueue(
                     &tx,
                     &gauge,
                     Envelope::PeerWriter {
                         peer,
-                        stream: writer,
+                        stream,
+                        peer_rx,
+                        accepted: true,
                     },
                 );
-                let tx = tx.clone();
-                let gauge = Arc::clone(&gauge);
-                std::thread::spawn(move || edge_reader(stream, node, peer, tx, gauge));
             }
             Ok((TAG_HELLO_CLIENT, _)) => {
                 let conn = next_client;
@@ -253,26 +420,151 @@ fn acceptor<V: WireValue + Send + 'static>(
     }
 }
 
-/// Decodes `TAG_NET` frames from one edge peer into the inbox.
+/// Receive side of the sequenced link for one edge connection: dedups
+/// and orders `TAG_SEQ` frames against the escrowed [`EdgeShared`],
+/// forwards acks, and reports the connection's death to the main loop.
+#[allow(clippy::too_many_arguments)] // thread entry point: each arg is one escrowed handle
 fn edge_reader<V: WireValue>(
     mut stream: TcpStream,
-    node: NodeId,
     peer: NodeId,
+    epoch: u64,
     tx: Sender<Envelope<V>>,
     gauge: Arc<QueueGauge>,
+    shared: Arc<EdgeShared>,
+    in_flight: Arc<AtomicI64>,
+    shutting_down: Arc<AtomicBool>,
 ) {
     loop {
         match read_frame(&mut stream) {
-            Ok((TAG_NET, payload)) => {
-                let msg = Message::<V>::decode_wire(&payload)
-                    .unwrap_or_else(|e| panic!("node {node}: bad message from {peer}: {e}"));
-                // The in-flight increment happened sender-side when the
-                // frame was buffered.
-                enqueue(&tx, &gauge, Envelope::Net { from: peer, msg });
+            Ok((TAG_SEQ, payload)) => {
+                if payload.len() < 9 {
+                    shared.dup_drops.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let seq = u64::from_le_bytes(payload[..8].try_into().expect("8-byte slice"));
+                let inner = payload[8];
+                let body = &payload[9..];
+                let expected = shared.rx_seq.load(Ordering::Relaxed) + 1;
+                if seq != expected {
+                    // A duplicate (below the window) or a future frame
+                    // (something below us was lost — go-back-N will
+                    // re-deliver it in order). Either way: discard. The
+                    // in-flight gauge counted the logical frame once at
+                    // its first buffering, so dropping copies is free.
+                    shared.dup_drops.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                shared.rx_seq.store(seq, Ordering::Relaxed);
+                match inner {
+                    INNER_NET => match Message::<V>::decode_wire(body) {
+                        Ok(msg) => enqueue(&tx, &gauge, Envelope::Net { from: peer, msg }),
+                        Err(_) => {
+                            // Undecodable mechanism payload: degrade, do
+                            // not panic. The frame was counted in flight
+                            // by its sender; settle the account here.
+                            shared.dup_drops.fetch_add(1, Ordering::Relaxed);
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    },
+                    INNER_RESET => enqueue(&tx, &gauge, Envelope::Reset { from: peer }),
+                    INNER_REVOKE => enqueue(&tx, &gauge, Envelope::Revoke { from: peer }),
+                    _ => {
+                        shared.dup_drops.fetch_add(1, Ordering::Relaxed);
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
             }
-            Ok((tag, _)) => panic!("node {node}: unexpected tag {tag} on edge from {peer}"),
-            Err(e) if is_clean_close(&e) => break,
-            Err(e) => panic!("node {node}: edge from {peer} failed: {e}"),
+            Ok((TAG_ACK, payload)) => {
+                let mut r = WireReader::new(&payload);
+                if let Ok(upto) = r.u64("ack watermark") {
+                    enqueue(&tx, &gauge, Envelope::Ack { from: peer, upto });
+                } else {
+                    shared.dup_drops.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // Unknown frame on an authenticated edge: count and ignore.
+            Ok(_) => {
+                shared.dup_drops.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // Clean close and hard error alike: during shutdown this
+                // is expected teardown; otherwise the edge died (killed
+                // connection, peer process trouble) and the main loop
+                // must arrange reconnection.
+                if !shutting_down.load(Ordering::SeqCst) {
+                    enqueue(&tx, &gauge, Envelope::EdgeDown { peer, epoch });
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Dials (or redials) one edge with capped exponential backoff plus
+/// seeded jitter, performs the hello exchange, and hands the connected
+/// stream to the main loop. Exits silently once shutdown begins.
+fn edge_dialer<V: WireValue>(
+    addr: std::net::SocketAddr,
+    me: NodeId,
+    peer: NodeId,
+    shared: Arc<EdgeShared>,
+    tx: Sender<Envelope<V>>,
+    gauge: Arc<QueueGauge>,
+    shutting_down: Arc<AtomicBool>,
+) {
+    // splitmix64 jitter stream seeded by the edge — deterministic per
+    // (me, peer), independent across edges.
+    let mut jitter_state: u64 = 0x9E37_79B9_7F4A_7C15 ^ ((me.0 as u64) << 32 | peer.0 as u64);
+    let mut next_jitter = move |bound: u64| -> u64 {
+        jitter_state = jitter_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = jitter_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) % bound.max(1)
+    };
+    let mut backoff = RECONNECT_BASE_MS;
+    loop {
+        if shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let attempt = (|| -> std::io::Result<(TcpStream, u64)> {
+            let mut s = TcpStream::connect(addr)?;
+            let _ = s.set_nodelay(true);
+            let mut hello = Vec::with_capacity(12);
+            put_u32(&mut hello, me.0);
+            put_u64(&mut hello, shared.rx_seq.load(Ordering::Relaxed));
+            write_frame(&mut s, TAG_HELLO_EDGE, &hello)?;
+            let (tag, payload) = read_frame(&mut s)?;
+            let mut r = WireReader::new(&payload);
+            if tag != TAG_HELLO_EDGE || r.u32("hello reply id").is_err() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "bad hello reply",
+                ));
+            }
+            let peer_rx = r
+                .u64("hello reply rx")
+                .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "short hello"))?;
+            Ok((s, peer_rx))
+        })();
+        match attempt {
+            Ok((stream, peer_rx)) => {
+                enqueue(
+                    &tx,
+                    &gauge,
+                    Envelope::PeerWriter {
+                        peer,
+                        stream,
+                        peer_rx,
+                        accepted: false,
+                    },
+                );
+                return;
+            }
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(backoff + next_jitter(backoff)));
+                backoff = (backoff * 2).min(RECONNECT_CAP_MS);
+            }
         }
     }
 }
@@ -350,26 +642,105 @@ fn client_reader<V: WireValue>(
     enqueue(&tx, &gauge, Envelope::ClientGone { conn });
 }
 
-/// Buffers everything in `out` into the neighbours' connection writers,
-/// recording stats and incrementing the in-flight counter *before* each
-/// frame is written. No flush happens here — the main loop flushes all
-/// writers at each batch boundary, coalescing every frame of the batch
-/// that shares an edge into one wire write.
-#[allow(clippy::too_many_arguments)] // the main loop's full send context
+/// Writes one sequenced frame to a link's buffered writer.
+fn write_seq(
+    w: &mut BufWriter<TcpStream>,
+    seq: u64,
+    inner: u8,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut payload = Vec::with_capacity(9 + body.len());
+    put_u64(&mut payload, seq);
+    payload.push(inner);
+    payload.extend_from_slice(body);
+    write_frame(w, TAG_SEQ, &payload)
+}
+
+/// Assigns the next sequence number on `link`, appends the frame to the
+/// retransmit buffer (in-flight accounting happens here, exactly once
+/// per logical frame), and attempts first transmission — subject to the
+/// edge's fault-decision stream and kill schedule. Returns `true` when
+/// the connection must be marked down.
+fn send_seq(
+    link: &mut EdgeLink,
+    inner: u8,
+    body: &[u8],
+    in_flight: &AtomicI64,
+    ledger: &InjectedFaults,
+) -> bool {
+    in_flight.fetch_add(1, Ordering::SeqCst);
+    link.tx_seq += 1;
+    let seq = link.tx_seq;
+    link.rtx.push_back((seq, inner, body.to_vec()));
+    debug_assert!(
+        link.rtx.len() <= RTX_SOFT_CAP,
+        "retransmit buffer runaway: peer {:?} stopped acking",
+        link.peer
+    );
+    let Some(w) = link.writer.as_mut() else {
+        // Edge down: the frame waits in the retransmit buffer and is
+        // replayed when the connection comes back.
+        return false;
+    };
+    let action = link
+        .faults
+        .as_mut()
+        .map(|f| f.next_action())
+        .unwrap_or(FaultAction::Deliver);
+    let mut failed = false;
+    match action {
+        FaultAction::Deliver => failed = write_seq(w, seq, inner, body).is_err(),
+        FaultAction::Drop => {
+            // First transmission suppressed; the RTO resend recovers it.
+            ledger.drops.fetch_add(1, Ordering::Relaxed);
+        }
+        FaultAction::Delay => {
+            // Modeled as a suppressed first transmission too — the frame
+            // arrives late, via the retransmission path, preserving
+            // per-edge FIFO (a true in-stream delay would reorder).
+            ledger.delays.fetch_add(1, Ordering::Relaxed);
+        }
+        FaultAction::Duplicate => {
+            failed =
+                write_seq(w, seq, inner, body).is_err() || write_seq(w, seq, inner, body).is_err();
+            ledger.dups.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    if let Some(f) = link.faults.as_mut() {
+        if f.on_frame_carried() {
+            // Scheduled connection kill: sever the socket with frames
+            // potentially still in userspace/kernel buffers — they are
+            // genuinely lost and must come back via reconnect replay.
+            ledger.conns_killed.fetch_add(1, Ordering::Relaxed);
+            if let Some(raw) = &link.raw {
+                let _ = raw.shutdown(Shutdown::Both);
+            }
+            failed = true;
+        }
+    }
+    failed
+}
+
+/// Buffers everything in `out` onto the sequenced links, recording
+/// stats and in-flight accounting per frame. Returns neighbour indices
+/// whose connection failed and must be marked down. No flush happens
+/// here — the main loop flushes all writers at each batch boundary.
+#[allow(clippy::too_many_arguments)] // splits escrow borrows the compiler can't see through a struct
 fn send_outbox<V: WireValue, A: AggOp<Value = V>>(
     node: &MechNode<impl oat_core::policy::NodePolicy, A>,
     tree: &Tree,
     id: NodeId,
     out: &mut Outbox<V>,
-    writers: &mut [Option<BufWriter<TcpStream>>],
+    links: &mut [EdgeLink],
     stats: &mut MsgStats,
     in_flight: &AtomicI64,
     total_sent: &AtomicU64,
+    ledger: &InjectedFaults,
+    downed: &mut Vec<usize>,
 ) {
     let mut payload = Vec::with_capacity(32);
     for (to, msg) in out.drain(..) {
         stats.record(tree.dir_edge_index(id, to), msg.kind());
-        in_flight.fetch_add(1, Ordering::SeqCst);
         // Relaxed is sufficient here: `total_sent` carries no ordering
         // duty of its own. Every read that must observe it
         // (`Cluster::total_messages` in per-request windows) happens
@@ -382,11 +753,9 @@ fn send_outbox<V: WireValue, A: AggOp<Value = V>>(
         payload.clear();
         msg.encode_wire(&mut payload);
         let wi = node.nbr_index(to);
-        let writer = writers[wi]
-            .as_mut()
-            .unwrap_or_else(|| panic!("node {id}: no connection to neighbour {to}"));
-        write_frame(writer, TAG_NET, &payload)
-            .unwrap_or_else(|e| panic!("node {id}: send to {to} failed: {e}"));
+        if send_seq(&mut links[wi], INNER_NET, &payload, in_flight, ledger) {
+            downed.push(wi);
+        }
     }
 }
 
@@ -406,28 +775,46 @@ fn respond(
     }
 }
 
-/// Flushes every buffered writer at a batch boundary: edges first (so a
-/// flushed client response always trails the mechanism messages of the
-/// request that produced it), then clients. An edge flush failure is
-/// fatal — the tree is broken; a client flush failure just drops that
-/// client connection.
-fn flush_all(
-    id: NodeId,
-    writers: &mut [Option<BufWriter<TcpStream>>],
+/// Batch-boundary flush: first piggy-back a cumulative ack on every
+/// edge whose receive watermark advanced, then flush edges (before
+/// clients, so a flushed client response always trails the mechanism
+/// messages of the request that produced it). A failing edge is marked
+/// down (reconnect recovers it) instead of panicking; a failing client
+/// writer is dropped.
+fn flush_and_ack(
+    links: &mut [EdgeLink],
     clients: &mut HashMap<ClientId, BufWriter<TcpStream>>,
+    downed: &mut Vec<usize>,
 ) {
-    for w in writers.iter_mut().flatten() {
-        w.flush()
-            .unwrap_or_else(|e| panic!("node {id}: edge flush failed: {e}"));
+    for (wi, link) in links.iter_mut().enumerate() {
+        let rx = link.shared.rx_seq.load(Ordering::Relaxed);
+        if let Some(w) = link.writer.as_mut() {
+            let mut ok = true;
+            if rx > link.rx_acked {
+                let mut p = Vec::with_capacity(8);
+                put_u64(&mut p, rx);
+                ok = write_frame(w, TAG_ACK, &p).is_ok();
+                if ok {
+                    link.rx_acked = rx;
+                }
+            }
+            if ok {
+                ok = w.flush().is_ok();
+            }
+            if !ok {
+                downed.push(wi);
+            }
+        }
     }
     clients.retain(|_, w| w.flush().is_ok());
 }
 
-/// The node main loop: dials higher-id neighbours, then serves envelopes
-/// until shutdown. Returns the node's final state.
-pub(crate) fn node_main<P, A>(ctx: NodeCtx<A::Value>, op: A, policy: P) -> NodeReport<A::Value>
+/// The per-node supervisor: owns the [`Escrow`], spawns the acceptor
+/// and the initial dialers, and restarts the automaton run after every
+/// crash (injected or panicked) until an orderly shutdown.
+pub(crate) fn node_supervisor<S, A>(ctx: NodeCtx<A::Value>, op: A, spec: S) -> NodeReport<A::Value>
 where
-    P: oat_core::policy::NodePolicy,
+    S: PolicySpec,
     A: AggOp,
     A::Value: WireValue,
 {
@@ -444,104 +831,306 @@ where
         shutting_down,
         gauge,
         ready_tx,
+        plan,
+        ledger,
     } = ctx;
-
-    let mut node: MechNode<P, A> = MechNode::new(&tree, id, op, policy, ghost);
     let degree = tree.degree(id);
-    let mut writers: Vec<Option<BufWriter<TcpStream>>> = (0..degree).map(|_| None).collect();
-    let mut clients: HashMap<ClientId, BufWriter<TcpStream>> = HashMap::new();
-    let mut stats = MsgStats::new(&tree);
-    let mut out: Outbox<A::Value> = Vec::new();
-    let mut completions: Vec<(NodeId, A::Value)> = Vec::new();
-    let mut waiters: Vec<(ClientId, u64)> = Vec::new();
-    let mut delivered: u64 = 0;
-    let mut connected = 0usize;
+    let nbrs: Vec<NodeId> = tree.nbrs(id).to_vec();
 
     // The acceptor handles connections from lower-id neighbours and from
-    // clients for the lifetime of the node.
+    // clients for the lifetime of the node (it is transport: it survives
+    // automaton crashes by construction).
     {
         let tx = tx.clone();
         let gauge = Arc::clone(&gauge);
         let in_flight = Arc::clone(&in_flight);
         let shutting_down = Arc::clone(&shutting_down);
         std::thread::spawn(move || {
-            acceptor::<A::Value>(listener, id, tx, gauge, in_flight, shutting_down)
+            acceptor::<A::Value>(listener, tx, gauge, in_flight, shutting_down)
         });
     }
 
-    // Dial every higher-id neighbour: exactly one TCP connection per tree
-    // edge, used bidirectionally.
-    for &v in node.nbrs() {
-        if v.0 <= id.0 {
-            continue;
+    let links: Vec<EdgeLink> = nbrs
+        .iter()
+        .map(|&v| EdgeLink {
+            peer: v,
+            shared: Arc::new(EdgeShared::default()),
+            writer: None,
+            raw: None,
+            epoch: 0,
+            tx_seq: 0,
+            acked: 0,
+            acked_at_tick: 0,
+            rtx: std::collections::VecDeque::new(),
+            rx_acked: 0,
+            dialer: id.0 < v.0,
+            redialing: false,
+            ever_up: false,
+            faults: if plan.is_empty() {
+                None
+            } else {
+                Some(plan.edge_stream(id, v))
+            },
+        })
+        .collect();
+
+    let mut escrow = Escrow {
+        rx,
+        links,
+        clients: HashMap::new(),
+        stats: MsgStats::new(&tree),
+        completions: Vec::new(),
+        delivered: 0,
+        durable_val: op.identity(),
+        crash_at: plan.crash_after(id),
+        counters: FaultCounters::default(),
+        connected: 0,
+        ready_sent: false,
+    };
+
+    // Dial every higher-id neighbour (exactly one TCP connection per
+    // tree edge, used bidirectionally). Asynchronous with backoff: the
+    // main loop starts serving immediately, so hello replies to lower-id
+    // dialers are never delayed behind our own dials.
+    for link in &escrow.links {
+        if link.dialer {
+            let tx = tx.clone();
+            let gauge = Arc::clone(&gauge);
+            let shared = Arc::clone(&link.shared);
+            let shutting_down = Arc::clone(&shutting_down);
+            let addr = addrs[link.peer.idx()];
+            let peer = link.peer;
+            std::thread::spawn(move || {
+                edge_dialer::<A::Value>(addr, id, peer, shared, tx, gauge, shutting_down)
+            });
         }
-        let mut stream = TcpStream::connect(addrs[v.idx()])
-            .unwrap_or_else(|e| panic!("node {id}: dial {v} failed: {e}"));
-        let _ = stream.set_nodelay(true);
-        let mut hello = Vec::with_capacity(4);
-        oat_core::wire::put_u32(&mut hello, id.0);
-        write_frame(&mut stream, TAG_HELLO_EDGE, &hello)
-            .unwrap_or_else(|e| panic!("node {id}: hello to {v} failed: {e}"));
-        let writer = stream.try_clone().expect("clone dialed stream");
-        writers[node.nbr_index(v)] = Some(BufWriter::with_capacity(WRITE_BUF, writer));
-        connected += 1;
-        let tx = tx.clone();
-        let gauge = Arc::clone(&gauge);
-        std::thread::spawn(move || edge_reader(stream, id, v, tx, gauge));
     }
-    if connected == degree {
+    if degree == 0 && !escrow.ready_sent {
+        escrow.ready_sent = true;
         let _ = ready_tx.send(());
     }
 
-    let mut shutdown = false;
-    while !shutdown {
-        // Block for the first envelope of a batch, then drain greedily.
-        // Every path that adds frames to a writer runs inside this batch
-        // loop, and `flush_all` runs before the next blocking recv, so
+    let mut log = None;
+    let mut abandoned = 0;
+    let mut restarted = false;
+    loop {
+        let mut mech: MechNode<S::Node, A> =
+            MechNode::new(&tree, id, op.clone(), spec.build(degree), ghost);
+        if restarted {
+            // Restore the durable value into the fresh automaton. The
+            // fresh node holds no grants, so this emits nothing.
+            let mut sink = Vec::new();
+            mech.handle_write(escrow.durable_val.clone(), &mut sink);
+            debug_assert!(sink.is_empty());
+        }
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_node(
+                &mut escrow,
+                &mut mech,
+                RunCtx {
+                    tree: &tree,
+                    id,
+                    addrs: &addrs,
+                    tx: &tx,
+                    in_flight: &in_flight,
+                    total_sent: &total_sent,
+                    shutting_down: &shutting_down,
+                    gauge: &gauge,
+                    ready_tx: &ready_tx,
+                    ledger: &ledger,
+                },
+                restarted,
+                &mut log,
+                &mut abandoned,
+            )
+        }));
+        match run {
+            Ok(RunExit::Shutdown) => break,
+            Ok(RunExit::Crashed) | Err(_) => {
+                // The automaton is gone (waiters included — clients
+                // recover via timeout + retry); the escrowed transport
+                // and durable value carry over into the next run.
+                escrow.counters.restarts += 1;
+                restarted = true;
+            }
+        }
+    }
+
+    NodeReport {
+        stats: escrow.stats,
+        completions: escrow.completions,
+        log,
+        delivered: escrow.delivered,
+        abandoned,
+        faults: escrow.counters,
+    }
+}
+
+/// Borrowed per-run context for [`run_node`] (everything immutable
+/// across restarts).
+struct RunCtx<'a, V> {
+    tree: &'a Tree,
+    id: NodeId,
+    addrs: &'a [std::net::SocketAddr],
+    tx: &'a Sender<Envelope<V>>,
+    in_flight: &'a Arc<AtomicI64>,
+    total_sent: &'a AtomicU64,
+    shutting_down: &'a Arc<AtomicBool>,
+    gauge: &'a Arc<QueueGauge>,
+    ready_tx: &'a Sender<()>,
+    ledger: &'a InjectedFaults,
+}
+
+/// One automaton run: serves envelopes until shutdown or crash.
+#[allow(clippy::too_many_arguments)]
+fn run_node<P, A>(
+    escrow: &mut Escrow<A::Value>,
+    node: &mut MechNode<P, A>,
+    ctx: RunCtx<'_, A::Value>,
+    restarted: bool,
+    log: &mut Option<Vec<GhostReq<A::Value>>>,
+    abandoned: &mut u64,
+    // (escrow and node are separate parameters so a panic inside a
+    // handler poisons only the automaton, never the escrowed transport)
+) -> RunExit
+where
+    P: oat_core::policy::NodePolicy,
+    A: AggOp,
+    A::Value: WireValue,
+{
+    let id = ctx.id;
+    let mut out: Outbox<A::Value> = Vec::new();
+    let mut waiters: Vec<(ClientId, u64)> = Vec::new();
+    let mut downed: Vec<usize> = Vec::new();
+
+    if restarted {
+        // First act of a restarted automaton: a sequenced RESET on every
+        // edge. Down edges queue it in the retransmit buffer, so the
+        // peer learns of the restart in FIFO position even across a
+        // simultaneous connection failure.
+        for link in escrow.links.iter_mut() {
+            if send_seq(link, INNER_RESET, &[], ctx.in_flight, ctx.ledger) {
+                let wi = node.nbr_index(link.peer);
+                downed.push(wi);
+            }
+        }
+        flush_and_ack(&mut escrow.links, &mut escrow.clients, &mut downed);
+        mark_downed(escrow, &ctx, &mut downed);
+    }
+
+    loop {
+        // Block for the first envelope of a batch — with a retransmit
+        // timeout whenever unacked frames could need re-sending. Every
+        // path that adds frames to a writer runs inside the batch loop,
+        // and `flush_and_ack` runs before the next blocking recv, so
         // buffers are empty whenever the loop sleeps.
-        let mut next = Some(rx.recv().expect("cluster holds a sender"));
+        let wants_tick = escrow.links.iter().any(|l| !l.rtx.is_empty() && l.is_up());
+        let first = if wants_tick {
+            match escrow.rx.recv_timeout(RTO) {
+                Ok(env) => Some(env),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return finish(escrow, node, waiters, log, abandoned)
+                }
+            }
+        } else {
+            match escrow.rx.recv() {
+                Ok(env) => Some(env),
+                Err(_) => return finish(escrow, node, waiters, log, abandoned),
+            }
+        };
+        let Some(first) = first else {
+            // RTO expired: go-back-N on every up edge whose ack watermark
+            // stalled since the previous tick.
+            for (wi, link) in escrow.links.iter_mut().enumerate() {
+                if link.is_up() && !link.rtx.is_empty() && link.acked == link.acked_at_tick {
+                    escrow.counters.timeouts += 1;
+                    escrow.counters.retransmits += link.rtx.len() as u64;
+                    let w = link.writer.as_mut().expect("is_up checked");
+                    let mut failed = false;
+                    for (seq, inner, body) in &link.rtx {
+                        if write_seq(w, *seq, *inner, body).is_err() {
+                            failed = true;
+                            break;
+                        }
+                    }
+                    if !failed {
+                        failed = w.flush().is_err();
+                    }
+                    if failed {
+                        downed.push(wi);
+                    }
+                }
+                link.acked_at_tick = link.acked;
+            }
+            mark_downed(escrow, &ctx, &mut downed);
+            continue;
+        };
+
+        let mut crash = false;
+        let mut shutdown = false;
+        let mut next = Some(first);
         let mut batched = 0usize;
         while let Some(env) = next {
-            gauge.on_dequeue();
+            ctx.gauge.on_dequeue();
             batched += 1;
             match env {
                 Envelope::Shutdown => {
                     shutdown = true;
                     break;
                 }
-                Envelope::PeerWriter { peer, stream } => {
-                    let wi = node.nbr_index(peer);
-                    assert!(
-                        writers[wi].is_none(),
-                        "node {id}: duplicate edge from {peer}"
-                    );
-                    writers[wi] = Some(BufWriter::with_capacity(WRITE_BUF, stream));
-                    connected += 1;
-                    if connected == degree {
-                        let _ = ready_tx.send(());
+                Envelope::PeerWriter {
+                    peer,
+                    stream,
+                    peer_rx,
+                    accepted,
+                } => install_edge(escrow, &ctx, node, peer, stream, peer_rx, accepted),
+                Envelope::EdgeDown { peer, epoch } => {
+                    if let Some(wi) = ctx.tree.nbrs(id).iter().position(|&v| v == peer) {
+                        // Ignore a stale reader's death notice: only the
+                        // current connection's reader may tear it down.
+                        if escrow.links[wi].epoch == epoch && escrow.links[wi].is_up() {
+                            downed.push(wi);
+                            mark_downed(escrow, &ctx, &mut downed);
+                        }
+                    }
+                }
+                Envelope::Ack { from, upto } => {
+                    if let Some(wi) = ctx.tree.nbrs(id).iter().position(|&v| v == from) {
+                        let link = &mut escrow.links[wi];
+                        if upto > link.acked {
+                            link.acked = upto;
+                        }
+                        while link.rtx.front().is_some_and(|(s, _, _)| *s <= link.acked) {
+                            link.rtx.pop_front();
+                        }
                     }
                 }
                 Envelope::ClientWriter { conn, stream } => {
-                    clients.insert(conn, BufWriter::with_capacity(WRITE_BUF, stream));
+                    escrow
+                        .clients
+                        .insert(conn, BufWriter::with_capacity(WRITE_BUF, stream));
                 }
                 Envelope::ClientGone { conn } => {
                     // FIFO guarantees every request from `conn` was served;
                     // parked combine waiters keep their slot and are
                     // answered best-effort (the respond() no-ops).
-                    clients.remove(&conn);
+                    escrow.clients.remove(&conn);
                 }
                 Envelope::Net { from, msg } => {
-                    delivered += 1;
+                    escrow.delivered += 1;
                     let completed = node.handle_message(from, msg, &mut out);
                     send_outbox(
-                        &node,
-                        &tree,
+                        node,
+                        ctx.tree,
                         id,
                         &mut out,
-                        &mut writers,
-                        &mut stats,
-                        &in_flight,
-                        &total_sent,
+                        &mut escrow.links,
+                        &mut escrow.stats,
+                        ctx.in_flight,
+                        ctx.total_sent,
+                        ctx.ledger,
+                        &mut downed,
                     );
                     if let Some(v) = completed {
                         // Every coalesced waiter gets the same value.
@@ -549,77 +1138,152 @@ where
                             let mut payload = Vec::with_capacity(16);
                             put_u64(&mut payload, req_id);
                             v.encode(&mut payload);
-                            respond(&mut clients, conn, TAG_RESP_COMBINE, &payload);
-                            completions.push((id, v.clone()));
+                            respond(&mut escrow.clients, conn, TAG_RESP_COMBINE, &payload);
+                            escrow.completions.push((id, v.clone()));
                         }
                     }
-                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                    ctx.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    if escrow.crash_at == Some(escrow.delivered) {
+                        // Injected crash, at a clean point: the envelope
+                        // is fully processed and accounted. Fires once.
+                        escrow.crash_at = None;
+                        ctx.ledger.crashes.fetch_add(1, Ordering::Relaxed);
+                        crash = true;
+                        break;
+                    }
+                }
+                Envelope::Reset { from } => {
+                    // The peer's automaton restarted: run the mechanism's
+                    // peer-reset transition (re-probes land in `out`) and
+                    // start the revoke cascade toward unsound grants.
+                    let revokes = node.handle_peer_reset(from, &mut out);
+                    send_outbox(
+                        node,
+                        ctx.tree,
+                        id,
+                        &mut out,
+                        &mut escrow.links,
+                        &mut escrow.stats,
+                        ctx.in_flight,
+                        ctx.total_sent,
+                        ctx.ledger,
+                        &mut downed,
+                    );
+                    for t in revokes {
+                        let wi = node.nbr_index(t);
+                        if send_seq(
+                            &mut escrow.links[wi],
+                            INNER_REVOKE,
+                            &[],
+                            ctx.in_flight,
+                            ctx.ledger,
+                        ) {
+                            downed.push(wi);
+                        }
+                    }
+                    ctx.in_flight.fetch_sub(1, Ordering::SeqCst);
+                }
+                Envelope::Revoke { from } => {
+                    let next_hops = node.handle_revoke(from, &mut out);
+                    send_outbox(
+                        node,
+                        ctx.tree,
+                        id,
+                        &mut out,
+                        &mut escrow.links,
+                        &mut escrow.stats,
+                        ctx.in_flight,
+                        ctx.total_sent,
+                        ctx.ledger,
+                        &mut downed,
+                    );
+                    for t in next_hops {
+                        let wi = node.nbr_index(t);
+                        if send_seq(
+                            &mut escrow.links[wi],
+                            INNER_REVOKE,
+                            &[],
+                            ctx.in_flight,
+                            ctx.ledger,
+                        ) {
+                            downed.push(wi);
+                        }
+                    }
+                    ctx.in_flight.fetch_sub(1, Ordering::SeqCst);
                 }
                 Envelope::Client { conn, req_id, op } => {
                     match op {
                         ReqOp::Write(arg) => {
+                            escrow.durable_val = arg.clone();
                             node.handle_write(arg, &mut out);
                             send_outbox(
-                                &node,
-                                &tree,
+                                node,
+                                ctx.tree,
                                 id,
                                 &mut out,
-                                &mut writers,
-                                &mut stats,
-                                &in_flight,
-                                &total_sent,
+                                &mut escrow.links,
+                                &mut escrow.stats,
+                                ctx.in_flight,
+                                ctx.total_sent,
+                                ctx.ledger,
+                                &mut downed,
                             );
                             let mut payload = Vec::with_capacity(8);
                             put_u64(&mut payload, req_id);
-                            respond(&mut clients, conn, TAG_RESP_WRITE, &payload);
+                            respond(&mut escrow.clients, conn, TAG_RESP_WRITE, &payload);
                         }
                         ReqOp::Combine => {
                             let outcome = node.handle_combine(&mut out);
                             send_outbox(
-                                &node,
-                                &tree,
+                                node,
+                                ctx.tree,
                                 id,
                                 &mut out,
-                                &mut writers,
-                                &mut stats,
-                                &in_flight,
-                                &total_sent,
+                                &mut escrow.links,
+                                &mut escrow.stats,
+                                ctx.in_flight,
+                                ctx.total_sent,
+                                ctx.ledger,
+                                &mut downed,
                             );
                             match outcome {
                                 CombineOutcome::Done(v) => {
                                     let mut payload = Vec::with_capacity(16);
                                     put_u64(&mut payload, req_id);
                                     v.encode(&mut payload);
-                                    respond(&mut clients, conn, TAG_RESP_COMBINE, &payload);
-                                    completions.push((id, v));
+                                    respond(&mut escrow.clients, conn, TAG_RESP_COMBINE, &payload);
+                                    escrow.completions.push((id, v));
                                 }
                                 CombineOutcome::Pending | CombineOutcome::Coalesced => {
-                                    waiters.push((conn, req_id));
+                                    // A retried request must not park a
+                                    // second waiter (one response per
+                                    // (connection, req-id)).
+                                    if !waiters.contains(&(conn, req_id)) {
+                                        waiters.push((conn, req_id));
+                                    }
                                 }
                             }
                         }
                     }
-                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                    ctx.in_flight.fetch_sub(1, Ordering::SeqCst);
                 }
                 Envelope::Metrics { conn, req_id } => {
                     let metrics = snapshot_metrics(
-                        &node,
-                        &tree,
+                        node,
+                        ctx.tree,
                         id,
-                        &stats,
-                        &gauge,
-                        delivered,
+                        escrow,
+                        ctx.gauge,
                         waiters.len() as u64,
-                        completions.len() as u64,
                     );
                     let mut payload = Vec::with_capacity(64);
                     put_u64(&mut payload, req_id);
                     metrics.encode(&mut payload);
-                    respond(&mut clients, conn, TAG_RESP_METRICS, &payload);
+                    respond(&mut escrow.clients, conn, TAG_RESP_METRICS, &payload);
                 }
             }
             next = if batched < MAX_BATCH {
-                match rx.try_recv() {
+                match escrow.rx.try_recv() {
                     Ok(env) => Some(env),
                     Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
                 }
@@ -627,36 +1291,188 @@ where
                 None
             };
         }
-        flush_all(id, &mut writers, &mut clients);
-    }
-
-    assert!(
-        waiters.is_empty(),
-        "node {id} shut down with {} unanswered combines",
-        waiters.len()
-    );
-    NodeReport {
-        stats,
-        completions,
-        log: node.ghost().map(|g| g.log.clone()),
-        delivered,
+        flush_and_ack(&mut escrow.links, &mut escrow.clients, &mut downed);
+        mark_downed(escrow, &ctx, &mut downed);
+        if crash {
+            return RunExit::Crashed;
+        }
+        if shutdown {
+            return finish(escrow, node, waiters, log, abandoned);
+        }
     }
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Orderly end of the final run: record what the automaton still held.
+fn finish<P, A>(
+    _escrow: &mut Escrow<A::Value>,
+    node: &MechNode<P, A>,
+    waiters: Vec<(ClientId, u64)>,
+    log: &mut Option<Vec<GhostReq<A::Value>>>,
+    abandoned: &mut u64,
+) -> RunExit
+where
+    P: oat_core::policy::NodePolicy,
+    A: AggOp,
+{
+    // Under faults a client may have given up on a combine; dropping the
+    // waiter (instead of the old panic) lets shutdown proceed and the
+    // count surfaces in the report.
+    *abandoned += waiters.len() as u64;
+    *log = node.ghost().map(|g| g.log.clone());
+    RunExit::Shutdown
+}
+
+/// Installs a freshly connected edge stream: replies to the hello when
+/// we are the accepting side, replaces any previous connection, spawns
+/// the reader, and replays every unacknowledged frame past the peer's
+/// receive watermark.
+fn install_edge<P, A>(
+    escrow: &mut Escrow<A::Value>,
+    ctx: &RunCtx<'_, A::Value>,
+    node: &MechNode<P, A>,
+    peer: NodeId,
+    stream: TcpStream,
+    peer_rx: u64,
+    accepted: bool,
+) where
+    P: oat_core::policy::NodePolicy,
+    A: AggOp,
+    A::Value: WireValue,
+{
+    // An unknown peer id is a protocol violation from an untrusted
+    // connection: drop it.
+    let Some(wi) = ctx.tree.nbrs(ctx.id).iter().position(|&v| v == peer) else {
+        return;
+    };
+    let _ = node; // neighbour lookup goes through the tree; node unused
+    let link = &mut escrow.links[wi];
+    if accepted {
+        // Reply with our id + receive watermark so the dialer knows
+        // where to resume. Direct unbuffered write: the dialer sends
+        // nothing until it has read this.
+        let mut hello = Vec::with_capacity(12);
+        put_u32(&mut hello, ctx.id.0);
+        put_u64(&mut hello, link.shared.rx_seq.load(Ordering::Relaxed));
+        let mut s = &stream;
+        if write_frame(&mut s, TAG_HELLO_EDGE, &hello).is_err() {
+            // The dialer will retry with backoff.
+            return;
+        }
+    }
+    let (reader_stream, raw) = match (stream.try_clone(), stream.try_clone()) {
+        (Ok(a), Ok(b)) => (a, b),
+        _ => return,
+    };
+    let was_up = link.is_up();
+    link.epoch += 1;
+    link.raw = Some(raw);
+    link.writer = Some(BufWriter::with_capacity(WRITE_BUF, stream));
+    link.redialing = false;
+    if link.ever_up {
+        escrow.counters.reconnects += 1;
+    }
+    link.ever_up = true;
+    {
+        let tx = ctx.tx.clone();
+        let gauge = Arc::clone(ctx.gauge);
+        let shared = Arc::clone(&link.shared);
+        let in_flight = Arc::clone(ctx.in_flight);
+        let shutting_down = Arc::clone(ctx.shutting_down);
+        let epoch = link.epoch;
+        std::thread::spawn(move || {
+            edge_reader::<A::Value>(
+                reader_stream,
+                peer,
+                epoch,
+                tx,
+                gauge,
+                shared,
+                in_flight,
+                shutting_down,
+            )
+        });
+    }
+    // Resume the sequenced stream: everything the peer already has is
+    // acknowledged by its hello watermark; replay the rest in order.
+    if peer_rx > link.acked {
+        link.acked = peer_rx;
+    }
+    while link.rtx.front().is_some_and(|(s, _, _)| *s <= link.acked) {
+        link.rtx.pop_front();
+    }
+    if !link.rtx.is_empty() {
+        escrow.counters.retransmits += link.rtx.len() as u64;
+        let w = link.writer.as_mut().expect("just installed");
+        let mut failed = false;
+        for (seq, inner, body) in &link.rtx {
+            if write_seq(w, *seq, *inner, body).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        if !failed {
+            failed = w.flush().is_err();
+        }
+        if failed {
+            let mut downs = vec![wi];
+            mark_downed(escrow, ctx, &mut downs);
+            return;
+        }
+    }
+    if !was_up {
+        escrow.connected += 1;
+        if escrow.connected == ctx.tree.degree(ctx.id) && !escrow.ready_sent {
+            escrow.ready_sent = true;
+            let _ = ctx.ready_tx.send(());
+        }
+    }
+}
+
+/// Marks every queued-down edge as down exactly once and spawns the
+/// redial thread when this endpoint owns the edge's dialing.
+fn mark_downed<V: WireValue + Send + 'static>(
+    escrow: &mut Escrow<V>,
+    ctx: &RunCtx<'_, V>,
+    downed: &mut Vec<usize>,
+) {
+    for wi in downed.drain(..) {
+        let link = &mut escrow.links[wi];
+        if !link.is_up() {
+            continue;
+        }
+        link.writer = None;
+        if let Some(raw) = link.raw.take() {
+            let _ = raw.shutdown(Shutdown::Both);
+        }
+        escrow.connected -= 1;
+        if link.dialer && !link.redialing && !ctx.shutting_down.load(Ordering::SeqCst) {
+            link.redialing = true;
+            let tx = ctx.tx.clone();
+            let gauge = Arc::clone(ctx.gauge);
+            let shared = Arc::clone(&link.shared);
+            let shutting_down = Arc::clone(ctx.shutting_down);
+            let addr = ctx.addrs[link.peer.idx()];
+            let me = ctx.id;
+            let peer = link.peer;
+            std::thread::spawn(move || {
+                edge_dialer::<V>(addr, me, peer, shared, tx, gauge, shutting_down)
+            });
+        }
+    }
+}
+
 fn snapshot_metrics<P: oat_core::policy::NodePolicy, A: AggOp>(
     node: &MechNode<P, A>,
     tree: &Tree,
     id: NodeId,
-    stats: &MsgStats,
+    escrow: &Escrow<A::Value>,
     gauge: &QueueGauge,
-    delivered: u64,
     pending_combines: u64,
-    combines_served: u64,
 ) -> NodeMetrics {
     let mut leases_taken = 0;
     let mut leases_granted = 0;
     let mut edges = Vec::with_capacity(node.nbrs().len());
+    let mut dup_drops = 0;
     for (vi, &v) in node.nbrs().iter().enumerate() {
         if node.taken(vi) {
             leases_taken += 1;
@@ -664,19 +1480,28 @@ fn snapshot_metrics<P: oat_core::policy::NodePolicy, A: AggOp>(
         if node.granted(vi) {
             leases_granted += 1;
         }
-        edges.push((v.0, stats.per_edge_counts()[tree.dir_edge_index(id, v)]));
+        edges.push((
+            v.0,
+            escrow.stats.per_edge_counts()[tree.dir_edge_index(id, v)],
+        ));
+        dup_drops += escrow.links[vi].shared.dup_drops.load(Ordering::Relaxed);
     }
     let (queue_depth, queue_peak) = gauge.read();
     NodeMetrics {
         node: id.0,
-        sent_by_kind: stats.kind_totals(),
-        delivered,
+        sent_by_kind: escrow.stats.kind_totals(),
+        delivered: escrow.delivered,
         edges,
         leases_taken,
         leases_granted,
         queue_depth,
         queue_peak,
         pending_combines,
-        combines_served,
+        combines_served: escrow.completions.len() as u64,
+        reconnects: escrow.counters.reconnects,
+        retransmits: escrow.counters.retransmits,
+        dup_drops,
+        timeouts: escrow.counters.timeouts,
+        restarts: escrow.counters.restarts,
     }
 }

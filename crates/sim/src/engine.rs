@@ -10,6 +10,7 @@
 use std::collections::VecDeque;
 
 use oat_core::agg::AggOp;
+use oat_core::fault::{EdgeFaults, FaultAction, FaultPlan, InjectedFaults};
 use oat_core::mechanism::{CombineOutcome, MechNode, Outbox};
 use oat_core::message::Message;
 use oat_core::policy::PolicySpec;
@@ -79,6 +80,16 @@ pub struct Engine<S: PolicySpec, A: AggOp> {
     scratch: Outbox<A::Value>,
     /// Maximum delivered depth since the last [`Engine::reset_depth_window`].
     window_max_depth: u32,
+    /// Seeded fault injection, when armed via [`Engine::set_fault_plan`].
+    /// `None` is the reliable network — the hot path pays one branch.
+    faults: Option<SimFaults>,
+}
+
+/// Armed fault state: one decision stream per directed edge, plus the
+/// ledger of everything injected so far.
+struct SimFaults {
+    streams: Vec<EdgeFaults>,
+    ledger: InjectedFaults,
 }
 
 impl<S: PolicySpec, A: AggOp> Clone for Engine<S, A>
@@ -98,6 +109,9 @@ where
             stats: self.stats.clone(),
             scratch: Vec::new(),
             window_max_depth: self.window_max_depth,
+            // The model checker (the only cloner) explores reliable
+            // networks; an armed plan does not survive a clone.
+            faults: None,
         }
     }
 }
@@ -151,8 +165,38 @@ impl<S: PolicySpec, A: AggOp> Engine<S, A> {
             stats,
             scratch: Vec::new(),
             window_max_depth: 0,
+            faults: None,
             tree,
         }
+    }
+
+    /// Arms a seeded [`FaultPlan`]: subsequent deliveries consult the
+    /// plan's per-directed-edge decision streams and may drop, duplicate,
+    /// or delay messages *on the wire* — the mechanism underneath is not
+    /// told, so the run demonstrates exactly what the paper's reliable
+    /// FIFO assumption buys. The kill/crash schedules are transport
+    /// concepts and are ignored here (the TCP runtime consumes them).
+    /// An empty plan disarms injection entirely.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        if plan.is_empty() {
+            self.faults = None;
+            return;
+        }
+        let streams = (0..self.tree.num_dir_edges())
+            .map(|e| {
+                let (from, to) = self.tree.dir_edge(e);
+                plan.edge_stream(from, to)
+            })
+            .collect();
+        self.faults = Some(SimFaults {
+            streams,
+            ledger: InjectedFaults::default(),
+        });
+    }
+
+    /// The injected-fault ledger, when a plan is armed.
+    pub fn injected(&self) -> Option<&InjectedFaults> {
+        self.faults.as_ref().map(|f| &f.ledger)
     }
 
     /// Pre-establishes leases in both directions on every edge (a valid
@@ -259,6 +303,42 @@ impl<S: PolicySpec, A: AggOp> Engine<S, A> {
             if self.stale_tokens[edge] > 0 {
                 self.stale_tokens[edge] -= 1;
                 continue;
+            }
+            if let Some(f) = self.faults.as_mut() {
+                use std::sync::atomic::Ordering::Relaxed;
+                match f.streams[edge].next_action() {
+                    FaultAction::Deliver => {}
+                    FaultAction::Drop => {
+                        // The popped token was this edge's oldest, so
+                        // dropping the channel head keeps them aligned.
+                        self.chans[edge].pop_front().expect("token implies message");
+                        self.live_tokens -= 1;
+                        f.ledger.drops.fetch_add(1, Relaxed);
+                        continue;
+                    }
+                    FaultAction::Duplicate => {
+                        // Clone the head in place and mint a token for
+                        // it; the original is delivered now, the twin on
+                        // a later pick. Stats are *not* recorded — the
+                        // duplicate is a wire artifact, not a send.
+                        let twin = self.chans[edge]
+                            .front()
+                            .cloned()
+                            .expect("token implies message");
+                        self.chans[edge].push_front(twin);
+                        self.tokens.push_back(edge);
+                        self.live_tokens += 1;
+                        f.ledger.dups.fetch_add(1, Relaxed);
+                    }
+                    FaultAction::Delay => {
+                        // Defer the whole edge: its head stays put and
+                        // the token goes to the back of the pick order,
+                        // so per-edge FIFO is preserved.
+                        self.tokens.push_back(edge);
+                        f.ledger.delays.fetch_add(1, Relaxed);
+                        continue;
+                    }
+                }
             }
             break edge;
         };
@@ -436,6 +516,70 @@ mod tests {
             }
         }
         assert_eq!(eng.stats().total(), 0);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_disarmed() {
+        let mut eng = Engine::new(Tree::path(3), SumI64, &RwwSpec, Schedule::Fifo, false);
+        eng.set_fault_plan(&oat_core::FaultPlan::default());
+        assert!(eng.injected().is_none(), "empty plan must cost nothing");
+        eng.initiate_combine(n(0));
+        let done = eng.run_to_quiescence();
+        assert_eq!(done, vec![(n(0), 0)]);
+    }
+
+    #[test]
+    fn dropped_update_produces_a_stale_read() {
+        // The reliable-FIFO assumption is load-bearing: establish leases,
+        // then lose the update traffic on the wire and watch a combine
+        // return a value that is not the global oracle.
+        let mut eng = Engine::new(Tree::path(3), SumI64, &RwwSpec, Schedule::Fifo, false);
+        eng.initiate_combine(n(0));
+        eng.run_to_quiescence();
+        let plan = oat_core::FaultPlan {
+            seed: 1,
+            drop_p: 1.0,
+            ..Default::default()
+        };
+        eng.set_fault_plan(&plan);
+        eng.initiate_write(n(2), 9);
+        eng.run_to_quiescence();
+        let ledger = eng.injected().expect("plan armed");
+        assert!(ledger.snapshot().0 > 0, "updates were dropped");
+        match eng.initiate_combine(n(0)) {
+            CombineOutcome::Done(v) => {
+                assert_eq!(v, 0, "stale: the dropped update never arrived");
+                assert_ne!(v, eng.global_oracle(), "strict consistency violated");
+            }
+            o => panic!("leases held, expected local Done, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn faulty_runs_are_seed_deterministic() {
+        let run = |seed: u64| {
+            let mut eng = Engine::new(Tree::kary(7, 2), SumI64, &RwwSpec, Schedule::Fifo, false);
+            let plan = oat_core::FaultPlan {
+                seed,
+                drop_p: 0.2,
+                dup_p: 0.2,
+                delay_p: 0.2,
+                ..Default::default()
+            };
+            eng.set_fault_plan(&plan);
+            for i in 0..7u32 {
+                eng.initiate_write(n(i), i as i64);
+                eng.run_to_quiescence();
+                eng.initiate_combine(n(i % 3));
+                eng.run_to_quiescence();
+            }
+            let led = eng.injected().unwrap().snapshot();
+            (led, eng.stats().total())
+        };
+        let a = run(5);
+        assert_eq!(a, run(5), "same seed, same injected faults");
+        assert!(a.0 .0 + a.0 .1 + a.0 .2 > 0, "plan actually fired");
+        assert_ne!(a, run(6), "different seed, different trajectory");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! * script: comma-separated `c@NODE` (combine) and `w@NODE=VALUE`
 //!   (write) items.
 
+use oat::core::fault::FaultPlan;
 use oat::core::policy::ab::AbSpec;
 use oat::core::policy::random::RandomBreakSpec;
 use oat::net::Cluster;
@@ -44,6 +45,7 @@ fn main() {
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench-net") => cmd_bench_net(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("help") | None => {
             print!("{}", HELP);
             0
@@ -68,6 +70,8 @@ USAGE:
                 [--json] [--check] [--pipeline N]
   oat bench     [--tree SPEC] [--workload SPEC] [--policy SPEC] [--seed N]
                 [--depth N] [--quick] [--json] [--out PATH]
+  oat chaos     --tree SPEC --workload SPEC [--policy SPEC] [--seed N]
+                [--faults SPEC]
   oat help
 
 SPECS:
@@ -76,6 +80,8 @@ SPECS:
   workload: uniform:WF:LEN | hotspot:WF:LEN:READERS:WRITERS
             | zipf:WF:LEN:ALPHA | singlewriter:ROUNDS:WRITES_PER_ROUND
   script:   comma-separated c@NODE and w@NODE=VALUE items
+  faults:   comma-separated seed:N | drop:P | dup:P | delay:P
+            | kill:FROM-TO@FRAMES | crash:NODE@DELIVERED  (or `none`)
 
 NET COMMANDS (oat-net TCP cluster on loopback):
   serve      spawns one server thread + TcpListener per tree node and reads
@@ -91,6 +97,12 @@ NET COMMANDS (oat-net TCP cluster on loopback):
              sim<->TCP parity, and writes BENCH_<date>.json (oat-bench-v1
              schema; --out overrides the path, --json also prints it,
              --quick shrinks the workload for CI smoke runs)
+  chaos      replays a seeded workload sequentially while the transport is
+             subjected to --faults (seeded drop/dup/delay, scheduled
+             connection kills, scheduled node crash-restarts); asserts
+             every combine equals the running oracle, then reports the
+             injection ledger and recovery counters; exits non-zero on
+             any divergence or a wedged cluster
 
 EXAMPLES:
   oat run --tree kary:64:2 --policy rww --workload uniform:0.5:1000 --seed 7
@@ -622,6 +634,135 @@ where
         );
         cluster.shutdown();
     }
+    Ok(())
+}
+
+fn cmd_chaos(args: &[String]) -> i32 {
+    let result = (|| -> Result<(), String> {
+        let tree = parse_tree(flag(args, "--tree").ok_or("missing --tree")?)?;
+        let policy = parse_policy(flag(args, "--policy").unwrap_or("rww"))?;
+        let seed: u64 = flag(args, "--seed")
+            .unwrap_or("42")
+            .parse()
+            .map_err(|_| "bad --seed")?;
+        let seq = parse_workload(
+            flag(args, "--workload").ok_or("missing --workload")?,
+            &tree,
+            seed,
+        )?;
+        let plan = FaultPlan::parse(
+            flag(args, "--faults").unwrap_or("seed:7,drop:0.05,dup:0.05,delay:0.05"),
+        )?;
+        with_policy!(&policy, spec => chaos_run(&tree, &spec, &seq, plan))
+    })();
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+fn chaos_run<S: PolicySpec>(
+    tree: &Tree,
+    spec: &S,
+    seq: &[Request<i64>],
+    plan: FaultPlan,
+) -> Result<(), String>
+where
+    S::Node: 'static,
+{
+    use std::time::Duration;
+    let kills_planned = plan.kills.len();
+    let crashes_planned = plan.crashes.len();
+    let cluster = Cluster::spawn_with_faults(tree, SumI64, spec, false, plan)
+        .map_err(|e| format!("cluster spawn: {e}"))?;
+    println!(
+        "chaos: {} nodes, policy {}, {} requests; plan: {} kills, {} crashes scheduled",
+        tree.len(),
+        cluster.policy_name(),
+        seq.len(),
+        kills_planned,
+        crashes_planned,
+    );
+    let start = std::time::Instant::now();
+    let mut clients: Vec<Option<oat::net::ClusterClient<i64>>> =
+        (0..tree.len()).map(|_| None).collect();
+    let mut last = vec![0i64; tree.len()];
+    let mut combines = 0u64;
+    for (i, q) in seq.iter().enumerate() {
+        let slot = &mut clients[q.node.idx()];
+        let client = match slot {
+            Some(c) => c,
+            None => {
+                let mut c = cluster
+                    .client(q.node)
+                    .map_err(|e| format!("connect to node {}: {e}", q.node.0))?;
+                c.set_timeout(Some(Duration::from_millis(250)), 240)
+                    .map_err(|e| format!("arm timeout: {e}"))?;
+                slot.insert(c)
+            }
+        };
+        match &q.op {
+            ReqOp::Write(v) => {
+                client
+                    .write(*v)
+                    .map_err(|e| format!("request {i}: write failed: {e}"))?;
+                last[q.node.idx()] = *v;
+            }
+            ReqOp::Combine => {
+                let got = client
+                    .combine()
+                    .map_err(|e| format!("request {i}: combine failed: {e}"))?;
+                let want: i64 = last.iter().sum();
+                if got != want {
+                    return Err(format!(
+                        "request {i}: combine at node {} returned {got}, oracle says {want} \
+                         — STRICT CONSISTENCY VIOLATED",
+                        q.node.0
+                    ));
+                }
+                combines += 1;
+            }
+        }
+        if !cluster.quiesce_for(Duration::from_secs(30)) {
+            return Err(format!("request {i}: cluster failed to drain — wedged"));
+        }
+    }
+    let elapsed = start.elapsed();
+    let (drops, dups, delays, kills, crashes) = cluster.injected().snapshot();
+    let report = cluster.shutdown();
+    println!(
+        "  {} combines, every one equal to the sequential oracle, in {:.3}s",
+        combines,
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "  injected:  drops {drops}, dups {dups}, delays {delays}, \
+         conns killed {kills}, crashes {crashes}"
+    );
+    println!(
+        "  recovered: reconnects {}, retransmits {}, rto expiries {}, restarts {}",
+        report.faults.reconnects,
+        report.faults.retransmits,
+        report.faults.timeouts,
+        report.faults.restarts,
+    );
+    if !report.dead_nodes.is_empty() {
+        return Err(format!(
+            "dead nodes at shutdown: {:?}",
+            report.dead_nodes.iter().map(|n| n.0).collect::<Vec<_>>()
+        ));
+    }
+    if kills != kills_planned as u64 || crashes != crashes_planned as u64 {
+        return Err(format!(
+            "schedule incomplete: {kills}/{kills_planned} kills, \
+             {crashes}/{crashes_planned} crashes fired — the workload was \
+             too small to reach the scheduled trigger points"
+        ));
+    }
+    println!("  chaos: OK");
     Ok(())
 }
 

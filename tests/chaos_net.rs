@@ -1,0 +1,246 @@
+//! Chaos parity: the TCP cluster under injected faults.
+//!
+//! The headline robustness property: a seeded workload replayed
+//! sequentially (each request driven to completion and the network
+//! drained before the next) returns **exactly the oracle value for
+//! every combine**, even while the transport underneath drops,
+//! duplicates and delays frames, has whole TCP connections killed
+//! mid-run, and has a node's automaton crashed and restarted by its
+//! supervisor. Strict consistency is the mechanism's contract; the
+//! fault-recovery machinery (sequenced exactly-once edge links,
+//! reconnect with retransmit, peer-reset + revoke cascade, client
+//! timeout/retry) exists to uphold it, and this test is where that
+//! claim is cashed in.
+//!
+//! Message *counts* are not compared under chaos — recovery traffic
+//! (re-probes, resets, revokes) legitimately adds messages. The
+//! fault-free parity suite (`net_parity.rs`) pins the counts; this
+//! suite pins the values and the recovery bookkeeping.
+
+use std::time::Duration;
+
+use oat::core::agg::SumI64;
+use oat::core::fault::{CrashNode, FaultPlan, KillConn};
+use oat::core::policy::rww::RwwSpec;
+use oat::core::request::{ReqOp, Request};
+use oat::core::tree::{NodeId, Tree};
+use oat::net::{Cluster, ClusterClient};
+use oat::workloads::uniform;
+
+/// Per-read client timeout. Far above one RTO (30 ms), so a retry means
+/// real loss (a crashed waiter), not impatience with recovery latency.
+const CLIENT_TIMEOUT: Duration = Duration::from_millis(250);
+/// Retries per blocking read before a client gives up (generous: the
+/// test asserts completion, the timeout only bounds a true wedge).
+const CLIENT_RETRIES: u32 = 120;
+/// Per-request quiescence deadline.
+const DRAIN: Duration = Duration::from_secs(30);
+
+/// Replays `seq` sequentially against `cluster` with retrying clients,
+/// asserting every combine returns the running oracle (sum of each
+/// node's last written value). Returns the number of combines checked.
+fn replay_against_oracle(cluster: &Cluster<SumI64>, seq: &[Request<i64>]) -> usize {
+    let tree = cluster.tree();
+    let mut clients: Vec<Option<ClusterClient<i64>>> = (0..tree.len()).map(|_| None).collect();
+    let mut last = vec![0i64; tree.len()];
+    let mut combines = 0;
+    for (i, q) in seq.iter().enumerate() {
+        let slot = &mut clients[q.node.idx()];
+        let client = match slot {
+            Some(c) => c,
+            None => {
+                let mut c = cluster.client(q.node).expect("client connect");
+                c.set_timeout(Some(CLIENT_TIMEOUT), CLIENT_RETRIES)
+                    .expect("arm timeout");
+                slot.insert(c)
+            }
+        };
+        match &q.op {
+            ReqOp::Write(v) => {
+                client
+                    .write(*v)
+                    .unwrap_or_else(|e| panic!("request {i}: write failed: {e}"));
+                last[q.node.idx()] = *v;
+            }
+            ReqOp::Combine => {
+                let got = client
+                    .combine()
+                    .unwrap_or_else(|e| panic!("request {i}: combine failed: {e}"));
+                let want: i64 = last.iter().sum();
+                assert_eq!(
+                    got, want,
+                    "request {i}: combine at {:?} diverged from the oracle",
+                    q.node
+                );
+                combines += 1;
+            }
+        }
+        assert!(
+            cluster.quiesce_for(DRAIN),
+            "request {i}: cluster failed to drain within {DRAIN:?}"
+        );
+    }
+    combines
+}
+
+#[test]
+fn full_chaos_run_matches_the_sequential_oracle() {
+    // The acceptance scenario: probabilistic drop/duplicate/delay on
+    // every edge, two scheduled connection kills on distinct tree
+    // edges, and one non-root node crashed mid-run — every combine
+    // must still equal the oracle and the cluster must quiesce.
+    let tree = Tree::kary(10, 3);
+    let seq = uniform(&tree, 90, 0.5, 0xC0DE);
+    let plan = FaultPlan {
+        seed: 7,
+        drop_p: 0.05,
+        dup_p: 0.05,
+        delay_p: 0.05,
+        // Root edges carry traffic in any workload, so small frame
+        // thresholds guarantee both kills actually fire.
+        kills: vec![
+            KillConn {
+                from: NodeId(0),
+                to: NodeId(1),
+                after_frames: 3,
+            },
+            KillConn {
+                from: NodeId(2),
+                to: NodeId(0),
+                after_frames: 4,
+            },
+        ],
+        // Node 2 is internal (children 7, 8, 9) and not the root.
+        crashes: vec![CrashNode {
+            node: NodeId(2),
+            after_delivered: 5,
+        }],
+    };
+
+    let cluster =
+        Cluster::spawn_with_faults(&tree, SumI64, &RwwSpec, false, plan).expect("spawn chaos");
+    let combines = replay_against_oracle(&cluster, &seq);
+    assert!(combines > 10, "workload must actually exercise combines");
+
+    // The injection ledger records what was actually done to the run.
+    let (drops, dups, delays, kills, crashes) = cluster.injected().snapshot();
+    assert_eq!(kills, 2, "both scheduled connection kills must fire");
+    assert_eq!(crashes, 1, "the scheduled crash must fire");
+    assert!(
+        drops + dups + delays > 0,
+        "probabilistic faults must have fired on a run this size"
+    );
+
+    // Per-node metrics must surface the recovery work while the
+    // cluster is still alive (metrics_json is the operator's view).
+    let m2 = cluster.node_metrics(NodeId(2)).expect("metrics node 2");
+    assert_eq!(m2.restarts, 1, "node 2 was crashed exactly once");
+    let json = cluster.metrics_json().expect("metrics json");
+    assert!(json.contains("\"restarts\": 1"));
+    // Exactly-once delivery: every injected duplicate was discarded by
+    // a receiving sequencer (kill-replay overlap may add more).
+    let mut dup_drops = 0;
+    for u in tree.nodes() {
+        dup_drops += cluster.node_metrics(u).expect("metrics").dup_drops;
+    }
+    assert!(
+        dup_drops >= dups,
+        "sequencers must have dropped all {dups} injected duplicates (saw {dup_drops})"
+    );
+
+    let report = cluster.shutdown();
+    assert!(report.dead_nodes.is_empty(), "no node may stay wedged");
+    assert_eq!(report.faults.restarts, 1);
+    // Each kill severs one TCP connection, which is then re-dialed and
+    // re-accepted: at least one reconnect per kill, possibly counted on
+    // both endpoints.
+    assert!(
+        report.faults.reconnects >= 2,
+        "both killed connections must come back (saw {})",
+        report.faults.reconnects
+    );
+    // Dropped/delayed first transmissions and kill-lost buffers are all
+    // recovered through retransmission.
+    assert!(
+        report.faults.retransmits > 0,
+        "injected loss must show up as retransmits"
+    );
+}
+
+#[test]
+fn crash_only_chaos_preserves_written_state() {
+    // Crash-restart in isolation (no link faults): a node is killed
+    // after its writes have propagated; the supervisor restores its
+    // durable value, neighbours revoke and re-probe, and combines
+    // keep returning the oracle.
+    let tree = Tree::path(5);
+    let plan = FaultPlan {
+        seed: 11,
+        crashes: vec![CrashNode {
+            node: NodeId(2),
+            after_delivered: 2,
+        }],
+        ..FaultPlan::default()
+    };
+    let cluster = Cluster::spawn_with_faults(&tree, SumI64, &RwwSpec, false, plan).expect("spawn");
+
+    let mut seq = Vec::new();
+    for u in 0..5 {
+        seq.push(Request::write(NodeId(u), (u as i64 + 1) * 10));
+    }
+    // Combines at the endpoints force full-path fan-outs through the
+    // crash site, before and after the crash fires.
+    for _ in 0..6 {
+        seq.push(Request::combine(NodeId(0)));
+        seq.push(Request::combine(NodeId(4)));
+    }
+    seq.push(Request::write(NodeId(2), -7));
+    seq.push(Request::combine(NodeId(0)));
+
+    let combines = replay_against_oracle(&cluster, &seq);
+    assert_eq!(combines, 13);
+
+    let (_, _, _, kills, crashes) = cluster.injected().snapshot();
+    assert_eq!((kills, crashes), (0, 1));
+    let report = cluster.shutdown();
+    assert_eq!(report.faults.restarts, 1);
+    assert_eq!(report.faults.reconnects, 0, "no connection was killed");
+    assert!(report.dead_nodes.is_empty());
+}
+
+#[test]
+fn empty_fault_plan_is_free_and_ledger_stays_zero() {
+    // spawn_with_faults(empty) must behave exactly like spawn: zero
+    // injected events, zero recovery work, counts identical to the
+    // fault-free run (net_parity.rs pins those against the simulator).
+    let tree = Tree::star(6);
+    let seq = uniform(&tree, 40, 0.5, 0xFACE);
+    let cluster = Cluster::spawn_with_faults(&tree, SumI64, &RwwSpec, false, FaultPlan::default())
+        .expect("spawn");
+    let combines = replay_against_oracle(&cluster, &seq);
+    assert!(combines > 0);
+    assert_eq!(cluster.injected().snapshot(), (0, 0, 0, 0, 0));
+    let report = cluster.shutdown();
+    assert_eq!(report.faults, oat::net::FaultCounters::default());
+    assert_eq!(report.abandoned, 0);
+    assert!(report.dead_nodes.is_empty());
+}
+
+#[test]
+fn multi_client_pipelined_replay_answers_every_request() {
+    // The M-clients-per-node driver on a reliable substrate: every
+    // request answered, every message delivered, combine count intact.
+    let tree = Tree::kary(10, 3);
+    let seq = uniform(&tree, 120, 0.5, 0x3C3C);
+    let expected_combines = seq.iter().filter(|q| q.op.is_combine()).count();
+    let cluster = Cluster::spawn(&tree, SumI64, &RwwSpec, false).expect("spawn");
+    let pipe = cluster.replay_pipelined_multi(&seq, 4, 3).expect("replay");
+    cluster.quiesce();
+    assert_eq!(pipe.combines.len(), expected_combines);
+    for w in pipe.combines.windows(2) {
+        assert!(w[0].0 < w[1].0, "combine indices sorted and unique");
+    }
+    assert_eq!(pipe.latencies.len(), seq.len());
+    let report = cluster.shutdown();
+    assert_eq!(report.delivered, report.stats.total());
+}

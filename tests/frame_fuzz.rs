@@ -1,0 +1,176 @@
+//! Fuzz-style property tests for the wire frame codec.
+//!
+//! The framing layer (`oat::net::frame`) is the outermost parser of every
+//! byte that arrives off a socket — from peers, clients, or strangers. Its
+//! contract under hostile input is narrow and absolute: `read_frame`
+//! returns `Ok` or `Err`, it never panics, and a frame that round-trips
+//! through `write_frame` decodes to exactly what was written. These
+//! properties drive random payloads, truncations, bit flips, and raw
+//! garbage through the codec to pin that contract.
+//!
+//! (Runs on the vendored offline `proptest` subset: no shrinking, but
+//! deterministic per-test seeds, so any failure reproduces with plain
+//! `cargo test`.)
+
+use std::io;
+
+use oat::net::frame::{is_clean_close, read_frame, write_frame, TAG_ACK};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// An arbitrary frame: any tag, payload up to 512 bytes.
+fn frame_strategy() -> impl Strategy<Value = (u8, Vec<u8>)> {
+    (0u8..=255, vec(any::<u8>(), 0..=512))
+}
+
+/// Encodes `(tag, payload)` with the real writer.
+fn encode(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, tag, payload).expect("small frame always encodes");
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn roundtrip_is_identity((tag, payload) in frame_strategy()) {
+        let buf = encode(tag, &payload);
+        prop_assert_eq!(buf.len(), 5 + payload.len(), "header is [u32 len][u8 tag]");
+        let mut r = &buf[..];
+        let (got_tag, got_payload) = read_frame(&mut r).expect("valid frame decodes");
+        prop_assert_eq!(got_tag, tag);
+        prop_assert_eq!(got_payload, payload);
+        prop_assert!(r.is_empty(), "decoder consumes exactly one frame");
+    }
+
+    #[test]
+    fn every_truncation_errs_and_never_panics(
+        (tag, payload) in frame_strategy(),
+        cut in any::<usize>(),
+    ) {
+        // Every proper prefix of a valid frame is an error — either a
+        // truncated header or a short body — and is always UnexpectedEof,
+        // which the node runtime treats as a dead connection.
+        let buf = encode(tag, &payload);
+        let cut = cut % buf.len(); // strictly shorter than the frame
+        let mut r = &buf[..cut];
+        let err = read_frame(&mut r).expect_err("truncated frame must not decode");
+        prop_assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {}", cut);
+        prop_assert!(is_clean_close(&err));
+    }
+
+    #[test]
+    fn oversized_length_headers_are_rejected_without_allocating(
+        extra in 0u32..=u32::MAX - (64 << 20) - 1,
+        junk in vec(any::<u8>(), 0..=64),
+    ) {
+        // A length field beyond MAX_FRAME (64 MiB) is InvalidData up
+        // front; the decoder must not trust it and try to allocate or
+        // read that many bytes.
+        let len = (64u32 << 20) + 1 + extra;
+        let mut buf = len.to_le_bytes().to_vec();
+        buf.extend_from_slice(&junk);
+        let err = read_frame(&mut &buf[..]).expect_err("oversized frame must not decode");
+        prop_assert_eq!(err.kind(), io::ErrorKind::InvalidData, "len = {}", len);
+    }
+
+    #[test]
+    fn bit_flips_never_panic_and_corrupt_lengths_err(
+        (tag, payload) in frame_strategy(),
+        bit in any::<usize>(),
+    ) {
+        // Flip one bit anywhere in the encoded frame. The decoder must
+        // return *something* without panicking; flips that land in the
+        // length field either still describe a plausible frame (handled
+        // as truncation/garbage) or are rejected as InvalidData.
+        let mut buf = encode(tag, &payload);
+        let bit = bit % (buf.len() * 8);
+        buf[bit / 8] ^= 1 << (bit % 8);
+        let flipped_length_field = bit < 32;
+        match read_frame(&mut &buf[..]) {
+            // A payload/tag flip decodes to a same-length frame with the
+            // corrupted bytes — framing itself cannot detect that, the
+            // typed payload decoders above it do. (A *length* flip may
+            // legitimately decode a shorter frame out of the same bytes.)
+            Ok((_, body)) => prop_assert!(
+                flipped_length_field || body.len() == payload.len(),
+                "payload/tag flip changed the frame length"
+            ),
+            Err(e) => prop_assert!(
+                matches!(e.kind(), io::ErrorKind::UnexpectedEof | io::ErrorKind::InvalidData),
+                "unexpected error kind {:?}",
+                e.kind()
+            ),
+        }
+    }
+
+    #[test]
+    fn random_garbage_never_panics(bytes in vec(any::<u8>(), 0..=256)) {
+        // Raw noise straight off a socket: decode as many frames as the
+        // bytes happen to spell out, then hit a clean error. Nothing in
+        // this loop may panic, and progress must be monotone.
+        let mut r = &bytes[..];
+        loop {
+            let before = r.len();
+            match read_frame(&mut r) {
+                Ok((_, body)) => {
+                    prop_assert_eq!(before - r.len(), 5 + body.len());
+                }
+                Err(e) => {
+                    prop_assert!(
+                        matches!(
+                            e.kind(),
+                            io::ErrorKind::UnexpectedEof | io::ErrorKind::InvalidData
+                        ),
+                        "unexpected error kind {:?}",
+                        e.kind()
+                    );
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_with_a_torn_tail(
+        frames in vec(frame_strategy(), 1..=6),
+        cut in any::<usize>(),
+    ) {
+        // A buffer of whole frames followed by a torn final frame: every
+        // whole frame decodes intact, the tail errs, nothing panics.
+        // This is exactly what a killed connection leaves in a reader.
+        let mut buf = Vec::new();
+        for (tag, payload) in &frames {
+            buf.extend_from_slice(&encode(*tag, payload));
+        }
+        let (last_tag, last_payload) = &frames[frames.len() - 1];
+        let tail = encode(*last_tag, last_payload);
+        let keep = cut % tail.len();
+        buf.extend_from_slice(&tail[..keep]);
+
+        let mut r = &buf[..];
+        for (i, (tag, payload)) in frames.iter().enumerate() {
+            let (got_tag, got_payload) = read_frame(&mut r)
+                .unwrap_or_else(|e| panic!("whole frame {i} failed to decode: {e}"));
+            prop_assert_eq!(got_tag, *tag);
+            prop_assert_eq!(&got_payload, payload);
+        }
+        let err = read_frame(&mut r).expect_err("torn tail must not decode");
+        prop_assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}
+
+#[test]
+fn writer_refuses_frames_beyond_max_frame() {
+    // write_frame's own guard: a payload that would overflow the length
+    // budget is refused before any bytes hit the stream.
+    let huge = vec![0u8; 64 << 20]; // body = 1 (tag) + 64 MiB > MAX_FRAME
+    let mut sink = Vec::new();
+    let err = write_frame(&mut sink, TAG_ACK, &huge).expect_err("oversized write must fail");
+    assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    assert!(
+        sink.is_empty(),
+        "nothing may be written for a rejected frame"
+    );
+}
