@@ -744,6 +744,11 @@ impl<V: WireValue> ClusterClient<V> {
                         return Ok((id, Response::Write));
                     }
                 }
+                TAG_RESP_METRICS => {
+                    // A duplicate answer to a metrics() call that was
+                    // retried under timeout and already returned:
+                    // discard, keep reading.
+                }
                 other => {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,

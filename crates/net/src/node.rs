@@ -71,8 +71,8 @@ use std::io::{BufWriter, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use oat_core::agg::AggOp;
 use oat_core::fault::{EdgeFaults, FaultAction, FaultPlan, InjectedFaults};
@@ -216,6 +216,15 @@ pub(crate) struct EdgeShared {
     /// Frames the sequencer discarded: duplicates, out-of-window
     /// futures (go-back-N re-delivers them in order), undecodables.
     dup_drops: AtomicU64,
+    /// Serializes the claim-and-enqueue step of delivery. During a
+    /// reconnect the old connection's reader can still be draining
+    /// kernel-buffered frames while the new reader delivers replayed
+    /// copies of the same sequence numbers; holding this lock from the
+    /// `rx_seq` check through the inbox enqueue makes each sequence
+    /// number deliverable exactly once *and* keeps deliveries FIFO in
+    /// the inbox even across overlapping readers. Uncontended in steady
+    /// state (one reader per edge).
+    deliver: Mutex<()>,
 }
 
 /// Everything a node thread shares with the cluster and its siblings.
@@ -298,8 +307,11 @@ struct EdgeLink {
     acked: u64,
     /// `acked` as of the previous RTO tick (progress detection).
     acked_at_tick: u64,
-    /// Unacknowledged frames: `(seq, inner tag, body)`.
-    rtx: std::collections::VecDeque<(u64, u8, Vec<u8>)>,
+    /// Unacknowledged frames: `(seq, inner tag, body, last transmit)`.
+    /// The timestamp distinguishes a stalled peer from a frame that was
+    /// simply sent just before an RTO tick — only frames at least one
+    /// RTO old are eligible for go-back-N.
+    rtx: std::collections::VecDeque<(u64, u8, Vec<u8>, Instant)>,
     /// Highest rx watermark we have acked back to the peer.
     rx_acked: u64,
     /// True when this endpoint owns redialing (lower id dials higher).
@@ -338,6 +350,18 @@ pub(crate) struct Escrow<V> {
     /// Edges currently up (for the ready signal).
     connected: usize,
     ready_sent: bool,
+}
+
+/// Settles one envelope's in-flight debt exactly once, when dropped —
+/// at the end of the envelope's match arm on the normal path, and
+/// during unwind when a handler panics (the supervisor restarts the
+/// automaton, but a leaked increment would wedge `quiesce()` forever).
+struct InFlightGuard<'a>(&'a AtomicI64);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// How one automaton run ended.
@@ -444,6 +468,12 @@ fn edge_reader<V: WireValue>(
                 let seq = u64::from_le_bytes(payload[..8].try_into().expect("8-byte slice"));
                 let inner = payload[8];
                 let body = &payload[9..];
+                // Claim the sequence number and enqueue under the edge's
+                // delivery lock: a replaced connection's reader may race
+                // this one, and check-then-store alone would let both
+                // deliver the same frame (double processing, double
+                // in-flight decrement).
+                let _claim = shared.deliver.lock().unwrap_or_else(|p| p.into_inner());
                 let expected = shared.rx_seq.load(Ordering::Relaxed) + 1;
                 if seq != expected {
                     // A duplicate (below the window) or a future frame
@@ -671,7 +701,8 @@ fn send_seq(
     in_flight.fetch_add(1, Ordering::SeqCst);
     link.tx_seq += 1;
     let seq = link.tx_seq;
-    link.rtx.push_back((seq, inner, body.to_vec()));
+    link.rtx
+        .push_back((seq, inner, body.to_vec(), Instant::now()));
     debug_assert!(
         link.rtx.len() <= RTX_SOFT_CAP,
         "retransmit buffer runaway: peer {:?} stopped acking",
@@ -1041,18 +1072,27 @@ where
         };
         let Some(first) = first else {
             // RTO expired: go-back-N on every up edge whose ack watermark
-            // stalled since the previous tick.
+            // stalled since the previous tick. A stalled watermark alone
+            // is not evidence of loss — frames sent just before this
+            // tick have not had an ack's worth of time yet — so the
+            // oldest unacked frame must also be at least one RTO old.
             for (wi, link) in escrow.links.iter_mut().enumerate() {
-                if link.is_up() && !link.rtx.is_empty() && link.acked == link.acked_at_tick {
+                let stale = link
+                    .rtx
+                    .front()
+                    .is_some_and(|(_, _, _, sent)| sent.elapsed() >= RTO);
+                if link.is_up() && stale && link.acked == link.acked_at_tick {
                     escrow.counters.timeouts += 1;
                     escrow.counters.retransmits += link.rtx.len() as u64;
                     let w = link.writer.as_mut().expect("is_up checked");
                     let mut failed = false;
-                    for (seq, inner, body) in &link.rtx {
+                    let now = Instant::now();
+                    for (seq, inner, body, sent) in link.rtx.iter_mut() {
                         if write_seq(w, *seq, *inner, body).is_err() {
                             failed = true;
                             break;
                         }
+                        *sent = now;
                     }
                     if !failed {
                         failed = w.flush().is_err();
@@ -1101,7 +1141,7 @@ where
                         if upto > link.acked {
                             link.acked = upto;
                         }
-                        while link.rtx.front().is_some_and(|(s, _, _)| *s <= link.acked) {
+                        while link.rtx.front().is_some_and(|(s, ..)| *s <= link.acked) {
                             link.rtx.pop_front();
                         }
                     }
@@ -1118,6 +1158,9 @@ where
                     escrow.clients.remove(&conn);
                 }
                 Envelope::Net { from, msg } => {
+                    // Guard, not a trailing decrement: the handler below
+                    // can panic, and the debt must settle during unwind.
+                    let _done = InFlightGuard(ctx.in_flight);
                     escrow.delivered += 1;
                     let completed = node.handle_message(from, msg, &mut out);
                     send_outbox(
@@ -1142,7 +1185,6 @@ where
                             escrow.completions.push((id, v.clone()));
                         }
                     }
-                    ctx.in_flight.fetch_sub(1, Ordering::SeqCst);
                     if escrow.crash_at == Some(escrow.delivered) {
                         // Injected crash, at a clean point: the envelope
                         // is fully processed and accounted. Fires once.
@@ -1153,6 +1195,7 @@ where
                     }
                 }
                 Envelope::Reset { from } => {
+                    let _done = InFlightGuard(ctx.in_flight);
                     // The peer's automaton restarted: run the mechanism's
                     // peer-reset transition (re-probes land in `out`) and
                     // start the revoke cascade toward unsound grants.
@@ -1181,9 +1224,9 @@ where
                             downed.push(wi);
                         }
                     }
-                    ctx.in_flight.fetch_sub(1, Ordering::SeqCst);
                 }
                 Envelope::Revoke { from } => {
+                    let _done = InFlightGuard(ctx.in_flight);
                     let next_hops = node.handle_revoke(from, &mut out);
                     send_outbox(
                         node,
@@ -1209,9 +1252,9 @@ where
                             downed.push(wi);
                         }
                     }
-                    ctx.in_flight.fetch_sub(1, Ordering::SeqCst);
                 }
                 Envelope::Client { conn, req_id, op } => {
+                    let _done = InFlightGuard(ctx.in_flight);
                     match op {
                         ReqOp::Write(arg) => {
                             escrow.durable_val = arg.clone();
@@ -1265,7 +1308,6 @@ where
                             }
                         }
                     }
-                    ctx.in_flight.fetch_sub(1, Ordering::SeqCst);
                 }
                 Envelope::Metrics { conn, req_id } => {
                     let metrics = snapshot_metrics(
@@ -1364,6 +1406,12 @@ fn install_edge<P, A>(
         _ => return,
     };
     let was_up = link.is_up();
+    // Sever any still-live previous connection before installing its
+    // replacement, so at most one reader per edge is draining a socket.
+    // (Its reader exits with the old epoch; the EdgeDown is ignored.)
+    if let Some(old) = link.raw.take() {
+        let _ = old.shutdown(Shutdown::Both);
+    }
     link.epoch += 1;
     link.raw = Some(raw);
     link.writer = Some(BufWriter::with_capacity(WRITE_BUF, stream));
@@ -1397,18 +1445,20 @@ fn install_edge<P, A>(
     if peer_rx > link.acked {
         link.acked = peer_rx;
     }
-    while link.rtx.front().is_some_and(|(s, _, _)| *s <= link.acked) {
+    while link.rtx.front().is_some_and(|(s, ..)| *s <= link.acked) {
         link.rtx.pop_front();
     }
     if !link.rtx.is_empty() {
         escrow.counters.retransmits += link.rtx.len() as u64;
         let w = link.writer.as_mut().expect("just installed");
         let mut failed = false;
-        for (seq, inner, body) in &link.rtx {
+        let now = Instant::now();
+        for (seq, inner, body, sent) in link.rtx.iter_mut() {
             if write_seq(w, *seq, *inner, body).is_err() {
                 failed = true;
                 break;
             }
+            *sent = now;
         }
         if !failed {
             failed = w.flush().is_err();

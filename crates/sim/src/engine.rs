@@ -284,6 +284,7 @@ impl<S: PolicySpec, A: AggOp> Engine<S, A> {
     ///
     /// `None` when no message is in flight.
     pub fn deliver_next(&mut self) -> Option<Delivery<A::Value>> {
+        let mut deferrals = 0usize;
         let edge = loop {
             if self.live_tokens == 0 {
                 return None;
@@ -330,13 +331,20 @@ impl<S: PolicySpec, A: AggOp> Engine<S, A> {
                         self.live_tokens += 1;
                         f.ledger.dups.fetch_add(1, Relaxed);
                     }
-                    FaultAction::Delay => {
+                    FaultAction::Delay if deferrals < self.live_tokens => {
                         // Defer the whole edge: its head stays put and
                         // the token goes to the back of the pick order,
                         // so per-edge FIFO is preserved.
+                        deferrals += 1;
                         self.tokens.push_back(edge);
                         f.ledger.delays.fetch_add(1, Relaxed);
                         continue;
+                    }
+                    FaultAction::Delay => {
+                        // Every live token has already been deferred
+                        // during this pick (possible when delay_p is at
+                        // or near 1.0): force delivery so the pick loop
+                        // terminates. Not ledgered — no delay happened.
                     }
                 }
             }
@@ -553,6 +561,28 @@ mod tests {
             }
             o => panic!("leases held, expected local Done, got {o:?}"),
         }
+    }
+
+    #[test]
+    fn delay_probability_one_still_terminates() {
+        // Every pick draws Delay; the bounded-deferral rule must force
+        // delivery after one full token cycle instead of livelocking
+        // the pick loop. Delays only defer — nothing is lost — so the
+        // combine still returns the oracle.
+        let mut eng = Engine::new(Tree::kary(7, 2), SumI64, &RwwSpec, Schedule::Fifo, false);
+        let plan = oat_core::FaultPlan {
+            seed: 3,
+            delay_p: 1.0,
+            ..Default::default()
+        };
+        eng.set_fault_plan(&plan);
+        eng.initiate_write(n(6), 5);
+        eng.run_to_quiescence();
+        eng.initiate_combine(n(0));
+        let done = eng.run_to_quiescence();
+        assert_eq!(done, vec![(n(0), 5)]);
+        let (_, _, delays, _, _) = eng.injected().expect("plan armed").snapshot();
+        assert!(delays > 0, "deferrals must be ledgered before the bound");
     }
 
     #[test]
