@@ -16,12 +16,15 @@ cargo build --release
 echo "== tier 1: cargo test -q =="
 cargo test -q
 
-echo "== bench smoke: oat bench --quick =="
+echo "== bench smoke: oat bench --quick --threads 2 =="
 # Quick-mode run of the measured baseline: validates the oat-bench-v1
 # schema and fails on a sim<->TCP parity regression (`oat bench` exits
 # nonzero itself when parity breaks; the greps also pin the schema).
+# --threads 2 pins the reactor pool: the report must show exactly the
+# configured pool size, proving thread count is O(pool), not O(nodes)
+# (the quick tree has 10 nodes — the old runtime would report ~30).
 BENCH_OUT=$(mktemp /tmp/oat_bench_smoke.XXXXXX.json)
-./target/release/oat bench --quick --out "$BENCH_OUT" > /dev/null
+./target/release/oat bench --quick --threads 2 --out "$BENCH_OUT" > /dev/null
 for key in \
   '"schema": "oat-bench-v1"' \
   '"sim":' \
@@ -33,6 +36,7 @@ for key in \
   '"lat_p99_us"' \
   '"queue_peak_max"' \
   '"speedup_vs_sequential"' \
+  '"threads_spawned": 2' \
   '"parity_ok": true'
 do
   grep -qF "$key" "$BENCH_OUT" || {

@@ -1,0 +1,168 @@
+//! Minimal `poll(2)` readiness layer, vendored for the offline build.
+//!
+//! The reactor in `oat-net` needs exactly one thing the standard library
+//! does not expose: "block until any of these sockets is readable or
+//! writable". On Linux that is the `poll` syscall, reachable through the
+//! libc that `std` already links — no external crate required. This
+//! shim confines the `unsafe` FFI to one function so `oat-net` can keep
+//! its `#![forbid(unsafe_code)]`.
+//!
+//! `poll` is level-triggered: a descriptor keeps reporting readiness
+//! until the condition is consumed, so callers may read or write a
+//! bounded amount per event and rely on the next call to re-report
+//! whatever is left. The interest set is rebuilt per call (plain
+//! `poll`, not `epoll`) — at the fleet sizes oat runs (hundreds of
+//! descriptors) the rebuild is noise next to one syscall.
+
+use std::io;
+use std::os::raw::{c_int, c_ulong};
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// Readable data (or EOF) is available.
+pub const POLLIN: i16 = 0x001;
+/// The descriptor is writable without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// The descriptor is not open (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of a poll set: mirrors `struct pollfd` bit for bit.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The descriptor to watch.
+    pub fd: RawFd,
+    /// Requested events ([`POLLIN`] / [`POLLOUT`] bits).
+    pub events: i16,
+    /// Returned events, filled by [`poll`].
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A poll entry for `fd` with the given interest bits.
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// True when any of `mask`'s bits came back in `revents`.
+    pub fn ready(&self, mask: i16) -> bool {
+        self.revents & mask != 0
+    }
+
+    /// True when the kernel reported readable data, an error, or a
+    /// hangup — every case where a read will make progress (possibly
+    /// returning 0 or an error that the caller must handle).
+    pub fn readable(&self) -> bool {
+        self.ready(POLLIN | POLLERR | POLLHUP | POLLNVAL)
+    }
+
+    /// True when a write would make progress.
+    pub fn writable(&self) -> bool {
+        self.ready(POLLOUT | POLLERR | POLLHUP | POLLNVAL)
+    }
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Blocks until at least one entry of `fds` is ready, the timeout
+/// elapses (`Ok(0)`), or a signal interrupts the wait (also `Ok(0)` —
+/// spurious wakeups are part of the contract; callers loop).
+///
+/// `timeout`: `None` blocks indefinitely; `Some(d)` waits at most `d`
+/// (rounded up to the next millisecond so a 100µs deadline cannot spin
+/// at timeout 0).
+pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    for fd in fds.iter_mut() {
+        fd.revents = 0;
+    }
+    let timeout_ms: c_int = match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis();
+            if d > Duration::ZERO && ms == 0 {
+                1
+            } else {
+                ms.min(c_int::MAX as u128) as c_int
+            }
+        }
+    };
+    // SAFETY: `PollFd` is `#[repr(C)]` and layout-identical to `struct
+    // pollfd`; the pointer/length pair comes from a live mutable slice,
+    // and the kernel writes only within `nfds` entries.
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+    if rc >= 0 {
+        return Ok(rc as usize);
+    }
+    let err = io::Error::last_os_error();
+    if err.kind() == io::ErrorKind::Interrupted {
+        // EINTR: report "nothing ready"; the caller's loop re-polls.
+        return Ok(0);
+    }
+    Err(err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn timeout_expires_with_nothing_ready() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(5))).unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].readable());
+    }
+
+    #[test]
+    fn written_byte_reports_readable() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        a.write_all(&[7]).unwrap();
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        let mut byte = [0u8; 1];
+        (&b).read_exact(&mut byte).unwrap();
+        assert_eq!(byte[0], 7);
+        // Level-triggered: once consumed, readiness clears.
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(5))).unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn idle_socket_is_writable_and_hangup_is_reported() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLOUT)];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].writable());
+        drop(b);
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable(), "hangup must surface as readable");
+    }
+
+    #[test]
+    fn sub_millisecond_timeouts_round_up_not_down() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        // Must block (~1ms), not degenerate into a busy spin at 0.
+        let n = poll_fds(&mut fds, Some(Duration::from_micros(100))).unwrap();
+        assert_eq!(n, 0);
+    }
+}

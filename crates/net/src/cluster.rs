@@ -1,29 +1,28 @@
 //! The cluster harness and its TCP client.
 //!
-//! [`Cluster::spawn`] brings up one listener-backed node thread per tree
-//! node on loopback, waits until every tree edge has a live TCP
-//! connection, and returns a handle that can mint [`ClusterClient`]s,
-//! wait for quiescence, collect metrics, and shut the whole thing down
-//! gracefully.
+//! [`Cluster::spawn`] binds one loopback listener per tree node, starts
+//! a fixed pool of reactor threads (default `min(cores, 4)`; see
+//! [`NetConfig`]) that share the nodes by `node_id % pool`, waits until
+//! every tree edge has a live TCP connection, and returns a handle that
+//! can mint [`ClusterClient`]s, wait for quiescence, collect metrics,
+//! and shut the whole thing down gracefully.
 //!
 //! ## Shutdown protocol
 //!
 //! 1. wait for quiescence (no mechanism message in flight),
 //! 2. raise the cluster-wide `shutting_down` flag,
-//! 3. enqueue a `Shutdown` envelope on every node inbox — main loops
-//!    break, dropping their edge write halves, so peer readers see EOF
-//!    and exit,
-//! 4. nudge every listener with an empty connection so acceptors wake,
-//!    observe the flag, and exit,
-//! 5. join the node threads and merge their final reports.
+//! 3. wake every reactor through its waker socketpair — each reactor
+//!    observes the flag at the top of its loop, flushes every write
+//!    queue one final time, and returns its nodes' final reports,
+//! 4. join the reactor threads and merge the reports.
 //!
 //! Client connections still open simply see EOF on their next read.
 
 use std::collections::HashMap;
-use std::io::{self, BufWriter, Write};
+use std::io::{self, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -39,29 +38,61 @@ use oat_core::wire::{put_u64, WireReader, WireValue};
 use oat_sim::MsgStats;
 
 use crate::frame::{
-    read_frame, write_frame, TAG_HELLO_CLIENT, TAG_REQ_COMBINE, TAG_REQ_METRICS, TAG_REQ_WRITE,
+    write_frame, FrameDecoder, TAG_HELLO_CLIENT, TAG_REQ_COMBINE, TAG_REQ_METRICS, TAG_REQ_WRITE,
     TAG_RESP_COMBINE, TAG_RESP_METRICS, TAG_RESP_WRITE,
 };
 use crate::metrics::NodeMetrics;
-use crate::node::{node_supervisor, Envelope, FaultCounters, NodeCtx, NodeReport, QueueGauge};
+use crate::node::{FaultCounters, NodeReport, RTX_DEFAULT_HIGH, RTX_DEFAULT_LOW};
+use crate::reactor::{reactor_main, waker_pair, NodeSeed, ReactorCfg, Waker};
 
-/// How long [`Cluster::shutdown`] waits for a node thread to exit before
-/// declaring it dead and abandoning the join (the thread is leaked — a
-/// diagnosis aid, not a resource policy; the process is ending anyway).
+/// How long [`Cluster::shutdown`] waits for a reactor thread to exit
+/// before declaring its nodes dead and abandoning the join (the thread
+/// is leaked — a diagnosis aid, not a resource policy; the process is
+/// ending anyway).
 const JOIN_DEADLINE: Duration = Duration::from_secs(10);
 
-/// A running TCP cluster: one thread + listener per tree node.
+/// Transport tuning knobs for [`Cluster::spawn_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// Reactor threads serving the cluster. `None` (the default) uses
+    /// `min(available cores, 4)`; any value is clamped to `[1, nodes]`.
+    pub threads: Option<usize>,
+    /// Backpressure high watermark: a node whose edge retransmit buffer
+    /// reaches this many frames stops reading its client connections.
+    pub rtx_high: usize,
+    /// Backpressure low watermark: a stalled node resumes client intake
+    /// once every edge's retransmit buffer is at or below this.
+    pub rtx_low: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            threads: None,
+            rtx_high: RTX_DEFAULT_HIGH,
+            rtx_low: RTX_DEFAULT_LOW,
+        }
+    }
+}
+
+/// What a reactor thread returns at shutdown: the final report of every
+/// node in its shard.
+type ShardHandle<V> = JoinHandle<Vec<(NodeId, NodeReport<V>)>>;
+
+/// A running TCP cluster: a reactor pool serving one listener per node.
 pub struct Cluster<A: AggOp> {
     tree: Tree,
     addrs: Vec<SocketAddr>,
-    txs: Vec<Sender<Envelope<A::Value>>>,
-    gauges: Vec<Arc<QueueGauge>>,
+    wakers: Vec<Waker>,
+    /// Node ids owned by each reactor, indexed like `handles`.
+    shards: Vec<Vec<NodeId>>,
     in_flight: Arc<AtomicI64>,
     total_sent: Arc<AtomicU64>,
     shutting_down: Arc<AtomicBool>,
-    handles: Vec<JoinHandle<NodeReport<A::Value>>>,
+    handles: Vec<ShardHandle<A::Value>>,
     policy_name: String,
     ledger: Arc<InjectedFaults>,
+    threads_spawned: usize,
 }
 
 /// Final state of a cluster after [`Cluster::shutdown`].
@@ -75,15 +106,17 @@ pub struct ClusterReport<V> {
     pub logs: Option<Vec<Vec<GhostReq<V>>>>,
     /// Network messages delivered across all nodes.
     pub delivered: u64,
-    /// Nodes whose thread did not exit within the join deadline (or
-    /// whose supervisor itself panicked); their counters are missing
-    /// from the other fields.
+    /// Nodes whose reactor did not exit within the join deadline (or
+    /// panicked); their counters are missing from the other fields.
     pub dead_nodes: Vec<NodeId>,
     /// Combine waiters abandoned at shutdown across all nodes (clients
     /// that gave up under faults).
     pub abandoned: u64,
     /// Fault-recovery counters summed over all nodes.
     pub faults: FaultCounters,
+    /// OS threads the cluster ran: the reactor pool size. Grows with
+    /// the configured pool, *not* with the node count.
+    pub threads_spawned: usize,
 }
 
 /// Result of [`Cluster::replay_sequential`] — the TCP analogue of
@@ -130,14 +163,21 @@ where
     /// Boots an `n`-node cluster for `tree` on loopback over a reliable
     /// substrate (no injected faults).
     ///
-    /// Binds every listener first (so dial order cannot race), spawns the
-    /// node threads, and returns once every tree edge has a live TCP
-    /// connection.
+    /// Binds every listener first (so dial order cannot race), starts
+    /// the reactor pool, and returns once every tree edge has a live
+    /// TCP connection.
     pub fn spawn<S: PolicySpec>(tree: &Tree, op: A, spec: &S, ghost: bool) -> io::Result<Self>
     where
         S::Node: 'static,
     {
-        Self::spawn_with_faults(tree, op, spec, ghost, FaultPlan::default())
+        Self::spawn_with(
+            tree,
+            op,
+            spec,
+            ghost,
+            FaultPlan::default(),
+            NetConfig::default(),
+        )
     }
 
     /// Boots a cluster whose transport is subjected to `plan`: seeded
@@ -155,14 +195,43 @@ where
     where
         S::Node: 'static,
     {
+        Self::spawn_with(tree, op, spec, ghost, plan, NetConfig::default())
+    }
+
+    /// Boots a cluster with explicit transport tuning: reactor pool
+    /// size and backpressure watermarks (see [`NetConfig`]).
+    pub fn spawn_with<S: PolicySpec>(
+        tree: &Tree,
+        op: A,
+        spec: &S,
+        ghost: bool,
+        plan: FaultPlan,
+        cfg: NetConfig,
+    ) -> io::Result<Self>
+    where
+        S::Node: 'static,
+    {
         let n = tree.len();
         let mut listeners = Vec::with_capacity(n);
         let mut addrs = Vec::with_capacity(n);
         for _ in 0..n {
             let listener = TcpListener::bind("127.0.0.1:0")?;
+            listener.set_nonblocking(true)?;
             addrs.push(listener.local_addr()?);
             listeners.push(listener);
         }
+
+        let pool = cfg
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+                    .min(4)
+            })
+            .clamp(1, n.max(1));
+        let rtx_high = cfg.rtx_high.max(1);
+        let rtx_low = cfg.rtx_low.min(rtx_high);
 
         let in_flight = Arc::new(AtomicI64::new(0));
         let total_sent = Arc::new(AtomicU64::new(0));
@@ -171,37 +240,38 @@ where
         let ledger = Arc::new(InjectedFaults::default());
         let (ready_tx, ready_rx) = channel();
 
-        let mut txs = Vec::with_capacity(n);
-        let mut gauges = Vec::with_capacity(n);
-        let mut handles = Vec::with_capacity(n);
+        let mut shard_seeds: Vec<Vec<NodeSeed>> = (0..pool).map(|_| Vec::new()).collect();
         for (u, listener) in tree.nodes().zip(listeners) {
-            let (tx, rx) = channel();
-            let gauge = Arc::new(QueueGauge::default());
-            txs.push(tx.clone());
-            gauges.push(Arc::clone(&gauge));
-            let ctx = NodeCtx {
+            shard_seeds[u.idx() % pool].push(NodeSeed { id: u, listener });
+        }
+
+        let mut wakers = Vec::with_capacity(pool);
+        let mut shards = Vec::with_capacity(pool);
+        let mut handles = Vec::with_capacity(pool);
+        for seeds in shard_seeds {
+            let (waker, waker_rx) = waker_pair()?;
+            shards.push(seeds.iter().map(|s| s.id).collect::<Vec<_>>());
+            let rcfg = ReactorCfg {
+                shard_nodes: seeds,
                 tree: tree.clone(),
-                id: u,
-                ghost,
-                listener,
                 addrs: addrs.clone(),
-                tx,
-                rx,
+                op: op.clone(),
+                // Reactors get the spec, not a built policy: every
+                // crash-restart rebuilds a fresh policy state.
+                spec: spec.clone(),
+                ghost,
                 in_flight: Arc::clone(&in_flight),
                 total_sent: Arc::clone(&total_sent),
                 shutting_down: Arc::clone(&shutting_down),
-                gauge,
-                ready_tx: ready_tx.clone(),
                 plan: Arc::clone(&plan),
                 ledger: Arc::clone(&ledger),
+                ready_tx: ready_tx.clone(),
+                waker_rx,
+                rtx_high,
+                rtx_low,
             };
-            let op = op.clone();
-            // The supervisor gets the spec, not a built policy: every
-            // crash-restart rebuilds a fresh policy state.
-            let spec = spec.clone();
-            handles.push(std::thread::spawn(move || {
-                node_supervisor::<S, A>(ctx, op, spec)
-            }));
+            handles.push(std::thread::spawn(move || reactor_main::<S, A>(rcfg)));
+            wakers.push(waker);
         }
         drop(ready_tx);
 
@@ -215,14 +285,15 @@ where
         Ok(Cluster {
             tree: tree.clone(),
             addrs,
-            txs,
-            gauges,
+            wakers,
+            shards,
             in_flight,
             total_sent,
             shutting_down,
             handles,
             policy_name: spec.name(),
             ledger,
+            threads_spawned: pool,
         })
     }
 
@@ -396,8 +467,8 @@ where
     }
 
     /// Graceful shutdown; returns the merged final state. Never hangs:
-    /// node threads that fail to exit within the join deadline are
-    /// reported in [`ClusterReport::dead_nodes`] instead of joined.
+    /// reactor threads that fail to exit within the join deadline have
+    /// their nodes reported in [`ClusterReport::dead_nodes`] instead.
     pub fn shutdown(mut self) -> ClusterReport<A::Value> {
         self.shutdown_inner().expect("shutdown on a live cluster")
     }
@@ -418,6 +489,11 @@ impl<A: AggOp> Cluster<A> {
     /// Listener addresses, indexed by node id.
     pub fn addrs(&self) -> &[SocketAddr] {
         &self.addrs
+    }
+
+    /// OS threads serving this cluster: the reactor pool size.
+    pub fn threads_spawned(&self) -> usize {
+        self.threads_spawned
     }
 
     /// Mechanism messages sent cluster-wide so far.
@@ -477,63 +553,64 @@ impl<A: AggOp> Cluster<A> {
         // a hang — it gets reported as dead below instead.
         self.quiesce_for(JOIN_DEADLINE);
         self.shutting_down.store(true, Ordering::SeqCst);
-        for (tx, gauge) in self.txs.iter().zip(&self.gauges) {
-            gauge.on_enqueue();
-            let _ = tx.send(Envelope::Shutdown);
-        }
-        // Wake acceptors blocked in accept(); they see the flag and exit.
-        for addr in &self.addrs {
-            drop(TcpStream::connect(addr));
+        for waker in &self.wakers {
+            waker.wake();
         }
         let mut stats = MsgStats::new(&self.tree);
         let mut combines = Vec::new();
-        let mut logs = Vec::new();
+        let mut logs: Vec<(NodeId, Vec<GhostReq<A::Value>>)> = Vec::new();
         let mut delivered = 0;
         let mut have_logs = true;
         let mut dead_nodes = Vec::new();
         let mut abandoned = 0;
         let mut faults = FaultCounters::default();
         let deadline = Instant::now() + JOIN_DEADLINE;
-        for (u, handle) in self.tree.nodes().zip(self.handles.drain(..)) {
+        for (shard, handle) in self.shards.drain(..).zip(self.handles.drain(..)) {
             // JoinHandle has no timed join; poll `is_finished` against
             // the deadline and leak the thread if it never exits — a
-            // dead node must not turn shutdown into a hang.
+            // dead reactor must not turn shutdown into a hang.
             while !handle.is_finished() && Instant::now() < deadline {
                 std::thread::sleep(Duration::from_millis(1));
             }
             if !handle.is_finished() {
-                dead_nodes.push(u);
+                dead_nodes.extend(shard);
                 continue;
             }
             match handle.join() {
-                Ok(report) => {
-                    stats.merge(&report.stats);
-                    combines.extend(report.completions);
-                    delivered += report.delivered;
-                    abandoned += report.abandoned;
-                    faults.reconnects += report.faults.reconnects;
-                    faults.retransmits += report.faults.retransmits;
-                    faults.timeouts += report.faults.timeouts;
-                    faults.restarts += report.faults.restarts;
-                    match report.log {
-                        Some(log) => logs.push(log),
-                        None => have_logs = false,
+                Ok(reports) => {
+                    for (u, report) in reports {
+                        stats.merge(&report.stats);
+                        combines.extend(report.completions);
+                        delivered += report.delivered;
+                        abandoned += report.abandoned;
+                        faults.reconnects += report.faults.reconnects;
+                        faults.retransmits += report.faults.retransmits;
+                        faults.timeouts += report.faults.timeouts;
+                        faults.restarts += report.faults.restarts;
+                        match report.log {
+                            Some(log) => logs.push((u, log)),
+                            None => have_logs = false,
+                        }
                     }
                 }
-                // The supervisor itself panicked (it already absorbs
+                // The reactor itself panicked (it already absorbs
                 // automaton panics, so this is a harness bug, not an
                 // injected fault) — report, don't propagate.
-                Err(_) => dead_nodes.push(u),
+                Err(_) => dead_nodes.extend(shard),
             }
         }
+        // Reactors return their shards in node order within a shard but
+        // shards interleave; restore global node order for the logs.
+        logs.sort_by_key(|&(u, _)| u);
         Some(ClusterReport {
             stats,
             combines,
-            logs: have_logs.then_some(logs),
+            logs: have_logs.then(|| logs.into_iter().map(|(_, l)| l).collect()),
             delivered,
             dead_nodes,
             abandoned,
             faults,
+            threads_spawned: self.threads_spawned,
         })
     }
 }
@@ -590,12 +667,19 @@ struct PerClientResults<V> {
 /// outstanding (the duplicate from a request that was merely slow, not
 /// lost). This is the client-side half of crash recovery: a node
 /// restart destroys parked waiters, and the retry re-drives them.
+///
+/// Reads go through an incremental [`FrameDecoder`], so a timeout that
+/// fires mid-frame loses nothing: the partial bytes stay buffered and
+/// the next read resumes exactly where the stream left off.
 pub struct ClusterClient<V> {
     node: NodeId,
     /// Read half (the underlying stream, shared with `writer`).
     reader: TcpStream,
     /// Buffered write half; flushed before every blocking read.
     writer: BufWriter<TcpStream>,
+    /// Incremental decoder for the read half: partial frames survive
+    /// read timeouts instead of desynchronizing the stream.
+    dec: FrameDecoder,
     next_id: u64,
     /// Read timeout; `None` blocks forever (the default).
     timeout: Option<Duration>,
@@ -620,6 +704,7 @@ impl<V: WireValue> ClusterClient<V> {
             node,
             reader,
             writer,
+            dec: FrameDecoder::new(),
             next_id: 0,
             timeout: None,
             max_retries: 0,
@@ -638,12 +723,6 @@ impl<V: WireValue> ClusterClient<V> {
     /// read that exceeds it re-sends every unanswered request (same
     /// ids) and retries, up to `max_retries` times per call before
     /// surfacing `TimedOut`.
-    ///
-    /// The timeout should comfortably exceed one frame's transmission
-    /// time: a timeout that expires mid-frame desynchronizes the stream
-    /// (bytes already consumed are lost). Frames here are tens of bytes
-    /// on loopback with `TCP_NODELAY`, so anything in milliseconds is
-    /// six orders of magnitude clear of that window.
     pub fn set_timeout(&mut self, timeout: Option<Duration>, max_retries: u32) -> io::Result<()> {
         self.reader.set_read_timeout(timeout)?;
         self.timeout = timeout;
@@ -659,6 +738,33 @@ impl<V: WireValue> ClusterClient<V> {
     fn fresh_id(&mut self) -> u64 {
         self.next_id += 1;
         self.next_id
+    }
+
+    /// Reads the next frame through the incremental decoder. A timeout
+    /// (or any error) leaves partially received bytes buffered, so the
+    /// stream stays frame-aligned across retries.
+    fn read_frame_buffered(&mut self) -> io::Result<(u8, Vec<u8>)> {
+        loop {
+            if let Some(frame) = self.dec.try_frame()? {
+                return Ok(frame);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.reader.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        if self.dec.is_empty() {
+                            "connection closed"
+                        } else {
+                            "connection closed mid-frame"
+                        },
+                    ))
+                }
+                Ok(n) => self.dec.extend(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Submits a combine without waiting; returns its request id.
@@ -715,7 +821,7 @@ impl<V: WireValue> ClusterClient<V> {
         self.writer.flush()?;
         let mut retries = 0;
         loop {
-            let (tag, payload) = match read_frame(&mut self.reader) {
+            let (tag, payload) = match self.read_frame_buffered() {
                 Ok(frame) => frame,
                 Err(e) if Self::is_timeout(&e) && retries < self.max_retries => {
                     retries += 1;
@@ -860,7 +966,7 @@ impl<V: WireValue> ClusterClient<V> {
         self.writer.flush()?;
         let mut retries = 0;
         loop {
-            let (tag, body) = match read_frame(&mut self.reader) {
+            let (tag, body) = match self.read_frame_buffered() {
                 Ok(frame) => frame,
                 Err(e) if Self::is_timeout(&e) && retries < self.max_retries => {
                     retries += 1;

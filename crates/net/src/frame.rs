@@ -136,6 +136,83 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<(u8, Vec<u8>)> {
     Ok((tag, body))
 }
 
+/// Incremental frame decoder for non-blocking reads.
+///
+/// [`read_frame`] assumes it may block until a whole frame arrives —
+/// fine on a dedicated reader thread, wrong on a reactor (a socket is
+/// read only when the kernel says it is readable, and what is readable
+/// may end mid-header) and wrong under client read timeouts (a timeout
+/// that fires mid-frame must not discard the bytes already consumed).
+/// The decoder owns that problem: feed it whatever bytes arrive with
+/// [`FrameDecoder::extend`], take complete frames out with
+/// [`FrameDecoder::try_frame`], and partial headers/bodies simply wait
+/// in the buffer for the next read — the stream can never desync.
+///
+/// Validation matches `read_frame` exactly: a zero or oversized length
+/// field is `InvalidData` before any allocation happens.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` before `start` are already-consumed frames; kept
+    /// until the next compaction to avoid a memmove per frame.
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends freshly read bytes to the internal buffer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: consumed prefix space is reused as
+        // long as it dominates the live remainder.
+        if self.start > 0 && (self.start >= self.buf.len() || self.start > 32 * 1024) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered, not-yet-decoded bytes (a partial frame).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True when no partial frame is pending — the boundary at which a
+    /// clean peer close is orderly rather than a truncation.
+    pub fn is_empty(&self) -> bool {
+        self.buffered() == 0
+    }
+
+    /// Decodes the next complete frame, if the buffer holds one.
+    ///
+    /// `Ok(None)` means "need more bytes"; `Err` means the stream is
+    /// corrupt (bad length field) and must be dropped.
+    pub fn try_frame(&mut self) -> io::Result<Option<(u8, Vec<u8>)>> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4-byte slice"));
+        if len == 0 || len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad frame length {len}"),
+            ));
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let tag = avail[4];
+        let payload = avail[5..total].to_vec();
+        self.start += total;
+        Ok(Some((tag, payload)))
+    }
+}
+
 /// True when `err` means the peer closed the connection cleanly.
 pub fn is_clean_close(err: &io::Error) -> bool {
     matches!(
@@ -181,5 +258,79 @@ mod tests {
         let err = read_frame(&mut r).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
         assert_eq!(err.to_string(), "truncated frame header");
+    }
+
+    #[test]
+    fn decoder_reassembles_frames_fed_byte_by_byte() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, TAG_NET, &[1, 2, 3]).unwrap();
+        write_frame(&mut wire, TAG_ACK, b"xyz").unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            dec.extend(std::slice::from_ref(b));
+            while let Some(frame) = dec.try_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(
+            got,
+            vec![(TAG_NET, vec![1, 2, 3]), (TAG_ACK, b"xyz".to_vec())]
+        );
+        assert!(dec.is_empty());
+    }
+
+    #[test]
+    fn decoder_keeps_partial_frames_across_feeds() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, TAG_SEQ, &[9; 40]).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire[..3]); // mid-header
+        assert!(dec.try_frame().unwrap().is_none());
+        assert_eq!(dec.buffered(), 3);
+        dec.extend(&wire[3..20]); // mid-body
+        assert!(dec.try_frame().unwrap().is_none());
+        dec.extend(&wire[20..]);
+        let (tag, payload) = dec.try_frame().unwrap().expect("complete");
+        assert_eq!((tag, payload.len()), (TAG_SEQ, 40));
+        assert!(dec.is_empty());
+    }
+
+    #[test]
+    fn decoder_rejects_bad_lengths_like_read_frame() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&[0, 0, 0, 0]);
+        assert_eq!(
+            dec.try_frame().unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        let mut dec = FrameDecoder::new();
+        dec.extend(&(MAX_FRAME + 1).to_le_bytes());
+        assert_eq!(
+            dec.try_frame().unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn decoder_compaction_preserves_the_stream() {
+        // Many frames through one decoder, fed in ragged chunks that
+        // straddle frame boundaries, forcing periodic compaction.
+        let mut wire = Vec::new();
+        for i in 0..200u32 {
+            write_frame(&mut wire, (i % 7) as u8, &vec![i as u8; (i % 97) as usize]).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        let mut count = 0;
+        for chunk in wire.chunks(13) {
+            dec.extend(chunk);
+            while let Some((tag, payload)) = dec.try_frame().unwrap() {
+                assert_eq!(tag, (count % 7) as u8);
+                assert_eq!(payload, vec![count as u8; (count % 97) as usize]);
+                count += 1;
+            }
+        }
+        assert_eq!(count, 200);
+        assert!(dec.is_empty());
     }
 }

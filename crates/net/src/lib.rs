@@ -2,11 +2,19 @@
 //!
 //! The simulator (`oat-sim`) delivers messages by popping a queue; the
 //! threaded runtime (`oat-concurrent`) uses in-process channels. This
-//! crate goes the last step: every tree node is a server thread behind a
+//! crate goes the last step: every tree node is served behind a
 //! `TcpListener` on loopback, every tree edge is a persistent TCP
 //! connection carrying length-prefixed frames ([`frame`]), and clients
 //! talk to any node over the same protocol to issue `combine` / `write`
 //! requests or pull metrics snapshots.
+//!
+//! The transport is a poll(2)-based reactor: a fixed pool of event-loop
+//! threads (default `min(cores, 4)`, tunable via [`NetConfig`]) drives
+//! every socket non-blocking, with nodes sharded across the pool by
+//! `node_id % pool`. All of a node's sockets live on its owning reactor
+//! thread, so node state needs no locks; reads decode frames
+//! incrementally from per-connection buffers, and writes batch frames
+//! into vectored `writev` calls. Thread count is O(pool), not O(nodes).
 //!
 //! The node automaton is the *same* [`oat_core::MechNode`] the simulator
 //! drives — transports differ, the mechanism does not. Because sequential
@@ -39,8 +47,11 @@ pub mod cluster;
 pub mod frame;
 pub mod metrics;
 mod node;
+mod reactor;
 
-pub use cluster::{Cluster, ClusterClient, ClusterReport, NetSeqChunk, PipelinedChunk, Response};
+pub use cluster::{
+    Cluster, ClusterClient, ClusterReport, NetConfig, NetSeqChunk, PipelinedChunk, Response,
+};
 pub use metrics::NodeMetrics;
 pub use node::FaultCounters;
 

@@ -43,6 +43,9 @@ pub struct NodeMetrics {
     pub timeouts: u64,
     /// Times this node's automaton crashed and was restarted.
     pub restarts: u64,
+    /// Times client intake was parked because an edge retransmit buffer
+    /// crossed the backpressure high watermark.
+    pub backpressure_stalls: u64,
 }
 
 impl NodeMetrics {
@@ -71,6 +74,7 @@ impl NodeMetrics {
         put_u64(out, self.dup_drops);
         put_u64(out, self.timeouts);
         put_u64(out, self.restarts);
+        put_u64(out, self.backpressure_stalls);
     }
 
     /// Decodes a snapshot, requiring full consumption of `buf`.
@@ -108,6 +112,7 @@ impl NodeMetrics {
             dup_drops: r.u64("metrics dup_drops")?,
             timeouts: r.u64("metrics timeouts")?,
             restarts: r.u64("metrics restarts")?,
+            backpressure_stalls: r.u64("metrics backpressure_stalls")?,
         };
         r.finish("metrics trailing bytes")?;
         Ok(metrics)
@@ -147,7 +152,7 @@ impl NodeMetrics {
             out.push_str("\n  ");
         }
         out.push_str(&format!(
-            "],\n  \"leases\": {{\"taken\": {}, \"granted\": {}}},\n  \"queue\": {{\"depth\": {}, \"peak\": {}}},\n  \"combines\": {{\"pending\": {}, \"served\": {}}},\n  \"faults\": {{\"reconnects\": {}, \"retransmits\": {}, \"dup_drops\": {}, \"timeouts\": {}, \"restarts\": {}}}\n}}",
+            "],\n  \"leases\": {{\"taken\": {}, \"granted\": {}}},\n  \"queue\": {{\"depth\": {}, \"peak\": {}}},\n  \"combines\": {{\"pending\": {}, \"served\": {}}},\n  \"faults\": {{\"reconnects\": {}, \"retransmits\": {}, \"dup_drops\": {}, \"timeouts\": {}, \"restarts\": {}, \"backpressure_stalls\": {}}}\n}}",
             self.leases_taken,
             self.leases_granted,
             self.queue_depth,
@@ -159,6 +164,7 @@ impl NodeMetrics {
             self.dup_drops,
             self.timeouts,
             self.restarts,
+            self.backpressure_stalls,
         ));
         out
     }
@@ -185,6 +191,7 @@ mod tests {
             dup_drops: 3,
             timeouts: 4,
             restarts: 5,
+            backpressure_stalls: 6,
         }
     }
 
@@ -207,7 +214,7 @@ mod tests {
         assert!(json.contains("\"taken\": 2, \"granted\": 1"));
         assert!(json.contains("\"to\": 7, \"probe\": 0, \"response\": 2"));
         assert!(json.contains(
-            "\"faults\": {\"reconnects\": 1, \"retransmits\": 2, \"dup_drops\": 3, \"timeouts\": 4, \"restarts\": 5}"
+            "\"faults\": {\"reconnects\": 1, \"retransmits\": 2, \"dup_drops\": 3, \"timeouts\": 4, \"restarts\": 5, \"backpressure_stalls\": 6}"
         ));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

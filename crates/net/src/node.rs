@@ -1,25 +1,23 @@
-//! One tree node as a TCP-served, crash-restartable thread.
+//! One tree node as reactor-owned, crash-restartable state.
 //!
-//! ## Thread and ownership model
+//! ## Ownership model
 //!
-//! Per node there is exactly **one owner** of mutable state — the *main
-//! loop* thread, which holds the [`MechNode`] automaton, the per-edge
-//! [`EdgeLink`]s (buffered writer + sequencing + retransmit buffer), the
-//! client connection writers, the per-node [`MsgStats`], and the parked
-//! combine waiters. Everything else is plumbing that converts bytes into
-//! [`Envelope`]s on the node's unbounded inbox channel:
+//! A node is plain data — [`NodeRt`] — owned by exactly one reactor
+//! thread (see [`crate::reactor`]): the [`MechNode`] automaton, the
+//! per-edge [`EdgeLink`]s (sequencing + retransmit buffer + the live
+//! connection), the client connections, the per-node [`MsgStats`], and
+//! the parked combine waiters. There are no per-node threads, no inbox
+//! channel, and no locks: every byte this node reads or writes moves
+//! through its owning reactor's event loop, which calls the `on_*`
+//! handlers below when a socket is ready and [`NodeRt::flush`] once per
+//! loop iteration.
 //!
-//! * an **acceptor** thread `accept()`s on the node's listener and
-//!   classifies each connection by its hello frame (edge peer vs client),
-//! * one **edge reader** thread per live edge connection runs the
-//!   receive side of the sequenced link (dedup + in-order delivery),
-//! * one **edge dialer** thread per down edge (on the lower-id endpoint)
-//!   redials with capped exponential backoff + jitter,
-//! * one **client reader** thread per client connection decodes requests.
-//!
-//! Readers never wait on the main loop (the inbox is unbounded), so a
-//! node that is busy sending can always be drained by its peers — TCP
-//! backpressure cannot deadlock the cluster.
+//! Inbound bytes land in per-connection [`FrameDecoder`]s, so a frame
+//! split across arbitrarily many TCP segments (or a client that stalls
+//! mid-frame) consumes buffer space, never a thread — the decoder picks
+//! up where the last segment left off. Outbound frames are queued on
+//! per-connection [`WriteQueue`]s and leave in vectored writes at the
+//! loop's flush point.
 //!
 //! ## The sequenced edge link
 //!
@@ -28,11 +26,21 @@
 //! neighbours therefore carries a per-directed-edge sequence number
 //! (`TAG_SEQ`), the receiver delivers exactly the next expected number
 //! and discards everything else, and acknowledges cumulatively
-//! (`TAG_ACK`) at its batch boundaries. The sender keeps unacknowledged
-//! frames in a retransmit buffer and re-sends them (go-back-N) on an RTO
-//! tick or after a reconnect, resuming from the watermark the peer's
-//! hello reported. Together: per-edge FIFO **exactly-once** delivery
-//! that survives killed connections and injected drop/duplicate faults.
+//! (`TAG_ACK`) at flush boundaries. The sender keeps unacknowledged
+//! frames in a retransmit buffer and re-sends them (go-back-N) on an
+//! RTO tick or after a reconnect, resuming from the watermark the
+//! peer's hello reported. Together: per-edge FIFO **exactly-once**
+//! delivery that survives killed connections and injected
+//! drop/duplicate faults.
+//!
+//! Exactly-once forbids dropping unacknowledged frames, so the
+//! retransmit buffer is bounded by *backpressure* instead of eviction:
+//! past [`RTX_DEFAULT_HIGH`] (configurable via `NetConfig`) the node
+//! stops reading its **client** connections — the intake that generates
+//! new work — until the buffer drains below the low watermark. Edge
+//! connections are never stalled: acks and peer traffic must keep
+//! flowing or the stall could never clear. Stall entries are counted in
+//! [`NodeMetrics::backpressure_stalls`].
 //!
 //! Injected faults never touch the quiescence or message-count books:
 //! stats and the in-flight gauge are recorded once, when a frame is
@@ -42,36 +50,30 @@
 //!
 //! ## Crash-restart supervision
 //!
-//! [`node_supervisor`] wraps the main loop. The automaton (mechanism +
-//! policy + waiters) is *volatile*: an injected crash (or a caught
-//! panic) destroys it. The transport — inbox receiver, edge links with
-//! their sequence state and retransmit buffers, client writers — and the
-//! node's last written `val` live in the [`Escrow`] and survive. On
-//! restart the supervisor rebuilds a fresh automaton, restores `val`,
-//! and the new run's first act is a sequenced `RESET` on every edge;
-//! neighbours answer with the mechanism's peer-reset transition
-//! (breaking the crashed node's leases via the release path) and a
-//! revoke cascade tears down every cached aggregate that included the
-//! crashed subtree. Clients re-drive lost requests via timeout + retry.
+//! The automaton (mechanism + policy + waiters) is *volatile*: an
+//! injected crash (or a caught panic — each dispatch runs under
+//! `catch_unwind`) destroys it. The transport — edge links with their
+//! sequence state and retransmit buffers, client connections — and the
+//! node's last written `val` survive in [`NodeRt`]. On restart the node
+//! rebuilds a fresh automaton, restores `val`, and the new run's first
+//! act is a sequenced `RESET` on every edge; neighbours answer with the
+//! mechanism's peer-reset transition and a revoke cascade tears down
+//! every cached aggregate that included the crashed subtree. Clients
+//! re-drive lost requests via timeout + retry.
 //!
-//! ## Batched I/O and quiescence accounting
+//! ## Quiescence accounting
 //!
-//! The main loop drains its inbox in batches (bounded by [`MAX_BATCH`]),
-//! then flushes every buffered writer — edges before clients, so a
-//! client observing a response implies the request's mechanism messages
-//! are already on the wire. A cluster-wide `AtomicI64` counts
-//! undelivered work: incremented before a frame's bytes are buffered,
-//! decremented only after the receiving main loop finished the
-//! corresponding handler. Frames parked in a down edge's retransmit
-//! buffer keep the counter positive until they are finally delivered,
-//! so `quiesce()` remains exact under connection kills.
+//! A cluster-wide `AtomicI64` counts undelivered work: incremented
+//! before a frame's bytes are buffered, decremented only after the
+//! receiving node finished the corresponding handler. Frames parked in
+//! a down edge's retransmit buffer keep the counter positive until they
+//! are finally delivered, so `quiesce()` remains exact under connection
+//! kills.
 
-use std::collections::HashMap;
-use std::io::{BufWriter, Write};
-use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::sync::{Arc, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
 use std::time::{Duration, Instant};
 
 use oat_core::agg::AggOp;
@@ -83,102 +85,44 @@ use oat_core::policy::PolicySpec;
 use oat_core::request::ReqOp;
 use oat_core::tree::{NodeId, Tree};
 use oat_core::wire::{put_u32, put_u64, WireReader, WireValue};
+use oat_poll::{PollFd, POLLIN, POLLOUT};
 use oat_sim::stats::MsgStats;
+use std::os::unix::io::AsRawFd;
 
 use crate::frame::{
-    read_frame, write_frame, INNER_NET, INNER_RESET, INNER_REVOKE, TAG_ACK, TAG_HELLO_CLIENT,
-    TAG_HELLO_EDGE, TAG_REQ_COMBINE, TAG_REQ_METRICS, TAG_REQ_WRITE, TAG_RESP_COMBINE,
-    TAG_RESP_METRICS, TAG_RESP_WRITE, TAG_SEQ,
+    INNER_NET, INNER_RESET, INNER_REVOKE, TAG_ACK, TAG_HELLO_CLIENT, TAG_HELLO_EDGE,
+    TAG_REQ_COMBINE, TAG_REQ_METRICS, TAG_REQ_WRITE, TAG_RESP_COMBINE, TAG_RESP_METRICS,
+    TAG_RESP_WRITE, TAG_SEQ,
 };
 use crate::metrics::NodeMetrics;
+use crate::reactor::{Conn, NodeSeed, Tok, WriteQueue};
 
-/// Identifies one client connection to one node; allocated by the
-/// node's acceptor, carried by every envelope that reader produces.
+/// Identifies one client connection to one node.
 pub(crate) type ClientId = u64;
 
-/// Envelopes processed per inbox batch before the writers are flushed.
-/// Bounds how long a frame can sit in a userspace buffer under sustained
-/// load (a starving drain loop would otherwise defer flushes forever).
-const MAX_BATCH: usize = 512;
-
-/// Buffer capacity for each edge/client connection writer.
-const WRITE_BUF: usize = 32 * 1024;
-
 /// Retransmission-timer granularity: when unacknowledged frames exist,
-/// the main loop wakes at this cadence and re-sends on edges whose ack
+/// the reactor wakes at this cadence and re-sends on edges whose ack
 /// watermark made no progress since the previous tick.
-const RTO: Duration = Duration::from_millis(30);
+pub(crate) const RTO: Duration = Duration::from_millis(30);
 
 /// Reconnect backoff: first delay, doubled per failed attempt up to the
 /// cap, with seeded jitter in `[0, delay)` added on top.
 const RECONNECT_BASE_MS: u64 = 2;
 const RECONNECT_CAP_MS: u64 = 200;
 
-/// Soft bound on the per-edge retransmit buffer. Exactly-once delivery
-/// forbids dropping unacknowledged frames, so the bound is enforced by
-/// protocol cadence (the receiver acks every batch, ≤ [`MAX_BATCH`]
-/// envelopes) rather than eviction; crossing it indicates a peer that
-/// has stopped acking and is surfaced through the metrics timeouts.
-pub(crate) const RTX_SOFT_CAP: usize = 1 << 16;
+/// Default retransmit-buffer backpressure watermarks (frames per edge):
+/// at the high mark the node parks its client intake, below the low
+/// mark it resumes. Overridable per cluster via `NetConfig`.
+pub(crate) const RTX_DEFAULT_HIGH: usize = 1 << 16;
+pub(crate) const RTX_DEFAULT_LOW: usize = 1 << 12;
 
-/// One unit of work on a node's inbox.
-pub(crate) enum Envelope<V> {
-    /// A mechanism message from the neighbour `from` — counted in the
-    /// in-flight gauge by the *sender* before the bytes left its buffer.
-    Net { from: NodeId, msg: Message<V> },
-    /// Neighbour `from`'s automaton crashed and restarted (sequenced
-    /// `RESET` frame). Counted in flight like a mechanism message.
-    Reset { from: NodeId },
-    /// Cascaded involuntary lease teardown from `from` (sequenced
-    /// `REVOKE` frame). Counted in flight like a mechanism message.
-    Revoke { from: NodeId },
-    /// Cumulative ack from `from`: every sequenced frame up to `upto`
-    /// arrived. Transport-level; not counted in flight.
-    Ack { from: NodeId, upto: u64 },
-    /// The edge connection to `peer` died (reader `epoch` identifies
-    /// which incarnation of the connection, so a stale reader's death
-    /// cannot tear down its successor).
-    EdgeDown { peer: NodeId, epoch: u64 },
-    /// A client request — counted in the in-flight gauge by the reader
-    /// that decoded it.
-    Client {
-        conn: ClientId,
-        req_id: u64,
-        op: ReqOp<V>,
-    },
-    /// A metrics request — not counted (it sends no mechanism messages).
-    Metrics { conn: ClientId, req_id: u64 },
-    /// A freshly connected (or reconnected) edge stream. `accepted`
-    /// distinguishes the acceptor side (which still owes the hello
-    /// reply) from the dialer side (which already consumed it);
-    /// `peer_rx` is the peer's receive watermark for resuming the
-    /// sequenced stream.
-    PeerWriter {
-        peer: NodeId,
-        stream: TcpStream,
-        peer_rx: u64,
-        accepted: bool,
-    },
-    /// Registration of the write half of a client connection. Sent by the
-    /// client's reader before any request, so responses always have a
-    /// writer to land in.
-    ClientWriter { conn: ClientId, stream: TcpStream },
-    /// The client's reader exited (connection closed); sent after its
-    /// last request, so the main loop can retire the writer.
-    ClientGone { conn: ClientId },
-    /// Terminate and report final state.
-    Shutdown,
-}
-
-/// Inbox occupancy gauge: current depth and high-water mark.
+/// Work-queue gauge: messages decoded but not yet dispatched, plus the
+/// high-water mark. With the reactor model decode and dispatch happen
+/// in the same loop iteration, so `depth` returns to zero at every
+/// flush boundary — `peak` records how deep one readiness event got.
 ///
-/// Monitoring only: nothing synchronizes through these counters, no
-/// other memory access depends on their values, and a momentarily
-/// torn read (depth observed before a racing peak update) is
-/// indistinguishable from sampling a moment earlier. All operations
-/// are therefore `Relaxed` — each counter is still individually
-/// coherent (atomic RMWs never lose increments), which is the only
-/// property the metrics report needs.
+/// Monitoring only; all operations are `Relaxed` (each counter is still
+/// individually coherent, which is all the metrics report needs).
 #[derive(Default)]
 pub(crate) struct QueueGauge {
     depth: AtomicUsize,
@@ -187,7 +131,6 @@ pub(crate) struct QueueGauge {
 
 impl QueueGauge {
     pub(crate) fn on_enqueue(&self) {
-        // Relaxed: see type-level comment — gauge values order nothing.
         let now = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
         self.peak.fetch_max(now, Ordering::Relaxed);
     }
@@ -204,60 +147,7 @@ impl QueueGauge {
     }
 }
 
-/// Receive-side sequencing state for one directed edge, shared between
-/// the main loop and the edge's (possibly successive) reader threads.
-/// It outlives any single connection *and* any single automaton run:
-/// the sequence space of an edge is continuous across reconnects and
-/// crashes.
-#[derive(Default)]
-pub(crate) struct EdgeShared {
-    /// Highest in-order sequence number received from the peer.
-    rx_seq: AtomicU64,
-    /// Frames the sequencer discarded: duplicates, out-of-window
-    /// futures (go-back-N re-delivers them in order), undecodables.
-    dup_drops: AtomicU64,
-    /// Serializes the claim-and-enqueue step of delivery. During a
-    /// reconnect the old connection's reader can still be draining
-    /// kernel-buffered frames while the new reader delivers replayed
-    /// copies of the same sequence numbers; holding this lock from the
-    /// `rx_seq` check through the inbox enqueue makes each sequence
-    /// number deliverable exactly once *and* keeps deliveries FIFO in
-    /// the inbox even across overlapping readers. Uncontended in steady
-    /// state (one reader per edge).
-    deliver: Mutex<()>,
-}
-
-/// Everything a node thread shares with the cluster and its siblings.
-pub(crate) struct NodeCtx<V> {
-    pub tree: Tree,
-    pub id: NodeId,
-    pub ghost: bool,
-    /// This node's pre-bound listener.
-    pub listener: TcpListener,
-    /// Listener addresses of every node, indexed by node id.
-    pub addrs: Vec<std::net::SocketAddr>,
-    /// This node's inbox sender (cloned into reader threads).
-    pub tx: Sender<Envelope<V>>,
-    /// This node's inbox.
-    pub rx: Receiver<Envelope<V>>,
-    /// Cluster-wide undelivered-work counter.
-    pub in_flight: Arc<AtomicI64>,
-    /// Cluster-wide count of mechanism messages sent (for per-request
-    /// message windows without a metrics round-trip).
-    pub total_sent: Arc<AtomicU64>,
-    /// Set by the cluster before it unblocks the acceptors to exit.
-    pub shutting_down: Arc<AtomicBool>,
-    /// This node's inbox gauge.
-    pub gauge: Arc<QueueGauge>,
-    /// Signalled once every edge connection of this node is up.
-    pub ready_tx: Sender<()>,
-    /// The cluster's seeded fault plan (empty = reliable substrate).
-    pub plan: Arc<FaultPlan>,
-    /// Cluster-wide ledger of injected fault events.
-    pub ledger: Arc<InjectedFaults>,
-}
-
-/// A node thread's final state, collected by `Cluster::shutdown`.
+/// A node's final state, collected by `Cluster::shutdown`.
 pub(crate) struct NodeReport<V> {
     /// Messages this node sent, per directed edge and kind.
     pub stats: MsgStats,
@@ -289,72 +179,9 @@ pub struct FaultCounters {
     pub restarts: u64,
 }
 
-/// Send side of one edge: the sequenced link's writer-side state. Lives
-/// in the [`Escrow`], surviving both reconnects and automaton crashes.
-struct EdgeLink {
-    peer: NodeId,
-    shared: Arc<EdgeShared>,
-    /// Buffered writer of the live connection; `None` while down.
-    writer: Option<BufWriter<TcpStream>>,
-    /// Raw handle of the live connection, for injected kills.
-    raw: Option<TcpStream>,
-    /// Bumped per installed connection; readers carry their epoch so a
-    /// stale reader's exit cannot tear down a successor connection.
-    epoch: u64,
-    /// Last sequence number assigned to an outgoing frame.
-    tx_seq: u64,
-    /// Highest sequence number the peer has acknowledged.
-    acked: u64,
-    /// `acked` as of the previous RTO tick (progress detection).
-    acked_at_tick: u64,
-    /// Unacknowledged frames: `(seq, inner tag, body, last transmit)`.
-    /// The timestamp distinguishes a stalled peer from a frame that was
-    /// simply sent just before an RTO tick — only frames at least one
-    /// RTO old are eligible for go-back-N.
-    rtx: std::collections::VecDeque<(u64, u8, Vec<u8>, Instant)>,
-    /// Highest rx watermark we have acked back to the peer.
-    rx_acked: u64,
-    /// True when this endpoint owns redialing (lower id dials higher).
-    dialer: bool,
-    /// A dialer thread is currently trying to re-establish the edge.
-    redialing: bool,
-    /// The edge was up at least once (distinguishes reconnects).
-    ever_up: bool,
-    /// Seeded fault-decision stream for this directed edge.
-    faults: Option<EdgeFaults>,
-}
-
-impl EdgeLink {
-    fn is_up(&self) -> bool {
-        self.writer.is_some()
-    }
-}
-
-/// State that survives an automaton crash: the transport (inbox, edge
-/// links, client writers), the report accumulators, and the single
-/// durable mechanism variable — the node's last written `val`.
-pub(crate) struct Escrow<V> {
-    rx: Receiver<Envelope<V>>,
-    links: Vec<EdgeLink>,
-    clients: HashMap<ClientId, BufWriter<TcpStream>>,
-    stats: MsgStats,
-    completions: Vec<(NodeId, V)>,
-    delivered: u64,
-    /// The node's last written value; restored into the fresh automaton
-    /// on restart (writes are acknowledged durable).
-    durable_val: V,
-    /// Injected crash trigger: crash after this many delivered messages
-    /// (cumulative across restarts). Consumed when it fires.
-    crash_at: Option<u64>,
-    counters: FaultCounters,
-    /// Edges currently up (for the ready signal).
-    connected: usize,
-    ready_sent: bool,
-}
-
-/// Settles one envelope's in-flight debt exactly once, when dropped —
-/// at the end of the envelope's match arm on the normal path, and
-/// during unwind when a handler panics (the supervisor restarts the
+/// Settles one work item's in-flight debt exactly once, when dropped —
+/// at the end of its dispatch arm on the normal path, and after the
+/// `catch_unwind` when a handler panics (the node restarts the
 /// automaton, but a leaked increment would wedge `quiesce()` forever).
 struct InFlightGuard<'a>(&'a AtomicI64);
 
@@ -364,326 +191,1011 @@ impl Drop for InFlightGuard<'_> {
     }
 }
 
-/// How one automaton run ended.
-enum RunExit {
-    /// Orderly shutdown: the report is complete.
-    Shutdown,
-    /// The automaton crashed (injected or panicked); restart it.
-    Crashed,
+/// Cluster-shared context, borrowed by every handler. Immutable for the
+/// cluster's lifetime.
+pub(crate) struct Ctx<'a, S, A: AggOp> {
+    pub tree: &'a Tree,
+    pub addrs: &'a [SocketAddr],
+    pub op: &'a A,
+    pub spec: &'a S,
+    pub ghost: bool,
+    /// Cluster-wide undelivered-work counter.
+    pub in_flight: &'a AtomicI64,
+    /// Cluster-wide count of mechanism messages sent.
+    pub total_sent: &'a AtomicU64,
+    /// Cluster-wide ledger of injected fault events.
+    pub ledger: &'a InjectedFaults,
+    /// Retransmit-buffer backpressure watermarks.
+    pub rtx_high: usize,
+    pub rtx_low: usize,
 }
 
-fn enqueue<V>(tx: &Sender<Envelope<V>>, gauge: &QueueGauge, env: Envelope<V>) {
-    gauge.on_enqueue();
-    if tx.send(env).is_err() {
-        // Main loop already exited (shutdown race); drop silently.
-        gauge.on_dequeue();
-    }
-}
-
-/// Accepts connections for one node and classifies them by hello frame.
-fn acceptor<V: WireValue + Send + 'static>(
-    listener: TcpListener,
-    tx: Sender<Envelope<V>>,
-    gauge: Arc<QueueGauge>,
-    in_flight: Arc<AtomicI64>,
-    shutting_down: Arc<AtomicBool>,
-) {
-    // The acceptor is the only thread minting client connections for this
-    // node, so a plain counter suffices for unique ids.
-    let mut next_client: ClientId = 0;
-    for conn in listener.incoming() {
-        if shutting_down.load(Ordering::SeqCst) {
-            break;
-        }
-        let mut stream = match conn {
-            Ok(s) => s,
-            Err(_) => continue,
-        };
-        let _ = stream.set_nodelay(true);
-        match read_frame(&mut stream) {
-            Ok((TAG_HELLO_EDGE, payload)) => {
-                let mut r = WireReader::new(&payload);
-                let (peer, peer_rx) = match r
-                    .u32("hello node id")
-                    .and_then(|id| Ok((NodeId(id), r.u64("hello rx watermark")?)))
-                {
-                    Ok(pair) => pair,
-                    // Protocol violation from an unauthenticated
-                    // connection: drop it, keep accepting.
-                    Err(_) => continue,
-                };
-                // The main loop replies with its own hello (carrying its
-                // rx watermark) and spawns the reader; the dialer sends
-                // nothing until it has read that reply.
-                enqueue(
-                    &tx,
-                    &gauge,
-                    Envelope::PeerWriter {
-                        peer,
-                        stream,
-                        peer_rx,
-                        accepted: true,
-                    },
-                );
-            }
-            Ok((TAG_HELLO_CLIENT, _)) => {
-                let conn = next_client;
-                next_client += 1;
-                let tx = tx.clone();
-                let gauge = Arc::clone(&gauge);
-                let in_flight = Arc::clone(&in_flight);
-                std::thread::spawn(move || client_reader(stream, conn, tx, gauge, in_flight));
-            }
-            // An unknown hello tag is a stranger speaking the wrong
-            // protocol: drop the connection, keep accepting.
-            Ok(_) => continue,
-            // A connection that closes without a hello is the cluster's
-            // shutdown nudge (or a port scanner); re-check the flag.
-            Err(_) => continue,
-        }
-    }
-}
-
-/// Receive side of the sequenced link for one edge connection: dedups
-/// and orders `TAG_SEQ` frames against the escrowed [`EdgeShared`],
-/// forwards acks, and reports the connection's death to the main loop.
-#[allow(clippy::too_many_arguments)] // thread entry point: each arg is one escrowed handle
-fn edge_reader<V: WireValue>(
-    mut stream: TcpStream,
+/// Send + receive state of one edge: the sequenced link, its live
+/// connection (if any), and the redial timer. Survives both reconnects
+/// and automaton crashes — the sequence space of an edge is continuous
+/// across both.
+struct EdgeLink {
     peer: NodeId,
-    epoch: u64,
-    tx: Sender<Envelope<V>>,
-    gauge: Arc<QueueGauge>,
-    shared: Arc<EdgeShared>,
-    in_flight: Arc<AtomicI64>,
-    shutting_down: Arc<AtomicBool>,
-) {
-    loop {
-        match read_frame(&mut stream) {
-            Ok((TAG_SEQ, payload)) => {
-                if payload.len() < 9 {
-                    shared.dup_drops.fetch_add(1, Ordering::Relaxed);
-                    continue;
-                }
-                let seq = u64::from_le_bytes(payload[..8].try_into().expect("8-byte slice"));
-                let inner = payload[8];
-                let body = &payload[9..];
-                // Claim the sequence number and enqueue under the edge's
-                // delivery lock: a replaced connection's reader may race
-                // this one, and check-then-store alone would let both
-                // deliver the same frame (double processing, double
-                // in-flight decrement).
-                let _claim = shared.deliver.lock().unwrap_or_else(|p| p.into_inner());
-                let expected = shared.rx_seq.load(Ordering::Relaxed) + 1;
-                if seq != expected {
-                    // A duplicate (below the window) or a future frame
-                    // (something below us was lost — go-back-N will
-                    // re-deliver it in order). Either way: discard. The
-                    // in-flight gauge counted the logical frame once at
-                    // its first buffering, so dropping copies is free.
-                    shared.dup_drops.fetch_add(1, Ordering::Relaxed);
-                    continue;
-                }
-                shared.rx_seq.store(seq, Ordering::Relaxed);
-                match inner {
-                    INNER_NET => match Message::<V>::decode_wire(body) {
-                        Ok(msg) => enqueue(&tx, &gauge, Envelope::Net { from: peer, msg }),
-                        Err(_) => {
-                            // Undecodable mechanism payload: degrade, do
-                            // not panic. The frame was counted in flight
-                            // by its sender; settle the account here.
-                            shared.dup_drops.fetch_add(1, Ordering::Relaxed);
-                            in_flight.fetch_sub(1, Ordering::SeqCst);
-                        }
-                    },
-                    INNER_RESET => enqueue(&tx, &gauge, Envelope::Reset { from: peer }),
-                    INNER_REVOKE => enqueue(&tx, &gauge, Envelope::Revoke { from: peer }),
-                    _ => {
-                        shared.dup_drops.fetch_add(1, Ordering::Relaxed);
-                        in_flight.fetch_sub(1, Ordering::SeqCst);
-                    }
-                }
-            }
-            Ok((TAG_ACK, payload)) => {
-                let mut r = WireReader::new(&payload);
-                if let Ok(upto) = r.u64("ack watermark") {
-                    enqueue(&tx, &gauge, Envelope::Ack { from: peer, upto });
-                } else {
-                    shared.dup_drops.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-            // Unknown frame on an authenticated edge: count and ignore.
-            Ok(_) => {
-                shared.dup_drops.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(_) => {
-                // Clean close and hard error alike: during shutdown this
-                // is expected teardown; otherwise the edge died (killed
-                // connection, peer process trouble) and the main loop
-                // must arrange reconnection.
-                if !shutting_down.load(Ordering::SeqCst) {
-                    enqueue(&tx, &gauge, Envelope::EdgeDown { peer, epoch });
-                }
-                break;
-            }
-        }
-    }
+    /// The live connection; `None` while down.
+    conn: Option<Conn>,
+    /// A dial in progress: connected, hello sent, awaiting the reply.
+    pending_dial: Option<Conn>,
+    /// When to attempt the next dial (dialer side, edge down).
+    redial_at: Option<Instant>,
+    backoff_ms: u64,
+    /// splitmix64 state for reconnect jitter, seeded per directed edge.
+    jitter_state: u64,
+    /// Last sequence number assigned to an outgoing frame.
+    tx_seq: u64,
+    /// Highest sequence number the peer has acknowledged.
+    acked: u64,
+    /// `acked` as of the previous RTO tick (progress detection).
+    acked_at_tick: u64,
+    /// Unacknowledged frames: `(seq, inner tag, body, last transmit)`.
+    /// The timestamp distinguishes a stalled peer from a frame sent just
+    /// before an RTO tick — only frames at least one RTO old are
+    /// eligible for go-back-N.
+    rtx: VecDeque<(u64, u8, Vec<u8>, Instant)>,
+    /// Highest in-order sequence number received from the peer.
+    rx_seq: u64,
+    /// Highest rx watermark we have acked back to the peer.
+    rx_acked: u64,
+    /// Frames the sequencer discarded: duplicates, out-of-window
+    /// futures (go-back-N re-delivers them in order), undecodables.
+    dup_drops: u64,
+    /// True when this endpoint owns redialing (lower id dials higher).
+    dialer: bool,
+    /// The edge was up at least once (distinguishes reconnects).
+    ever_up: bool,
+    /// Seeded fault-decision stream for this directed edge.
+    faults: Option<EdgeFaults>,
 }
 
-/// Dials (or redials) one edge with capped exponential backoff plus
-/// seeded jitter, performs the hello exchange, and hands the connected
-/// stream to the main loop. Exits silently once shutdown begins.
-fn edge_dialer<V: WireValue>(
-    addr: std::net::SocketAddr,
-    me: NodeId,
-    peer: NodeId,
-    shared: Arc<EdgeShared>,
-    tx: Sender<Envelope<V>>,
-    gauge: Arc<QueueGauge>,
-    shutting_down: Arc<AtomicBool>,
-) {
-    // splitmix64 jitter stream seeded by the edge — deterministic per
-    // (me, peer), independent across edges.
-    let mut jitter_state: u64 = 0x9E37_79B9_7F4A_7C15 ^ ((me.0 as u64) << 32 | peer.0 as u64);
-    let mut next_jitter = move |bound: u64| -> u64 {
-        jitter_state = jitter_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = jitter_state;
+impl EdgeLink {
+    fn next_jitter(&mut self, bound: u64) -> u64 {
+        self.jitter_state = self.jitter_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.jitter_state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         (z ^ (z >> 31)) % bound.max(1)
-    };
-    let mut backoff = RECONNECT_BASE_MS;
-    loop {
-        if shutting_down.load(Ordering::SeqCst) {
+    }
+}
+
+/// One unit of decoded work, dispatched in decode order.
+enum Work<V> {
+    /// A mechanism message from neighbour `from` — counted in the
+    /// in-flight gauge by the *sender* before the bytes were buffered.
+    Net { from: NodeId, msg: Message<V> },
+    /// Neighbour `from`'s automaton crashed and restarted (sequenced
+    /// `RESET` frame). Counted in flight like a mechanism message.
+    Reset { from: NodeId },
+    /// Cascaded involuntary lease teardown from `from` (sequenced
+    /// `REVOKE` frame). Counted in flight like a mechanism message.
+    Revoke { from: NodeId },
+    /// A client request — counted in flight at decode.
+    Client {
+        conn: ClientId,
+        req_id: u64,
+        op: ReqOp<V>,
+    },
+    /// A metrics request — not counted (it sends no mechanism messages).
+    Metrics { conn: ClientId, req_id: u64 },
+}
+
+/// One tree node: automaton + transport, owned by a reactor thread.
+pub(crate) struct NodeRt<S: PolicySpec, A: AggOp> {
+    id: NodeId,
+    degree: usize,
+    listener: TcpListener,
+    mech: MechNode<S::Node, A>,
+    links: Vec<EdgeLink>,
+    /// Accepted connections that have not yet sent their hello.
+    pending: HashMap<u64, Conn>,
+    next_pending: u64,
+    clients: HashMap<ClientId, Conn>,
+    next_client: ClientId,
+    /// Parked combine requests, answered at the next completion.
+    waiters: Vec<(ClientId, u64)>,
+    stats: MsgStats,
+    completions: Vec<(NodeId, A::Value)>,
+    delivered: u64,
+    /// The node's last written value; restored into the fresh automaton
+    /// on restart (writes are acknowledged durable).
+    durable_val: A::Value,
+    /// Injected crash trigger: crash after this many delivered messages
+    /// (cumulative across restarts). Consumed when it fires.
+    crash_at: Option<u64>,
+    counters: FaultCounters,
+    /// Times the node entered a client-intake stall (see module docs).
+    backpressure_stalls: u64,
+    stalled: bool,
+    /// Edges currently up (for the ready signal).
+    connected: usize,
+    ready_sent: bool,
+    ready_tx: Sender<()>,
+    abandoned: u64,
+    gauge: QueueGauge,
+    /// Mechanism outbox scratch, drained after every handler call.
+    out: Outbox<A::Value>,
+    /// Neighbour indices whose connection failed mid-handler; settled
+    /// (marked down) at the next `settle_downed`.
+    downed: Vec<usize>,
+}
+
+impl<S, A> NodeRt<S, A>
+where
+    S: PolicySpec,
+    S::Node: 'static,
+    A: AggOp,
+    A::Value: WireValue,
+{
+    pub(crate) fn new(
+        seed: NodeSeed,
+        ctx: &Ctx<'_, S, A>,
+        plan: &FaultPlan,
+        ready_tx: Sender<()>,
+    ) -> NodeRt<S, A> {
+        let NodeSeed { id, listener } = seed;
+        let degree = ctx.tree.degree(id);
+        let now = Instant::now();
+        let links: Vec<EdgeLink> = ctx
+            .tree
+            .nbrs(id)
+            .iter()
+            .map(|&v| {
+                let dialer = id.0 < v.0;
+                EdgeLink {
+                    peer: v,
+                    conn: None,
+                    pending_dial: None,
+                    // Dialers attempt immediately at the first timer pass.
+                    redial_at: dialer.then_some(now),
+                    backoff_ms: RECONNECT_BASE_MS,
+                    jitter_state: 0x9E37_79B9_7F4A_7C15 ^ (((id.0 as u64) << 32) | v.0 as u64),
+                    tx_seq: 0,
+                    acked: 0,
+                    acked_at_tick: 0,
+                    rtx: VecDeque::new(),
+                    rx_seq: 0,
+                    rx_acked: 0,
+                    dup_drops: 0,
+                    dialer,
+                    ever_up: false,
+                    faults: (!plan.is_empty()).then(|| plan.edge_stream(id, v)),
+                }
+            })
+            .collect();
+        let mech = MechNode::new(
+            ctx.tree,
+            id,
+            ctx.op.clone(),
+            ctx.spec.build(degree),
+            ctx.ghost,
+        );
+        let ready_sent = degree == 0;
+        if ready_sent {
+            let _ = ready_tx.send(());
+        }
+        NodeRt {
+            id,
+            degree,
+            listener,
+            mech,
+            links,
+            pending: HashMap::new(),
+            next_pending: 0,
+            clients: HashMap::new(),
+            next_client: 0,
+            waiters: Vec::new(),
+            stats: MsgStats::new(ctx.tree),
+            completions: Vec::new(),
+            delivered: 0,
+            durable_val: ctx.op.identity(),
+            crash_at: plan.crash_after(id),
+            counters: FaultCounters::default(),
+            backpressure_stalls: 0,
+            stalled: false,
+            connected: 0,
+            ready_sent,
+            ready_tx,
+            abandoned: 0,
+            gauge: QueueGauge::default(),
+            out: Vec::new(),
+            downed: Vec::new(),
+        }
+    }
+
+    pub(crate) fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// True when an RTO tick could re-send something: an up edge holds
+    /// unacknowledged frames.
+    pub(crate) fn wants_rto_tick(&self) -> bool {
+        self.links
+            .iter()
+            .any(|l| l.conn.is_some() && !l.rtx.is_empty())
+    }
+
+    /// Earliest pending redial timer, if any.
+    pub(crate) fn next_redial(&self) -> Option<Instant> {
+        self.links.iter().filter_map(|l| l.redial_at).min()
+    }
+
+    /// Appends this node's poll interest set: listener, pre-hello
+    /// connections, edges (live + dialing), clients. A stalled node
+    /// drops `POLLIN` interest on its clients only — the intake that
+    /// creates new sequenced frames — never on edges.
+    pub(crate) fn register(&self, idx: usize, fds: &mut Vec<PollFd>, toks: &mut Vec<Tok>) {
+        fds.push(PollFd::new(self.listener.as_raw_fd(), POLLIN));
+        toks.push(Tok::Listener(idx));
+        for (&pid, conn) in &self.pending {
+            fds.push(PollFd::new(conn.stream.as_raw_fd(), POLLIN));
+            toks.push(Tok::Pending(idx, pid));
+        }
+        for (wi, link) in self.links.iter().enumerate() {
+            if let Some(conn) = &link.conn {
+                let mut ev = POLLIN;
+                if !conn.out.is_empty() {
+                    ev |= POLLOUT;
+                }
+                fds.push(PollFd::new(conn.stream.as_raw_fd(), ev));
+                toks.push(Tok::Edge(idx, wi));
+            }
+            if let Some(conn) = &link.pending_dial {
+                let mut ev = POLLIN;
+                if !conn.out.is_empty() {
+                    ev |= POLLOUT;
+                }
+                fds.push(PollFd::new(conn.stream.as_raw_fd(), ev));
+                toks.push(Tok::Dial(idx, wi));
+            }
+        }
+        for (&cid, conn) in &self.clients {
+            let mut ev = if self.stalled { 0 } else { POLLIN };
+            if !conn.out.is_empty() {
+                ev |= POLLOUT;
+            }
+            if ev != 0 {
+                fds.push(PollFd::new(conn.stream.as_raw_fd(), ev));
+                toks.push(Tok::Client(idx, cid));
+            }
+        }
+    }
+
+    /// Accepts everything the listener has ready; connections park in
+    /// `pending` until their hello classifies them.
+    pub(crate) fn on_accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if let Ok(conn) = Conn::new(stream) {
+                        self.pending.insert(self.next_pending, conn);
+                        self.next_pending += 1;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// A pre-hello connection became readable: classify it by its first
+    /// frame. Anything other than a well-formed hello is a stranger
+    /// speaking the wrong protocol — dropped, never fatal.
+    pub(crate) fn on_pending_ready(&mut self, pid: u64, ctx: &Ctx<'_, S, A>, scratch: &mut [u8]) {
+        let Some(conn) = self.pending.get_mut(&pid) else {
             return;
-        }
-        let attempt = (|| -> std::io::Result<(TcpStream, u64)> {
-            let mut s = TcpStream::connect(addr)?;
-            let _ = s.set_nodelay(true);
-            let mut hello = Vec::with_capacity(12);
-            put_u32(&mut hello, me.0);
-            put_u64(&mut hello, shared.rx_seq.load(Ordering::Relaxed));
-            write_frame(&mut s, TAG_HELLO_EDGE, &hello)?;
-            let (tag, payload) = read_frame(&mut s)?;
-            let mut r = WireReader::new(&payload);
-            if tag != TAG_HELLO_EDGE || r.u32("hello reply id").is_err() {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    "bad hello reply",
-                ));
+        };
+        let closed = conn.read_ready(scratch);
+        match conn.dec.try_frame() {
+            Ok(Some((TAG_HELLO_EDGE, payload))) => {
+                let conn = self.pending.remove(&pid).expect("present above");
+                let mut r = WireReader::new(&payload);
+                let parsed = r
+                    .u32("hello node id")
+                    .and_then(|id| Ok((NodeId(id), r.u64("hello rx watermark")?)));
+                if let Ok((peer, peer_rx)) = parsed {
+                    if let Some(wi) = self.install_edge(peer, conn, peer_rx, true, ctx) {
+                        // The dialer may have pipelined nothing (it waits
+                        // for our reply), but a *reconnecting* peer's
+                        // replay can already sit behind the hello.
+                        self.drain_edge(wi, ctx);
+                    }
+                }
             }
-            let peer_rx = r
-                .u64("hello reply rx")
-                .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "short hello"))?;
-            Ok((s, peer_rx))
-        })();
+            Ok(Some((TAG_HELLO_CLIENT, _))) => {
+                let conn = self.pending.remove(&pid).expect("present above");
+                let cid = self.next_client;
+                self.next_client += 1;
+                self.clients.insert(cid, conn);
+                // Clients may pipeline requests behind the hello in one
+                // segment; serve whatever already decoded.
+                self.on_client_ready(cid, ctx, &mut []);
+            }
+            Ok(Some(_)) | Err(_) => {
+                self.pending.remove(&pid);
+            }
+            Ok(None) => {
+                if closed {
+                    self.pending.remove(&pid);
+                }
+            }
+        }
+    }
+
+    /// A dial-in-progress connection became readable: expect the hello
+    /// reply carrying the peer's receive watermark, then promote it to
+    /// the live edge connection.
+    pub(crate) fn on_dial_ready(&mut self, wi: usize, ctx: &Ctx<'_, S, A>, scratch: &mut [u8]) {
+        let link = &mut self.links[wi];
+        let Some(conn) = link.pending_dial.as_mut() else {
+            return;
+        };
+        let closed = conn.read_ready(scratch);
+        match conn.dec.try_frame() {
+            Ok(Some((TAG_HELLO_EDGE, payload))) => {
+                let peer = link.peer;
+                let conn = link.pending_dial.take().expect("present above");
+                let mut r = WireReader::new(&payload);
+                let parsed = r
+                    .u32("hello reply id")
+                    .and_then(|id| Ok((id, r.u64("hello reply rx")?)));
+                match parsed {
+                    Ok((id, peer_rx)) if id == peer.0 => {
+                        if let Some(wi) = self.install_edge(peer, conn, peer_rx, false, ctx) {
+                            // The peer's replay may ride the same segment
+                            // as its hello reply; deliver it now.
+                            self.drain_edge(wi, ctx);
+                        }
+                    }
+                    _ => self.schedule_redial(wi),
+                }
+            }
+            Ok(Some(_)) | Err(_) => {
+                self.links[wi].pending_dial = None;
+                self.schedule_redial(wi);
+            }
+            Ok(None) => {
+                if closed {
+                    self.links[wi].pending_dial = None;
+                    self.schedule_redial(wi);
+                }
+            }
+        }
+    }
+
+    /// A live edge connection became readable.
+    pub(crate) fn on_edge_ready(&mut self, wi: usize, ctx: &Ctx<'_, S, A>, scratch: &mut [u8]) {
+        let Some(conn) = self.links[wi].conn.as_mut() else {
+            return;
+        };
+        let closed = conn.read_ready(scratch);
+        // Frames decoded before EOF/corruption are valid: drain first.
+        let ok = self.drain_edge(wi, ctx);
+        if closed || !ok {
+            self.downed.push(wi);
+            self.settle_downed();
+        }
+    }
+
+    /// Decodes and dispatches everything buffered on edge `wi`'s live
+    /// connection. Returns `false` when the stream is corrupt (bad
+    /// frame length) and must be torn down.
+    fn drain_edge(&mut self, wi: usize, ctx: &Ctx<'_, S, A>) -> bool {
+        let mut work: Vec<Work<A::Value>> = Vec::new();
+        let mut ok = true;
+        {
+            let link = &mut self.links[wi];
+            let Some(conn) = link.conn.as_mut() else {
+                return true;
+            };
+            loop {
+                match conn.dec.try_frame() {
+                    Ok(None) => break,
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                    Ok(Some((TAG_SEQ, payload))) => {
+                        if payload.len() < 9 {
+                            link.dup_drops += 1;
+                            continue;
+                        }
+                        let seq = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+                        let inner = payload[8];
+                        let body = &payload[9..];
+                        if seq != link.rx_seq + 1 {
+                            // A duplicate (below the window) or a future
+                            // frame (something below it was lost — go-
+                            // back-N re-delivers in order). Discard; the
+                            // in-flight gauge counted the logical frame
+                            // once at first buffering, so copies are free.
+                            link.dup_drops += 1;
+                            continue;
+                        }
+                        link.rx_seq = seq;
+                        match inner {
+                            INNER_NET => match Message::<A::Value>::decode_wire(body) {
+                                Ok(msg) => {
+                                    self.gauge.on_enqueue();
+                                    work.push(Work::Net {
+                                        from: link.peer,
+                                        msg,
+                                    });
+                                }
+                                Err(_) => {
+                                    // Undecodable mechanism payload:
+                                    // degrade, do not panic. The frame was
+                                    // counted in flight by its sender;
+                                    // settle the account here.
+                                    link.dup_drops += 1;
+                                    ctx.in_flight.fetch_sub(1, Ordering::SeqCst);
+                                }
+                            },
+                            INNER_RESET => {
+                                self.gauge.on_enqueue();
+                                work.push(Work::Reset { from: link.peer });
+                            }
+                            INNER_REVOKE => {
+                                self.gauge.on_enqueue();
+                                work.push(Work::Revoke { from: link.peer });
+                            }
+                            _ => {
+                                link.dup_drops += 1;
+                                ctx.in_flight.fetch_sub(1, Ordering::SeqCst);
+                            }
+                        }
+                    }
+                    Ok(Some((TAG_ACK, payload))) => {
+                        let mut r = WireReader::new(&payload);
+                        if let Ok(upto) = r.u64("ack watermark") {
+                            if upto > link.acked {
+                                link.acked = upto;
+                            }
+                            while link.rtx.front().is_some_and(|(s, ..)| *s <= link.acked) {
+                                link.rtx.pop_front();
+                            }
+                        } else {
+                            link.dup_drops += 1;
+                        }
+                    }
+                    // Unknown frame on an authenticated edge: count, skip.
+                    Ok(Some(_)) => {
+                        link.dup_drops += 1;
+                    }
+                }
+            }
+        }
+        for w in work {
+            self.dispatch(w, ctx);
+        }
+        ok
+    }
+
+    /// A client connection became readable. Pass an empty scratch to
+    /// serve only already-buffered frames (hello promotion path).
+    pub(crate) fn on_client_ready(
+        &mut self,
+        cid: ClientId,
+        ctx: &Ctx<'_, S, A>,
+        scratch: &mut [u8],
+    ) {
+        let Some(conn) = self.clients.get_mut(&cid) else {
+            return;
+        };
+        let closed = !scratch.is_empty() && conn.read_ready(scratch);
+        let keep = self.drain_client(cid, ctx);
+        if closed || !keep {
+            // Reaching EOF after a full drain means every request was
+            // served (per-connection bytes are FIFO); flush queued
+            // responses best-effort, then retire the connection.
+            if let Some(mut conn) = self.clients.remove(&cid) {
+                let _ = conn.flush();
+            }
+        }
+    }
+
+    /// Decodes and dispatches everything buffered on client `cid`.
+    /// Returns `false` on a protocol violation (drop the connection —
+    /// clients are untrusted; requests already decoded still complete).
+    fn drain_client(&mut self, cid: ClientId, ctx: &Ctx<'_, S, A>) -> bool {
+        let mut work: Vec<Work<A::Value>> = Vec::new();
+        let mut keep = true;
+        {
+            let Some(conn) = self.clients.get_mut(&cid) else {
+                return false;
+            };
+            loop {
+                match conn.dec.try_frame() {
+                    Ok(None) => break,
+                    Err(_) => {
+                        keep = false;
+                        break;
+                    }
+                    Ok(Some((TAG_REQ_COMBINE, payload))) => {
+                        let mut r = WireReader::new(&payload);
+                        let Ok(req_id) = r.u64("combine req id") else {
+                            keep = false;
+                            break;
+                        };
+                        ctx.in_flight.fetch_add(1, Ordering::SeqCst);
+                        self.gauge.on_enqueue();
+                        work.push(Work::Client {
+                            conn: cid,
+                            req_id,
+                            op: ReqOp::Combine,
+                        });
+                    }
+                    Ok(Some((TAG_REQ_WRITE, payload))) => {
+                        let mut r = WireReader::new(&payload);
+                        let parsed = r.u64("write req id").and_then(|id| {
+                            let arg = A::Value::decode(&mut r)?;
+                            r.finish("write request trailing bytes")?;
+                            Ok((id, arg))
+                        });
+                        let Ok((req_id, arg)) = parsed else {
+                            keep = false;
+                            break;
+                        };
+                        ctx.in_flight.fetch_add(1, Ordering::SeqCst);
+                        self.gauge.on_enqueue();
+                        work.push(Work::Client {
+                            conn: cid,
+                            req_id,
+                            op: ReqOp::Write(arg),
+                        });
+                    }
+                    Ok(Some((TAG_REQ_METRICS, payload))) => {
+                        let mut r = WireReader::new(&payload);
+                        let Ok(req_id) = r.u64("metrics req id") else {
+                            keep = false;
+                            break;
+                        };
+                        self.gauge.on_enqueue();
+                        work.push(Work::Metrics { conn: cid, req_id });
+                    }
+                    Ok(Some(_)) => {
+                        keep = false;
+                        break;
+                    }
+                }
+            }
+        }
+        for w in work {
+            self.dispatch(w, ctx);
+        }
+        keep
+    }
+
+    /// Runs one work item through the automaton. Handler panics are
+    /// caught and converted into a crash-restart; the in-flight debt
+    /// settles either way.
+    fn dispatch(&mut self, work: Work<A::Value>, ctx: &Ctx<'_, S, A>) {
+        self.gauge.on_dequeue();
+        match work {
+            Work::Net { from, msg } => {
+                let _done = InFlightGuard(ctx.in_flight);
+                self.delivered += 1;
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let completed = self.mech.handle_message(from, msg, &mut self.out);
+                    self.send_outbox(ctx);
+                    if let Some(v) = completed {
+                        self.answer_waiters(v);
+                    }
+                }));
+                if run.is_err() {
+                    self.crash_restart(ctx);
+                } else if self.crash_at == Some(self.delivered) {
+                    // Injected crash, at a clean point: the message is
+                    // fully processed and accounted. Fires once.
+                    self.crash_at = None;
+                    ctx.ledger.crashes.fetch_add(1, Ordering::Relaxed);
+                    self.crash_restart(ctx);
+                }
+            }
+            Work::Reset { from } => {
+                let _done = InFlightGuard(ctx.in_flight);
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    // The peer's automaton restarted: run the mechanism's
+                    // peer-reset transition (re-probes land in the outbox)
+                    // and start the revoke cascade toward unsound grants.
+                    let revokes = self.mech.handle_peer_reset(from, &mut self.out);
+                    self.send_outbox(ctx);
+                    for t in revokes {
+                        let wi = self.mech.nbr_index(t);
+                        if send_seq(&mut self.links[wi], INNER_REVOKE, &[], ctx) {
+                            self.downed.push(wi);
+                        }
+                    }
+                }));
+                if run.is_err() {
+                    self.crash_restart(ctx);
+                }
+            }
+            Work::Revoke { from } => {
+                let _done = InFlightGuard(ctx.in_flight);
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let next_hops = self.mech.handle_revoke(from, &mut self.out);
+                    self.send_outbox(ctx);
+                    for t in next_hops {
+                        let wi = self.mech.nbr_index(t);
+                        if send_seq(&mut self.links[wi], INNER_REVOKE, &[], ctx) {
+                            self.downed.push(wi);
+                        }
+                    }
+                }));
+                if run.is_err() {
+                    self.crash_restart(ctx);
+                }
+            }
+            Work::Client { conn, req_id, op } => {
+                let _done = InFlightGuard(ctx.in_flight);
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match op {
+                    ReqOp::Write(arg) => {
+                        self.durable_val = arg.clone();
+                        self.mech.handle_write(arg, &mut self.out);
+                        self.send_outbox(ctx);
+                        let mut payload = Vec::with_capacity(8);
+                        put_u64(&mut payload, req_id);
+                        respond(&mut self.clients, conn, TAG_RESP_WRITE, &payload);
+                    }
+                    ReqOp::Combine => {
+                        let outcome = self.mech.handle_combine(&mut self.out);
+                        self.send_outbox(ctx);
+                        match outcome {
+                            CombineOutcome::Done(v) => {
+                                let mut payload = Vec::with_capacity(16);
+                                put_u64(&mut payload, req_id);
+                                v.encode(&mut payload);
+                                respond(&mut self.clients, conn, TAG_RESP_COMBINE, &payload);
+                                self.completions.push((self.id, v));
+                            }
+                            CombineOutcome::Pending | CombineOutcome::Coalesced => {
+                                // A retried request must not park a second
+                                // waiter (one response per (conn, req-id)).
+                                if !self.waiters.contains(&(conn, req_id)) {
+                                    self.waiters.push((conn, req_id));
+                                }
+                            }
+                        }
+                    }
+                }));
+                if run.is_err() {
+                    self.crash_restart(ctx);
+                }
+            }
+            Work::Metrics { conn, req_id } => {
+                let metrics = self.snapshot_metrics(ctx);
+                let mut payload = Vec::with_capacity(64);
+                put_u64(&mut payload, req_id);
+                metrics.encode(&mut payload);
+                respond(&mut self.clients, conn, TAG_RESP_METRICS, &payload);
+            }
+        }
+        self.settle_downed();
+    }
+
+    /// Buffers everything in the mechanism outbox onto the sequenced
+    /// links, recording stats and in-flight accounting per frame.
+    fn send_outbox(&mut self, ctx: &Ctx<'_, S, A>) {
+        let mut payload = Vec::with_capacity(32);
+        let out = std::mem::take(&mut self.out);
+        for (to, msg) in out {
+            self.stats
+                .record(ctx.tree.dir_edge_index(self.id, to), msg.kind());
+            // Relaxed is sufficient: every read that must observe
+            // `total_sent` happens after `quiesce()` saw `in_flight == 0`,
+            // and the SeqCst decrement concluding each handler is
+            // sequenced after this increment in the same thread.
+            ctx.total_sent.fetch_add(1, Ordering::Relaxed);
+            payload.clear();
+            msg.encode_wire(&mut payload);
+            let wi = self.mech.nbr_index(to);
+            if send_seq(&mut self.links[wi], INNER_NET, &payload, ctx) {
+                self.downed.push(wi);
+            }
+        }
+    }
+
+    /// Answers every parked combine waiter with the completed value.
+    fn answer_waiters(&mut self, v: A::Value) {
+        for (conn, req_id) in std::mem::take(&mut self.waiters) {
+            let mut payload = Vec::with_capacity(16);
+            put_u64(&mut payload, req_id);
+            v.encode(&mut payload);
+            respond(&mut self.clients, conn, TAG_RESP_COMBINE, &payload);
+            self.completions.push((self.id, v.clone()));
+        }
+    }
+
+    /// Destroys and rebuilds the automaton after a crash (injected or
+    /// panicked). The transport and the durable value survive; waiters
+    /// are dropped (clients recover via timeout + retry), and the fresh
+    /// automaton's first act is a sequenced `RESET` on every edge — down
+    /// edges queue it in the retransmit buffer, so the peer learns of
+    /// the restart in FIFO position even across a connection failure.
+    fn crash_restart(&mut self, ctx: &Ctx<'_, S, A>) {
+        self.counters.restarts += 1;
+        self.waiters.clear();
+        self.out.clear();
+        self.mech = MechNode::new(
+            ctx.tree,
+            self.id,
+            ctx.op.clone(),
+            ctx.spec.build(self.degree),
+            ctx.ghost,
+        );
+        // Restore the durable value. The fresh node holds no grants, so
+        // this emits nothing.
+        let mut sink = Vec::new();
+        self.mech.handle_write(self.durable_val.clone(), &mut sink);
+        debug_assert!(sink.is_empty());
+        for wi in 0..self.links.len() {
+            if send_seq(&mut self.links[wi], INNER_RESET, &[], ctx) {
+                self.downed.push(wi);
+            }
+        }
+        self.settle_downed();
+    }
+
+    /// Marks every queued-down edge as down exactly once and arms the
+    /// redial timer when this endpoint owns the edge's dialing.
+    fn settle_downed(&mut self) {
+        while let Some(wi) = self.downed.pop() {
+            let link = &mut self.links[wi];
+            let Some(conn) = link.conn.take() else {
+                continue;
+            };
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            self.connected -= 1;
+            if link.dialer && link.pending_dial.is_none() {
+                link.backoff_ms = RECONNECT_BASE_MS;
+                link.redial_at = Some(Instant::now());
+            }
+        }
+    }
+
+    /// Fires due redial timers: a blocking `connect` to a pre-bound
+    /// loopback listener completes (or fails) immediately, then the
+    /// hello waits for its reply under poll like any other read.
+    pub(crate) fn run_dial_timers(&mut self, ctx: &Ctx<'_, S, A>, now: Instant) {
+        for wi in 0..self.links.len() {
+            let link = &mut self.links[wi];
+            if link.conn.is_some() || link.pending_dial.is_some() {
+                link.redial_at = None;
+                continue;
+            }
+            match link.redial_at {
+                Some(at) if at <= now => {
+                    link.redial_at = None;
+                    self.try_dial(wi, ctx);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn try_dial(&mut self, wi: usize, ctx: &Ctx<'_, S, A>) {
+        let link = &mut self.links[wi];
+        let attempt = TcpStream::connect(ctx.addrs[link.peer.idx()]).and_then(Conn::new);
         match attempt {
-            Ok((stream, peer_rx)) => {
-                enqueue(
-                    &tx,
-                    &gauge,
-                    Envelope::PeerWriter {
-                        peer,
-                        stream,
-                        peer_rx,
-                        accepted: false,
-                    },
-                );
-                return;
+            Ok(mut conn) => {
+                let mut hello = Vec::with_capacity(12);
+                put_u32(&mut hello, self.id.0);
+                put_u64(&mut hello, link.rx_seq);
+                conn.out.frame(TAG_HELLO_EDGE, &hello);
+                link.pending_dial = Some(conn);
             }
-            Err(_) => {
-                std::thread::sleep(Duration::from_millis(backoff + next_jitter(backoff)));
-                backoff = (backoff * 2).min(RECONNECT_CAP_MS);
+            Err(_) => self.schedule_redial(wi),
+        }
+    }
+
+    fn schedule_redial(&mut self, wi: usize) {
+        let link = &mut self.links[wi];
+        let backoff = link.backoff_ms;
+        let jitter = link.next_jitter(backoff);
+        link.redial_at = Some(Instant::now() + Duration::from_millis(backoff + jitter));
+        link.backoff_ms = (backoff * 2).min(RECONNECT_CAP_MS);
+    }
+
+    /// Go-back-N on every up edge whose ack watermark stalled since the
+    /// previous tick. A stalled watermark alone is not evidence of loss
+    /// — the oldest unacked frame must also be at least one RTO old.
+    pub(crate) fn rto_tick(&mut self) {
+        for link in self.links.iter_mut() {
+            let stale = link
+                .rtx
+                .front()
+                .is_some_and(|(_, _, _, sent)| sent.elapsed() >= RTO);
+            if stale && link.acked == link.acked_at_tick {
+                if let Some(conn) = link.conn.as_mut() {
+                    self.counters.timeouts += 1;
+                    self.counters.retransmits += link.rtx.len() as u64;
+                    let now = Instant::now();
+                    for (seq, inner, body, sent) in link.rtx.iter_mut() {
+                        queue_seq(&mut conn.out, *seq, *inner, body);
+                        *sent = now;
+                    }
+                }
             }
+            link.acked_at_tick = link.acked;
+        }
+    }
+
+    /// The per-iteration flush: piggy-back a cumulative ack on every
+    /// edge whose receive watermark advanced, push every write queue
+    /// into its socket (edges before clients, so a flushed client
+    /// response always trails the mechanism messages of the request
+    /// that produced it), and update the backpressure stall state.
+    pub(crate) fn flush(&mut self, ctx: &Ctx<'_, S, A>) {
+        for (wi, link) in self.links.iter_mut().enumerate() {
+            if let Some(conn) = link.pending_dial.as_mut() {
+                if !conn.out.is_empty() && conn.flush().is_err() {
+                    link.pending_dial = None;
+                    let backoff = link.backoff_ms;
+                    let jitter = link.next_jitter(backoff);
+                    link.redial_at = Some(Instant::now() + Duration::from_millis(backoff + jitter));
+                    link.backoff_ms = (backoff * 2).min(RECONNECT_CAP_MS);
+                }
+            }
+            if let Some(conn) = link.conn.as_mut() {
+                if link.rx_seq > link.rx_acked {
+                    let mut p = Vec::with_capacity(8);
+                    put_u64(&mut p, link.rx_seq);
+                    conn.out.frame(TAG_ACK, &p);
+                    link.rx_acked = link.rx_seq;
+                }
+                if !conn.out.is_empty() && conn.flush().is_err() {
+                    self.downed.push(wi);
+                }
+            }
+        }
+        self.settle_downed();
+        self.clients
+            .retain(|_, conn| conn.out.is_empty() || conn.flush().is_ok());
+        // Backpressure: enter a stall at the high watermark, leave only
+        // once *every* edge drained below the low one (hysteresis).
+        if !self.stalled {
+            if self.links.iter().any(|l| l.rtx.len() >= ctx.rtx_high) {
+                self.stalled = true;
+                self.backpressure_stalls += 1;
+            }
+        } else if self.links.iter().all(|l| l.rtx.len() <= ctx.rtx_low) {
+            self.stalled = false;
+        }
+    }
+
+    fn snapshot_metrics(&self, ctx: &Ctx<'_, S, A>) -> NodeMetrics {
+        let mut leases_taken = 0;
+        let mut leases_granted = 0;
+        let mut edges = Vec::with_capacity(self.mech.nbrs().len());
+        let mut dup_drops = 0;
+        for (vi, &v) in self.mech.nbrs().iter().enumerate() {
+            if self.mech.taken(vi) {
+                leases_taken += 1;
+            }
+            if self.mech.granted(vi) {
+                leases_granted += 1;
+            }
+            edges.push((
+                v.0,
+                self.stats.per_edge_counts()[ctx.tree.dir_edge_index(self.id, v)],
+            ));
+            dup_drops += self.links[vi].dup_drops;
+        }
+        let (queue_depth, queue_peak) = self.gauge.read();
+        NodeMetrics {
+            node: self.id.0,
+            sent_by_kind: self.stats.kind_totals(),
+            delivered: self.delivered,
+            edges,
+            leases_taken,
+            leases_granted,
+            queue_depth,
+            queue_peak,
+            pending_combines: self.waiters.len() as u64,
+            combines_served: self.completions.len() as u64,
+            reconnects: self.counters.reconnects,
+            retransmits: self.counters.retransmits,
+            dup_drops,
+            timeouts: self.counters.timeouts,
+            restarts: self.counters.restarts,
+            backpressure_stalls: self.backpressure_stalls,
+        }
+    }
+
+    /// Installs a freshly connected edge stream: replies to the hello
+    /// when we are the accepting side, replaces any previous connection,
+    /// and replays every unacknowledged frame past the peer's receive
+    /// watermark. Returns the neighbour index on success.
+    fn install_edge(
+        &mut self,
+        peer: NodeId,
+        mut conn: Conn,
+        peer_rx: u64,
+        accepted: bool,
+        ctx: &Ctx<'_, S, A>,
+    ) -> Option<usize> {
+        // An unknown peer id is a protocol violation from an untrusted
+        // connection: drop it.
+        let wi = ctx.tree.nbrs(self.id).iter().position(|&v| v == peer)?;
+        if accepted {
+            // Reply with our id + receive watermark so the dialer knows
+            // where to resume. Queued first, so it precedes the replay.
+            let mut hello = Vec::with_capacity(12);
+            put_u32(&mut hello, self.id.0);
+            put_u64(&mut hello, self.links[wi].rx_seq);
+            conn.out.frame(TAG_HELLO_EDGE, &hello);
+        }
+        let link = &mut self.links[wi];
+        let was_up = link.conn.is_some();
+        if let Some(old) = link.conn.take() {
+            // Sever the replaced connection. Frames still buffered in its
+            // decoder or queues are dropped — the sequenced replay below
+            // (and the peer's own) re-delivers everything unacknowledged.
+            let _ = old.stream.shutdown(Shutdown::Both);
+        }
+        link.conn = Some(conn);
+        link.pending_dial = None;
+        link.redial_at = None;
+        link.backoff_ms = RECONNECT_BASE_MS;
+        if link.ever_up {
+            self.counters.reconnects += 1;
+        }
+        link.ever_up = true;
+        // Resume the sequenced stream: everything the peer already has
+        // is acknowledged by its hello watermark; replay the rest in
+        // order (no fault actions — replays are recovery traffic).
+        if peer_rx > link.acked {
+            link.acked = peer_rx;
+        }
+        while link.rtx.front().is_some_and(|(s, ..)| *s <= link.acked) {
+            link.rtx.pop_front();
+        }
+        if !link.rtx.is_empty() {
+            self.counters.retransmits += link.rtx.len() as u64;
+            let out = &mut link.conn.as_mut().expect("just installed").out;
+            let now = Instant::now();
+            for (seq, inner, body, sent) in link.rtx.iter_mut() {
+                queue_seq(out, *seq, *inner, body);
+                *sent = now;
+            }
+        }
+        if !was_up {
+            self.connected += 1;
+            if self.connected == self.degree && !self.ready_sent {
+                self.ready_sent = true;
+                let _ = self.ready_tx.send(());
+            }
+        }
+        Some(wi)
+    }
+
+    /// Orderly end of the node: record what the automaton still held.
+    pub(crate) fn finish(mut self) -> NodeReport<A::Value> {
+        // Under faults a client may have given up on a combine; dropping
+        // the waiter lets shutdown proceed and the count surfaces here.
+        self.abandoned += self.waiters.len() as u64;
+        NodeReport {
+            stats: self.stats,
+            completions: self.completions,
+            log: self.mech.ghost().map(|g| g.log.clone()),
+            delivered: self.delivered,
+            abandoned: self.abandoned,
+            faults: self.counters,
         }
     }
 }
 
-/// Decodes client request frames from one client connection.
-fn client_reader<V: WireValue>(
-    mut stream: TcpStream,
-    conn: ClientId,
-    tx: Sender<Envelope<V>>,
-    gauge: Arc<QueueGauge>,
-    in_flight: Arc<AtomicI64>,
-) {
-    match stream.try_clone() {
-        // Register the write half first; the inbox is FIFO, so the main
-        // loop owns the writer before any request from this connection.
-        Ok(s) => enqueue(&tx, &gauge, Envelope::ClientWriter { conn, stream: s }),
-        Err(_) => return,
-    }
-    // Clients are untrusted: any protocol violation (malformed payload,
-    // unknown tag, dirty close) drops the connection instead of
-    // panicking — requests already accepted still complete.
-    loop {
-        match read_frame(&mut stream) {
-            Ok((TAG_REQ_COMBINE, payload)) => {
-                let mut r = WireReader::new(&payload);
-                let req_id = match r.u64("combine req id") {
-                    Ok(id) => id,
-                    Err(_) => break,
-                };
-                in_flight.fetch_add(1, Ordering::SeqCst);
-                enqueue(
-                    &tx,
-                    &gauge,
-                    Envelope::Client {
-                        conn,
-                        req_id,
-                        op: ReqOp::Combine,
-                    },
-                );
-            }
-            Ok((TAG_REQ_WRITE, payload)) => {
-                let mut r = WireReader::new(&payload);
-                let (req_id, arg) = match r.u64("write req id").and_then(|id| {
-                    let arg = V::decode(&mut r)?;
-                    r.finish("write request trailing bytes")?;
-                    Ok((id, arg))
-                }) {
-                    Ok(pair) => pair,
-                    Err(_) => break,
-                };
-                in_flight.fetch_add(1, Ordering::SeqCst);
-                enqueue(
-                    &tx,
-                    &gauge,
-                    Envelope::Client {
-                        conn,
-                        req_id,
-                        op: ReqOp::Write(arg),
-                    },
-                );
-            }
-            Ok((TAG_REQ_METRICS, payload)) => {
-                let mut r = WireReader::new(&payload);
-                let req_id = match r.u64("metrics req id") {
-                    Ok(id) => id,
-                    Err(_) => break,
-                };
-                enqueue(&tx, &gauge, Envelope::Metrics { conn, req_id });
-            }
-            Ok(_) | Err(_) => break,
-        }
-    }
-    // FIFO after every request above: the main loop retires the writer
-    // only once all of this connection's requests have been served.
-    enqueue(&tx, &gauge, Envelope::ClientGone { conn });
-}
-
-/// Writes one sequenced frame to a link's buffered writer.
-fn write_seq(
-    w: &mut BufWriter<TcpStream>,
-    seq: u64,
-    inner: u8,
-    body: &[u8],
-) -> std::io::Result<()> {
+/// Encodes one sequenced frame onto a write queue.
+fn queue_seq(out: &mut WriteQueue, seq: u64, inner: u8, body: &[u8]) {
     let mut payload = Vec::with_capacity(9 + body.len());
     put_u64(&mut payload, seq);
     payload.push(inner);
     payload.extend_from_slice(body);
-    write_frame(w, TAG_SEQ, &payload)
+    out.frame(TAG_SEQ, &payload);
 }
 
 /// Assigns the next sequence number on `link`, appends the frame to the
@@ -691,24 +1203,13 @@ fn write_seq(
 /// per logical frame), and attempts first transmission — subject to the
 /// edge's fault-decision stream and kill schedule. Returns `true` when
 /// the connection must be marked down.
-fn send_seq(
-    link: &mut EdgeLink,
-    inner: u8,
-    body: &[u8],
-    in_flight: &AtomicI64,
-    ledger: &InjectedFaults,
-) -> bool {
-    in_flight.fetch_add(1, Ordering::SeqCst);
+fn send_seq<S, A: AggOp>(link: &mut EdgeLink, inner: u8, body: &[u8], ctx: &Ctx<'_, S, A>) -> bool {
+    ctx.in_flight.fetch_add(1, Ordering::SeqCst);
     link.tx_seq += 1;
     let seq = link.tx_seq;
     link.rtx
         .push_back((seq, inner, body.to_vec(), Instant::now()));
-    debug_assert!(
-        link.rtx.len() <= RTX_SOFT_CAP,
-        "retransmit buffer runaway: peer {:?} stopped acking",
-        link.peer
-    );
-    let Some(w) = link.writer.as_mut() else {
+    let Some(conn) = link.conn.as_mut() else {
         // Edge down: the frame waits in the retransmit buffer and is
         // replayed when the connection comes back.
         return false;
@@ -718,23 +1219,22 @@ fn send_seq(
         .as_mut()
         .map(|f| f.next_action())
         .unwrap_or(FaultAction::Deliver);
-    let mut failed = false;
     match action {
-        FaultAction::Deliver => failed = write_seq(w, seq, inner, body).is_err(),
+        FaultAction::Deliver => queue_seq(&mut conn.out, seq, inner, body),
         FaultAction::Drop => {
             // First transmission suppressed; the RTO resend recovers it.
-            ledger.drops.fetch_add(1, Ordering::Relaxed);
+            ctx.ledger.drops.fetch_add(1, Ordering::Relaxed);
         }
         FaultAction::Delay => {
             // Modeled as a suppressed first transmission too — the frame
             // arrives late, via the retransmission path, preserving
             // per-edge FIFO (a true in-stream delay would reorder).
-            ledger.delays.fetch_add(1, Ordering::Relaxed);
+            ctx.ledger.delays.fetch_add(1, Ordering::Relaxed);
         }
         FaultAction::Duplicate => {
-            failed =
-                write_seq(w, seq, inner, body).is_err() || write_seq(w, seq, inner, body).is_err();
-            ledger.dups.fetch_add(1, Ordering::Relaxed);
+            queue_seq(&mut conn.out, seq, inner, body);
+            queue_seq(&mut conn.out, seq, inner, body);
+            ctx.ledger.dups.fetch_add(1, Ordering::Relaxed);
         }
     }
     if let Some(f) = link.faults.as_mut() {
@@ -742,816 +1242,19 @@ fn send_seq(
             // Scheduled connection kill: sever the socket with frames
             // potentially still in userspace/kernel buffers — they are
             // genuinely lost and must come back via reconnect replay.
-            ledger.conns_killed.fetch_add(1, Ordering::Relaxed);
-            if let Some(raw) = &link.raw {
-                let _ = raw.shutdown(Shutdown::Both);
-            }
-            failed = true;
+            ctx.ledger.conns_killed.fetch_add(1, Ordering::Relaxed);
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            return true;
         }
     }
-    failed
+    false
 }
 
-/// Buffers everything in `out` onto the sequenced links, recording
-/// stats and in-flight accounting per frame. Returns neighbour indices
-/// whose connection failed and must be marked down. No flush happens
-/// here — the main loop flushes all writers at each batch boundary.
-#[allow(clippy::too_many_arguments)] // splits escrow borrows the compiler can't see through a struct
-fn send_outbox<V: WireValue, A: AggOp<Value = V>>(
-    node: &MechNode<impl oat_core::policy::NodePolicy, A>,
-    tree: &Tree,
-    id: NodeId,
-    out: &mut Outbox<V>,
-    links: &mut [EdgeLink],
-    stats: &mut MsgStats,
-    in_flight: &AtomicI64,
-    total_sent: &AtomicU64,
-    ledger: &InjectedFaults,
-    downed: &mut Vec<usize>,
-) {
-    let mut payload = Vec::with_capacity(32);
-    for (to, msg) in out.drain(..) {
-        stats.record(tree.dir_edge_index(id, to), msg.kind());
-        // Relaxed is sufficient here: `total_sent` carries no ordering
-        // duty of its own. Every read that must observe it
-        // (`Cluster::total_messages` in per-request windows) happens
-        // after `quiesce()` saw `in_flight == 0`, and the SeqCst
-        // decrement of `in_flight` that concludes each handler is
-        // sequenced after this increment in the same thread — the
-        // acquire/release edge through `in_flight` publishes the relaxed
-        // add to the quiescing thread.
-        total_sent.fetch_add(1, Ordering::Relaxed);
-        payload.clear();
-        msg.encode_wire(&mut payload);
-        let wi = node.nbr_index(to);
-        if send_seq(&mut links[wi], INNER_NET, &payload, in_flight, ledger) {
-            downed.push(wi);
-        }
-    }
-}
-
-/// Buffers one response frame for a client connection. A missing or
-/// failing writer means the client vanished; its responses are dropped —
-/// clients are untrusted peers, their disappearance must not kill a node.
-fn respond(
-    clients: &mut HashMap<ClientId, BufWriter<TcpStream>>,
-    conn: ClientId,
-    tag: u8,
-    payload: &[u8],
-) {
-    if let Some(w) = clients.get_mut(&conn) {
-        if write_frame(w, tag, payload).is_err() {
-            clients.remove(&conn);
-        }
-    }
-}
-
-/// Batch-boundary flush: first piggy-back a cumulative ack on every
-/// edge whose receive watermark advanced, then flush edges (before
-/// clients, so a flushed client response always trails the mechanism
-/// messages of the request that produced it). A failing edge is marked
-/// down (reconnect recovers it) instead of panicking; a failing client
-/// writer is dropped.
-fn flush_and_ack(
-    links: &mut [EdgeLink],
-    clients: &mut HashMap<ClientId, BufWriter<TcpStream>>,
-    downed: &mut Vec<usize>,
-) {
-    for (wi, link) in links.iter_mut().enumerate() {
-        let rx = link.shared.rx_seq.load(Ordering::Relaxed);
-        if let Some(w) = link.writer.as_mut() {
-            let mut ok = true;
-            if rx > link.rx_acked {
-                let mut p = Vec::with_capacity(8);
-                put_u64(&mut p, rx);
-                ok = write_frame(w, TAG_ACK, &p).is_ok();
-                if ok {
-                    link.rx_acked = rx;
-                }
-            }
-            if ok {
-                ok = w.flush().is_ok();
-            }
-            if !ok {
-                downed.push(wi);
-            }
-        }
-    }
-    clients.retain(|_, w| w.flush().is_ok());
-}
-
-/// The per-node supervisor: owns the [`Escrow`], spawns the acceptor
-/// and the initial dialers, and restarts the automaton run after every
-/// crash (injected or panicked) until an orderly shutdown.
-pub(crate) fn node_supervisor<S, A>(ctx: NodeCtx<A::Value>, op: A, spec: S) -> NodeReport<A::Value>
-where
-    S: PolicySpec,
-    A: AggOp,
-    A::Value: WireValue,
-{
-    let NodeCtx {
-        tree,
-        id,
-        ghost,
-        listener,
-        addrs,
-        tx,
-        rx,
-        in_flight,
-        total_sent,
-        shutting_down,
-        gauge,
-        ready_tx,
-        plan,
-        ledger,
-    } = ctx;
-    let degree = tree.degree(id);
-    let nbrs: Vec<NodeId> = tree.nbrs(id).to_vec();
-
-    // The acceptor handles connections from lower-id neighbours and from
-    // clients for the lifetime of the node (it is transport: it survives
-    // automaton crashes by construction).
-    {
-        let tx = tx.clone();
-        let gauge = Arc::clone(&gauge);
-        let in_flight = Arc::clone(&in_flight);
-        let shutting_down = Arc::clone(&shutting_down);
-        std::thread::spawn(move || {
-            acceptor::<A::Value>(listener, tx, gauge, in_flight, shutting_down)
-        });
-    }
-
-    let links: Vec<EdgeLink> = nbrs
-        .iter()
-        .map(|&v| EdgeLink {
-            peer: v,
-            shared: Arc::new(EdgeShared::default()),
-            writer: None,
-            raw: None,
-            epoch: 0,
-            tx_seq: 0,
-            acked: 0,
-            acked_at_tick: 0,
-            rtx: std::collections::VecDeque::new(),
-            rx_acked: 0,
-            dialer: id.0 < v.0,
-            redialing: false,
-            ever_up: false,
-            faults: if plan.is_empty() {
-                None
-            } else {
-                Some(plan.edge_stream(id, v))
-            },
-        })
-        .collect();
-
-    let mut escrow = Escrow {
-        rx,
-        links,
-        clients: HashMap::new(),
-        stats: MsgStats::new(&tree),
-        completions: Vec::new(),
-        delivered: 0,
-        durable_val: op.identity(),
-        crash_at: plan.crash_after(id),
-        counters: FaultCounters::default(),
-        connected: 0,
-        ready_sent: false,
-    };
-
-    // Dial every higher-id neighbour (exactly one TCP connection per
-    // tree edge, used bidirectionally). Asynchronous with backoff: the
-    // main loop starts serving immediately, so hello replies to lower-id
-    // dialers are never delayed behind our own dials.
-    for link in &escrow.links {
-        if link.dialer {
-            let tx = tx.clone();
-            let gauge = Arc::clone(&gauge);
-            let shared = Arc::clone(&link.shared);
-            let shutting_down = Arc::clone(&shutting_down);
-            let addr = addrs[link.peer.idx()];
-            let peer = link.peer;
-            std::thread::spawn(move || {
-                edge_dialer::<A::Value>(addr, id, peer, shared, tx, gauge, shutting_down)
-            });
-        }
-    }
-    if degree == 0 && !escrow.ready_sent {
-        escrow.ready_sent = true;
-        let _ = ready_tx.send(());
-    }
-
-    let mut log = None;
-    let mut abandoned = 0;
-    let mut restarted = false;
-    loop {
-        let mut mech: MechNode<S::Node, A> =
-            MechNode::new(&tree, id, op.clone(), spec.build(degree), ghost);
-        if restarted {
-            // Restore the durable value into the fresh automaton. The
-            // fresh node holds no grants, so this emits nothing.
-            let mut sink = Vec::new();
-            mech.handle_write(escrow.durable_val.clone(), &mut sink);
-            debug_assert!(sink.is_empty());
-        }
-        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_node(
-                &mut escrow,
-                &mut mech,
-                RunCtx {
-                    tree: &tree,
-                    id,
-                    addrs: &addrs,
-                    tx: &tx,
-                    in_flight: &in_flight,
-                    total_sent: &total_sent,
-                    shutting_down: &shutting_down,
-                    gauge: &gauge,
-                    ready_tx: &ready_tx,
-                    ledger: &ledger,
-                },
-                restarted,
-                &mut log,
-                &mut abandoned,
-            )
-        }));
-        match run {
-            Ok(RunExit::Shutdown) => break,
-            Ok(RunExit::Crashed) | Err(_) => {
-                // The automaton is gone (waiters included — clients
-                // recover via timeout + retry); the escrowed transport
-                // and durable value carry over into the next run.
-                escrow.counters.restarts += 1;
-                restarted = true;
-            }
-        }
-    }
-
-    NodeReport {
-        stats: escrow.stats,
-        completions: escrow.completions,
-        log,
-        delivered: escrow.delivered,
-        abandoned,
-        faults: escrow.counters,
-    }
-}
-
-/// Borrowed per-run context for [`run_node`] (everything immutable
-/// across restarts).
-struct RunCtx<'a, V> {
-    tree: &'a Tree,
-    id: NodeId,
-    addrs: &'a [std::net::SocketAddr],
-    tx: &'a Sender<Envelope<V>>,
-    in_flight: &'a Arc<AtomicI64>,
-    total_sent: &'a AtomicU64,
-    shutting_down: &'a Arc<AtomicBool>,
-    gauge: &'a Arc<QueueGauge>,
-    ready_tx: &'a Sender<()>,
-    ledger: &'a InjectedFaults,
-}
-
-/// One automaton run: serves envelopes until shutdown or crash.
-#[allow(clippy::too_many_arguments)]
-fn run_node<P, A>(
-    escrow: &mut Escrow<A::Value>,
-    node: &mut MechNode<P, A>,
-    ctx: RunCtx<'_, A::Value>,
-    restarted: bool,
-    log: &mut Option<Vec<GhostReq<A::Value>>>,
-    abandoned: &mut u64,
-    // (escrow and node are separate parameters so a panic inside a
-    // handler poisons only the automaton, never the escrowed transport)
-) -> RunExit
-where
-    P: oat_core::policy::NodePolicy,
-    A: AggOp,
-    A::Value: WireValue,
-{
-    let id = ctx.id;
-    let mut out: Outbox<A::Value> = Vec::new();
-    let mut waiters: Vec<(ClientId, u64)> = Vec::new();
-    let mut downed: Vec<usize> = Vec::new();
-
-    if restarted {
-        // First act of a restarted automaton: a sequenced RESET on every
-        // edge. Down edges queue it in the retransmit buffer, so the
-        // peer learns of the restart in FIFO position even across a
-        // simultaneous connection failure.
-        for link in escrow.links.iter_mut() {
-            if send_seq(link, INNER_RESET, &[], ctx.in_flight, ctx.ledger) {
-                let wi = node.nbr_index(link.peer);
-                downed.push(wi);
-            }
-        }
-        flush_and_ack(&mut escrow.links, &mut escrow.clients, &mut downed);
-        mark_downed(escrow, &ctx, &mut downed);
-    }
-
-    loop {
-        // Block for the first envelope of a batch — with a retransmit
-        // timeout whenever unacked frames could need re-sending. Every
-        // path that adds frames to a writer runs inside the batch loop,
-        // and `flush_and_ack` runs before the next blocking recv, so
-        // buffers are empty whenever the loop sleeps.
-        let wants_tick = escrow.links.iter().any(|l| !l.rtx.is_empty() && l.is_up());
-        let first = if wants_tick {
-            match escrow.rx.recv_timeout(RTO) {
-                Ok(env) => Some(env),
-                Err(RecvTimeoutError::Timeout) => None,
-                Err(RecvTimeoutError::Disconnected) => {
-                    return finish(escrow, node, waiters, log, abandoned)
-                }
-            }
-        } else {
-            match escrow.rx.recv() {
-                Ok(env) => Some(env),
-                Err(_) => return finish(escrow, node, waiters, log, abandoned),
-            }
-        };
-        let Some(first) = first else {
-            // RTO expired: go-back-N on every up edge whose ack watermark
-            // stalled since the previous tick. A stalled watermark alone
-            // is not evidence of loss — frames sent just before this
-            // tick have not had an ack's worth of time yet — so the
-            // oldest unacked frame must also be at least one RTO old.
-            for (wi, link) in escrow.links.iter_mut().enumerate() {
-                let stale = link
-                    .rtx
-                    .front()
-                    .is_some_and(|(_, _, _, sent)| sent.elapsed() >= RTO);
-                if link.is_up() && stale && link.acked == link.acked_at_tick {
-                    escrow.counters.timeouts += 1;
-                    escrow.counters.retransmits += link.rtx.len() as u64;
-                    let w = link.writer.as_mut().expect("is_up checked");
-                    let mut failed = false;
-                    let now = Instant::now();
-                    for (seq, inner, body, sent) in link.rtx.iter_mut() {
-                        if write_seq(w, *seq, *inner, body).is_err() {
-                            failed = true;
-                            break;
-                        }
-                        *sent = now;
-                    }
-                    if !failed {
-                        failed = w.flush().is_err();
-                    }
-                    if failed {
-                        downed.push(wi);
-                    }
-                }
-                link.acked_at_tick = link.acked;
-            }
-            mark_downed(escrow, &ctx, &mut downed);
-            continue;
-        };
-
-        let mut crash = false;
-        let mut shutdown = false;
-        let mut next = Some(first);
-        let mut batched = 0usize;
-        while let Some(env) = next {
-            ctx.gauge.on_dequeue();
-            batched += 1;
-            match env {
-                Envelope::Shutdown => {
-                    shutdown = true;
-                    break;
-                }
-                Envelope::PeerWriter {
-                    peer,
-                    stream,
-                    peer_rx,
-                    accepted,
-                } => install_edge(escrow, &ctx, node, peer, stream, peer_rx, accepted),
-                Envelope::EdgeDown { peer, epoch } => {
-                    if let Some(wi) = ctx.tree.nbrs(id).iter().position(|&v| v == peer) {
-                        // Ignore a stale reader's death notice: only the
-                        // current connection's reader may tear it down.
-                        if escrow.links[wi].epoch == epoch && escrow.links[wi].is_up() {
-                            downed.push(wi);
-                            mark_downed(escrow, &ctx, &mut downed);
-                        }
-                    }
-                }
-                Envelope::Ack { from, upto } => {
-                    if let Some(wi) = ctx.tree.nbrs(id).iter().position(|&v| v == from) {
-                        let link = &mut escrow.links[wi];
-                        if upto > link.acked {
-                            link.acked = upto;
-                        }
-                        while link.rtx.front().is_some_and(|(s, ..)| *s <= link.acked) {
-                            link.rtx.pop_front();
-                        }
-                    }
-                }
-                Envelope::ClientWriter { conn, stream } => {
-                    escrow
-                        .clients
-                        .insert(conn, BufWriter::with_capacity(WRITE_BUF, stream));
-                }
-                Envelope::ClientGone { conn } => {
-                    // FIFO guarantees every request from `conn` was served;
-                    // parked combine waiters keep their slot and are
-                    // answered best-effort (the respond() no-ops).
-                    escrow.clients.remove(&conn);
-                }
-                Envelope::Net { from, msg } => {
-                    // Guard, not a trailing decrement: the handler below
-                    // can panic, and the debt must settle during unwind.
-                    let _done = InFlightGuard(ctx.in_flight);
-                    escrow.delivered += 1;
-                    let completed = node.handle_message(from, msg, &mut out);
-                    send_outbox(
-                        node,
-                        ctx.tree,
-                        id,
-                        &mut out,
-                        &mut escrow.links,
-                        &mut escrow.stats,
-                        ctx.in_flight,
-                        ctx.total_sent,
-                        ctx.ledger,
-                        &mut downed,
-                    );
-                    if let Some(v) = completed {
-                        // Every coalesced waiter gets the same value.
-                        for (conn, req_id) in waiters.drain(..) {
-                            let mut payload = Vec::with_capacity(16);
-                            put_u64(&mut payload, req_id);
-                            v.encode(&mut payload);
-                            respond(&mut escrow.clients, conn, TAG_RESP_COMBINE, &payload);
-                            escrow.completions.push((id, v.clone()));
-                        }
-                    }
-                    if escrow.crash_at == Some(escrow.delivered) {
-                        // Injected crash, at a clean point: the envelope
-                        // is fully processed and accounted. Fires once.
-                        escrow.crash_at = None;
-                        ctx.ledger.crashes.fetch_add(1, Ordering::Relaxed);
-                        crash = true;
-                        break;
-                    }
-                }
-                Envelope::Reset { from } => {
-                    let _done = InFlightGuard(ctx.in_flight);
-                    // The peer's automaton restarted: run the mechanism's
-                    // peer-reset transition (re-probes land in `out`) and
-                    // start the revoke cascade toward unsound grants.
-                    let revokes = node.handle_peer_reset(from, &mut out);
-                    send_outbox(
-                        node,
-                        ctx.tree,
-                        id,
-                        &mut out,
-                        &mut escrow.links,
-                        &mut escrow.stats,
-                        ctx.in_flight,
-                        ctx.total_sent,
-                        ctx.ledger,
-                        &mut downed,
-                    );
-                    for t in revokes {
-                        let wi = node.nbr_index(t);
-                        if send_seq(
-                            &mut escrow.links[wi],
-                            INNER_REVOKE,
-                            &[],
-                            ctx.in_flight,
-                            ctx.ledger,
-                        ) {
-                            downed.push(wi);
-                        }
-                    }
-                }
-                Envelope::Revoke { from } => {
-                    let _done = InFlightGuard(ctx.in_flight);
-                    let next_hops = node.handle_revoke(from, &mut out);
-                    send_outbox(
-                        node,
-                        ctx.tree,
-                        id,
-                        &mut out,
-                        &mut escrow.links,
-                        &mut escrow.stats,
-                        ctx.in_flight,
-                        ctx.total_sent,
-                        ctx.ledger,
-                        &mut downed,
-                    );
-                    for t in next_hops {
-                        let wi = node.nbr_index(t);
-                        if send_seq(
-                            &mut escrow.links[wi],
-                            INNER_REVOKE,
-                            &[],
-                            ctx.in_flight,
-                            ctx.ledger,
-                        ) {
-                            downed.push(wi);
-                        }
-                    }
-                }
-                Envelope::Client { conn, req_id, op } => {
-                    let _done = InFlightGuard(ctx.in_flight);
-                    match op {
-                        ReqOp::Write(arg) => {
-                            escrow.durable_val = arg.clone();
-                            node.handle_write(arg, &mut out);
-                            send_outbox(
-                                node,
-                                ctx.tree,
-                                id,
-                                &mut out,
-                                &mut escrow.links,
-                                &mut escrow.stats,
-                                ctx.in_flight,
-                                ctx.total_sent,
-                                ctx.ledger,
-                                &mut downed,
-                            );
-                            let mut payload = Vec::with_capacity(8);
-                            put_u64(&mut payload, req_id);
-                            respond(&mut escrow.clients, conn, TAG_RESP_WRITE, &payload);
-                        }
-                        ReqOp::Combine => {
-                            let outcome = node.handle_combine(&mut out);
-                            send_outbox(
-                                node,
-                                ctx.tree,
-                                id,
-                                &mut out,
-                                &mut escrow.links,
-                                &mut escrow.stats,
-                                ctx.in_flight,
-                                ctx.total_sent,
-                                ctx.ledger,
-                                &mut downed,
-                            );
-                            match outcome {
-                                CombineOutcome::Done(v) => {
-                                    let mut payload = Vec::with_capacity(16);
-                                    put_u64(&mut payload, req_id);
-                                    v.encode(&mut payload);
-                                    respond(&mut escrow.clients, conn, TAG_RESP_COMBINE, &payload);
-                                    escrow.completions.push((id, v));
-                                }
-                                CombineOutcome::Pending | CombineOutcome::Coalesced => {
-                                    // A retried request must not park a
-                                    // second waiter (one response per
-                                    // (connection, req-id)).
-                                    if !waiters.contains(&(conn, req_id)) {
-                                        waiters.push((conn, req_id));
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-                Envelope::Metrics { conn, req_id } => {
-                    let metrics = snapshot_metrics(
-                        node,
-                        ctx.tree,
-                        id,
-                        escrow,
-                        ctx.gauge,
-                        waiters.len() as u64,
-                    );
-                    let mut payload = Vec::with_capacity(64);
-                    put_u64(&mut payload, req_id);
-                    metrics.encode(&mut payload);
-                    respond(&mut escrow.clients, conn, TAG_RESP_METRICS, &payload);
-                }
-            }
-            next = if batched < MAX_BATCH {
-                match escrow.rx.try_recv() {
-                    Ok(env) => Some(env),
-                    Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
-                }
-            } else {
-                None
-            };
-        }
-        flush_and_ack(&mut escrow.links, &mut escrow.clients, &mut downed);
-        mark_downed(escrow, &ctx, &mut downed);
-        if crash {
-            return RunExit::Crashed;
-        }
-        if shutdown {
-            return finish(escrow, node, waiters, log, abandoned);
-        }
-    }
-}
-
-/// Orderly end of the final run: record what the automaton still held.
-fn finish<P, A>(
-    _escrow: &mut Escrow<A::Value>,
-    node: &MechNode<P, A>,
-    waiters: Vec<(ClientId, u64)>,
-    log: &mut Option<Vec<GhostReq<A::Value>>>,
-    abandoned: &mut u64,
-) -> RunExit
-where
-    P: oat_core::policy::NodePolicy,
-    A: AggOp,
-{
-    // Under faults a client may have given up on a combine; dropping the
-    // waiter (instead of the old panic) lets shutdown proceed and the
-    // count surfaces in the report.
-    *abandoned += waiters.len() as u64;
-    *log = node.ghost().map(|g| g.log.clone());
-    RunExit::Shutdown
-}
-
-/// Installs a freshly connected edge stream: replies to the hello when
-/// we are the accepting side, replaces any previous connection, spawns
-/// the reader, and replays every unacknowledged frame past the peer's
-/// receive watermark.
-fn install_edge<P, A>(
-    escrow: &mut Escrow<A::Value>,
-    ctx: &RunCtx<'_, A::Value>,
-    node: &MechNode<P, A>,
-    peer: NodeId,
-    stream: TcpStream,
-    peer_rx: u64,
-    accepted: bool,
-) where
-    P: oat_core::policy::NodePolicy,
-    A: AggOp,
-    A::Value: WireValue,
-{
-    // An unknown peer id is a protocol violation from an untrusted
-    // connection: drop it.
-    let Some(wi) = ctx.tree.nbrs(ctx.id).iter().position(|&v| v == peer) else {
-        return;
-    };
-    let _ = node; // neighbour lookup goes through the tree; node unused
-    let link = &mut escrow.links[wi];
-    if accepted {
-        // Reply with our id + receive watermark so the dialer knows
-        // where to resume. Direct unbuffered write: the dialer sends
-        // nothing until it has read this.
-        let mut hello = Vec::with_capacity(12);
-        put_u32(&mut hello, ctx.id.0);
-        put_u64(&mut hello, link.shared.rx_seq.load(Ordering::Relaxed));
-        let mut s = &stream;
-        if write_frame(&mut s, TAG_HELLO_EDGE, &hello).is_err() {
-            // The dialer will retry with backoff.
-            return;
-        }
-    }
-    let (reader_stream, raw) = match (stream.try_clone(), stream.try_clone()) {
-        (Ok(a), Ok(b)) => (a, b),
-        _ => return,
-    };
-    let was_up = link.is_up();
-    // Sever any still-live previous connection before installing its
-    // replacement, so at most one reader per edge is draining a socket.
-    // (Its reader exits with the old epoch; the EdgeDown is ignored.)
-    if let Some(old) = link.raw.take() {
-        let _ = old.shutdown(Shutdown::Both);
-    }
-    link.epoch += 1;
-    link.raw = Some(raw);
-    link.writer = Some(BufWriter::with_capacity(WRITE_BUF, stream));
-    link.redialing = false;
-    if link.ever_up {
-        escrow.counters.reconnects += 1;
-    }
-    link.ever_up = true;
-    {
-        let tx = ctx.tx.clone();
-        let gauge = Arc::clone(ctx.gauge);
-        let shared = Arc::clone(&link.shared);
-        let in_flight = Arc::clone(ctx.in_flight);
-        let shutting_down = Arc::clone(ctx.shutting_down);
-        let epoch = link.epoch;
-        std::thread::spawn(move || {
-            edge_reader::<A::Value>(
-                reader_stream,
-                peer,
-                epoch,
-                tx,
-                gauge,
-                shared,
-                in_flight,
-                shutting_down,
-            )
-        });
-    }
-    // Resume the sequenced stream: everything the peer already has is
-    // acknowledged by its hello watermark; replay the rest in order.
-    if peer_rx > link.acked {
-        link.acked = peer_rx;
-    }
-    while link.rtx.front().is_some_and(|(s, ..)| *s <= link.acked) {
-        link.rtx.pop_front();
-    }
-    if !link.rtx.is_empty() {
-        escrow.counters.retransmits += link.rtx.len() as u64;
-        let w = link.writer.as_mut().expect("just installed");
-        let mut failed = false;
-        let now = Instant::now();
-        for (seq, inner, body, sent) in link.rtx.iter_mut() {
-            if write_seq(w, *seq, *inner, body).is_err() {
-                failed = true;
-                break;
-            }
-            *sent = now;
-        }
-        if !failed {
-            failed = w.flush().is_err();
-        }
-        if failed {
-            let mut downs = vec![wi];
-            mark_downed(escrow, ctx, &mut downs);
-            return;
-        }
-    }
-    if !was_up {
-        escrow.connected += 1;
-        if escrow.connected == ctx.tree.degree(ctx.id) && !escrow.ready_sent {
-            escrow.ready_sent = true;
-            let _ = ctx.ready_tx.send(());
-        }
-    }
-}
-
-/// Marks every queued-down edge as down exactly once and spawns the
-/// redial thread when this endpoint owns the edge's dialing.
-fn mark_downed<V: WireValue + Send + 'static>(
-    escrow: &mut Escrow<V>,
-    ctx: &RunCtx<'_, V>,
-    downed: &mut Vec<usize>,
-) {
-    for wi in downed.drain(..) {
-        let link = &mut escrow.links[wi];
-        if !link.is_up() {
-            continue;
-        }
-        link.writer = None;
-        if let Some(raw) = link.raw.take() {
-            let _ = raw.shutdown(Shutdown::Both);
-        }
-        escrow.connected -= 1;
-        if link.dialer && !link.redialing && !ctx.shutting_down.load(Ordering::SeqCst) {
-            link.redialing = true;
-            let tx = ctx.tx.clone();
-            let gauge = Arc::clone(ctx.gauge);
-            let shared = Arc::clone(&link.shared);
-            let shutting_down = Arc::clone(ctx.shutting_down);
-            let addr = ctx.addrs[link.peer.idx()];
-            let me = ctx.id;
-            let peer = link.peer;
-            std::thread::spawn(move || {
-                edge_dialer::<V>(addr, me, peer, shared, tx, gauge, shutting_down)
-            });
-        }
-    }
-}
-
-fn snapshot_metrics<P: oat_core::policy::NodePolicy, A: AggOp>(
-    node: &MechNode<P, A>,
-    tree: &Tree,
-    id: NodeId,
-    escrow: &Escrow<A::Value>,
-    gauge: &QueueGauge,
-    pending_combines: u64,
-) -> NodeMetrics {
-    let mut leases_taken = 0;
-    let mut leases_granted = 0;
-    let mut edges = Vec::with_capacity(node.nbrs().len());
-    let mut dup_drops = 0;
-    for (vi, &v) in node.nbrs().iter().enumerate() {
-        if node.taken(vi) {
-            leases_taken += 1;
-        }
-        if node.granted(vi) {
-            leases_granted += 1;
-        }
-        edges.push((
-            v.0,
-            escrow.stats.per_edge_counts()[tree.dir_edge_index(id, v)],
-        ));
-        dup_drops += escrow.links[vi].shared.dup_drops.load(Ordering::Relaxed);
-    }
-    let (queue_depth, queue_peak) = gauge.read();
-    NodeMetrics {
-        node: id.0,
-        sent_by_kind: escrow.stats.kind_totals(),
-        delivered: escrow.delivered,
-        edges,
-        leases_taken,
-        leases_granted,
-        queue_depth,
-        queue_peak,
-        pending_combines,
-        combines_served: escrow.completions.len() as u64,
-        reconnects: escrow.counters.reconnects,
-        retransmits: escrow.counters.retransmits,
-        dup_drops,
-        timeouts: escrow.counters.timeouts,
-        restarts: escrow.counters.restarts,
+/// Queues one response frame for a client connection. A missing writer
+/// means the client vanished; its responses are dropped — clients are
+/// untrusted peers, their disappearance must not kill a node.
+fn respond(clients: &mut HashMap<ClientId, Conn>, conn: ClientId, tag: u8, payload: &[u8]) {
+    if let Some(c) = clients.get_mut(&conn) {
+        c.out.frame(tag, payload);
     }
 }

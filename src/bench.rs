@@ -22,11 +22,12 @@
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use oat_core::agg::SumI64;
+use oat_core::fault::FaultPlan;
 use oat_core::mechanism::CombineOutcome;
 use oat_core::policy::PolicySpec;
 use oat_core::request::{ReqOp, Request};
 use oat_core::tree::Tree;
-use oat_net::Cluster;
+use oat_net::{Cluster, NetConfig};
 use oat_sim::{Engine, Schedule};
 
 /// Schema tag emitted in every report; bump on incompatible change.
@@ -44,6 +45,12 @@ pub struct BenchConfig {
     pub seed: u64,
     /// Pipeline depth for the concurrent driver (≥ 1).
     pub depth: usize,
+    /// Reactor pool size for the TCP phases; `None` = transport default
+    /// (`min(cores, 4)`).
+    pub threads: Option<usize>,
+    /// Extra pipeline depths to sweep with the concurrent driver after
+    /// the main phases (empty = no sweep).
+    pub sweep_depths: Vec<usize>,
     /// Quick mode (CI smoke): tiny workload, same phases and schema.
     pub quick: bool,
 }
@@ -143,9 +150,26 @@ pub struct BenchReport {
     pub net_pipelined_queue_peak: u64,
     /// Clients the pipelined driver ran (one per active node).
     pub pipelined_clients: usize,
+    /// OS threads the TCP clusters ran (the reactor pool size — grows
+    /// with the configured pool, not the node count).
+    pub threads_spawned: usize,
+    /// One pipelined rerun per requested sweep depth.
+    pub depth_sweep: Vec<DepthPoint>,
     /// Net-sequential combine values and per-edge/per-kind counts match
     /// the simulator exactly.
     pub parity_ok: bool,
+}
+
+/// One point of the pipeline-depth sweep.
+pub struct DepthPoint {
+    /// Pipeline depth of this rerun.
+    pub depth: usize,
+    /// Requests per second at this depth.
+    pub req_per_s: f64,
+    /// p50 per-request wall latency, microseconds.
+    pub lat_p50_us: f64,
+    /// p99 per-request wall latency, microseconds.
+    pub lat_p99_us: f64,
 }
 
 impl BenchReport {
@@ -161,8 +185,19 @@ impl BenchReport {
 
     /// Renders the stable `oat-bench-v1` JSON document.
     pub fn to_json(&self) -> String {
+        let mut sweep = String::from("[");
+        for (i, p) in self.depth_sweep.iter().enumerate() {
+            if i > 0 {
+                sweep.push_str(", ");
+            }
+            sweep.push_str(&format!(
+                "{{\"depth\": {}, \"req_per_s\": {:.1}, \"lat_p50_us\": {:.1}, \"lat_p99_us\": {:.1}}}",
+                p.depth, p.req_per_s, p.lat_p50_us, p.lat_p99_us,
+            ));
+        }
+        sweep.push(']');
         format!(
-            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"date\": \"{}\",\n  \"config\": {{\"tree\": \"{}\", \"policy\": \"{}\", \"workload\": \"{}\", \"seed\": {}, \"pipeline_depth\": {}, \"quick\": {}}},\n  \"sim\": {{{}, \"hop_p50\": {:.1}, \"hop_p99\": {:.1}}},\n  \"net_sequential\": {{{}, \"queue_peak_max\": {}}},\n  \"net_pipelined\": {{{}, \"queue_peak_max\": {}, \"depth\": {}, \"clients\": {}, \"speedup_vs_sequential\": {:.2}}},\n  \"parity_ok\": {}\n}}",
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"date\": \"{}\",\n  \"config\": {{\"tree\": \"{}\", \"policy\": \"{}\", \"workload\": \"{}\", \"seed\": {}, \"pipeline_depth\": {}, \"quick\": {}}},\n  \"threads_spawned\": {},\n  \"sim\": {{{}, \"hop_p50\": {:.1}, \"hop_p99\": {:.1}}},\n  \"net_sequential\": {{{}, \"queue_peak_max\": {}}},\n  \"net_pipelined\": {{{}, \"queue_peak_max\": {}, \"depth\": {}, \"clients\": {}, \"speedup_vs_sequential\": {:.2}}},\n  \"depth_sweep\": {},\n  \"parity_ok\": {}\n}}",
             self.date,
             self.config.tree_spec,
             self.config.policy_spec,
@@ -170,6 +205,7 @@ impl BenchReport {
             self.config.seed,
             self.config.depth,
             self.config.quick,
+            self.threads_spawned,
             self.sim.json_fields(),
             self.sim_hop_p50,
             self.sim_hop_p99,
@@ -180,6 +216,7 @@ impl BenchReport {
             self.config.depth,
             self.pipelined_clients,
             self.speedup(),
+            sweep,
             self.parity_ok,
         )
     }
@@ -217,12 +254,19 @@ impl BenchReport {
             ));
         }
         out.push_str(&format!(
-            "  pipelined speedup vs sequential: {:.2}x ({} clients, depth {}); parity: {}\n",
+            "  pipelined speedup vs sequential: {:.2}x ({} clients, depth {}, {} reactor threads); parity: {}\n",
             self.speedup(),
             self.pipelined_clients,
             self.config.depth,
+            self.threads_spawned,
             if self.parity_ok { "OK" } else { "FAILED" },
         ));
+        for p in &self.depth_sweep {
+            out.push_str(&format!(
+                "  sweep depth {:<3} {:>8.0} req/s  p50 {:>8.1}us  p99 {:>9.1}us\n",
+                p.depth, p.req_per_s, p.lat_p50_us, p.lat_p99_us,
+            ));
+        }
         out
     }
 }
@@ -284,8 +328,15 @@ where
     let sim_hop_p99 = percentile(&sim_hops, 0.99);
 
     // ---- Phase 2: TCP, sequential replay (parity-checked). ---------
-    let cluster =
-        Cluster::spawn(tree, SumI64, spec, false).map_err(|e| format!("cluster spawn: {e}"))?;
+    let net_cfg = NetConfig {
+        threads: config.threads,
+        ..NetConfig::default()
+    };
+    let spawn = || {
+        Cluster::spawn_with(tree, SumI64, spec, false, FaultPlan::default(), net_cfg)
+            .map_err(|e| format!("cluster spawn: {e}"))
+    };
+    let cluster = spawn()?;
     let seq_start = Instant::now();
     let net = cluster
         .replay_sequential(seq)
@@ -305,8 +356,8 @@ where
     cluster.shutdown();
 
     // ---- Phase 3: TCP, pipelined multi-client replay. --------------
-    let cluster =
-        Cluster::spawn(tree, SumI64, spec, false).map_err(|e| format!("cluster spawn: {e}"))?;
+    let cluster = spawn()?;
+    let threads_spawned = cluster.threads_spawned();
     let pipelined_clients = {
         let mut active = vec![false; tree.len()];
         for q in seq {
@@ -330,6 +381,30 @@ where
     );
     cluster.shutdown();
 
+    // ---- Optional phase 4: pipeline-depth sweep. -------------------
+    let mut depth_sweep = Vec::with_capacity(config.sweep_depths.len());
+    for &d in &config.sweep_depths {
+        let cluster = spawn()?;
+        let pipe = cluster
+            .replay_pipelined(seq, d)
+            .map_err(|e| format!("sweep depth {d}: {e}"))?;
+        cluster.quiesce();
+        cluster.shutdown();
+        let stats = PhaseStats::new(
+            seq.len(),
+            pipe.combines.len(),
+            0,
+            pipe.elapsed,
+            &pipe.latencies,
+        );
+        depth_sweep.push(DepthPoint {
+            depth: d,
+            req_per_s: stats.req_per_s(),
+            lat_p50_us: stats.lat_p50_us(),
+            lat_p99_us: stats.lat_p99_us(),
+        });
+    }
+
     Ok(BenchReport {
         config,
         date: utc_date(),
@@ -341,6 +416,8 @@ where
         net_pipelined,
         net_pipelined_queue_peak,
         pipelined_clients,
+        threads_spawned,
+        depth_sweep,
         parity_ok,
     })
 }
@@ -448,6 +525,8 @@ mod tests {
                 workload_spec: "script".into(),
                 seed: 0,
                 depth: 8,
+                threads: Some(2),
+                sweep_depths: vec![1, 4],
                 quick: true,
             },
             &tree,
@@ -468,6 +547,8 @@ mod tests {
             "\"lat_p99_us\"",
             "\"queue_peak_max\"",
             "\"speedup_vs_sequential\"",
+            "\"threads_spawned\": 2",
+            "\"depth_sweep\": [{\"depth\": 1,",
             "\"parity_ok\": true",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");

@@ -69,7 +69,8 @@ USAGE:
   oat bench-net --tree SPEC --workload SPEC [--policy SPEC] [--seed N]
                 [--json] [--check] [--pipeline N]
   oat bench     [--tree SPEC] [--workload SPEC] [--policy SPEC] [--seed N]
-                [--depth N] [--quick] [--json] [--out PATH]
+                [--depth N] [--threads N] [--sweep-depth A,B,C] [--quick]
+                [--json] [--out PATH]
   oat chaos     --tree SPEC --workload SPEC [--policy SPEC] [--seed N]
                 [--faults SPEC]
   oat help
@@ -96,7 +97,10 @@ NET COMMANDS (oat-net TCP cluster on loopback):
              reports req/s, msg/s, p50/p99 latency and queue peaks, checks
              sim<->TCP parity, and writes BENCH_<date>.json (oat-bench-v1
              schema; --out overrides the path, --json also prints it,
-             --quick shrinks the workload for CI smoke runs)
+             --quick shrinks the workload for CI smoke runs, --threads N
+             sets the reactor pool serving the TCP phases, and
+             --sweep-depth 1,4,8,16 reruns the pipelined phase at each
+             listed depth and records the throughput curve)
   chaos      replays a seeded workload sequentially while the transport is
              subjected to --faults (seeded drop/dup/delay, scheduled
              connection kills, scheduled node crash-restarts); asserts
@@ -789,6 +793,21 @@ fn cmd_bench(args: &[String]) -> i32 {
             .unwrap_or("8")
             .parse()
             .map_err(|_| "bad --depth")?;
+        let threads: Option<usize> = match flag(args, "--threads") {
+            Some(s) => Some(s.parse().map_err(|_| "bad --threads")?),
+            None => None,
+        };
+        let sweep_depths: Vec<usize> = match flag(args, "--sweep-depth") {
+            Some(s) => s
+                .split(',')
+                .map(|d| {
+                    d.trim()
+                        .parse()
+                        .map_err(|_| format!("bad --sweep-depth `{d}`"))
+                })
+                .collect::<Result<_, _>>()?,
+            None => Vec::new(),
+        };
         let seq = parse_workload(workload_spec, &tree, seed)?;
         let config = oat::bench::BenchConfig {
             tree_spec: tree_spec.to_string(),
@@ -796,6 +815,8 @@ fn cmd_bench(args: &[String]) -> i32 {
             workload_spec: workload_spec.to_string(),
             seed,
             depth,
+            threads,
+            sweep_depths,
             quick,
         };
         let report =
