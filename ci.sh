@@ -16,17 +16,19 @@ cargo build --release
 echo "== tier 1: cargo test -q =="
 cargo test -q
 
-echo "== bench smoke: oat bench --quick --threads 2 =="
-# Quick-mode run of the measured baseline: validates the oat-bench-v1
+echo "== bench smoke: oat bench --quick --threads 2 --trace =="
+# Quick-mode run of the measured baseline: validates the oat-bench-v2
 # schema and fails on a sim<->TCP parity regression (`oat bench` exits
 # nonzero itself when parity breaks; the greps also pin the schema).
 # --threads 2 pins the reactor pool: the report must show exactly the
 # configured pool size, proving thread count is O(pool), not O(nodes)
 # (the quick tree has 10 nodes — the old runtime would report ~30).
+# --trace turns on oat-obs recording for the pipelined phase, so the
+# report must carry a real phase breakdown, not null.
 BENCH_OUT=$(mktemp /tmp/oat_bench_smoke.XXXXXX.json)
-./target/release/oat bench --quick --threads 2 --out "$BENCH_OUT" > /dev/null
+./target/release/oat bench --quick --threads 2 --trace --out "$BENCH_OUT" > /dev/null
 for key in \
-  '"schema": "oat-bench-v1"' \
+  '"schema": "oat-bench-v2"' \
   '"sim":' \
   '"net_sequential":' \
   '"net_pipelined":' \
@@ -34,9 +36,11 @@ for key in \
   '"msg_per_s"' \
   '"lat_p50_us"' \
   '"lat_p99_us"' \
+  '"lat_p999_us"' \
   '"queue_peak_max"' \
   '"speedup_vs_sequential"' \
   '"threads_spawned": 2' \
+  '"phase_breakdown": {"requests":' \
   '"parity_ok": true'
 do
   grep -qF "$key" "$BENCH_OUT" || {
@@ -45,6 +49,29 @@ do
   }
 done
 rm -f "$BENCH_OUT"
+
+echo "== trace smoke: oat trace --workload =="
+# Records a live oat-obs trace of a 10-node workload (sim replay + faulted
+# pipelined TCP replay), then checks the oat-trace-v1 JSONL: every line
+# parses as JSON and at least one event of every category was captured.
+TRACE_OUT=$(mktemp /tmp/oat_trace_smoke.XXXXXX.jsonl)
+./target/release/oat trace --tree kary:10:2 --workload uniform:0.5:80 \
+  --pipeline 4 --faults "seed:7,drop:0.02,kill:1-0@3" --out "$TRACE_OUT" > /dev/null
+python3 - "$TRACE_OUT" <<'PY'
+import json, sys
+cats = {}
+with open(sys.argv[1]) as f:
+    header = json.loads(f.readline())
+    assert header["schema"] == "oat-trace-v1", header
+    for line in f:
+        e = json.loads(line)
+        cats[e["cat"]] = cats.get(e["cat"], 0) + 1
+want = {"request", "frame", "lease", "fault", "reactor", "sim"}
+missing = want - set(cats)
+assert not missing, f"categories missing from trace: {missing} (got {cats})"
+print(f"trace smoke: {sum(cats.values())} events, all {len(want)} categories present")
+PY
+rm -f "$TRACE_OUT"
 
 echo "== chaos smoke: oat chaos =="
 # Seeded fault injection against the sequential oracle: drops/dups/delays

@@ -79,6 +79,21 @@ pub struct MechNode<P: NodePolicy, A: AggOp> {
     snt: Vec<(NodeId, Vec<NodeId>)>,
     upcntr: u64,
     sntupdates: Vec<SntUpdate>,
+    /// Incarnation of this automaton (0 for the first). Outgoing probes
+    /// carry it; responses echo the probe's epoch; `T4` discards
+    /// responses whose echo does not match, so an answer addressed to a
+    /// pre-crash incarnation can neither complete a fresh fan-out with a
+    /// stale value nor plant a phantom `taken` lease that a later
+    /// `forward_release` would spuriously release. Always 0 outside the
+    /// crash-restarting TCP runtime.
+    epoch: u64,
+    /// Per neighbour: the epoch carried by the most recent probe received
+    /// from it, echoed back in the eventual response. Constant within one
+    /// peer incarnation (FIFO links deliver the peer's RESET before any
+    /// post-restart probe).
+    probe_epoch: Vec<u64>,
+    /// Stale-epoch responses discarded by `T4` (diagnostic counter).
+    stale_responses: u64,
     /// Pruning watermark per neighbour `w`: every update id we sent to
     /// `w` *before* `watermark[w]` has been acknowledged (by a release
     /// from `w`, or because `w`'s lease was granted afresh with an empty
@@ -108,6 +123,9 @@ impl<P: NodePolicy + Clone, A: AggOp> Clone for MechNode<P, A> {
             snt: self.snt.clone(),
             upcntr: self.upcntr,
             sntupdates: self.sntupdates.clone(),
+            epoch: self.epoch,
+            probe_epoch: self.probe_epoch.clone(),
+            stale_responses: self.stale_responses,
             watermark: self.watermark.clone(),
             policy: self.policy.clone(),
             ghost: self.ghost.clone(),
@@ -138,6 +156,8 @@ where
         for t in &self.sntupdates {
             (t.from, t.rcvid, t.sntid).hash(h);
         }
+        self.epoch.hash(h);
+        self.probe_epoch.hash(h);
         self.watermark.hash(h);
         self.policy.hash(h);
         if let Some(g) = &self.ghost {
@@ -167,6 +187,9 @@ impl<P: NodePolicy, A: AggOp> MechNode<P, A> {
             snt: Vec::new(),
             upcntr: 0,
             sntupdates: Vec::new(),
+            epoch: 0,
+            probe_epoch: vec![0; k],
+            stale_responses: 0,
             policy,
             ghost: if ghost { Some(GhostState::new()) } else { None },
             nbrs,
@@ -236,6 +259,23 @@ impl<P: NodePolicy, A: AggOp> MechNode<P, A> {
     /// Current `sntupdates` ledger size (bounded-memory tests).
     pub fn sntupdates_len(&self) -> usize {
         self.sntupdates.len()
+    }
+
+    /// This automaton's incarnation number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Sets the incarnation number. Call once, right after constructing
+    /// the replacement automaton of a restarted node, with a value
+    /// strictly greater than any previous incarnation's.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Responses discarded because they echoed a dead incarnation.
+    pub fn stale_responses(&self) -> u64 {
+        self.stale_responses
     }
 
     /// Immutable access to the policy state (for invariant checks).
@@ -326,7 +366,7 @@ impl<P: NodePolicy, A: AggOp> MechNode<P, A> {
             if self.taken[i] || v == w || self.probe_sent_to(v) {
                 continue;
             }
-            out.push((v, Message::Probe));
+            out.push((v, Message::Probe { epoch: self.epoch }));
         }
     }
 
@@ -398,8 +438,17 @@ impl<P: NodePolicy, A: AggOp> MechNode<P, A> {
         // if (nbrs() \ {tkn() ∪ {w}} = ∅) → granted[w] := setlease(w)
         let others_all_taken = (0..self.nbrs.len()).all(|i| i == wi || self.taken[i]);
         if others_all_taken {
+            let was = self.granted[wi];
             self.granted[wi] = self.policy.set_lease(wi);
             if self.granted[wi] {
+                if !was {
+                    oat_obs::trace_event!(
+                        oat_obs::EventKind::LeaseSet,
+                        self.id.0,
+                        self.nbrs[wi].0,
+                        0
+                    );
+                }
                 // A fresh grant starts with an empty uaw at w: nothing
                 // sent before now can come back in a release from w.
                 self.watermark[wi] = self.upcntr + 1;
@@ -410,6 +459,7 @@ impl<P: NodePolicy, A: AggOp> MechNode<P, A> {
             Message::Response {
                 x: self.subval(wi),
                 flag: self.granted[wi],
+                epoch: self.probe_epoch[wi],
                 wlog: self.wlog_snapshot(),
             },
         ));
@@ -421,6 +471,12 @@ impl<P: NodePolicy, A: AggOp> MechNode<P, A> {
         for vi in 0..self.nbrs.len() {
             if self.taken[vi] && self.is_good_for_release(vi) && self.policy.break_lease(vi) {
                 self.taken[vi] = false;
+                oat_obs::trace_event!(
+                    oat_obs::EventKind::LeaseBreak,
+                    self.id.0,
+                    self.nbrs[vi].0,
+                    0
+                );
                 let ids = std::mem::take(&mut self.uaw[vi]);
                 out.push((self.nbrs[vi], Message::Release { ids }));
             }
@@ -526,11 +582,29 @@ impl<P: NodePolicy, A: AggOp> MechNode<P, A> {
     ) -> Option<A::Value> {
         let wi = self.nbr_index(from);
         match msg {
-            Message::Probe => {
+            Message::Probe { epoch } => {
+                self.probe_epoch[wi] = epoch;
                 self.t3_probe(from, wi, out);
                 None
             }
-            Message::Response { x, flag, wlog } => self.t4_response(from, wi, x, flag, wlog, out),
+            Message::Response {
+                x,
+                flag,
+                epoch,
+                wlog,
+            } => {
+                // Probe-epoch guard: an answer to a dead incarnation's
+                // probe must not touch the fresh automaton — accepting it
+                // could double-count the fan-out answer (the live re-probe
+                // is also answered) or plant a phantom `taken` lease whose
+                // eventual break would be a spurious `release`.
+                if epoch != self.epoch {
+                    self.stale_responses += 1;
+                    oat_obs::trace_event!(oat_obs::EventKind::StaleDrop, self.id.0, from.0, epoch);
+                    return None;
+                }
+                self.t4_response(from, wi, x, flag, wlog, out)
+            }
             Message::Update { x, id, wlog } => {
                 self.t5_update(wi, x, id, wlog, out);
                 None
@@ -584,6 +658,9 @@ impl<P: NodePolicy, A: AggOp> MechNode<P, A> {
         self.aval[wi] = x;
         if let (Some(gh), Some(wl)) = (self.ghost.as_mut(), wlog.as_ref()) {
             gh.merge_wlog(wl);
+        }
+        if flag && !self.taken[wi] {
+            oat_obs::trace_event!(oat_obs::EventKind::LeaseTaken, self.id.0, w.0, 0);
         }
         self.taken[wi] = flag;
 
@@ -651,6 +728,14 @@ impl<P: NodePolicy, A: AggOp> MechNode<P, A> {
     /// `T6`: release received from `w`.
     fn t6_release(&mut self, wi: usize, ids: &[u64], out: &mut Outbox<A::Value>) {
         self.policy.on_release_rcvd(wi);
+        if self.granted[wi] {
+            oat_obs::trace_event!(
+                oat_obs::EventKind::LeaseBreak,
+                self.id.0,
+                self.nbrs[wi].0,
+                0
+            );
+        }
         self.granted[wi] = false;
         self.on_release(wi, ids, out);
         // Everything sent to w so far is now acknowledged.
@@ -689,6 +774,9 @@ impl<P: NodePolicy, A: AggOp> MechNode<P, A> {
         let wi = self.nbr_index(from);
         // Both directions of the shared edge are void: the peer forgot
         // the lease it granted us and the one it took from us.
+        if self.taken[wi] || self.granted[wi] {
+            oat_obs::trace_event!(oat_obs::EventKind::LeaseBreak, self.id.0, from.0, 0);
+        }
         self.taken[wi] = false;
         self.granted[wi] = false;
         self.aval[wi] = self.op.identity();
@@ -717,7 +805,7 @@ impl<P: NodePolicy, A: AggOp> MechNode<P, A> {
             need_probe = true;
         }
         if need_probe {
-            out.push((from, Message::Probe));
+            out.push((from, Message::Probe { epoch: self.epoch }));
         }
         revoke
     }
@@ -748,6 +836,12 @@ impl<P: NodePolicy, A: AggOp> MechNode<P, A> {
             if j != wi && self.granted[j] {
                 self.granted[j] = false;
                 self.policy.on_release_rcvd(j);
+                oat_obs::trace_event!(
+                    oat_obs::EventKind::LeaseRevoke,
+                    self.id.0,
+                    self.nbrs[j].0,
+                    0
+                );
                 targets.push(self.nbrs[j]);
             }
         }
@@ -823,7 +917,7 @@ mod tests {
         let mut v = node(&t, 1);
         let mut out = Vec::new();
         v.handle_write(7, &mut out);
-        v.handle_message(n(0), Message::Probe, &mut out);
+        v.handle_message(n(0), Message::Probe { epoch: 0 }, &mut out);
         assert_eq!(out.len(), 1);
         match &out[0].1 {
             Message::Response { x, flag, .. } => {
@@ -936,6 +1030,7 @@ mod tests {
             Message::Response {
                 x: 7,
                 flag: true,
+                epoch: 0,
                 wlog: None,
             },
             &mut out,
@@ -961,6 +1056,7 @@ mod tests {
             Message::Response {
                 x: 3,
                 flag: true,
+                epoch: 0,
                 wlog: None,
             },
             &mut out,
@@ -970,6 +1066,7 @@ mod tests {
             Message::Response {
                 x: 10,
                 flag: true,
+                epoch: 0,
                 wlog: None,
             },
             &mut out,
@@ -988,13 +1085,14 @@ mod tests {
         // Probe from 0 while 2 is leased: 1 fans out to 2, gets the
         // grant, then grants 0 — now granted[0] caches subval(0) which
         // includes 2's subtree.
-        m.handle_message(n(0), Message::Probe, &mut out);
+        m.handle_message(n(0), Message::Probe { epoch: 0 }, &mut out);
         out.clear();
         m.handle_message(
             n(2),
             Message::Response {
                 x: 5,
                 flag: true,
+                epoch: 0,
                 wlog: None,
             },
             &mut out,
@@ -1019,6 +1117,7 @@ mod tests {
             Message::Response {
                 x: 1,
                 flag: true,
+                epoch: 0,
                 wlog: None,
             },
             &mut out2,
@@ -1028,6 +1127,7 @@ mod tests {
             Message::Response {
                 x: 2,
                 flag: true,
+                epoch: 0,
                 wlog: None,
             },
             &mut out2,
@@ -1048,7 +1148,7 @@ mod tests {
         let mut v = node(&t, 1);
         let mut out = Vec::new();
         // 0 probes 1 (leaf): 1 grants and responds.
-        v.handle_message(n(0), Message::Probe, &mut out);
+        v.handle_message(n(0), Message::Probe { epoch: 0 }, &mut out);
         assert!(v.granted(0));
         out.clear();
         let r1 = v.handle_peer_reset(n(0), &mut out);
@@ -1072,5 +1172,131 @@ mod tests {
         out.clear();
         assert_eq!(u.handle_combine(&mut out), CombineOutcome::Coalesced);
         assert!(out.is_empty(), "no duplicate probes for coalesced combine");
+    }
+
+    /// The exact post-crash duplicate-response interleaving the probe
+    /// epochs close (ISSUE 5 satellite):
+    ///
+    /// 1. `u@0` probes `v`; `v` grants and answers — but the answer sits
+    ///    in flight.
+    /// 2. `u` crashes and restarts as `u@1`; its RESET reaches `v`
+    ///    (FIFO), which re-grants nothing yet.
+    /// 3. A client retry makes `u@1` probe `v` again *before* the stale
+    ///    answer arrives.
+    /// 4. The stale `response(flag=true, epoch=0)` is delivered to `u@1`.
+    ///
+    /// Without the epoch guard, step 4 completes `u@1`'s fan-out with the
+    /// pre-crash value AND plants `taken[v]` for a lease `v` no longer
+    /// remembers granting — then `v`'s real answer arrives as a duplicate
+    /// and a later break emits a spurious `release`.
+    #[test]
+    fn stale_epoch_response_is_discarded_not_double_counted() {
+        let t = Tree::pair();
+        let mut u = node(&t, 0);
+        let mut v = node(&t, 1);
+        let mut out = Vec::new();
+
+        // Step 1: u@0 probes v; v answers with a grant (in flight).
+        v.handle_write(10, &mut out);
+        assert_eq!(u.handle_combine(&mut out), CombineOutcome::Pending);
+        assert_eq!(out.pop(), Some((n(1), Message::Probe { epoch: 0 })));
+        v.handle_message(n(0), Message::Probe { epoch: 0 }, &mut out);
+        let stale = out.pop().expect("v answered").1;
+        assert!(matches!(
+            stale,
+            Message::Response {
+                flag: true,
+                epoch: 0,
+                ..
+            }
+        ));
+
+        // Step 2: u crashes; only `val` survives. v processes the RESET.
+        let mut u = node(&t, 0);
+        u.set_epoch(1);
+        v.handle_peer_reset(n(0), &mut out);
+        out.clear();
+
+        // Step 3: the restarted u re-probes before the stale answer lands.
+        v.handle_write(32, &mut out);
+        assert_eq!(u.handle_combine(&mut out), CombineOutcome::Pending);
+        assert_eq!(out.pop(), Some((n(1), Message::Probe { epoch: 1 })));
+
+        // Step 4: the stale answer arrives at u@1 — and is discarded.
+        let completed = u.handle_message(n(1), stale, &mut out);
+        assert_eq!(
+            completed, None,
+            "stale response must not complete the fan-out"
+        );
+        assert!(!u.taken(0), "no phantom lease from a dead incarnation");
+        assert!(u.pndg().contains(&n(0)), "fan-out still waiting");
+        assert!(out.is_empty());
+        assert_eq!(u.stale_responses(), 1);
+
+        // v answers the live probe; u@1 completes exactly once, with the
+        // post-crash value, and takes the lease for real.
+        v.handle_message(n(0), Message::Probe { epoch: 1 }, &mut out);
+        let (dst, fresh) = out.pop().expect("fresh response");
+        assert_eq!(dst, n(0));
+        let completed = u.handle_message(n(1), fresh, &mut out);
+        assert_eq!(completed, Some(32), "exactly one completion, fresh value");
+        assert!(u.taken(0) && u.pndg().is_empty());
+
+        // A policy-driven break now releases only the *real* lease; had
+        // the stale flag been honoured, u would have sent a second,
+        // spurious release for a grant v no longer holds.
+        assert_eq!(u.stale_responses(), 1);
+    }
+
+    /// A stale response arriving when the restarted node has *no*
+    /// outstanding probe (the client retry came later) must be a pure
+    /// no-op — previously it planted `taken` + a stale `aval` that a
+    /// later break would release spuriously.
+    #[test]
+    fn stale_epoch_response_without_outstanding_probe_is_a_noop() {
+        let t = Tree::pair();
+        let mut u = node(&t, 0);
+        let mut v = node(&t, 1);
+        let mut out = Vec::new();
+        v.handle_write(7, &mut out);
+        assert_eq!(u.handle_combine(&mut out), CombineOutcome::Pending);
+        out.clear();
+        v.handle_message(n(0), Message::Probe { epoch: 0 }, &mut out);
+        let stale = out.pop().unwrap().1;
+
+        // Crash-restart; stale answer arrives before any new activity.
+        let mut u = node(&t, 0);
+        u.set_epoch(1);
+        assert_eq!(u.handle_message(n(1), stale, &mut out), None);
+        assert!(!u.taken(0), "no lease");
+        assert_eq!(*u.aval(0), 0, "no stale cached aggregate");
+        assert!(out.is_empty(), "no messages, so no spurious release later");
+        assert_eq!(u.stale_responses(), 1);
+    }
+
+    /// Epochs are sticky per probe: a node relaying a chained fan-out
+    /// echoes each requester's own epoch, so a restarted *relay* cannot
+    /// misdirect answers either.
+    #[test]
+    fn chained_response_echoes_the_requesters_probe_epoch() {
+        let t = Tree::path(3); // 0 — 1 — 2
+        let mut mid = node(&t, 1);
+        let mut leaf = node(&t, 2);
+        let mut out = Vec::new();
+        // Node 0 (epoch 4) probes the relay; the relay fans out to 2
+        // with its own epoch (0 here).
+        mid.handle_message(n(0), Message::Probe { epoch: 4 }, &mut out);
+        assert_eq!(out.pop(), Some((n(2), Message::Probe { epoch: 0 })));
+        leaf.handle_message(n(1), Message::Probe { epoch: 0 }, &mut out);
+        let (_, resp) = out.pop().unwrap();
+        mid.handle_message(n(2), resp, &mut out);
+        // The relay's answer back to 0 echoes 0's epoch, not its own.
+        match out.pop() {
+            Some((dst, Message::Response { epoch, .. })) => {
+                assert_eq!(dst, n(0));
+                assert_eq!(epoch, 4, "response echoes the requester's probe epoch");
+            }
+            other => panic!("expected response to 0, got {other:?}"),
+        }
     }
 }

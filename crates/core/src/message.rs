@@ -16,7 +16,16 @@ use crate::ghost::WriteRec;
 pub enum Message<V> {
     /// Pull request for the aggregate value of the receiver's side
     /// (`probe()` in Figure 1).
-    Probe,
+    Probe {
+        /// Incarnation of the probing automaton. Figure 1 assumes
+        /// immortal nodes, so the paper's probe carries nothing; with
+        /// crash-restart (`oat-net`), a response must echo the epoch of
+        /// the probe it answers so the prober can discard answers
+        /// addressed to a dead incarnation (see
+        /// `MechNode::handle_message`, `T4`). Always `0` in the
+        /// crash-free simulator.
+        epoch: u64,
+    },
     /// Reply to a probe: `x` is `subval` of the sender toward the
     /// receiver; `flag` reports whether the sender granted a lease
     /// (`response(x, flag)`).
@@ -25,6 +34,9 @@ pub enum Message<V> {
         x: V,
         /// Whether the sender set `granted[receiver]`.
         flag: bool,
+        /// Echo of the answered probe's `epoch`; the prober drops the
+        /// response when it no longer matches its own incarnation.
+        epoch: u64,
         /// Ghost write-log of the sender at send time (Section 5.2);
         /// `None` when ghost tracking is disabled.
         wlog: Option<Vec<WriteRec<V>>>,
@@ -52,7 +64,7 @@ impl<V> Message<V> {
     /// The kind tag of this message, for accounting.
     pub fn kind(&self) -> MsgKind {
         match self {
-            Message::Probe => MsgKind::Probe,
+            Message::Probe { .. } => MsgKind::Probe,
             Message::Response { .. } => MsgKind::Response,
             Message::Update { .. } => MsgKind::Update,
             Message::Release { .. } => MsgKind::Release,
@@ -111,10 +123,11 @@ mod tests {
     #[test]
     fn kind_roundtrip() {
         let msgs: Vec<Message<i64>> = vec![
-            Message::Probe,
+            Message::Probe { epoch: 0 },
             Message::Response {
                 x: 1,
                 flag: true,
+                epoch: 0,
                 wlog: None,
             },
             Message::Update {

@@ -262,11 +262,20 @@ impl<V: WireValue> Message<V> {
     /// Appends this message's wire encoding (kind tag + payload) to `out`.
     pub fn encode_wire(&self, out: &mut Vec<u8>) {
         match self {
-            Message::Probe => out.push(0),
-            Message::Response { x, flag, wlog } => {
+            Message::Probe { epoch } => {
+                out.push(0);
+                put_u64(out, *epoch);
+            }
+            Message::Response {
+                x,
+                flag,
+                epoch,
+                wlog,
+            } => {
                 out.push(1);
                 x.encode(out);
                 out.push(u8::from(*flag));
+                put_u64(out, *epoch);
                 encode_wlog(wlog, out);
             }
             Message::Update { x, id, wlog } => {
@@ -289,12 +298,20 @@ impl<V: WireValue> Message<V> {
     pub fn decode_wire(buf: &[u8]) -> Result<Self, WireError> {
         let mut r = WireReader::new(buf);
         let msg = match r.u8("message tag")? {
-            0 => Message::Probe,
+            0 => Message::Probe {
+                epoch: r.u64("probe epoch")?,
+            },
             1 => {
                 let x = V::decode(&mut r)?;
                 let flag = r.bool("response flag")?;
+                let epoch = r.u64("response epoch")?;
                 let wlog = decode_wlog(&mut r)?;
-                Message::Response { x, flag, wlog }
+                Message::Response {
+                    x,
+                    flag,
+                    epoch,
+                    wlog,
+                }
             }
             2 => {
                 let x = V::decode(&mut r)?;
@@ -336,15 +353,17 @@ mod tests {
 
     #[test]
     fn all_kinds_roundtrip() {
-        roundtrip::<i64>(Message::Probe);
+        roundtrip::<i64>(Message::Probe { epoch: 7 });
         roundtrip(Message::Response {
             x: -42i64,
             flag: true,
+            epoch: 0,
             wlog: None,
         });
         roundtrip(Message::Response {
             x: 7i64,
             flag: false,
+            epoch: 0,
             wlog: Some(vec![
                 WriteRec {
                     node: NodeId(3),
@@ -379,16 +398,19 @@ mod tests {
         roundtrip(Message::Response {
             x: (i64::MIN, i64::MAX),
             flag: true,
+            epoch: 0,
             wlog: None,
         });
         roundtrip(Message::Response {
             x: 2.5f64,
             flag: false,
+            epoch: 0,
             wlog: None,
         });
         roundtrip(Message::Response {
             x: true,
             flag: false,
+            epoch: 0,
             wlog: None,
         });
         roundtrip(Message::Update {
@@ -411,6 +433,7 @@ mod tests {
         Message::Response {
             x: 5i64,
             flag: true,
+            epoch: 0,
             wlog: None,
         }
         .encode_wire(&mut buf);

@@ -248,10 +248,11 @@ where
         let mut wakers = Vec::with_capacity(pool);
         let mut shards = Vec::with_capacity(pool);
         let mut handles = Vec::with_capacity(pool);
-        for seeds in shard_seeds {
+        for (shard, seeds) in shard_seeds.into_iter().enumerate() {
             let (waker, waker_rx) = waker_pair()?;
             shards.push(seeds.iter().map(|s| s.id).collect::<Vec<_>>());
             let rcfg = ReactorCfg {
+                shard: shard as u32,
                 shard_nodes: seeds,
                 tree: tree.clone(),
                 addrs: addrs.clone(),
@@ -775,6 +776,7 @@ impl<V: WireValue> ClusterClient<V> {
         let mut payload = Vec::with_capacity(8);
         put_u64(&mut payload, id);
         write_frame(&mut self.writer, TAG_REQ_COMBINE, &payload)?;
+        oat_obs::trace_event!(oat_obs::EventKind::ReqStart, self.node.0, 0, id);
         self.pending.insert(id, (TAG_REQ_COMBINE, payload));
         Ok(id)
     }
@@ -786,6 +788,7 @@ impl<V: WireValue> ClusterClient<V> {
         put_u64(&mut payload, id);
         arg.encode(&mut payload);
         write_frame(&mut self.writer, TAG_REQ_WRITE, &payload)?;
+        oat_obs::trace_event!(oat_obs::EventKind::ReqStart, self.node.0, 0, id);
         self.pending.insert(id, (TAG_REQ_WRITE, payload));
         Ok(id)
     }
@@ -840,6 +843,7 @@ impl<V: WireValue> ClusterClient<V> {
                     let v = V::decode(&mut r)
                         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
                     if self.pending.remove(&id).is_some() {
+                        oat_obs::trace_event!(oat_obs::EventKind::ReqEnd, self.node.0, 0, id);
                         return Ok((id, Response::Combine(v)));
                     }
                     // Duplicate answer to a request we already retried
@@ -847,6 +851,7 @@ impl<V: WireValue> ClusterClient<V> {
                 }
                 TAG_RESP_WRITE => {
                     if self.pending.remove(&id).is_some() {
+                        oat_obs::trace_event!(oat_obs::EventKind::ReqEnd, self.node.0, 0, id);
                         return Ok((id, Response::Write));
                     }
                 }

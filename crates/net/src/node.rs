@@ -616,6 +616,12 @@ where
                             continue;
                         }
                         link.rx_seq = seq;
+                        oat_obs::trace_event!(
+                            oat_obs::EventKind::FrameRx,
+                            self.id.0,
+                            link.peer.0,
+                            u64::from(inner)
+                        );
                         match inner {
                             INNER_NET => match Message::<A::Value>::decode_wire(body) {
                                 Ok(msg) => {
@@ -722,6 +728,12 @@ where
                         };
                         ctx.in_flight.fetch_add(1, Ordering::SeqCst);
                         self.gauge.on_enqueue();
+                        oat_obs::trace_event!(
+                            oat_obs::EventKind::ReqRecv,
+                            self.id.0,
+                            cid as u32,
+                            req_id
+                        );
                         work.push(Work::Client {
                             conn: cid,
                             req_id,
@@ -741,6 +753,12 @@ where
                         };
                         ctx.in_flight.fetch_add(1, Ordering::SeqCst);
                         self.gauge.on_enqueue();
+                        oat_obs::trace_event!(
+                            oat_obs::EventKind::ReqRecv,
+                            self.id.0,
+                            cid as u32,
+                            req_id
+                        );
                         work.push(Work::Client {
                             conn: cid,
                             req_id,
@@ -805,7 +823,7 @@ where
                     self.send_outbox(ctx);
                     for t in revokes {
                         let wi = self.mech.nbr_index(t);
-                        if send_seq(&mut self.links[wi], INNER_REVOKE, &[], ctx) {
+                        if send_seq(self.id, &mut self.links[wi], INNER_REVOKE, &[], ctx) {
                             self.downed.push(wi);
                         }
                     }
@@ -821,7 +839,7 @@ where
                     self.send_outbox(ctx);
                     for t in next_hops {
                         let wi = self.mech.nbr_index(t);
-                        if send_seq(&mut self.links[wi], INNER_REVOKE, &[], ctx) {
+                        if send_seq(self.id, &mut self.links[wi], INNER_REVOKE, &[], ctx) {
                             self.downed.push(wi);
                         }
                     }
@@ -832,6 +850,7 @@ where
             }
             Work::Client { conn, req_id, op } => {
                 let _done = InFlightGuard(ctx.in_flight);
+                let t0 = oat_obs::now_ns();
                 let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match op {
                     ReqOp::Write(arg) => {
                         self.durable_val = arg.clone();
@@ -840,6 +859,12 @@ where
                         let mut payload = Vec::with_capacity(8);
                         put_u64(&mut payload, req_id);
                         respond(&mut self.clients, conn, TAG_RESP_WRITE, &payload);
+                        oat_obs::trace_event!(
+                            oat_obs::EventKind::RespTx,
+                            self.id.0,
+                            conn as u32,
+                            req_id
+                        );
                     }
                     ReqOp::Combine => {
                         let outcome = self.mech.handle_combine(&mut self.out);
@@ -850,6 +875,12 @@ where
                                 put_u64(&mut payload, req_id);
                                 v.encode(&mut payload);
                                 respond(&mut self.clients, conn, TAG_RESP_COMBINE, &payload);
+                                oat_obs::trace_event!(
+                                    oat_obs::EventKind::RespTx,
+                                    self.id.0,
+                                    conn as u32,
+                                    req_id
+                                );
                                 self.completions.push((self.id, v));
                             }
                             CombineOutcome::Pending | CombineOutcome::Coalesced => {
@@ -862,6 +893,13 @@ where
                         }
                     }
                 }));
+                oat_obs::trace_span!(
+                    oat_obs::EventKind::ReqServe,
+                    t0,
+                    self.id.0,
+                    conn as u32,
+                    req_id
+                );
                 if run.is_err() {
                     self.crash_restart(ctx);
                 }
@@ -893,7 +931,7 @@ where
             payload.clear();
             msg.encode_wire(&mut payload);
             let wi = self.mech.nbr_index(to);
-            if send_seq(&mut self.links[wi], INNER_NET, &payload, ctx) {
+            if send_seq(self.id, &mut self.links[wi], INNER_NET, &payload, ctx) {
                 self.downed.push(wi);
             }
         }
@@ -906,6 +944,7 @@ where
             put_u64(&mut payload, req_id);
             v.encode(&mut payload);
             respond(&mut self.clients, conn, TAG_RESP_COMBINE, &payload);
+            oat_obs::trace_event!(oat_obs::EventKind::RespTx, self.id.0, conn as u32, req_id);
             self.completions.push((self.id, v.clone()));
         }
     }
@@ -917,6 +956,7 @@ where
     /// edges queue it in the retransmit buffer, so the peer learns of
     /// the restart in FIFO position even across a connection failure.
     fn crash_restart(&mut self, ctx: &Ctx<'_, S, A>) {
+        oat_obs::trace_event!(oat_obs::EventKind::Crash, self.id.0, 0, 0);
         self.counters.restarts += 1;
         self.waiters.clear();
         self.out.clear();
@@ -927,13 +967,23 @@ where
             ctx.spec.build(self.degree),
             ctx.ghost,
         );
+        // The replacement automaton's incarnation number lets it discard
+        // responses addressed to the incarnation that just died (see the
+        // epoch guard in `MechNode::handle_message`).
+        self.mech.set_epoch(self.counters.restarts);
+        oat_obs::trace_event!(
+            oat_obs::EventKind::Restart,
+            self.id.0,
+            0,
+            self.counters.restarts
+        );
         // Restore the durable value. The fresh node holds no grants, so
         // this emits nothing.
         let mut sink = Vec::new();
         self.mech.handle_write(self.durable_val.clone(), &mut sink);
         debug_assert!(sink.is_empty());
         for wi in 0..self.links.len() {
-            if send_seq(&mut self.links[wi], INNER_RESET, &[], ctx) {
+            if send_seq(self.id, &mut self.links[wi], INNER_RESET, &[], ctx) {
                 self.downed.push(wi);
             }
         }
@@ -1004,6 +1054,7 @@ where
     /// previous tick. A stalled watermark alone is not evidence of loss
     /// — the oldest unacked frame must also be at least one RTO old.
     pub(crate) fn rto_tick(&mut self) {
+        let id = self.id;
         for link in self.links.iter_mut() {
             let stale = link
                 .rtx
@@ -1013,6 +1064,13 @@ where
                 if let Some(conn) = link.conn.as_mut() {
                     self.counters.timeouts += 1;
                     self.counters.retransmits += link.rtx.len() as u64;
+                    oat_obs::trace_event!(oat_obs::EventKind::RtoExpire, id.0, link.peer.0, 0);
+                    oat_obs::trace_event!(
+                        oat_obs::EventKind::Retransmit,
+                        id.0,
+                        link.peer.0,
+                        link.rtx.len() as u64
+                    );
                     let now = Instant::now();
                     for (seq, inner, body, sent) in link.rtx.iter_mut() {
                         queue_seq(&mut conn.out, *seq, *inner, body);
@@ -1143,6 +1201,7 @@ where
         link.backoff_ms = RECONNECT_BASE_MS;
         if link.ever_up {
             self.counters.reconnects += 1;
+            oat_obs::trace_event!(oat_obs::EventKind::Reconnect, self.id.0, peer.0, 0);
         }
         link.ever_up = true;
         // Resume the sequenced stream: everything the peer already has
@@ -1156,6 +1215,12 @@ where
         }
         if !link.rtx.is_empty() {
             self.counters.retransmits += link.rtx.len() as u64;
+            oat_obs::trace_event!(
+                oat_obs::EventKind::Retransmit,
+                self.id.0,
+                peer.0,
+                link.rtx.len() as u64
+            );
             let out = &mut link.conn.as_mut().expect("just installed").out;
             let now = Instant::now();
             for (seq, inner, body, sent) in link.rtx.iter_mut() {
@@ -1203,10 +1268,22 @@ fn queue_seq(out: &mut WriteQueue, seq: u64, inner: u8, body: &[u8]) {
 /// per logical frame), and attempts first transmission — subject to the
 /// edge's fault-decision stream and kill schedule. Returns `true` when
 /// the connection must be marked down.
-fn send_seq<S, A: AggOp>(link: &mut EdgeLink, inner: u8, body: &[u8], ctx: &Ctx<'_, S, A>) -> bool {
+fn send_seq<S, A: AggOp>(
+    from: NodeId,
+    link: &mut EdgeLink,
+    inner: u8,
+    body: &[u8],
+    ctx: &Ctx<'_, S, A>,
+) -> bool {
     ctx.in_flight.fetch_add(1, Ordering::SeqCst);
     link.tx_seq += 1;
     let seq = link.tx_seq;
+    oat_obs::trace_event!(
+        oat_obs::EventKind::FrameTx,
+        from.0,
+        link.peer.0,
+        u64::from(inner)
+    );
     link.rtx
         .push_back((seq, inner, body.to_vec(), Instant::now()));
     let Some(conn) = link.conn.as_mut() else {

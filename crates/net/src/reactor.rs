@@ -218,6 +218,9 @@ pub(crate) fn waker_pair() -> io::Result<(Waker, UnixStream)> {
 /// Everything one reactor thread needs: its shard of nodes plus the
 /// cluster-shared handles.
 pub(crate) struct ReactorCfg<S, A: AggOp> {
+    /// This reactor's index in the pool (the `shard` word of its
+    /// `poll_wake`/`dispatch` trace spans).
+    pub shard: u32,
     pub shard_nodes: Vec<NodeSeed>,
     pub tree: Tree,
     pub addrs: Vec<SocketAddr>,
@@ -269,6 +272,7 @@ where
     A::Value: WireValue,
 {
     let ReactorCfg {
+        shard,
         shard_nodes,
         tree,
         addrs,
@@ -353,7 +357,12 @@ where
         // Poll errors (EBADF from a racing close) surface as an
         // immediate retry; the per-connection handlers below discover
         // and retire any genuinely dead socket.
+        let t_poll = oat_obs::now_ns();
         let _ = poll_fds(&mut fds, timeout);
+        if t_poll != 0 {
+            let ready = fds.iter().filter(|fd| fd.revents != 0).count() as u32;
+            oat_obs::trace_span!(oat_obs::EventKind::PollWake, t_poll, shard, ready, 0);
+        }
 
         if shutting_down.load(Ordering::SeqCst) {
             return nodes
@@ -365,10 +374,13 @@ where
                 .collect();
         }
 
+        let t_dispatch = oat_obs::now_ns();
+        let mut handled: u32 = 0;
         for (fd, tok) in fds.iter().zip(&toks) {
             if fd.revents == 0 {
                 continue;
             }
+            handled += 1;
             match *tok {
                 Tok::Waker => {
                     // Drain the nudge bytes; the flag check above is the
@@ -399,6 +411,9 @@ where
                 } // A pure POLLOUT wakeup needs no handler: the flush pass
                   // at the top of the next iteration makes the progress.
             }
+        }
+        if handled > 0 {
+            oat_obs::trace_span!(oat_obs::EventKind::Dispatch, t_dispatch, shard, handled, 0);
         }
     }
 }

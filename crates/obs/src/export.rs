@@ -1,0 +1,168 @@
+//! Trace exporters: the stable `oat-trace-v1` JSONL schema and Chrome's
+//! `trace_event` JSON (loadable in `chrome://tracing` / Perfetto).
+//!
+//! ## `oat-trace-v1`
+//!
+//! Line 1 is a header object:
+//!
+//! ```json
+//! {"schema":"oat-trace-v1","events":N,"dropped":D,"rings":R}
+//! ```
+//!
+//! followed by one object per event, ascending by timestamp:
+//!
+//! ```json
+//! {"ts_ns":123,"kind":"frame_tx","cat":"frame","tid":0,"a":3,"b":1,"c":9,"dur_ns":0}
+//! ```
+//!
+//! Field meanings per kind are documented on
+//! [`crate::event::EventKind`]; the *shape* of a record never varies, so
+//! consumers can parse every line with one schema. All output is plain
+//! ASCII with deterministic key order.
+
+use std::fmt::Write as _;
+
+use crate::event::Event;
+use crate::ring::Trace;
+
+/// Renders the `oat-trace-v1` JSONL document.
+pub fn to_jsonl(trace: &Trace) -> String {
+    let mut out = String::with_capacity(64 + trace.events.len() * 96);
+    let _ = writeln!(
+        out,
+        "{{\"schema\":\"oat-trace-v1\",\"events\":{},\"dropped\":{},\"rings\":{}}}",
+        trace.events.len(),
+        trace.dropped,
+        trace.rings
+    );
+    for e in &trace.events {
+        let _ = writeln!(
+            out,
+            "{{\"ts_ns\":{},\"kind\":\"{}\",\"cat\":\"{}\",\"tid\":{},\"a\":{},\"b\":{},\"c\":{},\"dur_ns\":{}}}",
+            e.ts_ns,
+            e.kind.name(),
+            e.kind.category(),
+            e.tid,
+            e.a,
+            e.b,
+            e.c,
+            e.dur_ns
+        );
+    }
+    out
+}
+
+/// Renders a Chrome `trace_event` JSON document (the "JSON object
+/// format": a top-level object with a `traceEvents` array).
+///
+/// Span kinds become `ph:"X"` complete events with microsecond `ts`/`dur`
+/// (Chrome's native unit); instants become `ph:"i"` with thread scope.
+/// The payload words ride in `args`.
+pub fn to_chrome(trace: &Trace) -> String {
+    let mut out = String::with_capacity(128 + trace.events.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in trace.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  ");
+        chrome_record(&mut out, e);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn chrome_record(out: &mut String, e: &Event) {
+    let ts_us = e.ts_ns as f64 / 1000.0;
+    if e.kind.is_span() {
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{\"a\":{},\"b\":{},\"c\":{}}}}}",
+            e.kind.name(),
+            e.kind.category(),
+            ts_us,
+            f64::from(e.dur_ns) / 1000.0,
+            e.tid,
+            e.a,
+            e.b,
+            e.c
+        );
+    } else {
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{\"a\":{},\"b\":{},\"c\":{}}}}}",
+            e.kind.name(),
+            e.kind.category(),
+            ts_us,
+            e.tid,
+            e.a,
+            e.b,
+            e.c
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    /// A small deterministic trace exercising an instant, a span, and
+    /// payload extremes.
+    pub(crate) fn sample_trace() -> Trace {
+        let ev = |ts_ns, dur_ns, kind, tid, a, b, c| Event {
+            ts_ns,
+            dur_ns,
+            kind,
+            tid,
+            a,
+            b,
+            c,
+        };
+        Trace {
+            events: vec![
+                ev(1, 0, EventKind::ReqStart, 0, 3, 0, 1),
+                ev(1500, 0, EventKind::FrameRx, 1, 3, 1, 9),
+                ev(2000, 250_000, EventKind::ReqServe, 1, 3, 7, 1),
+                ev(999_999_999, 0, EventKind::Restart, 2, u32::MAX, 0, u64::MAX),
+            ],
+            dropped: 5,
+            rings: 3,
+        }
+    }
+
+    #[test]
+    fn jsonl_golden() {
+        let got = to_jsonl(&sample_trace());
+        let want = "\
+{\"schema\":\"oat-trace-v1\",\"events\":4,\"dropped\":5,\"rings\":3}
+{\"ts_ns\":1,\"kind\":\"req_start\",\"cat\":\"request\",\"tid\":0,\"a\":3,\"b\":0,\"c\":1,\"dur_ns\":0}
+{\"ts_ns\":1500,\"kind\":\"frame_rx\",\"cat\":\"frame\",\"tid\":1,\"a\":3,\"b\":1,\"c\":9,\"dur_ns\":0}
+{\"ts_ns\":2000,\"kind\":\"req_serve\",\"cat\":\"request\",\"tid\":1,\"a\":3,\"b\":7,\"c\":1,\"dur_ns\":250000}
+{\"ts_ns\":999999999,\"kind\":\"restart\",\"cat\":\"fault\",\"tid\":2,\"a\":4294967295,\"b\":0,\"c\":18446744073709551615,\"dur_ns\":0}
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn chrome_golden() {
+        let got = to_chrome(&sample_trace());
+        let want = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[
+  {\"name\":\"req_start\",\"cat\":\"request\",\"ph\":\"i\",\"s\":\"t\",\"ts\":0.001,\"pid\":1,\"tid\":0,\"args\":{\"a\":3,\"b\":0,\"c\":1}},
+  {\"name\":\"frame_rx\",\"cat\":\"frame\",\"ph\":\"i\",\"s\":\"t\",\"ts\":1.500,\"pid\":1,\"tid\":1,\"args\":{\"a\":3,\"b\":1,\"c\":9}},
+  {\"name\":\"req_serve\",\"cat\":\"request\",\"ph\":\"X\",\"ts\":2.000,\"dur\":250.000,\"pid\":1,\"tid\":1,\"args\":{\"a\":3,\"b\":7,\"c\":1}},
+  {\"name\":\"restart\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\"ts\":999999.999,\"pid\":1,\"tid\":2,\"args\":{\"a\":4294967295,\"b\":0,\"c\":18446744073709551615}}
+]}
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn jsonl_lines_are_balanced_json_objects() {
+        for line in to_jsonl(&sample_trace()).lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+            assert_eq!(line.matches('"').count() % 2, 0);
+        }
+    }
+}

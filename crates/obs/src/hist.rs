@@ -1,0 +1,285 @@
+//! Log-bucketed, mergeable latency histograms (HDR-style).
+//!
+//! Values (typically nanoseconds) are bucketed by their binary exponent
+//! with [`SUB_BITS`] bits of mantissa resolution: values below
+//! 2^[`SUB_BITS`] are recorded exactly, and above that each bucket spans a
+//! `2^-SUB_BITS` = 1/64 slice of its octave. Reported quantiles use the
+//! bucket midpoint, so the relative error is bounded by
+//! `1 / 2^(SUB_BITS+1)` < 1/64 ≈ 1.6% (property-tested).
+//!
+//! Histograms are plain arrays of counters: `merge` is element-wise
+//! addition, which is associative and commutative — per-thread histograms
+//! recorded concurrently can be folded together in any order (used by the
+//! bench harness and `oat top`).
+
+/// Mantissa bits per octave; 6 ⇒ 64 sub-buckets, ≤ 1/64 relative error.
+pub const SUB_BITS: u32 = 6;
+
+const SUB: u64 = 1 << SUB_BITS; // 64: exact range and per-octave buckets
+const OCTAVES: usize = (64 - SUB_BITS as usize) + 1; // exponents 6..=63
+const BUCKETS: usize = SUB as usize + (OCTAVES - 1) * SUB as usize;
+
+/// A fixed-size log-bucketed histogram of `u64` samples.
+#[derive(Clone)]
+pub struct LogHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros(); // ≥ SUB_BITS
+        let mantissa = (v >> (e - SUB_BITS)) & (SUB - 1);
+        SUB as usize + ((e - SUB_BITS) as usize) * SUB as usize + mantissa as usize
+    }
+}
+
+/// Midpoint of the bucket, the value reported for samples in it.
+fn bucket_value(idx: usize) -> u64 {
+    if idx < SUB as usize {
+        idx as u64
+    } else {
+        let rel = idx - SUB as usize;
+        let e = SUB_BITS + (rel / SUB as usize) as u32;
+        let mantissa = (rel % SUB as usize) as u64;
+        let low = (1u64 << e) | (mantissa << (e - SUB_BITS));
+        let width = 1u64 << (e - SUB_BITS);
+        low.saturating_add(width / 2)
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            counts: vec![0u64; BUCKETS].into_boxed_slice().try_into().unwrap(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical samples.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(v)] += n;
+        self.count += n;
+        self.sum += u128::from(v) * u128::from(n);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Element-wise sum with `other` (associative and commutative).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample (exact); `0` when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (exact); `0` when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded samples (exact); `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q ∈ [0, 1]` (`0.5` = median), with relative
+    /// error ≤ 1/64. Quantiles at the extremes snap to the exact
+    /// min/max. `0` when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_value(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// `quantile`, scaled to microseconds for reporting (samples are
+    /// nanoseconds by convention).
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        self.quantile(q) as f64 / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 63);
+        assert_eq!(h.quantile(0.5), 31);
+        assert_eq!(h.mean(), 31.5);
+    }
+
+    #[test]
+    fn extreme_magnitudes_do_not_overflow() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        let q = h.quantile(0.99);
+        assert!(q.abs_diff(u64::MAX) <= u64::MAX / 64, "q={q} near max");
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_value_lies_within_its_bucket() {
+        for v in [1u64, 63, 64, 65, 1000, 1 << 20, u64::MAX / 3] {
+            let idx = bucket_index(v);
+            let rep = bucket_value(idx);
+            assert_eq!(bucket_index(rep), idx, "midpoint of {v}'s bucket stays put");
+        }
+    }
+
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_error_is_bounded(
+            samples in proptest::collection::vec(0u64..1_000_000_000, 1..400),
+            qs in proptest::collection::vec(0.0f64..1.0, 1..8),
+        ) {
+            let mut h = LogHistogram::new();
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            for &s in &samples {
+                h.record(s);
+            }
+            for q in qs {
+                let exact = exact_quantile(&sorted, q);
+                let approx = h.quantile(q);
+                // ≤ 1/64 relative error (plus 1 for integer rounding).
+                let bound = exact / 64 + 1;
+                prop_assert!(
+                    approx.abs_diff(exact) <= bound,
+                    "q={q}: approx {approx} vs exact {exact} (bound {bound})"
+                );
+            }
+        }
+
+        #[test]
+        fn merge_is_associative_and_order_free(
+            xs in proptest::collection::vec(0u64..1_000_000_000, 0..100),
+            ys in proptest::collection::vec(0u64..1_000_000_000, 0..100),
+            zs in proptest::collection::vec(0u64..1_000_000_000, 0..100),
+        ) {
+            let hist_of = |vals: &[u64]| {
+                let mut h = LogHistogram::new();
+                for &v in vals {
+                    h.record(v);
+                }
+                h
+            };
+            let (hx, hy, hz) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+
+            // (x ⊕ y) ⊕ z
+            let mut left = hx.clone();
+            left.merge(&hy);
+            left.merge(&hz);
+            // x ⊕ (y ⊕ z)
+            let mut yz = hy.clone();
+            yz.merge(&hz);
+            let mut right = hx.clone();
+            right.merge(&yz);
+            // one histogram over the concatenation
+            let mut all = xs.clone();
+            all.extend(&ys);
+            all.extend(&zs);
+            let direct = hist_of(&all);
+
+            for h in [&right, &direct] {
+                prop_assert_eq!(left.count(), h.count());
+                prop_assert_eq!(left.min(), h.min());
+                prop_assert_eq!(left.max(), h.max());
+                prop_assert_eq!(&*left.counts, &*h.counts);
+                for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                    prop_assert_eq!(left.quantile(q), h.quantile(q));
+                }
+            }
+        }
+    }
+}

@@ -252,6 +252,7 @@ impl<S: PolicySpec, A: AggOp> Engine<S, A> {
 
     /// Initiates a combine request at `u` (`T1`).
     pub fn initiate_combine(&mut self, u: NodeId) -> CombineOutcome<A::Value> {
+        oat_obs::trace_event!(oat_obs::EventKind::SimInitiate, u.0, 0, 0);
         let outcome = {
             let node = &mut self.nodes[u.idx()];
             node.handle_combine(&mut self.scratch)
@@ -262,6 +263,7 @@ impl<S: PolicySpec, A: AggOp> Engine<S, A> {
 
     /// Initiates a write request at `u` (`T2`).
     pub fn initiate_write(&mut self, u: NodeId, arg: A::Value) {
+        oat_obs::trace_event!(oat_obs::EventKind::SimInitiate, u.0, 0, 1);
         {
             let node = &mut self.nodes[u.idx()];
             node.handle_write(arg, &mut self.scratch);
@@ -357,6 +359,12 @@ impl<S: PolicySpec, A: AggOp> Engine<S, A> {
             .expect("token implies pending message");
         self.window_max_depth = self.window_max_depth.max(depth);
         let kind = msg.kind();
+        oat_obs::trace_event!(
+            oat_obs::EventKind::SimDeliver,
+            from.0,
+            to.0,
+            kind.index() as u64
+        );
         let completed = {
             let node = &mut self.nodes[to.idx()];
             node.handle_message(from, msg, &mut self.scratch)

@@ -18,6 +18,12 @@
 //! and per-directed-edge/per-kind message counts against the simulator
 //! bit for bit. A schema or parity regression fails `ci.sh`'s bench
 //! smoke.
+//!
+//! Latency quantiles come from [`oat_obs::LogHistogram`] (≤ 1/64
+//! relative error, mergeable across client threads) instead of sorting
+//! a per-request `Vec`. With `trace` set in [`BenchConfig`], the
+//! pipelined phase runs under the oat-obs sink and the report carries a
+//! per-request [`oat_obs::PhaseBreakdown`] (poll/queue/dispatch/wire).
 
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
@@ -28,10 +34,14 @@ use oat_core::policy::PolicySpec;
 use oat_core::request::{ReqOp, Request};
 use oat_core::tree::Tree;
 use oat_net::{Cluster, NetConfig};
+use oat_obs::{LogHistogram, PhaseBreakdown, Trace};
 use oat_sim::{Engine, Schedule};
 
 /// Schema tag emitted in every report; bump on incompatible change.
-pub const SCHEMA: &str = "oat-bench-v1";
+/// v2 over v1: every phase gains `lat_p999_us`, and the document gains a
+/// top-level `phase_breakdown` (an object when the bench ran with
+/// tracing, else `null`). All v1 fields are preserved unchanged.
+pub const SCHEMA: &str = "oat-bench-v2";
 
 /// What to run and how hard; spec strings are echoed into the report.
 pub struct BenchConfig {
@@ -53,6 +63,9 @@ pub struct BenchConfig {
     pub sweep_depths: Vec<usize>,
     /// Quick mode (CI smoke): tiny workload, same phases and schema.
     pub quick: bool,
+    /// Record an oat-obs trace of the pipelined phase and attach the
+    /// request phase breakdown to the report.
+    pub trace: bool,
 }
 
 /// Throughput/latency numbers for one execution phase.
@@ -65,8 +78,8 @@ pub struct PhaseStats {
     pub messages: u64,
     /// Wall time of the phase.
     pub elapsed: Duration,
-    /// Per-request wall latencies, microseconds, sorted ascending.
-    lat_us: Vec<f64>,
+    /// Per-request wall latencies (nanosecond samples).
+    lat: LogHistogram,
 }
 
 impl PhaseStats {
@@ -77,14 +90,16 @@ impl PhaseStats {
         elapsed: Duration,
         latencies: &[Duration],
     ) -> Self {
-        let mut lat_us: Vec<f64> = latencies.iter().map(|d| d.as_secs_f64() * 1e6).collect();
-        lat_us.sort_by(|a, b| a.total_cmp(b));
+        let mut lat = LogHistogram::new();
+        for d in latencies {
+            lat.record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
         PhaseStats {
             requests,
             combines,
             messages,
             elapsed,
-            lat_us,
+            lat,
         }
     }
 
@@ -100,19 +115,24 @@ impl PhaseStats {
 
     /// p50 per-request wall latency in microseconds.
     pub fn lat_p50_us(&self) -> f64 {
-        percentile(&self.lat_us, 0.50)
+        self.lat.quantile_us(0.50)
     }
 
     /// p99 per-request wall latency in microseconds.
     pub fn lat_p99_us(&self) -> f64 {
-        percentile(&self.lat_us, 0.99)
+        self.lat.quantile_us(0.99)
+    }
+
+    /// p99.9 per-request wall latency in microseconds.
+    pub fn lat_p999_us(&self) -> f64 {
+        self.lat.quantile_us(0.999)
     }
 
     fn json_fields(&self) -> String {
         format!(
             "\"requests\": {}, \"combines\": {}, \"messages\": {}, \
              \"elapsed_s\": {:.6}, \"req_per_s\": {:.1}, \"msg_per_s\": {:.1}, \
-             \"lat_p50_us\": {:.1}, \"lat_p99_us\": {:.1}",
+             \"lat_p50_us\": {:.1}, \"lat_p99_us\": {:.1}, \"lat_p999_us\": {:.1}",
             self.requests,
             self.combines,
             self.messages,
@@ -121,6 +141,7 @@ impl PhaseStats {
             self.msg_per_s(),
             self.lat_p50_us(),
             self.lat_p99_us(),
+            self.lat_p999_us(),
         )
     }
 }
@@ -158,6 +179,12 @@ pub struct BenchReport {
     /// Net-sequential combine values and per-edge/per-kind counts match
     /// the simulator exactly.
     pub parity_ok: bool,
+    /// Request phase breakdown of the pipelined phase (set when the
+    /// bench ran with `trace`).
+    pub phase_breakdown: Option<PhaseBreakdown>,
+    /// The raw drained trace of the pipelined phase, for the CLI to
+    /// export (set when the bench ran with `trace`).
+    pub trace: Option<Trace>,
 }
 
 /// One point of the pipeline-depth sweep.
@@ -183,7 +210,7 @@ impl BenchReport {
         }
     }
 
-    /// Renders the stable `oat-bench-v1` JSON document.
+    /// Renders the stable `oat-bench-v2` JSON document.
     pub fn to_json(&self) -> String {
         let mut sweep = String::from("[");
         for (i, p) in self.depth_sweep.iter().enumerate() {
@@ -196,8 +223,12 @@ impl BenchReport {
             ));
         }
         sweep.push(']');
+        let breakdown = match &self.phase_breakdown {
+            Some(b) => b.to_json(),
+            None => "null".to_string(),
+        };
         format!(
-            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"date\": \"{}\",\n  \"config\": {{\"tree\": \"{}\", \"policy\": \"{}\", \"workload\": \"{}\", \"seed\": {}, \"pipeline_depth\": {}, \"quick\": {}}},\n  \"threads_spawned\": {},\n  \"sim\": {{{}, \"hop_p50\": {:.1}, \"hop_p99\": {:.1}}},\n  \"net_sequential\": {{{}, \"queue_peak_max\": {}}},\n  \"net_pipelined\": {{{}, \"queue_peak_max\": {}, \"depth\": {}, \"clients\": {}, \"speedup_vs_sequential\": {:.2}}},\n  \"depth_sweep\": {},\n  \"parity_ok\": {}\n}}",
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"date\": \"{}\",\n  \"config\": {{\"tree\": \"{}\", \"policy\": \"{}\", \"workload\": \"{}\", \"seed\": {}, \"pipeline_depth\": {}, \"quick\": {}}},\n  \"threads_spawned\": {},\n  \"sim\": {{{}, \"hop_p50\": {:.1}, \"hop_p99\": {:.1}}},\n  \"net_sequential\": {{{}, \"queue_peak_max\": {}}},\n  \"net_pipelined\": {{{}, \"queue_peak_max\": {}, \"depth\": {}, \"clients\": {}, \"speedup_vs_sequential\": {:.2}}},\n  \"depth_sweep\": {},\n  \"phase_breakdown\": {breakdown},\n  \"parity_ok\": {}\n}}",
             self.date,
             self.config.tree_spec,
             self.config.policy_spec,
@@ -365,11 +396,32 @@ where
         }
         active.iter().filter(|a| **a).count()
     };
+    if config.trace {
+        // Size the rings to the workload instead of the 32 MiB default:
+        // 64 event slots per request per thread is far above any
+        // observed per-thread rate (the reactor shard carrying all
+        // node-side events peaks around 30/request even in pathological
+        // lease-thrash runs), and a right-sized ring keeps the traced
+        // phase's allocation cost out of the measurement.
+        let capacity = (seq.len().saturating_mul(64))
+            .next_power_of_two()
+            .clamp(1 << 14, oat_obs::DEFAULT_RING_CAPACITY);
+        oat_obs::install(capacity);
+    }
     let pipe = cluster
         .replay_pipelined(seq, config.depth)
         .map_err(|e| format!("pipelined replay: {e}"))?;
     // Writes may still have updates in flight when their ack returns.
     cluster.quiesce();
+    let (phase_breakdown, trace) = if config.trace {
+        // Quiescent: every client thread has joined and the reactors
+        // are idle, so the drain sees complete, untorn rings.
+        oat_obs::disable();
+        let trace = oat_obs::drain();
+        (Some(oat_obs::phase_breakdown(&trace.events)), Some(trace))
+    } else {
+        (None, None)
+    };
     let pipe_msgs = cluster.total_messages();
     let net_pipelined_queue_peak = max_queue_peak(&cluster)?;
     let net_pipelined = PhaseStats::new(
@@ -419,6 +471,8 @@ where
         threads_spawned,
         depth_sweep,
         parity_ok,
+        phase_breakdown,
+        trace,
     })
 }
 
@@ -528,6 +582,7 @@ mod tests {
                 threads: Some(2),
                 sweep_depths: vec![1, 4],
                 quick: true,
+                trace: true,
             },
             &tree,
             &RwwSpec,
@@ -537,7 +592,7 @@ mod tests {
         assert!(report.parity_ok);
         let json = report.to_json();
         for key in [
-            "\"schema\": \"oat-bench-v1\"",
+            "\"schema\": \"oat-bench-v2\"",
             "\"sim\":",
             "\"net_sequential\":",
             "\"net_pipelined\":",
@@ -545,14 +600,22 @@ mod tests {
             "\"msg_per_s\"",
             "\"lat_p50_us\"",
             "\"lat_p99_us\"",
+            "\"lat_p999_us\"",
             "\"queue_peak_max\"",
             "\"speedup_vs_sequential\"",
             "\"threads_spawned\": 2",
             "\"depth_sweep\": [{\"depth\": 1,",
+            "\"phase_breakdown\": {\"requests\": 16,",
             "\"parity_ok\": true",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        // Tracing was on for the pipelined phase: all 16 requests were
+        // observed client-side and matched to node-side serve records.
+        let b = report.phase_breakdown.as_ref().unwrap();
+        assert_eq!(b.requests, 16);
+        assert_eq!(b.matched, 16, "fault-free pipelined requests all match");
+        assert!(report.trace.is_some());
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(report.default_filename().starts_with("BENCH_"));
         // Pipelined and sequential replays executed the same requests.

@@ -46,6 +46,7 @@ fn main() {
         Some("bench-net") => cmd_bench_net(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("help") | None => {
             print!("{}", HELP);
             0
@@ -65,12 +66,16 @@ USAGE:
   oat run       --tree SPEC --policy SPEC --workload SPEC [--seed N]
   oat compare   --tree SPEC --workload SPEC [--seed N]
   oat trace     --tree SPEC [--policy SPEC] --script ITEMS
+  oat trace     --tree SPEC --workload SPEC [--policy SPEC] [--seed N]
+                [--pipeline N] [--faults SPEC] [--out PATH] [--chrome PATH]
+  oat top       [--tree SPEC] [--workload SPEC] [--policy SPEC] [--seed N]
+                [--pipeline N] [--interval-ms N] [--ticks N]
   oat serve     [--tree SPEC] [--policy SPEC]
   oat bench-net --tree SPEC --workload SPEC [--policy SPEC] [--seed N]
                 [--json] [--check] [--pipeline N]
   oat bench     [--tree SPEC] [--workload SPEC] [--policy SPEC] [--seed N]
                 [--depth N] [--threads N] [--sweep-depth A,B,C] [--quick]
-                [--json] [--out PATH]
+                [--json] [--out PATH] [--trace [PATH]]
   oat chaos     --tree SPEC --workload SPEC [--policy SPEC] [--seed N]
                 [--faults SPEC]
   oat help
@@ -84,6 +89,18 @@ SPECS:
   faults:   comma-separated seed:N | drop:P | dup:P | delay:P
             | kill:FROM-TO@FRAMES | crash:NODE@DELIVERED  (or `none`)
 
+OBSERVABILITY (oat-obs event tracing):
+  trace --workload  records a live oat-obs trace of one workload run twice
+             (deterministic simulator, then pipelined TCP replay; --faults
+             adds fault-category events) and writes it as oat-trace-v1
+             JSONL (--out, default oat-trace.jsonl); --chrome PATH also
+             writes Chrome trace_event JSON for chrome://tracing/Perfetto
+  top        spawns a cluster, drives pipelined load in the background,
+             and refreshes an in-place live view every --interval-ms
+             (default 500) for --ticks refreshes (default 8): request
+             rates, phase p50s from the live trace, per-category event
+             counts, and the busiest nodes' queue/lease/fault counters
+
 NET COMMANDS (oat-net TCP cluster on loopback):
   serve      spawns one server thread + TcpListener per tree node and reads
              commands from stdin: c@N | w@N=V | metrics [N] | stats | quit
@@ -94,13 +111,16 @@ NET COMMANDS (oat-net TCP cluster on loopback):
              driver (one client per active node, N requests in flight each)
   bench      the measured baseline: runs one workload through the simulator,
              the sequential TCP replay, and the pipelined TCP replay;
-             reports req/s, msg/s, p50/p99 latency and queue peaks, checks
-             sim<->TCP parity, and writes BENCH_<date>.json (oat-bench-v1
-             schema; --out overrides the path, --json also prints it,
-             --quick shrinks the workload for CI smoke runs, --threads N
-             sets the reactor pool serving the TCP phases, and
+             reports req/s, msg/s, p50/p99/p999 latency and queue peaks,
+             checks sim<->TCP parity, and writes BENCH_<date>.json
+             (oat-bench-v2 schema; --out overrides the path, --json also
+             prints it, --quick shrinks the workload for CI smoke runs,
+             --threads N sets the reactor pool serving the TCP phases,
              --sweep-depth 1,4,8,16 reruns the pipelined phase at each
-             listed depth and records the throughput curve)
+             listed depth and records the throughput curve, and --trace
+             records the pipelined phase with oat-obs — adding the
+             poll/queue/dispatch/wire phase breakdown to the JSON and,
+             with --trace PATH, writing the raw oat-trace-v1 JSONL)
   chaos      replays a seeded workload sequentially while the transport is
              subjected to --faults (seeded drop/dup/delay, scheduled
              connection kills, scheduled node crash-restarts); asserts
@@ -360,8 +380,14 @@ fn cmd_compare(args: &[String]) -> i32 {
 
 fn cmd_trace(args: &[String]) -> i32 {
     let result = (|| -> Result<(), String> {
+        // Two modes: `--workload` records a live oat-obs trace of the sim
+        // and TCP runtimes; `--script` is the legacy step-by-step message
+        // renderer for tiny hand-written sequences.
+        if flag(args, "--workload").is_some() {
+            return trace_workload(args);
+        }
         let tree = parse_tree(flag(args, "--tree").ok_or("missing --tree")?)?;
-        let script = parse_script(flag(args, "--script").ok_or("missing --script")?)?;
+        let script = parse_script(flag(args, "--script").ok_or("missing --script or --workload")?)?;
         // Traces are policy-generic but the renderer needs a concrete
         // engine; only RWW is supported here (the interesting one).
         match parse_policy(flag(args, "--policy").unwrap_or("rww"))? {
@@ -414,6 +440,263 @@ macro_rules! with_policy {
             }
         }
     };
+}
+
+/// `oat trace --workload`: record a live trace of the sim and net
+/// runtimes executing one workload, then export it.
+fn trace_workload(args: &[String]) -> Result<(), String> {
+    let tree = parse_tree(flag(args, "--tree").ok_or("missing --tree")?)?;
+    let policy = parse_policy(flag(args, "--policy").unwrap_or("rww"))?;
+    let seed: u64 = flag(args, "--seed")
+        .unwrap_or("42")
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    let seq = parse_workload(
+        flag(args, "--workload").ok_or("missing --workload")?,
+        &tree,
+        seed,
+    )?;
+    let depth: usize = flag(args, "--pipeline")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| "bad --pipeline")?;
+    let plan = FaultPlan::parse(flag(args, "--faults").unwrap_or("none"))?;
+    let out = flag(args, "--out").unwrap_or("oat-trace.jsonl").to_string();
+    let chrome = flag(args, "--chrome").map(str::to_string);
+    with_policy!(&policy, spec =>
+        trace_record(&tree, &spec, &seq, depth, plan, &out, chrome.as_deref()))
+}
+
+fn trace_record<S: PolicySpec>(
+    tree: &Tree,
+    spec: &S,
+    seq: &[Request<i64>],
+    depth: usize,
+    plan: FaultPlan,
+    out: &str,
+    chrome: Option<&str>,
+) -> Result<(), String>
+where
+    S::Node: 'static,
+{
+    oat_obs::install(oat_obs::DEFAULT_RING_CAPACITY);
+    // Phase 1: the deterministic simulator (sim + lease categories).
+    let sim = oat::sim::run_sequential(tree, SumI64, spec, Schedule::Fifo, seq, false);
+    // Phase 2: the TCP cluster under pipelined load (request / frame /
+    // reactor categories, plus fault events when --faults is given).
+    let cluster = Cluster::spawn_with_faults(tree, SumI64, spec, false, plan)
+        .map_err(|e| format!("cluster spawn: {e}"))?;
+    let pipe = cluster
+        .replay_pipelined(seq, depth.max(1))
+        .map_err(|e| format!("pipelined replay: {e}"))?;
+    cluster.quiesce();
+    cluster.shutdown();
+    oat_obs::disable();
+    let trace = oat_obs::drain();
+    let breakdown = oat_obs::phase_breakdown(&trace.events);
+    std::fs::write(out, oat_obs::to_jsonl(&trace)).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "trace: {} events from {} rings ({} dropped); sim {} msgs, \
+         pipelined {} reqs in {:.3}s",
+        trace.events.len(),
+        trace.rings,
+        trace.dropped,
+        sim.engine.stats().total(),
+        seq.len(),
+        pipe.elapsed.as_secs_f64(),
+    );
+    for (cat, n) in trace.category_counts() {
+        println!("  {cat:<8} {n:>8}");
+    }
+    println!(
+        "phases (of {} matched requests): poll {:.1}us  queue {:.1}us  \
+         dispatch {:.1}us  wire {:.1}us",
+        breakdown.matched,
+        breakdown.poll.quantile_us(0.5),
+        breakdown.queue.quantile_us(0.5),
+        breakdown.dispatch.quantile_us(0.5),
+        breakdown.wire.quantile_us(0.5),
+    );
+    println!("wrote {out}");
+    if let Some(cp) = chrome {
+        std::fs::write(cp, oat_obs::to_chrome(&trace)).map_err(|e| format!("write {cp}: {e}"))?;
+        println!("wrote {cp} (load in chrome://tracing or Perfetto)");
+    }
+    Ok(())
+}
+
+fn cmd_top(args: &[String]) -> i32 {
+    let result = (|| -> Result<(), String> {
+        let tree = parse_tree(flag(args, "--tree").unwrap_or("kary:15:2"))?;
+        let policy = parse_policy(flag(args, "--policy").unwrap_or("rww"))?;
+        let seed: u64 = flag(args, "--seed")
+            .unwrap_or("42")
+            .parse()
+            .map_err(|_| "bad --seed")?;
+        let seq = parse_workload(
+            flag(args, "--workload").unwrap_or("uniform:0.5:400"),
+            &tree,
+            seed,
+        )?;
+        let depth: usize = flag(args, "--pipeline")
+            .unwrap_or("8")
+            .parse()
+            .map_err(|_| "bad --pipeline")?;
+        let interval: u64 = flag(args, "--interval-ms")
+            .unwrap_or("500")
+            .parse()
+            .map_err(|_| "bad --interval-ms")?;
+        let ticks: u32 = flag(args, "--ticks")
+            .unwrap_or("8")
+            .parse()
+            .map_err(|_| "bad --ticks")?;
+        with_policy!(&policy, spec => run_top(&tree, &spec, &seq, depth, interval, ticks))
+    })();
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+/// Renders one `oat top` frame into a string (no ANSI control codes).
+fn top_frame(
+    cluster: &Cluster<SumI64>,
+    trace: &oat_obs::Trace,
+    tick: u32,
+    ticks: u32,
+    elapsed: std::time::Duration,
+) -> String {
+    use std::fmt::Write as _;
+    let b = oat_obs::phase_breakdown(&trace.events);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "oat top — {} nodes, policy {}, tick {tick}/{ticks}, {:.1}s",
+        cluster.tree().len(),
+        cluster.policy_name(),
+        elapsed.as_secs_f64(),
+    );
+    let rate = if elapsed.as_secs_f64() > 0.0 {
+        b.requests as f64 / elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        s,
+        "  requests {:>7} ({:>7.0} req/s)  lat p50 {:>7.1}us  p99 {:>7.1}us  p999 {:>7.1}us",
+        b.requests,
+        rate,
+        b.latency.quantile_us(0.50),
+        b.latency.quantile_us(0.99),
+        b.latency.quantile_us(0.999),
+    );
+    let _ = writeln!(
+        s,
+        "  phase p50 (of {} matched): poll {:.1}us  queue {:.1}us  dispatch {:.1}us  wire {:.1}us",
+        b.matched,
+        b.poll.quantile_us(0.5),
+        b.queue.quantile_us(0.5),
+        b.dispatch.quantile_us(0.5),
+        b.wire.quantile_us(0.5),
+    );
+    let mut cats = String::new();
+    for (cat, n) in trace.category_counts() {
+        let _ = write!(cats, "{cat} {n}  ");
+    }
+    let _ = writeln!(
+        s,
+        "  events: {}(dropped {})",
+        cats.trim_end(),
+        trace.dropped
+    );
+    let _ = writeln!(
+        s,
+        "  {:>4}  {:>8} {:>6} {:>6}  {:>5} {:>7}  {:>6} {:>5} {:>8}",
+        "node", "served", "queue", "peak", "taken", "granted", "reconn", "rto", "restarts"
+    );
+    // The busiest nodes by combines served; ignore per-node fetch errors
+    // (a node may be mid-crash-restart under --faults).
+    let mut rows: Vec<oat::net::NodeMetrics> = (0..cluster.tree().len())
+        .filter_map(|i| cluster.node_metrics(NodeId(i as u32)).ok())
+        .collect();
+    rows.sort_by_key(|m| std::cmp::Reverse(m.combines_served));
+    for m in rows.iter().take(8) {
+        let _ = writeln!(
+            s,
+            "  {:>4}  {:>8} {:>6} {:>6}  {:>5} {:>7}  {:>6} {:>5} {:>8}",
+            m.node,
+            m.combines_served,
+            m.queue_depth,
+            m.queue_peak,
+            m.leases_taken,
+            m.leases_granted,
+            m.reconnects,
+            m.timeouts,
+            m.restarts,
+        );
+    }
+    s
+}
+
+fn run_top<S: PolicySpec>(
+    tree: &Tree,
+    spec: &S,
+    seq: &[Request<i64>],
+    depth: usize,
+    interval_ms: u64,
+    ticks: u32,
+) -> Result<(), String>
+where
+    S::Node: 'static,
+{
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::{Duration, Instant};
+    let cluster =
+        Cluster::spawn(tree, SumI64, spec, false).map_err(|e| format!("cluster spawn: {e}"))?;
+    oat_obs::install(oat_obs::DEFAULT_RING_CAPACITY);
+    let stop = AtomicBool::new(false);
+    let start = Instant::now();
+    let mut err: Option<String> = None;
+    std::thread::scope(|scope| {
+        // Background load: the workload replayed pipelined, over and over,
+        // until the foreground view has shown its last tick.
+        let load = scope.spawn(|| {
+            let mut loops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if let Err(e) = cluster.replay_pipelined(seq, depth.max(1)) {
+                    return Err(format!("pipelined replay: {e}"));
+                }
+                loops += 1;
+            }
+            Ok(loops)
+        });
+        let mut prev_lines = 0usize;
+        for tick in 1..=ticks {
+            std::thread::sleep(Duration::from_millis(interval_ms));
+            let frame = top_frame(&cluster, &oat_obs::drain(), tick, ticks, start.elapsed());
+            // Redraw in place: move the cursor back up over the previous
+            // frame and clear each line as it is rewritten.
+            if prev_lines > 0 {
+                print!("\x1b[{prev_lines}A");
+            }
+            for line in frame.lines() {
+                println!("\x1b[2K{line}");
+            }
+            prev_lines = frame.lines().count();
+        }
+        stop.store(true, Ordering::Relaxed);
+        match load.join().expect("load thread panicked") {
+            Ok(loops) => println!("load: {loops} full workload replays"),
+            Err(e) => err = Some(e),
+        }
+    });
+    oat_obs::disable();
+    cluster.quiesce();
+    cluster.shutdown();
+    err.map_or(Ok(()), Err)
 }
 
 fn cmd_serve(args: &[String]) -> i32 {
@@ -809,6 +1092,18 @@ fn cmd_bench(args: &[String]) -> i32 {
             None => Vec::new(),
         };
         let seq = parse_workload(workload_spec, &tree, seed)?;
+        // `--trace` turns on event recording for the pipelined phase; the
+        // optional PATH (not starting with `--`) also writes the raw
+        // oat-trace-v1 JSONL next to the bench JSON.
+        let (trace, trace_path) = match args.iter().position(|a| a == "--trace") {
+            Some(i) => (
+                true,
+                args.get(i + 1)
+                    .filter(|p| !p.starts_with("--"))
+                    .map(String::to_string),
+            ),
+            None => (false, None),
+        };
         let config = oat::bench::BenchConfig {
             tree_spec: tree_spec.to_string(),
             policy_spec: policy_spec.to_string(),
@@ -818,6 +1113,7 @@ fn cmd_bench(args: &[String]) -> i32 {
             threads,
             sweep_depths,
             quick,
+            trace,
         };
         let report =
             with_policy!(&policy, spec => oat::bench::run_bench(config, &tree, &spec, &seq))?;
@@ -831,6 +1127,11 @@ fn cmd_bench(args: &[String]) -> i32 {
             .unwrap_or_else(|| report.default_filename());
         std::fs::write(&path, format!("{json}\n")).map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote {path}");
+        if let (Some(tp), Some(trace)) = (trace_path, &report.trace) {
+            std::fs::write(&tp, oat_obs::to_jsonl(trace))
+                .map_err(|e| format!("write {tp}: {e}"))?;
+            println!("wrote {tp} ({} events)", trace.events.len());
+        }
         if !report.parity_ok {
             return Err("parity FAILED: TCP sequential run diverged from the simulator".into());
         }

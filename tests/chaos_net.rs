@@ -244,3 +244,86 @@ fn multi_client_pipelined_replay_answers_every_request() {
     let report = cluster.shutdown();
     assert_eq!(report.delivered, report.stats.total());
 }
+
+#[test]
+fn concurrent_pipelined_chaos_is_causally_consistent() {
+    // The concurrent chaos oracle (satellite of the observability PR):
+    // strict oracle equality is only defined for sequential replays, so
+    // the pipelined driver under faults is checked against the paper's
+    // *causal* consistency criterion instead (Theorem 4, Section 5).
+    // Ghost logs record every node's gather-write history; the checker
+    // rebuilds gwlog/gwlog' and validates value compatibility, write
+    // coherence, serialization, and causal order. Crash faults are
+    // excluded — a restart discards the crashed node's ghost log, which
+    // would void the serialization bookkeeping, not the property.
+    let tree = Tree::kary(10, 3);
+    let seq = uniform(&tree, 150, 0.5, 0xBEEF);
+    let plan = FaultPlan {
+        seed: 13,
+        drop_p: 0.04,
+        dup_p: 0.04,
+        delay_p: 0.04,
+        // Root edges carry traffic in any workload; tiny thresholds
+        // guarantee both kills fire even though leases keep the total
+        // frame count low.
+        kills: vec![
+            KillConn {
+                from: NodeId(0),
+                to: NodeId(1),
+                after_frames: 2,
+            },
+            KillConn {
+                from: NodeId(2),
+                to: NodeId(0),
+                after_frames: 3,
+            },
+        ],
+        crashes: Vec::new(),
+    };
+    let cluster =
+        Cluster::spawn_with_faults(&tree, SumI64, &RwwSpec, true, plan).expect("spawn chaos");
+    let expected_combines = seq.iter().filter(|q| q.op.is_combine()).count();
+    // Two clients per active node, four requests in flight each: real
+    // concurrency — cross-node order is free and per-node order is only
+    // FIFO within each client's share.
+    let pipe = cluster
+        .replay_pipelined_multi(&seq, 4, 2)
+        .expect("pipelined replay under faults");
+    assert_eq!(
+        pipe.combines.len(),
+        expected_combines,
+        "every combine must complete despite injected faults"
+    );
+    assert!(
+        cluster.quiesce_for(DRAIN),
+        "cluster failed to drain after pipelined chaos"
+    );
+
+    let (drops, dups, delays, kills, _) = cluster.injected().snapshot();
+    assert_eq!(kills, 2, "both scheduled kills must fire");
+    assert!(
+        drops + dups + delays > 0,
+        "probabilistic faults must have fired on a run this size"
+    );
+
+    let report = cluster.shutdown();
+    assert!(report.dead_nodes.is_empty(), "no node may stay wedged");
+    let logs = report
+        .logs
+        .expect("ghost logs survive a crash-free chaos run");
+    let causal = oat::consistency::check_causal(&SumI64, &logs)
+        .unwrap_or_else(|v| panic!("causal consistency violated under concurrent chaos: {v:?}"));
+    // Concurrent combines at a node coalesce onto one in-flight fan-out
+    // (T1's `Coalesced` outcome), so the log holds between 1 and
+    // `expected_combines` gathers. Every write is logged exactly once.
+    assert!(
+        causal.gathers >= 1 && causal.gathers <= expected_combines,
+        "gather count out of range: {causal:?}"
+    );
+    let expected_writes = seq.len() - expected_combines;
+    assert_eq!(causal.writes, expected_writes);
+    assert!(
+        causal.checked_pairs > 0,
+        "the checker must have validated real work: {causal:?}"
+    );
+}
