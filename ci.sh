@@ -26,9 +26,11 @@ echo "== bench smoke: oat bench --quick --threads 2 --trace =="
 # --trace turns on oat-obs recording for the pipelined phase, so the
 # report must carry a real phase breakdown, not null.
 BENCH_OUT=$(mktemp /tmp/oat_bench_smoke.XXXXXX.json)
-./target/release/oat bench --quick --threads 2 --trace --out "$BENCH_OUT" > /dev/null
+./target/release/oat bench --quick --threads 2 --trace --mlap --out "$BENCH_OUT" > /dev/null
 for key in \
   '"schema": "oat-bench-v2"' \
+  '"mlap": {"workload": "adv:3:6"' \
+  '"within_bound": true' \
   '"sim":' \
   '"net_sequential":' \
   '"net_pipelined":' \
@@ -72,6 +74,38 @@ assert not missing, f"categories missing from trace: {missing} (got {cats})"
 print(f"trace smoke: {sum(cats.values())} events, all {len(want)} categories present")
 PY
 rm -f "$TRACE_OUT"
+
+echo "== mlap smoke: oat mlap --workload adv:3:6 =="
+# The second problem family: both deadline policies plus the baselines on
+# the adversarial staggered-deadline spider, scored against the exact
+# offline optimum. Pins the oat-mlap-v1 schema, requires every policy to
+# cost at least OPT, and checks the lazy policy's unit-weight
+# certificate: zero deadline misses and service ≤ (depth+1)·OPT.
+MLAP_OUT=$(mktemp /tmp/oat_mlap_smoke.XXXXXX.json)
+./target/release/oat mlap --workload adv:3:6 --policy all --seed 7 --json > "$MLAP_OUT"
+python3 - "$MLAP_OUT" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "oat-mlap-v1", doc
+for key in ("model", "workload", "nodes", "depth", "requests", "opt", "policies"):
+    assert key in doc, f"missing {key}"
+opt, depth = doc["opt"], doc["depth"]
+assert opt is not None and opt > 0, doc
+names = set()
+for p in doc["policies"]:
+    for key in ("name", "service_cost", "delay_cost", "deadline_misses",
+                "flushes", "messages", "total_cost", "ratio_vs_opt"):
+        assert key in p, f"missing {key} in {p}"
+    assert p["total_cost"] >= opt, f"{p['name']} beat OPT?"
+    names.add(p["name"])
+assert {"odepth", "odepth-prefetch", "greedy", "eager"} <= names, names
+lazy = next(p for p in doc["policies"] if p["name"] == "odepth")
+assert lazy["deadline_misses"] == 0, lazy
+assert lazy["service_cost"] <= (depth + 1) * opt, lazy
+print(f"mlap smoke: {len(names)} policies, OPT {opt}, "
+      f"odepth ratio {lazy['ratio_vs_opt']} <= bound {depth + 1}")
+PY
+rm -f "$MLAP_OUT"
 
 echo "== chaos smoke: oat chaos =="
 # Seeded fault injection against the sequential oracle: drops/dups/delays

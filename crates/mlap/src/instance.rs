@@ -1,0 +1,237 @@
+//! MLAP problem instances: a weighted tree rooted at node 0 plus timed
+//! requests.
+
+use oat_core::tree::{NodeId, Tree};
+
+/// Which cost the algorithm pays on top of service cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CostModel {
+    /// MLAP-D: every request carries a hard deadline. Total cost is pure
+    /// service cost; serving a request strictly after its deadline is a
+    /// *miss* (an infeasibility, counted rather than priced).
+    Deadline,
+    /// MLAP-L: no deadlines. Total cost is service cost plus, per
+    /// request, `t_served − t_arrival`.
+    LinearDelay,
+}
+
+impl CostModel {
+    /// Stable lowercase name used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostModel::Deadline => "deadline",
+            CostModel::LinearDelay => "delay",
+        }
+    }
+}
+
+/// One aggregation request: arrives at `node` at `arrival` and is served
+/// by the first flush whose subtree contains `node` at a time ≥
+/// `arrival`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MlapRequest {
+    /// Node the request arrives at.
+    pub node: NodeId,
+    /// Arrival time (abstract ticks).
+    pub arrival: u64,
+    /// Hard deadline (`Some` on [`CostModel::Deadline`] instances,
+    /// ignored on [`CostModel::LinearDelay`]).
+    pub deadline: Option<u64>,
+}
+
+/// A complete MLAP instance. The tree is rooted at [`NodeId`] 0 — the
+/// same canonical rooting as the lease mechanism.
+pub struct MlapInstance {
+    /// Topology (rooted at node 0).
+    pub tree: Tree,
+    /// Per-node service weight, indexed by [`NodeId::idx`].
+    pub weight: Vec<u64>,
+    /// Cost model of this instance.
+    pub model: CostModel,
+    /// The request sequence (any order; the engine sorts by arrival).
+    pub requests: Vec<MlapRequest>,
+    /// Parent pointers toward the root (`parent[0] == 0`).
+    parent: Vec<NodeId>,
+    /// Root-path edge counts per node (`node_depth[0] == 0`).
+    node_depth: Vec<u32>,
+}
+
+impl MlapInstance {
+    /// Builds and validates an instance. Errors on a weight/topology
+    /// size mismatch, a request at a nonexistent node, a deadline
+    /// before its arrival, or a missing deadline on a
+    /// [`CostModel::Deadline`] instance.
+    pub fn new(
+        tree: Tree,
+        weight: Vec<u64>,
+        model: CostModel,
+        requests: Vec<MlapRequest>,
+    ) -> Result<Self, String> {
+        if weight.len() != tree.len() {
+            return Err(format!(
+                "weight vector has {} entries for a {}-node tree",
+                weight.len(),
+                tree.len()
+            ));
+        }
+        for (i, r) in requests.iter().enumerate() {
+            if r.node.idx() >= tree.len() {
+                return Err(format!("request {i} at nonexistent node {}", r.node));
+            }
+            match (model, r.deadline) {
+                (CostModel::Deadline, None) => {
+                    return Err(format!(
+                        "request {i} lacks a deadline on a deadline instance"
+                    ))
+                }
+                (CostModel::Deadline, Some(d)) if d < r.arrival => {
+                    return Err(format!(
+                        "request {i} has deadline {d} before arrival {}",
+                        r.arrival
+                    ))
+                }
+                _ => {}
+            }
+        }
+        let root = NodeId(0);
+        let n = tree.len();
+        let mut parent = vec![root; n];
+        let mut node_depth = vec![0u32; n];
+        // BFS from the root fills parents and depths in one pass.
+        let mut queue = std::collections::VecDeque::from([root]);
+        let mut seen = vec![false; n];
+        seen[root.idx()] = true;
+        while let Some(u) = queue.pop_front() {
+            for &v in tree.nbrs(u) {
+                if !seen[v.idx()] {
+                    seen[v.idx()] = true;
+                    parent[v.idx()] = u;
+                    node_depth[v.idx()] = node_depth[u.idx()] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        Ok(MlapInstance {
+            tree,
+            weight,
+            model,
+            requests,
+            parent,
+            node_depth,
+        })
+    }
+
+    /// Unit-weight convenience constructor.
+    pub fn unit(tree: Tree, model: CostModel, requests: Vec<MlapRequest>) -> Result<Self, String> {
+        let w = vec![1; tree.len()];
+        MlapInstance::new(tree, w, model, requests)
+    }
+
+    /// The parent of `u` toward the root; `None` for the root itself.
+    pub fn parent(&self, u: NodeId) -> Option<NodeId> {
+        (u != NodeId(0)).then(|| self.parent[u.idx()])
+    }
+
+    /// Root-path edge count of `u`.
+    pub fn node_depth(&self, u: NodeId) -> u32 {
+        self.node_depth[u.idx()]
+    }
+
+    /// Tree depth in edges (maximum over nodes).
+    pub fn depth(&self) -> u32 {
+        self.node_depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Closes `targets` upward into a root subtree: returns a node mask
+    /// containing the root, every target, and every ancestor of a
+    /// target — the minimal flushable subtree covering `targets`.
+    pub fn close_upward(&self, targets: &[NodeId]) -> Vec<bool> {
+        let mut mask = vec![false; self.tree.len()];
+        mask[0] = true;
+        for &t in targets {
+            let mut u = t;
+            while !mask[u.idx()] {
+                mask[u.idx()] = true;
+                u = self.parent[u.idx()];
+            }
+        }
+        mask
+    }
+
+    /// Total weight of the nodes set in `mask`.
+    pub fn mask_weight(&self, mask: &[bool]) -> u64 {
+        mask.iter()
+            .zip(&self.weight)
+            .filter(|(m, _)| **m)
+            .map(|(_, w)| *w)
+            .sum()
+    }
+
+    /// Service cost of the minimal root subtree covering `targets`.
+    pub fn span_cost(&self, targets: &[NodeId]) -> u64 {
+        self.mask_weight(&self.close_upward(targets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(node: u32, arrival: u64, deadline: Option<u64>) -> MlapRequest {
+        MlapRequest {
+            node: NodeId(node),
+            arrival,
+            deadline,
+        }
+    }
+
+    #[test]
+    fn construction_validates() {
+        let t = Tree::path(3);
+        assert!(
+            MlapInstance::unit(t.clone(), CostModel::Deadline, vec![req(2, 0, Some(4))]).is_ok()
+        );
+        // Missing deadline on a deadline instance.
+        assert!(MlapInstance::unit(t.clone(), CostModel::Deadline, vec![req(2, 0, None)]).is_err());
+        // Deadline before arrival.
+        assert!(
+            MlapInstance::unit(t.clone(), CostModel::Deadline, vec![req(2, 5, Some(4))]).is_err()
+        );
+        // Bad node.
+        assert!(
+            MlapInstance::unit(t.clone(), CostModel::LinearDelay, vec![req(9, 0, None)]).is_err()
+        );
+        // Weight size mismatch.
+        assert!(MlapInstance::new(t, vec![1, 1], CostModel::LinearDelay, vec![]).is_err());
+    }
+
+    #[test]
+    fn parents_depths_and_spans_on_a_kary_tree() {
+        let inst = MlapInstance::unit(Tree::kary(7, 2), CostModel::LinearDelay, vec![]).unwrap();
+        // kary(7,2): 0 → {1,2}, 1 → {3,4}, 2 → {5,6}.
+        assert_eq!(inst.parent(NodeId(0)), None);
+        assert_eq!(inst.parent(NodeId(5)), Some(NodeId(2)));
+        assert_eq!(inst.node_depth(NodeId(6)), 2);
+        assert_eq!(inst.depth(), 2);
+        // Span of {3}: nodes {0,1,3}.
+        assert_eq!(inst.span_cost(&[NodeId(3)]), 3);
+        // Span of {3,4}: nodes {0,1,3,4}; of {3,5}: {0,1,2,3,5}.
+        assert_eq!(inst.span_cost(&[NodeId(3), NodeId(4)]), 4);
+        assert_eq!(inst.span_cost(&[NodeId(3), NodeId(5)]), 5);
+        // Empty targets still cost the root.
+        assert_eq!(inst.span_cost(&[]), 1);
+    }
+
+    #[test]
+    fn weighted_span_cost() {
+        let inst = MlapInstance::new(
+            Tree::path(4),
+            vec![0, 5, 2, 7],
+            CostModel::LinearDelay,
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(inst.span_cost(&[NodeId(3)]), 14);
+        assert_eq!(inst.span_cost(&[NodeId(1)]), 5);
+    }
+}

@@ -1,0 +1,46 @@
+//! # oat-mlap — Multi-Level Aggregation over trees
+//!
+//! A second online problem family on the same rooted-tree substrate as
+//! the lease mechanism. In **MLAP** (Bienkowski et al., arXiv:1507.02378)
+//! requests arrive at tree nodes over time and must be propagated to the
+//! root by *flushes*: a flush at time `t` transmits any subtree `S`
+//! containing the root, pays **service cost** `w(S)` (the sum of the
+//! node weights in `S`), and serves every request pending at a node of
+//! `S`. Two cost models:
+//!
+//! * **MLAP-D** (deadline): every request carries a hard deadline; the
+//!   total cost is pure service cost and a schedule is feasible when no
+//!   request is served after its deadline. Buchbinder, Feldman, Naor and
+//!   Talmon (arXiv:1701.01936) give an `O(depth)`-competitive online
+//!   algorithm; our [`OdepthDeadline`] policy is the lazy deadline-
+//!   triggered core of that scheme, which on **unit-weight** trees is
+//!   `(depth+1)`-competitive with a short per-instance certificate (see
+//!   `DESIGN.md` §13 for the proof sketch), plus an optional budgeted
+//!   prefetch for weighted trees.
+//! * **MLAP-L** (linear delay): no deadlines; the total cost is service
+//!   cost plus, per request, the time between arrival and service. The
+//!   [`GreedyDelay`] policy is the single-phase balance rule: flush the
+//!   span of all pending requests once their accumulated delay pays for
+//!   it.
+//!
+//! Policies implement [`FlushPolicy`] — a decision automaton queried at
+//! every arrival batch and self-scheduled wake-up — and run under
+//! [`run_mlap`] on the deterministic `oat-sim` event loop
+//! ([`oat_sim::eventloop::EventQueue`]), so outcomes are reproducible
+//! and schedule-independent. The exact offline optimum for small
+//! instances lives in `oat-offline::mlap_opt`; instance generators live
+//! in `oat-workloads::mlap`; `oat mlap` is the CLI entry point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod instance;
+pub mod policy;
+
+pub use engine::{run_mlap, FlushRecord, MlapRun};
+pub use instance::{CostModel, MlapInstance, MlapRequest};
+pub use policy::{
+    all_policies, parse_flush_policy, Decision, EagerFlush, FlushPolicy, GreedyDelay,
+    OdepthDeadline, Pending,
+};

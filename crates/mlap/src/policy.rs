@@ -1,0 +1,305 @@
+//! Online flush policies behind the [`FlushPolicy`] trait.
+//!
+//! A policy is a decision automaton: the engine calls
+//! [`FlushPolicy::decide`] after every arrival batch and at every
+//! wake-up the policy previously requested, and the policy answers with
+//! a [`Decision`]. Policies never mutate the world directly — flushing,
+//! cost accounting, and request bookkeeping are the engine's job — so
+//! the same policy value can be replayed deterministically under any
+//! schedule.
+
+use oat_core::tree::NodeId;
+
+use crate::instance::MlapInstance;
+
+/// A request still waiting for service, as shown to policies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pending {
+    /// Node the request is pending at.
+    pub node: NodeId,
+    /// Arrival time.
+    pub arrival: u64,
+    /// Deadline, when the instance has them.
+    pub deadline: Option<u64>,
+}
+
+/// What a policy wants to do at a decision point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Flush the minimal root subtree spanning these nodes. The engine
+    /// closes the set upward (root and all ancestors included) and
+    /// serves *every* pending request at a flushed node — free riders
+    /// included.
+    Flush(Vec<NodeId>),
+    /// Sleep until the given time, unless new requests arrive first (an
+    /// arrival always re-invokes `decide`).
+    WakeAt(u64),
+    /// Nothing to do until the next arrival.
+    Idle,
+}
+
+/// An online MLAP algorithm.
+pub trait FlushPolicy {
+    /// Stable policy name, used in reports and JSON.
+    fn name(&self) -> &'static str;
+
+    /// Chooses an action at time `now` given the live request set.
+    /// Called after every arrival batch and every requested wake-up;
+    /// called again immediately after each flush it issues, so a policy
+    /// may flush repeatedly before yielding with `WakeAt`/`Idle`.
+    fn decide(&mut self, now: u64, pending: &[Pending], inst: &MlapInstance) -> Decision;
+}
+
+/// Flush the span of all pending requests the moment they arrive.
+/// Zero delay and zero misses, maximal service cost — the upper
+/// baseline, analogous to pull-all/push-all for the lease problem.
+pub struct EagerFlush;
+
+impl FlushPolicy for EagerFlush {
+    fn name(&self) -> &'static str {
+        "eager"
+    }
+
+    fn decide(&mut self, _now: u64, pending: &[Pending], _inst: &MlapInstance) -> Decision {
+        if pending.is_empty() {
+            Decision::Idle
+        } else {
+            Decision::Flush(pending.iter().map(|p| p.node).collect())
+        }
+    }
+}
+
+/// The lazy deadline-triggered policy at the core of the Buchbinder et
+/// al. `O(depth)` scheme (arXiv:1701.01936): sleep until the earliest
+/// pending deadline, then flush the span of every request that is due,
+/// serving all other pending requests on the flushed subtree for free.
+///
+/// On **unit-weight** deadline instances this is `(depth+1)`-competitive
+/// outright: each trigger pays at most `depth+1` per expiring
+/// `(node, time)` event, and consecutive expiry events at one node force
+/// disjoint service windows on OPT (DESIGN.md §13). With
+/// [`OdepthDeadline::with_prefetch`] the flush additionally pulls in
+/// future-deadline requests while their marginal path weight fits
+/// within the mandatory flush's own weight — the budgeted prefetch that
+/// the weighted-tree analysis of the paper relies on.
+pub struct OdepthDeadline {
+    prefetch: bool,
+}
+
+impl OdepthDeadline {
+    /// The plain lazy policy (the `(depth+1)`-certified one on unit
+    /// weights).
+    pub fn new() -> Self {
+        OdepthDeadline { prefetch: false }
+    }
+
+    /// Lazy triggers plus weight-budgeted prefetch of future requests.
+    pub fn with_prefetch() -> Self {
+        OdepthDeadline { prefetch: true }
+    }
+}
+
+impl Default for OdepthDeadline {
+    fn default() -> Self {
+        OdepthDeadline::new()
+    }
+}
+
+impl FlushPolicy for OdepthDeadline {
+    fn name(&self) -> &'static str {
+        if self.prefetch {
+            "odepth-prefetch"
+        } else {
+            "odepth"
+        }
+    }
+
+    fn decide(&mut self, now: u64, pending: &[Pending], inst: &MlapInstance) -> Decision {
+        let Some(dmin) = pending.iter().filter_map(|p| p.deadline).min() else {
+            // No deadlines to trigger on (a delay instance): stay lazy;
+            // the engine's terminal sweep serves whatever remains.
+            return Decision::Idle;
+        };
+        if dmin > now {
+            return Decision::WakeAt(dmin);
+        }
+        let mut targets: Vec<NodeId> = pending
+            .iter()
+            .filter(|p| p.deadline.is_some_and(|d| d <= now))
+            .map(|p| p.node)
+            .collect();
+        if self.prefetch {
+            // Budget = the mandatory flush's own weight; spend it on
+            // not-yet-covered requests in deadline order, each paying
+            // its marginal path extension.
+            let mut mask = inst.close_upward(&targets);
+            let mut budget = inst.mask_weight(&mask);
+            let mut future: Vec<&Pending> =
+                pending.iter().filter(|p| !mask[p.node.idx()]).collect();
+            future.sort_by_key(|p| (p.deadline, p.arrival, p.node.idx()));
+            for p in future {
+                if mask[p.node.idx()] {
+                    continue;
+                }
+                let mut ext = Vec::new();
+                let mut u = p.node;
+                while !mask[u.idx()] {
+                    ext.push(u);
+                    u = inst.parent(u).unwrap_or(u);
+                }
+                let marginal: u64 = ext.iter().map(|v| inst.weight[v.idx()]).sum();
+                if marginal <= budget {
+                    budget -= marginal;
+                    for v in ext {
+                        mask[v.idx()] = true;
+                    }
+                    targets.push(p.node);
+                }
+            }
+        }
+        Decision::Flush(targets)
+    }
+}
+
+/// The single-phase delay-balance rule from the MLAP-L line of work
+/// (arXiv:1507.02378): wait until the accumulated delay of the pending
+/// set pays for the weight of its span, then flush the whole span. On
+/// deadline instances the trigger is capped by the earliest pending
+/// deadline, so the policy stays feasible there too.
+pub struct GreedyDelay;
+
+impl FlushPolicy for GreedyDelay {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn decide(&mut self, now: u64, pending: &[Pending], inst: &MlapInstance) -> Decision {
+        if pending.is_empty() {
+            return Decision::Idle;
+        }
+        let dmin = pending.iter().filter_map(|p| p.deadline).min();
+        let all: Vec<NodeId> = pending.iter().map(|p| p.node).collect();
+        let span = inst.span_cost(&all);
+        let accumulated: u64 = pending.iter().map(|p| now.saturating_sub(p.arrival)).sum();
+        if accumulated >= span || dmin.is_some_and(|d| d <= now) {
+            return Decision::Flush(all);
+        }
+        // Delay grows by |pending| per tick; wake when it first covers
+        // the span weight (or at the earliest deadline, if sooner).
+        let slope = pending.len() as u64;
+        let wake = now + (span - accumulated).div_ceil(slope).max(1);
+        Decision::WakeAt(dmin.map_or(wake, |d| wake.min(d)))
+    }
+}
+
+/// Parses a policy spec string: `eager` | `odepth` | `odepth-prefetch`
+/// | `greedy`.
+pub fn parse_flush_policy(spec: &str) -> Result<Box<dyn FlushPolicy>, String> {
+    match spec {
+        "eager" => Ok(Box::new(EagerFlush)),
+        "odepth" => Ok(Box::new(OdepthDeadline::new())),
+        "odepth-prefetch" => Ok(Box::new(OdepthDeadline::with_prefetch())),
+        "greedy" => Ok(Box::new(GreedyDelay)),
+        _ => Err(format!(
+            "bad mlap policy `{spec}` (want eager | odepth | odepth-prefetch | greedy)"
+        )),
+    }
+}
+
+/// Every built-in policy, in display order.
+pub fn all_policies() -> Vec<Box<dyn FlushPolicy>> {
+    vec![
+        Box::new(OdepthDeadline::new()),
+        Box::new(OdepthDeadline::with_prefetch()),
+        Box::new(GreedyDelay),
+        Box::new(EagerFlush),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::CostModel;
+    use oat_core::tree::Tree;
+
+    fn pend(node: u32, arrival: u64, deadline: Option<u64>) -> Pending {
+        Pending {
+            node: NodeId(node),
+            arrival,
+            deadline,
+        }
+    }
+
+    fn inst() -> MlapInstance {
+        MlapInstance::unit(Tree::kary(7, 2), CostModel::Deadline, vec![]).unwrap()
+    }
+
+    #[test]
+    fn odepth_sleeps_until_first_deadline_then_flushes_the_due_set() {
+        let inst = inst();
+        let mut p = OdepthDeadline::new();
+        assert_eq!(p.decide(0, &[], &inst), Decision::Idle);
+        let pending = [pend(3, 0, Some(5)), pend(5, 0, Some(9))];
+        assert_eq!(p.decide(0, &pending, &inst), Decision::WakeAt(5));
+        assert_eq!(
+            p.decide(5, &pending, &inst),
+            Decision::Flush(vec![NodeId(3)])
+        );
+    }
+
+    #[test]
+    fn prefetch_spends_the_flush_weight_on_future_requests() {
+        // Due request at node 3 (span {0,1,3}, weight 3 = budget);
+        // future request at node 4 costs a marginal 1 → prefetched;
+        // node 5 then costs marginal 2 ({2,5}) → also fits; nothing
+        // remains for more.
+        let inst = inst();
+        let mut p = OdepthDeadline::with_prefetch();
+        let pending = [
+            pend(3, 0, Some(5)),
+            pend(4, 0, Some(9)),
+            pend(5, 0, Some(12)),
+        ];
+        match p.decide(5, &pending, &inst) {
+            Decision::Flush(t) => {
+                assert_eq!(t, vec![NodeId(3), NodeId(4), NodeId(5)]);
+            }
+            other => panic!("expected flush, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn greedy_waits_for_delay_to_cover_the_span() {
+        let inst = inst();
+        let mut p = GreedyDelay;
+        // One pending request at node 3: span weight 3, slope 1 → the
+        // balance point is arrival + 3.
+        let pending = [pend(3, 10, None)];
+        assert_eq!(p.decide(10, &pending, &inst), Decision::WakeAt(13));
+        assert_eq!(
+            p.decide(13, &pending, &inst),
+            Decision::Flush(vec![NodeId(3)])
+        );
+    }
+
+    #[test]
+    fn greedy_caps_its_wake_at_the_earliest_deadline() {
+        let inst = inst();
+        let mut p = GreedyDelay;
+        let pending = [pend(3, 10, Some(11))];
+        assert_eq!(p.decide(10, &pending, &inst), Decision::WakeAt(11));
+        assert_eq!(
+            p.decide(11, &pending, &inst),
+            Decision::Flush(vec![NodeId(3)])
+        );
+    }
+
+    #[test]
+    fn spec_parsing_roundtrips_names() {
+        for name in ["eager", "odepth", "odepth-prefetch", "greedy"] {
+            assert_eq!(parse_flush_policy(name).unwrap().name(), name);
+        }
+        assert!(parse_flush_policy("nope").is_err());
+        assert_eq!(all_policies().len(), 4);
+    }
+}

@@ -620,7 +620,7 @@ where
                             oat_obs::EventKind::FrameRx,
                             self.id.0,
                             link.peer.0,
-                            u64::from(inner)
+                            (seq << 8) | u64::from(inner)
                         );
                         match inner {
                             INNER_NET => match Message::<A::Value>::decode_wire(body) {
@@ -1282,7 +1282,7 @@ fn send_seq<S, A: AggOp>(
         oat_obs::EventKind::FrameTx,
         from.0,
         link.peer.0,
-        u64::from(inner)
+        (seq << 8) | u64::from(inner)
     );
     link.rtx
         .push_back((seq, inner, body.to_vec(), Instant::now()));

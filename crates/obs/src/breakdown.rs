@@ -150,6 +150,47 @@ pub fn phase_breakdown(events: &[Event]) -> PhaseBreakdown {
     out
 }
 
+/// Per-edge wire latency over the matched `frame_tx`/`frame_rx` pairs.
+#[derive(Clone, Debug, Default)]
+pub struct WireLatency {
+    /// `frame_tx` events observed.
+    pub tx: u64,
+    /// Pairs matched to the corresponding `frame_rx` on the receiving
+    /// node (frames lost, retransmitted out of window, or still in
+    /// flight at drain time stay unmatched).
+    pub matched: u64,
+    /// Enqueue-at-sender → decode-at-receiver latency histogram
+    /// (nanosecond samples).
+    pub hist: LogHistogram,
+}
+
+/// Matches each `frame_tx` against the `frame_rx` for the same frame and
+/// records the per-edge transit time. Both events carry
+/// `c = (link seq << 8) | tag`, and the per-link sequence number is
+/// unique per direction, so a tx at `(from, to, c)` pairs with exactly
+/// the rx at `(to, from, c)`.
+pub fn wire_latency(events: &[Event]) -> WireLatency {
+    let mut tx: HashMap<(u32, u32, u64), u64> = HashMap::new();
+    let mut out = WireLatency::default();
+    for e in events {
+        if e.kind == EventKind::FrameTx {
+            out.tx += 1;
+            tx.insert((e.a, e.b, e.c), e.ts_ns);
+        }
+    }
+    for e in events {
+        if e.kind == EventKind::FrameRx {
+            if let Some(&sent) = tx.get(&(e.b, e.a, e.c)) {
+                if e.ts_ns >= sent {
+                    out.matched += 1;
+                    out.hist.record(e.ts_ns - sent);
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,5 +265,37 @@ mod tests {
         let json = b.to_json();
         assert!(json.contains("\"requests\": 1"));
         assert!(json.contains("\"latency\": {\"p50_us\":"));
+    }
+
+    #[test]
+    fn wire_latency_matches_tx_rx_by_seq_and_edge() {
+        const TAG: u64 = 3;
+        let c = |seq: u64| (seq << 8) | TAG;
+        let events = vec![
+            // Frame seq 1 on edge 0→1: 50ns transit.
+            ev(EventKind::FrameTx, 0, 100, 0, 1, c(1)),
+            ev(EventKind::FrameRx, 1, 150, 1, 0, c(1)),
+            // Frame seq 1 on the reverse edge 1→0 reuses the seq without
+            // colliding: 70ns transit.
+            ev(EventKind::FrameTx, 1, 200, 1, 0, c(1)),
+            ev(EventKind::FrameRx, 0, 270, 0, 1, c(1)),
+            // Frame seq 2 on 0→1 was lost: tx without rx.
+            ev(EventKind::FrameTx, 0, 300, 0, 1, c(2)),
+        ];
+        let w = wire_latency(&events);
+        assert_eq!((w.tx, w.matched), (3, 2));
+        assert_eq!(w.hist.quantile(0.0), 50);
+        assert_eq!(w.hist.quantile(1.0), 70);
+    }
+
+    #[test]
+    fn wire_latency_ignores_unrelated_events() {
+        let events = vec![
+            ev(EventKind::ReqStart, 9, 100, 3, 0, 1),
+            ev(EventKind::FrameRx, 1, 150, 1, 0, (1 << 8) | 3),
+        ];
+        let w = wire_latency(&events);
+        assert_eq!((w.tx, w.matched), (0, 0));
+        assert_eq!(w.hist.count(), 0);
     }
 }

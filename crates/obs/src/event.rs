@@ -28,10 +28,14 @@ pub enum EventKind {
     /// `c`=req id.
     RespTx = 5,
     /// A frame was queued for transmission. `a`=node, `b`=peer,
-    /// `c`=frame tag.
+    /// `c`=`(link seq << 8) | frame tag` — the per-link sequence number
+    /// lets a matching [`EventKind::FrameRx`] attribute per-edge wire
+    /// latency (see `wire_latency`).
     FrameTx = 6,
-    /// A frame was decoded off a connection. `a`=node, `b`=peer,
-    /// `c`=frame tag.
+    /// A frame was decoded off a connection (in sequence order; dups and
+    /// go-back-N re-deliveries are dropped before this event). `a`=node,
+    /// `b`=peer, `c`=`(link seq << 8) | frame tag`, matching the
+    /// originating [`EventKind::FrameTx`].
     FrameRx = 7,
     /// This node granted a lease. `a`=granter, `b`=grantee.
     LeaseSet = 8,
@@ -64,10 +68,11 @@ pub enum EventKind {
     /// `b`=descriptors handled.
     Dispatch = 19,
     /// The simulator delivered one message. `a`=from, `b`=to,
-    /// `c`=message kind index.
+    /// `c`=message kind index (the MLAP engine reuses this with `c`=4
+    /// for a flush edge child→parent).
     SimDeliver = 20,
     /// The simulator initiated a request. `a`=node, `c`=0 combine /
-    /// 1 write.
+    /// 1 write / 2 MLAP request arrival.
     SimInitiate = 21,
 }
 

@@ -18,18 +18,23 @@
 //! * [`adversary`] — the request generator of **Theorem 3** (`a` combines
 //!   at one endpoint, `b` writes at the other, repeated),
 //! * [`ratio`] — end-to-end competitive-ratio measurements tying the
-//!   simulator and the offline optima together.
+//!   simulator and the offline optima together,
+//! * [`mlap_opt`] — the exact offline optimum for the second problem
+//!   family, MLAP (`oat-mlap`): a nested-subset DP over candidate flush
+//!   times, for both the deadline and linear-delay cost models.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adversary;
 pub mod cost_model;
+pub mod mlap_opt;
 pub mod nopt;
 pub mod opt_dp;
 pub mod ratio;
 pub mod replay;
 
 pub use cost_model::{edge_cost, AbAutomaton, RwwAutomaton};
+pub use mlap_opt::{candidate_times, mlap_opt, MAX_CANDIDATE_TIMES};
 pub use opt_dp::{opt_edge_cost, opt_total_cost};
 pub use ratio::RatioReport;

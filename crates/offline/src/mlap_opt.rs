@@ -1,0 +1,331 @@
+//! Exact offline optimum for small MLAP instances.
+//!
+//! The structural facts the DP rests on:
+//!
+//! 1. **Candidate times suffice.** Any offline schedule can be
+//!    normalized without extra cost so that every flush happens at a
+//!    *candidate* time: on a deadline instance, shift each flush
+//!    forward to the next request deadline ≥ it (feasibility is
+//!    preserved — every served request's window still contains the
+//!    flush); on a linear-delay instance, shift each flush *back* to
+//!    the latest arrival among the requests it serves (delay only
+//!    shrinks, service cost is unchanged). So the candidate set is the
+//!    distinct deadlines (MLAP-D) or distinct arrivals (MLAP-L).
+//! 2. **Flush-time sets nest down the tree.** A node can only be
+//!    flushed together with its parent, so with `T_x` = the set of
+//!    times node `x` is flushed, `T_x ⊆ T_parent(x)` — and any nested
+//!    family is realizable as a schedule.
+//!
+//! With `k` candidate times the DP state is a subset mask per node:
+//! `dp[x][T]` = the cheapest cost of `x`'s subtree given `x` flushes
+//! exactly at the times in `T` — `w(x)·|T|`, plus the request cost at
+//! `x` under `T` (infeasible = ∞ for deadlines, earliest-flush delay
+//! for MLAP-L), plus for each child the min over submasks `T_c ⊆ T`,
+//! computed with a subset-sum (SOS) min sweep in `O(2^k·k)` per child.
+//! Total `O(n·2^k·k)`; [`MAX_CANDIDATE_TIMES`] caps `k`, and
+//! [`mlap_opt`] returns `None` above the cap — ratios are *measured*
+//! on instances where the oracle is exact, never extrapolated.
+
+use oat_mlap::{CostModel, MlapInstance};
+
+const INF: u64 = u64::MAX / 4;
+
+/// Largest candidate-time set the exact DP accepts (the table is
+/// `2^k` entries per node).
+pub const MAX_CANDIDATE_TIMES: usize = 16;
+
+/// The candidate flush times of an instance: sorted distinct deadlines
+/// (MLAP-D) or arrivals (MLAP-L). See the module docs for why these
+/// suffice.
+pub fn candidate_times(inst: &MlapInstance) -> Vec<u64> {
+    let mut times: Vec<u64> = match inst.model {
+        CostModel::Deadline => inst.requests.iter().filter_map(|r| r.deadline).collect(),
+        CostModel::LinearDelay => inst.requests.iter().map(|r| r.arrival).collect(),
+    };
+    times.sort_unstable();
+    times.dedup();
+    times
+}
+
+/// Exact minimum total cost (service, plus delay on MLAP-L) over all
+/// offline schedules. `None` when the instance needs more than
+/// [`MAX_CANDIDATE_TIMES`] candidate flush times.
+pub fn mlap_opt(inst: &MlapInstance) -> Option<u64> {
+    let times = candidate_times(inst);
+    let k = times.len();
+    if k > MAX_CANDIDATE_TIMES {
+        return None;
+    }
+    if inst.requests.is_empty() {
+        return Some(0);
+    }
+    let full = 1usize << k;
+    let n = inst.tree.len();
+
+    // Per node: the requests pinned there, as (allowed-times mask,
+    // arrival). `allowed` is the candidate times the request may be
+    // served at; on MLAP-L the delay paid is the earliest allowed time
+    // in the node's mask minus the arrival.
+    let mut reqs_at: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
+    for r in &inst.requests {
+        let mut allowed = 0u64;
+        for (i, &t) in times.iter().enumerate() {
+            let ok = match inst.model {
+                CostModel::Deadline => r.arrival <= t && t <= r.deadline.expect("validated"),
+                CostModel::LinearDelay => t >= r.arrival,
+            };
+            if ok {
+                allowed |= 1 << i;
+            }
+        }
+        debug_assert_ne!(allowed, 0, "own deadline/arrival is always allowed");
+        reqs_at[r.node.idx()].push((allowed, r.arrival));
+    }
+
+    // Children lists and a post-order over the rooted tree.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for u in inst.tree.nodes().skip(1) {
+        children[inst.parent(u).expect("non-root").idx()].push(u.idx());
+    }
+    let mut post = Vec::with_capacity(n);
+    let mut stack = vec![0usize];
+    while let Some(u) = stack.pop() {
+        post.push(u);
+        stack.extend(&children[u]);
+    }
+    post.reverse(); // children now precede parents
+
+    let mut dp: Vec<Option<Vec<u64>>> = vec![None; n];
+    for &x in &post {
+        let w = inst.weight[x];
+        let mut row: Vec<u64> = vec![0; full];
+        for (mask, cell) in row.iter_mut().enumerate() {
+            let mut cost = w.saturating_mul(mask.count_ones() as u64);
+            for &(allowed, arrival) in &reqs_at[x] {
+                let usable = mask as u64 & allowed;
+                if usable == 0 {
+                    cost = INF;
+                    break;
+                }
+                if inst.model == CostModel::LinearDelay {
+                    cost += times[usable.trailing_zeros() as usize] - arrival;
+                }
+            }
+            *cell = cost.min(INF);
+        }
+        for &c in &children[x] {
+            // SOS min: g[mask] = min over submasks of the child's row.
+            let mut g = dp[c].take().expect("post-order");
+            for b in 0..k {
+                for mask in 0..full {
+                    if mask & (1 << b) != 0 {
+                        g[mask] = g[mask].min(g[mask ^ (1 << b)]);
+                    }
+                }
+            }
+            for (cell, gc) in row.iter_mut().zip(&g) {
+                *cell = cell.saturating_add(*gc).min(INF);
+            }
+        }
+        dp[x] = Some(row);
+    }
+    let best = dp[0]
+        .as_ref()
+        .expect("root processed")
+        .iter()
+        .copied()
+        .min()
+        .expect("non-empty table");
+    debug_assert!(best < INF, "full candidate set always feasible");
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oat_core::tree::{NodeId, Tree};
+    use oat_mlap::MlapRequest;
+    use proptest::prelude::*;
+
+    fn req(node: u32, arrival: u64, deadline: Option<u64>) -> MlapRequest {
+        MlapRequest {
+            node: NodeId(node),
+            arrival,
+            deadline,
+        }
+    }
+
+    /// Independent brute force over the *request-assignment* view: pick
+    /// a served time per request (within its allowed window); the best
+    /// schedule for an assignment flushes, at each used time, exactly
+    /// the span of the requests assigned there. Minimizing over
+    /// assignments equals minimizing over schedules.
+    fn brute_force(inst: &MlapInstance) -> u64 {
+        let times = candidate_times(inst);
+        let m = inst.requests.len();
+        let mut best = u64::MAX;
+        let mut choice = vec![0usize; m];
+        'outer: loop {
+            let ok = inst.requests.iter().zip(&choice).all(|(r, &c)| {
+                let t = times[c];
+                match inst.model {
+                    CostModel::Deadline => r.arrival <= t && t <= r.deadline.unwrap(),
+                    CostModel::LinearDelay => t >= r.arrival,
+                }
+            });
+            if ok {
+                let mut total = 0u64;
+                for (ti, &t) in times.iter().enumerate() {
+                    let nodes: Vec<NodeId> = inst
+                        .requests
+                        .iter()
+                        .zip(&choice)
+                        .filter(|(_, &c)| c == ti)
+                        .map(|(r, _)| r.node)
+                        .collect();
+                    if !nodes.is_empty() {
+                        total += inst.span_cost(&nodes);
+                        if inst.model == CostModel::LinearDelay {
+                            total += inst
+                                .requests
+                                .iter()
+                                .zip(&choice)
+                                .filter(|(_, &c)| c == ti)
+                                .map(|(r, _)| t - r.arrival)
+                                .sum::<u64>();
+                        }
+                    }
+                }
+                best = best.min(total);
+            }
+            for slot in choice.iter_mut() {
+                *slot += 1;
+                if *slot < times.len() {
+                    continue 'outer;
+                }
+                *slot = 0;
+            }
+            break;
+        }
+        best
+    }
+
+    #[test]
+    fn single_request_costs_its_root_path() {
+        let inst = MlapInstance::unit(Tree::path(4), CostModel::Deadline, vec![req(3, 0, Some(5))])
+            .unwrap();
+        assert_eq!(mlap_opt(&inst), Some(4));
+    }
+
+    #[test]
+    fn spider_merges_into_one_flush() {
+        // Star rooted at 0 with 4 leaves: all requests at t=0 with
+        // deadlines 1..4 share the window point t=1 → one flush of the
+        // whole tree, cost 5.
+        let reqs = (1..=4).map(|i| req(i, 0, Some(u64::from(i)))).collect();
+        let inst = MlapInstance::unit(Tree::star(5), CostModel::Deadline, reqs).unwrap();
+        assert_eq!(mlap_opt(&inst), Some(5));
+    }
+
+    #[test]
+    fn disjoint_windows_force_separate_flushes() {
+        // Two requests at node 2 of path(3) with disjoint windows: two
+        // flushes of the full path, cost 6.
+        let inst = MlapInstance::unit(
+            Tree::path(3),
+            CostModel::Deadline,
+            vec![req(2, 0, Some(1)), req(2, 5, Some(6))],
+        )
+        .unwrap();
+        assert_eq!(mlap_opt(&inst), Some(6));
+    }
+
+    #[test]
+    fn delay_model_balances_waiting_against_merging() {
+        // path(2), requests at node 1 at t=0 and t=3. One flush at t=3
+        // costs 2 (service) + 3 (delay) = 5; two flushes cost 4 + 0.
+        let inst = MlapInstance::unit(
+            Tree::pair(),
+            CostModel::LinearDelay,
+            vec![req(1, 0, None), req(1, 3, None)],
+        )
+        .unwrap();
+        assert_eq!(mlap_opt(&inst), Some(4));
+        // Closer arrivals flip the balance: one flush at t=1 costs
+        // 2 + 1 = 3 < 4.
+        let inst = MlapInstance::unit(
+            Tree::pair(),
+            CostModel::LinearDelay,
+            vec![req(1, 0, None), req(1, 1, None)],
+        )
+        .unwrap();
+        assert_eq!(mlap_opt(&inst), Some(3));
+    }
+
+    #[test]
+    fn cap_is_enforced_not_guessed() {
+        let reqs: Vec<MlapRequest> = (0..MAX_CANDIDATE_TIMES as u64 + 1)
+            .map(|i| req(1, i, Some(100 + i)))
+            .collect();
+        let inst = MlapInstance::unit(Tree::pair(), CostModel::Deadline, reqs).unwrap();
+        assert_eq!(mlap_opt(&inst), None);
+        assert_eq!(candidate_times(&inst).len(), MAX_CANDIDATE_TIMES + 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn dp_matches_brute_force_on_random_deadline_instances(
+            n in 2usize..7,
+            m in 1usize..5,
+            tseed in any::<u64>(),
+            rseed in any::<u64>(),
+            weighted in any::<bool>(),
+        ) {
+            let tree = oat_workloads_random_tree(n, tseed);
+            let mut s = rseed;
+            let mut next = || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407); s >> 33 };
+            let reqs: Vec<MlapRequest> = (0..m).map(|_| {
+                let node = (next() % n as u64) as u32;
+                let arrival = next() % 6;
+                req(node, arrival, Some(arrival + next() % 4))
+            }).collect();
+            let weight: Vec<u64> = (0..n).map(|_| if weighted { next() % 7 } else { 1 }).collect();
+            let inst = MlapInstance::new(tree, weight, CostModel::Deadline, reqs).unwrap();
+            prop_assert_eq!(mlap_opt(&inst), Some(brute_force(&inst)));
+        }
+
+        #[test]
+        fn dp_matches_brute_force_on_random_delay_instances(
+            n in 2usize..7,
+            m in 1usize..5,
+            tseed in any::<u64>(),
+            rseed in any::<u64>(),
+        ) {
+            let tree = oat_workloads_random_tree(n, tseed);
+            let mut s = rseed;
+            let mut next = || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407); s >> 33 };
+            let reqs: Vec<MlapRequest> = (0..m).map(|_| {
+                req((next() % n as u64) as u32, next() % 6, None)
+            }).collect();
+            let inst = MlapInstance::unit(tree, CostModel::LinearDelay, reqs).unwrap();
+            prop_assert_eq!(mlap_opt(&inst), Some(brute_force(&inst)));
+        }
+    }
+
+    /// A local uniform random tree (Prüfer-free: random parent
+    /// attachment), to avoid a dev-dependency cycle on oat-workloads.
+    fn oat_workloads_random_tree(n: usize, seed: u64) -> Tree {
+        let mut s = seed | 1;
+        let mut edges = Vec::with_capacity(n.saturating_sub(1));
+        for v in 1..n as u32 {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let p = ((s >> 33) % u64::from(v)) as u32;
+            edges.push((p, v));
+        }
+        Tree::from_edges(n, &edges).expect("valid tree")
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`concurrent`] — interleaved executions: request initiations and
 //!   message deliveries are interleaved by a seeded scheduler; used by the
 //!   Section-5 causal-consistency experiments,
+//! * [`eventloop`] — a generic deterministic timed event queue with
+//!   schedule-controlled tie-breaking; the substrate other problem
+//!   families (e.g. `oat-mlap`) run on,
 //! * [`invariants`] — executable forms of Lemmas 3.1, 3.2, 3.4, the value
 //!   invariants `I1`–`I3`, and RWW's `I4` (Lemma 4.2), checkable in any
 //!   quiescent state,
@@ -25,6 +28,7 @@
 
 pub mod concurrent;
 pub mod engine;
+pub mod eventloop;
 pub mod invariants;
 pub mod schedule;
 pub mod sequential;

@@ -10,13 +10,18 @@
 //!   path/star/k-ary shapes,
 //! * [`requests`] — seeded request sequences: uniform mixes, hotspot
 //!   readers/writers, phase-shifting mixes (read-heavy ↔ write-heavy),
-//!   and single-writer/multi-reader patterns.
+//!   and single-writer/multi-reader patterns,
+//! * [`mlap`] — instances for the second problem family (`oat-mlap`):
+//!   the adversarial staggered-deadline spider, bursty deadline
+//!   workloads, delay-model arrival streams, and random instances for
+//!   property tests.
 //!
 //! All generators are deterministic in their seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod mlap;
 pub mod requests;
 pub mod topology;
 

@@ -1,0 +1,176 @@
+//! MLAP instance generators: adversarial and bursty deadline workloads,
+//! plus delay-model arrival streams and random instances for property
+//! tests. All deterministic in their seed.
+
+use oat_core::tree::{NodeId, Tree};
+use oat_mlap::{CostModel, MlapInstance, MlapRequest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn req(node: NodeId, arrival: u64, deadline: Option<u64>) -> MlapRequest {
+    MlapRequest {
+        node,
+        arrival,
+        deadline,
+    }
+}
+
+/// The staggered-deadline spider that stresses the lazy deadline policy
+/// toward its `(depth+1)` bound: a path of `depth-1` edges from the
+/// root to a hub, and `legs` leaf children under the hub (tree depth =
+/// `depth` edges). Every leaf's request arrives at time 0, with
+/// deadlines staggered `1, 2, …, legs` — an offline optimum flushes the
+/// whole spider once at time 1 (cost `depth + legs`), while the lazy
+/// policy pays a full root path per leaf (`legs · (depth+1)`); the
+/// ratio approaches `depth+1` as `legs` grows. Unit weights.
+pub fn adversarial_deadline(depth: usize, legs: usize) -> MlapInstance {
+    assert!(depth >= 1 && legs >= 1, "need depth ≥ 1 and legs ≥ 1");
+    let n = depth + legs;
+    let mut edges: Vec<(u32, u32)> = (1..depth as u32).map(|v| (v - 1, v)).collect();
+    let hub = depth as u32 - 1;
+    edges.extend((0..legs as u32).map(|i| (hub, depth as u32 + i)));
+    let tree = Tree::from_edges(n, &edges).expect("spider is a tree");
+    let requests = (0..legs as u32)
+        .map(|i| req(NodeId(depth as u32 + i), 0, Some(u64::from(i) + 1)))
+        .collect();
+    MlapInstance::unit(tree, CostModel::Deadline, requests).expect("valid instance")
+}
+
+/// Bursty deadline workload on an existing tree — the latency-SLO
+/// scenario: bursts of `burst` requests land on random nodes at
+/// geometric gaps, each with a deadline `arrival + slack`,
+/// `slack ∈ [1, window]`. Deadlines cluster inside a burst, so good
+/// policies merge most of a burst into few flushes.
+pub fn bursty_deadline(
+    tree: &Tree,
+    bursts: usize,
+    burst: usize,
+    window: u64,
+    seed: u64,
+) -> MlapInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let window = window.max(1);
+    let mut t = 0u64;
+    let mut requests = Vec::with_capacity(bursts * burst);
+    for _ in 0..bursts {
+        t += rng.gen_range(1..=2 * window);
+        for _ in 0..burst {
+            let node = NodeId(rng.gen_range(0..tree.len()) as u32);
+            let slack = rng.gen_range(1..=window);
+            requests.push(req(node, t, Some(t + slack)));
+        }
+    }
+    MlapInstance::unit(tree.clone(), CostModel::Deadline, requests).expect("valid instance")
+}
+
+/// Steady single-request arrivals with no deadlines (MLAP-L): one
+/// request per step at a random node, arrival gaps uniform in
+/// `[0, gap]`.
+pub fn uniform_delay(tree: &Tree, len: usize, gap: u64, seed: u64) -> MlapInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0u64;
+    let requests = (0..len)
+        .map(|_| {
+            t += rng.gen_range(0..=gap);
+            req(NodeId(rng.gen_range(0..tree.len()) as u32), t, None)
+        })
+        .collect();
+    MlapInstance::unit(tree.clone(), CostModel::LinearDelay, requests).expect("valid instance")
+}
+
+/// Random small instance for property tests: a uniform random tree on
+/// `n` nodes, `len` requests at random nodes with arrivals in a small
+/// range (so the exact OPT oracle always applies), unit or random
+/// weights, and — on deadline instances — slacks in `[0, 6]`.
+pub fn random_instance(
+    n: usize,
+    len: usize,
+    model: CostModel,
+    unit_weights: bool,
+    seed: u64,
+) -> MlapInstance {
+    let tree = crate::topology::random_tree(n.max(1), seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let requests = (0..len)
+        .map(|_| {
+            let node = NodeId(rng.gen_range(0..tree.len()) as u32);
+            let arrival = rng.gen_range(0..8u64);
+            let deadline = match model {
+                CostModel::Deadline => Some(arrival + rng.gen_range(0..=6u64)),
+                CostModel::LinearDelay => None,
+            };
+            req(node, arrival, deadline)
+        })
+        .collect();
+    let weight = (0..tree.len())
+        .map(|_| {
+            if unit_weights {
+                1
+            } else {
+                rng.gen_range(0..8u64)
+            }
+        })
+        .collect();
+    MlapInstance::new(tree, weight, model, requests).expect("valid instance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversarial_spider_shape_and_requests() {
+        let inst = adversarial_deadline(4, 8);
+        assert_eq!(inst.tree.len(), 12);
+        assert_eq!(inst.depth(), 4);
+        assert_eq!(inst.requests.len(), 8);
+        // Every request is at a leaf with its staggered deadline.
+        for (i, r) in inst.requests.iter().enumerate() {
+            assert_eq!(r.arrival, 0);
+            assert_eq!(r.deadline, Some(i as u64 + 1));
+            assert_eq!(inst.node_depth(r.node), 4);
+        }
+        // depth=1 degenerates into a star rooted at the hub=root.
+        assert_eq!(adversarial_deadline(1, 3).tree.len(), 4);
+    }
+
+    #[test]
+    fn bursty_deadlines_are_seeded_and_valid() {
+        let t = Tree::kary(15, 2);
+        let a = bursty_deadline(&t, 4, 3, 4, 7);
+        let b = bursty_deadline(&t, 4, 3, 4, 7);
+        assert_eq!(a.requests, b.requests, "deterministic in the seed");
+        assert_eq!(a.requests.len(), 12);
+        assert!(a
+            .requests
+            .iter()
+            .all(|r| r.deadline.unwrap() > r.arrival && r.deadline.unwrap() <= r.arrival + 4));
+        assert_ne!(
+            bursty_deadline(&t, 4, 3, 4, 8).requests,
+            a.requests,
+            "seed matters"
+        );
+    }
+
+    #[test]
+    fn uniform_delay_arrivals_are_nondecreasing() {
+        let t = Tree::star(8);
+        let inst = uniform_delay(&t, 50, 3, 11);
+        assert_eq!(inst.model, CostModel::LinearDelay);
+        assert!(inst
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn random_instances_respect_the_oracle_cap() {
+        for seed in 0..10 {
+            let inst = random_instance(6, 8, CostModel::Deadline, false, seed);
+            let mut ds: Vec<u64> = inst.requests.iter().filter_map(|r| r.deadline).collect();
+            ds.sort_unstable();
+            ds.dedup();
+            assert!(ds.len() <= 8, "≤ len distinct deadlines");
+        }
+    }
+}

@@ -41,6 +41,9 @@ use oat_sim::{Engine, Schedule};
 /// v2 over v1: every phase gains `lat_p999_us`, and the document gains a
 /// top-level `phase_breakdown` (an object when the bench ran with
 /// tracing, else `null`). All v1 fields are preserved unchanged.
+/// Additively within v2: a nullable top-level `mlap` object (the
+/// `--mlap` competitive phase) — absent runs emit `null`, so v2 readers
+/// keep working.
 pub const SCHEMA: &str = "oat-bench-v2";
 
 /// What to run and how hard; spec strings are echoed into the report.
@@ -66,6 +69,10 @@ pub struct BenchConfig {
     /// Record an oat-obs trace of the pipelined phase and attach the
     /// request phase breakdown to the report.
     pub trace: bool,
+    /// Run the MLAP competitive phase (`oat bench --mlap`): every flush
+    /// policy on the adversarial deadline spider, scored against the
+    /// exact offline optimum.
+    pub mlap: bool,
 }
 
 /// Throughput/latency numbers for one execution phase.
@@ -179,12 +186,56 @@ pub struct BenchReport {
     /// Net-sequential combine values and per-edge/per-kind counts match
     /// the simulator exactly.
     pub parity_ok: bool,
+    /// MLAP competitive phase (set when the bench ran with `mlap`).
+    pub mlap: Option<MlapSummary>,
     /// Request phase breakdown of the pipelined phase (set when the
     /// bench ran with `trace`).
     pub phase_breakdown: Option<PhaseBreakdown>,
     /// The raw drained trace of the pipelined phase, for the CLI to
     /// export (set when the bench ran with `trace`).
     pub trace: Option<Trace>,
+}
+
+/// Competitive summary of the optional MLAP phase: every flush policy
+/// on one adversarial deadline instance, scored against the exact
+/// offline optimum from `oat-offline::mlap_opt`.
+pub struct MlapSummary {
+    /// Workload spec the phase ran (`adv:DEPTH:LEGS`).
+    pub workload: String,
+    /// Tree depth in edges.
+    pub depth: u32,
+    /// Exact offline optimum cost.
+    pub opt: u64,
+    /// Per-policy `(name, total cost, ratio vs OPT)`.
+    pub policies: Vec<(String, u64, f64)>,
+    /// The lazy deadline policy met zero misses and its certified
+    /// `(depth+1)·OPT` service bound.
+    pub within_bound: bool,
+}
+
+impl MlapSummary {
+    fn to_json(&self) -> String {
+        let mut pols = String::from("[");
+        for (i, (name, cost, ratio)) in self.policies.iter().enumerate() {
+            if i > 0 {
+                pols.push_str(", ");
+            }
+            pols.push_str(&format!(
+                "{{\"name\": \"{name}\", \"total_cost\": {cost}, \"ratio\": {ratio:.3}}}"
+            ));
+        }
+        pols.push(']');
+        format!(
+            "{{\"workload\": \"{}\", \"depth\": {}, \"opt\": {}, \"bound\": {}, \
+             \"within_bound\": {}, \"policies\": {}}}",
+            self.workload,
+            self.depth,
+            self.opt,
+            self.depth + 1,
+            self.within_bound,
+            pols,
+        )
+    }
 }
 
 /// One point of the pipeline-depth sweep.
@@ -227,8 +278,12 @@ impl BenchReport {
             Some(b) => b.to_json(),
             None => "null".to_string(),
         };
+        let mlap = match &self.mlap {
+            Some(m) => m.to_json(),
+            None => "null".to_string(),
+        };
         format!(
-            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"date\": \"{}\",\n  \"config\": {{\"tree\": \"{}\", \"policy\": \"{}\", \"workload\": \"{}\", \"seed\": {}, \"pipeline_depth\": {}, \"quick\": {}}},\n  \"threads_spawned\": {},\n  \"sim\": {{{}, \"hop_p50\": {:.1}, \"hop_p99\": {:.1}}},\n  \"net_sequential\": {{{}, \"queue_peak_max\": {}}},\n  \"net_pipelined\": {{{}, \"queue_peak_max\": {}, \"depth\": {}, \"clients\": {}, \"speedup_vs_sequential\": {:.2}}},\n  \"depth_sweep\": {},\n  \"phase_breakdown\": {breakdown},\n  \"parity_ok\": {}\n}}",
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"date\": \"{}\",\n  \"config\": {{\"tree\": \"{}\", \"policy\": \"{}\", \"workload\": \"{}\", \"seed\": {}, \"pipeline_depth\": {}, \"quick\": {}}},\n  \"threads_spawned\": {},\n  \"sim\": {{{}, \"hop_p50\": {:.1}, \"hop_p99\": {:.1}}},\n  \"net_sequential\": {{{}, \"queue_peak_max\": {}}},\n  \"net_pipelined\": {{{}, \"queue_peak_max\": {}, \"depth\": {}, \"clients\": {}, \"speedup_vs_sequential\": {:.2}}},\n  \"depth_sweep\": {},\n  \"mlap\": {mlap},\n  \"phase_breakdown\": {breakdown},\n  \"parity_ok\": {}\n}}",
             self.date,
             self.config.tree_spec,
             self.config.policy_spec,
@@ -296,6 +351,20 @@ impl BenchReport {
             out.push_str(&format!(
                 "  sweep depth {:<3} {:>8.0} req/s  p50 {:>8.1}us  p99 {:>9.1}us\n",
                 p.depth, p.req_per_s, p.lat_p50_us, p.lat_p99_us,
+            ));
+        }
+        if let Some(m) = &self.mlap {
+            let mut pols = String::new();
+            for (name, cost, ratio) in &m.policies {
+                pols.push_str(&format!("{name} {cost} ({ratio:.2}x)  "));
+            }
+            out.push_str(&format!(
+                "  mlap {}: OPT {}; {}bound (depth+1)={}: {}\n",
+                m.workload,
+                m.opt,
+                pols,
+                m.depth + 1,
+                if m.within_bound { "OK" } else { "VIOLATED" },
             ));
         }
         out
@@ -457,6 +526,13 @@ where
         });
     }
 
+    // ---- Optional phase 5: MLAP competitive summary. ---------------
+    let mlap = if config.mlap {
+        Some(run_mlap_phase(config.quick)?)
+    } else {
+        None
+    };
+
     Ok(BenchReport {
         config,
         date: utc_date(),
@@ -470,9 +546,39 @@ where
         pipelined_clients,
         threads_spawned,
         depth_sweep,
+        mlap,
         parity_ok,
         phase_breakdown,
         trace,
+    })
+}
+
+/// The `--mlap` phase: every flush policy on the adversarial
+/// staggered-deadline spider, scored against the exact offline optimum.
+/// Pure computation (no cluster), so it rides along at negligible cost.
+fn run_mlap_phase(quick: bool) -> Result<MlapSummary, String> {
+    let (depth, legs) = if quick { (3, 6) } else { (4, 12) };
+    let inst = oat_workloads::mlap::adversarial_deadline(depth, legs);
+    let opt = oat_offline::mlap_opt::mlap_opt(&inst)
+        .ok_or("mlap OPT oracle refused the bench instance (over the candidate-time cap)")?;
+    let mut policies = Vec::new();
+    let mut within_bound = false;
+    for mut p in oat_mlap::all_policies() {
+        let run = oat_mlap::run_mlap(&inst, p.as_mut(), Schedule::Fifo);
+        let ratio = run.total_cost() as f64 / opt as f64;
+        if run.policy == "odepth" {
+            within_bound =
+                run.deadline_misses == 0 && run.service_cost <= u64::from(inst.depth() + 1) * opt;
+        }
+        let total = run.total_cost();
+        policies.push((run.policy, total, ratio));
+    }
+    Ok(MlapSummary {
+        workload: format!("adv:{depth}:{legs}"),
+        depth: inst.depth(),
+        opt,
+        policies,
+        within_bound,
     })
 }
 
@@ -583,6 +689,7 @@ mod tests {
                 sweep_depths: vec![1, 4],
                 quick: true,
                 trace: true,
+                mlap: true,
             },
             &tree,
             &RwwSpec,
@@ -605,11 +712,17 @@ mod tests {
             "\"speedup_vs_sequential\"",
             "\"threads_spawned\": 2",
             "\"depth_sweep\": [{\"depth\": 1,",
+            "\"mlap\": {\"workload\": \"adv:3:6\"",
+            "\"within_bound\": true",
             "\"phase_breakdown\": {\"requests\": 16,",
             "\"parity_ok\": true",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        let mlap = report.mlap.as_ref().unwrap();
+        assert!(mlap.within_bound);
+        assert_eq!(mlap.policies.len(), 4);
+        assert!(mlap.policies.iter().all(|(_, cost, _)| *cost >= mlap.opt));
         // Tracing was on for the pipelined phase: all 16 requests were
         // observed client-side and matched to node-side serve records.
         let b = report.phase_breakdown.as_ref().unwrap();

@@ -9,6 +9,8 @@
 //!               [--pipeline N]
 //! oat bench     [--tree SPEC] [--workload SPEC] [--depth N] [--quick]
 //!               [--json] [--out PATH]
+//! oat mlap      [--workload SPEC] [--policy SPEC] [--tree SPEC] [--seed N]
+//!               [--json]
 //! oat help
 //! ```
 //!
@@ -46,6 +48,7 @@ fn main() {
         Some("bench-net") => cmd_bench_net(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
+        Some("mlap") => cmd_mlap(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
         Some("help") | None => {
             print!("{}", HELP);
@@ -78,6 +81,8 @@ USAGE:
                 [--json] [--out PATH] [--trace [PATH]]
   oat chaos     --tree SPEC --workload SPEC [--policy SPEC] [--seed N]
                 [--faults SPEC]
+  oat mlap      [--workload SPEC] [--policy SPEC] [--tree SPEC] [--seed N]
+                [--json]
   oat help
 
 SPECS:
@@ -88,6 +93,9 @@ SPECS:
   script:   comma-separated c@NODE and w@NODE=VALUE items
   faults:   comma-separated seed:N | drop:P | dup:P | delay:P
             | kill:FROM-TO@FRAMES | crash:NODE@DELIVERED  (or `none`)
+  mlap workload: adv:DEPTH:LEGS | bursty:BURSTS:SIZE:WINDOW | delay:LEN:GAP
+                 (bursty/delay run on --tree, default kary:15:2)
+  mlap policy:   eager | odepth | odepth-prefetch | greedy | all
 
 OBSERVABILITY (oat-obs event tracing):
   trace --workload  records a live oat-obs trace of one workload run twice
@@ -128,6 +136,17 @@ NET COMMANDS (oat-net TCP cluster on loopback):
              injection ledger and recovery counters; exits non-zero on
              any divergence or a wedged cluster
 
+MLAP (oat-mlap second problem family — multi-level aggregation with
+delays and deadlines, arXiv:1507.02378 / arXiv:1701.01936):
+  mlap       runs one or all online flush policies on a seeded MLAP
+             workload, computes the exact offline optimum when the
+             instance fits the oracle's candidate-time cap, and reports
+             per-policy service/delay cost, deadline misses, flushes,
+             messages, and the ratio vs OPT; --json emits a stable
+             oat-mlap-v1 document. `oat bench --mlap` adds the same
+             comparison as a bench phase (nullable `mlap` key in the
+             oat-bench-v2 JSON)
+
 EXAMPLES:
   oat run --tree kary:64:2 --policy rww --workload uniform:0.5:1000 --seed 7
   oat compare --tree star:32 --workload zipf:0.3:2000:1.0
@@ -135,6 +154,8 @@ EXAMPLES:
   oat serve --tree kary:15:2 --policy rww
   oat bench-net --tree star:16 --workload uniform:0.5:500 --check
   oat bench --tree kary:31:2 --workload uniform:0.5:600 --depth 8 --json
+  oat mlap --workload adv:4:8 --policy all --json
+  oat mlap --workload bursty:6:4:5 --tree kary:15:2 --seed 7
 ";
 
 /// Minimal `--flag value` extraction.
@@ -517,6 +538,14 @@ where
         breakdown.dispatch.quantile_us(0.5),
         breakdown.wire.quantile_us(0.5),
     );
+    let wires = oat_obs::wire_latency(&trace.events);
+    println!(
+        "edge wire latency ({} of {} frames matched tx→rx): p50 {:.1}us  p99 {:.1}us",
+        wires.matched,
+        wires.tx,
+        wires.hist.quantile_us(0.5),
+        wires.hist.quantile_us(0.99),
+    );
     println!("wrote {out}");
     if let Some(cp) = chrome {
         std::fs::write(cp, oat_obs::to_chrome(&trace)).map_err(|e| format!("write {cp}: {e}"))?;
@@ -561,10 +590,56 @@ fn cmd_top(args: &[String]) -> i32 {
     }
 }
 
-/// Renders one `oat top` frame into a string (no ANSI control codes).
+/// Persistent per-node metrics connections for `oat top`: one
+/// [`ClusterClient`](oat::net::ClusterClient) per node, opened lazily on
+/// first use and reused across ticks instead of re-dialing TCP every
+/// refresh. A failed poll drops that node's connection (it is re-dialed
+/// on the next tick) and is reported to the frame as an error row rather
+/// than aborting the view — a node may be mid-crash-restart.
+struct MetricsPoller {
+    clients: Vec<Option<oat::net::ClusterClient<i64>>>,
+}
+
+impl MetricsPoller {
+    fn new(nodes: usize) -> Self {
+        MetricsPoller {
+            clients: (0..nodes).map(|_| None).collect(),
+        }
+    }
+
+    fn poll(
+        &mut self,
+        cluster: &Cluster<SumI64>,
+    ) -> Vec<(u32, Result<oat::net::NodeMetrics, String>)> {
+        self.clients
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| {
+                let node = i as u32;
+                if slot.is_none() {
+                    match cluster.client(NodeId(node)) {
+                        Ok(c) => *slot = Some(c),
+                        Err(e) => return (node, Err(e.to_string())),
+                    }
+                }
+                match slot.as_mut().expect("connected above").metrics() {
+                    Ok(m) => (node, Ok(m)),
+                    Err(e) => {
+                        *slot = None;
+                        (node, Err(e.to_string()))
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// Renders one `oat top` frame into a string (no cursor-movement codes;
+/// failed metrics rows are dimmed with a plain SGR attribute).
 fn top_frame(
     cluster: &Cluster<SumI64>,
     trace: &oat_obs::Trace,
+    rows: &[(u32, Result<oat::net::NodeMetrics, String>)],
     tick: u32,
     ticks: u32,
     elapsed: std::time::Duration,
@@ -617,13 +692,12 @@ fn top_frame(
         "  {:>4}  {:>8} {:>6} {:>6}  {:>5} {:>7}  {:>6} {:>5} {:>8}",
         "node", "served", "queue", "peak", "taken", "granted", "reconn", "rto", "restarts"
     );
-    // The busiest nodes by combines served; ignore per-node fetch errors
-    // (a node may be mid-crash-restart under --faults).
-    let mut rows: Vec<oat::net::NodeMetrics> = (0..cluster.tree().len())
-        .filter_map(|i| cluster.node_metrics(NodeId(i as u32)).ok())
-        .collect();
-    rows.sort_by_key(|m| std::cmp::Reverse(m.combines_served));
-    for m in rows.iter().take(8) {
+    // The busiest nodes by combines served; nodes whose poll failed (a
+    // node may be mid-crash-restart under --faults) become dimmed rows.
+    let mut ok: Vec<&oat::net::NodeMetrics> =
+        rows.iter().filter_map(|(_, r)| r.as_ref().ok()).collect();
+    ok.sort_by_key(|m| std::cmp::Reverse(m.combines_served));
+    for m in ok.iter().take(8) {
         let _ = writeln!(
             s,
             "  {:>4}  {:>8} {:>6} {:>6}  {:>5} {:>7}  {:>6} {:>5} {:>8}",
@@ -637,6 +711,13 @@ fn top_frame(
             m.timeouts,
             m.restarts,
         );
+    }
+    for (node, err) in rows
+        .iter()
+        .filter_map(|(n, r)| r.as_ref().err().map(|e| (n, e)))
+        .take(4)
+    {
+        let _ = writeln!(s, "  \x1b[2m{node:>4}  poll failed: {err}\x1b[0m");
     }
     s
 }
@@ -674,9 +755,18 @@ where
             Ok(loops)
         });
         let mut prev_lines = 0usize;
+        let mut poller = MetricsPoller::new(tree.len());
         for tick in 1..=ticks {
             std::thread::sleep(Duration::from_millis(interval_ms));
-            let frame = top_frame(&cluster, &oat_obs::drain(), tick, ticks, start.elapsed());
+            let rows = poller.poll(&cluster);
+            let frame = top_frame(
+                &cluster,
+                &oat_obs::drain(),
+                &rows,
+                tick,
+                ticks,
+                start.elapsed(),
+            );
             // Redraw in place: move the cursor back up over the previous
             // frame and clear each line as it is rewritten.
             if prev_lines > 0 {
@@ -1053,6 +1143,149 @@ where
     Ok(())
 }
 
+/// Parses an `oat mlap` workload spec into an instance. `adv:DEPTH:LEGS`
+/// builds its own spider topology; `bursty:BURSTS:SIZE:WINDOW` and
+/// `delay:LEN:GAP` generate requests on `tree`.
+fn parse_mlap_workload(
+    spec: &str,
+    tree: &Tree,
+    seed: u64,
+) -> Result<oat::mlap::MlapInstance, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| -> Result<usize, String> {
+        s.parse()
+            .map_err(|_| format!("bad number `{s}` in mlap workload spec"))
+    };
+    match parts.as_slice() {
+        ["adv", d, l] => Ok(oat::workloads::mlap::adversarial_deadline(num(d)?, num(l)?)),
+        ["bursty", b, s, w] => Ok(oat::workloads::mlap::bursty_deadline(
+            tree,
+            num(b)?,
+            num(s)?,
+            num(w)? as u64,
+            seed,
+        )),
+        ["delay", len, gap] => Ok(oat::workloads::mlap::uniform_delay(
+            tree,
+            num(len)?,
+            num(gap)? as u64,
+            seed,
+        )),
+        _ => Err(format!(
+            "bad mlap workload spec `{spec}` \
+             (want adv:DEPTH:LEGS | bursty:BURSTS:SIZE:WINDOW | delay:LEN:GAP)"
+        )),
+    }
+}
+
+fn cmd_mlap(args: &[String]) -> i32 {
+    let result = (|| -> Result<(), String> {
+        let tree = parse_tree(flag(args, "--tree").unwrap_or("kary:15:2"))?;
+        let seed: u64 = flag(args, "--seed")
+            .unwrap_or("42")
+            .parse()
+            .map_err(|_| "bad --seed")?;
+        let wspec = flag(args, "--workload").unwrap_or("adv:4:8");
+        let inst = parse_mlap_workload(wspec, &tree, seed)?;
+        let pspec = flag(args, "--policy").unwrap_or("all");
+        let mut policies: Vec<Box<dyn oat::mlap::FlushPolicy>> = if pspec == "all" {
+            oat::mlap::all_policies()
+        } else {
+            vec![oat::mlap::parse_flush_policy(pspec)?]
+        };
+        let opt = oat::offline::mlap_opt(&inst);
+        let runs: Vec<oat::mlap::MlapRun> = policies
+            .iter_mut()
+            .map(|p| oat::mlap::run_mlap(&inst, p.as_mut(), Schedule::Fifo))
+            .collect();
+        let depth = inst.depth();
+        let ratio_of =
+            |total: u64| -> Option<f64> { opt.filter(|&o| o > 0).map(|o| total as f64 / o as f64) };
+        if args.iter().any(|a| a == "--json") {
+            use std::fmt::Write as _;
+            let mut pols = String::from("[");
+            for (i, r) in runs.iter().enumerate() {
+                if i > 0 {
+                    pols.push_str(", ");
+                }
+                let ratio =
+                    ratio_of(r.total_cost()).map_or("null".to_string(), |x| format!("{x:.3}"));
+                let _ = write!(
+                    pols,
+                    "{{\"name\": \"{}\", \"service_cost\": {}, \"delay_cost\": {}, \
+                     \"deadline_misses\": {}, \"flushes\": {}, \"messages\": {}, \
+                     \"total_cost\": {}, \"ratio_vs_opt\": {}}}",
+                    r.policy,
+                    r.service_cost,
+                    r.delay_cost,
+                    r.deadline_misses,
+                    r.flushes.len(),
+                    r.messages,
+                    r.total_cost(),
+                    ratio,
+                );
+            }
+            pols.push(']');
+            println!(
+                "{{\"schema\": \"oat-mlap-v1\", \"model\": \"{}\", \"workload\": \"{}\", \
+                 \"seed\": {}, \"nodes\": {}, \"depth\": {}, \"requests\": {}, \
+                 \"opt\": {}, \"policies\": {}}}",
+                inst.model.name(),
+                wspec,
+                seed,
+                inst.tree.len(),
+                depth,
+                inst.requests.len(),
+                opt.map_or("null".to_string(), |o| o.to_string()),
+                pols,
+            );
+        } else {
+            println!(
+                "mlap: {} model, {} nodes, depth {}, {} requests, OPT {}",
+                inst.model.name(),
+                inst.tree.len(),
+                depth,
+                inst.requests.len(),
+                opt.map_or_else(
+                    || "n/a (over the oracle's candidate-time cap)".to_string(),
+                    |o| o.to_string()
+                ),
+            );
+            println!(
+                "  {:<16} {:>8} {:>7} {:>7} {:>8} {:>9} {:>8} {:>7}",
+                "policy", "service", "delay", "misses", "flushes", "messages", "total", "ratio"
+            );
+            for r in &runs {
+                println!(
+                    "  {:<16} {:>8} {:>7} {:>7} {:>8} {:>9} {:>8} {:>7}",
+                    r.policy,
+                    r.service_cost,
+                    r.delay_cost,
+                    r.deadline_misses,
+                    r.flushes.len(),
+                    r.messages,
+                    r.total_cost(),
+                    ratio_of(r.total_cost()).map_or("n/a".to_string(), |x| format!("{x:.2}")),
+                );
+            }
+            if inst.model == oat::mlap::CostModel::Deadline {
+                println!(
+                    "  certified (unit weights): odepth service ≤ (depth+1)·OPT = {}·OPT",
+                    depth as u64 + 1
+                );
+            }
+        }
+        Ok(())
+    })();
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
 fn cmd_bench(args: &[String]) -> i32 {
     let result = (|| -> Result<(), String> {
         let quick = args.iter().any(|a| a == "--quick");
@@ -1114,6 +1347,7 @@ fn cmd_bench(args: &[String]) -> i32 {
             sweep_depths,
             quick,
             trace,
+            mlap: args.iter().any(|a| a == "--mlap"),
         };
         let report =
             with_policy!(&policy, spec => oat::bench::run_bench(config, &tree, &spec, &seq))?;

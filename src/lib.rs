@@ -41,7 +41,9 @@
 //! * [`workloads`] — topology and request generators,
 //! * [`concurrent`] — one-thread-per-node runtime,
 //! * [`net`] — TCP cluster runtime (`oat serve` / `oat bench-net`),
-//! * [`bench`] — the `oat bench` throughput/latency baseline harness.
+//! * [`bench`] — the `oat bench` throughput/latency baseline harness,
+//! * [`mlap`] — the second problem family: Multi-Level Aggregation
+//!   with deadline and linear-delay cost models (`oat mlap`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,6 +54,7 @@ pub use oat_concurrent as concurrent;
 pub use oat_consistency as consistency;
 pub use oat_core as core;
 pub use oat_lp as lp;
+pub use oat_mlap as mlap;
 pub use oat_modelcheck as modelcheck;
 pub use oat_multi as multi;
 pub use oat_net as net;
