@@ -115,4 +115,17 @@ echo "== chaos smoke: oat chaos =="
 ./target/release/oat chaos --tree kary:10:3 --workload uniform:0.5:80 \
   --faults "seed:7,drop:0.05,dup:0.05,delay:0.05,kill:0-1@3,kill:2-0@4,crash:2@5"
 
+echo "== crash-recovery smoke: oat chaos --kill9 =="
+# Process-kill recovery from the write-ahead log: drops and dups on every
+# edge, one connection kill, the root and an internal node kill9'd, plus
+# a seeded torn-tail disk fault at recovery. --kill9 auto-provisions a
+# WAL in a fresh temp dir, so chaos_run's internal cross-checks are
+# armed: every scheduled kill9 fired, the per-node restart counters sum
+# to crashes + kill9s, and every WAL recovery replay is accounted for by
+# exactly one kill9 (it exits nonzero on any mismatch, a diverged
+# combine, or a wedged cluster).
+./target/release/oat chaos --tree kary:10:3 --workload uniform:0.5:80 \
+  --faults "seed:7,drop:0.05,dup:0.05,kill:0-1@3,torn-tail:64" \
+  --kill9 0@6,2@5
+
 echo "== ci: all green =="

@@ -56,6 +56,12 @@ pub struct KillConn {
 /// Crash the node `node` after it has processed `after_delivered`
 /// network messages (measured across restarts: the trigger fires when
 /// the node's cumulative delivered count reaches the threshold).
+///
+/// The same shape schedules both fault grades: an in-process automaton
+/// crash (`crash:`, the mechanism restarts from its in-memory escrow)
+/// and a process-grade `kill9:` (all of the node's runtime state is
+/// torn down without a handoff; recovery must come from the durability
+/// backend).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CrashNode {
     /// The node to kill.
@@ -80,6 +86,14 @@ pub struct FaultPlan {
     pub kills: Vec<KillConn>,
     /// Node-crash schedule.
     pub crashes: Vec<CrashNode>,
+    /// Process-kill (`kill9`) schedule: these nodes lose *all* runtime
+    /// state at the trigger and must recover from a durability backend.
+    pub kill9s: Vec<CrashNode>,
+    /// Disk fault: max unsynced bytes chopped off a node's WAL tail per
+    /// recovery (0 = off). Injected inside the WAL backend.
+    pub torn_tail_max: u64,
+    /// Disk fault: probability each WAL fsync silently fails (0.0 = off).
+    pub fsync_fail_p: f64,
 }
 
 impl Default for FaultPlan {
@@ -91,6 +105,9 @@ impl Default for FaultPlan {
             delay_p: 0.0,
             kills: Vec::new(),
             crashes: Vec::new(),
+            kill9s: Vec::new(),
+            torn_tail_max: 0,
+            fsync_fail_p: 0.0,
         }
     }
 }
@@ -104,6 +121,9 @@ impl FaultPlan {
             && self.delay_p == 0.0
             && self.kills.is_empty()
             && self.crashes.is_empty()
+            && self.kill9s.is_empty()
+            && self.torn_tail_max == 0
+            && self.fsync_fail_p == 0.0
     }
 
     /// The decision stream for the directed edge `from → to`.
@@ -132,13 +152,40 @@ impl FaultPlan {
             .map(|c| c.after_delivered)
     }
 
+    /// The kill9 threshold for `node`, if scheduled.
+    pub fn kill9_after(&self, node: NodeId) -> Option<u64> {
+        self.kill9s
+            .iter()
+            .find(|c| c.node == node)
+            .map(|c| c.after_delivered)
+    }
+
+    /// Seed for the reconnect redial jitter stream of the directed edge
+    /// `from → to`. Derived from the plan seed (not ambient entropy) so
+    /// chaos runs are bit-reproducible across machines; the empty plan's
+    /// seed 0 still yields per-edge-distinct, deterministic jitter.
+    pub fn jitter_seed(&self, from: NodeId, to: NodeId) -> u64 {
+        SplitMix::new(self.seed ^ 0xBF58_476D_1CE4_E5B9 ^ ((from.0 as u64) << 32 | to.0 as u64))
+            .next_u64()
+    }
+
+    /// Seed for `node`'s disk-fault stream (torn-tail / fsync-fail draws
+    /// inside its WAL backend).
+    pub fn disk_seed(&self, node: NodeId) -> u64 {
+        SplitMix::new(self.seed ^ 0x94D0_49BB_1331_11EB ^ node.0 as u64).next_u64()
+    }
+
     /// Parses a comma-separated fault spec, e.g.
     /// `seed:7,drop:0.01,dup:0.02,delay:0.01,kill:0-1@20,crash:3@50`.
     ///
     /// Items: `seed:N`, `drop:P`, `dup:P`, `delay:P`,
     /// `kill:FROM-TO@FRAMES` (repeatable; kills the link under the
-    /// directed edge), `crash:NODE@DELIVERED` (repeatable). `none` (or an
-    /// empty string) is the empty plan.
+    /// directed edge), `crash:NODE@DELIVERED` (repeatable),
+    /// `kill9:NODE@DELIVERED` (repeatable; process-grade kill, requires
+    /// the WAL durability backend), `torn-tail:BYTES` (disk fault: chop
+    /// up to BYTES unsynced log bytes per recovery), `fsync-fail:P`
+    /// (disk fault: each WAL fsync fails with probability P). `none`
+    /// (or an empty string) is the empty plan.
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut plan = FaultPlan::default();
         let spec = spec.trim();
@@ -183,20 +230,31 @@ impl FaultPlan {
                             .map_err(|_| format!("bad kill frame count `{after}`"))?,
                     });
                 }
-                "crash" => {
+                "crash" | "kill9" => {
                     let (node, after) = val
                         .split_once('@')
-                        .ok_or_else(|| format!("bad crash `{val}` (want NODE@DELIVERED)"))?;
-                    plan.crashes.push(CrashNode {
+                        .ok_or_else(|| format!("bad {key} `{val}` (want NODE@DELIVERED)"))?;
+                    let entry = CrashNode {
                         node: NodeId(
                             node.parse()
-                                .map_err(|_| format!("bad crash node `{node}`"))?,
+                                .map_err(|_| format!("bad {key} node `{node}`"))?,
                         ),
                         after_delivered: after
                             .parse()
-                            .map_err(|_| format!("bad crash threshold `{after}`"))?,
-                    });
+                            .map_err(|_| format!("bad {key} threshold `{after}`"))?,
+                    };
+                    if key == "crash" {
+                        plan.crashes.push(entry);
+                    } else {
+                        plan.kill9s.push(entry);
+                    }
                 }
+                "torn-tail" => {
+                    plan.torn_tail_max = val
+                        .parse()
+                        .map_err(|_| format!("bad torn-tail byte count `{val}`"))?;
+                }
+                "fsync-fail" => plan.fsync_fail_p = p(val)?,
                 other => return Err(format!("unknown fault key `{other}`")),
             }
         }
@@ -263,10 +321,18 @@ pub struct InjectedFaults {
     pub conns_killed: AtomicU64,
     /// Node automatons crashed by the crash schedule.
     pub crashes: AtomicU64,
+    /// Nodes process-killed by the kill9 schedule.
+    pub kill9s: AtomicU64,
+    /// Torn-tail disk faults injected (WAL recoveries that chopped).
+    pub torn_tails: AtomicU64,
+    /// WAL fsyncs failed by the fsync-fail disk fault.
+    pub fsync_fails: AtomicU64,
 }
 
 impl InjectedFaults {
     /// Snapshot as `(drops, dups, delays, conns_killed, crashes)`.
+    /// Process and disk faults are reported separately by
+    /// [`InjectedFaults::snapshot_process`].
     pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
         (
             self.drops.load(Ordering::Relaxed),
@@ -277,18 +343,32 @@ impl InjectedFaults {
         )
     }
 
+    /// Snapshot of the process/disk-grade faults as
+    /// `(kill9s, torn_tails, fsync_fails)`.
+    pub fn snapshot_process(&self) -> (u64, u64, u64) {
+        (
+            self.kill9s.load(Ordering::Relaxed),
+            self.torn_tails.load(Ordering::Relaxed),
+            self.fsync_fails.load(Ordering::Relaxed),
+        )
+    }
+
     /// Total injected events of any kind.
     pub fn total(&self) -> u64 {
         let (d, u, l, k, c) = self.snapshot();
-        d + u + l + k + c
+        let (k9, tt, ff) = self.snapshot_process();
+        d + u + l + k + c + k9 + tt + ff
     }
 
     /// JSON rendering with deterministic field order.
     pub fn to_json(&self) -> String {
         let (drops, dups, delays, kills, crashes) = self.snapshot();
+        let (kill9s, torn_tails, fsync_fails) = self.snapshot_process();
         format!(
             "{{\"drops\": {drops}, \"dups\": {dups}, \"delays\": {delays}, \
-             \"conns_killed\": {kills}, \"crashes\": {crashes}}}"
+             \"conns_killed\": {kills}, \"crashes\": {crashes}, \
+             \"kill9s\": {kill9s}, \"torn_tails\": {torn_tails}, \
+             \"fsync_fails\": {fsync_fails}}}"
         )
     }
 }
@@ -332,10 +412,17 @@ mod tests {
 
     #[test]
     fn full_spec_parses() {
-        let plan = FaultPlan::parse("seed:7,drop:0.01,dup:0.02,kill:0-1@20,crash:3@50").unwrap();
+        let plan = FaultPlan::parse(
+            "seed:7,drop:0.01,dup:0.02,kill:0-1@20,crash:3@50,kill9:0@60,torn-tail:128,fsync-fail:0.25",
+        )
+        .unwrap();
         assert_eq!(plan.seed, 7);
         assert_eq!(plan.drop_p, 0.01);
         assert_eq!(plan.dup_p, 0.02);
+        assert_eq!(plan.kill9_after(NodeId(0)), Some(60));
+        assert_eq!(plan.kill9_after(NodeId(3)), None);
+        assert_eq!(plan.torn_tail_max, 128);
+        assert_eq!(plan.fsync_fail_p, 0.25);
         assert_eq!(
             plan.kills,
             vec![KillConn {
@@ -355,7 +442,43 @@ mod tests {
         assert!(FaultPlan::parse("drop").is_err());
         assert!(FaultPlan::parse("kill:0@5").is_err());
         assert!(FaultPlan::parse("crash:x@5").is_err());
+        assert!(FaultPlan::parse("kill9:5").is_err());
+        assert!(FaultPlan::parse("torn-tail:x").is_err());
+        assert!(FaultPlan::parse("fsync-fail:1.5").is_err());
         assert!(FaultPlan::parse("wibble:1").is_err());
+    }
+
+    #[test]
+    fn kill9_and_disk_faults_make_the_plan_nonempty() {
+        assert!(!FaultPlan::parse("kill9:0@1").unwrap().is_empty());
+        assert!(!FaultPlan::parse("torn-tail:64").unwrap().is_empty());
+        assert!(!FaultPlan::parse("fsync-fail:0.1").unwrap().is_empty());
+    }
+
+    #[test]
+    fn jitter_and_disk_seeds_are_deterministic_and_distinct() {
+        let plan = FaultPlan {
+            seed: 9,
+            ..FaultPlan::default()
+        };
+        assert_eq!(
+            plan.jitter_seed(NodeId(1), NodeId(2)),
+            plan.jitter_seed(NodeId(1), NodeId(2))
+        );
+        assert_ne!(
+            plan.jitter_seed(NodeId(1), NodeId(2)),
+            plan.jitter_seed(NodeId(2), NodeId(1)),
+            "directions get independent jitter streams"
+        );
+        assert_ne!(plan.disk_seed(NodeId(0)), plan.disk_seed(NodeId(1)));
+        let other = FaultPlan {
+            seed: 10,
+            ..FaultPlan::default()
+        };
+        assert_ne!(
+            plan.jitter_seed(NodeId(1), NodeId(2)),
+            other.jitter_seed(NodeId(1), NodeId(2))
+        );
     }
 
     #[test]
@@ -404,10 +527,15 @@ mod tests {
         let led = InjectedFaults::default();
         led.drops.fetch_add(2, Ordering::Relaxed);
         led.crashes.fetch_add(1, Ordering::Relaxed);
-        assert_eq!(led.total(), 3);
+        led.kill9s.fetch_add(1, Ordering::Relaxed);
+        led.torn_tails.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(led.total(), 5);
+        assert_eq!(led.snapshot(), (2, 0, 0, 0, 1));
+        assert_eq!(led.snapshot_process(), (1, 1, 0));
         assert_eq!(
             led.to_json(),
-            "{\"drops\": 2, \"dups\": 0, \"delays\": 0, \"conns_killed\": 0, \"crashes\": 1}"
+            "{\"drops\": 2, \"dups\": 0, \"delays\": 0, \"conns_killed\": 0, \"crashes\": 1, \
+             \"kill9s\": 1, \"torn_tails\": 1, \"fsync_fails\": 0}"
         );
     }
 }

@@ -21,6 +21,7 @@
 use std::collections::HashMap;
 use std::io::{self, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::Arc;
@@ -37,6 +38,7 @@ use oat_core::tree::{NodeId, Tree};
 use oat_core::wire::{put_u64, WireReader, WireValue};
 use oat_sim::MsgStats;
 
+use crate::durability::{Durability, MemoryDurability, WalCounters, WalDurability};
 use crate::frame::{
     write_frame, FrameDecoder, TAG_HELLO_CLIENT, TAG_REQ_COMBINE, TAG_REQ_METRICS, TAG_REQ_WRITE,
     TAG_RESP_COMBINE, TAG_RESP_METRICS, TAG_RESP_WRITE,
@@ -52,7 +54,7 @@ use crate::reactor::{reactor_main, waker_pair, NodeSeed, ReactorCfg, Waker};
 const JOIN_DEADLINE: Duration = Duration::from_secs(10);
 
 /// Transport tuning knobs for [`Cluster::spawn_with`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct NetConfig {
     /// Reactor threads serving the cluster. `None` (the default) uses
     /// `min(available cores, 4)`; any value is clamped to `[1, nodes]`.
@@ -63,6 +65,8 @@ pub struct NetConfig {
     /// Backpressure low watermark: a stalled node resumes client intake
     /// once every edge's retransmit buffer is at or below this.
     pub rtx_low: usize,
+    /// Durability backend for node state (default: in-memory).
+    pub durability: DurabilityMode,
 }
 
 impl Default for NetConfig {
@@ -71,6 +75,46 @@ impl Default for NetConfig {
             threads: None,
             rtx_high: RTX_DEFAULT_HIGH,
             rtx_low: RTX_DEFAULT_LOW,
+            durability: DurabilityMode::Memory,
+        }
+    }
+}
+
+/// Which durability backend the cluster's nodes escrow state into.
+#[derive(Clone, Debug, Default)]
+pub enum DurabilityMode {
+    /// In-memory escrow: survives automaton crash-restarts, not process
+    /// kills. Exactly the pre-WAL behavior — the default, and the mode
+    /// the simulator-parity tests run under.
+    #[default]
+    Memory,
+    /// Write-ahead log + snapshots on disk; survives `kill9` process
+    /// kills and supports cold-starting a cluster over existing logs.
+    Wal(WalConfig),
+}
+
+/// Configuration of the write-ahead-log backend.
+#[derive(Clone, Debug)]
+pub struct WalConfig {
+    /// Directory holding one `node-N` subdirectory per node.
+    pub dir: PathBuf,
+    /// Group-commit batch: fsync after this many appended records.
+    /// Write and epoch records always force an immediate sync (the
+    /// write-ack durability contract). `1` = sync every record.
+    pub fsync_every: u64,
+    /// Fold the log into a snapshot (and truncate it) after this many
+    /// records.
+    pub snapshot_every: u64,
+}
+
+impl WalConfig {
+    /// WAL under `dir` with default batching (fsync every 8 records,
+    /// snapshot every 4096).
+    pub fn new(dir: impl Into<PathBuf>) -> WalConfig {
+        WalConfig {
+            dir: dir.into(),
+            fsync_every: 8,
+            snapshot_every: 4096,
         }
     }
 }
@@ -114,6 +158,9 @@ pub struct ClusterReport<V> {
     pub abandoned: u64,
     /// Fault-recovery counters summed over all nodes.
     pub faults: FaultCounters,
+    /// Durability-backend counters summed over all nodes (all zero with
+    /// the Memory backend).
+    pub wal: WalCounters,
     /// OS threads the cluster ran: the reactor pool size. Grows with
     /// the configured pool, *not* with the node count.
     pub threads_spawned: usize,
@@ -212,6 +259,15 @@ where
         S::Node: 'static,
     {
         let n = tree.len();
+        if !plan.kill9s.is_empty() && matches!(cfg.durability, DurabilityMode::Memory) {
+            // A kill9 destroys the in-memory escrow — with nothing on
+            // disk the node could never rejoin. Refuse early instead of
+            // wedging the cluster mid-run.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "kill9 faults require the Wal durability backend (NetConfig::durability)",
+            ));
+        }
         let mut listeners = Vec::with_capacity(n);
         let mut addrs = Vec::with_capacity(n);
         for _ in 0..n {
@@ -242,7 +298,24 @@ where
 
         let mut shard_seeds: Vec<Vec<NodeSeed>> = (0..pool).map(|_| Vec::new()).collect();
         for (u, listener) in tree.nodes().zip(listeners) {
-            shard_seeds[u.idx() % pool].push(NodeSeed { id: u, listener });
+            // Backends open on the main thread, where an unwritable WAL
+            // directory can still fail the spawn with a real error.
+            let backend: Box<dyn Durability> = match &cfg.durability {
+                DurabilityMode::Memory => Box::new(MemoryDurability),
+                DurabilityMode::Wal(wal) => Box::new(WalDurability::open(
+                    &wal.dir.join(format!("node-{}", u.0)),
+                    u,
+                    wal.fsync_every,
+                    wal.snapshot_every,
+                    &plan,
+                    Arc::clone(&ledger),
+                )?),
+            };
+            shard_seeds[u.idx() % pool].push(NodeSeed {
+                id: u,
+                listener,
+                backend,
+            });
         }
 
         let mut wakers = Vec::with_capacity(pool);
@@ -565,6 +638,7 @@ impl<A: AggOp> Cluster<A> {
         let mut dead_nodes = Vec::new();
         let mut abandoned = 0;
         let mut faults = FaultCounters::default();
+        let mut wal = WalCounters::default();
         let deadline = Instant::now() + JOIN_DEADLINE;
         for (shard, handle) in self.shards.drain(..).zip(self.handles.drain(..)) {
             // JoinHandle has no timed join; poll `is_finished` against
@@ -588,6 +662,8 @@ impl<A: AggOp> Cluster<A> {
                         faults.retransmits += report.faults.retransmits;
                         faults.timeouts += report.faults.timeouts;
                         faults.restarts += report.faults.restarts;
+                        faults.kill9s += report.faults.kill9s;
+                        wal.merge(&report.wal);
                         match report.log {
                             Some(log) => logs.push((u, log)),
                             None => have_logs = false,
@@ -611,6 +687,7 @@ impl<A: AggOp> Cluster<A> {
             dead_nodes,
             abandoned,
             faults,
+            wal,
             threads_spawned: self.threads_spawned,
         })
     }
@@ -672,8 +749,16 @@ struct PerClientResults<V> {
 /// Reads go through an incremental [`FrameDecoder`], so a timeout that
 /// fires mid-frame loses nothing: the partial bytes stay buffered and
 /// the next read resumes exactly where the stream left off.
+///
+/// With the retry policy armed the client also survives the *connection
+/// itself* dying (EOF/reset — what a `kill9`'d node does to its
+/// clients): it redials the same address, re-hellos, re-sends every
+/// unanswered request, and keeps reading. A partial frame from the old
+/// connection is discarded — the new connection starts a fresh stream.
 pub struct ClusterClient<V> {
     node: NodeId,
+    /// The node's address, kept for retry-policy reconnects.
+    addr: SocketAddr,
     /// Read half (the underlying stream, shared with `writer`).
     reader: TcpStream,
     /// Buffered write half; flushed before every blocking read.
@@ -690,6 +775,8 @@ pub struct ClusterClient<V> {
     pending: HashMap<u64, (u8, Vec<u8>)>,
     /// Timed-out reads that triggered a retry, for reporting.
     timeouts: u64,
+    /// Dead connections replaced under the retry policy.
+    reconnects: u64,
     _value: std::marker::PhantomData<fn() -> V>,
 }
 
@@ -703,6 +790,7 @@ impl<V: WireValue> ClusterClient<V> {
         writer.flush()?;
         Ok(ClusterClient {
             node,
+            addr,
             reader,
             writer,
             dec: FrameDecoder::new(),
@@ -711,6 +799,7 @@ impl<V: WireValue> ClusterClient<V> {
             max_retries: 0,
             pending: HashMap::new(),
             timeouts: 0,
+            reconnects: 0,
             _value: std::marker::PhantomData,
         })
     }
@@ -734,6 +823,40 @@ impl<V: WireValue> ClusterClient<V> {
     /// Timed-out reads that triggered a retry over this client's life.
     pub fn timeouts(&self) -> u64 {
         self.timeouts
+    }
+
+    /// Dead connections replaced under the retry policy.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// True when `err` means the connection died (as opposed to a
+    /// timeout or a protocol error) — recoverable by redialing.
+    fn is_disconnect(err: &io::Error) -> bool {
+        matches!(
+            err.kind(),
+            io::ErrorKind::UnexpectedEof
+                | io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::BrokenPipe
+        )
+    }
+
+    /// Replaces a dead connection: redial, re-hello, re-send every
+    /// unanswered request. Bytes of a partially received frame are
+    /// discarded with the old decoder — the new stream starts clean.
+    fn reconnect(&mut self) -> io::Result<()> {
+        let reader = TcpStream::connect(self.addr)?;
+        reader.set_nodelay(true)?;
+        reader.set_read_timeout(self.timeout)?;
+        let mut writer = BufWriter::with_capacity(16 * 1024, reader.try_clone()?);
+        write_frame(&mut writer, TAG_HELLO_CLIENT, &[])?;
+        writer.flush()?;
+        self.reader = reader;
+        self.writer = writer;
+        self.dec = FrameDecoder::new();
+        self.reconnects += 1;
+        self.resend_pending()
     }
 
     fn fresh_id(&mut self) -> u64 {
@@ -821,8 +944,15 @@ impl<V: WireValue> ClusterClient<V> {
     /// whatever request it answers. Flushes buffered submissions first;
     /// applies the timeout/retry policy when armed.
     pub fn next_response(&mut self) -> io::Result<(u64, Response<V>)> {
-        self.writer.flush()?;
         let mut retries = 0;
+        if let Err(e) = self.writer.flush() {
+            if Self::is_disconnect(&e) && retries < self.max_retries {
+                retries += 1;
+                self.reconnect()?;
+            } else {
+                return Err(e);
+            }
+        }
         loop {
             let (tag, payload) = match self.read_frame_buffered() {
                 Ok(frame) => frame,
@@ -830,6 +960,14 @@ impl<V: WireValue> ClusterClient<V> {
                     retries += 1;
                     self.timeouts += 1;
                     self.resend_pending()?;
+                    continue;
+                }
+                Err(e) if Self::is_disconnect(&e) && retries < self.max_retries => {
+                    // The node's process died under us (kill9) or the
+                    // connection was severed; its listener survives, so
+                    // redial and re-drive everything unanswered.
+                    retries += 1;
+                    self.reconnect()?;
                     continue;
                 }
                 Err(e) => return Err(e),
@@ -978,6 +1116,13 @@ impl<V: WireValue> ClusterClient<V> {
                     self.timeouts += 1;
                     write_frame(&mut self.writer, TAG_REQ_METRICS, &payload)?;
                     self.resend_pending()?;
+                    continue;
+                }
+                Err(e) if Self::is_disconnect(&e) && retries < self.max_retries => {
+                    retries += 1;
+                    self.reconnect()?;
+                    write_frame(&mut self.writer, TAG_REQ_METRICS, &payload)?;
+                    self.writer.flush()?;
                     continue;
                 }
                 Err(e) => return Err(e),

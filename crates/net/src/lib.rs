@@ -44,14 +44,17 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod durability;
 pub mod frame;
 pub mod metrics;
 mod node;
 mod reactor;
 
 pub use cluster::{
-    Cluster, ClusterClient, ClusterReport, NetConfig, NetSeqChunk, PipelinedChunk, Response,
+    Cluster, ClusterClient, ClusterReport, DurabilityMode, NetConfig, NetSeqChunk, PipelinedChunk,
+    Response, WalConfig,
 };
+pub use durability::{Durability, MemoryDurability, WalCounters, WalDurability, WalState};
 pub use metrics::NodeMetrics;
 pub use node::FaultCounters;
 

@@ -46,6 +46,19 @@ pub struct NodeMetrics {
     /// Times client intake was parked because an edge retransmit buffer
     /// crossed the backpressure high watermark.
     pub backpressure_stalls: u64,
+    /// Times this node was killed process-style (state dropped) and
+    /// recovered from its durability backend.
+    pub kill9s: u64,
+    /// WAL records appended by the durability backend (0 for `Memory`).
+    pub wal_records: u64,
+    /// WAL group-commit fsync batches issued.
+    pub wal_fsyncs: u64,
+    /// WAL recovery replays performed (cold start or kill9 restart).
+    pub wal_replays: u64,
+    /// Bytes discarded from the WAL tail on recovery (torn writes).
+    pub wal_torn_bytes: u64,
+    /// Snapshots written by the durability backend.
+    pub wal_snapshots: u64,
 }
 
 impl NodeMetrics {
@@ -75,6 +88,12 @@ impl NodeMetrics {
         put_u64(out, self.timeouts);
         put_u64(out, self.restarts);
         put_u64(out, self.backpressure_stalls);
+        put_u64(out, self.kill9s);
+        put_u64(out, self.wal_records);
+        put_u64(out, self.wal_fsyncs);
+        put_u64(out, self.wal_replays);
+        put_u64(out, self.wal_torn_bytes);
+        put_u64(out, self.wal_snapshots);
     }
 
     /// Decodes a snapshot, requiring full consumption of `buf`.
@@ -113,6 +132,12 @@ impl NodeMetrics {
             timeouts: r.u64("metrics timeouts")?,
             restarts: r.u64("metrics restarts")?,
             backpressure_stalls: r.u64("metrics backpressure_stalls")?,
+            kill9s: r.u64("metrics kill9s")?,
+            wal_records: r.u64("metrics wal_records")?,
+            wal_fsyncs: r.u64("metrics wal_fsyncs")?,
+            wal_replays: r.u64("metrics wal_replays")?,
+            wal_torn_bytes: r.u64("metrics wal_torn_bytes")?,
+            wal_snapshots: r.u64("metrics wal_snapshots")?,
         };
         r.finish("metrics trailing bytes")?;
         Ok(metrics)
@@ -152,7 +177,7 @@ impl NodeMetrics {
             out.push_str("\n  ");
         }
         out.push_str(&format!(
-            "],\n  \"leases\": {{\"taken\": {}, \"granted\": {}}},\n  \"queue\": {{\"depth\": {}, \"peak\": {}}},\n  \"combines\": {{\"pending\": {}, \"served\": {}}},\n  \"faults\": {{\"reconnects\": {}, \"retransmits\": {}, \"dup_drops\": {}, \"timeouts\": {}, \"restarts\": {}, \"backpressure_stalls\": {}}}\n}}",
+            "],\n  \"leases\": {{\"taken\": {}, \"granted\": {}}},\n  \"queue\": {{\"depth\": {}, \"peak\": {}}},\n  \"combines\": {{\"pending\": {}, \"served\": {}}},\n  \"faults\": {{\"reconnects\": {}, \"retransmits\": {}, \"dup_drops\": {}, \"timeouts\": {}, \"restarts\": {}, \"kill9s\": {}, \"backpressure_stalls\": {}}},\n  \"wal\": {{\"records\": {}, \"fsyncs\": {}, \"replays\": {}, \"torn_bytes\": {}, \"snapshots\": {}}}\n}}",
             self.leases_taken,
             self.leases_granted,
             self.queue_depth,
@@ -164,7 +189,13 @@ impl NodeMetrics {
             self.dup_drops,
             self.timeouts,
             self.restarts,
+            self.kill9s,
             self.backpressure_stalls,
+            self.wal_records,
+            self.wal_fsyncs,
+            self.wal_replays,
+            self.wal_torn_bytes,
+            self.wal_snapshots,
         ));
         out
     }
@@ -192,6 +223,12 @@ mod tests {
             timeouts: 4,
             restarts: 5,
             backpressure_stalls: 6,
+            kill9s: 7,
+            wal_records: 80,
+            wal_fsyncs: 9,
+            wal_replays: 2,
+            wal_torn_bytes: 11,
+            wal_snapshots: 1,
         }
     }
 
@@ -214,7 +251,10 @@ mod tests {
         assert!(json.contains("\"taken\": 2, \"granted\": 1"));
         assert!(json.contains("\"to\": 7, \"probe\": 0, \"response\": 2"));
         assert!(json.contains(
-            "\"faults\": {\"reconnects\": 1, \"retransmits\": 2, \"dup_drops\": 3, \"timeouts\": 4, \"restarts\": 5, \"backpressure_stalls\": 6}"
+            "\"faults\": {\"reconnects\": 1, \"retransmits\": 2, \"dup_drops\": 3, \"timeouts\": 4, \"restarts\": 5, \"kill9s\": 7, \"backpressure_stalls\": 6}"
+        ));
+        assert!(json.contains(
+            "\"wal\": {\"records\": 80, \"fsyncs\": 9, \"replays\": 2, \"torn_bytes\": 11, \"snapshots\": 1}"
         ));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

@@ -48,7 +48,7 @@
 //! discarded duplicate decrements nothing. A fault-free run and a
 //! faulty-but-recovered run have identical logical message counts.
 //!
-//! ## Crash-restart supervision
+//! ## Crash-restart supervision and durability grades
 //!
 //! The automaton (mechanism + policy + waiters) is *volatile*: an
 //! injected crash (or a caught panic — each dispatch runs under
@@ -61,14 +61,33 @@
 //! every cached aggregate that included the crashed subtree. Clients
 //! re-drive lost requests via timeout + retry.
 //!
+//! A process-grade kill (`kill9` in the fault grammar) destroys the
+//! whole `NodeRt` — links, retransmit buffers, client connections, the
+//! in-memory escrow itself. Recovery then runs through the node's
+//! [`Durability`] backend: [`NodeRt::kill9_restart`] demolishes the
+//! runtime state, replays the write-ahead log into fresh link
+//! watermarks + retransmit buffers + durable value, bumps the
+//! incarnation epoch, and broadcasts `RESET` exactly like an in-process
+//! crash. The same replay path serves *cold start*: a node spawned over
+//! an existing WAL directory rejoins with its history intact. With the
+//! default `Memory` backend there is nothing to replay, so kill9
+//! schedules are rejected at spawn.
+//!
 //! ## Quiescence accounting
 //!
-//! A cluster-wide `AtomicI64` counts undelivered work: incremented
-//! before a frame's bytes are buffered, decremented only after the
-//! receiving node finished the corresponding handler. Frames parked in
-//! a down edge's retransmit buffer keep the counter positive until they
-//! are finally delivered, so `quiesce()` remains exact under connection
-//! kills.
+//! A cluster-wide `AtomicI64` counts undelivered work. Client requests
+//! are counted at decode and settled when their dispatch ends. Edge
+//! frames settle on *acknowledgement*: the sender increments when a
+//! frame is assigned its sequence number and decrements once per frame
+//! trimmed from the retransmit buffer (cumulative ack, reconnect-hello
+//! watermark — each frame leaves exactly once). Outstanding edge debt
+//! therefore always equals the total frames parked in retransmit
+//! buffers, which is what makes kill9 accounting exact: demolishing a
+//! node forgives its buffered frames, replaying the WAL re-charges the
+//! recovered ones. Work spawned by a delivered frame is counted before
+//! the ack that settles its parent can be flushed, so the counter never
+//! dips to zero while logical work remains and `quiesce()` stays exact
+//! under connection kills and process kills alike.
 
 use std::collections::{HashMap, VecDeque};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -89,6 +108,7 @@ use oat_poll::{PollFd, POLLIN, POLLOUT};
 use oat_sim::stats::MsgStats;
 use std::os::unix::io::AsRawFd;
 
+use crate::durability::{Durability, LinkState, WalState};
 use crate::frame::{
     INNER_NET, INNER_RESET, INNER_REVOKE, TAG_ACK, TAG_HELLO_CLIENT, TAG_HELLO_EDGE,
     TAG_REQ_COMBINE, TAG_REQ_METRICS, TAG_REQ_WRITE, TAG_RESP_COMBINE, TAG_RESP_METRICS,
@@ -163,6 +183,8 @@ pub(crate) struct NodeReport<V> {
     pub abandoned: u64,
     /// Fault-recovery counters accumulated across all incarnations.
     pub faults: FaultCounters,
+    /// Durability-backend counters (all zero for the Memory backend).
+    pub wal: crate::durability::WalCounters,
 }
 
 /// Fault-recovery counters, accumulated across crash-restarts (and in
@@ -175,14 +197,20 @@ pub struct FaultCounters {
     pub retransmits: u64,
     /// Retransmission-timer expirations that triggered a resend.
     pub timeouts: u64,
-    /// Automaton crash-restarts performed by the supervisor.
+    /// Automaton restarts performed by the supervisor — in-process
+    /// crash-restarts plus process-grade kill9 recoveries.
     pub restarts: u64,
+    /// Process-grade kills recovered through the durability backend
+    /// (always counted in `restarts` too).
+    pub kill9s: u64,
 }
 
-/// Settles one work item's in-flight debt exactly once, when dropped —
-/// at the end of its dispatch arm on the normal path, and after the
-/// `catch_unwind` when a handler panics (the node restarts the
-/// automaton, but a leaked increment would wedge `quiesce()` forever).
+/// Settles one *client* work item's in-flight debt exactly once, when
+/// dropped — at the end of its dispatch arm on the normal path, and
+/// after the `catch_unwind` when a handler panics (the node restarts
+/// the automaton, but a leaked increment would wedge `quiesce()`
+/// forever). Edge frames are not guarded here: their debt belongs to
+/// the sender and settles when the frame leaves its retransmit buffer.
 struct InFlightGuard<'a>(&'a AtomicI64);
 
 impl Drop for InFlightGuard<'_> {
@@ -240,6 +268,10 @@ struct EdgeLink {
     rx_seq: u64,
     /// Highest rx watermark we have acked back to the peer.
     rx_acked: u64,
+    /// Re-send the cumulative ack at the next flush even though
+    /// `rx_seq` did not advance: the peer retransmitted frames we
+    /// already delivered, so our previous ack was evidently lost.
+    reack: bool,
     /// Frames the sequencer discarded: duplicates, out-of-window
     /// futures (go-back-N re-delivers them in order), undecodables.
     dup_drops: u64,
@@ -302,9 +334,26 @@ pub(crate) struct NodeRt<S: PolicySpec, A: AggOp> {
     /// The node's last written value; restored into the fresh automaton
     /// on restart (writes are acknowledged durable).
     durable_val: A::Value,
+    /// The durability backend: in-memory (no-op) or write-ahead log.
+    backend: Box<dyn Durability>,
+    /// Cached `backend.active()` — gates every logging hook so the
+    /// Memory backend costs nothing on the hot path.
+    durable: bool,
+    /// Incarnation epoch: bumped on every restart (crash or kill9) and
+    /// persisted through the backend so a recovered incarnation never
+    /// reuses an epoch its predecessor already burned.
+    epoch: u64,
+    /// Last lease bits `(granted << 1) | taken` logged per neighbour
+    /// index; transitions are WAL-logged as diffs against this cache.
+    lease_bits: Vec<u8>,
     /// Injected crash trigger: crash after this many delivered messages
     /// (cumulative across restarts). Consumed when it fires.
     crash_at: Option<u64>,
+    /// Injected process-kill trigger, same schedule semantics.
+    kill9_at: Option<u64>,
+    /// A kill9 fired during dispatch; the reactor demolishes and
+    /// recovers the node at the next safe point (between dispatches).
+    kill9_pending: bool,
     counters: FaultCounters,
     /// Times the node entered a client-intake stall (see module docs).
     backpressure_stalls: u64,
@@ -335,7 +384,11 @@ where
         plan: &FaultPlan,
         ready_tx: Sender<()>,
     ) -> NodeRt<S, A> {
-        let NodeSeed { id, listener } = seed;
+        let NodeSeed {
+            id,
+            listener,
+            backend,
+        } = seed;
         let degree = ctx.tree.degree(id);
         let now = Instant::now();
         let links: Vec<EdgeLink> = ctx
@@ -351,13 +404,14 @@ where
                     // Dialers attempt immediately at the first timer pass.
                     redial_at: dialer.then_some(now),
                     backoff_ms: RECONNECT_BASE_MS,
-                    jitter_state: 0x9E37_79B9_7F4A_7C15 ^ (((id.0 as u64) << 32) | v.0 as u64),
+                    jitter_state: plan.jitter_seed(id, v),
                     tx_seq: 0,
                     acked: 0,
                     acked_at_tick: 0,
                     rtx: VecDeque::new(),
                     rx_seq: 0,
                     rx_acked: 0,
+                    reack: false,
                     dup_drops: 0,
                     dialer,
                     ever_up: false,
@@ -376,7 +430,8 @@ where
         if ready_sent {
             let _ = ready_tx.send(());
         }
-        NodeRt {
+        let durable = backend.active();
+        let mut node = NodeRt {
             id,
             degree,
             listener,
@@ -391,7 +446,13 @@ where
             completions: Vec::new(),
             delivered: 0,
             durable_val: ctx.op.identity(),
+            backend,
+            durable,
+            epoch: 0,
+            lease_bits: vec![0; degree],
             crash_at: plan.crash_after(id),
+            kill9_at: plan.kill9_after(id),
+            kill9_pending: false,
             counters: FaultCounters::default(),
             backpressure_stalls: 0,
             stalled: false,
@@ -402,7 +463,16 @@ where
             gauge: QueueGauge::default(),
             out: Vec::new(),
             downed: Vec::new(),
+        };
+        // Cold start: a durable backend with history means this node is
+        // a new incarnation of a previous process — replay the WAL and
+        // rejoin with watermarks, retransmit buffers, and value intact.
+        if durable {
+            if let Some(state) = node.backend.recover() {
+                node.restore_from(state, ctx);
+            }
         }
+        node
     }
 
     pub(crate) fn id(&self) -> NodeId {
@@ -493,11 +563,16 @@ where
             Ok(Some((TAG_HELLO_EDGE, payload))) => {
                 let conn = self.pending.remove(&pid).expect("present above");
                 let mut r = WireReader::new(&payload);
-                let parsed = r
-                    .u32("hello node id")
-                    .and_then(|id| Ok((NodeId(id), r.u64("hello rx watermark")?)));
-                if let Ok((peer, peer_rx)) = parsed {
-                    if let Some(wi) = self.install_edge(peer, conn, peer_rx, true, ctx) {
+                let parsed = r.u32("hello node id").and_then(|id| {
+                    Ok((
+                        NodeId(id),
+                        r.u64("hello rx watermark")?,
+                        r.u64("hello ack watermark")?,
+                    ))
+                });
+                if let Ok((peer, peer_rx, peer_acked)) = parsed {
+                    if let Some(wi) = self.install_edge(peer, conn, peer_rx, peer_acked, true, ctx)
+                    {
                         // The dialer may have pipelined nothing (it waits
                         // for our reply), but a *reconnecting* peer's
                         // replay can already sit behind the hello.
@@ -541,10 +616,12 @@ where
                 let mut r = WireReader::new(&payload);
                 let parsed = r
                     .u32("hello reply id")
-                    .and_then(|id| Ok((id, r.u64("hello reply rx")?)));
+                    .and_then(|id| Ok((id, r.u64("hello reply rx")?, r.u64("hello reply acked")?)));
                 match parsed {
-                    Ok((id, peer_rx)) if id == peer.0 => {
-                        if let Some(wi) = self.install_edge(peer, conn, peer_rx, false, ctx) {
+                    Ok((id, peer_rx, peer_acked)) if id == peer.0 => {
+                        if let Some(wi) =
+                            self.install_edge(peer, conn, peer_rx, peer_acked, false, ctx)
+                        {
                             // The peer's replay may ride the same segment
                             // as its hello reply; deliver it now.
                             self.drain_edge(wi, ctx);
@@ -586,6 +663,8 @@ where
     fn drain_edge(&mut self, wi: usize, ctx: &Ctx<'_, S, A>) -> bool {
         let mut work: Vec<Work<A::Value>> = Vec::new();
         let mut ok = true;
+        let rx_before = self.links[wi].rx_seq;
+        let acked_before = self.links[wi].acked;
         {
             let link = &mut self.links[wi];
             let Some(conn) = link.conn.as_mut() else {
@@ -610,9 +689,17 @@ where
                             // A duplicate (below the window) or a future
                             // frame (something below it was lost — go-
                             // back-N re-delivers in order). Discard; the
-                            // in-flight gauge counted the logical frame
-                            // once at first buffering, so copies are free.
+                            // sender settles the logical frame's in-
+                            // flight debt when it is acked, so copies
+                            // are free.
                             link.dup_drops += 1;
+                            if seq <= link.rx_seq {
+                                // Already-delivered frames coming back
+                                // mean the peer never saw our cumulative
+                                // ack; repeat it even though rx_seq is
+                                // not advancing.
+                                link.reack = true;
+                            }
                             continue;
                         }
                         link.rx_seq = seq;
@@ -633,11 +720,10 @@ where
                                 }
                                 Err(_) => {
                                     // Undecodable mechanism payload:
-                                    // degrade, do not panic. The frame was
-                                    // counted in flight by its sender;
-                                    // settle the account here.
+                                    // degrade, do not panic. The cumulative
+                                    // ack below settles the sender's
+                                    // account like any delivered frame.
                                     link.dup_drops += 1;
-                                    ctx.in_flight.fetch_sub(1, Ordering::SeqCst);
                                 }
                             },
                             INNER_RESET => {
@@ -650,7 +736,6 @@ where
                             }
                             _ => {
                                 link.dup_drops += 1;
-                                ctx.in_flight.fetch_sub(1, Ordering::SeqCst);
                             }
                         }
                     }
@@ -660,8 +745,16 @@ where
                             if upto > link.acked {
                                 link.acked = upto;
                             }
+                            // Each trimmed frame settles its in-flight
+                            // debt — the one and only settle for an edge
+                            // frame (trims are the only rtx removals).
+                            let mut settled = 0;
                             while link.rtx.front().is_some_and(|(s, ..)| *s <= link.acked) {
                                 link.rtx.pop_front();
+                                settled += 1;
+                            }
+                            if settled > 0 {
+                                ctx.in_flight.fetch_sub(settled, Ordering::SeqCst);
                             }
                         } else {
                             link.dup_drops += 1;
@@ -672,6 +765,19 @@ where
                         link.dup_drops += 1;
                     }
                 }
+            }
+        }
+        if self.durable {
+            // One watermark record per drain, not per frame: the WAL
+            // needs the high-water marks, not the arrival history. Rx is
+            // logged before dispatch so the delivered frames' own log
+            // records (sends they trigger) sort after their cause.
+            let link = &self.links[wi];
+            if link.rx_seq > rx_before {
+                self.backend.log_rx(link.peer.0, link.rx_seq);
+            }
+            if link.acked > acked_before {
+                self.backend.log_ack(link.peer.0, link.acked);
             }
         }
         for w in work {
@@ -794,7 +900,6 @@ where
         self.gauge.on_dequeue();
         match work {
             Work::Net { from, msg } => {
-                let _done = InFlightGuard(ctx.in_flight);
                 self.delivered += 1;
                 let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let completed = self.mech.handle_message(from, msg, &mut self.out);
@@ -811,10 +916,17 @@ where
                     self.crash_at = None;
                     ctx.ledger.crashes.fetch_add(1, Ordering::Relaxed);
                     self.crash_restart(ctx);
+                } else if self.kill9_at == Some(self.delivered) {
+                    // Injected process kill. Unlike a crash this cannot
+                    // run inline — it demolishes the very state the
+                    // enclosing drain loop is iterating — so it is
+                    // flagged and the reactor performs the teardown
+                    // between dispatch passes.
+                    self.kill9_at = None;
+                    self.kill9_pending = true;
                 }
             }
             Work::Reset { from } => {
-                let _done = InFlightGuard(ctx.in_flight);
                 let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     // The peer's automaton restarted: run the mechanism's
                     // peer-reset transition (re-probes land in the outbox)
@@ -823,7 +935,14 @@ where
                     self.send_outbox(ctx);
                     for t in revokes {
                         let wi = self.mech.nbr_index(t);
-                        if send_seq(self.id, &mut self.links[wi], INNER_REVOKE, &[], ctx) {
+                        if send_seq(
+                            self.id,
+                            &mut self.links[wi],
+                            &mut *self.backend,
+                            INNER_REVOKE,
+                            &[],
+                            ctx,
+                        ) {
                             self.downed.push(wi);
                         }
                     }
@@ -833,13 +952,19 @@ where
                 }
             }
             Work::Revoke { from } => {
-                let _done = InFlightGuard(ctx.in_flight);
                 let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let next_hops = self.mech.handle_revoke(from, &mut self.out);
                     self.send_outbox(ctx);
                     for t in next_hops {
                         let wi = self.mech.nbr_index(t);
-                        if send_seq(self.id, &mut self.links[wi], INNER_REVOKE, &[], ctx) {
+                        if send_seq(
+                            self.id,
+                            &mut self.links[wi],
+                            &mut *self.backend,
+                            INNER_REVOKE,
+                            &[],
+                            ctx,
+                        ) {
                             self.downed.push(wi);
                         }
                     }
@@ -853,6 +978,14 @@ where
                 let t0 = oat_obs::now_ns();
                 let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match op {
                     ReqOp::Write(arg) => {
+                        if self.durable {
+                            // Logged (and fsynced — Write records force
+                            // a sync) before the ack below can flush:
+                            // an acknowledged write survives any kill.
+                            let mut bytes = Vec::with_capacity(16);
+                            arg.encode(&mut bytes);
+                            self.backend.log_write(&bytes);
+                        }
                         self.durable_val = arg.clone();
                         self.mech.handle_write(arg, &mut self.out);
                         self.send_outbox(ctx);
@@ -913,6 +1046,21 @@ where
             }
         }
         self.settle_downed();
+        if self.durable {
+            self.sync_leases();
+        }
+    }
+
+    /// Logs every lease transition since the last call as a diff against
+    /// the cached bits. Called after each dispatch when durable.
+    fn sync_leases(&mut self) {
+        for vi in 0..self.degree {
+            let bits = (u8::from(self.mech.granted(vi)) << 1) | u8::from(self.mech.taken(vi));
+            if bits != self.lease_bits[vi] {
+                self.lease_bits[vi] = bits;
+                self.backend.log_lease(self.links[vi].peer.0, bits);
+            }
+        }
     }
 
     /// Buffers everything in the mechanism outbox onto the sequenced
@@ -931,7 +1079,14 @@ where
             payload.clear();
             msg.encode_wire(&mut payload);
             let wi = self.mech.nbr_index(to);
-            if send_seq(self.id, &mut self.links[wi], INNER_NET, &payload, ctx) {
+            if send_seq(
+                self.id,
+                &mut self.links[wi],
+                &mut *self.backend,
+                INNER_NET,
+                &payload,
+                ctx,
+            ) {
                 self.downed.push(wi);
             }
         }
@@ -970,24 +1125,176 @@ where
         // The replacement automaton's incarnation number lets it discard
         // responses addressed to the incarnation that just died (see the
         // epoch guard in `MechNode::handle_message`).
-        self.mech.set_epoch(self.counters.restarts);
-        oat_obs::trace_event!(
-            oat_obs::EventKind::Restart,
-            self.id.0,
-            0,
-            self.counters.restarts
-        );
+        self.epoch += 1;
+        self.mech.set_epoch(self.epoch);
+        if self.durable {
+            self.backend.log_epoch(self.epoch);
+        }
+        oat_obs::trace_event!(oat_obs::EventKind::Restart, self.id.0, 0, self.epoch);
         // Restore the durable value. The fresh node holds no grants, so
         // this emits nothing.
         let mut sink = Vec::new();
         self.mech.handle_write(self.durable_val.clone(), &mut sink);
         debug_assert!(sink.is_empty());
         for wi in 0..self.links.len() {
-            if send_seq(self.id, &mut self.links[wi], INNER_RESET, &[], ctx) {
+            if send_seq(
+                self.id,
+                &mut self.links[wi],
+                &mut *self.backend,
+                INNER_RESET,
+                &[],
+                ctx,
+            ) {
                 self.downed.push(wi);
             }
         }
         self.settle_downed();
+        if self.durable {
+            self.sync_leases();
+        }
+    }
+
+    /// Whether a kill9 fired during the last dispatch pass; consumes the
+    /// flag. The reactor calls [`NodeRt::kill9_restart`] when true.
+    pub(crate) fn take_kill9(&mut self) -> bool {
+        std::mem::take(&mut self.kill9_pending)
+    }
+
+    /// Process-grade kill + recovery: demolish everything a SIGKILL
+    /// would take — links, retransmit buffers, client connections, the
+    /// automaton, the in-memory value — then rebuild the node from its
+    /// durability backend as a cold-starting incarnation. The listener
+    /// survives (the "new process" inherits the node's address) as do
+    /// the pure observability accumulators (stats, counters, completion
+    /// log), which belong to the harness, not the process.
+    pub(crate) fn kill9_restart(&mut self, ctx: &Ctx<'_, S, A>) {
+        oat_obs::trace_event!(oat_obs::EventKind::Crash, self.id.0, 1, 0);
+        ctx.ledger.kill9s.fetch_add(1, Ordering::Relaxed);
+        self.counters.restarts += 1;
+        self.counters.kill9s += 1;
+        // Sever every connection the dead process held.
+        for (_, conn) in self.pending.drain() {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        for (_, conn) in self.clients.drain() {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        self.abandoned += self.waiters.len() as u64;
+        self.waiters.clear();
+        self.out.clear();
+        self.downed.clear();
+        self.stalled = false;
+        // Forgive the dead incarnation's buffered frames: outstanding
+        // edge debt equals Σ rtx lengths, so this is exact. Recovery
+        // below re-charges whatever the WAL preserved.
+        let mut forgiven = 0;
+        for link in &mut self.links {
+            if let Some(conn) = link.conn.take() {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+            }
+            if let Some(conn) = link.pending_dial.take() {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+            }
+            forgiven += link.rtx.len() as i64;
+            link.rtx.clear();
+            link.tx_seq = 0;
+            link.acked = 0;
+            link.acked_at_tick = 0;
+            link.rx_seq = 0;
+            link.rx_acked = 0;
+            link.reack = false;
+            link.redial_at = None;
+        }
+        if forgiven > 0 {
+            ctx.in_flight.fetch_sub(forgiven, Ordering::SeqCst);
+        }
+        self.connected = 0;
+        self.durable_val = ctx.op.identity();
+        self.lease_bits.iter_mut().for_each(|b| *b = 0);
+        // Rebuild from the log, exactly like a cold start...
+        let state = self.backend.recover().unwrap_or_default();
+        self.restore_from(state, ctx);
+        // ...and start redialing immediately on edges we own.
+        let now = Instant::now();
+        for link in &mut self.links {
+            if link.dialer {
+                link.backoff_ms = RECONNECT_BASE_MS;
+                link.redial_at = Some(now);
+            }
+        }
+    }
+
+    /// Rebuilds the automaton + transport state from recovered durable
+    /// state: the cold-start path, shared by spawn-over-existing-WAL and
+    /// [`NodeRt::kill9_restart`]. Expects link sequence state to be at
+    /// its zero value on entry.
+    fn restore_from(&mut self, state: WalState, ctx: &Ctx<'_, S, A>) {
+        // Restore the durable value (identity when nothing was written).
+        if let Some(bytes) = &state.val {
+            let mut r = WireReader::new(bytes);
+            if let Ok(v) = A::Value::decode(&mut r) {
+                self.durable_val = v;
+            }
+        }
+        // Restore per-edge sequence state and re-charge the recovered
+        // retransmit buffers into the in-flight gauge.
+        let now = Instant::now();
+        let mut recharged = 0;
+        for ls in &state.links {
+            let Some(wi) = self.links.iter().position(|l| l.peer.0 == ls.peer) else {
+                continue;
+            };
+            let link = &mut self.links[wi];
+            link.tx_seq = ls.tx_seq;
+            link.acked = ls.acked;
+            link.acked_at_tick = ls.acked;
+            link.rx_seq = ls.rx_seq;
+            link.rx_acked = ls.rx_seq;
+            link.rtx = ls
+                .rtx
+                .iter()
+                .map(|(seq, inner, body)| (*seq, *inner, body.clone(), now))
+                .collect();
+            recharged += link.rtx.len() as i64;
+            self.lease_bits[wi] = ls.lease;
+        }
+        if recharged > 0 {
+            ctx.in_flight.fetch_add(recharged, Ordering::SeqCst);
+        }
+        // A fresh automaton at a strictly newer epoch than any the dead
+        // incarnation could have used, persisted before anything else so
+        // the *next* incarnation moves past it even on a torn tail.
+        self.mech = MechNode::new(
+            ctx.tree,
+            self.id,
+            ctx.op.clone(),
+            ctx.spec.build(self.degree),
+            ctx.ghost,
+        );
+        self.epoch = self.epoch.max(state.epoch) + 1;
+        self.backend.log_epoch(self.epoch);
+        self.mech.set_epoch(self.epoch);
+        oat_obs::trace_event!(oat_obs::EventKind::Restart, self.id.0, 1, self.epoch);
+        let mut sink = Vec::new();
+        self.mech.handle_write(self.durable_val.clone(), &mut sink);
+        debug_assert!(sink.is_empty());
+        // Announce the new incarnation in FIFO position on every edge.
+        for wi in 0..self.links.len() {
+            if send_seq(
+                self.id,
+                &mut self.links[wi],
+                &mut *self.backend,
+                INNER_RESET,
+                &[],
+                ctx,
+            ) {
+                self.downed.push(wi);
+            }
+        }
+        self.settle_downed();
+        // The fresh mechanism holds no leases; log the zeroing of any
+        // recovered lease bits so the WAL tracks the truth.
+        self.sync_leases();
     }
 
     /// Marks every queued-down edge as down exactly once and arms the
@@ -1032,9 +1339,10 @@ where
         let attempt = TcpStream::connect(ctx.addrs[link.peer.idx()]).and_then(Conn::new);
         match attempt {
             Ok(mut conn) => {
-                let mut hello = Vec::with_capacity(12);
+                let mut hello = Vec::with_capacity(20);
                 put_u32(&mut hello, self.id.0);
                 put_u64(&mut hello, link.rx_seq);
+                put_u64(&mut hello, link.acked);
                 conn.out.frame(TAG_HELLO_EDGE, &hello);
                 link.pending_dial = Some(conn);
             }
@@ -1099,11 +1407,12 @@ where
                 }
             }
             if let Some(conn) = link.conn.as_mut() {
-                if link.rx_seq > link.rx_acked {
+                if link.rx_seq > link.rx_acked || link.reack {
                     let mut p = Vec::with_capacity(8);
                     put_u64(&mut p, link.rx_seq);
                     conn.out.frame(TAG_ACK, &p);
                     link.rx_acked = link.rx_seq;
+                    link.reack = false;
                 }
                 if !conn.out.is_empty() && conn.flush().is_err() {
                     self.downed.push(wi);
@@ -1122,6 +1431,39 @@ where
             }
         } else if self.links.iter().all(|l| l.rtx.len() <= ctx.rtx_low) {
             self.stalled = false;
+        }
+        // Fold the log into a snapshot once enough has accumulated —
+        // at the flush boundary the node's state is self-consistent.
+        if self.durable && self.backend.wants_snapshot() {
+            let state = self.wal_state();
+            self.backend.snapshot(&state);
+        }
+    }
+
+    /// Folds the node's durable state into a snapshot image.
+    fn wal_state(&self) -> WalState {
+        let mut val = Vec::with_capacity(16);
+        self.durable_val.encode(&mut val);
+        WalState {
+            epoch: self.epoch,
+            val: Some(val),
+            links: self
+                .links
+                .iter()
+                .enumerate()
+                .map(|(vi, l)| LinkState {
+                    peer: l.peer.0,
+                    tx_seq: l.tx_seq,
+                    acked: l.acked,
+                    rx_seq: l.rx_seq,
+                    lease: self.lease_bits[vi],
+                    rtx: l
+                        .rtx
+                        .iter()
+                        .map(|(seq, inner, body, _)| (*seq, *inner, body.clone()))
+                        .collect(),
+                })
+                .collect(),
         }
     }
 
@@ -1144,6 +1486,7 @@ where
             dup_drops += self.links[vi].dup_drops;
         }
         let (queue_depth, queue_peak) = self.gauge.read();
+        let wal = self.backend.counters();
         NodeMetrics {
             node: self.id.0,
             sent_by_kind: self.stats.kind_totals(),
@@ -1160,7 +1503,13 @@ where
             dup_drops,
             timeouts: self.counters.timeouts,
             restarts: self.counters.restarts,
+            kill9s: self.counters.kill9s,
             backpressure_stalls: self.backpressure_stalls,
+            wal_records: wal.records,
+            wal_fsyncs: wal.fsyncs,
+            wal_replays: wal.replays,
+            wal_torn_bytes: wal.torn_bytes,
+            wal_snapshots: wal.snapshots,
         }
     }
 
@@ -1168,23 +1517,51 @@ where
     /// when we are the accepting side, replaces any previous connection,
     /// and replays every unacknowledged frame past the peer's receive
     /// watermark. Returns the neighbour index on success.
+    ///
+    /// The peer's two hello watermarks also *heal* this side after a
+    /// torn-tail recovery, where our own log may understate what the
+    /// wire already saw: `peer_rx` (what the peer delivered from us)
+    /// fast-forwards our `tx_seq` so no sequence number is ever reused,
+    /// and `peer_acked` (the highest of the peer's own frames that a
+    /// previous incarnation of this node acknowledged) fast-forwards our
+    /// receive watermark so the peer never waits for an ack of frames it
+    /// already trimmed. Both are monotone maxes — no-ops on every
+    /// non-torn reconnect.
     fn install_edge(
         &mut self,
         peer: NodeId,
         mut conn: Conn,
         peer_rx: u64,
+        peer_acked: u64,
         accepted: bool,
         ctx: &Ctx<'_, S, A>,
     ) -> Option<usize> {
         // An unknown peer id is a protocol violation from an untrusted
         // connection: drop it.
         let wi = ctx.tree.nbrs(self.id).iter().position(|&v| v == peer)?;
+        let rx_before = self.links[wi].rx_seq;
+        {
+            // Apply the peer's watermarks *before* composing our reply,
+            // so an accepting side's hello already reflects them.
+            let link = &mut self.links[wi];
+            if peer_acked > link.rx_seq {
+                link.rx_seq = peer_acked;
+            }
+            if peer_acked > link.rx_acked {
+                link.rx_acked = peer_acked;
+            }
+            if peer_rx > link.tx_seq {
+                link.tx_seq = peer_rx;
+            }
+        }
         if accepted {
-            // Reply with our id + receive watermark so the dialer knows
-            // where to resume. Queued first, so it precedes the replay.
-            let mut hello = Vec::with_capacity(12);
+            // Reply with our id + watermarks so the dialer knows where
+            // to resume. Queued first, so it precedes the replay.
+            let link = &self.links[wi];
+            let mut hello = Vec::with_capacity(20);
             put_u32(&mut hello, self.id.0);
-            put_u64(&mut hello, self.links[wi].rx_seq);
+            put_u64(&mut hello, link.rx_seq);
+            put_u64(&mut hello, link.acked);
             conn.out.frame(TAG_HELLO_EDGE, &hello);
         }
         let link = &mut self.links[wi];
@@ -1206,13 +1583,31 @@ where
         link.ever_up = true;
         // Resume the sequenced stream: everything the peer already has
         // is acknowledged by its hello watermark; replay the rest in
-        // order (no fault actions — replays are recovery traffic).
+        // order (no fault actions — replays are recovery traffic). Each
+        // trimmed frame settles its in-flight debt here, its only exit.
+        let acked_before = link.acked;
         if peer_rx > link.acked {
             link.acked = peer_rx;
         }
+        let mut settled = 0;
         while link.rtx.front().is_some_and(|(s, ..)| *s <= link.acked) {
             link.rtx.pop_front();
+            settled += 1;
         }
+        if settled > 0 {
+            ctx.in_flight.fetch_sub(settled, Ordering::SeqCst);
+        }
+        if self.durable {
+            // Persist any watermark moves the hello produced.
+            let (rx_now, acked_now) = (self.links[wi].rx_seq, self.links[wi].acked);
+            if rx_now > rx_before {
+                self.backend.log_rx(peer.0, rx_now);
+            }
+            if acked_now > acked_before {
+                self.backend.log_ack(peer.0, acked_now);
+            }
+        }
+        let link = &mut self.links[wi];
         if !link.rtx.is_empty() {
             self.counters.retransmits += link.rtx.len() as u64;
             oat_obs::trace_event!(
@@ -1250,6 +1645,7 @@ where
             delivered: self.delivered,
             abandoned: self.abandoned,
             faults: self.counters,
+            wal: self.backend.counters(),
         }
     }
 }
@@ -1263,14 +1659,17 @@ fn queue_seq(out: &mut WriteQueue, seq: u64, inner: u8, body: &[u8]) {
     out.frame(TAG_SEQ, &payload);
 }
 
-/// Assigns the next sequence number on `link`, appends the frame to the
-/// retransmit buffer (in-flight accounting happens here, exactly once
-/// per logical frame), and attempts first transmission — subject to the
-/// edge's fault-decision stream and kill schedule. Returns `true` when
-/// the connection must be marked down.
+/// Assigns the next sequence number on `link`, logs the send to the
+/// durability backend, appends the frame to the retransmit buffer
+/// (in-flight accounting happens here, exactly once per logical frame —
+/// the debt settles when the frame is trimmed after acknowledgement),
+/// and attempts first transmission — subject to the edge's
+/// fault-decision stream and kill schedule. Returns `true` when the
+/// connection must be marked down.
 fn send_seq<S, A: AggOp>(
     from: NodeId,
     link: &mut EdgeLink,
+    dur: &mut dyn Durability,
     inner: u8,
     body: &[u8],
     ctx: &Ctx<'_, S, A>,
@@ -1278,6 +1677,7 @@ fn send_seq<S, A: AggOp>(
     ctx.in_flight.fetch_add(1, Ordering::SeqCst);
     link.tx_seq += 1;
     let seq = link.tx_seq;
+    dur.log_send(link.peer.0, seq, inner, body);
     oat_obs::trace_event!(
         oat_obs::EventKind::FrameTx,
         from.0,

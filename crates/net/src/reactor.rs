@@ -239,10 +239,12 @@ pub(crate) struct ReactorCfg<S, A: AggOp> {
 }
 
 /// One node assigned to a reactor: its pre-bound (non-blocking)
-/// listener.
+/// listener and its durability backend (opened by the cluster on the
+/// main thread, where open errors can still fail the spawn).
 pub(crate) struct NodeSeed {
     pub id: NodeId,
     pub listener: TcpListener,
+    pub backend: Box<dyn crate::durability::Durability>,
 }
 
 /// What one ready poll entry refers to.
@@ -410,6 +412,13 @@ where
                     }
                 } // A pure POLLOUT wakeup needs no handler: the flush pass
                   // at the top of the next iteration makes the progress.
+            }
+        }
+        // A kill9 scheduled mid-dispatch demolishes the node's state, so
+        // it runs here, after the token loop is done touching it.
+        for node in nodes.iter_mut() {
+            if node.take_kill9() {
+                node.kill9_restart(&ctx);
             }
         }
         if handled > 0 {

@@ -74,11 +74,20 @@ pub enum EventKind {
     /// The simulator initiated a request. `a`=node, `c`=0 combine /
     /// 1 write / 2 MLAP request arrival.
     SimInitiate = 21,
+    /// A WAL record was appended (`write(2)`, not yet necessarily
+    /// synced). `a`=node, `b`=record type tag, `c`=framed bytes.
+    WalAppend = 22,
+    /// A WAL group-commit fsync completed. `a`=node, `c`=records in the
+    /// batch.
+    WalFsync = 23,
+    /// A WAL recovery replay ran. `a`=node, `b`=torn bytes discarded,
+    /// `c`=records replayed.
+    WalRecover = 24,
 }
 
 impl EventKind {
     /// Every kind, for exhaustive iteration in tests and exporters.
-    pub const ALL: [EventKind; 21] = [
+    pub const ALL: [EventKind; 24] = [
         EventKind::ReqStart,
         EventKind::ReqEnd,
         EventKind::ReqRecv,
@@ -100,6 +109,9 @@ impl EventKind {
         EventKind::Dispatch,
         EventKind::SimDeliver,
         EventKind::SimInitiate,
+        EventKind::WalAppend,
+        EventKind::WalFsync,
+        EventKind::WalRecover,
     ];
 
     /// Decodes a kind tag byte; `None` for unknown tags.
@@ -131,6 +143,9 @@ impl EventKind {
             EventKind::Dispatch => "dispatch",
             EventKind::SimDeliver => "sim_deliver",
             EventKind::SimInitiate => "sim_initiate",
+            EventKind::WalAppend => "wal_append",
+            EventKind::WalFsync => "wal_fsync",
+            EventKind::WalRecover => "wal_recover",
         }
     }
 
@@ -154,7 +169,10 @@ impl EventKind {
             | EventKind::Reconnect
             | EventKind::StaleDrop
             | EventKind::Crash
-            | EventKind::Restart => "fault",
+            | EventKind::Restart
+            | EventKind::WalAppend
+            | EventKind::WalFsync
+            | EventKind::WalRecover => "fault",
             EventKind::PollWake | EventKind::Dispatch => "reactor",
             EventKind::SimDeliver | EventKind::SimInitiate => "sim",
         }

@@ -33,7 +33,7 @@ use oat_core::mechanism::CombineOutcome;
 use oat_core::policy::PolicySpec;
 use oat_core::request::{ReqOp, Request};
 use oat_core::tree::Tree;
-use oat_net::{Cluster, NetConfig};
+use oat_net::{Cluster, DurabilityMode, NetConfig, WalConfig};
 use oat_obs::{LogHistogram, PhaseBreakdown, Trace};
 use oat_sim::{Engine, Schedule};
 
@@ -73,6 +73,22 @@ pub struct BenchConfig {
     /// policy on the adversarial deadline spider, scored against the
     /// exact offline optimum.
     pub mlap: bool,
+    /// Durability backend for the TCP phases: `None` runs in memory
+    /// (the recorded-baseline default), `Some(n)` puts every node on a
+    /// write-ahead log in a fresh temp directory with group commit
+    /// every `n` records — the cost of durability is the delta between
+    /// the two runs (EXPERIMENTS.md E19).
+    pub wal_fsync_every: Option<u64>,
+}
+
+impl BenchConfig {
+    /// The durability spec echoed into the report (`memory` / `wal:N`).
+    fn durability_label(&self) -> String {
+        match self.wal_fsync_every {
+            None => "memory".to_string(),
+            Some(n) => format!("wal:{n}"),
+        }
+    }
 }
 
 /// Throughput/latency numbers for one execution phase.
@@ -283,7 +299,7 @@ impl BenchReport {
             None => "null".to_string(),
         };
         format!(
-            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"date\": \"{}\",\n  \"config\": {{\"tree\": \"{}\", \"policy\": \"{}\", \"workload\": \"{}\", \"seed\": {}, \"pipeline_depth\": {}, \"quick\": {}}},\n  \"threads_spawned\": {},\n  \"sim\": {{{}, \"hop_p50\": {:.1}, \"hop_p99\": {:.1}}},\n  \"net_sequential\": {{{}, \"queue_peak_max\": {}}},\n  \"net_pipelined\": {{{}, \"queue_peak_max\": {}, \"depth\": {}, \"clients\": {}, \"speedup_vs_sequential\": {:.2}}},\n  \"depth_sweep\": {},\n  \"mlap\": {mlap},\n  \"phase_breakdown\": {breakdown},\n  \"parity_ok\": {}\n}}",
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"date\": \"{}\",\n  \"config\": {{\"tree\": \"{}\", \"policy\": \"{}\", \"workload\": \"{}\", \"seed\": {}, \"pipeline_depth\": {}, \"quick\": {}, \"durability\": \"{}\"}},\n  \"threads_spawned\": {},\n  \"sim\": {{{}, \"hop_p50\": {:.1}, \"hop_p99\": {:.1}}},\n  \"net_sequential\": {{{}, \"queue_peak_max\": {}}},\n  \"net_pipelined\": {{{}, \"queue_peak_max\": {}, \"depth\": {}, \"clients\": {}, \"speedup_vs_sequential\": {:.2}}},\n  \"depth_sweep\": {},\n  \"mlap\": {mlap},\n  \"phase_breakdown\": {breakdown},\n  \"parity_ok\": {}\n}}",
             self.date,
             self.config.tree_spec,
             self.config.policy_spec,
@@ -291,6 +307,7 @@ impl BenchReport {
             self.config.seed,
             self.config.depth,
             self.config.quick,
+            self.config.durability_label(),
             self.threads_spawned,
             self.sim.json_fields(),
             self.sim_hop_p50,
@@ -316,12 +333,13 @@ impl BenchReport {
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "bench: tree {}, policy {}, workload {} (seed {}), depth {}\n",
+            "bench: tree {}, policy {}, workload {} (seed {}), depth {}, durability {}\n",
             self.config.tree_spec,
             self.config.policy_spec,
             self.config.workload_spec,
             self.config.seed,
             self.config.depth,
+            self.config.durability_label(),
         ));
         for (name, p) in [
             ("sim", &self.sim),
@@ -428,13 +446,38 @@ where
     let sim_hop_p99 = percentile(&sim_hops, 0.99);
 
     // ---- Phase 2: TCP, sequential replay (parity-checked). ---------
+    // Each phase spawns its own cluster; with a WAL backend the log
+    // directory is wiped before every spawn so no phase cold-starts
+    // from the previous phase's durable state (which would break both
+    // parity and the measurement).
+    let wal_dir = config
+        .wal_fsync_every
+        .map(|_| std::env::temp_dir().join(format!("oat-bench-wal-{}", std::process::id())));
     let net_cfg = NetConfig {
         threads: config.threads,
+        durability: match (config.wal_fsync_every, &wal_dir) {
+            (Some(n), Some(dir)) => {
+                let mut wal = WalConfig::new(dir);
+                wal.fsync_every = n;
+                DurabilityMode::Wal(wal)
+            }
+            _ => DurabilityMode::Memory,
+        },
         ..NetConfig::default()
     };
     let spawn = || {
-        Cluster::spawn_with(tree, SumI64, spec, false, FaultPlan::default(), net_cfg)
-            .map_err(|e| format!("cluster spawn: {e}"))
+        if let Some(dir) = &wal_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        Cluster::spawn_with(
+            tree,
+            SumI64,
+            spec,
+            false,
+            FaultPlan::default(),
+            net_cfg.clone(),
+        )
+        .map_err(|e| format!("cluster spawn: {e}"))
     };
     let cluster = spawn()?;
     let seq_start = Instant::now();
@@ -532,6 +575,10 @@ where
     } else {
         None
     };
+
+    if let Some(dir) = &wal_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
 
     Ok(BenchReport {
         config,
@@ -690,6 +737,7 @@ mod tests {
                 quick: true,
                 trace: true,
                 mlap: true,
+                wal_fsync_every: None,
             },
             &tree,
             &RwwSpec,
@@ -711,6 +759,7 @@ mod tests {
             "\"queue_peak_max\"",
             "\"speedup_vs_sequential\"",
             "\"threads_spawned\": 2",
+            "\"durability\": \"memory\"",
             "\"depth_sweep\": [{\"depth\": 1,",
             "\"mlap\": {\"workload\": \"adv:3:6\"",
             "\"within_bound\": true",

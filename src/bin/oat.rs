@@ -24,10 +24,10 @@
 //! * script: comma-separated `c@NODE` (combine) and `w@NODE=VALUE`
 //!   (write) items.
 
-use oat::core::fault::FaultPlan;
+use oat::core::fault::{CrashNode, FaultPlan};
 use oat::core::policy::ab::AbSpec;
 use oat::core::policy::random::RandomBreakSpec;
-use oat::net::Cluster;
+use oat::net::{Cluster, DurabilityMode, NetConfig, WalConfig};
 use oat::offline::nopt::nopt_total_lower_bound;
 use oat::offline::opt_dp::opt_total_cost;
 use oat::prelude::*;
@@ -79,8 +79,11 @@ USAGE:
   oat bench     [--tree SPEC] [--workload SPEC] [--policy SPEC] [--seed N]
                 [--depth N] [--threads N] [--sweep-depth A,B,C] [--quick]
                 [--json] [--out PATH] [--trace [PATH]]
+                [--durability memory|wal] [--fsync-every N]
   oat chaos     --tree SPEC --workload SPEC [--policy SPEC] [--seed N]
-                [--faults SPEC]
+                [--faults SPEC] [--kill9 NODE@DELIVERED[,..]]
+                [--durability memory|wal[:DIR]] [--fsync-every N]
+                [--snapshot-every N]
   oat mlap      [--workload SPEC] [--policy SPEC] [--tree SPEC] [--seed N]
                 [--json]
   oat help
@@ -92,7 +95,9 @@ SPECS:
             | zipf:WF:LEN:ALPHA | singlewriter:ROUNDS:WRITES_PER_ROUND
   script:   comma-separated c@NODE and w@NODE=VALUE items
   faults:   comma-separated seed:N | drop:P | dup:P | delay:P
-            | kill:FROM-TO@FRAMES | crash:NODE@DELIVERED  (or `none`)
+            | kill:FROM-TO@FRAMES | crash:NODE@DELIVERED
+            | kill9:NODE@DELIVERED | torn-tail:MAX | fsync-fail:P
+            (or `none`)
   mlap workload: adv:DEPTH:LEGS | bursty:BURSTS:SIZE:WINDOW | delay:LEN:GAP
                  (bursty/delay run on --tree, default kary:15:2)
   mlap policy:   eager | odepth | odepth-prefetch | greedy | all
@@ -125,16 +130,27 @@ NET COMMANDS (oat-net TCP cluster on loopback):
              prints it, --quick shrinks the workload for CI smoke runs,
              --threads N sets the reactor pool serving the TCP phases,
              --sweep-depth 1,4,8,16 reruns the pipelined phase at each
-             listed depth and records the throughput curve, and --trace
+             listed depth and records the throughput curve, --trace
              records the pipelined phase with oat-obs — adding the
              poll/queue/dispatch/wire phase breakdown to the JSON and,
-             with --trace PATH, writing the raw oat-trace-v1 JSONL)
+             with --trace PATH, writing the raw oat-trace-v1 JSONL —
+             and --durability wal puts every node on a write-ahead log
+             in a fresh temp dir with group commit every --fsync-every
+             records (default 8): the durability tax is the delta vs
+             the default in-memory run, see EXPERIMENTS.md E19)
   chaos      replays a seeded workload sequentially while the transport is
              subjected to --faults (seeded drop/dup/delay, scheduled
-             connection kills, scheduled node crash-restarts); asserts
-             every combine equals the running oracle, then reports the
-             injection ledger and recovery counters; exits non-zero on
-             any divergence or a wedged cluster
+             connection kills, scheduled node crash-restarts, process
+             kills, and seeded disk faults); asserts every combine equals
+             the running oracle, then reports the injection ledger,
+             recovery counters, and WAL work, cross-checking that
+             restarts == crashes + kill9s and (on a fresh WAL dir) that
+             every WAL replay is a kill9 recovery; exits non-zero on any
+             divergence or a wedged cluster. --kill9 N@D appends process
+             kills to the plan; a kill9 needs durable state, so it
+             defaults --durability to a WAL in a fresh temp dir
+             (--durability wal:DIR pins the directory, --fsync-every and
+             --snapshot-every tune group commit and log truncation)
 
 MLAP (oat-mlap second problem family — multi-level aggregation with
 delays and deadlines, arXiv:1507.02378 / arXiv:1701.01936):
@@ -1027,10 +1043,63 @@ fn cmd_chaos(args: &[String]) -> i32 {
             &tree,
             seed,
         )?;
-        let plan = FaultPlan::parse(
+        let mut plan = FaultPlan::parse(
             flag(args, "--faults").unwrap_or("seed:7,drop:0.05,dup:0.05,delay:0.05"),
         )?;
-        with_policy!(&policy, spec => chaos_run(&tree, &spec, &seq, plan))
+        if let Some(spec) = flag(args, "--kill9") {
+            for part in spec.split(',') {
+                let (n, d) = part
+                    .split_once('@')
+                    .ok_or_else(|| format!("bad --kill9 item `{part}` (want NODE@DELIVERED)"))?;
+                plan.kill9s.push(CrashNode {
+                    node: NodeId(n.parse().map_err(|_| format!("bad --kill9 node `{n}`"))?),
+                    after_delivered: d
+                        .parse()
+                        .map_err(|_| format!("bad --kill9 delivered `{d}`"))?,
+                });
+            }
+        }
+        let fsync_every: u64 = flag(args, "--fsync-every")
+            .unwrap_or("8")
+            .parse()
+            .map_err(|_| "bad --fsync-every")?;
+        let snapshot_every: u64 = flag(args, "--snapshot-every")
+            .unwrap_or("4096")
+            .parse()
+            .map_err(|_| "bad --snapshot-every")?;
+        // A process kill needs somewhere durable to recover from, so
+        // `--kill9` without an explicit backend gets a fresh WAL in a
+        // temp dir. A fresh dir also arms the ci cross-check: cold
+        // start finds nothing, so every WAL replay is a kill9 recovery.
+        let fresh_wal_dir = || {
+            let dir = std::env::temp_dir().join(format!("oat-chaos-wal-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            dir
+        };
+        let (durability, fresh_wal) = match flag(args, "--durability") {
+            None if plan.kill9s.is_empty() => (DurabilityMode::Memory, false),
+            None | Some("wal") => {
+                let mut wal = WalConfig::new(fresh_wal_dir());
+                wal.fsync_every = fsync_every;
+                wal.snapshot_every = snapshot_every;
+                (DurabilityMode::Wal(wal), true)
+            }
+            Some("memory") => (DurabilityMode::Memory, false),
+            Some(s) => match s.strip_prefix("wal:") {
+                Some(dir) if !dir.is_empty() => {
+                    let mut wal = WalConfig::new(dir);
+                    wal.fsync_every = fsync_every;
+                    wal.snapshot_every = snapshot_every;
+                    (DurabilityMode::Wal(wal), false)
+                }
+                _ => return Err(format!("bad --durability `{s}` (want memory | wal[:DIR])")),
+            },
+        };
+        let cfg = NetConfig {
+            durability,
+            ..NetConfig::default()
+        };
+        with_policy!(&policy, spec => chaos_run(&tree, &spec, &seq, plan, cfg, fresh_wal))
     })();
     match result {
         Ok(()) => 0,
@@ -1046,6 +1115,8 @@ fn chaos_run<S: PolicySpec>(
     spec: &S,
     seq: &[Request<i64>],
     plan: FaultPlan,
+    cfg: NetConfig,
+    fresh_wal: bool,
 ) -> Result<(), String>
 where
     S::Node: 'static,
@@ -1053,15 +1124,20 @@ where
     use std::time::Duration;
     let kills_planned = plan.kills.len();
     let crashes_planned = plan.crashes.len();
-    let cluster = Cluster::spawn_with_faults(tree, SumI64, spec, false, plan)
+    let kill9s_planned = plan.kill9s.len();
+    let durable = matches!(cfg.durability, DurabilityMode::Wal(_));
+    let cluster = Cluster::spawn_with(tree, SumI64, spec, false, plan, cfg)
         .map_err(|e| format!("cluster spawn: {e}"))?;
     println!(
-        "chaos: {} nodes, policy {}, {} requests; plan: {} kills, {} crashes scheduled",
+        "chaos: {} nodes, policy {}, {} requests; plan: {} kills, {} crashes, \
+         {} kill9s scheduled; durability {}",
         tree.len(),
         cluster.policy_name(),
         seq.len(),
         kills_planned,
         crashes_planned,
+        kill9s_planned,
+        if durable { "wal" } else { "memory" },
     );
     let start = std::time::Instant::now();
     let mut clients: Vec<Option<oat::net::ClusterClient<i64>>> =
@@ -1109,6 +1185,7 @@ where
     }
     let elapsed = start.elapsed();
     let (drops, dups, delays, kills, crashes) = cluster.injected().snapshot();
+    let (kill9s, torn_tails, fsync_fails) = cluster.injected().snapshot_process();
     let report = cluster.shutdown();
     println!(
         "  {} combines, every one equal to the sequential oracle, in {:.3}s",
@@ -1117,26 +1194,70 @@ where
     );
     println!(
         "  injected:  drops {drops}, dups {dups}, delays {delays}, \
-         conns killed {kills}, crashes {crashes}"
+         conns killed {kills}, crashes {crashes}, kill9s {kill9s}, \
+         torn tails {torn_tails}, fsync fails {fsync_fails}"
     );
     println!(
-        "  recovered: reconnects {}, retransmits {}, rto expiries {}, restarts {}",
+        "  recovered: reconnects {}, retransmits {}, rto expiries {}, \
+         restarts {} (kill9 {})",
         report.faults.reconnects,
         report.faults.retransmits,
         report.faults.timeouts,
         report.faults.restarts,
+        report.faults.kill9s,
     );
+    if durable {
+        println!(
+            "  wal:       {} records ({} B), {} fsyncs ({} failed), \
+             {} snapshots, {} replays, {} B torn",
+            report.wal.records,
+            report.wal.appended_bytes,
+            report.wal.fsyncs,
+            report.wal.fsync_failures,
+            report.wal.snapshots,
+            report.wal.replays,
+            report.wal.torn_bytes,
+        );
+    }
     if !report.dead_nodes.is_empty() {
         return Err(format!(
             "dead nodes at shutdown: {:?}",
             report.dead_nodes.iter().map(|n| n.0).collect::<Vec<_>>()
         ));
     }
-    if kills != kills_planned as u64 || crashes != crashes_planned as u64 {
+    if kills != kills_planned as u64
+        || crashes != crashes_planned as u64
+        || kill9s != kill9s_planned as u64
+    {
         return Err(format!(
             "schedule incomplete: {kills}/{kills_planned} kills, \
-             {crashes}/{crashes_planned} crashes fired — the workload was \
+             {crashes}/{crashes_planned} crashes, \
+             {kill9s}/{kill9s_planned} kill9s fired — the workload was \
              too small to reach the scheduled trigger points"
+        ));
+    }
+    // Cross-checks between the ledger and the recovery counters: every
+    // injected process fault must show up as exactly one restart-grade
+    // recovery, and vice versa.
+    if report.faults.kill9s != kill9s {
+        return Err(format!(
+            "ledger/counter mismatch: {kill9s} kill9s injected but nodes \
+             recorded {}",
+            report.faults.kill9s
+        ));
+    }
+    if report.faults.restarts != crashes + kill9s {
+        return Err(format!(
+            "restart accounting broken: {} restarts != {crashes} crashes \
+             + {kill9s} kill9s",
+            report.faults.restarts
+        ));
+    }
+    if fresh_wal && report.wal.replays != kill9s {
+        return Err(format!(
+            "wal replay accounting broken: fresh log dir, so every replay \
+             is a kill9 recovery, yet {} replays != {kill9s} kill9s",
+            report.wal.replays
         ));
     }
     println!("  chaos: OK");
@@ -1337,6 +1458,16 @@ fn cmd_bench(args: &[String]) -> i32 {
             ),
             None => (false, None),
         };
+        let wal_fsync_every: Option<u64> = match flag(args, "--durability") {
+            None | Some("memory") => None,
+            Some("wal") => Some(
+                flag(args, "--fsync-every")
+                    .unwrap_or("8")
+                    .parse()
+                    .map_err(|_| "bad --fsync-every")?,
+            ),
+            Some(s) => return Err(format!("bad --durability `{s}` (want memory | wal)")),
+        };
         let config = oat::bench::BenchConfig {
             tree_spec: tree_spec.to_string(),
             policy_spec: policy_spec.to_string(),
@@ -1348,6 +1479,7 @@ fn cmd_bench(args: &[String]) -> i32 {
             quick,
             trace,
             mlap: args.iter().any(|a| a == "--mlap"),
+            wal_fsync_every,
         };
         let report =
             with_policy!(&policy, spec => oat::bench::run_bench(config, &tree, &spec, &seq))?;

@@ -17,6 +17,7 @@
 //! fault-free parity suite (`net_parity.rs`) pins the counts; this
 //! suite pins the values and the recovery bookkeeping.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use oat::core::agg::SumI64;
@@ -24,8 +25,15 @@ use oat::core::fault::{CrashNode, FaultPlan, KillConn};
 use oat::core::policy::rww::RwwSpec;
 use oat::core::request::{ReqOp, Request};
 use oat::core::tree::{NodeId, Tree};
-use oat::net::{Cluster, ClusterClient};
+use oat::net::{Cluster, ClusterClient, DurabilityMode, NetConfig, WalConfig};
 use oat::workloads::uniform;
+
+/// Fresh per-test WAL directory under the system temp dir.
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("oat-chaos-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
 
 /// Per-read client timeout. Far above one RTO (30 ms), so a retry means
 /// real loss (a crashed waiter), not impatience with recovery latency.
@@ -115,6 +123,7 @@ fn full_chaos_run_matches_the_sequential_oracle() {
             node: NodeId(2),
             after_delivered: 5,
         }],
+        ..FaultPlan::default()
     };
 
     let cluster =
@@ -209,6 +218,235 @@ fn crash_only_chaos_preserves_written_state() {
 }
 
 #[test]
+fn root_crash_chaos_preserves_written_state() {
+    // The root is special: it grants leases downward and anchors every
+    // full-tree fan-out, so crashing it exercises the revoke cascade
+    // from the top. Same contract as any other crash: durable values
+    // survive, combines keep matching the oracle, nothing wedges.
+    let tree = Tree::path(5);
+    let plan = FaultPlan {
+        seed: 17,
+        crashes: vec![CrashNode {
+            node: NodeId(0),
+            after_delivered: 2,
+        }],
+        ..FaultPlan::default()
+    };
+    let cluster = Cluster::spawn_with_faults(&tree, SumI64, &RwwSpec, false, plan).expect("spawn");
+
+    let mut seq = Vec::new();
+    for u in 0..5 {
+        seq.push(Request::write(NodeId(u), (u as i64 + 1) * 100));
+    }
+    for _ in 0..6 {
+        seq.push(Request::combine(NodeId(4)));
+        seq.push(Request::combine(NodeId(0)));
+    }
+    seq.push(Request::write(NodeId(0), -3));
+    seq.push(Request::combine(NodeId(4)));
+
+    let combines = replay_against_oracle(&cluster, &seq);
+    assert_eq!(combines, 13);
+
+    let (_, _, _, kills, crashes) = cluster.injected().snapshot();
+    assert_eq!((kills, crashes), (0, 1));
+    let report = cluster.shutdown();
+    assert_eq!(report.faults.restarts, 1);
+    assert_eq!(report.faults.kill9s, 0);
+    assert!(report.dead_nodes.is_empty());
+}
+
+#[test]
+fn kill9_chaos_with_wal_recovers_and_matches_the_oracle() {
+    // The durability acceptance scenario: probabilistic drops and
+    // duplicates on every edge, one connection kill, and two process
+    // kills — the root and an internal node — with state recovered
+    // from the write-ahead log. Every combine must still equal the
+    // oracle, and the ledger, per-node metrics, and cluster report
+    // must agree on what happened.
+    let tree = Tree::kary(10, 3);
+    let seq = uniform(&tree, 90, 0.5, 0xD15C);
+    let wal_dir = tmpdir("kill9-accept");
+    let plan = FaultPlan {
+        seed: 23,
+        drop_p: 0.05,
+        dup_p: 0.05,
+        kills: vec![KillConn {
+            from: NodeId(0),
+            to: NodeId(1),
+            after_frames: 3,
+        }],
+        // Node 0 is the root; node 2 is internal (children 7, 8, 9).
+        kill9s: vec![
+            CrashNode {
+                node: NodeId(0),
+                after_delivered: 6,
+            },
+            CrashNode {
+                node: NodeId(2),
+                after_delivered: 5,
+            },
+        ],
+        ..FaultPlan::default()
+    };
+    let cfg = NetConfig {
+        durability: DurabilityMode::Wal(WalConfig::new(&wal_dir)),
+        ..NetConfig::default()
+    };
+    let cluster =
+        Cluster::spawn_with(&tree, SumI64, &RwwSpec, false, plan, cfg).expect("spawn kill9");
+    let combines = replay_against_oracle(&cluster, &seq);
+    assert!(combines > 10, "workload must actually exercise combines");
+
+    let (kill9s, _, _) = cluster.injected().snapshot_process();
+    assert_eq!(kill9s, 2, "both scheduled process kills must fire");
+    let (_, dups, _, kills, crashes) = cluster.injected().snapshot();
+    assert_eq!(kills, 1);
+    assert_eq!(crashes, 0);
+    assert!(dups > 0, "duplicates must have fired on a run this size");
+
+    // Per-node metrics surface the process kill and the WAL work.
+    let m2 = cluster.node_metrics(NodeId(2)).expect("metrics node 2");
+    assert_eq!(m2.kill9s, 1, "node 2 was process-killed exactly once");
+    assert_eq!(m2.restarts, 1, "a kill9 counts as a restart");
+    assert_eq!(m2.wal_replays, 1, "recovery replayed the node's log");
+    assert!(m2.wal_records > 0 && m2.wal_fsyncs > 0);
+    let json = cluster.metrics_json().expect("metrics json");
+    assert!(json.contains("\"kill9s\": 1"));
+
+    let report = cluster.shutdown();
+    assert!(report.dead_nodes.is_empty(), "no node may stay wedged");
+    assert_eq!(report.faults.kill9s, 2);
+    assert_eq!(
+        report.faults.restarts, 2,
+        "restarts must equal crashes + kill9s"
+    );
+    // The WAL directory was fresh, so cold start found nothing: every
+    // replay on the books is a kill9 recovery.
+    assert_eq!(report.wal.replays, 2);
+    assert!(report.wal.records > 0 && report.wal.fsyncs > 0);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+#[test]
+fn torn_tail_recovery_converges_with_bounded_loss() {
+    // A machine crash that loses the page cache: the torn-tail fault
+    // chops unsynced bytes off the log at recovery. Acked writes force
+    // fsync so they survive; what tears is link bookkeeping, which the
+    // hello fast-forward heals on reconnect. The run must still match
+    // the oracle, and the loss must be bounded and on the ledger.
+    let tree = Tree::path(5);
+    let wal_dir = tmpdir("torn-tail");
+    let plan = FaultPlan {
+        seed: 29,
+        kill9s: vec![CrashNode {
+            node: NodeId(2),
+            after_delivered: 4,
+        }],
+        torn_tail_max: 64,
+        ..FaultPlan::default()
+    };
+    // A huge group-commit batch keeps link records unsynced, so the
+    // torn-tail fault is guaranteed material to chop at the kill.
+    let cfg = NetConfig {
+        durability: DurabilityMode::Wal(WalConfig {
+            dir: wal_dir.clone(),
+            fsync_every: 10_000,
+            snapshot_every: 1_000_000,
+        }),
+        ..NetConfig::default()
+    };
+    let cluster =
+        Cluster::spawn_with(&tree, SumI64, &RwwSpec, false, plan, cfg).expect("spawn torn");
+
+    // Two cold full-path combines push node 2 past the kill threshold
+    // on pure link traffic (probes/responses, no local writes), then
+    // writes and combines check recovery end to end.
+    let mut seq = vec![Request::combine(NodeId(0)), Request::combine(NodeId(4))];
+    for u in 0..5 {
+        seq.push(Request::write(NodeId(u), (u as i64 + 1) * 11));
+    }
+    for _ in 0..4 {
+        seq.push(Request::combine(NodeId(0)));
+        seq.push(Request::combine(NodeId(4)));
+    }
+    let combines = replay_against_oracle(&cluster, &seq);
+    assert_eq!(combines, 10);
+
+    let (kill9s, torn_tails, _) = cluster.injected().snapshot_process();
+    assert_eq!(kill9s, 1, "the scheduled process kill must fire");
+    assert_eq!(torn_tails, 1, "recovery must have torn the unsynced tail");
+    let report = cluster.shutdown();
+    assert!(report.dead_nodes.is_empty());
+    assert_eq!(report.wal.torn_events, 1);
+    assert!(
+        report.wal.torn_bytes >= 1 && report.wal.torn_bytes <= 64,
+        "discarded tail must be bounded by torn_tail_max (got {})",
+        report.wal.torn_bytes
+    );
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+#[test]
+fn cold_start_replays_the_wal_across_cluster_spawns() {
+    // Durability across process lifetimes: a cluster writes values and
+    // shuts down; a second cluster spawned on the same WAL directory
+    // recovers every node's durable value at cold start and serves the
+    // same total.
+    let tree = Tree::path(3);
+    let wal_dir = tmpdir("cold-start");
+    let cfg = NetConfig {
+        durability: DurabilityMode::Wal(WalConfig::new(&wal_dir)),
+        ..NetConfig::default()
+    };
+
+    let cluster = Cluster::spawn_with(
+        &tree,
+        SumI64,
+        &RwwSpec,
+        false,
+        FaultPlan::default(),
+        cfg.clone(),
+    )
+    .expect("spawn first incarnation");
+    for u in 0..3 {
+        let mut c = cluster.client(NodeId(u)).expect("client");
+        c.write((u as i64 + 1) * 100).expect("write");
+    }
+    cluster.quiesce();
+    let mut c = cluster.client(NodeId(0)).expect("client");
+    assert_eq!(c.combine().expect("combine"), 600);
+    cluster.quiesce();
+    drop(c);
+    let report = cluster.shutdown();
+    assert!(report.wal.records > 0, "writes must have hit the log");
+
+    let cluster = Cluster::spawn_with(&tree, SumI64, &RwwSpec, false, FaultPlan::default(), cfg)
+        .expect("spawn second incarnation");
+    assert!(
+        cluster.quiesce_for(DRAIN),
+        "cold-start resets must drain before serving"
+    );
+    let mut c = cluster.client(NodeId(2)).expect("client");
+    c.set_timeout(Some(CLIENT_TIMEOUT), CLIENT_RETRIES)
+        .expect("arm timeout");
+    assert_eq!(
+        c.combine().expect("combine after cold start"),
+        600,
+        "recovered durable values must reproduce the pre-shutdown total"
+    );
+    cluster.quiesce();
+    drop(c);
+    let report = cluster.shutdown();
+    assert_eq!(
+        report.wal.replays, 3,
+        "every node must have replayed its log at cold start"
+    );
+    assert!(report.dead_nodes.is_empty());
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+#[test]
 fn empty_fault_plan_is_free_and_ledger_stays_zero() {
     // spawn_with_faults(empty) must behave exactly like spawn: zero
     // injected events, zero recovery work, counts identical to the
@@ -279,6 +517,7 @@ fn concurrent_pipelined_chaos_is_causally_consistent() {
             },
         ],
         crashes: Vec::new(),
+        ..FaultPlan::default()
     };
     let cluster =
         Cluster::spawn_with_faults(&tree, SumI64, &RwwSpec, true, plan).expect("spawn chaos");

@@ -191,6 +191,7 @@ fn backpressure_stalls_client_intake_and_recovers() {
         threads: Some(1),
         rtx_high: 1,
         rtx_low: 0,
+        ..NetConfig::default()
     };
     let cluster = Cluster::spawn_with(&tree, SumI64, &RwwSpec, false, plan, cfg).expect("spawn");
 
