@@ -10,16 +10,27 @@ cargo fmt --all -- --check
 echo "== cargo clippy --workspace (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy --workspace --features epoll (deny warnings) =="
+cargo clippy --workspace --all-targets --features epoll -- -D warnings
+
 echo "== tier 1: cargo build --release =="
 cargo build --release
 
 echo "== tier 1: cargo test -q =="
 cargo test -q
 
+echo "== epoll backend: cargo test -q --features epoll =="
+# The same suite again with the reactor on epoll(7) instead of poll(2):
+# the backend is a drop-in swap behind compat/poll's Poller, so every
+# parity, chaos, and reactor test must pass unchanged.
+cargo test -q --features epoll
+
 echo "== bench smoke: oat bench --quick --threads 2 --trace =="
-# Quick-mode run of the measured baseline: validates the oat-bench-v2
+# Quick-mode run of the measured baseline: validates the oat-bench-v3
 # schema and fails on a sim<->TCP parity regression (`oat bench` exits
-# nonzero itself when parity breaks; the greps also pin the schema).
+# nonzero itself when parity breaks; the greps also pin the schema,
+# including the v3 additions: the config's transport tag and the
+# batched-client phase block).
 # --threads 2 pins the reactor pool: the report must show exactly the
 # configured pool size, proving thread count is O(pool), not O(nodes)
 # (the quick tree has 10 nodes — the old runtime would report ~30).
@@ -28,12 +39,15 @@ echo "== bench smoke: oat bench --quick --threads 2 --trace =="
 BENCH_OUT=$(mktemp /tmp/oat_bench_smoke.XXXXXX.json)
 ./target/release/oat bench --quick --threads 2 --trace --mlap --out "$BENCH_OUT" > /dev/null
 for key in \
-  '"schema": "oat-bench-v2"' \
+  '"schema": "oat-bench-v3"' \
+  '"transport": "tcp"' \
   '"mlap": {"workload": "adv:3:6"' \
   '"within_bound": true' \
   '"sim":' \
   '"net_sequential":' \
   '"net_pipelined":' \
+  '"batch": {' \
+  '"batch_size": 32' \
   '"req_per_s"' \
   '"msg_per_s"' \
   '"lat_p50_us"' \
@@ -51,6 +65,24 @@ do
   }
 done
 rm -f "$BENCH_OUT"
+
+echo "== transport parity: oat bench --quick --transport {uds,ring} =="
+# The same quick workload over the other two transport backends (the TCP
+# run above covers the default). `oat bench` recomputes sim<->cluster
+# parity internally and exits nonzero on divergence; the greps pin that
+# the requested backend was actually used and that parity held on the
+# 10-node quick tree.
+for t in uds ring; do
+  T_OUT=$(mktemp /tmp/oat_bench_${t}.XXXXXX.json)
+  ./target/release/oat bench --quick --transport "$t" --out "$T_OUT" > /dev/null
+  for key in "\"transport\": \"$t\"" '"parity_ok": true'; do
+    grep -qF "$key" "$T_OUT" || {
+      echo "transport parity ($t): missing $key in $T_OUT"
+      exit 1
+    }
+  done
+  rm -f "$T_OUT"
+done
 
 echo "== trace smoke: oat trace --workload =="
 # Records a live oat-obs trace of a 10-node workload (sim replay + faulted

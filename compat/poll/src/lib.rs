@@ -13,6 +13,19 @@
 //! whatever is left. The interest set is rebuilt per call (plain
 //! `poll`, not `epoll`) — at the fleet sizes oat runs (hundreds of
 //! descriptors) the rebuild is noise next to one syscall.
+//!
+//! ## The `epoll` feature
+//!
+//! `poll(2)` hands the kernel the whole interest set every call and the
+//! kernel scans it — O(fds) per wakeup, which stops scaling somewhere
+//! around ~1k sockets per reactor. The `epoll` cargo feature swaps the
+//! implementation behind [`Poller`] for a persistent level-triggered
+//! epoll instance: the interest set lives in the kernel, [`Poller::wait`]
+//! diffs the caller's `PollFd` slice against what is registered
+//! (add/modify/delete only what changed), and `epoll_wait` returns just
+//! the ready descriptors. The `PollFd` slice remains the API either way,
+//! so the reactor is byte-identical under both backends; `poll(2)` stays
+//! the portable default.
 
 use std::io;
 use std::os::raw::{c_int, c_ulong};
@@ -111,6 +124,262 @@ pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usi
     Err(err)
 }
 
+/// Records that `fd` has been closed by its owner.
+///
+/// The epoll backend keeps a persistent per-thread interest set and
+/// diffs it against each [`Poller::wait`] call, issuing `epoll_ctl`
+/// only for descriptors that changed. That diff has one blind spot: a
+/// closed descriptor number reused by a new connection with the same
+/// interest bits looks "already registered" even though the kernel
+/// auto-removed the old registration at close. Owners therefore note
+/// every close here (a thread-local queue — connections are
+/// single-owner per reactor thread), and `wait` evicts noted
+/// descriptors from its map so the successor gets a fresh
+/// registration. A no-op without the `epoll` feature.
+pub fn note_closed(fd: RawFd) {
+    #[cfg(feature = "epoll")]
+    CLOSED_FDS.with(|c| c.borrow_mut().push(fd));
+    #[cfg(not(feature = "epoll"))]
+    let _ = fd;
+}
+
+#[cfg(feature = "epoll")]
+thread_local! {
+    static CLOSED_FDS: std::cell::RefCell<Vec<RawFd>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Readiness selector over a `&mut [PollFd]` interest set.
+///
+/// Without the `epoll` feature this is a stateless shim over
+/// [`poll_fds`]; with it, a persistent epoll instance whose kernel-side
+/// interest set is diffed against each call's slice (see the module
+/// docs). The contract is identical either way: level-triggered,
+/// spurious `Ok(0)` wakeups allowed, `revents` filled in place.
+#[cfg(not(feature = "epoll"))]
+pub struct Poller;
+
+#[cfg(not(feature = "epoll"))]
+impl Poller {
+    /// Creates a poller (no kernel state in the poll(2) build).
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller)
+    }
+
+    /// Blocks until readiness or timeout; same contract as [`poll_fds`].
+    pub fn wait(&mut self, fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+        poll_fds(fds, timeout)
+    }
+}
+
+#[cfg(feature = "epoll")]
+pub use epoll_impl::Poller;
+
+#[cfg(feature = "epoll")]
+mod epoll_impl {
+    use super::{PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::raw::c_int;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: c_int = 0x80000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    /// Readiness bits shared bit-for-bit with the poll(2) constants.
+    const EVENT_MASK: u32 = (POLLIN | POLLOUT | POLLERR | POLLHUP) as u32;
+
+    /// Mirrors `struct epoll_event`: packed on x86-64 (the kernel ABI
+    /// quirk), naturally aligned elsewhere.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        /// We store the watched fd here to map results back to the slice.
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// Persistent epoll instance; see the crate docs for the contract.
+    pub struct Poller {
+        epfd: RawFd,
+        /// Kernel-side interest set as last synced: fd → interest bits.
+        registered: HashMap<RawFd, i16>,
+        events: Vec<EpollEvent>,
+    }
+
+    impl Poller {
+        /// Creates the epoll instance.
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: plain syscall, no pointers.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller {
+                epfd,
+                registered: HashMap::new(),
+                events: Vec::new(),
+            })
+        }
+
+        fn ctl(&mut self, op: c_int, fd: RawFd, interest: i16) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: interest as u32 & EVENT_MASK,
+                data: fd as u64,
+            };
+            // SAFETY: `ev` is a live, layout-correct epoll_event; the
+            // kernel reads it only for ADD/MOD.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc == 0 {
+                Ok(())
+            } else {
+                Err(io::Error::last_os_error())
+            }
+        }
+
+        /// Syncs the kernel interest set to exactly `fds`, then waits.
+        /// Same contract as [`super::poll_fds`].
+        pub fn wait(&mut self, fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+            for fd in fds.iter_mut() {
+                fd.revents = 0;
+            }
+            // Evict descriptors whose owners reported a close: the
+            // kernel already auto-removed them, and the number may have
+            // been reused (see `note_closed`).
+            super::CLOSED_FDS.with(|c| {
+                for fd in c.borrow_mut().drain(..) {
+                    self.registered.remove(&fd);
+                }
+            });
+            let mut wanted: HashMap<RawFd, usize> = HashMap::with_capacity(fds.len());
+            for (i, pfd) in fds.iter().enumerate() {
+                wanted.insert(pfd.fd, i);
+            }
+            // Deregister what the caller no longer watches.
+            let stale: Vec<RawFd> = self
+                .registered
+                .keys()
+                .filter(|fd| !wanted.contains_key(fd))
+                .copied()
+                .collect();
+            for fd in stale {
+                // Already-closed fds fail EBADF/ENOENT; both just mean
+                // "not in the set", which is what we want.
+                let _ = self.ctl(EPOLL_CTL_DEL, fd, 0);
+                self.registered.remove(&fd);
+            }
+            // Register / update the rest, retrying across the ADD/MOD
+            // boundary so a map that drifted from kernel state heals.
+            for pfd in fds.iter_mut() {
+                let interest = pfd.events;
+                let up_to_date = self.registered.get(&pfd.fd) == Some(&interest);
+                if up_to_date {
+                    continue;
+                }
+                let op = if self.registered.contains_key(&pfd.fd) {
+                    EPOLL_CTL_MOD
+                } else {
+                    EPOLL_CTL_ADD
+                };
+                let mut res = self.ctl(op, pfd.fd, interest);
+                if let Err(e) = &res {
+                    match (op, e.raw_os_error()) {
+                        // Kernel has it but our map didn't: update in place.
+                        (EPOLL_CTL_ADD, Some(17 /* EEXIST */)) => {
+                            res = self.ctl(EPOLL_CTL_MOD, pfd.fd, interest);
+                        }
+                        // Map has it but the kernel lost it (close we
+                        // were not told about): re-add.
+                        (EPOLL_CTL_MOD, Some(2 /* ENOENT */)) => {
+                            res = self.ctl(EPOLL_CTL_ADD, pfd.fd, interest);
+                        }
+                        _ => {}
+                    }
+                }
+                match res {
+                    Ok(()) => {
+                        self.registered.insert(pfd.fd, interest);
+                    }
+                    Err(_) => {
+                        // EBADF and friends: surface like poll(2) does,
+                        // so the caller's readable() path retires it.
+                        self.registered.remove(&pfd.fd);
+                        pfd.revents = POLLNVAL;
+                    }
+                }
+            }
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                Some(d) => {
+                    let ms = d.as_millis();
+                    if d > Duration::ZERO && ms == 0 {
+                        1
+                    } else {
+                        ms.min(c_int::MAX as u128) as c_int
+                    }
+                }
+            };
+            self.events
+                .resize(fds.len().max(64), EpollEvent { events: 0, data: 0 });
+            // SAFETY: the buffer is live and `maxevents` matches its
+            // length; the kernel writes only within it.
+            let rc = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.events.as_mut_ptr(),
+                    self.events.len() as c_int,
+                    timeout_ms,
+                )
+            };
+            if rc < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            let mut ready = 0;
+            for ev in &self.events[..rc as usize] {
+                let fd = ev.data as RawFd;
+                if let Some(&i) = wanted.get(&fd) {
+                    let bits = (ev.events & EVENT_MASK) as i16;
+                    if bits != 0 && fds[i].revents == 0 {
+                        ready += 1;
+                    }
+                    fds[i].revents |= bits;
+                }
+            }
+            // Count entries pre-marked POLLNVAL during registration too.
+            ready += fds.iter().filter(|f| f.revents == POLLNVAL).count();
+            Ok(ready)
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: closing the epoll fd we own.
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +433,81 @@ mod tests {
         // Must block (~1ms), not degenerate into a busy spin at 0.
         let n = poll_fds(&mut fds, Some(Duration::from_micros(100))).unwrap();
         assert_eq!(n, 0);
+    }
+
+    // Poller tests run under whichever backend the build selected, so
+    // `cargo test` and `cargo test --features epoll` exercise the same
+    // contract against both implementations.
+
+    #[test]
+    fn poller_reports_readable_then_level_clears() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        let mut poller = Poller::new().unwrap();
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        assert_eq!(
+            poller
+                .wait(&mut fds, Some(Duration::from_millis(5)))
+                .unwrap(),
+            0
+        );
+        a.write_all(&[7]).unwrap();
+        let n = poller.wait(&mut fds, Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        let mut byte = [0u8; 1];
+        (&b).read_exact(&mut byte).unwrap();
+        let n = poller
+            .wait(&mut fds, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].readable());
+    }
+
+    #[test]
+    fn poller_tracks_interest_changes_and_removals() {
+        let (a, mut b) = UnixStream::pair().unwrap();
+        let (c, _d) = UnixStream::pair().unwrap();
+        let mut poller = Poller::new().unwrap();
+        // Watch both; only writability should fire.
+        let mut fds = [
+            PollFd::new(a.as_raw_fd(), POLLOUT),
+            PollFd::new(c.as_raw_fd(), POLLIN),
+        ];
+        let n = poller.wait(&mut fds, Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].writable());
+        assert!(!fds[1].readable());
+        // Drop `c` from the set and flip `a` to read interest.
+        b.write_all(&[9]).unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poller.wait(&mut fds, Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+    }
+
+    #[test]
+    fn poller_survives_fd_close_and_reuse() {
+        // Close a watched socket, note it, and immediately create a new
+        // pair (which typically reuses the lowest free fd number): the
+        // successor must still get registered and report readiness.
+        let mut poller = Poller::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        let fd = b.as_raw_fd();
+        let mut fds = [PollFd::new(fd, POLLIN)];
+        assert_eq!(
+            poller
+                .wait(&mut fds, Some(Duration::from_millis(1)))
+                .unwrap(),
+            0
+        );
+        drop(b);
+        drop(a);
+        note_closed(fd);
+        let (mut a2, b2) = UnixStream::pair().unwrap();
+        a2.write_all(&[1]).unwrap();
+        let mut fds = [PollFd::new(b2.as_raw_fd(), POLLIN)];
+        let n = poller.wait(&mut fds, Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
     }
 }

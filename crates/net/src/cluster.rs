@@ -1,11 +1,13 @@
-//! The cluster harness and its TCP client.
+//! The cluster harness and its blocking client.
 //!
-//! [`Cluster::spawn`] binds one loopback listener per tree node, starts
-//! a fixed pool of reactor threads (default `min(cores, 4)`; see
-//! [`NetConfig`]) that share the nodes by `node_id % pool`, waits until
-//! every tree edge has a live TCP connection, and returns a handle that
-//! can mint [`ClusterClient`]s, wait for quiescence, collect metrics,
-//! and shut the whole thing down gracefully.
+//! [`Cluster::spawn`] binds one listener per tree node on the
+//! configured transport (loopback TCP, Unix-domain sockets, or
+//! in-process SPSC rings — see [`TransportKind`]), starts a fixed pool
+//! of reactor threads (default `min(cores, 4)`; see [`NetConfig`])
+//! that share the nodes by `node_id % pool`, waits until every tree
+//! edge has a live connection, and returns a handle that can mint
+//! [`ClusterClient`]s, wait for quiescence, collect metrics, and shut
+//! the whole thing down gracefully.
 //!
 //! ## Shutdown protocol
 //!
@@ -18,11 +20,12 @@
 //!
 //! Client connections still open simply see EOF on their next read.
 
-use std::collections::HashMap;
-use std::io::{self, BufWriter, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -40,12 +43,14 @@ use oat_sim::MsgStats;
 
 use crate::durability::{Durability, MemoryDurability, WalCounters, WalDurability};
 use crate::frame::{
-    write_frame, FrameDecoder, TAG_HELLO_CLIENT, TAG_REQ_COMBINE, TAG_REQ_METRICS, TAG_REQ_WRITE,
-    TAG_RESP_COMBINE, TAG_RESP_METRICS, TAG_RESP_WRITE,
+    decode_batch, encode_batch, write_frame, FrameDecoder, TAG_HELLO_CLIENT, TAG_REQ_BATCH,
+    TAG_REQ_COMBINE, TAG_REQ_METRICS, TAG_REQ_WRITE, TAG_RESP_BATCH, TAG_RESP_COMBINE,
+    TAG_RESP_METRICS, TAG_RESP_WRITE,
 };
 use crate::metrics::NodeMetrics;
 use crate::node::{FaultCounters, NodeReport, RTX_DEFAULT_HIGH, RTX_DEFAULT_LOW};
-use crate::reactor::{reactor_main, waker_pair, NodeSeed, ReactorCfg, Waker};
+use crate::reactor::{reactor_main, waker_pair, InFlight, NodeSeed, ReactorCfg, Waker};
+use crate::transport::{ring_listen, ClientStream, Listener, NodeAddr, TransportKind, UdsDir};
 
 /// How long [`Cluster::shutdown`] waits for a reactor thread to exit
 /// before declaring its nodes dead and abandoning the join (the thread
@@ -67,6 +72,10 @@ pub struct NetConfig {
     pub rtx_low: usize,
     /// Durability backend for node state (default: in-memory).
     pub durability: DurabilityMode,
+    /// Connection transport for edges and clients (default: TCP).
+    /// Framing, sequencing, retransmit, and fault injection are
+    /// identical across transports — only the byte substrate differs.
+    pub transport: TransportKind,
 }
 
 impl Default for NetConfig {
@@ -76,6 +85,7 @@ impl Default for NetConfig {
             rtx_high: RTX_DEFAULT_HIGH,
             rtx_low: RTX_DEFAULT_LOW,
             durability: DurabilityMode::Memory,
+            transport: TransportKind::Tcp,
         }
     }
 }
@@ -123,20 +133,23 @@ impl WalConfig {
 /// node in its shard.
 type ShardHandle<V> = JoinHandle<Vec<(NodeId, NodeReport<V>)>>;
 
-/// A running TCP cluster: a reactor pool serving one listener per node.
+/// A running cluster: a reactor pool serving one listener per node
+/// over the configured transport.
 pub struct Cluster<A: AggOp> {
     tree: Tree,
-    addrs: Vec<SocketAddr>,
+    addrs: Vec<NodeAddr>,
     wakers: Vec<Waker>,
     /// Node ids owned by each reactor, indexed like `handles`.
     shards: Vec<Vec<NodeId>>,
-    in_flight: Arc<AtomicI64>,
+    in_flight: Arc<InFlight>,
     total_sent: Arc<AtomicU64>,
     shutting_down: Arc<AtomicBool>,
     handles: Vec<ShardHandle<A::Value>>,
     policy_name: String,
     ledger: Arc<InjectedFaults>,
     threads_spawned: usize,
+    /// Keeps the UDS socket directory alive (and removed on drop).
+    _uds_dir: Option<UdsDir>,
 }
 
 /// Final state of a cluster after [`Cluster::shutdown`].
@@ -268,13 +281,33 @@ where
                 "kill9 faults require the Wal durability backend (NetConfig::durability)",
             ));
         }
+        let uds_dir = match cfg.transport {
+            TransportKind::Uds => Some(UdsDir::new()?),
+            _ => None,
+        };
         let mut listeners = Vec::with_capacity(n);
         let mut addrs = Vec::with_capacity(n);
-        for _ in 0..n {
-            let listener = TcpListener::bind("127.0.0.1:0")?;
-            listener.set_nonblocking(true)?;
-            addrs.push(listener.local_addr()?);
-            listeners.push(listener);
+        for i in 0..n {
+            match cfg.transport {
+                TransportKind::Tcp => {
+                    let listener = TcpListener::bind("127.0.0.1:0")?;
+                    listener.set_nonblocking(true)?;
+                    addrs.push(NodeAddr::Tcp(listener.local_addr()?));
+                    listeners.push(Listener::Tcp(listener));
+                }
+                TransportKind::Uds => {
+                    let path = uds_dir.as_ref().expect("uds dir").sock_path(i);
+                    let listener = UnixListener::bind(&path)?;
+                    listener.set_nonblocking(true)?;
+                    addrs.push(NodeAddr::Uds(path));
+                    listeners.push(Listener::Uds(listener));
+                }
+                TransportKind::Ring => {
+                    let listener = ring_listen()?;
+                    addrs.push(NodeAddr::Ring(listener.id()));
+                    listeners.push(Listener::Ring(listener));
+                }
+            }
         }
 
         let pool = cfg
@@ -289,7 +322,7 @@ where
         let rtx_high = cfg.rtx_high.max(1);
         let rtx_low = cfg.rtx_low.min(rtx_high);
 
-        let in_flight = Arc::new(AtomicI64::new(0));
+        let in_flight = Arc::new(InFlight::new());
         let total_sent = Arc::new(AtomicU64::new(0));
         let shutting_down = Arc::new(AtomicBool::new(false));
         let plan = Arc::new(plan);
@@ -368,15 +401,16 @@ where
             policy_name: spec.name(),
             ledger,
             threads_spawned: pool,
+            _uds_dir: uds_dir,
         })
     }
 
     /// Opens a client connection to `node`.
     pub fn client(&self, node: NodeId) -> io::Result<ClusterClient<A::Value>> {
-        ClusterClient::connect(self.addrs[node.idx()], node)
+        ClusterClient::connect(self.addrs[node.idx()].clone(), node)
     }
 
-    /// Fetches one node's metrics snapshot over TCP.
+    /// Fetches one node's metrics snapshot over the cluster transport.
     pub fn node_metrics(&self, node: NodeId) -> io::Result<NodeMetrics> {
         self.client(node)?.metrics()
     }
@@ -511,7 +545,7 @@ where
                         continue;
                     }
                     let node = NodeId(node_idx as u32);
-                    let addr = self.addrs[node_idx];
+                    let addr = self.addrs[node_idx].clone();
                     handles.push(scope.spawn(move || {
                         let mut client = ClusterClient::<A::Value>::connect(addr, node)?;
                         client.run_window(seq, indices, depth)
@@ -520,6 +554,65 @@ where
             }
             for h in handles {
                 results.push(h.join().expect("pipelined client thread panicked"));
+            }
+        });
+        let elapsed = start.elapsed();
+        let mut combines = Vec::new();
+        let mut latencies = vec![Duration::ZERO; seq.len()];
+        for r in results {
+            let r = r?;
+            combines.extend(r.combines);
+            for (i, d) in r.latencies {
+                latencies[i] = d;
+            }
+        }
+        combines.sort_by_key(|&(i, _)| i);
+        Ok(PipelinedChunk {
+            combines,
+            latencies,
+            elapsed,
+        })
+    }
+
+    /// Replays `seq` with client-side batching: one client per node
+    /// that appears in the sequence, each slicing its subsequence into
+    /// chunks of `batch` requests and sending every chunk as a single
+    /// `REQ_BATCH` frame (one syscall carries N requests; the node
+    /// answers with one `RESP_BATCH` once all N resolve). Per-node
+    /// order is preserved inside and across chunks; cross-node order
+    /// is abandoned, like [`Cluster::replay_pipelined`]. Latencies are
+    /// per request but measured from the chunk's submit (batching
+    /// trades individual latency for throughput).
+    pub fn replay_batched(
+        &self,
+        seq: &[Request<A::Value>],
+        batch: usize,
+    ) -> io::Result<PipelinedChunk<A::Value>>
+    where
+        A::Value: Send,
+    {
+        let batch = batch.max(1);
+        let mut by_node: Vec<Vec<usize>> = vec![Vec::new(); self.tree.len()];
+        for (i, q) in seq.iter().enumerate() {
+            by_node[q.node.idx()].push(i);
+        }
+        let start = Instant::now();
+        let mut results: Vec<io::Result<PerClientResults<A::Value>>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (node_idx, indices) in by_node.iter().enumerate() {
+                if indices.is_empty() {
+                    continue;
+                }
+                let node = NodeId(node_idx as u32);
+                let addr = self.addrs[node_idx].clone();
+                handles.push(scope.spawn(move || {
+                    let mut client = ClusterClient::<A::Value>::connect(addr, node)?;
+                    client.run_batches(seq, indices, batch)
+                }));
+            }
+            for h in handles {
+                results.push(h.join().expect("batched client thread panicked"));
             }
         });
         let elapsed = start.elapsed();
@@ -561,7 +654,7 @@ impl<A: AggOp> Cluster<A> {
     }
 
     /// Listener addresses, indexed by node id.
-    pub fn addrs(&self) -> &[SocketAddr] {
+    pub fn addrs(&self) -> &[NodeAddr] {
         &self.addrs
     }
 
@@ -592,25 +685,18 @@ impl<A: AggOp> Cluster<A> {
     /// `in_flight` stays SeqCst on both sides: it is the cluster's one
     /// true synchronizer — the acquire edge its zero-read provides is
     /// what licenses the relaxed orderings on `total_sent` and the
-    /// queue gauges.
+    /// queue gauges. The wait itself is event-driven: reactors notify
+    /// a condvar when the count hits zero, so this parks instead of
+    /// spinning (see `crate::reactor::InFlight`).
     pub fn quiesce(&self) {
-        while self.in_flight.load(Ordering::SeqCst) != 0 {
-            std::thread::yield_now();
-        }
+        self.in_flight.wait_zero(None);
     }
 
     /// Bounded [`Cluster::quiesce`]: waits up to `deadline`, returning
     /// whether the cluster actually drained. Use instead of `quiesce`
     /// whenever a node might be wedged (shutdown does).
     pub fn quiesce_for(&self, deadline: Duration) -> bool {
-        let until = Instant::now() + deadline;
-        while self.in_flight.load(Ordering::SeqCst) != 0 {
-            if Instant::now() >= until {
-                return false;
-            }
-            std::thread::yield_now();
-        }
-        true
+        self.in_flight.wait_zero(Some(Instant::now() + deadline))
     }
 
     /// The cluster-wide ledger of injected fault events (all zero when
@@ -717,9 +803,10 @@ struct PerClientResults<V> {
     latencies: Vec<(usize, Duration)>,
 }
 
-/// A TCP client bound to one node of a running cluster.
+/// A blocking client bound to one node of a running cluster, over
+/// whatever transport the cluster was spawned with.
 ///
-/// Two usage modes share one connection:
+/// Three usage modes share one connection:
 ///
 /// * **Synchronous** ([`ClusterClient::combine`] /
 ///   [`ClusterClient::write`] / [`ClusterClient::metrics`]): strict
@@ -729,6 +816,12 @@ struct PerClientResults<V> {
 ///   keep many requests in flight; responses are matched by request id,
 ///   because a node may answer a later write before an earlier combine
 ///   that is still waiting on the tree.
+/// * **Batched** ([`ClusterClient::submit_batch`]): one `REQ_BATCH`
+///   frame carries N requests; the node replies with one `RESP_BATCH`
+///   once all N resolve. Ids are minted from the same sequence, and
+///   [`ClusterClient::next_response`] unpacks batch responses
+///   transparently — callers still consume one `(id, response)` at a
+///   time.
 ///
 /// Submissions are buffered — a burst of submits coalesces into one
 /// wire write; [`ClusterClient::next_response`] flushes before reading,
@@ -738,7 +831,11 @@ struct PerClientResults<V> {
 ///
 /// With [`ClusterClient::set_timeout`] armed, a read that waits longer
 /// than the timeout re-sends every still-unanswered request frame —
-/// *same request ids* — and keeps reading. The ids make the retry
+/// *same request ids* — and keeps reading. Batched submissions retry
+/// as *individual* frames: the node answers retried members directly
+/// and strikes them from the batch's roster, so every request resolves
+/// exactly once whether its batch response or its direct duplicate
+/// arrives first. The ids make the retry
 /// idempotent end to end: the node parks at most one combine waiter per
 /// `(connection, id)`, writes of the same value re-apply harmlessly,
 /// and the client discards any response whose id it no longer has
@@ -758,11 +855,15 @@ struct PerClientResults<V> {
 pub struct ClusterClient<V> {
     node: NodeId,
     /// The node's address, kept for retry-policy reconnects.
-    addr: SocketAddr,
-    /// Read half (the underlying stream, shared with `writer`).
-    reader: TcpStream,
-    /// Buffered write half; flushed before every blocking read.
-    writer: BufWriter<TcpStream>,
+    addr: NodeAddr,
+    /// The blocking connection (any transport).
+    stream: ClientStream,
+    /// Write buffer; submissions append frames here, flushed to the
+    /// stream before every blocking read.
+    wbuf: Vec<u8>,
+    /// Responses unpacked from a `RESP_BATCH` frame, delivered before
+    /// the next wire read.
+    queued: VecDeque<(u8, Vec<u8>)>,
     /// Incremental decoder for the read half: partial frames survive
     /// read timeouts instead of desynchronizing the stream.
     dec: FrameDecoder,
@@ -781,18 +882,20 @@ pub struct ClusterClient<V> {
 }
 
 impl<V: WireValue> ClusterClient<V> {
-    /// Connects and announces itself as a client.
-    pub fn connect(addr: SocketAddr, node: NodeId) -> io::Result<Self> {
-        let reader = TcpStream::connect(addr)?;
-        reader.set_nodelay(true)?;
-        let mut writer = BufWriter::with_capacity(16 * 1024, reader.try_clone()?);
-        write_frame(&mut writer, TAG_HELLO_CLIENT, &[])?;
-        writer.flush()?;
+    /// Connects and announces itself as a client. Accepts anything
+    /// convertible to a [`NodeAddr`] (a bare `SocketAddr` dials TCP).
+    pub fn connect(addr: impl Into<NodeAddr>, node: NodeId) -> io::Result<Self> {
+        let addr = addr.into();
+        let mut stream = ClientStream::connect(&addr)?;
+        let mut hello = Vec::with_capacity(8);
+        write_frame(&mut hello, TAG_HELLO_CLIENT, &[])?;
+        stream.write_all(&hello)?;
         Ok(ClusterClient {
             node,
             addr,
-            reader,
-            writer,
+            stream,
+            wbuf: Vec::with_capacity(16 * 1024),
+            queued: VecDeque::new(),
             dec: FrameDecoder::new(),
             next_id: 0,
             timeout: None,
@@ -814,7 +917,7 @@ impl<V: WireValue> ClusterClient<V> {
     /// ids) and retries, up to `max_retries` times per call before
     /// surfacing `TimedOut`.
     pub fn set_timeout(&mut self, timeout: Option<Duration>, max_retries: u32) -> io::Result<()> {
-        self.reader.set_read_timeout(timeout)?;
+        self.stream.set_read_timeout(timeout)?;
         self.timeout = timeout;
         self.max_retries = max_retries;
         Ok(())
@@ -846,15 +949,12 @@ impl<V: WireValue> ClusterClient<V> {
     /// unanswered request. Bytes of a partially received frame are
     /// discarded with the old decoder — the new stream starts clean.
     fn reconnect(&mut self) -> io::Result<()> {
-        let reader = TcpStream::connect(self.addr)?;
-        reader.set_nodelay(true)?;
-        reader.set_read_timeout(self.timeout)?;
-        let mut writer = BufWriter::with_capacity(16 * 1024, reader.try_clone()?);
-        write_frame(&mut writer, TAG_HELLO_CLIENT, &[])?;
-        writer.flush()?;
-        self.reader = reader;
-        self.writer = writer;
+        let stream = ClientStream::connect(&self.addr)?;
+        stream.set_read_timeout(self.timeout)?;
+        self.stream = stream;
         self.dec = FrameDecoder::new();
+        self.wbuf.clear();
+        write_frame(&mut self.wbuf, TAG_HELLO_CLIENT, &[])?;
         self.reconnects += 1;
         self.resend_pending()
     }
@@ -873,7 +973,7 @@ impl<V: WireValue> ClusterClient<V> {
                 return Ok(frame);
             }
             let mut chunk = [0u8; 4096];
-            match self.reader.read(&mut chunk) {
+            match self.stream.read(&mut chunk) {
                 Ok(0) => {
                     return Err(io::Error::new(
                         io::ErrorKind::UnexpectedEof,
@@ -898,7 +998,7 @@ impl<V: WireValue> ClusterClient<V> {
         let id = self.fresh_id();
         let mut payload = Vec::with_capacity(8);
         put_u64(&mut payload, id);
-        write_frame(&mut self.writer, TAG_REQ_COMBINE, &payload)?;
+        write_frame(&mut self.wbuf, TAG_REQ_COMBINE, &payload)?;
         oat_obs::trace_event!(oat_obs::EventKind::ReqStart, self.node.0, 0, id);
         self.pending.insert(id, (TAG_REQ_COMBINE, payload));
         Ok(id)
@@ -910,15 +1010,54 @@ impl<V: WireValue> ClusterClient<V> {
         let mut payload = Vec::with_capacity(16);
         put_u64(&mut payload, id);
         arg.encode(&mut payload);
-        write_frame(&mut self.writer, TAG_REQ_WRITE, &payload)?;
+        write_frame(&mut self.wbuf, TAG_REQ_WRITE, &payload)?;
         oat_obs::trace_event!(oat_obs::EventKind::ReqStart, self.node.0, 0, id);
         self.pending.insert(id, (TAG_REQ_WRITE, payload));
         Ok(id)
     }
 
+    /// Submits `ops` as one `REQ_BATCH` frame; returns the request ids
+    /// in op order. The node answers with a single `RESP_BATCH` once
+    /// every member resolves; [`ClusterClient::next_response`] unpacks
+    /// it into individual `(id, response)` pairs. Each member is also
+    /// tracked in the pending set as its standalone frame, so the
+    /// timeout policy retries stragglers individually.
+    pub fn submit_batch(&mut self, ops: &[ReqOp<V>]) -> io::Result<Vec<u64>> {
+        let mut ids = Vec::with_capacity(ops.len());
+        let mut items = Vec::with_capacity(ops.len());
+        for op in ops {
+            let id = self.fresh_id();
+            let (tag, payload) = match op {
+                ReqOp::Combine => {
+                    let mut p = Vec::with_capacity(8);
+                    put_u64(&mut p, id);
+                    (TAG_REQ_COMBINE, p)
+                }
+                ReqOp::Write(arg) => {
+                    let mut p = Vec::with_capacity(16);
+                    put_u64(&mut p, id);
+                    arg.encode(&mut p);
+                    (TAG_REQ_WRITE, p)
+                }
+            };
+            oat_obs::trace_event!(oat_obs::EventKind::ReqStart, self.node.0, 0, id);
+            ids.push(id);
+            items.push((tag, payload));
+        }
+        write_frame(&mut self.wbuf, TAG_REQ_BATCH, &encode_batch(&items))?;
+        for (&id, (tag, payload)) in ids.iter().zip(items) {
+            self.pending.insert(id, (tag, payload));
+        }
+        Ok(ids)
+    }
+
     /// Pushes all buffered submissions to the wire.
     pub fn flush(&mut self) -> io::Result<()> {
-        self.writer.flush()
+        if !self.wbuf.is_empty() {
+            self.stream.write_all(&self.wbuf)?;
+            self.wbuf.clear();
+        }
+        Ok(())
     }
 
     /// True when `err` is a read-timeout (platform-dependent kind).
@@ -930,14 +1069,17 @@ impl<V: WireValue> ClusterClient<V> {
     }
 
     /// Re-sends every unanswered request, in submission (= id) order.
+    /// Batch members go out as individual frames here — the node
+    /// strikes them from the batch roster on direct answer, keeping
+    /// retries exactly-once (see the struct docs).
     fn resend_pending(&mut self) -> io::Result<()> {
         let mut ids: Vec<u64> = self.pending.keys().copied().collect();
         ids.sort_unstable();
         for id in ids {
             let (tag, payload) = &self.pending[&id];
-            write_frame(&mut self.writer, *tag, payload)?;
+            write_frame(&mut self.wbuf, *tag, payload)?;
         }
-        self.writer.flush()
+        self.flush()
     }
 
     /// Blocks for the next combine/write response on this connection,
@@ -945,7 +1087,7 @@ impl<V: WireValue> ClusterClient<V> {
     /// applies the timeout/retry policy when armed.
     pub fn next_response(&mut self) -> io::Result<(u64, Response<V>)> {
         let mut retries = 0;
-        if let Err(e) = self.writer.flush() {
+        if let Err(e) = self.flush() {
             if Self::is_disconnect(&e) && retries < self.max_retries {
                 retries += 1;
                 self.reconnect()?;
@@ -954,24 +1096,32 @@ impl<V: WireValue> ClusterClient<V> {
             }
         }
         loop {
-            let (tag, payload) = match self.read_frame_buffered() {
-                Ok(frame) => frame,
-                Err(e) if Self::is_timeout(&e) && retries < self.max_retries => {
-                    retries += 1;
-                    self.timeouts += 1;
-                    self.resend_pending()?;
-                    continue;
-                }
-                Err(e) if Self::is_disconnect(&e) && retries < self.max_retries => {
-                    // The node's process died under us (kill9) or the
-                    // connection was severed; its listener survives, so
-                    // redial and re-drive everything unanswered.
-                    retries += 1;
-                    self.reconnect()?;
-                    continue;
-                }
-                Err(e) => return Err(e),
+            // Responses unpacked from an earlier RESP_BATCH come first.
+            let (tag, payload) = match self.queued.pop_front() {
+                Some(frame) => frame,
+                None => match self.read_frame_buffered() {
+                    Ok(frame) => frame,
+                    Err(e) if Self::is_timeout(&e) && retries < self.max_retries => {
+                        retries += 1;
+                        self.timeouts += 1;
+                        self.resend_pending()?;
+                        continue;
+                    }
+                    Err(e) if Self::is_disconnect(&e) && retries < self.max_retries => {
+                        // The node's process died under us (kill9) or the
+                        // connection was severed; its listener survives, so
+                        // redial and re-drive everything unanswered.
+                        retries += 1;
+                        self.reconnect()?;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                },
             };
+            if tag == TAG_RESP_BATCH {
+                self.queued.extend(decode_batch(&payload)?);
+                continue;
+            }
             let mut r = WireReader::new(&payload);
             let id = r
                 .u64("response req id")
@@ -1054,6 +1204,45 @@ impl<V: WireValue> ClusterClient<V> {
         })
     }
 
+    /// Runs the subsequence `indices` of `seq` through this connection
+    /// in batches of `batch` requests per `REQ_BATCH` frame.
+    fn run_batches(
+        &mut self,
+        seq: &[Request<V>],
+        indices: &[usize],
+        batch: usize,
+    ) -> io::Result<PerClientResults<V>>
+    where
+        V: Clone,
+    {
+        let mut combines = Vec::new();
+        let mut latencies = Vec::with_capacity(indices.len());
+        for chunk in indices.chunks(batch) {
+            let started = Instant::now();
+            let ops: Vec<ReqOp<V>> = chunk.iter().map(|&i| seq[i].op.clone()).collect();
+            let ids = self.submit_batch(&ops)?;
+            self.flush()?;
+            let mut want: HashMap<u64, usize> =
+                ids.into_iter().zip(chunk.iter().copied()).collect();
+            while !want.is_empty() {
+                let (id, resp) = self.next_response()?;
+                // next_response only surfaces pending ids, but stay
+                // defensive like run_window: skip, don't die.
+                let Some(i) = want.remove(&id) else {
+                    continue;
+                };
+                latencies.push((i, started.elapsed()));
+                if let Response::Combine(v) = resp {
+                    combines.push((i, v));
+                }
+            }
+        }
+        Ok(PerClientResults {
+            combines,
+            latencies,
+        })
+    }
+
     /// Issues a combine at this node and blocks for the aggregate value
     /// (retrying under the armed timeout policy).
     pub fn combine(&mut self) -> io::Result<V> {
@@ -1105,8 +1294,8 @@ impl<V: WireValue> ClusterClient<V> {
         let id = self.fresh_id();
         let mut payload = Vec::with_capacity(8);
         put_u64(&mut payload, id);
-        write_frame(&mut self.writer, TAG_REQ_METRICS, &payload)?;
-        self.writer.flush()?;
+        write_frame(&mut self.wbuf, TAG_REQ_METRICS, &payload)?;
+        self.flush()?;
         let mut retries = 0;
         loop {
             let (tag, body) = match self.read_frame_buffered() {
@@ -1114,19 +1303,25 @@ impl<V: WireValue> ClusterClient<V> {
                 Err(e) if Self::is_timeout(&e) && retries < self.max_retries => {
                     retries += 1;
                     self.timeouts += 1;
-                    write_frame(&mut self.writer, TAG_REQ_METRICS, &payload)?;
+                    write_frame(&mut self.wbuf, TAG_REQ_METRICS, &payload)?;
                     self.resend_pending()?;
                     continue;
                 }
                 Err(e) if Self::is_disconnect(&e) && retries < self.max_retries => {
                     retries += 1;
                     self.reconnect()?;
-                    write_frame(&mut self.writer, TAG_REQ_METRICS, &payload)?;
-                    self.writer.flush()?;
+                    write_frame(&mut self.wbuf, TAG_REQ_METRICS, &payload)?;
+                    self.flush()?;
                     continue;
                 }
                 Err(e) => return Err(e),
             };
+            if tag == TAG_RESP_BATCH {
+                // A pipelined batch resolving while we wait for metrics:
+                // park its members for the caller's next_response loop.
+                self.queued.extend(decode_batch(&body)?);
+                continue;
+            }
             let mut r = WireReader::new(&body);
             let got = r
                 .u64("response req id")

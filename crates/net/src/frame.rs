@@ -20,6 +20,16 @@
 //! | 8   | metrics response   | `u64` request id, [`NodeMetrics`]    |
 //! | 9   | sequenced edge     | `u64` seq, `u8` inner tag, body      |
 //! | 10  | cumulative ack     | `u64` highest in-order seq received  |
+//! | 11  | batch request      | `u32` count, then count items        |
+//! | 12  | batch response     | `u32` count, then count items        |
+//!
+//! A batch item is `[u8 tag][u32 len (LE)][len payload bytes]`, where
+//! the tag/payload pair is byte-identical to the standalone frame it
+//! stands for (tags 3/4 inside a batch request; 5/6 inside a batch
+//! response). Batching changes only the outer framing — one syscall
+//! carries N requests and one carries N responses — never the item
+//! encodings, so req-id matching, timeout retry, and idempotent
+//! re-sends keep working unchanged.
 //!
 //! ## The sequenced edge link (tags 0, 9, 10)
 //!
@@ -68,6 +78,10 @@ pub const TAG_RESP_METRICS: u8 = 8;
 pub const TAG_SEQ: u8 = 9;
 /// Cumulative ack: `u64` highest in-order seq received on this edge.
 pub const TAG_ACK: u8 = 10;
+/// Batched client requests: `u32` count, then count batch items.
+pub const TAG_REQ_BATCH: u8 = 11;
+/// Batched responses: `u32` count, then count batch items.
+pub const TAG_RESP_BATCH: u8 = 12;
 
 /// Inner tag: a mechanism message (`Message<V>` wire encoding).
 pub const INNER_NET: u8 = 0;
@@ -213,6 +227,55 @@ impl FrameDecoder {
     }
 }
 
+/// Encodes batch items into a batch-frame payload: `u32` count, then
+/// per item `[u8 tag][u32 len][payload]`. Each item's tag/payload is
+/// byte-identical to the standalone frame it replaces.
+pub fn encode_batch(items: &[(u8, Vec<u8>)]) -> Vec<u8> {
+    let body: usize = items.iter().map(|(_, p)| 5 + p.len()).sum();
+    let mut out = Vec::with_capacity(4 + body);
+    out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+    for (tag, payload) in items {
+        out.push(*tag);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+/// Decodes a batch-frame payload back into `(tag, payload)` items.
+///
+/// Rejects payloads whose declared count or item lengths disagree with
+/// the bytes actually present (including trailing garbage): a batch
+/// frame must be exactly self-describing, same spirit as the outer
+/// length check in [`read_frame`].
+pub fn decode_batch(payload: &[u8]) -> io::Result<Vec<(u8, Vec<u8>)>> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if payload.len() < 4 {
+        return Err(bad("batch shorter than its count field"));
+    }
+    let count = u32::from_le_bytes(payload[..4].try_into().expect("4-byte slice")) as usize;
+    let mut items = Vec::new();
+    let mut at = 4;
+    for _ in 0..count {
+        if payload.len() - at < 5 {
+            return Err(bad("truncated batch item header"));
+        }
+        let tag = payload[at];
+        let len =
+            u32::from_le_bytes(payload[at + 1..at + 5].try_into().expect("4-byte slice")) as usize;
+        at += 5;
+        if payload.len() - at < len {
+            return Err(bad("truncated batch item payload"));
+        }
+        items.push((tag, payload[at..at + len].to_vec()));
+        at += len;
+    }
+    if at != payload.len() {
+        return Err(bad("trailing bytes after final batch item"));
+    }
+    Ok(items)
+}
+
 /// True when `err` means the peer closed the connection cleanly.
 pub fn is_clean_close(err: &io::Error) -> bool {
     matches!(
@@ -310,6 +373,36 @@ mod tests {
             dec.try_frame().unwrap_err().kind(),
             io::ErrorKind::InvalidData
         );
+    }
+
+    #[test]
+    fn batch_roundtrips_including_empty_payloads() {
+        let items = vec![
+            (TAG_REQ_COMBINE, 7u64.to_le_bytes().to_vec()),
+            (TAG_REQ_WRITE, vec![]),
+            (TAG_REQ_COMBINE, vec![0xAB; 300]),
+        ];
+        let wire = encode_batch(&items);
+        assert_eq!(decode_batch(&wire).unwrap(), items);
+        assert_eq!(decode_batch(&encode_batch(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn batch_rejects_malformed_payloads() {
+        // Count promises more items than the bytes hold.
+        let mut wire = encode_batch(&[(TAG_REQ_COMBINE, vec![1, 2, 3])]);
+        wire[0] = 2;
+        assert!(decode_batch(&wire).is_err());
+        // Item length runs past the end.
+        let mut wire = encode_batch(&[(TAG_REQ_COMBINE, vec![1, 2, 3])]);
+        wire[5] = 200;
+        assert!(decode_batch(&wire).is_err());
+        // Trailing garbage after the last item.
+        let mut wire = encode_batch(&[(TAG_REQ_COMBINE, vec![1, 2, 3])]);
+        wire.push(0);
+        assert!(decode_batch(&wire).is_err());
+        // Shorter than the count field itself.
+        assert!(decode_batch(&[1, 0]).is_err());
     }
 
     #[test]

@@ -1,18 +1,23 @@
-//! # oat-net — the lease mechanism as a real TCP cluster
+//! # oat-net — the lease mechanism as a real cluster
 //!
 //! The simulator (`oat-sim`) delivers messages by popping a queue; the
 //! threaded runtime (`oat-concurrent`) uses in-process channels. This
-//! crate goes the last step: every tree node is served behind a
-//! `TcpListener` on loopback, every tree edge is a persistent TCP
-//! connection carrying length-prefixed frames ([`frame`]), and clients
-//! talk to any node over the same protocol to issue `combine` / `write`
-//! requests or pull metrics snapshots.
+//! crate goes the last step: every tree node is served behind its own
+//! listener, every tree edge is a persistent connection carrying
+//! length-prefixed frames ([`frame`]), and clients talk to any node
+//! over the same protocol to issue `combine` / `write` requests or
+//! pull metrics snapshots. The byte pipe underneath is pluggable
+//! ([`transport`], selected by [`NetConfig::transport`]): loopback TCP
+//! (the default), Unix-domain sockets, or in-process SPSC byte rings
+//! with a socketpair doorbell — the protocol and every fault/recovery
+//! seam are identical across the three.
 //!
-//! The transport is a poll(2)-based reactor: a fixed pool of event-loop
-//! threads (default `min(cores, 4)`, tunable via [`NetConfig`]) drives
-//! every socket non-blocking, with nodes sharded across the pool by
-//! `node_id % pool`. All of a node's sockets live on its owning reactor
-//! thread, so node state needs no locks; reads decode frames
+//! The runtime is a readiness-based reactor (poll(2) by default, epoll(7)
+//! behind the `epoll` feature): a fixed pool of event-loop threads
+//! (default `min(cores, 4)`, tunable via [`NetConfig`]) drives
+//! every connection non-blocking, with nodes sharded across the pool by
+//! `node_id % pool`. All of a node's connections live on its owning
+//! reactor thread, so node state needs no locks; reads decode frames
 //! incrementally from per-connection buffers, and writes batch frames
 //! into vectored `writev` calls. Thread count is O(pool), not O(nodes).
 //!
@@ -49,6 +54,7 @@ pub mod frame;
 pub mod metrics;
 mod node;
 mod reactor;
+mod transport;
 
 pub use cluster::{
     Cluster, ClusterClient, ClusterReport, DurabilityMode, NetConfig, NetSeqChunk, PipelinedChunk,
@@ -57,6 +63,7 @@ pub use cluster::{
 pub use durability::{Durability, MemoryDurability, WalCounters, WalDurability, WalState};
 pub use metrics::NodeMetrics;
 pub use node::FaultCounters;
+pub use transport::{NodeAddr, TransportKind};
 
 #[cfg(test)]
 mod tests {
@@ -179,7 +186,9 @@ mod tests {
         // A stranger with an unknown hello tag, one with a truncated
         // frame, and a client that sends a garbage request: each must be
         // dropped without killing the acceptor or the node.
-        let addr = cluster.addrs()[1];
+        let NodeAddr::Tcp(addr) = cluster.addrs()[1].clone() else {
+            panic!("default transport is TCP");
+        };
         let mut s = std::net::TcpStream::connect(addr).unwrap();
         s.write_all(&[3, 0, 0, 0, 99, 0xde, 0xad]).unwrap();
         drop(s);

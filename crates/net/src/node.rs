@@ -75,7 +75,8 @@
 //!
 //! ## Quiescence accounting
 //!
-//! A cluster-wide `AtomicI64` counts undelivered work. Client requests
+//! A cluster-wide counter ([`crate::reactor::InFlight`], an `AtomicI64`
+//! plus a condvar notified at zero) counts undelivered work. Client requests
 //! are counted at decode and settled when their dispatch ends. Edge
 //! frames settle on *acknowledgement*: the sender increments when a
 //! frame is assigned its sequence number and decrements once per frame
@@ -90,8 +91,8 @@
 //! under connection kills and process kills alike.
 
 use std::collections::{HashMap, VecDeque};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::net::Shutdown;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::time::{Duration, Instant};
 
@@ -110,12 +111,13 @@ use std::os::unix::io::AsRawFd;
 
 use crate::durability::{Durability, LinkState, WalState};
 use crate::frame::{
-    INNER_NET, INNER_RESET, INNER_REVOKE, TAG_ACK, TAG_HELLO_CLIENT, TAG_HELLO_EDGE,
-    TAG_REQ_COMBINE, TAG_REQ_METRICS, TAG_REQ_WRITE, TAG_RESP_COMBINE, TAG_RESP_METRICS,
-    TAG_RESP_WRITE, TAG_SEQ,
+    decode_batch, encode_batch, INNER_NET, INNER_RESET, INNER_REVOKE, TAG_ACK, TAG_HELLO_CLIENT,
+    TAG_HELLO_EDGE, TAG_REQ_BATCH, TAG_REQ_COMBINE, TAG_REQ_METRICS, TAG_REQ_WRITE, TAG_RESP_BATCH,
+    TAG_RESP_COMBINE, TAG_RESP_METRICS, TAG_RESP_WRITE, TAG_SEQ,
 };
 use crate::metrics::NodeMetrics;
-use crate::reactor::{Conn, NodeSeed, Tok, WriteQueue};
+use crate::reactor::{Conn, InFlight, NodeSeed, Tok, WriteQueue};
+use crate::transport::{Listener, NodeAddr, Stream};
 
 /// Identifies one client connection to one node.
 pub(crate) type ClientId = u64;
@@ -211,11 +213,11 @@ pub struct FaultCounters {
 /// the automaton, but a leaked increment would wedge `quiesce()`
 /// forever). Edge frames are not guarded here: their debt belongs to
 /// the sender and settles when the frame leaves its retransmit buffer.
-struct InFlightGuard<'a>(&'a AtomicI64);
+struct InFlightGuard<'a>(&'a InFlight);
 
 impl Drop for InFlightGuard<'_> {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+        self.0.sub(1);
     }
 }
 
@@ -223,12 +225,12 @@ impl Drop for InFlightGuard<'_> {
 /// cluster's lifetime.
 pub(crate) struct Ctx<'a, S, A: AggOp> {
     pub tree: &'a Tree,
-    pub addrs: &'a [SocketAddr],
+    pub addrs: &'a [NodeAddr],
     pub op: &'a A,
     pub spec: &'a S,
     pub ghost: bool,
     /// Cluster-wide undelivered-work counter.
-    pub in_flight: &'a AtomicI64,
+    pub in_flight: &'a InFlight,
     /// Cluster-wide count of mechanism messages sent.
     pub total_sent: &'a AtomicU64,
     /// Cluster-wide ledger of injected fault events.
@@ -314,11 +316,46 @@ enum Work<V> {
     Metrics { conn: ClientId, req_id: u64 },
 }
 
+/// Accumulates responses for in-progress request batches.
+///
+/// A `TAG_REQ_BATCH` frame promises one `TAG_RESP_BATCH` answer
+/// carrying every member's response. Members dispatch as ordinary
+/// [`Work::Client`] items, so their responses arrive one at a time —
+/// possibly much later (a parked combine), possibly after a crash
+/// forced the client to re-drive members individually. The book routes
+/// each `(client, req id)` response into its batch accumulator and
+/// emits the combined frame once the last member answers. A member is
+/// struck from the index at its *first* response: an idempotent
+/// retry answered a second time falls through to the direct path,
+/// where the client discards unknown ids — never a duplicate item in
+/// the batch frame.
+#[derive(Default)]
+struct BatchBook {
+    /// `(client, req id)` → batch key, while the member's answer is due.
+    member: HashMap<(ClientId, u64), u64>,
+    /// `(client, batch key)` → responses gathered so far.
+    accs: HashMap<(ClientId, u64), BatchAcc>,
+    next_key: u64,
+}
+
+struct BatchAcc {
+    expected: usize,
+    items: Vec<(u8, Vec<u8>)>,
+}
+
+impl BatchBook {
+    /// Forgets everything owed to a departed client.
+    fn purge(&mut self, cid: ClientId) {
+        self.member.retain(|&(c, _), _| c != cid);
+        self.accs.retain(|&(c, _), _| c != cid);
+    }
+}
+
 /// One tree node: automaton + transport, owned by a reactor thread.
 pub(crate) struct NodeRt<S: PolicySpec, A: AggOp> {
     id: NodeId,
     degree: usize,
-    listener: TcpListener,
+    listener: Listener,
     mech: MechNode<S::Node, A>,
     links: Vec<EdgeLink>,
     /// Accepted connections that have not yet sent their hello.
@@ -326,6 +363,8 @@ pub(crate) struct NodeRt<S: PolicySpec, A: AggOp> {
     next_pending: u64,
     clients: HashMap<ClientId, Conn>,
     next_client: ClientId,
+    /// In-progress request batches awaiting their combined response.
+    book: BatchBook,
     /// Parked combine requests, answered at the next completion.
     waiters: Vec<(ClientId, u64)>,
     stats: MsgStats,
@@ -441,6 +480,7 @@ where
             next_pending: 0,
             clients: HashMap::new(),
             next_client: 0,
+            book: BatchBook::default(),
             waiters: Vec::new(),
             stats: MsgStats::new(ctx.tree),
             completions: Vec::new(),
@@ -503,10 +543,14 @@ where
             fds.push(PollFd::new(conn.stream.as_raw_fd(), POLLIN));
             toks.push(Tok::Pending(idx, pid));
         }
+        // POLLOUT interest is transport-gated: ring doorbells are almost
+        // always writable, so arming POLLOUT on them would busy-spin. A
+        // blocked ring write recovers via the peer's space-freed nudge
+        // (POLLIN) plus the unconditional flush pass each iteration.
         for (wi, link) in self.links.iter().enumerate() {
             if let Some(conn) = &link.conn {
                 let mut ev = POLLIN;
-                if !conn.out.is_empty() {
+                if !conn.out.is_empty() && conn.stream.wants_pollout() {
                     ev |= POLLOUT;
                 }
                 fds.push(PollFd::new(conn.stream.as_raw_fd(), ev));
@@ -514,7 +558,7 @@ where
             }
             if let Some(conn) = &link.pending_dial {
                 let mut ev = POLLIN;
-                if !conn.out.is_empty() {
+                if !conn.out.is_empty() && conn.stream.wants_pollout() {
                     ev |= POLLOUT;
                 }
                 fds.push(PollFd::new(conn.stream.as_raw_fd(), ev));
@@ -523,7 +567,7 @@ where
         }
         for (&cid, conn) in &self.clients {
             let mut ev = if self.stalled { 0 } else { POLLIN };
-            if !conn.out.is_empty() {
+            if !conn.out.is_empty() && conn.stream.wants_pollout() {
                 ev |= POLLOUT;
             }
             if ev != 0 {
@@ -538,7 +582,7 @@ where
     pub(crate) fn on_accept_ready(&mut self) {
         loop {
             match self.listener.accept() {
-                Ok((stream, _)) => {
+                Ok(stream) => {
                     if let Ok(conn) = Conn::new(stream) {
                         self.pending.insert(self.next_pending, conn);
                         self.next_pending += 1;
@@ -754,7 +798,7 @@ where
                                 settled += 1;
                             }
                             if settled > 0 {
-                                ctx.in_flight.fetch_sub(settled, Ordering::SeqCst);
+                                ctx.in_flight.sub(settled);
                             }
                         } else {
                             link.dup_drops += 1;
@@ -806,6 +850,7 @@ where
             if let Some(mut conn) = self.clients.remove(&cid) {
                 let _ = conn.flush();
             }
+            self.book.purge(cid);
         }
     }
 
@@ -832,7 +877,7 @@ where
                             keep = false;
                             break;
                         };
-                        ctx.in_flight.fetch_add(1, Ordering::SeqCst);
+                        ctx.in_flight.add(1);
                         self.gauge.on_enqueue();
                         oat_obs::trace_event!(
                             oat_obs::EventKind::ReqRecv,
@@ -857,7 +902,7 @@ where
                             keep = false;
                             break;
                         };
-                        ctx.in_flight.fetch_add(1, Ordering::SeqCst);
+                        ctx.in_flight.add(1);
                         self.gauge.on_enqueue();
                         oat_obs::trace_event!(
                             oat_obs::EventKind::ReqRecv,
@@ -879,6 +924,78 @@ where
                         };
                         self.gauge.on_enqueue();
                         work.push(Work::Metrics { conn: cid, req_id });
+                    }
+                    Ok(Some((TAG_REQ_BATCH, payload))) => {
+                        // All-or-nothing: every item must parse as a
+                        // combine or write with a unique req id before
+                        // anything is admitted, so a malformed batch
+                        // can't half-execute.
+                        let Ok(items) = decode_batch(&payload) else {
+                            keep = false;
+                            break;
+                        };
+                        let mut parsed: Vec<(u64, ReqOp<A::Value>)> =
+                            Vec::with_capacity(items.len());
+                        let mut bad = items.is_empty();
+                        for (tag, p) in &items {
+                            let mut r = WireReader::new(p);
+                            let item = match *tag {
+                                TAG_REQ_COMBINE => r
+                                    .u64("batched combine req id")
+                                    .map(|id| (id, ReqOp::Combine)),
+                                TAG_REQ_WRITE => r.u64("batched write req id").and_then(|id| {
+                                    let arg = A::Value::decode(&mut r)?;
+                                    r.finish("batched write trailing bytes")?;
+                                    Ok((id, ReqOp::Write(arg)))
+                                }),
+                                _ => {
+                                    bad = true;
+                                    break;
+                                }
+                            };
+                            match item {
+                                Ok(it) => parsed.push(it),
+                                Err(_) => {
+                                    bad = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if !bad {
+                            let mut ids: Vec<u64> = parsed.iter().map(|(id, _)| *id).collect();
+                            ids.sort_unstable();
+                            ids.dedup();
+                            bad = ids.len() != parsed.len();
+                        }
+                        if bad {
+                            keep = false;
+                            break;
+                        }
+                        let key = self.book.next_key;
+                        self.book.next_key += 1;
+                        self.book.accs.insert(
+                            (cid, key),
+                            BatchAcc {
+                                expected: parsed.len(),
+                                items: Vec::with_capacity(parsed.len()),
+                            },
+                        );
+                        for (req_id, op) in parsed {
+                            self.book.member.insert((cid, req_id), key);
+                            ctx.in_flight.add(1);
+                            self.gauge.on_enqueue();
+                            oat_obs::trace_event!(
+                                oat_obs::EventKind::ReqRecv,
+                                self.id.0,
+                                cid as u32,
+                                req_id
+                            );
+                            work.push(Work::Client {
+                                conn: cid,
+                                req_id,
+                                op,
+                            });
+                        }
                     }
                     Ok(Some(_)) => {
                         keep = false;
@@ -991,7 +1108,13 @@ where
                         self.send_outbox(ctx);
                         let mut payload = Vec::with_capacity(8);
                         put_u64(&mut payload, req_id);
-                        respond(&mut self.clients, conn, TAG_RESP_WRITE, &payload);
+                        respond(
+                            &mut self.clients,
+                            &mut self.book,
+                            conn,
+                            TAG_RESP_WRITE,
+                            &payload,
+                        );
                         oat_obs::trace_event!(
                             oat_obs::EventKind::RespTx,
                             self.id.0,
@@ -1007,7 +1130,13 @@ where
                                 let mut payload = Vec::with_capacity(16);
                                 put_u64(&mut payload, req_id);
                                 v.encode(&mut payload);
-                                respond(&mut self.clients, conn, TAG_RESP_COMBINE, &payload);
+                                respond(
+                                    &mut self.clients,
+                                    &mut self.book,
+                                    conn,
+                                    TAG_RESP_COMBINE,
+                                    &payload,
+                                );
                                 oat_obs::trace_event!(
                                     oat_obs::EventKind::RespTx,
                                     self.id.0,
@@ -1042,7 +1171,13 @@ where
                 let mut payload = Vec::with_capacity(64);
                 put_u64(&mut payload, req_id);
                 metrics.encode(&mut payload);
-                respond(&mut self.clients, conn, TAG_RESP_METRICS, &payload);
+                respond(
+                    &mut self.clients,
+                    &mut self.book,
+                    conn,
+                    TAG_RESP_METRICS,
+                    &payload,
+                );
             }
         }
         self.settle_downed();
@@ -1098,7 +1233,13 @@ where
             let mut payload = Vec::with_capacity(16);
             put_u64(&mut payload, req_id);
             v.encode(&mut payload);
-            respond(&mut self.clients, conn, TAG_RESP_COMBINE, &payload);
+            respond(
+                &mut self.clients,
+                &mut self.book,
+                conn,
+                TAG_RESP_COMBINE,
+                &payload,
+            );
             oat_obs::trace_event!(oat_obs::EventKind::RespTx, self.id.0, conn as u32, req_id);
             self.completions.push((self.id, v.clone()));
         }
@@ -1179,6 +1320,7 @@ where
         for (_, conn) in self.clients.drain() {
             let _ = conn.stream.shutdown(Shutdown::Both);
         }
+        self.book = BatchBook::default();
         self.abandoned += self.waiters.len() as u64;
         self.waiters.clear();
         self.out.clear();
@@ -1206,7 +1348,7 @@ where
             link.redial_at = None;
         }
         if forgiven > 0 {
-            ctx.in_flight.fetch_sub(forgiven, Ordering::SeqCst);
+            ctx.in_flight.sub(forgiven);
         }
         self.connected = 0;
         self.durable_val = ctx.op.identity();
@@ -1259,7 +1401,7 @@ where
             self.lease_bits[wi] = ls.lease;
         }
         if recharged > 0 {
-            ctx.in_flight.fetch_add(recharged, Ordering::SeqCst);
+            ctx.in_flight.add(recharged);
         }
         // A fresh automaton at a strictly newer epoch than any the dead
         // incarnation could have used, persisted before anything else so
@@ -1336,7 +1478,7 @@ where
 
     fn try_dial(&mut self, wi: usize, ctx: &Ctx<'_, S, A>) {
         let link = &mut self.links[wi];
-        let attempt = TcpStream::connect(ctx.addrs[link.peer.idx()]).and_then(Conn::new);
+        let attempt = Stream::connect(&ctx.addrs[link.peer.idx()]).and_then(Conn::new);
         match attempt {
             Ok(mut conn) => {
                 let mut hello = Vec::with_capacity(20);
@@ -1420,8 +1562,17 @@ where
             }
         }
         self.settle_downed();
-        self.clients
-            .retain(|_, conn| conn.out.is_empty() || conn.flush().is_ok());
+        let mut dropped: Vec<ClientId> = Vec::new();
+        self.clients.retain(|&cid, conn| {
+            let keep = conn.out.is_empty() || conn.flush().is_ok();
+            if !keep {
+                dropped.push(cid);
+            }
+            keep
+        });
+        for cid in dropped {
+            self.book.purge(cid);
+        }
         // Backpressure: enter a stall at the high watermark, leave only
         // once *every* edge drained below the low one (hysteresis).
         if !self.stalled {
@@ -1595,7 +1746,7 @@ where
             settled += 1;
         }
         if settled > 0 {
-            ctx.in_flight.fetch_sub(settled, Ordering::SeqCst);
+            ctx.in_flight.sub(settled);
         }
         if self.durable {
             // Persist any watermark moves the hello produced.
@@ -1674,7 +1825,7 @@ fn send_seq<S, A: AggOp>(
     body: &[u8],
     ctx: &Ctx<'_, S, A>,
 ) -> bool {
-    ctx.in_flight.fetch_add(1, Ordering::SeqCst);
+    ctx.in_flight.add(1);
     link.tx_seq += 1;
     let seq = link.tx_seq;
     dur.log_send(link.peer.0, seq, inner, body);
@@ -1730,7 +1881,32 @@ fn send_seq<S, A: AggOp>(
 /// Queues one response frame for a client connection. A missing writer
 /// means the client vanished; its responses are dropped — clients are
 /// untrusted peers, their disappearance must not kill a node.
-fn respond(clients: &mut HashMap<ClientId, Conn>, conn: ClientId, tag: u8, payload: &[u8]) {
+///
+/// Responses owed to an in-progress batch are routed into its
+/// accumulator instead, and the combined `TAG_RESP_BATCH` frame is
+/// emitted when the last member answers (see [`BatchBook`]).
+fn respond(
+    clients: &mut HashMap<ClientId, Conn>,
+    book: &mut BatchBook,
+    conn: ClientId,
+    tag: u8,
+    payload: &[u8],
+) {
+    if payload.len() >= 8 {
+        let req_id = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+        if let Some(key) = book.member.remove(&(conn, req_id)) {
+            let acc = book.accs.get_mut(&(conn, key)).expect("member implies acc");
+            acc.items.push((tag, payload.to_vec()));
+            if acc.items.len() == acc.expected {
+                let acc = book.accs.remove(&(conn, key)).expect("present above");
+                let frame = encode_batch(&acc.items);
+                if let Some(c) = clients.get_mut(&conn) {
+                    c.out.frame(TAG_RESP_BATCH, &frame);
+                }
+            }
+            return;
+        }
+    }
     if let Some(c) = clients.get_mut(&conn) {
         c.out.frame(tag, payload);
     }

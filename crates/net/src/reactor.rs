@@ -35,10 +35,9 @@
 
 use std::collections::VecDeque;
 use std::io::{self, IoSlice, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use oat_core::agg::AggOp;
@@ -46,12 +45,77 @@ use oat_core::fault::{FaultPlan, InjectedFaults};
 use oat_core::policy::PolicySpec;
 use oat_core::tree::{NodeId, Tree};
 use oat_core::wire::WireValue;
-use oat_poll::{poll_fds, PollFd, POLLIN};
+use oat_poll::{PollFd, Poller, POLLIN};
 use std::os::unix::io::AsRawFd;
 use std::os::unix::net::UnixStream;
 
 use crate::frame::{write_frame, FrameDecoder};
 use crate::node::{Ctx, NodeReport, NodeRt, RTO};
+use crate::transport::{Listener, NodeAddr, Stream};
+
+/// Cluster-wide in-flight work counter with event-driven quiescence.
+///
+/// Client requests and unacked edge frames each hold one unit of debt;
+/// [`InFlight::wait_zero`] parks on a condvar that [`InFlight::sub`]
+/// notifies exactly when the count hits zero — replacing the
+/// sleep-polling loop that used to dominate the sequential path.
+pub(crate) struct InFlight {
+    n: AtomicI64,
+    mu: Mutex<()>,
+    cv: Condvar,
+}
+
+impl InFlight {
+    pub(crate) fn new() -> InFlight {
+        InFlight {
+            n: AtomicI64::new(0),
+            mu: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn add(&self, d: i64) {
+        self.n.fetch_add(d, Ordering::SeqCst);
+    }
+
+    pub(crate) fn sub(&self, d: i64) {
+        if self.n.fetch_sub(d, Ordering::SeqCst) - d == 0 {
+            // Take the lock before notifying so a waiter that observed a
+            // non-zero count cannot park between our decrement and this
+            // notification (it re-checks the count under the lock).
+            let _g = self.mu.lock().unwrap();
+            self.cv.notify_all();
+        }
+    }
+
+    pub(crate) fn load(&self) -> i64 {
+        self.n.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the count reaches zero. With a deadline, returns
+    /// `false` if it expires first. The 50 ms cap on each park is a
+    /// safety net against a lost wakeup, not the detection mechanism.
+    pub(crate) fn wait_zero(&self, deadline: Option<Instant>) -> bool {
+        loop {
+            if self.load() == 0 {
+                return true;
+            }
+            let guard = self.mu.lock().unwrap();
+            if self.load() == 0 {
+                return true;
+            }
+            let mut wait = Duration::from_millis(50);
+            if let Some(d) = deadline {
+                let left = d.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return false;
+                }
+                wait = wait.min(left);
+            }
+            let _ = self.cv.wait_timeout(guard, wait).unwrap();
+        }
+    }
+}
 
 /// Target size for coalescing small frames into one owned chunk, and
 /// therefore one `iovec` of the vectored write.
@@ -101,7 +165,7 @@ impl WriteQueue {
     /// Writes as much as the socket accepts. `Ok(true)` means drained,
     /// `Ok(false)` means `WouldBlock` with bytes still queued (the
     /// caller arms `POLLOUT`), `Err` means the connection is dead.
-    pub(crate) fn flush(&mut self, stream: &mut TcpStream) -> io::Result<bool> {
+    pub(crate) fn flush(&mut self, stream: &mut Stream) -> io::Result<bool> {
         loop {
             if self.chunks.is_empty() {
                 return Ok(true);
@@ -147,16 +211,15 @@ impl WriteQueue {
 /// One non-blocking connection: the stream plus its incremental frame
 /// decoder (read side) and write queue (write side).
 pub(crate) struct Conn {
-    pub(crate) stream: TcpStream,
+    pub(crate) stream: Stream,
     pub(crate) dec: FrameDecoder,
     pub(crate) out: WriteQueue,
 }
 
 impl Conn {
     /// Adopts a freshly accepted/connected stream into reactor mode.
-    pub(crate) fn new(stream: TcpStream) -> io::Result<Conn> {
-        stream.set_nodelay(true)?;
-        stream.set_nonblocking(true)?;
+    pub(crate) fn new(stream: Stream) -> io::Result<Conn> {
+        stream.prepare()?;
         Ok(Conn {
             stream,
             dec: FrameDecoder::new(),
@@ -223,11 +286,11 @@ pub(crate) struct ReactorCfg<S, A: AggOp> {
     pub shard: u32,
     pub shard_nodes: Vec<NodeSeed>,
     pub tree: Tree,
-    pub addrs: Vec<SocketAddr>,
+    pub addrs: Vec<NodeAddr>,
     pub op: A,
     pub spec: S,
     pub ghost: bool,
-    pub in_flight: Arc<AtomicI64>,
+    pub in_flight: Arc<InFlight>,
     pub total_sent: Arc<AtomicU64>,
     pub shutting_down: Arc<AtomicBool>,
     pub plan: Arc<FaultPlan>,
@@ -243,7 +306,7 @@ pub(crate) struct ReactorCfg<S, A: AggOp> {
 /// main thread, where open errors can still fail the spawn).
 pub(crate) struct NodeSeed {
     pub id: NodeId,
-    pub listener: TcpListener,
+    pub listener: Listener,
     pub backend: Box<dyn crate::durability::Durability>,
 }
 
@@ -310,6 +373,10 @@ where
     let mut scratch = vec![0u8; READ_CHUNK];
     let mut fds: Vec<PollFd> = Vec::new();
     let mut toks: Vec<Tok> = Vec::new();
+    // With the `epoll` feature this holds a persistent epoll instance
+    // (interest diffed per iteration); without it, a stateless shim
+    // over poll(2).
+    let mut poller = Poller::new().expect("create poller");
     let mut last_tick = Instant::now();
     loop {
         // Timers first: retransmission tick at RTO cadence, redials due.
@@ -360,7 +427,7 @@ where
         // immediate retry; the per-connection handlers below discover
         // and retire any genuinely dead socket.
         let t_poll = oat_obs::now_ns();
-        let _ = poll_fds(&mut fds, timeout);
+        let _ = poller.wait(&mut fds, timeout);
         if t_poll != 0 {
             let ready = fds.iter().filter(|fd| fd.revents != 0).count() as u32;
             oat_obs::trace_span!(oat_obs::EventKind::PollWake, t_poll, shard, ready, 0);
@@ -430,7 +497,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::net::TcpListener;
+    use std::net::{TcpListener, TcpStream};
 
     fn loopback_pair() -> (TcpStream, TcpStream) {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -443,7 +510,7 @@ mod tests {
     #[test]
     fn write_queue_coalesces_and_survives_partial_drains() {
         let (a, mut b) = loopback_pair();
-        let mut conn = Conn::new(a).unwrap();
+        let mut conn = Conn::new(Stream::Tcp(a)).unwrap();
         let mut expected = Vec::new();
         for i in 0..100u8 {
             let payload = vec![i; 1 + (i as usize % 300)];
@@ -475,7 +542,7 @@ mod tests {
     #[test]
     fn write_queue_requeues_on_wouldblock_and_finishes_later() {
         let (a, mut b) = loopback_pair();
-        let mut conn = Conn::new(a).unwrap();
+        let mut conn = Conn::new(Stream::Tcp(a)).unwrap();
         // Enough data to overwhelm the kernel buffers of an unread peer.
         let big = vec![0xAB; 256 * 1024];
         for _ in 0..32 {
@@ -511,7 +578,10 @@ mod tests {
         let (waker, rx) = waker_pair().unwrap();
         let h = std::thread::spawn(move || {
             let mut fds = [PollFd::new(rx.as_raw_fd(), POLLIN)];
-            poll_fds(&mut fds, Some(Duration::from_secs(10))).unwrap()
+            let mut poller = Poller::new().unwrap();
+            poller
+                .wait(&mut fds, Some(Duration::from_secs(10)))
+                .unwrap()
         });
         std::thread::sleep(Duration::from_millis(10));
         waker.wake();

@@ -191,6 +191,36 @@ pub fn wire_latency(events: &[Event]) -> WireLatency {
     out
 }
 
+/// [`wire_latency`], split per directed edge: one [`WireLatency`] per
+/// `(from, to)` node pair that transmitted at least one frame, sorted
+/// by edge for stable display.
+pub fn wire_latency_by_edge(events: &[Event]) -> Vec<((u32, u32), WireLatency)> {
+    let mut tx: HashMap<(u32, u32, u64), u64> = HashMap::new();
+    let mut edges: HashMap<(u32, u32), WireLatency> = HashMap::new();
+    for e in events {
+        if e.kind == EventKind::FrameTx {
+            tx.insert((e.a, e.b, e.c), e.ts_ns);
+            edges.entry((e.a, e.b)).or_default().tx += 1;
+        }
+    }
+    for e in events {
+        if e.kind == EventKind::FrameRx {
+            if let Some(&sent) = tx.get(&(e.b, e.a, e.c)) {
+                if e.ts_ns >= sent {
+                    // Attribute to the sending direction (b → a), the
+                    // same keying as the per-edge message counters.
+                    let w = edges.entry((e.b, e.a)).or_default();
+                    w.matched += 1;
+                    w.hist.record(e.ts_ns - sent);
+                }
+            }
+        }
+    }
+    let mut out: Vec<_> = edges.into_iter().collect();
+    out.sort_by_key(|&(k, _)| k);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +316,30 @@ mod tests {
         assert_eq!((w.tx, w.matched), (3, 2));
         assert_eq!(w.hist.quantile(0.0), 50);
         assert_eq!(w.hist.quantile(1.0), 70);
+    }
+
+    #[test]
+    fn wire_latency_by_edge_splits_directions() {
+        const TAG: u64 = 3;
+        let c = |seq: u64| (seq << 8) | TAG;
+        let events = vec![
+            ev(EventKind::FrameTx, 0, 100, 0, 1, c(1)),
+            ev(EventKind::FrameRx, 1, 150, 1, 0, c(1)),
+            ev(EventKind::FrameTx, 1, 200, 1, 0, c(1)),
+            ev(EventKind::FrameRx, 0, 270, 0, 1, c(1)),
+            // Lost frame: counted in tx for 0→1, never matched.
+            ev(EventKind::FrameTx, 0, 300, 0, 1, c(2)),
+        ];
+        let edges = wire_latency_by_edge(&events);
+        assert_eq!(edges.len(), 2);
+        let (k0, w0) = &edges[0];
+        assert_eq!(*k0, (0, 1));
+        assert_eq!((w0.tx, w0.matched), (2, 1));
+        assert_eq!(w0.hist.quantile(0.5), 50);
+        let (k1, w1) = &edges[1];
+        assert_eq!(*k1, (1, 0));
+        assert_eq!((w1.tx, w1.matched), (1, 1));
+        assert_eq!(w1.hist.quantile(0.5), 70);
     }
 
     #[test]

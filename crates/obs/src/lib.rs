@@ -31,7 +31,9 @@ pub mod export;
 pub mod hist;
 pub mod ring;
 
-pub use breakdown::{phase_breakdown, wire_latency, PhaseBreakdown, WireLatency};
+pub use breakdown::{
+    phase_breakdown, wire_latency, wire_latency_by_edge, PhaseBreakdown, WireLatency,
+};
 pub use event::{Event, EventKind};
 pub use export::{to_chrome, to_jsonl};
 pub use hist::LogHistogram;

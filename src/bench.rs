@@ -1,17 +1,23 @@
 //! The `oat bench` measured-performance harness.
 //!
-//! Runs one seeded workload through three executions and reports
+//! Runs one seeded workload through four executions and reports
 //! throughput and latency for each, in a stable JSON schema
-//! (`oat-bench-v1`) that is written to `BENCH_<date>.json` — the
+//! (`oat-bench-v3`) that is written to `BENCH_<date>.json` — the
 //! trajectory every future performance PR diffs against:
 //!
 //! 1. **sim** — the deterministic simulator, sequential semantics
 //!    (per-request wall latency plus the network model's hop latency);
-//! 2. **net_sequential** — the TCP cluster, one request at a time with
+//! 2. **net_sequential** — the cluster, one request at a time with
 //!    quiescence between requests (the paper's sequential execution);
-//! 3. **net_pipelined** — the TCP cluster with the concurrent
+//! 3. **net_pipelined** — the cluster with the concurrent
 //!    multi-client driver: one client per active node, each keeping
-//!    `depth` requests in flight.
+//!    `depth` requests in flight;
+//! 4. **batch** — the cluster with the batch-frame driver: one client
+//!    per active node, each shipping its requests `batch` at a time in
+//!    single `REQ_BATCH` frames.
+//!
+//! All cluster phases run over the transport selected by
+//! [`BenchConfig::transport`] (`oat bench --transport tcp|uds|ring`).
 //!
 //! The sim phase doubles as the parity oracle: the report carries
 //! `parity_ok`, which compares the net-sequential run's combine values
@@ -33,7 +39,7 @@ use oat_core::mechanism::CombineOutcome;
 use oat_core::policy::PolicySpec;
 use oat_core::request::{ReqOp, Request};
 use oat_core::tree::Tree;
-use oat_net::{Cluster, DurabilityMode, NetConfig, WalConfig};
+use oat_net::{Cluster, DurabilityMode, NetConfig, TransportKind, WalConfig};
 use oat_obs::{LogHistogram, PhaseBreakdown, Trace};
 use oat_sim::{Engine, Schedule};
 
@@ -44,7 +50,11 @@ use oat_sim::{Engine, Schedule};
 /// Additively within v2: a nullable top-level `mlap` object (the
 /// `--mlap` competitive phase) — absent runs emit `null`, so v2 readers
 /// keep working.
-pub const SCHEMA: &str = "oat-bench-v2";
+/// v3 over v2: the config block gains `transport` (the connection
+/// substrate the cluster phases ran on: `tcp`/`uds`/`ring`) and the
+/// document gains a top-level `batch` phase block (the batch-frame
+/// driver). All v2 fields are preserved unchanged.
+pub const SCHEMA: &str = "oat-bench-v3";
 
 /// What to run and how hard; spec strings are echoed into the report.
 pub struct BenchConfig {
@@ -58,6 +68,10 @@ pub struct BenchConfig {
     pub seed: u64,
     /// Pipeline depth for the concurrent driver (≥ 1).
     pub depth: usize,
+    /// Requests per `REQ_BATCH` frame in the batched driver (≥ 1).
+    pub batch: usize,
+    /// Connection transport for every cluster phase.
+    pub transport: TransportKind,
     /// Reactor pool size for the TCP phases; `None` = transport default
     /// (`min(cores, 4)`).
     pub threads: Option<usize>,
@@ -192,6 +206,8 @@ pub struct BenchReport {
     /// allocation-sensitive counter: deeper inboxes mean bigger batches
     /// (good for syscalls) but more queued envelopes (memory).
     pub net_pipelined_queue_peak: u64,
+    /// Batch-frame driver phase (`batch` requests per `REQ_BATCH`).
+    pub batch: PhaseStats,
     /// Clients the pipelined driver ran (one per active node).
     pub pipelined_clients: usize,
     /// OS threads the TCP clusters ran (the reactor pool size — grows
@@ -277,7 +293,17 @@ impl BenchReport {
         }
     }
 
-    /// Renders the stable `oat-bench-v2` JSON document.
+    /// Batched-driver speedup over the sequential replay.
+    pub fn batch_speedup(&self) -> f64 {
+        let seq = self.net_sequential.req_per_s();
+        if seq > 0.0 {
+            self.batch.req_per_s() / seq
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the stable `oat-bench-v3` JSON document.
     pub fn to_json(&self) -> String {
         let mut sweep = String::from("[");
         for (i, p) in self.depth_sweep.iter().enumerate() {
@@ -299,7 +325,7 @@ impl BenchReport {
             None => "null".to_string(),
         };
         format!(
-            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"date\": \"{}\",\n  \"config\": {{\"tree\": \"{}\", \"policy\": \"{}\", \"workload\": \"{}\", \"seed\": {}, \"pipeline_depth\": {}, \"quick\": {}, \"durability\": \"{}\"}},\n  \"threads_spawned\": {},\n  \"sim\": {{{}, \"hop_p50\": {:.1}, \"hop_p99\": {:.1}}},\n  \"net_sequential\": {{{}, \"queue_peak_max\": {}}},\n  \"net_pipelined\": {{{}, \"queue_peak_max\": {}, \"depth\": {}, \"clients\": {}, \"speedup_vs_sequential\": {:.2}}},\n  \"depth_sweep\": {},\n  \"mlap\": {mlap},\n  \"phase_breakdown\": {breakdown},\n  \"parity_ok\": {}\n}}",
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"date\": \"{}\",\n  \"config\": {{\"tree\": \"{}\", \"policy\": \"{}\", \"workload\": \"{}\", \"seed\": {}, \"pipeline_depth\": {}, \"quick\": {}, \"durability\": \"{}\", \"transport\": \"{}\"}},\n  \"threads_spawned\": {},\n  \"sim\": {{{}, \"hop_p50\": {:.1}, \"hop_p99\": {:.1}}},\n  \"net_sequential\": {{{}, \"queue_peak_max\": {}}},\n  \"net_pipelined\": {{{}, \"queue_peak_max\": {}, \"depth\": {}, \"clients\": {}, \"speedup_vs_sequential\": {:.2}}},\n  \"batch\": {{{}, \"batch_size\": {}, \"speedup_vs_sequential\": {:.2}}},\n  \"depth_sweep\": {},\n  \"mlap\": {mlap},\n  \"phase_breakdown\": {breakdown},\n  \"parity_ok\": {}\n}}",
             self.date,
             self.config.tree_spec,
             self.config.policy_spec,
@@ -308,6 +334,7 @@ impl BenchReport {
             self.config.depth,
             self.config.quick,
             self.config.durability_label(),
+            self.config.transport.name(),
             self.threads_spawned,
             self.sim.json_fields(),
             self.sim_hop_p50,
@@ -319,6 +346,9 @@ impl BenchReport {
             self.config.depth,
             self.pipelined_clients,
             self.speedup(),
+            self.batch.json_fields(),
+            self.config.batch,
+            self.batch_speedup(),
             sweep,
             self.parity_ok,
         )
@@ -333,18 +363,20 @@ impl BenchReport {
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "bench: tree {}, policy {}, workload {} (seed {}), depth {}, durability {}\n",
+            "bench: tree {}, policy {}, workload {} (seed {}), depth {}, durability {}, transport {}\n",
             self.config.tree_spec,
             self.config.policy_spec,
             self.config.workload_spec,
             self.config.seed,
             self.config.depth,
             self.config.durability_label(),
+            self.config.transport.name(),
         ));
         for (name, p) in [
             ("sim", &self.sim),
             ("net sequential", &self.net_sequential),
             ("net pipelined", &self.net_pipelined),
+            ("net batched", &self.batch),
         ] {
             out.push_str(&format!(
                 "  {name:<15} {:>8.0} req/s  {:>10.0} msg/s  p50 {:>8.1}us  p99 {:>9.1}us  ({} reqs, {} msgs, {:.3}s)\n",
@@ -364,6 +396,11 @@ impl BenchReport {
             self.config.depth,
             self.threads_spawned,
             if self.parity_ok { "OK" } else { "FAILED" },
+        ));
+        out.push_str(&format!(
+            "  batched speedup vs sequential: {:.2}x (batch size {})\n",
+            self.batch_speedup(),
+            self.config.batch,
         ));
         for p in &self.depth_sweep {
             out.push_str(&format!(
@@ -455,6 +492,7 @@ where
         .map(|_| std::env::temp_dir().join(format!("oat-bench-wal-{}", std::process::id())));
     let net_cfg = NetConfig {
         threads: config.threads,
+        transport: config.transport,
         durability: match (config.wal_fsync_every, &wal_dir) {
             (Some(n), Some(dir)) => {
                 let mut wal = WalConfig::new(dir);
@@ -545,6 +583,22 @@ where
     );
     cluster.shutdown();
 
+    // ---- Phase 4: batched replay (one REQ_BATCH per `batch` reqs). -
+    let cluster = spawn()?;
+    let batched = cluster
+        .replay_batched(seq, config.batch)
+        .map_err(|e| format!("batched replay: {e}"))?;
+    cluster.quiesce();
+    let batch_msgs = cluster.total_messages();
+    let batch = PhaseStats::new(
+        seq.len(),
+        batched.combines.len(),
+        batch_msgs,
+        batched.elapsed,
+        &batched.latencies,
+    );
+    cluster.shutdown();
+
     // ---- Optional phase 4: pipeline-depth sweep. -------------------
     let mut depth_sweep = Vec::with_capacity(config.sweep_depths.len());
     for &d in &config.sweep_depths {
@@ -590,6 +644,7 @@ where
         net_sequential_queue_peak,
         net_pipelined,
         net_pipelined_queue_peak,
+        batch,
         pipelined_clients,
         threads_spawned,
         depth_sweep,
@@ -732,6 +787,8 @@ mod tests {
                 workload_spec: "script".into(),
                 seed: 0,
                 depth: 8,
+                batch: 4,
+                transport: TransportKind::Tcp,
                 threads: Some(2),
                 sweep_depths: vec![1, 4],
                 quick: true,
@@ -747,10 +804,13 @@ mod tests {
         assert!(report.parity_ok);
         let json = report.to_json();
         for key in [
-            "\"schema\": \"oat-bench-v2\"",
+            "\"schema\": \"oat-bench-v3\"",
+            "\"transport\": \"tcp\"",
             "\"sim\":",
             "\"net_sequential\":",
             "\"net_pipelined\":",
+            "\"batch\": {",
+            "\"batch_size\": 4",
             "\"req_per_s\"",
             "\"msg_per_s\"",
             "\"lat_p50_us\"",
@@ -780,7 +840,8 @@ mod tests {
         assert!(report.trace.is_some());
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(report.default_filename().starts_with("BENCH_"));
-        // Pipelined and sequential replays executed the same requests.
+        // Pipelined, batched, and sequential replays executed the same
+        // requests and resolved the same combines.
         assert_eq!(
             report.net_pipelined.requests,
             report.net_sequential.requests
@@ -789,5 +850,7 @@ mod tests {
             report.net_pipelined.combines,
             report.net_sequential.combines
         );
+        assert_eq!(report.batch.requests, report.net_sequential.requests);
+        assert_eq!(report.batch.combines, report.net_sequential.combines);
     }
 }

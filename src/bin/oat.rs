@@ -73,15 +73,17 @@ USAGE:
                 [--pipeline N] [--faults SPEC] [--out PATH] [--chrome PATH]
   oat top       [--tree SPEC] [--workload SPEC] [--policy SPEC] [--seed N]
                 [--pipeline N] [--interval-ms N] [--ticks N]
-  oat serve     [--tree SPEC] [--policy SPEC]
+  oat serve     [--tree SPEC] [--policy SPEC] [--transport tcp|uds|ring]
   oat bench-net --tree SPEC --workload SPEC [--policy SPEC] [--seed N]
                 [--json] [--check] [--pipeline N]
   oat bench     [--tree SPEC] [--workload SPEC] [--policy SPEC] [--seed N]
-                [--depth N] [--threads N] [--sweep-depth A,B,C] [--quick]
+                [--depth N] [--batch N] [--transport tcp|uds|ring]
+                [--threads N] [--sweep-depth A,B,C] [--quick]
                 [--json] [--out PATH] [--trace [PATH]]
                 [--durability memory|wal] [--fsync-every N]
   oat chaos     --tree SPEC --workload SPEC [--policy SPEC] [--seed N]
                 [--faults SPEC] [--kill9 NODE@DELIVERED[,..]]
+                [--transport tcp|uds|ring]
                 [--durability memory|wal[:DIR]] [--fsync-every N]
                 [--snapshot-every N]
   oat mlap      [--workload SPEC] [--policy SPEC] [--tree SPEC] [--seed N]
@@ -123,16 +125,20 @@ NET COMMANDS (oat-net TCP cluster on loopback):
              --pipeline N replays again with the concurrent multi-client
              driver (one client per active node, N requests in flight each)
   bench      the measured baseline: runs one workload through the simulator,
-             the sequential TCP replay, and the pipelined TCP replay;
-             reports req/s, msg/s, p50/p99/p999 latency and queue peaks,
-             checks sim<->TCP parity, and writes BENCH_<date>.json
-             (oat-bench-v2 schema; --out overrides the path, --json also
-             prints it, --quick shrinks the workload for CI smoke runs,
-             --threads N sets the reactor pool serving the TCP phases,
-             --sweep-depth 1,4,8,16 reruns the pipelined phase at each
-             listed depth and records the throughput curve, --trace
-             records the pipelined phase with oat-obs — adding the
-             poll/queue/dispatch/wire phase breakdown to the JSON and,
+             the sequential replay, the pipelined replay, and the
+             batch-frame replay (--batch N requests per REQ_BATCH frame,
+             default 32); reports req/s, msg/s, p50/p99/p999 latency and
+             queue peaks, checks sim<->net parity, and writes
+             BENCH_<date>.json (oat-bench-v3 schema; --transport selects
+             the connection substrate for every cluster phase — tcp
+             (default), uds, or in-process ring — --out overrides the
+             path, --json also prints it, --quick shrinks the workload
+             for CI smoke runs, --threads N sets the reactor pool
+             serving the cluster phases, --sweep-depth 1,4,8,16 reruns
+             the pipelined phase at each listed depth and records the
+             throughput curve, --trace records the pipelined phase with
+             oat-obs — adding the poll/queue/dispatch/wire phase
+             breakdown to the JSON, printing per-edge wire latency, and,
              with --trace PATH, writing the raw oat-trace-v1 JSONL —
              and --durability wal puts every node on a write-ahead log
              in a fresh temp dir with group commit every --fsync-every
@@ -809,7 +815,12 @@ fn cmd_serve(args: &[String]) -> i32 {
     let result = (|| -> Result<(), String> {
         let tree = parse_tree(flag(args, "--tree").unwrap_or("kary:15:2"))?;
         let policy = parse_policy(flag(args, "--policy").unwrap_or("rww"))?;
-        with_policy!(&policy, spec => serve_cluster(&tree, &spec))
+        let transport = match flag(args, "--transport") {
+            None => oat::net::TransportKind::default(),
+            Some(s) => oat::net::TransportKind::parse(s)
+                .ok_or_else(|| format!("bad --transport `{s}` (want tcp | uds | ring)"))?,
+        };
+        with_policy!(&policy, spec => serve_cluster(&tree, &spec, transport))
     })();
     match result {
         Ok(()) => 0,
@@ -820,16 +831,32 @@ fn cmd_serve(args: &[String]) -> i32 {
     }
 }
 
-fn serve_cluster<S: PolicySpec>(tree: &Tree, spec: &S) -> Result<(), String>
+fn serve_cluster<S: PolicySpec>(
+    tree: &Tree,
+    spec: &S,
+    transport: oat::net::TransportKind,
+) -> Result<(), String>
 where
     S::Node: 'static,
 {
-    let cluster =
-        Cluster::spawn(tree, SumI64, spec, false).map_err(|e| format!("cluster spawn: {e}"))?;
+    let cfg = NetConfig {
+        transport,
+        ..NetConfig::default()
+    };
+    let cluster = Cluster::spawn_with(
+        tree,
+        SumI64,
+        spec,
+        false,
+        oat::core::fault::FaultPlan::default(),
+        cfg,
+    )
+    .map_err(|e| format!("cluster spawn: {e}"))?;
     println!(
-        "oat-net cluster up: {} nodes, policy {}, one TCP listener per node",
+        "oat-net cluster up: {} nodes, policy {}, one {} listener per node",
         tree.len(),
-        cluster.policy_name()
+        cluster.policy_name(),
+        transport.name()
     );
     for (i, addr) in cluster.addrs().iter().enumerate() {
         println!("  node {i:>3}  {addr}");
@@ -1095,8 +1122,14 @@ fn cmd_chaos(args: &[String]) -> i32 {
                 _ => return Err(format!("bad --durability `{s}` (want memory | wal[:DIR])")),
             },
         };
+        let transport = match flag(args, "--transport") {
+            None => oat::net::TransportKind::default(),
+            Some(s) => oat::net::TransportKind::parse(s)
+                .ok_or_else(|| format!("bad --transport `{s}` (want tcp | uds | ring)"))?,
+        };
         let cfg = NetConfig {
             durability,
+            transport,
             ..NetConfig::default()
         };
         with_policy!(&policy, spec => chaos_run(&tree, &spec, &seq, plan, cfg, fresh_wal))
@@ -1430,6 +1463,15 @@ fn cmd_bench(args: &[String]) -> i32 {
             .unwrap_or("8")
             .parse()
             .map_err(|_| "bad --depth")?;
+        let batch: usize = flag(args, "--batch")
+            .unwrap_or("32")
+            .parse()
+            .map_err(|_| "bad --batch")?;
+        let transport = match flag(args, "--transport") {
+            None => oat::net::TransportKind::Tcp,
+            Some(s) => oat::net::TransportKind::parse(s)
+                .ok_or_else(|| format!("bad --transport `{s}` (want tcp | uds | ring)"))?,
+        };
         let threads: Option<usize> = match flag(args, "--threads") {
             Some(s) => Some(s.parse().map_err(|_| "bad --threads")?),
             None => None,
@@ -1474,6 +1516,8 @@ fn cmd_bench(args: &[String]) -> i32 {
             workload_spec: workload_spec.to_string(),
             seed,
             depth,
+            batch,
+            transport,
             threads,
             sweep_depths,
             quick,
@@ -1484,6 +1528,26 @@ fn cmd_bench(args: &[String]) -> i32 {
         let report =
             with_policy!(&policy, spec => oat::bench::run_bench(config, &tree, &spec, &seq))?;
         print!("{}", report.render_text());
+        if let Some(tr) = &report.trace {
+            // Per-edge wire transit of the traced (pipelined) phase:
+            // which links carried the load and how long frames sat
+            // between enqueue-at-sender and decode-at-receiver.
+            let edges = oat_obs::wire_latency_by_edge(&tr.events);
+            const SHOW: usize = 24;
+            println!("  per-edge wire latency (traced phase, tx→rx):");
+            for ((from, to), w) in edges.iter().take(SHOW) {
+                println!(
+                    "    {from:>3} -> {to:<3} {:>6} tx  {:>6} matched  p50 {:>8.1}us  p99 {:>9.1}us",
+                    w.tx,
+                    w.matched,
+                    w.hist.quantile_us(0.5),
+                    w.hist.quantile_us(0.99),
+                );
+            }
+            if edges.len() > SHOW {
+                println!("    ... and {} more edges", edges.len() - SHOW);
+            }
+        }
         let json = report.to_json();
         if args.iter().any(|a| a == "--json") {
             println!("{json}");

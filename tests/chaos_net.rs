@@ -25,7 +25,7 @@ use oat::core::fault::{CrashNode, FaultPlan, KillConn};
 use oat::core::policy::rww::RwwSpec;
 use oat::core::request::{ReqOp, Request};
 use oat::core::tree::{NodeId, Tree};
-use oat::net::{Cluster, ClusterClient, DurabilityMode, NetConfig, WalConfig};
+use oat::net::{Cluster, ClusterClient, DurabilityMode, NetConfig, TransportKind, WalConfig};
 use oat::workloads::uniform;
 
 /// Fresh per-test WAL directory under the system temp dir.
@@ -174,6 +174,66 @@ fn full_chaos_run_matches_the_sequential_oracle() {
         report.faults.retransmits > 0,
         "injected loss must show up as retransmits"
     );
+}
+
+#[test]
+fn chaos_run_matches_the_oracle_on_every_transport() {
+    // The fault seams sit *above* the byte pipe (the injector acts on
+    // sequenced sends, the kill severs the stream object), so drop,
+    // duplicate, delay, and connection-kill must all fire — and all be
+    // recovered from — identically on TCP, Unix sockets, and the
+    // in-process SPSC ring. The ring honoring the injectors is the
+    // point: a transport with no kernel underneath still misbehaves on
+    // demand.
+    for transport in [TransportKind::Tcp, TransportKind::Uds, TransportKind::Ring] {
+        let name = transport.name();
+        let tree = Tree::kary(10, 3);
+        let seq = uniform(&tree, 70, 0.5, 0x5AFE);
+        let plan = FaultPlan {
+            seed: 31,
+            drop_p: 0.05,
+            dup_p: 0.05,
+            delay_p: 0.05,
+            // A root edge carries traffic in any workload, so a small
+            // frame threshold guarantees the kill actually fires.
+            kills: vec![KillConn {
+                from: NodeId(0),
+                to: NodeId(1),
+                after_frames: 3,
+            }],
+            ..FaultPlan::default()
+        };
+        let cfg = NetConfig {
+            transport,
+            ..NetConfig::default()
+        };
+        let cluster = Cluster::spawn_with(&tree, SumI64, &RwwSpec, false, plan, cfg)
+            .unwrap_or_else(|e| panic!("{name}: spawn failed: {e}"));
+        let combines = replay_against_oracle(&cluster, &seq);
+        assert!(combines > 5, "{name}: workload must exercise combines");
+
+        let (drops, dups, delays, kills, _) = cluster.injected().snapshot();
+        assert_eq!(kills, 1, "{name}: the scheduled connection kill must fire");
+        assert!(
+            drops + dups + delays > 0,
+            "{name}: probabilistic faults must have fired on a run this size"
+        );
+
+        let report = cluster.shutdown();
+        assert!(
+            report.dead_nodes.is_empty(),
+            "{name}: no node may stay wedged"
+        );
+        assert!(
+            report.faults.reconnects >= 1,
+            "{name}: the killed connection must come back (saw {})",
+            report.faults.reconnects
+        );
+        assert!(
+            report.faults.retransmits > 0,
+            "{name}: injected loss must show up as retransmits"
+        );
+    }
 }
 
 #[test]

@@ -14,13 +14,22 @@
 
 use std::io;
 
-use oat::net::frame::{is_clean_close, read_frame, write_frame, TAG_ACK};
+use oat::net::frame::{
+    decode_batch, encode_batch, is_clean_close, read_frame, write_frame, TAG_ACK, TAG_REQ_BATCH,
+};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
 /// An arbitrary frame: any tag, payload up to 512 bytes.
 fn frame_strategy() -> impl Strategy<Value = (u8, Vec<u8>)> {
     (0u8..=255, vec(any::<u8>(), 0..=512))
+}
+
+/// An arbitrary batch: up to 12 items, each any tag with up to 128
+/// payload bytes (batch members are client request/response frames,
+/// which are small).
+fn batch_strategy() -> impl Strategy<Value = Vec<(u8, Vec<u8>)>> {
+    vec((0u8..=255, vec(any::<u8>(), 0..=128)), 0..=12)
 }
 
 /// Encodes `(tag, payload)` with the real writer.
@@ -158,6 +167,76 @@ proptest! {
         }
         let err = read_frame(&mut r).expect_err("torn tail must not decode");
         prop_assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn batch_roundtrip_is_identity(items in batch_strategy()) {
+        // A batch payload rides inside an ordinary frame: encode the
+        // items, wrap, unwrap with the real reader, decode — and get
+        // back exactly what went in, in order.
+        let payload = encode_batch(&items);
+        let buf = encode(TAG_REQ_BATCH, &payload);
+        let mut r = &buf[..];
+        let (tag, body) = read_frame(&mut r).expect("valid frame decodes");
+        prop_assert_eq!(tag, TAG_REQ_BATCH);
+        prop_assert!(r.is_empty());
+        let got = decode_batch(&body).expect("valid batch decodes");
+        prop_assert_eq!(got, items);
+    }
+
+    #[test]
+    fn truncated_batch_payloads_err_and_never_panic(
+        items in batch_strategy(),
+        cut in any::<usize>(),
+    ) {
+        // Every proper prefix of a valid batch payload is InvalidData:
+        // the declared count demands all items and the decoder demands
+        // exact consumption, so no truncation can sneak through as a
+        // shorter-but-valid batch.
+        let payload = encode_batch(&items);
+        let cut = cut % payload.len(); // count field makes len >= 4
+        let err = decode_batch(&payload[..cut]).expect_err("truncated batch must not decode");
+        prop_assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {}", cut);
+    }
+
+    #[test]
+    fn batch_trailing_garbage_is_rejected(
+        items in batch_strategy(),
+        junk in vec(any::<u8>(), 1..=32),
+    ) {
+        // A batch frame must be exactly self-describing — bytes beyond
+        // the final declared item are a protocol violation, not slack.
+        let mut payload = encode_batch(&items);
+        payload.extend_from_slice(&junk);
+        let err = decode_batch(&payload).expect_err("trailing bytes must not decode");
+        prop_assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn batch_bit_flips_never_panic(items in batch_strategy(), bit in any::<usize>()) {
+        // Flip one bit anywhere in the encoded batch. The decoder must
+        // return without panicking; if the flipped bytes still spell a
+        // self-consistent batch, decoding is canonical (re-encoding
+        // reproduces the flipped bytes exactly).
+        let mut payload = encode_batch(&items);
+        let bit = bit % (payload.len() * 8);
+        payload[bit / 8] ^= 1 << (bit % 8);
+        match decode_batch(&payload) {
+            Ok(got) => prop_assert_eq!(encode_batch(&got), payload),
+            Err(e) => prop_assert_eq!(e.kind(), io::ErrorKind::InvalidData),
+        }
+    }
+
+    #[test]
+    fn random_garbage_batch_payloads_never_panic(bytes in vec(any::<u8>(), 0..=256)) {
+        // Raw noise handed to the batch decoder: a declared count in
+        // the billions must not cause an allocation — the decoder errs
+        // on the first missing item instead — and any accidental Ok is
+        // canonical.
+        match decode_batch(&bytes) {
+            Ok(items) => prop_assert_eq!(encode_batch(&items), bytes),
+            Err(e) => prop_assert_eq!(e.kind(), io::ErrorKind::InvalidData),
+        }
     }
 }
 

@@ -17,23 +17,58 @@
 //! * the full per-directed-edge, per-kind count matrix.
 
 use oat::core::agg::SumI64;
+use oat::core::fault::FaultPlan;
 use oat::core::policy::baseline::NeverLeaseSpec;
 use oat::core::policy::rww::RwwSpec;
 use oat::core::policy::PolicySpec;
 use oat::core::request::{ReqOp, Request};
 use oat::core::tree::{NodeId, Tree};
-use oat::net::{Cluster, ClusterClient, Response};
+use oat::net::{Cluster, ClusterClient, NetConfig, Response, TransportKind};
 use oat::sim::{run_sequential, Schedule};
 use oat::workloads::{hotspot, uniform};
+
+/// Every transport backend the cluster can run on. Parity is a property
+/// of the protocol, not the byte pipe, so each one must pass unchanged.
+const TRANSPORTS: [TransportKind; 3] =
+    [TransportKind::Tcp, TransportKind::Uds, TransportKind::Ring];
+
+/// Spawns a fault-free cluster on the given transport backend.
+fn spawn_on<S: PolicySpec>(
+    tree: &Tree,
+    spec: &S,
+    transport: TransportKind,
+) -> std::io::Result<Cluster<SumI64>>
+where
+    S::Node: 'static,
+{
+    let cfg = NetConfig {
+        transport,
+        ..NetConfig::default()
+    };
+    Cluster::spawn_with(tree, SumI64, spec, false, FaultPlan::default(), cfg)
+}
 
 /// Replays `seq` through both runtimes and asserts exact agreement.
 fn assert_parity<S: PolicySpec>(label: &str, tree: &Tree, spec: &S, seq: &[Request<i64>])
 where
     S::Node: 'static,
 {
+    assert_parity_on(label, tree, spec, seq, TransportKind::Tcp);
+}
+
+/// The transport-parameterized body of [`assert_parity`].
+fn assert_parity_on<S: PolicySpec>(
+    label: &str,
+    tree: &Tree,
+    spec: &S,
+    seq: &[Request<i64>],
+    transport: TransportKind,
+) where
+    S::Node: 'static,
+{
     let sim = run_sequential(tree, SumI64, spec, Schedule::Fifo, seq, false);
 
-    let cluster = Cluster::spawn(tree, SumI64, spec, false)
+    let cluster = spawn_on(tree, spec, transport)
         .unwrap_or_else(|e| panic!("{label}: cluster spawn failed: {e}"));
     let net = cluster
         .replay_sequential(seq)
@@ -244,6 +279,137 @@ fn replay_pipelined_is_internally_consistent() {
         assert!(seq[*i].op.is_combine());
     }
     assert_eq!(pipe.latencies.len(), seq.len());
+
+    let report = cluster.shutdown();
+    assert_eq!(
+        report.delivered,
+        report.stats.total(),
+        "sent and delivered message counts must agree at quiescence"
+    );
+}
+
+#[test]
+fn byte_parity_holds_on_every_transport() {
+    // The full byte-for-byte parity check — combine values, per-request
+    // message counts, per-kind totals, the complete per-directed-edge
+    // count matrix — repeated over every transport backend. The SPSC
+    // ring, the Unix socket, and TCP must be indistinguishable above
+    // the framing layer.
+    let tree = Tree::kary(10, 3);
+    for transport in TRANSPORTS {
+        let seq = uniform(&tree, 60, 0.5, 0xA11CE);
+        assert_parity_on(
+            &format!("uniform/rww/kary(10,3)/{}", transport.name()),
+            &tree,
+            &RwwSpec,
+            &seq,
+            transport,
+        );
+        let seq = hotspot(&tree, 40, 0.4, 2, 2, 0xC0FFEE);
+        assert_parity_on(
+            &format!("hotspot/rww/kary(10,3)/{}", transport.name()),
+            &tree,
+            &RwwSpec,
+            &seq,
+            transport,
+        );
+    }
+}
+
+#[test]
+fn batched_replay_matches_the_oracle_on_every_transport() {
+    // The batch protocol's parity claim: after a quiesced write phase,
+    // combines are write-determined, so every combine carried inside a
+    // TAG_REQ_BATCH frame must return exactly the oracle value — on
+    // every transport. Batching merges frames, never messages, so the
+    // per-edge counts must also match the sequential simulator's run of
+    // "the writes, then the combines at node 0".
+    for transport in TRANSPORTS {
+        let name = transport.name();
+        let tree = Tree::kary(10, 3);
+        let writes: Vec<Request<i64>> = uniform(&tree, 40, 1.0, 0x5EED)
+            .into_iter()
+            .filter(|q| !q.op.is_combine())
+            .collect();
+        let mut last = vec![0i64; tree.len()];
+        for q in &writes {
+            match &q.op {
+                ReqOp::Write(v) => last[q.node.idx()] = *v,
+                ReqOp::Combine => unreachable!(),
+            }
+        }
+        let oracle: i64 = last.iter().sum();
+
+        const COMBINES: usize = 48;
+        const BATCH: usize = 8;
+        let combines: Vec<Request<i64>> =
+            (0..COMBINES).map(|_| Request::combine(NodeId(0))).collect();
+
+        // Sequential reference for the message-count comparison.
+        let mut seq = writes.clone();
+        seq.extend(combines.iter().cloned());
+        let sim = run_sequential(&tree, SumI64, &RwwSpec, Schedule::Fifo, &seq, false);
+
+        let cluster = spawn_on(&tree, &RwwSpec, transport)
+            .unwrap_or_else(|e| panic!("{name}: spawn failed: {e}"));
+        let net_writes = cluster.replay_sequential(&writes).unwrap();
+        assert!(net_writes.combines.is_empty());
+
+        let batched = cluster
+            .replay_batched(&combines, BATCH)
+            .unwrap_or_else(|e| panic!("{name}: batched replay failed: {e}"));
+        cluster.quiesce();
+
+        assert_eq!(
+            batched.combines.len(),
+            COMBINES,
+            "{name}: every batched combine must be answered"
+        );
+        for (i, v) in &batched.combines {
+            assert_eq!(*v, oracle, "{name}: batched combine {i} diverged");
+        }
+        assert_eq!(batched.latencies.len(), COMBINES);
+
+        let live = cluster.stats().unwrap();
+        let reference = sim.engine.stats();
+        assert_eq!(
+            live.per_edge_counts(),
+            reference.per_edge_counts(),
+            "{name}: batched combines changed the per-edge message counts"
+        );
+        let report = cluster.shutdown();
+        assert_eq!(report.stats.total(), reference.total(), "{name}: totals");
+        assert_eq!(
+            report.delivered,
+            reference.total(),
+            "{name}: every sent message must be delivered exactly once"
+        );
+    }
+}
+
+#[test]
+fn batched_mixed_workload_is_internally_consistent() {
+    // A mixed read/write workload under the batch driver: values are
+    // schedule-dependent (batch members at one node run FIFO, cross-node
+    // order is free), so no oracle — but every request must be answered
+    // exactly once, indices must come back sorted and unique, and the
+    // message ledger must balance.
+    let tree = Tree::kary(10, 3);
+    let seq = uniform(&tree, 120, 0.5, 0x9A9A);
+    let expected_combines = seq.iter().filter(|q| q.op.is_combine()).count();
+
+    let cluster = Cluster::spawn(&tree, SumI64, &RwwSpec, false).unwrap();
+    let batched = cluster.replay_batched(&seq, 16).unwrap();
+    cluster.quiesce();
+
+    assert_eq!(batched.combines.len(), expected_combines);
+    for w in batched.combines.windows(2) {
+        assert!(w[0].0 < w[1].0, "combine indices must be strictly sorted");
+    }
+    for (i, _) in &batched.combines {
+        assert!(seq[*i].op.is_combine());
+    }
+    assert_eq!(batched.latencies.len(), seq.len());
 
     let report = cluster.shutdown();
     assert_eq!(

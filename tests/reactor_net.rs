@@ -99,7 +99,10 @@ fn frame_dribbled_across_writes_is_reassembled_by_the_node() {
     put_u64(&mut payload, 42u64); // i64 value 42, LE
     write_frame(&mut wire, TAG_REQ_WRITE, &payload).unwrap();
 
-    let mut s = std::net::TcpStream::connect(cluster.addrs()[0]).expect("connect");
+    let oat::net::NodeAddr::Tcp(addr) = cluster.addrs()[0].clone() else {
+        panic!("default transport is TCP");
+    };
+    let mut s = std::net::TcpStream::connect(addr).expect("connect");
     s.set_nodelay(true).unwrap();
     // Three slices with cut points inside the length prefix of the
     // hello and inside the body of the request frame.
