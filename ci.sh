@@ -26,23 +26,29 @@ echo "== epoll backend: cargo test -q --features epoll =="
 cargo test -q --features epoll
 
 echo "== bench smoke: oat bench --quick --threads 2 --trace =="
-# Quick-mode run of the measured baseline: validates the oat-bench-v3
+# Quick-mode run of the measured baseline: validates the oat-bench-v4
 # schema and fails on a sim<->TCP parity regression (`oat bench` exits
 # nonzero itself when parity breaks; the greps also pin the schema,
-# including the v3 additions: the config's transport tag and the
-# batched-client phase block).
+# including the v3 additions — the config's transport tag and the
+# batched-client phase block — and the v4 addition: the nullable
+# progressive-query block from --query, which must show an exact
+# oracle match).
 # --threads 2 pins the reactor pool: the report must show exactly the
 # configured pool size, proving thread count is O(pool), not O(nodes)
 # (the quick tree has 10 nodes — the old runtime would report ~30).
 # --trace turns on oat-obs recording for the pipelined phase, so the
 # report must carry a real phase breakdown, not null.
 BENCH_OUT=$(mktemp /tmp/oat_bench_smoke.XXXXXX.json)
-./target/release/oat bench --quick --threads 2 --trace --mlap --out "$BENCH_OUT" > /dev/null
+./target/release/oat bench --quick --threads 2 --trace --mlap --query --out "$BENCH_OUT" > /dev/null
 for key in \
-  '"schema": "oat-bench-v3"' \
+  '"schema": "oat-bench-v4"' \
   '"transport": "tcp"' \
   '"mlap": {"workload": "adv:3:6"' \
   '"within_bound": true' \
+  '"query": {"spec": "sum group by key window tumbling(100ms)"' \
+  '"oracle_match": true' \
+  '"coverage_monotone": true' \
+  '"first_partial_p50_ms"' \
   '"sim":' \
   '"net_sequential":' \
   '"net_pipelined":' \
@@ -138,6 +144,32 @@ print(f"mlap smoke: {len(names)} policies, OPT {opt}, "
       f"odepth ratio {lazy['ratio_vs_opt']} <= bound {depth + 1}")
 PY
 rm -f "$MLAP_OUT"
+
+echo "== query smoke: oat query on tcp/uds/ring =="
+# The progressive-query layer: a tumbling group-by over a short seeded
+# zipf fact stream, on every transport. Pins the oat-query-v1 schema
+# and the verdicts `oat query` itself computes (it exits nonzero when
+# any of them fail): finals equal the sequential oracle exactly,
+# coverage and per-key refinement sequences are monotone, and every
+# key refined at least three times.
+for t in tcp uds ring; do
+  Q_OUT=$(mktemp /tmp/oat_query_${t}.XXXXXX.json)
+  ./target/release/oat query 'sum group by key window tumbling(100ms)' \
+    --stream zipf --facts 120 --keys 3 --transport "$t" --json > "$Q_OUT"
+  for key in \
+    '"schema": "oat-query-v1"' \
+    '"oracle_match": true' \
+    '"coverage_monotone": true' \
+    '"refine_seq_monotone": true' \
+    '"min_partials_per_key":'
+  do
+    grep -qF "$key" "$Q_OUT" || {
+      echo "query smoke ($t): missing $key in $Q_OUT"
+      exit 1
+    }
+  done
+  rm -f "$Q_OUT"
+done
 
 echo "== chaos smoke: oat chaos =="
 # Seeded fault injection against the sequential oracle: drops/dups/delays

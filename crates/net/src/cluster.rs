@@ -38,14 +38,14 @@ use oat_core::message::MsgKind;
 use oat_core::policy::PolicySpec;
 use oat_core::request::{ReqOp, Request};
 use oat_core::tree::{NodeId, Tree};
-use oat_core::wire::{put_u64, WireReader, WireValue};
+use oat_core::wire::{put_u32, put_u64, WireReader, WireValue};
 use oat_sim::MsgStats;
 
 use crate::durability::{Durability, MemoryDurability, WalCounters, WalDurability};
 use crate::frame::{
-    decode_batch, encode_batch, write_frame, FrameDecoder, TAG_HELLO_CLIENT, TAG_REQ_BATCH,
-    TAG_REQ_COMBINE, TAG_REQ_METRICS, TAG_REQ_WRITE, TAG_RESP_BATCH, TAG_RESP_COMBINE,
-    TAG_RESP_METRICS, TAG_RESP_WRITE,
+    decode_batch, encode_batch, write_frame, FrameDecoder, TAG_HELLO_CLIENT, TAG_PARTIAL,
+    TAG_REQ_BATCH, TAG_REQ_COMBINE, TAG_REQ_COMBINE_T, TAG_REQ_METRICS, TAG_REQ_WRITE,
+    TAG_REQ_WRITE_T, TAG_RESP_BATCH, TAG_RESP_COMBINE, TAG_RESP_METRICS, TAG_RESP_WRITE, TAG_SUB,
 };
 use crate::metrics::NodeMetrics;
 use crate::node::{FaultCounters, NodeReport, RTX_DEFAULT_HIGH, RTX_DEFAULT_LOW};
@@ -795,6 +795,18 @@ pub enum Response<V> {
     Combine(V),
     /// A write acknowledgement (the write's transitions have run).
     Write,
+    /// An unsolicited pushed refinement for a subscribed forest tree
+    /// (see [`ClusterClient::subscribe`]); paired with the sub id.
+    Partial {
+        /// Forest tree the refinement is for.
+        tree: u32,
+        /// The node's per-tree refinement sequence — monotone across
+        /// automaton crash-restarts, reset only when a kill9 severs
+        /// the subscription's connection itself.
+        seq: u64,
+        /// The refined aggregate value.
+        value: V,
+    },
 }
 
 /// Per-client outcome of one pipelined window run.
@@ -878,6 +890,12 @@ pub struct ClusterClient<V> {
     timeouts: u64,
     /// Dead connections replaced under the retry policy.
     reconnects: u64,
+    /// Live subscriptions `(sub id, tree)`, re-registered on reconnect
+    /// (the fresh server-side connection knows nothing of the old subs).
+    subs: Vec<(u64, u32)>,
+    /// Partials that arrived while a synchronous call was draining the
+    /// stream; surfaced by [`ClusterClient::try_next_response`].
+    parked_partials: VecDeque<(u64, Response<V>)>,
     _value: std::marker::PhantomData<fn() -> V>,
 }
 
@@ -903,6 +921,8 @@ impl<V: WireValue> ClusterClient<V> {
             pending: HashMap::new(),
             timeouts: 0,
             reconnects: 0,
+            subs: Vec::new(),
+            parked_partials: VecDeque::new(),
             _value: std::marker::PhantomData,
         })
     }
@@ -956,7 +976,23 @@ impl<V: WireValue> ClusterClient<V> {
         self.wbuf.clear();
         write_frame(&mut self.wbuf, TAG_HELLO_CLIENT, &[])?;
         self.reconnects += 1;
-        self.resend_pending()
+        self.resend_pending()?;
+        self.resubscribe()
+    }
+
+    /// Re-registers every subscription on a fresh connection. The node
+    /// side keys subs by `(connection, sub id)`, so re-registering the
+    /// same sub id on the new connection resumes pushes; the per-tree
+    /// refinement seq continues monotonically unless the node itself
+    /// was kill9'd.
+    fn resubscribe(&mut self) -> io::Result<()> {
+        for &(id, tree) in &self.subs {
+            let mut payload = Vec::with_capacity(12);
+            put_u64(&mut payload, id);
+            put_u32(&mut payload, tree);
+            write_frame(&mut self.wbuf, TAG_SUB, &payload)?;
+        }
+        self.flush()
     }
 
     fn fresh_id(&mut self) -> u64 {
@@ -1016,6 +1052,58 @@ impl<V: WireValue> ClusterClient<V> {
         Ok(id)
     }
 
+    /// Submits a combine against forest tree `tree` without waiting;
+    /// returns its request id. Tree 0 is the node's built-in tree —
+    /// `submit_combine_tree(0)` and [`ClusterClient::submit_combine`]
+    /// are answered identically.
+    pub fn submit_combine_tree(&mut self, tree: u32) -> io::Result<u64> {
+        let id = self.fresh_id();
+        let mut payload = Vec::with_capacity(12);
+        put_u64(&mut payload, id);
+        put_u32(&mut payload, tree);
+        write_frame(&mut self.wbuf, TAG_REQ_COMBINE_T, &payload)?;
+        oat_obs::trace_event!(oat_obs::EventKind::ReqStart, self.node.0, 0, id);
+        self.pending.insert(id, (TAG_REQ_COMBINE_T, payload));
+        Ok(id)
+    }
+
+    /// Submits a write against forest tree `tree` without waiting;
+    /// returns its request id. Forest writes (tree ≥ 1) are volatile —
+    /// not WAL-logged — so a kill9 loses them; drive forest trees with
+    /// absolute values a caller can re-write to heal (the query engine
+    /// does exactly that).
+    pub fn submit_write_tree(&mut self, tree: u32, arg: V) -> io::Result<u64> {
+        let id = self.fresh_id();
+        let mut payload = Vec::with_capacity(20);
+        put_u64(&mut payload, id);
+        put_u32(&mut payload, tree);
+        arg.encode(&mut payload);
+        write_frame(&mut self.wbuf, TAG_REQ_WRITE_T, &payload)?;
+        oat_obs::trace_event!(oat_obs::EventKind::ReqStart, self.node.0, 0, id);
+        self.pending.insert(id, (TAG_REQ_WRITE_T, payload));
+        Ok(id)
+    }
+
+    /// Subscribes to pushed partial refinements of forest tree `tree`
+    /// served at this node. Every refinement arrives as an unsolicited
+    /// frame surfaced as [`Response::Partial`] paired with the returned
+    /// sub id (from [`ClusterClient::next_response`] or
+    /// [`ClusterClient::try_next_response`]). Registration is
+    /// fire-and-forget (no ack frame); the node answers with an
+    /// immediate priming partial carrying the tree's current value.
+    /// Subscriptions are re-registered automatically when the retry
+    /// policy replaces a dead connection.
+    pub fn subscribe(&mut self, tree: u32) -> io::Result<u64> {
+        let id = self.fresh_id();
+        let mut payload = Vec::with_capacity(12);
+        put_u64(&mut payload, id);
+        put_u32(&mut payload, tree);
+        write_frame(&mut self.wbuf, TAG_SUB, &payload)?;
+        self.subs.push((id, tree));
+        self.flush_retry()?;
+        Ok(id)
+    }
+
     /// Submits `ops` as one `REQ_BATCH` frame; returns the request ids
     /// in op order. The node answers with a single `RESP_BATCH` once
     /// every member resolves; [`ClusterClient::next_response`] unpacks
@@ -1058,6 +1146,18 @@ impl<V: WireValue> ClusterClient<V> {
             self.wbuf.clear();
         }
         Ok(())
+    }
+
+    /// Like [`ClusterClient::flush`], but a dead connection is replaced
+    /// (pending requests re-driven, subscriptions re-registered)
+    /// instead of surfacing the disconnect. Only pending-tracked frames
+    /// survive the swap, so callers submitting untracked frames should
+    /// use [`ClusterClient::flush`] and handle the error themselves.
+    pub fn flush_retry(&mut self) -> io::Result<()> {
+        match self.flush() {
+            Err(e) if Self::is_disconnect(&e) => self.reconnect(),
+            other => other,
+        }
     }
 
     /// True when `err` is a read-timeout (platform-dependent kind).
@@ -1118,42 +1218,112 @@ impl<V: WireValue> ClusterClient<V> {
                     Err(e) => return Err(e),
                 },
             };
-            if tag == TAG_RESP_BATCH {
-                self.queued.extend(decode_batch(&payload)?);
-                continue;
+            if let Some(resolved) = self.accept_frame(tag, &payload)? {
+                return Ok(resolved);
             }
-            let mut r = WireReader::new(&payload);
-            let id = r
-                .u64("response req id")
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-            match tag {
-                TAG_RESP_COMBINE => {
-                    let v = V::decode(&mut r)
-                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-                    if self.pending.remove(&id).is_some() {
-                        oat_obs::trace_event!(oat_obs::EventKind::ReqEnd, self.node.0, 0, id);
-                        return Ok((id, Response::Combine(v)));
+        }
+    }
+
+    /// Decodes one response frame. `Ok(None)` means the frame was
+    /// consumed without surfacing anything: a batch unpacked into the
+    /// queue, or a duplicate answer to a request already retried and
+    /// resolved (the client discards unknown ids).
+    fn accept_frame(&mut self, tag: u8, payload: &[u8]) -> io::Result<Option<(u64, Response<V>)>> {
+        if tag == TAG_RESP_BATCH {
+            self.queued.extend(decode_batch(payload)?);
+            return Ok(None);
+        }
+        let mut r = WireReader::new(payload);
+        let id = r
+            .u64("response req id")
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        match tag {
+            TAG_RESP_COMBINE => {
+                let v = V::decode(&mut r)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                if self.pending.remove(&id).is_some() {
+                    oat_obs::trace_event!(oat_obs::EventKind::ReqEnd, self.node.0, 0, id);
+                    return Ok(Some((id, Response::Combine(v))));
+                }
+                // Duplicate answer to a request we already retried
+                // and resolved: discard, keep reading.
+                Ok(None)
+            }
+            TAG_RESP_WRITE => {
+                if self.pending.remove(&id).is_some() {
+                    oat_obs::trace_event!(oat_obs::EventKind::ReqEnd, self.node.0, 0, id);
+                    return Ok(Some((id, Response::Write)));
+                }
+                Ok(None)
+            }
+            TAG_PARTIAL => {
+                // An unsolicited pushed refinement; `id` is the sub id.
+                let parsed = r.u32("partial tree id").and_then(|tree| {
+                    let seq = r.u64("partial refine seq")?;
+                    let value = V::decode(&mut r)?;
+                    Ok((tree, seq, value))
+                });
+                let (tree, seq, value) = parsed
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                oat_obs::trace_event!(oat_obs::EventKind::PartialRx, tree, 0, seq);
+                Ok(Some((id, Response::Partial { tree, seq, value })))
+            }
+            TAG_RESP_METRICS => {
+                // A duplicate answer to a metrics() call that was
+                // retried under timeout and already returned:
+                // discard, keep reading.
+                Ok(None)
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response tag {other}"),
+            )),
+        }
+    }
+
+    /// Waits up to `wait` for the next response (pushed partials
+    /// included); `Ok(None)` when nothing arrived in time. Unlike
+    /// [`ClusterClient::next_response`] this never blocks indefinitely,
+    /// so a subscriber can interleave polling for partials with
+    /// submitting work. A dead connection is replaced (with pending
+    /// requests re-driven and subscriptions re-registered) and reported
+    /// as `Ok(None)` for this round.
+    pub fn try_next_response(&mut self, wait: Duration) -> io::Result<Option<(u64, Response<V>)>> {
+        if let Some(parked) = self.parked_partials.pop_front() {
+            return Ok(Some(parked));
+        }
+        if let Err(e) = self.flush() {
+            if Self::is_disconnect(&e) {
+                self.reconnect()?;
+                return Ok(None);
+            }
+            return Err(e);
+        }
+        // Swap the bounded wait in for this read only (zero is not a
+        // valid read timeout — clamp up to a millisecond).
+        self.stream
+            .set_read_timeout(Some(wait.max(Duration::from_millis(1))))?;
+        let got = self.try_read_response();
+        self.stream.set_read_timeout(self.timeout)?;
+        got
+    }
+
+    fn try_read_response(&mut self) -> io::Result<Option<(u64, Response<V>)>> {
+        loop {
+            let (tag, payload) = match self.queued.pop_front() {
+                Some(frame) => frame,
+                None => match self.read_frame_buffered() {
+                    Ok(frame) => frame,
+                    Err(e) if Self::is_timeout(&e) => return Ok(None),
+                    Err(e) if Self::is_disconnect(&e) => {
+                        self.reconnect()?;
+                        return Ok(None);
                     }
-                    // Duplicate answer to a request we already retried
-                    // and resolved: discard, keep reading.
-                }
-                TAG_RESP_WRITE => {
-                    if self.pending.remove(&id).is_some() {
-                        oat_obs::trace_event!(oat_obs::EventKind::ReqEnd, self.node.0, 0, id);
-                        return Ok((id, Response::Write));
-                    }
-                }
-                TAG_RESP_METRICS => {
-                    // A duplicate answer to a metrics() call that was
-                    // retried under timeout and already returned:
-                    // discard, keep reading.
-                }
-                other => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("unexpected response tag {other}"),
-                    ))
-                }
+                    Err(e) => return Err(e),
+                },
+            };
+            if let Some(resolved) = self.accept_frame(tag, &payload)? {
+                return Ok(Some(resolved));
             }
         }
     }
@@ -1247,8 +1417,25 @@ impl<V: WireValue> ClusterClient<V> {
     /// (retrying under the armed timeout policy).
     pub fn combine(&mut self) -> io::Result<V> {
         let id = self.submit_combine()?;
+        self.await_combine(id)
+    }
+
+    /// Issues a combine against forest tree `tree` and blocks for the
+    /// aggregate value (retrying under the armed timeout policy).
+    pub fn combine_tree(&mut self, tree: u32) -> io::Result<V> {
+        let id = self.submit_combine_tree(tree)?;
+        self.await_combine(id)
+    }
+
+    fn await_combine(&mut self, id: u64) -> io::Result<V> {
         loop {
             let (got, resp) = self.next_response()?;
+            if let Response::Partial { .. } = resp {
+                // A pushed refinement arriving mid-call: park it for
+                // try_next_response, don't drop a subscription event.
+                self.parked_partials.push_back((got, resp));
+                continue;
+            }
             if got != id {
                 // An older pipelined submission resolving late; the
                 // caller of this sync API gave up on pairing those.
@@ -1256,7 +1443,7 @@ impl<V: WireValue> ClusterClient<V> {
             }
             return match resp {
                 Response::Combine(v) => Ok(v),
-                Response::Write => Err(io::Error::new(
+                _ => Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     "write ack for a combine request id",
                 )),
@@ -1271,14 +1458,30 @@ impl<V: WireValue> ClusterClient<V> {
     /// same value, so retried writes are idempotent.
     pub fn write(&mut self, arg: V) -> io::Result<()> {
         let id = self.submit_write(arg)?;
+        self.await_write(id)
+    }
+
+    /// Issues a write against forest tree `tree` and blocks until it
+    /// has been applied (see [`ClusterClient::write`] for semantics,
+    /// [`ClusterClient::submit_write_tree`] for durability caveats).
+    pub fn write_tree(&mut self, tree: u32, arg: V) -> io::Result<()> {
+        let id = self.submit_write_tree(tree, arg)?;
+        self.await_write(id)
+    }
+
+    fn await_write(&mut self, id: u64) -> io::Result<()> {
         loop {
             let (got, resp) = self.next_response()?;
+            if let Response::Partial { .. } = resp {
+                self.parked_partials.push_back((got, resp));
+                continue;
+            }
             if got != id {
                 continue;
             }
             return match resp {
                 Response::Write => Ok(()),
-                Response::Combine(_) => Err(io::Error::new(
+                _ => Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     "combine value for a write request id",
                 )),
@@ -1335,6 +1538,13 @@ impl<V: WireValue> ClusterClient<V> {
                 TAG_RESP_METRICS => {}
                 TAG_RESP_COMBINE | TAG_RESP_WRITE => {
                     self.pending.remove(&got);
+                }
+                TAG_PARTIAL => {
+                    // A pushed refinement while waiting for metrics:
+                    // park it, exactly like the sync combine/write path.
+                    if let Some(resolved) = self.accept_frame(tag, &body)? {
+                        self.parked_partials.push_back(resolved);
+                    }
                 }
                 other => {
                     return Err(io::Error::new(

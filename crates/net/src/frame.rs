@@ -22,14 +22,35 @@
 //! | 10  | cumulative ack     | `u64` highest in-order seq received  |
 //! | 11  | batch request      | `u32` count, then count items        |
 //! | 12  | batch response     | `u32` count, then count items        |
+//! | 13  | combine request (tree) | `u64` request id, `u32` tree id  |
+//! | 14  | write request (tree)   | `u64` request id, `u32` tree id, `V` |
+//! | 15  | subscribe          | `u64` sub id, `u32` tree id          |
+//! | 16  | partial (pushed)   | `u64` sub id, `u32` tree id, `u64` refine seq, `V` |
 //!
 //! A batch item is `[u8 tag][u32 len (LE)][len payload bytes]`, where
 //! the tag/payload pair is byte-identical to the standalone frame it
-//! stands for (tags 3/4 inside a batch request; 5/6 inside a batch
+//! stands for (tags 3/4/13/14 inside a batch request; 5/6 inside a batch
 //! response). Batching changes only the outer framing — one syscall
 //! carries N requests and one carries N responses — never the item
 //! encodings, so req-id matching, timeout retry, and idempotent
-//! re-sends keep working unchanged.
+//! re-sends keep working unchanged. Batch responses stream: the node
+//! emits completed members at every flush boundary rather than holding
+//! the roster behind its slowest member, so one `TAG_REQ_BATCH` may be
+//! answered by several `TAG_RESP_BATCH` frames whose items concatenate
+//! to the full roster.
+//!
+//! ## The forest extension (tags 13–16, inner tag 3)
+//!
+//! Tags 3/4 and inner tag 0 implicitly address tree 0 — the instance
+//! every node hosts from birth, with the exact legacy byte encodings
+//! (sim parity is pinned against those bytes). The tree-scoped variants
+//! carry an explicit `u32` tree id so one cluster multiplexes a whole
+//! *forest* of aggregation trees over the same sockets and reactor
+//! pool: nodes create automaton instances lazily on the first frame
+//! that names a new tree. `TAG_SUB` registers a continuous-query
+//! subscription on a tree; the node then *pushes* a `TAG_PARTIAL`
+//! frame (unsolicited, no request id) whenever that tree's local
+//! aggregate view refines, carrying a per-tree monotone refine seq.
 //!
 //! ## The sequenced edge link (tags 0, 9, 10)
 //!
@@ -48,9 +69,10 @@
 //!
 //! | inner | meaning        | body                         |
 //! |-------|----------------|------------------------------|
-//! | 0     | net message    | `Message<V>` wire encoding   |
+//! | 0     | net message    | `Message<V>` wire encoding (tree 0) |
 //! | 1     | peer reset     | empty (sender's automaton restarted) |
 //! | 2     | lease revoke   | empty (cascaded lease teardown)      |
+//! | 3     | net message (tree) | `u32` tree id, `Message<V>` wire encoding |
 //!
 //! [`NodeMetrics`]: crate::metrics::NodeMetrics
 
@@ -82,13 +104,26 @@ pub const TAG_ACK: u8 = 10;
 pub const TAG_REQ_BATCH: u8 = 11;
 /// Batched responses: `u32` count, then count batch items.
 pub const TAG_RESP_BATCH: u8 = 12;
+/// Tree-scoped client combine request: `u64` request id, `u32` tree id.
+pub const TAG_REQ_COMBINE_T: u8 = 13;
+/// Tree-scoped client write request: `u64` request id, `u32` tree id, `V`.
+pub const TAG_REQ_WRITE_T: u8 = 14;
+/// Continuous-query subscription: `u64` sub id, `u32` tree id.
+pub const TAG_SUB: u8 = 15;
+/// Pushed partial refinement: `u64` sub id, `u32` tree id, `u64` refine
+/// seq, `V`. Unsolicited — the node sends one per refinement, not per
+/// request.
+pub const TAG_PARTIAL: u8 = 16;
 
-/// Inner tag: a mechanism message (`Message<V>` wire encoding).
+/// Inner tag: a mechanism message (`Message<V>` wire encoding, tree 0).
 pub const INNER_NET: u8 = 0;
 /// Inner tag: the sending node's automaton crashed and restarted.
 pub const INNER_RESET: u8 = 1;
 /// Inner tag: cascaded involuntary lease teardown (crash recovery).
 pub const INNER_REVOKE: u8 = 2;
+/// Inner tag: a mechanism message for a named tree: `u32` tree id, then
+/// the `Message<V>` wire encoding (forest multiplexing).
+pub const INNER_NET_T: u8 = 3;
 
 /// Upper bound on a frame body; anything larger is a protocol violation.
 const MAX_FRAME: u32 = 64 << 20;

@@ -111,9 +111,10 @@ use std::os::unix::io::AsRawFd;
 
 use crate::durability::{Durability, LinkState, WalState};
 use crate::frame::{
-    decode_batch, encode_batch, INNER_NET, INNER_RESET, INNER_REVOKE, TAG_ACK, TAG_HELLO_CLIENT,
-    TAG_HELLO_EDGE, TAG_REQ_BATCH, TAG_REQ_COMBINE, TAG_REQ_METRICS, TAG_REQ_WRITE, TAG_RESP_BATCH,
-    TAG_RESP_COMBINE, TAG_RESP_METRICS, TAG_RESP_WRITE, TAG_SEQ,
+    decode_batch, encode_batch, INNER_NET, INNER_NET_T, INNER_RESET, INNER_REVOKE, TAG_ACK,
+    TAG_HELLO_CLIENT, TAG_HELLO_EDGE, TAG_PARTIAL, TAG_REQ_BATCH, TAG_REQ_COMBINE,
+    TAG_REQ_COMBINE_T, TAG_REQ_METRICS, TAG_REQ_WRITE, TAG_REQ_WRITE_T, TAG_RESP_BATCH,
+    TAG_RESP_COMBINE, TAG_RESP_METRICS, TAG_RESP_WRITE, TAG_SEQ, TAG_SUB,
 };
 use crate::metrics::NodeMetrics;
 use crate::reactor::{Conn, InFlight, NodeSeed, Tok, WriteQueue};
@@ -300,17 +301,42 @@ enum Work<V> {
     /// A mechanism message from neighbour `from` — counted in the
     /// in-flight gauge by the *sender* before the bytes were buffered.
     Net { from: NodeId, msg: Message<V> },
+    /// A mechanism message for forest tree `tree` (inner tag 3).
+    /// Counted like [`Work::Net`]; tree 0 decodes to `Net` instead.
+    NetT {
+        from: NodeId,
+        tree: u32,
+        msg: Message<V>,
+    },
     /// Neighbour `from`'s automaton crashed and restarted (sequenced
     /// `RESET` frame). Counted in flight like a mechanism message.
     Reset { from: NodeId },
     /// Cascaded involuntary lease teardown from `from` (sequenced
     /// `REVOKE` frame). Counted in flight like a mechanism message.
     Revoke { from: NodeId },
+    /// Per-tree revoke for a forest tree (`REVOKE` with a 4-byte tree-id
+    /// body). Counted like [`Work::Revoke`].
+    RevokeT { from: NodeId, tree: u32 },
     /// A client request — counted in flight at decode.
     Client {
         conn: ClientId,
         req_id: u64,
         op: ReqOp<V>,
+    },
+    /// A tree-scoped client request (tags 13/14) for a forest tree.
+    /// Counted like [`Work::Client`]; tree 0 decodes to `Client`.
+    ClientT {
+        conn: ClientId,
+        req_id: u64,
+        tree: u32,
+        op: ReqOp<V>,
+    },
+    /// A continuous-query subscription (`TAG_SUB`) — counted in flight
+    /// at decode (registering triggers a refresh combine).
+    Sub {
+        conn: ClientId,
+        sub_id: u64,
+        tree: u32,
     },
     /// A metrics request — not counted (it sends no mechanism messages).
     Metrics { conn: ClientId, req_id: u64 },
@@ -318,28 +344,33 @@ enum Work<V> {
 
 /// Accumulates responses for in-progress request batches.
 ///
-/// A `TAG_REQ_BATCH` frame promises one `TAG_RESP_BATCH` answer
-/// carrying every member's response. Members dispatch as ordinary
+/// A `TAG_REQ_BATCH` frame's members dispatch as ordinary
 /// [`Work::Client`] items, so their responses arrive one at a time —
 /// possibly much later (a parked combine), possibly after a crash
 /// forced the client to re-drive members individually. The book routes
-/// each `(client, req id)` response into its batch accumulator and
-/// emits the combined frame once the last member answers. A member is
-/// struck from the index at its *first* response: an idempotent
-/// retry answered a second time falls through to the direct path,
-/// where the client discards unknown ids — never a duplicate item in
-/// the batch frame.
+/// each `(client, req id)` response into its batch accumulator; at
+/// every flush boundary the node *streams* whatever the accumulator
+/// gathered as a `TAG_RESP_BATCH` frame, so completed members leave
+/// immediately instead of waiting behind the roster's slowest member
+/// (one request batch may be answered by several response frames whose
+/// items concatenate to the full roster). A member is struck from the
+/// index at its *first* response: an idempotent retry answered a
+/// second time falls through to the direct path, where the client
+/// discards unknown ids — never a duplicate item in a batch frame.
 #[derive(Default)]
 struct BatchBook {
     /// `(client, req id)` → batch key, while the member's answer is due.
     member: HashMap<(ClientId, u64), u64>,
-    /// `(client, batch key)` → responses gathered so far.
+    /// `(client, batch key)` → responses gathered since the last flush.
     accs: HashMap<(ClientId, u64), BatchAcc>,
     next_key: u64,
 }
 
 struct BatchAcc {
-    expected: usize,
+    /// Members that have not answered yet; the accumulator retires when
+    /// this reaches zero *and* the gathered items have been streamed.
+    remaining: usize,
+    /// Responses gathered since the last flush-boundary emission.
     items: Vec<(u8, Vec<u8>)>,
 }
 
@@ -348,6 +379,55 @@ impl BatchBook {
     fn purge(&mut self, cid: ClientId) {
         self.member.retain(|&(c, _), _| c != cid);
         self.accs.retain(|&(c, _), _| c != cid);
+    }
+}
+
+/// A lazily created automaton instance serving one named tree of the
+/// forest (tree ids ≥ 1, addressed by the `_T` frame variants). Tree 0
+/// is the node's built-in instance (`NodeRt::mech`) and keeps the
+/// legacy wire encodings byte-for-byte. Forest instances are
+/// *volatile*: their writes are not WAL-logged, so a crash or kill9
+/// loses them — the query engine owns re-driving them (its per-key
+/// accumulators are absolute values, so a re-write heals the tree).
+struct Inst<N: oat_core::policy::NodePolicy, A: AggOp> {
+    mech: MechNode<N, A>,
+    /// Parked tree-scoped combine requests.
+    waiters: Vec<(ClientId, u64)>,
+}
+
+/// One continuous-query subscription: a client that asked to be pushed
+/// `TAG_PARTIAL` refinements for a tree served at this node.
+struct Sub {
+    conn: ClientId,
+    id: u64,
+    /// The subscriber has been sent at least one partial (a fresh
+    /// subscriber is primed with the current value even when it equals
+    /// the last pushed one).
+    primed: bool,
+}
+
+/// Per-tree subscription state. Lives *outside* the automaton
+/// instances: subscriptions are transport-level state like client
+/// connections, so an automaton crash-restart must not silently end a
+/// continuous query (a kill9 severs the client sockets, which drops
+/// the subscriptions with them — subscribers re-subscribe on
+/// reconnect, exactly like they re-drive requests).
+struct TreeSubs<V> {
+    subs: Vec<Sub>,
+    /// Monotone per-tree refinement counter stamped on pushed partials.
+    push_seq: u64,
+    /// Last pushed value: a refresh that reproduces it is not a
+    /// refinement and is pushed only to unprimed subscribers.
+    last_push: Option<V>,
+}
+
+impl<V> Default for TreeSubs<V> {
+    fn default() -> Self {
+        TreeSubs {
+            subs: Vec::new(),
+            push_seq: 0,
+            last_push: None,
+        }
     }
 }
 
@@ -367,6 +447,11 @@ pub(crate) struct NodeRt<S: PolicySpec, A: AggOp> {
     book: BatchBook,
     /// Parked combine requests, answered at the next completion.
     waiters: Vec<(ClientId, u64)>,
+    /// Lazily created forest automaton instances (tree ids ≥ 1); the
+    /// node's built-in instance (`mech`) serves tree 0.
+    insts: HashMap<u32, Inst<S::Node, A>>,
+    /// Continuous-query subscriptions, keyed by tree id.
+    tree_subs: HashMap<u32, TreeSubs<A::Value>>,
     stats: MsgStats,
     completions: Vec<(NodeId, A::Value)>,
     delivered: u64,
@@ -482,6 +567,8 @@ where
             next_client: 0,
             book: BatchBook::default(),
             waiters: Vec::new(),
+            insts: HashMap::new(),
+            tree_subs: HashMap::new(),
             stats: MsgStats::new(ctx.tree),
             completions: Vec::new(),
             delivered: 0,
@@ -770,13 +857,58 @@ where
                                     link.dup_drops += 1;
                                 }
                             },
+                            INNER_NET_T => {
+                                // A forest-tree mechanism message: u32
+                                // tree id, then the ordinary encoding.
+                                if body.len() < 4 {
+                                    link.dup_drops += 1;
+                                    continue;
+                                }
+                                let tree =
+                                    u32::from_le_bytes(body[..4].try_into().expect("4 bytes"));
+                                match Message::<A::Value>::decode_wire(&body[4..]) {
+                                    Ok(msg) if tree != 0 => {
+                                        self.gauge.on_enqueue();
+                                        work.push(Work::NetT {
+                                            from: link.peer,
+                                            tree,
+                                            msg,
+                                        });
+                                    }
+                                    Ok(msg) => {
+                                        self.gauge.on_enqueue();
+                                        work.push(Work::Net {
+                                            from: link.peer,
+                                            msg,
+                                        });
+                                    }
+                                    Err(_) => {
+                                        link.dup_drops += 1;
+                                    }
+                                }
+                            }
                             INNER_RESET => {
                                 self.gauge.on_enqueue();
                                 work.push(Work::Reset { from: link.peer });
                             }
                             INNER_REVOKE => {
-                                self.gauge.on_enqueue();
-                                work.push(Work::Revoke { from: link.peer });
+                                // An empty body is the legacy tree-0
+                                // revoke; a 4-byte body names a forest
+                                // tree.
+                                if body.is_empty() {
+                                    self.gauge.on_enqueue();
+                                    work.push(Work::Revoke { from: link.peer });
+                                } else if body.len() == 4 {
+                                    let tree =
+                                        u32::from_le_bytes(body.try_into().expect("4 bytes"));
+                                    self.gauge.on_enqueue();
+                                    work.push(Work::RevokeT {
+                                        from: link.peer,
+                                        tree,
+                                    });
+                                } else {
+                                    link.dup_drops += 1;
+                                }
                             }
                             _ => {
                                 link.dup_drops += 1;
@@ -845,13 +977,47 @@ where
         let keep = self.drain_client(cid, ctx);
         if closed || !keep {
             // Reaching EOF after a full drain means every request was
-            // served (per-connection bytes are FIFO); flush queued
-            // responses best-effort, then retire the connection.
+            // served (per-connection bytes are FIFO); stream gathered
+            // batch responses and flush queued frames best-effort, then
+            // retire the connection.
+            self.stream_batches();
             if let Some(mut conn) = self.clients.remove(&cid) {
                 let _ = conn.flush();
             }
             self.book.purge(cid);
+            self.purge_subs(cid);
         }
+    }
+
+    /// Drops every subscription held by a departed client. The per-tree
+    /// refinement counter survives — a reconnecting subscriber resumes
+    /// on a monotone seq.
+    fn purge_subs(&mut self, cid: ClientId) {
+        for ts in self.tree_subs.values_mut() {
+            ts.subs.retain(|s| s.conn != cid);
+        }
+    }
+
+    /// Emits every non-empty batch accumulator as a `TAG_RESP_BATCH`
+    /// frame and retires accumulators whose roster is exhausted. Runs at
+    /// each flush boundary, so members completed during this loop
+    /// iteration leave now — one request batch streams out as several
+    /// response frames whose items concatenate to the full roster.
+    fn stream_batches(&mut self) {
+        if self.book.accs.is_empty() {
+            return;
+        }
+        let clients = &mut self.clients;
+        self.book.accs.retain(|&(cid, _), acc| {
+            if !acc.items.is_empty() {
+                let frame = encode_batch(&acc.items);
+                acc.items.clear();
+                if let Some(c) = clients.get_mut(&cid) {
+                    c.out.frame(TAG_RESP_BATCH, &frame);
+                }
+            }
+            acc.remaining > 0
+        });
     }
 
     /// Decodes and dispatches everything buffered on client `cid`.
@@ -916,6 +1082,100 @@ where
                             op: ReqOp::Write(arg),
                         });
                     }
+                    Ok(Some((TAG_REQ_COMBINE_T, payload))) => {
+                        let mut r = WireReader::new(&payload);
+                        let parsed = r.u64("tree combine req id").and_then(|id| {
+                            let tree = r.u32("tree combine tree id")?;
+                            r.finish("tree combine trailing bytes")?;
+                            Ok((id, tree))
+                        });
+                        let Ok((req_id, tree)) = parsed else {
+                            keep = false;
+                            break;
+                        };
+                        ctx.in_flight.add(1);
+                        self.gauge.on_enqueue();
+                        oat_obs::trace_event!(
+                            oat_obs::EventKind::ReqRecv,
+                            self.id.0,
+                            cid as u32,
+                            req_id
+                        );
+                        // Tree 0 is the built-in instance: route through
+                        // the legacy work item so its combines stay on
+                        // the sim-parity path.
+                        work.push(if tree == 0 {
+                            Work::Client {
+                                conn: cid,
+                                req_id,
+                                op: ReqOp::Combine,
+                            }
+                        } else {
+                            Work::ClientT {
+                                conn: cid,
+                                req_id,
+                                tree,
+                                op: ReqOp::Combine,
+                            }
+                        });
+                    }
+                    Ok(Some((TAG_REQ_WRITE_T, payload))) => {
+                        let mut r = WireReader::new(&payload);
+                        let parsed = r.u64("tree write req id").and_then(|id| {
+                            let tree = r.u32("tree write tree id")?;
+                            let arg = A::Value::decode(&mut r)?;
+                            r.finish("tree write trailing bytes")?;
+                            Ok((id, tree, arg))
+                        });
+                        let Ok((req_id, tree, arg)) = parsed else {
+                            keep = false;
+                            break;
+                        };
+                        ctx.in_flight.add(1);
+                        self.gauge.on_enqueue();
+                        oat_obs::trace_event!(
+                            oat_obs::EventKind::ReqRecv,
+                            self.id.0,
+                            cid as u32,
+                            req_id
+                        );
+                        work.push(if tree == 0 {
+                            Work::Client {
+                                conn: cid,
+                                req_id,
+                                op: ReqOp::Write(arg),
+                            }
+                        } else {
+                            Work::ClientT {
+                                conn: cid,
+                                req_id,
+                                tree,
+                                op: ReqOp::Write(arg),
+                            }
+                        });
+                    }
+                    Ok(Some((TAG_SUB, payload))) => {
+                        let mut r = WireReader::new(&payload);
+                        let parsed = r.u64("sub id").and_then(|id| {
+                            let tree = r.u32("sub tree id")?;
+                            r.finish("sub trailing bytes")?;
+                            Ok((id, tree))
+                        });
+                        let Ok((sub_id, tree)) = parsed else {
+                            keep = false;
+                            break;
+                        };
+                        // Counted like a client request: registering
+                        // triggers a refresh combine whose messages must
+                        // be charged before this item settles.
+                        ctx.in_flight.add(1);
+                        self.gauge.on_enqueue();
+                        work.push(Work::Sub {
+                            conn: cid,
+                            sub_id,
+                            tree,
+                        });
+                    }
                     Ok(Some((TAG_REQ_METRICS, payload))) => {
                         let mut r = WireReader::new(&payload);
                         let Ok(req_id) = r.u64("metrics req id") else {
@@ -934,7 +1194,7 @@ where
                             keep = false;
                             break;
                         };
-                        let mut parsed: Vec<(u64, ReqOp<A::Value>)> =
+                        let mut parsed: Vec<(u64, u32, ReqOp<A::Value>)> =
                             Vec::with_capacity(items.len());
                         let mut bad = items.is_empty();
                         for (tag, p) in &items {
@@ -942,12 +1202,27 @@ where
                             let item = match *tag {
                                 TAG_REQ_COMBINE => r
                                     .u64("batched combine req id")
-                                    .map(|id| (id, ReqOp::Combine)),
+                                    .map(|id| (id, 0, ReqOp::Combine)),
                                 TAG_REQ_WRITE => r.u64("batched write req id").and_then(|id| {
                                     let arg = A::Value::decode(&mut r)?;
                                     r.finish("batched write trailing bytes")?;
-                                    Ok((id, ReqOp::Write(arg)))
+                                    Ok((id, 0, ReqOp::Write(arg)))
                                 }),
+                                TAG_REQ_COMBINE_T => {
+                                    r.u64("batched tree combine req id").and_then(|id| {
+                                        let tree = r.u32("batched tree combine tree id")?;
+                                        r.finish("batched tree combine trailing bytes")?;
+                                        Ok((id, tree, ReqOp::Combine))
+                                    })
+                                }
+                                TAG_REQ_WRITE_T => {
+                                    r.u64("batched tree write req id").and_then(|id| {
+                                        let tree = r.u32("batched tree write tree id")?;
+                                        let arg = A::Value::decode(&mut r)?;
+                                        r.finish("batched tree write trailing bytes")?;
+                                        Ok((id, tree, ReqOp::Write(arg)))
+                                    })
+                                }
                                 _ => {
                                     bad = true;
                                     break;
@@ -962,7 +1237,7 @@ where
                             }
                         }
                         if !bad {
-                            let mut ids: Vec<u64> = parsed.iter().map(|(id, _)| *id).collect();
+                            let mut ids: Vec<u64> = parsed.iter().map(|(id, ..)| *id).collect();
                             ids.sort_unstable();
                             ids.dedup();
                             bad = ids.len() != parsed.len();
@@ -976,11 +1251,11 @@ where
                         self.book.accs.insert(
                             (cid, key),
                             BatchAcc {
-                                expected: parsed.len(),
+                                remaining: parsed.len(),
                                 items: Vec::with_capacity(parsed.len()),
                             },
                         );
-                        for (req_id, op) in parsed {
+                        for (req_id, tree, op) in parsed {
                             self.book.member.insert((cid, req_id), key);
                             ctx.in_flight.add(1);
                             self.gauge.on_enqueue();
@@ -990,10 +1265,19 @@ where
                                 cid as u32,
                                 req_id
                             );
-                            work.push(Work::Client {
-                                conn: cid,
-                                req_id,
-                                op,
+                            work.push(if tree == 0 {
+                                Work::Client {
+                                    conn: cid,
+                                    req_id,
+                                    op,
+                                }
+                            } else {
+                                Work::ClientT {
+                                    conn: cid,
+                                    req_id,
+                                    tree,
+                                    op,
+                                }
                             });
                         }
                     }
@@ -1043,6 +1327,41 @@ where
                     self.kill9_pending = true;
                 }
             }
+            Work::NetT { from, tree, msg } => {
+                self.delivered += 1;
+                let mut inst = self.take_inst(tree, ctx);
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let completed = inst.mech.handle_message(from, msg, &mut self.out);
+                    self.send_outbox_t(tree, ctx);
+                    completed
+                }));
+                match run {
+                    Ok(completed) => {
+                        if let Some(v) = &completed {
+                            self.answer_tree_waiters(&mut inst, v);
+                        }
+                        self.insts.insert(tree, inst);
+                        match completed {
+                            Some(v) => self.push_partial(tree, &v),
+                            // Propagated updates/invalidates refresh any
+                            // subscribers served at this node.
+                            None => self.refresh_tree(tree, ctx),
+                        }
+                    }
+                    Err(_) => self.crash_restart(ctx),
+                }
+                // Forest traffic advances the same injected-fault
+                // schedules as tree 0: triggers count delivered
+                // messages, whatever tree carried them.
+                if self.crash_at == Some(self.delivered) {
+                    self.crash_at = None;
+                    ctx.ledger.crashes.fetch_add(1, Ordering::Relaxed);
+                    self.crash_restart(ctx);
+                } else if self.kill9_at == Some(self.delivered) {
+                    self.kill9_at = None;
+                    self.kill9_pending = true;
+                }
+            }
             Work::Reset { from } => {
                 let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     // The peer's automaton restarted: run the mechanism's
@@ -1066,6 +1385,12 @@ where
                 }));
                 if run.is_err() {
                     self.crash_restart(ctx);
+                } else {
+                    // The peer's whole automaton restarted, which took
+                    // every forest instance it hosted with it: run the
+                    // peer-reset transition on each of ours and cascade
+                    // per-tree revokes the same way.
+                    self.forest_peer_reset(from, ctx);
                 }
             }
             Work::Revoke { from } => {
@@ -1088,6 +1413,28 @@ where
                 }));
                 if run.is_err() {
                     self.crash_restart(ctx);
+                }
+            }
+            Work::RevokeT { from, tree } => {
+                // A revoke for a tree this node never instantiated has
+                // nothing to tear down (and must not instantiate one).
+                if self.insts.contains_key(&tree) {
+                    let mut inst = self.take_inst(tree, ctx);
+                    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let next_hops = inst.mech.handle_revoke(from, &mut self.out);
+                        self.send_outbox_t(tree, ctx);
+                        next_hops
+                    }));
+                    match run {
+                        Ok(next_hops) => {
+                            self.insts.insert(tree, inst);
+                            for t in next_hops {
+                                self.send_revoke_t(tree, t, ctx);
+                            }
+                            self.refresh_tree(tree, ctx);
+                        }
+                        Err(_) => self.crash_restart(ctx),
+                    }
                 }
             }
             Work::Client { conn, req_id, op } => {
@@ -1165,6 +1512,109 @@ where
                 if run.is_err() {
                     self.crash_restart(ctx);
                 }
+            }
+            Work::ClientT {
+                conn,
+                req_id,
+                tree,
+                op,
+            } => {
+                let _done = InFlightGuard(ctx.in_flight);
+                let t0 = oat_obs::now_ns();
+                let mut inst = self.take_inst(tree, ctx);
+                // Forest writes are *volatile* (not WAL-logged): the
+                // query engine owns healing them after a kill9, so the
+                // durable-value hook is deliberately absent here.
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match op {
+                    ReqOp::Write(arg) => {
+                        inst.mech.handle_write(arg, &mut self.out);
+                        self.send_outbox_t(tree, ctx);
+                        let mut payload = Vec::with_capacity(8);
+                        put_u64(&mut payload, req_id);
+                        respond(
+                            &mut self.clients,
+                            &mut self.book,
+                            conn,
+                            TAG_RESP_WRITE,
+                            &payload,
+                        );
+                        oat_obs::trace_event!(
+                            oat_obs::EventKind::RespTx,
+                            self.id.0,
+                            conn as u32,
+                            req_id
+                        );
+                        None
+                    }
+                    ReqOp::Combine => {
+                        let outcome = inst.mech.handle_combine(&mut self.out);
+                        self.send_outbox_t(tree, ctx);
+                        match outcome {
+                            CombineOutcome::Done(v) => {
+                                let mut payload = Vec::with_capacity(16);
+                                put_u64(&mut payload, req_id);
+                                v.encode(&mut payload);
+                                respond(
+                                    &mut self.clients,
+                                    &mut self.book,
+                                    conn,
+                                    TAG_RESP_COMBINE,
+                                    &payload,
+                                );
+                                oat_obs::trace_event!(
+                                    oat_obs::EventKind::RespTx,
+                                    self.id.0,
+                                    conn as u32,
+                                    req_id
+                                );
+                                Some(v)
+                            }
+                            CombineOutcome::Pending | CombineOutcome::Coalesced => {
+                                if !inst.waiters.contains(&(conn, req_id)) {
+                                    inst.waiters.push((conn, req_id));
+                                }
+                                None
+                            }
+                        }
+                    }
+                }));
+                oat_obs::trace_span!(
+                    oat_obs::EventKind::ReqServe,
+                    t0,
+                    self.id.0,
+                    conn as u32,
+                    req_id
+                );
+                match run {
+                    Ok(done) => {
+                        self.insts.insert(tree, inst);
+                        match done {
+                            Some(v) => self.push_partial(tree, &v),
+                            // A write (or a parked combine) may have
+                            // changed what subscribers here should see.
+                            None => self.refresh_tree(tree, ctx),
+                        }
+                    }
+                    Err(_) => self.crash_restart(ctx),
+                }
+            }
+            Work::Sub { conn, sub_id, tree } => {
+                let _done = InFlightGuard(ctx.in_flight);
+                let subs = self.tree_subs.entry(tree).or_default();
+                // Idempotent per (conn, sub id): a retried subscribe
+                // must not register twice.
+                if !subs.subs.iter().any(|s| s.conn == conn && s.id == sub_id) {
+                    subs.subs.push(Sub {
+                        conn,
+                        id: sub_id,
+                        primed: false,
+                    });
+                }
+                oat_obs::trace_event!(oat_obs::EventKind::SubStart, self.id.0, conn as u32, sub_id);
+                // Prime the subscriber with the current value right away
+                // rather than waiting for the next write to touch the
+                // tree.
+                self.refresh_tree(tree, ctx);
             }
             Work::Metrics { conn, req_id } => {
                 let metrics = self.snapshot_metrics(ctx);
@@ -1245,6 +1695,187 @@ where
         }
     }
 
+    /// Takes the forest instance for `tree` out of the map — creating it
+    /// lazily at the current incarnation epoch — so a handler can run
+    /// against it while the rest of the node stays borrowable. The
+    /// caller reinserts it on success; on a panic it is dropped and the
+    /// node-level crash-restart clears the whole forest.
+    fn take_inst(&mut self, tree: u32, ctx: &Ctx<'_, S, A>) -> Inst<S::Node, A> {
+        self.insts.remove(&tree).unwrap_or_else(|| {
+            let mut mech = MechNode::new(
+                ctx.tree,
+                self.id,
+                ctx.op.clone(),
+                ctx.spec.build(self.degree),
+                false,
+            );
+            mech.set_epoch(self.epoch);
+            Inst {
+                mech,
+                waiters: Vec::new(),
+            }
+        })
+    }
+
+    /// Drains the mechanism outbox for a forest tree: like
+    /// [`NodeRt::send_outbox`] but frames ride `INNER_NET_T` with the
+    /// tree id prefixed. Completions are *not* recorded — the completion
+    /// log is a tree-0 sim-parity artifact.
+    fn send_outbox_t(&mut self, tree: u32, ctx: &Ctx<'_, S, A>) {
+        let mut payload = Vec::with_capacity(36);
+        let out = std::mem::take(&mut self.out);
+        for (to, msg) in out {
+            self.stats
+                .record(ctx.tree.dir_edge_index(self.id, to), msg.kind());
+            ctx.total_sent.fetch_add(1, Ordering::Relaxed);
+            payload.clear();
+            put_u32(&mut payload, tree);
+            msg.encode_wire(&mut payload);
+            // Every forest tree shares the base tree's topology, so the
+            // built-in instance's neighbour table routes for all of them.
+            let wi = self.mech.nbr_index(to);
+            if send_seq(
+                self.id,
+                &mut self.links[wi],
+                &mut *self.backend,
+                INNER_NET_T,
+                &payload,
+                ctx,
+            ) {
+                self.downed.push(wi);
+            }
+        }
+    }
+
+    /// Queues a per-tree revoke (4-byte tree-id body) toward `to`.
+    fn send_revoke_t(&mut self, tree: u32, to: NodeId, ctx: &Ctx<'_, S, A>) {
+        let mut body = Vec::with_capacity(4);
+        put_u32(&mut body, tree);
+        let wi = self.mech.nbr_index(to);
+        if send_seq(
+            self.id,
+            &mut self.links[wi],
+            &mut *self.backend,
+            INNER_REVOKE,
+            &body,
+            ctx,
+        ) {
+            self.downed.push(wi);
+        }
+    }
+
+    /// Answers every waiter parked on a forest instance.
+    fn answer_tree_waiters(&mut self, inst: &mut Inst<S::Node, A>, v: &A::Value) {
+        for (conn, req_id) in std::mem::take(&mut inst.waiters) {
+            let mut payload = Vec::with_capacity(16);
+            put_u64(&mut payload, req_id);
+            v.encode(&mut payload);
+            respond(
+                &mut self.clients,
+                &mut self.book,
+                conn,
+                TAG_RESP_COMBINE,
+                &payload,
+            );
+            oat_obs::trace_event!(oat_obs::EventKind::RespTx, self.id.0, conn as u32, req_id);
+        }
+    }
+
+    /// Pushes a `TAG_PARTIAL` refinement to every subscriber of `tree`.
+    /// A value equal to the last push is not a refinement — it goes only
+    /// to subscribers that were never primed, under the unchanged seq.
+    fn push_partial(&mut self, tree: u32, v: &A::Value) {
+        let Some(ts) = self.tree_subs.get_mut(&tree) else {
+            return;
+        };
+        if ts.subs.is_empty() {
+            return;
+        }
+        let changed = ts.last_push.as_ref() != Some(v);
+        if changed {
+            ts.push_seq += 1;
+            ts.last_push = Some(v.clone());
+        }
+        for s in &mut ts.subs {
+            if !changed && s.primed {
+                continue;
+            }
+            s.primed = true;
+            let mut p = Vec::with_capacity(28);
+            put_u64(&mut p, s.id);
+            put_u32(&mut p, tree);
+            put_u64(&mut p, ts.push_seq);
+            v.encode(&mut p);
+            if let Some(c) = self.clients.get_mut(&s.conn) {
+                c.out.frame(TAG_PARTIAL, &p);
+            }
+            oat_obs::trace_event!(
+                oat_obs::EventKind::PartialTx,
+                self.id.0,
+                s.conn as u32,
+                ts.push_seq
+            );
+        }
+    }
+
+    /// Re-runs the combine for a subscribed tree and pushes the result
+    /// as a partial. Called whenever work touched `tree` at a node that
+    /// holds subscriptions: a `Done` pushes immediately; a `Pending`
+    /// probe's completion pushes from the `NetT` path when it lands.
+    /// No-op on trees without subscribers, so non-serving nodes never
+    /// issue extra combines.
+    fn refresh_tree(&mut self, tree: u32, ctx: &Ctx<'_, S, A>) {
+        if self
+            .tree_subs
+            .get(&tree)
+            .is_none_or(|ts| ts.subs.is_empty())
+        {
+            return;
+        }
+        let mut inst = self.take_inst(tree, ctx);
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let outcome = inst.mech.handle_combine(&mut self.out);
+            self.send_outbox_t(tree, ctx);
+            outcome
+        }));
+        match run {
+            Ok(outcome) => {
+                self.insts.insert(tree, inst);
+                if let CombineOutcome::Done(v) = outcome {
+                    self.push_partial(tree, &v);
+                }
+            }
+            Err(_) => self.crash_restart(ctx),
+        }
+    }
+
+    /// Runs the peer-reset transition on every forest instance after a
+    /// neighbour's automaton restart, cascading per-tree revokes.
+    fn forest_peer_reset(&mut self, from: NodeId, ctx: &Ctx<'_, S, A>) {
+        let trees: Vec<u32> = self.insts.keys().copied().collect();
+        for tree in trees {
+            let mut inst = self.take_inst(tree, ctx);
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let revokes = inst.mech.handle_peer_reset(from, &mut self.out);
+                self.send_outbox_t(tree, ctx);
+                revokes
+            }));
+            match run {
+                Ok(revokes) => {
+                    self.insts.insert(tree, inst);
+                    for t in revokes {
+                        self.send_revoke_t(tree, t, ctx);
+                    }
+                    self.refresh_tree(tree, ctx);
+                }
+                Err(_) => {
+                    self.crash_restart(ctx);
+                    break;
+                }
+            }
+        }
+    }
+
     /// Destroys and rebuilds the automaton after a crash (injected or
     /// panicked). The transport and the durable value survive; waiters
     /// are dropped (clients recover via timeout + retry), and the fresh
@@ -1255,6 +1886,23 @@ where
         oat_obs::trace_event!(oat_obs::EventKind::Crash, self.id.0, 0, 0);
         self.counters.restarts += 1;
         self.waiters.clear();
+        // The crash takes the whole forest with it (forest instances are
+        // volatile). Subscriptions are transport state and survive, but
+        // fresh instances may regress below the last pushed value, so
+        // subscribers are re-primed at the next refresh; the refinement
+        // seq itself stays monotone across the restart.
+        self.abandoned += self
+            .insts
+            .values()
+            .map(|i| i.waiters.len() as u64)
+            .sum::<u64>();
+        self.insts.clear();
+        for ts in self.tree_subs.values_mut() {
+            ts.last_push = None;
+            for s in &mut ts.subs {
+                s.primed = false;
+            }
+        }
         self.out.clear();
         self.mech = MechNode::new(
             ctx.tree,
@@ -1323,6 +1971,16 @@ where
         self.book = BatchBook::default();
         self.abandoned += self.waiters.len() as u64;
         self.waiters.clear();
+        // A process kill severs every client socket, and subscriptions
+        // die with their connections — subscribers re-subscribe on
+        // reconnect. The forest itself is volatile and vanishes.
+        self.abandoned += self
+            .insts
+            .values()
+            .map(|i| i.waiters.len() as u64)
+            .sum::<u64>();
+        self.insts.clear();
+        self.tree_subs.clear();
         self.out.clear();
         self.downed.clear();
         self.stalled = false;
@@ -1562,6 +2220,9 @@ where
             }
         }
         self.settle_downed();
+        // Stream whatever each in-progress batch gathered since the last
+        // boundary, before the client write queues flush below.
+        self.stream_batches();
         let mut dropped: Vec<ClientId> = Vec::new();
         self.clients.retain(|&cid, conn| {
             let keep = conn.out.is_empty() || conn.flush().is_ok();
@@ -1572,6 +2233,7 @@ where
         });
         for cid in dropped {
             self.book.purge(cid);
+            self.purge_subs(cid);
         }
         // Backpressure: enter a stall at the high watermark, leave only
         // once *every* edge drained below the low one (hysteresis).
@@ -1789,6 +2451,11 @@ where
         // Under faults a client may have given up on a combine; dropping
         // the waiter lets shutdown proceed and the count surfaces here.
         self.abandoned += self.waiters.len() as u64;
+        self.abandoned += self
+            .insts
+            .values()
+            .map(|i| i.waiters.len() as u64)
+            .sum::<u64>();
         NodeReport {
             stats: self.stats,
             completions: self.completions,
@@ -1883,8 +2550,10 @@ fn send_seq<S, A: AggOp>(
 /// untrusted peers, their disappearance must not kill a node.
 ///
 /// Responses owed to an in-progress batch are routed into its
-/// accumulator instead, and the combined `TAG_RESP_BATCH` frame is
-/// emitted when the last member answers (see [`BatchBook`]).
+/// accumulator instead; the gathered items *stream* out as
+/// `TAG_RESP_BATCH` frames at flush boundaries (see [`BatchBook`] and
+/// [`NodeRt::stream_batches`]), so a completed member never waits
+/// behind the roster's slowest one.
 fn respond(
     clients: &mut HashMap<ClientId, Conn>,
     book: &mut BatchBook,
@@ -1897,13 +2566,7 @@ fn respond(
         if let Some(key) = book.member.remove(&(conn, req_id)) {
             let acc = book.accs.get_mut(&(conn, key)).expect("member implies acc");
             acc.items.push((tag, payload.to_vec()));
-            if acc.items.len() == acc.expected {
-                let acc = book.accs.remove(&(conn, key)).expect("present above");
-                let frame = encode_batch(&acc.items);
-                if let Some(c) = clients.get_mut(&conn) {
-                    c.out.frame(TAG_RESP_BATCH, &frame);
-                }
-            }
+            acc.remaining -= 1;
             return;
         }
     }

@@ -83,11 +83,23 @@ pub enum EventKind {
     /// A WAL recovery replay ran. `a`=node, `b`=torn bytes discarded,
     /// `c`=records replayed.
     WalRecover = 24,
+    /// A continuous-query subscription was registered. `a`=node,
+    /// `b`=client conn id, `c`=sub id.
+    SubStart = 25,
+    /// A node pushed a `TAG_PARTIAL` refinement. `a`=node, `b`=client
+    /// conn id, `c`=per-tree refinement seq.
+    PartialTx = 26,
+    /// A client decoded a pushed partial. `a`=tree id, `c`=refinement
+    /// seq.
+    PartialRx = 27,
+    /// The query engine emitted one refined partial to its consumer.
+    /// `a`=group key, `b`=window index, `c`=engine refine seq.
+    QueryEmit = 28,
 }
 
 impl EventKind {
     /// Every kind, for exhaustive iteration in tests and exporters.
-    pub const ALL: [EventKind; 24] = [
+    pub const ALL: [EventKind; 28] = [
         EventKind::ReqStart,
         EventKind::ReqEnd,
         EventKind::ReqRecv,
@@ -112,6 +124,10 @@ impl EventKind {
         EventKind::WalAppend,
         EventKind::WalFsync,
         EventKind::WalRecover,
+        EventKind::SubStart,
+        EventKind::PartialTx,
+        EventKind::PartialRx,
+        EventKind::QueryEmit,
     ];
 
     /// Decodes a kind tag byte; `None` for unknown tags.
@@ -146,12 +162,17 @@ impl EventKind {
             EventKind::WalAppend => "wal_append",
             EventKind::WalFsync => "wal_fsync",
             EventKind::WalRecover => "wal_recover",
+            EventKind::SubStart => "sub_start",
+            EventKind::PartialTx => "partial_tx",
+            EventKind::PartialRx => "partial_rx",
+            EventKind::QueryEmit => "query_emit",
         }
     }
 
     /// Coarse category: `request`, `frame`, `lease`, `fault`, `reactor`,
-    /// or `sim`. The CI trace smoke requires at least one event of every
-    /// category in a recorded chaos workload.
+    /// `sim`, or `query`. The CI trace smoke requires at least one event
+    /// of the first six categories in a recorded chaos workload (`query`
+    /// events only appear when a continuous query is running).
     pub fn category(self) -> &'static str {
         match self {
             EventKind::ReqStart
@@ -175,12 +196,17 @@ impl EventKind {
             | EventKind::WalRecover => "fault",
             EventKind::PollWake | EventKind::Dispatch => "reactor",
             EventKind::SimDeliver | EventKind::SimInitiate => "sim",
+            EventKind::SubStart
+            | EventKind::PartialTx
+            | EventKind::PartialRx
+            | EventKind::QueryEmit => "query",
         }
     }
 
     /// All category names, in display order.
-    pub const CATEGORIES: [&'static str; 6] =
-        ["request", "frame", "lease", "fault", "reactor", "sim"];
+    pub const CATEGORIES: [&'static str; 7] = [
+        "request", "frame", "lease", "fault", "reactor", "sim", "query",
+    ];
 
     /// Whether this kind carries a meaningful duration (rendered as a
     /// Chrome "complete" event rather than an instant).

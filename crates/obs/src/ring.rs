@@ -299,7 +299,7 @@ pub struct Trace {
 impl Trace {
     /// Count of events per category name, in [`EventKind::CATEGORIES`]
     /// order.
-    pub fn category_counts(&self) -> [(&'static str, u64); 6] {
+    pub fn category_counts(&self) -> [(&'static str, u64); 7] {
         let mut out = EventKind::CATEGORIES.map(|c| (c, 0u64));
         for e in &self.events {
             let cat = e.kind.category();

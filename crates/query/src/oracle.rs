@@ -1,0 +1,193 @@
+//! The sequential reference: exact per-group, per-window aggregates.
+//!
+//! A single in-memory fold over the fact stream with the same grouping
+//! and windowing semantics as the engine. The engine's finals must
+//! equal this exactly at quiescence — the convergence contract the
+//! property tests and the CI smoke pin.
+
+use crate::spec::{QuerySpec, WindowSpec};
+use oat_workloads::facts::Fact;
+use std::collections::BTreeMap;
+
+/// One exact final: the aggregate of group `key` over window `window`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Final {
+    /// Group key (`0` when the query has no `group by`).
+    pub key: u32,
+    /// Window index (`at_ms / T` for tumbling; `0` otherwise).
+    pub window: u64,
+    /// The exact aggregate value.
+    pub value: i64,
+}
+
+/// Folds `facts` sequentially under `spec` and returns every non-empty
+/// `(group, window)` final, sorted by `(key, window)`.
+pub fn oracle_finals(spec: &QuerySpec, facts: &[Fact]) -> Vec<Final> {
+    let mut out = Vec::new();
+    match spec.window {
+        WindowSpec::None => {
+            let mut groups: BTreeMap<u32, i64> = BTreeMap::new();
+            for f in facts {
+                let k = group_of(spec, f);
+                let acc = groups.entry(k).or_insert_with(|| spec.op.identity());
+                *acc = spec.op.combine(*acc, spec.op.map_val(f.val));
+            }
+            for (key, value) in groups {
+                out.push(Final {
+                    key,
+                    window: 0,
+                    value,
+                });
+            }
+        }
+        WindowSpec::LastN(n) => {
+            let mut groups: BTreeMap<u32, Vec<i64>> = BTreeMap::new();
+            for f in facts {
+                groups
+                    .entry(group_of(spec, f))
+                    .or_default()
+                    .push(spec.op.map_val(f.val));
+            }
+            for (key, vals) in groups {
+                let tail = &vals[vals.len().saturating_sub(n)..];
+                let value = tail
+                    .iter()
+                    .fold(spec.op.identity(), |a, &b| spec.op.combine(a, b));
+                out.push(Final {
+                    key,
+                    window: 0,
+                    value,
+                });
+            }
+        }
+        WindowSpec::Tumbling(ms) => {
+            let mut groups: BTreeMap<(u32, u64), i64> = BTreeMap::new();
+            for f in facts {
+                let k = (group_of(spec, f), f.at_ms / ms);
+                let acc = groups.entry(k).or_insert_with(|| spec.op.identity());
+                *acc = spec.op.combine(*acc, spec.op.map_val(f.val));
+            }
+            for ((key, window), value) in groups {
+                out.push(Final { key, window, value });
+            }
+        }
+    }
+    out
+}
+
+fn group_of(spec: &QuerySpec, f: &Fact) -> u32 {
+    if spec.group_by_key {
+        f.key
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::OpKind;
+
+    fn facts() -> Vec<Fact> {
+        vec![
+            Fact {
+                key: 0,
+                val: 3,
+                at_ms: 0,
+            },
+            Fact {
+                key: 1,
+                val: -2,
+                at_ms: 40,
+            },
+            Fact {
+                key: 0,
+                val: 10,
+                at_ms: 120,
+            },
+            Fact {
+                key: 0,
+                val: 1,
+                at_ms: 130,
+            },
+        ]
+    }
+
+    fn spec(op: OpKind, group: bool, window: WindowSpec) -> QuerySpec {
+        QuerySpec {
+            op,
+            group_by_key: group,
+            window,
+        }
+    }
+
+    #[test]
+    fn unwindowed_group_by() {
+        let f = oracle_finals(&spec(OpKind::Sum, true, WindowSpec::None), &facts());
+        assert_eq!(
+            f,
+            vec![
+                Final {
+                    key: 0,
+                    window: 0,
+                    value: 14
+                },
+                Final {
+                    key: 1,
+                    window: 0,
+                    value: -2
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn no_group_by_folds_everything_into_key_zero() {
+        let f = oracle_finals(&spec(OpKind::Count, false, WindowSpec::None), &facts());
+        assert_eq!(
+            f,
+            vec![Final {
+                key: 0,
+                window: 0,
+                value: 4
+            }]
+        );
+    }
+
+    #[test]
+    fn tumbling_splits_by_fact_time() {
+        let f = oracle_finals(
+            &spec(OpKind::Sum, true, WindowSpec::Tumbling(100)),
+            &facts(),
+        );
+        assert_eq!(
+            f,
+            vec![
+                Final {
+                    key: 0,
+                    window: 0,
+                    value: 3
+                },
+                Final {
+                    key: 0,
+                    window: 1,
+                    value: 11
+                },
+                Final {
+                    key: 1,
+                    window: 0,
+                    value: -2
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn last_n_keeps_the_tail() {
+        let f = oracle_finals(&spec(OpKind::Max, true, WindowSpec::LastN(2)), &facts());
+        // Key 0's last two facts are 10, 1.
+        assert_eq!(f[0].value, 10);
+        let f = oracle_finals(&spec(OpKind::Sum, true, WindowSpec::LastN(1)), &facts());
+        assert_eq!(f[0].value, 1);
+    }
+}

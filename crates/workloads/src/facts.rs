@@ -1,0 +1,168 @@
+//! Seeded fact-stream generators for the continuous-query layer.
+//!
+//! A *fact* is one keyed observation `(key, val, at_ms)` — the unit the
+//! `oat-query` engine folds into per-key aggregates. Streams are
+//! pre-generated (the engine needs the total count up front so coverage
+//! is monotone) and deterministic in their seed, like every other
+//! generator in this crate. Timestamps are synthetic stream time, not
+//! wall-clock: facts arrive in non-decreasing `at_ms` order, which is
+//! what tumbling-window finalization keys off.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One keyed observation in a fact stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fact {
+    /// Group-by key (dense, `0..keys`). Each distinct key lazily
+    /// instantiates one tree of the query forest.
+    pub key: u32,
+    /// Observed value, folded through the query's `AggOp`.
+    pub val: i64,
+    /// Synthetic stream timestamp in milliseconds, non-decreasing.
+    pub at_ms: u64,
+}
+
+/// Advances synthetic stream time: facts are spaced `gap_ms` apart.
+fn stamp(i: usize, gap_ms: u64) -> u64 {
+    i as u64 * gap_ms
+}
+
+/// Uniform stream: each fact picks a uniformly random key; values are
+/// drawn from a small range so aggregates stay readable.
+pub fn uniform_facts(len: usize, keys: u32, gap_ms: u64, seed: u64) -> Vec<Fact> {
+    assert!(keys >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|i| Fact {
+            key: rng.gen_range(0..keys),
+            val: rng.gen_range(-100..=100),
+            at_ms: stamp(i, gap_ms),
+        })
+        .collect()
+}
+
+/// Zipf-keyed stream: key popularity follows a Zipf(`s`) law over
+/// `0..keys`, so a few hot keys dominate — the skew that makes a hot
+/// subtree of the forest carry most of the write load while cold trees
+/// refine lazily.
+pub fn zipf_facts(len: usize, keys: u32, s: f64, gap_ms: u64, seed: u64) -> Vec<Fact> {
+    assert!(keys >= 1);
+    assert!(s > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Cumulative Zipf mass over ranks 1..=keys; inverse-CDF sampling.
+    let mut cdf = Vec::with_capacity(keys as usize);
+    let mut total = 0.0f64;
+    for rank in 1..=keys {
+        total += 1.0 / f64::from(rank).powf(s);
+        cdf.push(total);
+    }
+    (0..len)
+        .map(|i| {
+            let u = rng.gen_range(0.0..total);
+            let key = cdf.partition_point(|&c| c <= u) as u32;
+            Fact {
+                key: key.min(keys - 1),
+                val: rng.gen_range(-100..=100),
+                at_ms: stamp(i, gap_ms),
+            }
+        })
+        .collect()
+}
+
+/// Phase-shifting stream: consecutive thirds of the stream each favor a
+/// different key band (`0..k/3`, `k/3..2k/3`, `2k/3..k`), with a small
+/// uniform background. Models interest drifting across the key space —
+/// trees that were hot go quiet and vice versa.
+pub fn phase_facts(len: usize, keys: u32, gap_ms: u64, seed: u64) -> Vec<Fact> {
+    assert!(keys >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let band = (keys / 3).max(1);
+    (0..len)
+        .map(|i| {
+            let phase = (i * 3 / len.max(1)).min(2) as u32;
+            let key = if rng.gen_bool(0.8) {
+                let lo = (phase * band).min(keys - 1);
+                let hi = ((phase + 1) * band).clamp(lo + 1, keys);
+                rng.gen_range(lo..hi)
+            } else {
+                rng.gen_range(0..keys)
+            };
+            Fact {
+                key,
+                val: rng.gen_range(-100..=100),
+                at_ms: stamp(i, gap_ms),
+            }
+        })
+        .collect()
+}
+
+/// Parses a stream-kind name (`uniform`, `zipf`, `phases`) into a
+/// generated stream; used by the `oat query` CLI and the bench harness.
+pub fn facts_by_name(
+    name: &str,
+    len: usize,
+    keys: u32,
+    gap_ms: u64,
+    seed: u64,
+) -> Option<Vec<Fact>> {
+    match name {
+        "uniform" => Some(uniform_facts(len, keys, gap_ms, seed)),
+        "zipf" => Some(zipf_facts(len, keys, 1.2, gap_ms, seed)),
+        "phases" => Some(phase_facts(len, keys, gap_ms, seed)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(
+            zipf_facts(200, 8, 1.2, 5, 42),
+            zipf_facts(200, 8, 1.2, 5, 42)
+        );
+        assert_ne!(
+            zipf_facts(200, 8, 1.2, 5, 42),
+            zipf_facts(200, 8, 1.2, 5, 43)
+        );
+    }
+
+    #[test]
+    fn keys_in_range_and_time_monotone() {
+        for facts in [
+            uniform_facts(300, 5, 3, 1),
+            zipf_facts(300, 5, 1.1, 3, 1),
+            phase_facts(300, 5, 3, 1),
+        ] {
+            assert_eq!(facts.len(), 300);
+            let mut last = 0;
+            for f in &facts {
+                assert!(f.key < 5);
+                assert!(f.at_ms >= last);
+                last = f.at_ms;
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let facts = zipf_facts(5000, 16, 1.2, 1, 7);
+        let mut counts = [0usize; 16];
+        for f in &facts {
+            counts[f.key as usize] += 1;
+        }
+        // Rank 0 should clearly dominate the tail under s=1.2.
+        assert!(counts[0] > counts[8] * 2, "{counts:?}");
+    }
+
+    #[test]
+    fn by_name_dispatch() {
+        assert!(facts_by_name("uniform", 10, 2, 1, 0).is_some());
+        assert!(facts_by_name("zipf", 10, 2, 1, 0).is_some());
+        assert!(facts_by_name("phases", 10, 2, 1, 0).is_some());
+        assert!(facts_by_name("nope", 10, 2, 1, 0).is_none());
+    }
+}

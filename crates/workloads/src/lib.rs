@@ -11,6 +11,9 @@
 //! * [`requests`] — seeded request sequences: uniform mixes, hotspot
 //!   readers/writers, phase-shifting mixes (read-heavy ↔ write-heavy),
 //!   and single-writer/multi-reader patterns,
+//! * [`facts`] — keyed fact streams for the continuous-query layer
+//!   (`oat-query`): uniform, Zipf-skewed hot keys, and phase-shifting
+//!   interest drift,
 //! * [`mlap`] — instances for the second problem family (`oat-mlap`):
 //!   the adversarial staggered-deadline spider, bursty deadline
 //!   workloads, delay-model arrival streams, and random instances for
@@ -21,10 +24,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod facts;
 pub mod mlap;
 pub mod requests;
 pub mod topology;
 
+pub use facts::{facts_by_name, phase_facts, uniform_facts, zipf_facts, Fact};
 pub use requests::{
     bursty, diurnal, hotspot, phases, single_writer, uniform, zipf, WorkloadSpec, ZipfNodes,
 };

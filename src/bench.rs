@@ -2,7 +2,7 @@
 //!
 //! Runs one seeded workload through four executions and reports
 //! throughput and latency for each, in a stable JSON schema
-//! (`oat-bench-v3`) that is written to `BENCH_<date>.json` — the
+//! (`oat-bench-v4`) that is written to `BENCH_<date>.json` — the
 //! trajectory every future performance PR diffs against:
 //!
 //! 1. **sim** — the deterministic simulator, sequential semantics
@@ -54,7 +54,11 @@ use oat_sim::{Engine, Schedule};
 /// substrate the cluster phases ran on: `tcp`/`uds`/`ring`) and the
 /// document gains a top-level `batch` phase block (the batch-frame
 /// driver). All v2 fields are preserved unchanged.
-pub const SCHEMA: &str = "oat-bench-v3";
+/// v4 over v3: a nullable top-level `query` object (the `--query`
+/// progressive online-aggregation phase: oracle exactness plus
+/// refinement-latency percentiles) — absent runs emit `null`, so v3
+/// readers keep working on everything else.
+pub const SCHEMA: &str = "oat-bench-v4";
 
 /// What to run and how hard; spec strings are echoed into the report.
 pub struct BenchConfig {
@@ -87,6 +91,10 @@ pub struct BenchConfig {
     /// policy on the adversarial deadline spider, scored against the
     /// exact offline optimum.
     pub mlap: bool,
+    /// Run the progressive-query phase (`oat bench --query`): a
+    /// tumbling group-by over a seeded zipf fact stream, checked
+    /// against the sequential oracle and timed for refinement latency.
+    pub query: bool,
     /// Durability backend for the TCP phases: `None` runs in memory
     /// (the recorded-baseline default), `Some(n)` puts every node on a
     /// write-ahead log in a fresh temp directory with group commit
@@ -220,6 +228,8 @@ pub struct BenchReport {
     pub parity_ok: bool,
     /// MLAP competitive phase (set when the bench ran with `mlap`).
     pub mlap: Option<MlapSummary>,
+    /// Progressive-query phase (set when the bench ran with `query`).
+    pub query: Option<QuerySummary>,
     /// Request phase breakdown of the pipelined phase (set when the
     /// bench ran with `trace`).
     pub phase_breakdown: Option<PhaseBreakdown>,
@@ -270,6 +280,58 @@ impl MlapSummary {
     }
 }
 
+/// Summary of the optional progressive-query phase: one declarative
+/// continuous query (`sum group by key window tumbling(100ms)`) run by
+/// `oat-query` over a seeded zipf fact stream, with its finals checked
+/// against the sequential oracle and its refinement latency profiled.
+pub struct QuerySummary {
+    /// The declarative spec the phase ran.
+    pub spec: String,
+    /// Facts streamed.
+    pub facts: usize,
+    /// Distinct group-by keys in the stream.
+    pub keys: u32,
+    /// Every `(key, window)` final equals the sequential oracle.
+    pub oracle_match: bool,
+    /// Coverage never regressed across the partial sequence.
+    pub coverage_monotone: bool,
+    /// Partials emitted in total (including finals).
+    pub partials_total: u64,
+    /// `TAG_PARTIAL` push frames received from the cluster.
+    pub pushes_rx: u64,
+    /// p50 across keys of the time to each key's first partial (ms).
+    pub first_partial_p50_ms: f64,
+    /// p99 across keys of the time to each key's first partial (ms).
+    pub first_partial_p99_ms: f64,
+    /// Wall-clock ms until coverage first reached 0.95.
+    pub t95_coverage_ms: Option<f64>,
+}
+
+impl QuerySummary {
+    fn to_json(&self) -> String {
+        let t95 = match self.t95_coverage_ms {
+            Some(v) => format!("{v:.1}"),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"spec\": \"{}\", \"facts\": {}, \"keys\": {}, \"oracle_match\": {}, \
+             \"coverage_monotone\": {}, \"partials_total\": {}, \"pushes_rx\": {}, \
+             \"first_partial_p50_ms\": {:.1}, \"first_partial_p99_ms\": {:.1}, \
+             \"t95_coverage_ms\": {}}}",
+            self.spec,
+            self.facts,
+            self.keys,
+            self.oracle_match,
+            self.coverage_monotone,
+            self.partials_total,
+            self.pushes_rx,
+            self.first_partial_p50_ms,
+            self.first_partial_p99_ms,
+            t95,
+        )
+    }
+}
+
 /// One point of the pipeline-depth sweep.
 pub struct DepthPoint {
     /// Pipeline depth of this rerun.
@@ -303,7 +365,7 @@ impl BenchReport {
         }
     }
 
-    /// Renders the stable `oat-bench-v3` JSON document.
+    /// Renders the stable `oat-bench-v4` JSON document.
     pub fn to_json(&self) -> String {
         let mut sweep = String::from("[");
         for (i, p) in self.depth_sweep.iter().enumerate() {
@@ -324,8 +386,12 @@ impl BenchReport {
             Some(m) => m.to_json(),
             None => "null".to_string(),
         };
+        let query = match &self.query {
+            Some(q) => q.to_json(),
+            None => "null".to_string(),
+        };
         format!(
-            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"date\": \"{}\",\n  \"config\": {{\"tree\": \"{}\", \"policy\": \"{}\", \"workload\": \"{}\", \"seed\": {}, \"pipeline_depth\": {}, \"quick\": {}, \"durability\": \"{}\", \"transport\": \"{}\"}},\n  \"threads_spawned\": {},\n  \"sim\": {{{}, \"hop_p50\": {:.1}, \"hop_p99\": {:.1}}},\n  \"net_sequential\": {{{}, \"queue_peak_max\": {}}},\n  \"net_pipelined\": {{{}, \"queue_peak_max\": {}, \"depth\": {}, \"clients\": {}, \"speedup_vs_sequential\": {:.2}}},\n  \"batch\": {{{}, \"batch_size\": {}, \"speedup_vs_sequential\": {:.2}}},\n  \"depth_sweep\": {},\n  \"mlap\": {mlap},\n  \"phase_breakdown\": {breakdown},\n  \"parity_ok\": {}\n}}",
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"date\": \"{}\",\n  \"config\": {{\"tree\": \"{}\", \"policy\": \"{}\", \"workload\": \"{}\", \"seed\": {}, \"pipeline_depth\": {}, \"quick\": {}, \"durability\": \"{}\", \"transport\": \"{}\"}},\n  \"threads_spawned\": {},\n  \"sim\": {{{}, \"hop_p50\": {:.1}, \"hop_p99\": {:.1}}},\n  \"net_sequential\": {{{}, \"queue_peak_max\": {}}},\n  \"net_pipelined\": {{{}, \"queue_peak_max\": {}, \"depth\": {}, \"clients\": {}, \"speedup_vs_sequential\": {:.2}}},\n  \"batch\": {{{}, \"batch_size\": {}, \"speedup_vs_sequential\": {:.2}}},\n  \"depth_sweep\": {},\n  \"mlap\": {mlap},\n  \"query\": {query},\n  \"phase_breakdown\": {breakdown},\n  \"parity_ok\": {}\n}}",
             self.date,
             self.config.tree_spec,
             self.config.policy_spec,
@@ -420,6 +486,28 @@ impl BenchReport {
                 pols,
                 m.depth + 1,
                 if m.within_bound { "OK" } else { "VIOLATED" },
+            ));
+        }
+        if let Some(q) = &self.query {
+            let t95 = match q.t95_coverage_ms {
+                Some(v) => format!("{v:.1}ms"),
+                None => "n/a".to_string(),
+            };
+            out.push_str(&format!(
+                "  query '{}': {} facts/{} keys, {} partials ({} pushed), first-partial p50 {:.1}ms p99 {:.1}ms, t95-coverage {}, oracle: {}\n",
+                q.spec,
+                q.facts,
+                q.keys,
+                q.partials_total,
+                q.pushes_rx,
+                q.first_partial_p50_ms,
+                q.first_partial_p99_ms,
+                t95,
+                if q.oracle_match && q.coverage_monotone {
+                    "OK"
+                } else {
+                    "FAILED"
+                },
             ));
         }
         out
@@ -630,6 +718,13 @@ where
         None
     };
 
+    // ---- Optional phase 6: progressive-query summary. --------------
+    let query = if config.query {
+        Some(run_query_phase(config.quick, config.transport)?)
+    } else {
+        None
+    };
+
     if let Some(dir) = &wal_dir {
         let _ = std::fs::remove_dir_all(dir);
     }
@@ -649,6 +744,7 @@ where
         threads_spawned,
         depth_sweep,
         mlap,
+        query,
         parity_ok,
         phase_breakdown,
         trace,
@@ -681,6 +777,41 @@ fn run_mlap_phase(quick: bool) -> Result<MlapSummary, String> {
         opt,
         policies,
         within_bound,
+    })
+}
+
+/// The `--query` phase: the ISSUE acceptance query (`sum group by key
+/// window tumbling(100ms)`) over a seeded zipf fact stream on a fresh
+/// cluster, run through `oat-query` and checked against the sequential
+/// oracle. Rides the bench's transport so refinement latency is
+/// measured on the same substrate as the throughput phases.
+fn run_query_phase(quick: bool, transport: TransportKind) -> Result<QuerySummary, String> {
+    use oat_core::policy::rww::RwwSpec;
+    let (facts_n, keys) = if quick { (120, 3) } else { (300, 4) };
+    let spec: oat_query::QuerySpec = "sum group by key window tumbling(100ms)"
+        .parse()
+        .map_err(|e: String| format!("query phase spec: {e}"))?;
+    let facts = oat_workloads::zipf_facts(facts_n, keys, 1.2, 4, 42);
+    let tree = Tree::kary(7, 2);
+    let cfg = NetConfig {
+        transport,
+        ..NetConfig::default()
+    };
+    let cluster = Cluster::spawn_with(&tree, SumI64, &RwwSpec, false, FaultPlan::default(), cfg)
+        .map_err(|e| format!("query phase spawn: {e}"))?;
+    let run = oat_query::run(&cluster, &spec, &facts).map_err(|e| format!("query phase: {e}"))?;
+    cluster.shutdown();
+    Ok(QuerySummary {
+        spec: spec.to_string(),
+        facts: facts.len(),
+        keys,
+        oracle_match: run.matches_oracle(&facts),
+        coverage_monotone: run.coverage_monotone(),
+        partials_total: run.stats.partials_total,
+        pushes_rx: run.stats.pushes_rx,
+        first_partial_p50_ms: run.stats.first_partial_p50_ms,
+        first_partial_p99_ms: run.stats.first_partial_p99_ms,
+        t95_coverage_ms: run.stats.t95_coverage_ms,
     })
 }
 
@@ -794,6 +925,7 @@ mod tests {
                 quick: true,
                 trace: true,
                 mlap: true,
+                query: true,
                 wal_fsync_every: None,
             },
             &tree,
@@ -804,7 +936,7 @@ mod tests {
         assert!(report.parity_ok);
         let json = report.to_json();
         for key in [
-            "\"schema\": \"oat-bench-v3\"",
+            "\"schema\": \"oat-bench-v4\"",
             "\"transport\": \"tcp\"",
             "\"sim\":",
             "\"net_sequential\":",
@@ -823,6 +955,10 @@ mod tests {
             "\"depth_sweep\": [{\"depth\": 1,",
             "\"mlap\": {\"workload\": \"adv:3:6\"",
             "\"within_bound\": true",
+            "\"query\": {\"spec\": \"sum group by key window tumbling(100ms)\"",
+            "\"oracle_match\": true",
+            "\"coverage_monotone\": true",
+            "\"first_partial_p50_ms\"",
             "\"phase_breakdown\": {\"requests\": 16,",
             "\"parity_ok\": true",
         ] {
@@ -832,6 +968,10 @@ mod tests {
         assert!(mlap.within_bound);
         assert_eq!(mlap.policies.len(), 4);
         assert!(mlap.policies.iter().all(|(_, cost, _)| *cost >= mlap.opt));
+        let query = report.query.as_ref().unwrap();
+        assert!(query.oracle_match, "query phase finals must equal oracle");
+        assert!(query.coverage_monotone);
+        assert!(query.partials_total > 0 && query.pushes_rx > 0);
         // Tracing was on for the pipelined phase: all 16 requests were
         // observed client-side and matched to node-side serve records.
         let b = report.phase_breakdown.as_ref().unwrap();

@@ -49,6 +49,7 @@ fn main() {
         Some("bench") => cmd_bench(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("mlap") => cmd_mlap(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
         Some("help") | None => {
             print!("{}", HELP);
@@ -88,6 +89,9 @@ USAGE:
                 [--snapshot-every N]
   oat mlap      [--workload SPEC] [--policy SPEC] [--tree SPEC] [--seed N]
                 [--json]
+  oat query     SPEC [--tree SPEC] [--policy SPEC] [--facts N] [--keys K]
+                [--stream uniform|zipf|phases] [--gap-ms N] [--seed N]
+                [--transport tcp|uds|ring] [--json]
   oat help
 
 SPECS:
@@ -103,6 +107,8 @@ SPECS:
   mlap workload: adv:DEPTH:LEGS | bursty:BURSTS:SIZE:WINDOW | delay:LEN:GAP
                  (bursty/delay run on --tree, default kary:15:2)
   mlap policy:   eager | odepth | odepth-prefetch | greedy | all
+  query:         OP [group by key] [window last-N | tumbling(Tms)]
+                 with OP one of sum | min | max | count
 
 OBSERVABILITY (oat-obs event tracing):
   trace --workload  records a live oat-obs trace of one workload run twice
@@ -129,7 +135,7 @@ NET COMMANDS (oat-net TCP cluster on loopback):
              batch-frame replay (--batch N requests per REQ_BATCH frame,
              default 32); reports req/s, msg/s, p50/p99/p999 latency and
              queue peaks, checks sim<->net parity, and writes
-             BENCH_<date>.json (oat-bench-v3 schema; --transport selects
+             BENCH_<date>.json (oat-bench-v4 schema; --transport selects
              the connection substrate for every cluster phase — tcp
              (default), uds, or in-process ring — --out overrides the
              path, --json also prints it, --quick shrinks the workload
@@ -169,6 +175,23 @@ delays and deadlines, arXiv:1507.02378 / arXiv:1701.01936):
              comparison as a bench phase (nullable `mlap` key in the
              oat-bench-v2 JSON)
 
+QUERY (oat-query progressive online aggregation):
+  query      runs one continuous query over a seeded fact stream
+             (--stream uniform | zipf | phases; --facts/--keys/--gap-ms
+             size it) against a live cluster. `group by key` multiplexes
+             a forest of lazily-instantiated per-key trees over the one
+             cluster; windows are either sliding (last-N facts, expired
+             facts retired by refolding) or tumbling (fact-time windows,
+             finalized exactly at each boundary). Prints every partial
+             as it was emitted — value, coverage (monotone fraction of
+             the stream applied), staleness bound, refinement seq — then
+             the finals checked against the sequential oracle; exits
+             non-zero on any mismatch or monotonicity violation. --json
+             emits the stable oat-query-v1 document instead.
+             `oat bench --query` runs the same engine as a bench phase
+             and records refinement-latency percentiles (nullable
+             `query` key in the oat-bench-v4 JSON)
+
 EXAMPLES:
   oat run --tree kary:64:2 --policy rww --workload uniform:0.5:1000 --seed 7
   oat compare --tree star:32 --workload zipf:0.3:2000:1.0
@@ -178,6 +201,8 @@ EXAMPLES:
   oat bench --tree kary:31:2 --workload uniform:0.5:600 --depth 8 --json
   oat mlap --workload adv:4:8 --policy all --json
   oat mlap --workload bursty:6:4:5 --tree kary:15:2 --seed 7
+  oat query 'sum group by key window tumbling(100ms)' --stream zipf --keys 4
+  oat query 'count group by key' --facts 200 --transport ring --json
 ";
 
 /// Minimal `--flag value` extraction.
@@ -1440,6 +1465,178 @@ fn cmd_mlap(args: &[String]) -> i32 {
     }
 }
 
+/// Spawns a cluster under the right operator for the query op and runs
+/// the continuous-query engine against it.
+fn run_query_on<S: PolicySpec>(
+    spec: &S,
+    tree: &Tree,
+    qspec: &oat::query::QuerySpec,
+    facts: &[oat::workloads::facts::Fact],
+    cfg: NetConfig,
+) -> Result<oat::query::QueryRun, String>
+where
+    S::Node: 'static,
+{
+    fn go<A: AggOp<Value = i64>, S: PolicySpec>(
+        op: A,
+        spec: &S,
+        tree: &Tree,
+        qspec: &oat::query::QuerySpec,
+        facts: &[oat::workloads::facts::Fact],
+        cfg: NetConfig,
+    ) -> Result<oat::query::QueryRun, String>
+    where
+        S::Node: 'static,
+    {
+        let cluster = Cluster::spawn_with(tree, op, spec, false, FaultPlan::default(), cfg)
+            .map_err(|e| format!("cluster spawn: {e}"))?;
+        oat::query::run(&cluster, qspec, facts).map_err(|e| format!("query run: {e}"))
+    }
+    use oat::query::OpKind;
+    match qspec.op {
+        OpKind::Sum | OpKind::Count => go(SumI64, spec, tree, qspec, facts, cfg),
+        OpKind::Min => go(MinI64, spec, tree, qspec, facts, cfg),
+        OpKind::Max => go(MaxI64, spec, tree, qspec, facts, cfg),
+    }
+}
+
+fn cmd_query(args: &[String]) -> i32 {
+    let result = (|| -> Result<(), String> {
+        // The spec is the leading run of non-flag arguments, so both
+        // `oat query 'sum group by key'` and `oat query sum group by
+        // key` parse.
+        let split = args
+            .iter()
+            .position(|a| a.starts_with("--"))
+            .unwrap_or(args.len());
+        let spec_str = args[..split].join(" ");
+        if spec_str.is_empty() {
+            return Err(
+                "missing query spec, e.g. `sum group by key window tumbling(100ms)`".into(),
+            );
+        }
+        let qspec: oat::query::QuerySpec = spec_str.parse()?;
+        let rest = &args[split..];
+        let tree_spec = flag(rest, "--tree").unwrap_or("kary:7:2");
+        let tree = parse_tree(tree_spec)?;
+        let policy_spec = flag(rest, "--policy").unwrap_or("rww");
+        let policy = parse_policy(policy_spec)?;
+        let facts_n: usize = flag(rest, "--facts")
+            .unwrap_or("300")
+            .parse()
+            .map_err(|_| "bad --facts")?;
+        let keys: u32 = flag(rest, "--keys")
+            .unwrap_or("4")
+            .parse()
+            .map_err(|_| "bad --keys")?;
+        let gap_ms: u64 = flag(rest, "--gap-ms")
+            .unwrap_or("4")
+            .parse()
+            .map_err(|_| "bad --gap-ms")?;
+        let seed: u64 = flag(rest, "--seed")
+            .unwrap_or("42")
+            .parse()
+            .map_err(|_| "bad --seed")?;
+        let stream = flag(rest, "--stream").unwrap_or("zipf");
+        let facts = oat::workloads::facts::facts_by_name(stream, facts_n, keys, gap_ms, seed)
+            .ok_or_else(|| format!("bad --stream `{stream}` (want uniform | zipf | phases)"))?;
+        let transport = match flag(rest, "--transport") {
+            None => oat::net::TransportKind::Tcp,
+            Some(s) => oat::net::TransportKind::parse(s)
+                .ok_or_else(|| format!("bad --transport `{s}` (want tcp | uds | ring)"))?,
+        };
+        let cfg = NetConfig {
+            transport,
+            ..NetConfig::default()
+        };
+        let run = with_policy!(&policy, spec =>
+            run_query_on(&spec, &tree, &qspec, &facts, cfg))?;
+        let meta = oat::query::json::ReportMeta {
+            stream,
+            seed,
+            keys,
+            transport: transport.name(),
+            tree: tree_spec,
+            policy: policy_spec,
+        };
+        if rest.iter().any(|a| a == "--json") {
+            println!("{}", oat::query::json::report_json(&run, &facts, &meta));
+        } else {
+            println!(
+                "query: {qspec}\n  stream {stream} facts={} keys={keys} seed={seed} \
+                 gap={gap_ms}ms transport={} tree={tree_spec} policy={policy_spec}",
+                facts.len(),
+                transport.name(),
+            );
+            const SHOW: usize = 120;
+            for p in run.partials.iter().take(SHOW) {
+                println!(
+                    "  {} key {:>3} win {:>3} seq {:>4}  value {:>12}  coverage {:>6.1}%  \
+                     stale {:>3}  at {:>6}ms  +{:>8.1}ms",
+                    if p.is_final { "FINAL  " } else { "partial" },
+                    p.key,
+                    p.window,
+                    p.refine_seq,
+                    p.value,
+                    p.coverage * 100.0,
+                    p.staleness,
+                    p.at_ms,
+                    p.wall_ms,
+                );
+            }
+            if run.partials.len() > SHOW {
+                println!("  ... and {} more partials", run.partials.len() - SHOW);
+            }
+            let oracle = oat::query::oracle_finals(&qspec, &facts);
+            println!("finals vs sequential oracle:");
+            let mut finals = run.finals.clone();
+            finals.sort_by_key(|f| (f.key, f.window));
+            for f in &finals {
+                let want = oracle
+                    .iter()
+                    .find(|o| o.key == f.key && o.window == f.window)
+                    .map(|o| o.value);
+                println!(
+                    "  key {:>3} window {:>3}: {} (oracle {}) {}",
+                    f.key,
+                    f.window,
+                    f.value,
+                    want.map_or("?".to_string(), |v| v.to_string()),
+                    if want == Some(f.value) {
+                        "ok"
+                    } else {
+                        "MISMATCH"
+                    },
+                );
+            }
+            println!(
+                "refinement: first-partial p50 {:.1}ms p99 {:.1}ms, t95-coverage {}, \
+                 {} partials ({} pushed), min per key {}",
+                run.stats.first_partial_p50_ms,
+                run.stats.first_partial_p99_ms,
+                run.stats
+                    .t95_coverage_ms
+                    .map_or("n/a".to_string(), |t| format!("{t:.1}ms")),
+                run.stats.partials_total,
+                run.stats.pushes_rx,
+                run.min_partials_per_key(),
+            );
+        }
+        let ok = run.matches_oracle(&facts) && run.coverage_monotone() && run.refine_seq_monotone();
+        if !ok {
+            return Err("query verdicts failed (oracle match / monotonicity)".into());
+        }
+        Ok(())
+    })();
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
 fn cmd_bench(args: &[String]) -> i32 {
     let result = (|| -> Result<(), String> {
         let quick = args.iter().any(|a| a == "--quick");
@@ -1523,6 +1720,7 @@ fn cmd_bench(args: &[String]) -> i32 {
             quick,
             trace,
             mlap: args.iter().any(|a| a == "--mlap"),
+            query: args.iter().any(|a| a == "--query"),
             wal_fsync_every,
         };
         let report =

@@ -59,6 +59,7 @@ pub use oat_modelcheck as modelcheck;
 pub use oat_multi as multi;
 pub use oat_net as net;
 pub use oat_offline as offline;
+pub use oat_query as query;
 pub use oat_sim as sim;
 pub use oat_wal as wal;
 pub use oat_workloads as workloads;

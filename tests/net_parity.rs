@@ -229,7 +229,7 @@ fn concurrent_pipelined_combines_match_the_sequential_oracle() {
                             Response::Combine(v) => {
                                 assert_eq!(v, oracle, "client {c}: combine diverged from oracle")
                             }
-                            Response::Write => panic!("client {c}: unexpected write ack"),
+                            other => panic!("client {c}: unexpected response {other:?}"),
                         }
                         received += 1;
                     }
